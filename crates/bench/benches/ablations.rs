@@ -1,0 +1,112 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! - `repr`: graph representation vs expanded polynomials (§3.2's
+//!   compactness claim — graphs share sub-derivations, polynomials
+//!   explode).
+//! - `zoom`: O(V+E) role-tag ZoomOut vs the Definition 4.1
+//!   reachability characterization.
+//! - `reach`: adjacency-only subgraph queries vs a precomputed
+//!   descendant closure (§5.1's memory/time trade-off).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lipstick_bench::run_dealers;
+use lipstick_core::graph::validate::intermediate_nodes_by_definition;
+use lipstick_core::query::{subgraph, zoom_out, ReachIndex};
+use lipstick_core::semiring::Polynomial;
+use lipstick_workflowgen::DealersParams;
+
+fn graph_for(num_exec: usize) -> lipstick_core::ProvGraph {
+    let params = DealersParams {
+        num_cars: 200,
+        num_exec,
+        seed: 1_000_003,
+    };
+    run_dealers(&params, true).graph.expect("tracking on")
+}
+
+/// Graph vs polynomial representation: compare extracting and expanding
+/// polynomials for all module outputs against walking the shared graph.
+fn ablation_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_repr");
+    group.sample_size(10);
+    let g = graph_for(5);
+    let outputs: Vec<_> = g
+        .iter_visible()
+        .filter(|(_, n)| matches!(n.kind, lipstick_core::NodeKind::ModuleOutput))
+        .map(|(id, _)| id)
+        .collect();
+    group.bench_function("expand_polynomials", |b| {
+        b.iter(|| {
+            outputs
+                .iter()
+                .map(|&o| {
+                    let expr = g.expr_of(o);
+                    Polynomial::from_expr(&expr)
+                        .map(|p| p.expanded_size())
+                        .unwrap_or_else(|| expr.size())
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("graph_signature", |b| {
+        b.iter(|| g.visible_signature().0.len())
+    });
+    group.finish();
+}
+
+/// ZoomOut via role tags vs Definition 4.1 reachability.
+fn ablation_zoom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_zoom");
+    group.sample_size(10);
+    for num_exec in [5usize, 10] {
+        let g = graph_for(num_exec);
+        group.bench_with_input(BenchmarkId::new("tags", g.len()), &g, |b, g| {
+            b.iter_batched(
+                || g.clone(),
+                |mut g| zoom_out(&mut g, &["Mdealer1"]).expect("zoom"),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("definition", g.len()), &g, |b, g| {
+            b.iter(|| {
+                g.invocations_of("Mdealer1")
+                    .into_iter()
+                    .map(|inv| intermediate_nodes_by_definition(g, inv).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Subgraph descendants via BFS vs precomputed reachability index.
+fn ablation_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reach");
+    group.sample_size(10);
+    let g = graph_for(10);
+    let roots = g.top_fanout_nodes(8);
+    group.bench_function("bfs_subgraph", |b| {
+        b.iter(|| {
+            roots
+                .iter()
+                .map(|&r| subgraph(&g, r).expect("visible").len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| ReachIndex::build(&g).memory_bytes())
+    });
+    let index = ReachIndex::build(&g);
+    group.bench_function("indexed_descendants", |b| {
+        b.iter(|| {
+            roots
+                .iter()
+                .map(|&r| index.descendants(r).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_repr, ablation_zoom, ablation_reach);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 5(c): parallelism. Executes the dealers workflow on the
+//! thread-pool executor with a varying number of "reducers". The shape
+//! to reproduce: improvement saturates around 2-4 reducers (the four
+//! dealer modules are the parallel portion) with comparable curves
+//! with and without provenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipstick_bench::run_dealers_parallel;
+use lipstick_workflowgen::DealersParams;
+
+fn fig5c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_parallel");
+    group.sample_size(10);
+    let params = DealersParams {
+        num_cars: 1200,
+        num_exec: 3,
+        seed: 1_000_003,
+    };
+    for reducers in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("no_prov", reducers),
+            &reducers,
+            |b, &r| b.iter(|| run_dealers_parallel(&params, r, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prov", reducers),
+            &reducers,
+            |b, &r| b.iter(|| run_dealers_parallel(&params, r, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5c);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 5(a)/(b): run-time overhead of provenance tracking.
+//!
+//! Benchmarks the Car dealerships and Arctic stations workflows with
+//! and without provenance capture. The paper's observation to
+//! reproduce: tracking costs a constant factor (≈2-3× for the
+//! state-heavy dealers, ≈15-35% for the Arctic topologies), and
+//! dealer time grows with the number of prior executions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipstick_bench::{run_arctic, run_dealers};
+use lipstick_workflowgen::{ArcticParams, DealersParams, Selectivity, Topology};
+
+fn fig5a_dealers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_dealers");
+    group.sample_size(10);
+    for num_exec in [5usize, 10, 20] {
+        let params = DealersParams {
+            num_cars: 400,
+            num_exec,
+            seed: 1_000_003,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("no_prov", num_exec),
+            &params,
+            |b, p| b.iter(|| run_dealers(p, false).executions),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prov", num_exec),
+            &params,
+            |b, p| b.iter(|| run_dealers(p, true).executions),
+        );
+    }
+    group.finish();
+}
+
+fn fig5b_arctic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_arctic");
+    group.sample_size(10);
+    for (name, topology) in [
+        ("parallel", Topology::Parallel),
+        ("dense6", Topology::Dense { fanout: 6 }),
+        ("serial", Topology::Serial),
+    ] {
+        let params = ArcticParams {
+            stations: 24,
+            topology,
+            selectivity: Selectivity::Month,
+            num_exec: 5,
+            seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/no_prov"), 24),
+            &params,
+            |b, p| b.iter(|| run_arctic(p, false).executions),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/prov"), 24),
+            &params,
+            |b, p| b.iter(|| run_arctic(p, true).executions),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5a_dealers, fig5b_arctic);
+criterion_main!(benches);

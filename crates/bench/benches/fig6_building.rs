@@ -1,0 +1,86 @@
+//! Figure 6: building the provenance graph from the on-disk log.
+//!
+//! 6(a): build time vs node count (dealers) — expected linear.
+//! 6(b): Arctic dense fan-out 2, modules × selectivity — lower
+//!       selectivity ⇒ more edges ⇒ slower builds.
+//! 6(c): Arctic 24 modules across topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lipstick_bench::{run_arctic, run_dealers};
+use lipstick_storage::{decode_graph, encode_graph};
+use lipstick_workflowgen::{ArcticParams, DealersParams, Selectivity, Topology};
+
+fn fig6a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_build_dealers");
+    group.sample_size(10);
+    for num_exec in [5usize, 10, 20] {
+        let params = DealersParams {
+            num_cars: 400,
+            num_exec,
+            seed: 1_000_003,
+        };
+        let g = run_dealers(&params, true).graph.expect("tracking on");
+        let bytes = encode_graph(&g).expect("no zoom");
+        group.throughput(Throughput::Elements(g.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.len()),
+            &bytes,
+            |b, bytes| b.iter(|| decode_graph(bytes).expect("round trip").len()),
+        );
+    }
+    group.finish();
+}
+
+fn fig6b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_build_arctic_modules");
+    group.sample_size(10);
+    for stations in [2usize, 6, 12] {
+        for (sel_name, selectivity) in [
+            ("all", Selectivity::All),
+            ("year", Selectivity::Year),
+        ] {
+            let params = ArcticParams {
+                stations,
+                topology: Topology::Dense { fanout: 2 },
+                selectivity,
+                num_exec: 5,
+                seed: 7,
+            };
+            let g = run_arctic(&params, true).graph.expect("tracking on");
+            let bytes = encode_graph(&g).expect("no zoom");
+            group.bench_with_input(
+                BenchmarkId::new(sel_name, stations),
+                &bytes,
+                |b, bytes| b.iter(|| decode_graph(bytes).expect("round trip").len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig6c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6c_build_arctic_topology");
+    group.sample_size(10);
+    for (name, topology) in [
+        ("serial", Topology::Serial),
+        ("parallel", Topology::Parallel),
+        ("dense3", Topology::Dense { fanout: 3 }),
+    ] {
+        let params = ArcticParams {
+            stations: 12,
+            topology,
+            selectivity: Selectivity::Month,
+            num_exec: 5,
+            seed: 7,
+        };
+        let g = run_arctic(&params, true).graph.expect("tracking on");
+        let bytes = encode_graph(&g).expect("no zoom");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bytes, |b, bytes| {
+            b.iter(|| decode_graph(bytes).expect("round trip").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6a, fig6b, fig6c);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Figure 7 + §5.6 "Delete": query processing over provenance graphs.
+//!
+//! 7(a): ZoomOut / ZoomIn per module (dealer vs aggregate; zoom time
+//!       linear in graph size, aggregate cheaper, ZoomIn faster).
+//! 7(b): subgraph queries from the highest-fanout nodes.
+//! 7(c): subgraph queries across Arctic selectivities.
+//! del:  deletion propagation (sub-millisecond in most cases).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lipstick_bench::{run_arctic, run_dealers};
+use lipstick_core::query::{propagate_deletion, subgraph, zoom_in, zoom_out};
+use lipstick_workflowgen::{ArcticParams, DealersParams, Selectivity, Topology};
+
+fn dealers_graph(num_exec: usize) -> lipstick_core::ProvGraph {
+    let params = DealersParams {
+        num_cars: 400,
+        num_exec,
+        seed: 1_000_003,
+    };
+    run_dealers(&params, true).graph.expect("tracking on")
+}
+
+fn fig7a_zoom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_zoom");
+    group.sample_size(10);
+    for num_exec in [5usize, 10, 20] {
+        let g = dealers_graph(num_exec);
+        for module in ["Mdealer1", "Magg"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("zoomout_{module}"), g.len()),
+                &g,
+                |b, g| {
+                    b.iter_batched(
+                        || g.clone(),
+                        |mut g| zoom_out(&mut g, &[module]).expect("zoom"),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("zoomin_{module}"), g.len()),
+                &g,
+                |b, g| {
+                    b.iter_batched(
+                        || {
+                            let mut g = g.clone();
+                            zoom_out(&mut g, &[module]).expect("zoom");
+                            g
+                        },
+                        |mut g| zoom_in(&mut g, &[module]).expect("zoom in"),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig7b_subgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_subgraph");
+    group.sample_size(10);
+    let g = dealers_graph(20);
+    let roots = g.top_fanout_nodes(8);
+    for (i, root) in roots.into_iter().enumerate() {
+        group.bench_with_input(BenchmarkId::from_parameter(i), &root, |b, &root| {
+            b.iter(|| subgraph(&g, root).expect("visible").len())
+        });
+    }
+    group.finish();
+}
+
+fn fig7c_subgraph_arctic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_subgraph_arctic");
+    group.sample_size(10);
+    for (name, selectivity) in [
+        ("all", Selectivity::All),
+        ("month", Selectivity::Month),
+        ("year", Selectivity::Year),
+    ] {
+        let params = ArcticParams {
+            stations: 12,
+            topology: Topology::Dense { fanout: 3 },
+            selectivity,
+            num_exec: 5,
+            seed: 7,
+        };
+        let g = run_arctic(&params, true).graph.expect("tracking on");
+        let roots = g.top_fanout_nodes(4);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &roots, |b, roots| {
+            b.iter(|| {
+                roots
+                    .iter()
+                    .map(|&r| subgraph(&g, r).expect("visible").len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn delete_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_del_deletion");
+    group.sample_size(10);
+    let g = dealers_graph(20);
+    let roots = g.top_fanout_nodes(4);
+    for (i, root) in roots.into_iter().enumerate() {
+        group.bench_with_input(BenchmarkId::from_parameter(i), &root, |b, &root| {
+            b.iter(|| {
+                propagate_deletion(&g, root)
+                    .expect("visible")
+                    .1
+                    .deleted
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig7a_zoom,
+    fig7b_subgraph,
+    fig7c_subgraph_arctic,
+    delete_queries
+);
+criterion_main!(benches);

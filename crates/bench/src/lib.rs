@@ -1,0 +1,11 @@
+//! # lipstick-bench — the evaluation harness
+//!
+//! Reusable drivers behind both the Criterion benches (`benches/`) and
+//! the `experiments` binary, which prints the series of every figure in
+//! the paper's evaluation (§5.4–5.6). See `EXPERIMENTS.md` at the
+//! repository root for the recorded results and the paper-vs-measured
+//! comparison.
+
+pub mod drivers;
+
+pub use drivers::*;

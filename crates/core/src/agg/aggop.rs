@@ -1,0 +1,150 @@
+//! Aggregate operations of the Pig Latin fragment.
+
+use std::fmt;
+
+use lipstick_nrel::{NrelError, Value};
+
+/// An aggregate operation (applied by `FOREACH … GENERATE OP(bag)` or by
+/// the arithmetic constructs SUM/MAX/MIN over single-attribute relations,
+/// §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggOp {
+    /// Parse an operation name (case-insensitive, as in Pig).
+    pub fn parse(name: &str) -> Option<AggOp> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggOp::Count),
+            "SUM" => Some(AggOp::Sum),
+            "MIN" => Some(AggOp::Min),
+            "MAX" => Some(AggOp::Max),
+            "AVG" => Some(AggOp::Avg),
+            _ => None,
+        }
+    }
+
+    /// The operation name as written in Pig Latin.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggOp::Count => "COUNT",
+            AggOp::Sum => "SUM",
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+            AggOp::Avg => "AVG",
+        }
+    }
+
+    /// Apply the aggregate to the (already-extracted) input values.
+    ///
+    /// Pig semantics: nulls are ignored by all aggregates; COUNT counts
+    /// non-null values; empty input yields `Count = 0` and null for the
+    /// others.
+    pub fn apply(&self, values: &[Value]) -> Result<Value, NrelError> {
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        if let AggOp::Count = self {
+            return Ok(Value::Int(non_null.len() as i64));
+        }
+        if non_null.is_empty() {
+            return Ok(Value::Null);
+        }
+        match self {
+            AggOp::Count => unreachable!("handled above"),
+            AggOp::Sum => {
+                // Preserve integer-ness when every input is an int.
+                if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+                    let mut acc: i64 = 0;
+                    for v in &non_null {
+                        acc += v.as_i64()?;
+                    }
+                    Ok(Value::Int(acc))
+                } else {
+                    let mut acc = 0.0;
+                    for v in &non_null {
+                        acc += v.as_f64()?;
+                    }
+                    Ok(Value::Float(acc))
+                }
+            }
+            AggOp::Min => Ok((*non_null
+                .iter()
+                .min()
+                .expect("non-empty checked"))
+            .clone()),
+            AggOp::Max => Ok((*non_null
+                .iter()
+                .max()
+                .expect("non-empty checked"))
+            .clone()),
+            AggOp::Avg => {
+                let mut acc = 0.0;
+                for v in &non_null {
+                    acc += v.as_f64()?;
+                }
+                Ok(Value::Float(acc / non_null.len() as f64))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(AggOp::parse("count"), Some(AggOp::Count));
+        assert_eq!(AggOp::parse("SuM"), Some(AggOp::Sum));
+        assert_eq!(AggOp::parse("median"), None);
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let mut vals = ints(&[1, 2]);
+        vals.push(Value::Null);
+        assert_eq!(AggOp::Count.apply(&vals).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_preserves_int_type() {
+        assert_eq!(AggOp::Sum.apply(&ints(&[1, 2, 3])).unwrap(), Value::Int(6));
+        let mixed = vec![Value::Int(1), Value::Float(0.5)];
+        assert_eq!(AggOp::Sum.apply(&mixed).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn min_max_work_on_strings_too() {
+        let vals = vec![Value::str("b"), Value::str("a")];
+        assert_eq!(AggOp::Min.apply(&vals).unwrap(), Value::str("a"));
+        assert_eq!(AggOp::Max.apply(&vals).unwrap(), Value::str("b"));
+    }
+
+    #[test]
+    fn empty_input_yields_null_except_count() {
+        assert_eq!(AggOp::Count.apply(&[]).unwrap(), Value::Int(0));
+        assert_eq!(AggOp::Sum.apply(&[]).unwrap(), Value::Null);
+        assert_eq!(AggOp::Min.apply(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn avg_divides_by_non_null_count() {
+        let mut vals = ints(&[2, 4]);
+        vals.push(Value::Null);
+        assert_eq!(AggOp::Avg.apply(&vals).unwrap(), Value::Float(3.0));
+    }
+}

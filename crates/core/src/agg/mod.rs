@@ -1,0 +1,19 @@
+//! Provenance for aggregation (paper §2.3, based on PODS'11).
+//!
+//! Aggregate results are not plain values: they are *values paired with
+//! provenance*. SUM-aggregating a set of tuples yields the formal sum
+//! `Σᵢ tᵢ ⊗ vᵢ` where `vᵢ` is the aggregated attribute of the i-th tuple
+//! and `tᵢ` its provenance annotation. The ⊗ "pairs" values with
+//! annotations; the algebra of such sums is a semimodule over N\[X\]
+//! tensored with the value monoid.
+//!
+//! [`aggop::AggOp`] enumerates the aggregate operations of the Pig Latin
+//! fragment; [`tensor::AggValue`] is the formal-sum representation, with
+//! concrete evaluation under a counting valuation (which the engine's
+//! property tests compare against direct aggregation).
+
+pub mod aggop;
+pub mod tensor;
+
+pub use aggop::AggOp;
+pub use tensor::AggValue;

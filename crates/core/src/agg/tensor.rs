@@ -1,0 +1,148 @@
+//! Aggregated values with provenance: formal sums `Σᵢ tᵢ ⊗ vᵢ`.
+
+use std::fmt;
+
+use lipstick_nrel::{NrelError, Value};
+
+use super::aggop::AggOp;
+use crate::semiring::eval::{eval_expr, Valuation};
+use crate::semiring::natural::Natural;
+use crate::semiring::ProvExpr;
+
+/// One tensor term `t ⊗ v`: the provenance `t` of a tuple paired with the
+/// value `v` of its aggregated attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorTerm {
+    pub prov: ProvExpr,
+    pub value: Value,
+}
+
+impl fmt::Display for TensorTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⊗ {}", self.prov, self.value)
+    }
+}
+
+/// An aggregate value as a formal sum, e.g.
+/// `COUNT: C2 ⊗ 1 + C3 ⊗ 1` for `N70` in the paper's Figure 2(c).
+///
+/// The formal sum is *symbolic*: it does not commit to which input tuples
+/// are present. [`AggValue::evaluate`] resolves it under a counting
+/// valuation — each term's value participates with the multiplicity of
+/// its provenance — enabling the paper's what-if recomputation ("the
+/// COUNT aggregate is now applied to a single value … we can easily
+/// re-compute its value", Example 4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggValue {
+    pub op: AggOp,
+    pub terms: Vec<TensorTerm>,
+}
+
+impl AggValue {
+    /// Build from (provenance, value) pairs.
+    pub fn new(op: AggOp, terms: Vec<(ProvExpr, Value)>) -> Self {
+        AggValue {
+            op,
+            terms: terms
+                .into_iter()
+                .map(|(prov, value)| TensorTerm { prov, value })
+                .collect(),
+        }
+    }
+
+    /// Evaluate under a counting valuation: a term whose provenance has
+    /// multiplicity n contributes its value n times. With the all-ones
+    /// valuation this is the ordinary aggregate of the recorded values.
+    pub fn evaluate(&self, v: &Valuation<'_, Natural>) -> Result<Value, NrelError> {
+        let mut values = Vec::with_capacity(self.terms.len());
+        for term in &self.terms {
+            let mult = eval_expr(&term.prov, v).0;
+            for _ in 0..mult {
+                values.push(term.value.clone());
+            }
+        }
+        self.op.apply(&values)
+    }
+
+    /// Evaluate with every token present once (the "as recorded" value).
+    pub fn current_value(&self) -> Result<Value, NrelError> {
+        self.evaluate(&Valuation::ones())
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.op)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AggValue {
+        AggValue::new(
+            AggOp::Count,
+            vec![
+                (ProvExpr::tok("C2"), Value::Int(1)),
+                (ProvExpr::tok("C3"), Value::Int(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn count_with_all_present() {
+        assert_eq!(sample().current_value().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn deletion_recomputes_count() {
+        // Example 4.3: delete C2 → COUNT over the single remaining value.
+        let v = Valuation::with_default(Natural(1)).set("C2", Natural(0));
+        assert_eq!(sample().evaluate(&v).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn sum_respects_multiplicity() {
+        let agg = AggValue::new(
+            AggOp::Sum,
+            vec![(ProvExpr::tok("a"), Value::Int(10))],
+        );
+        let v = Valuation::with_default(Natural(3));
+        assert_eq!(agg.evaluate(&v).unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn min_over_survivors() {
+        let agg = AggValue::new(
+            AggOp::Min,
+            vec![
+                (ProvExpr::tok("x"), Value::Float(5.0)),
+                (ProvExpr::tok("y"), Value::Float(7.0)),
+            ],
+        );
+        let v = Valuation::with_default(Natural(1)).set("x", Natural(0));
+        assert_eq!(agg.evaluate(&v).unwrap(), Value::Float(7.0));
+    }
+
+    #[test]
+    fn all_deleted_yields_null() {
+        let v = Valuation::with_default(Natural(0));
+        let agg = AggValue::new(AggOp::Max, vec![(ProvExpr::tok("x"), Value::Int(1))]);
+        assert_eq!(agg.evaluate(&v).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn display_shows_tensors() {
+        let s = sample().to_string();
+        assert!(s.contains("⊗"));
+        assert!(s.starts_with("COUNT("));
+    }
+}

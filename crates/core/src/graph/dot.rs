@@ -1,0 +1,83 @@
+//! Graphviz (DOT) export of provenance graphs.
+//!
+//! Rendering conventions follow the paper's Figure 2(a) legend: p-nodes
+//! are ellipses, v-nodes are boxes, module invocation nodes are bold,
+//! zoomed-out composites are rounded rectangles. Only visible nodes are
+//! exported, so exporting after ZoomOut / deletion shows the transformed
+//! graph.
+
+use std::fmt::Write as _;
+
+use super::node::NodeKind;
+use super::ProvGraph;
+
+/// Render the visible part of the graph as a DOT digraph.
+pub fn to_dot(graph: &ProvGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=BT;");
+    for (id, node) in graph.iter_visible() {
+        let label = escape(&node.kind.label());
+        let (shape, extra) = match &node.kind {
+            NodeKind::Invocation => ("ellipse", ", style=bold"),
+            NodeKind::Zoomed { .. } => ("box", ", style=rounded"),
+            k if k.is_value_node() => ("box", ""),
+            NodeKind::WorkflowInput { .. } => ("ellipse", ", style=filled, fillcolor=lightgrey"),
+            _ => ("ellipse", ""),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}: {}\", shape={}{}];",
+            id.0, id, label, shape, extra
+        );
+    }
+    for (id, node) in graph.iter_visible() {
+        for &succ in node.succs() {
+            if graph.node(succ).is_visible() {
+                let _ = writeln!(out, "  n{} -> n{};", id.0, succ.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let p = g.add_plus(&[a, b]);
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("n0 ->"));
+        assert!(dot.contains(&format!("n{} [label=", p.0)));
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn hidden_nodes_are_not_exported() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let p = g.add_plus(&[a]);
+        g.node_mut(p).deleted = true;
+        let dot = to_dot(&g, "t");
+        assert!(!dot.contains("->"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = ProvGraph::new();
+        g.add_base("to\"ken");
+        let dot = to_dot(&g, "t");
+        assert!(dot.contains("to\\\"ken"));
+    }
+}

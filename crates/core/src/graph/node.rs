@@ -1,0 +1,279 @@
+//! Provenance graph nodes.
+
+use std::fmt;
+
+use lipstick_nrel::Value;
+
+use crate::agg::AggOp;
+use crate::semiring::Token;
+
+/// Index of a node in the graph arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Identifier of one module invocation (a module executes once per
+/// workflow execution phase; the same module may be invoked many times
+/// over a sequence of executions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InvocationId(pub u32);
+
+impl InvocationId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InvocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv{}", self.0)
+    }
+}
+
+/// What a node *is* — the legend of the paper's Figure 2(a).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Workflow input tuple (type "i" at workflow level; `N00`/`I1` in
+    /// the paper). A p-node source labelled with its token.
+    WorkflowInput { token: Token },
+    /// Module invocation node (type "m").
+    Invocation,
+    /// Module input node (type "i"): `·` of the tuple's provenance and
+    /// the invocation node.
+    ModuleInput,
+    /// Module output node (type "o").
+    ModuleOutput,
+    /// Module state node (type "s"): `·` of the state tuple's provenance
+    /// and the invocation node.
+    StateUnit,
+    /// Base tuple p-node: an input/state tuple with no recorded
+    /// derivation, labelled by its token (`C2`, `C3`, …).
+    BaseTuple { token: Token },
+    /// Semiring `+` (alternative derivation: projection, union).
+    Plus,
+    /// Semiring `·` (joint derivation: join, flatten).
+    Times,
+    /// δ duplicate elimination (GROUP / COGROUP / DISTINCT). Incoming
+    /// edges come directly from the group members (the paper's shorthand
+    /// for δ over their sum).
+    Delta,
+    /// Aggregation operation v-node (labelled `Count`, `Sum`, …).
+    AggResult { op: AggOp },
+    /// `⊗` tensor v-node pairing a value with a provenance annotation.
+    Tensor,
+    /// Constant / attribute value v-node.
+    Const { value: Value },
+    /// Black-box (UDF) invocation; `is_value` distinguishes v-node
+    /// results (e.g. `calcBid`'s amount) from p-node results.
+    BlackBox { name: String, is_value: bool },
+    /// Zoomed-out module invocation: the composite node created by
+    /// ZoomOut, standing for the module's hidden internals. `stash`
+    /// indexes the graph's stash table for ZoomIn restoration.
+    Zoomed { stash: u32 },
+}
+
+impl NodeKind {
+    /// v-nodes carry values; p-nodes carry provenance (paper §3.1).
+    pub fn is_value_node(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::AggResult { .. }
+                | NodeKind::Tensor
+                | NodeKind::Const { .. }
+                | NodeKind::BlackBox { is_value: true, .. }
+        )
+    }
+
+    /// Nodes whose derivation is *joint* (·/⊗-like): deletion of any
+    /// ingredient deletes the node (Def. 4.2 rule 2). Black boxes are
+    /// joint because each output (coarsely) depends on all inputs; the
+    /// zoomed composite node likewise models the coarse-grained
+    /// "output depends on all inputs" reading.
+    pub fn is_joint(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::Times
+                | NodeKind::Tensor
+                | NodeKind::ModuleInput
+                | NodeKind::ModuleOutput
+                | NodeKind::StateUnit
+                | NodeKind::BlackBox { .. }
+                | NodeKind::Zoomed { .. }
+        )
+    }
+
+    /// Short label for display / DOT export.
+    pub fn label(&self) -> String {
+        match self {
+            NodeKind::WorkflowInput { token } => format!("I:{token}"),
+            NodeKind::Invocation => "m".into(),
+            NodeKind::ModuleInput => "i:·".into(),
+            NodeKind::ModuleOutput => "o:·".into(),
+            NodeKind::StateUnit => "s:·".into(),
+            NodeKind::BaseTuple { token } => token.to_string(),
+            NodeKind::Plus => "+".into(),
+            NodeKind::Times => "·".into(),
+            NodeKind::Delta => "δ".into(),
+            NodeKind::AggResult { op } => op.name().into(),
+            NodeKind::Tensor => "⊗".into(),
+            NodeKind::Const { value } => value.to_string(),
+            NodeKind::BlackBox { name, .. } => name.clone(),
+            NodeKind::Zoomed { .. } => "zoom".into(),
+        }
+    }
+}
+
+/// Which part of the workflow owns a node — used by ZoomOut to find a
+/// module invocation's intermediate computation in O(1) per node (the
+/// tag provably coincides with the paper's Definition 4.1 reachability
+/// characterization; see [`crate::graph::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Workflow-level input; survives every zoom.
+    WorkflowInput,
+    /// The `m` node of an invocation.
+    Invocation(InvocationId),
+    /// Module input node of an invocation.
+    ModuleInput(InvocationId),
+    /// Module output node of an invocation.
+    ModuleOutput(InvocationId),
+    /// State node of an invocation.
+    State(InvocationId),
+    /// Intermediate computation of an invocation (Def. 4.1).
+    Intermediate(InvocationId),
+    /// Zoom composite created by ZoomOut.
+    Zoom(InvocationId),
+    /// Not owned by any invocation (standalone Pig queries, initial
+    /// state base tuples).
+    Free,
+}
+
+impl Role {
+    /// The invocation this role is attached to, if any.
+    pub fn invocation(&self) -> Option<InvocationId> {
+        match self {
+            Role::Invocation(i)
+            | Role::ModuleInput(i)
+            | Role::ModuleOutput(i)
+            | Role::State(i)
+            | Role::Intermediate(i)
+            | Role::Zoom(i) => Some(*i),
+            Role::WorkflowInput | Role::Free => None,
+        }
+    }
+}
+
+/// A provenance graph node. Edges are stored adjacency-list style in
+/// both directions: `preds` are the node's ingredients (edges point
+/// ingredient → result, as in the paper's figures), `succs` its
+/// dependents.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub role: Role,
+    pub(crate) preds: Vec<NodeId>,
+    pub(crate) succs: Vec<NodeId>,
+    /// Tombstone set by deletion propagation or ZoomIn cleanup.
+    pub(crate) deleted: bool,
+    /// Hidden by ZoomOut (restored by ZoomIn).
+    pub(crate) zoom_hidden: bool,
+}
+
+impl Node {
+    pub(crate) fn new(kind: NodeKind, role: Role) -> Self {
+        Node {
+            kind,
+            role,
+            preds: Vec::new(),
+            succs: Vec::new(),
+            deleted: false,
+            zoom_hidden: false,
+        }
+    }
+
+    /// Is the node part of the currently visible graph?
+    pub fn is_visible(&self) -> bool {
+        !self.deleted && !self.zoom_hidden
+    }
+
+    /// Tombstoned by deletion propagation (or ZoomIn cleanup)?
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    /// Hidden by an active ZoomOut?
+    pub fn is_zoom_hidden(&self) -> bool {
+        self.zoom_hidden
+    }
+
+    /// Restore flags when loading a persisted graph.
+    pub fn set_deleted(&mut self, deleted: bool) {
+        self.deleted = deleted;
+    }
+
+    /// Ingredient nodes (may include hidden/deleted ids; filter against
+    /// visibility when traversing).
+    pub fn preds(&self) -> &[NodeId] {
+        &self.preds
+    }
+
+    /// Dependent nodes.
+    pub fn succs(&self) -> &[NodeId] {
+        &self.succs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_kinds_match_paper_rule() {
+        assert!(NodeKind::Times.is_joint());
+        assert!(NodeKind::Tensor.is_joint());
+        assert!(NodeKind::ModuleInput.is_joint());
+        assert!(!NodeKind::Plus.is_joint());
+        assert!(!NodeKind::Delta.is_joint());
+        assert!(!NodeKind::AggResult { op: AggOp::Count }.is_joint());
+    }
+
+    #[test]
+    fn value_node_classification() {
+        assert!(NodeKind::Tensor.is_value_node());
+        assert!(NodeKind::Const {
+            value: Value::Int(1)
+        }
+        .is_value_node());
+        assert!(NodeKind::BlackBox {
+            name: "f".into(),
+            is_value: true
+        }
+        .is_value_node());
+        assert!(!NodeKind::BlackBox {
+            name: "f".into(),
+            is_value: false
+        }
+        .is_value_node());
+        assert!(!NodeKind::Plus.is_value_node());
+    }
+
+    #[test]
+    fn role_invocation_accessor() {
+        assert_eq!(
+            Role::Intermediate(InvocationId(3)).invocation(),
+            Some(InvocationId(3))
+        );
+        assert_eq!(Role::Free.invocation(), None);
+    }
+}

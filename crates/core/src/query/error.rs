@@ -1,0 +1,29 @@
+//! Errors for graph queries.
+
+use std::fmt;
+
+/// Errors raised by graph transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// ZoomOut on a module with no invocations in the graph.
+    UnknownModule(String),
+    /// ZoomOut on a module that is already zoomed out.
+    AlreadyZoomedOut(String),
+    /// ZoomIn on a module that is not zoomed out.
+    NotZoomedOut(String),
+    /// A node id referenced a deleted or hidden node.
+    NodeNotVisible(crate::graph::NodeId),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownModule(m) => write!(f, "module '{m}' has no invocations"),
+            QueryError::AlreadyZoomedOut(m) => write!(f, "module '{m}' is already zoomed out"),
+            QueryError::NotZoomedOut(m) => write!(f, "module '{m}' is not zoomed out"),
+            QueryError::NodeNotVisible(n) => write!(f, "node {n} is deleted or hidden"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,23 @@
+//! Graph transformation operations and provenance queries (paper §4).
+//!
+//! - [`zoom`]: ZoomOut / ZoomIn between fine- and coarse-grained views;
+//! - [`deletion`]: deletion propagation for what-if analysis;
+//! - [`subgraph`]: ancestor/descendant/sibling subgraph extraction
+//!   (the Query Processor's third query, §5.1);
+//! - [`dependency`]: "does n depend on n′?" via deletion propagation;
+//! - [`reach`]: an optional precomputed reachability index (the §5.1
+//!   memory/time trade-off, measured by the `ablation_reach` bench).
+
+pub mod deletion;
+pub mod dependency;
+pub mod error;
+pub mod reach;
+pub mod subgraph;
+pub mod zoom;
+
+pub use deletion::{propagate_deletion, propagate_deletion_inplace, DeletionReport};
+pub use dependency::depends_on;
+pub use error::QueryError;
+pub use reach::ReachIndex;
+pub use subgraph::{subgraph, SubgraphResult};
+pub use zoom::{zoom_in, zoom_out};

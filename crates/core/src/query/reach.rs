@@ -1,0 +1,144 @@
+//! Precomputed reachability index.
+//!
+//! §5.1 discusses the design trade-off: "An alternative is to pre-compute
+//! the transitive closure of each node, or to keep pair-wise reachability
+//! information. Both these options would result in higher memory
+//! overhead, but may speed up query processing." This module implements
+//! that alternative so the `ablation_reach` bench can measure both sides
+//! of the trade-off.
+
+use crate::graph::bitset::BitSet;
+use crate::graph::node::NodeId;
+use crate::graph::ProvGraph;
+
+/// Descendant transitive closure: one bitset per node.
+///
+/// Memory is O(V²/8) bytes — the index reports its own footprint so the
+/// ablation can chart memory against query speedup.
+#[derive(Debug)]
+pub struct ReachIndex {
+    descendants: Vec<BitSet>,
+}
+
+impl ReachIndex {
+    /// Build the closure over visible nodes.
+    ///
+    /// Provenance graphs are DAGs; we process nodes in reverse
+    /// topological order so each node's set is the union of its visible
+    /// successors' sets plus the successors themselves.
+    pub fn build(graph: &ProvGraph) -> ReachIndex {
+        let n = graph.len();
+        let order = topo_order(graph);
+        let mut descendants: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &v in order.iter().rev() {
+            let node = graph.node(v);
+            if !node.is_visible() {
+                continue;
+            }
+            // Collect into a scratch set, then store (avoids aliasing
+            // two entries of `descendants` at once).
+            let mut acc = BitSet::new(n);
+            for &s in node.succs() {
+                if graph.node(s).is_visible() {
+                    acc.insert(s.index());
+                    acc.union_with(&descendants[s.index()]);
+                }
+            }
+            descendants[v.index()] = acc;
+        }
+        ReachIndex { descendants }
+    }
+
+    /// Is `to` a (strict) descendant of `from`?
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.descendants[from.index()].contains(to.index())
+    }
+
+    /// All descendants of `from`, ascending.
+    pub fn descendants(&self, from: NodeId) -> Vec<NodeId> {
+        self.descendants[from.index()]
+            .iter()
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.descendants
+            .iter()
+            .map(|b| b.capacity().div_ceil(64) * 8)
+            .sum()
+    }
+}
+
+/// Kahn topological order over all allocated nodes (hidden nodes keep
+/// their structural edges, so the order covers them too).
+fn topo_order(graph: &ProvGraph) -> Vec<NodeId> {
+    let n = graph.len();
+    let mut indeg = vec![0usize; n];
+    for (_, node) in graph.iter() {
+        for &s in node.succs() {
+            indeg[s.index()] += 1;
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n)
+        .map(|i| NodeId(i as u32))
+        .filter(|id| indeg[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &s in graph.node(v).succs() {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "provenance graph must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_matches_bfs() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let t = g.add_times(&[a, b]);
+        let u = g.add_plus(&[t]);
+        let w = g.add_plus(&[t, u]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reaches(a, t));
+        assert!(idx.reaches(a, w));
+        assert!(idx.reaches(t, u));
+        assert!(!idx.reaches(u, t));
+        assert!(!idx.reaches(a, b));
+        assert_eq!(idx.descendants(a), vec![t, u, w]);
+    }
+
+    #[test]
+    fn hidden_nodes_break_paths() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let t = g.add_plus(&[a]);
+        let u = g.add_plus(&[t]);
+        g.node_mut(t).zoom_hidden = true;
+        let idx = ReachIndex::build(&g);
+        assert!(!idx.reaches(a, u), "only path goes through hidden node");
+    }
+
+    #[test]
+    fn memory_reporting_scales_quadratically() {
+        let mut g = ProvGraph::new();
+        for i in 0..130 {
+            g.add_base(&format!("t{i}"));
+        }
+        let idx = ReachIndex::build(&g);
+        // 130 nodes → ⌈130/64⌉ = 3 words = 24 bytes each
+        assert_eq!(idx.memory_bytes(), 130 * 24);
+    }
+}

@@ -1,0 +1,210 @@
+//! Subgraph queries (paper §5.1).
+//!
+//! "A subgraph query takes a node id as input and returns a subgraph
+//! that includes all ancestors and descendants of the node, along with
+//! all siblings of its descendants." Siblings of a node d are the other
+//! successors of d's predecessors (nodes sharing a parent with d) — they
+//! expose the alternative/joint derivations that the node's descendants
+//! participate in, which is what dependency analysis inspects.
+
+use std::collections::VecDeque;
+
+use crate::graph::bitset::BitSet;
+use crate::graph::node::NodeId;
+use crate::graph::ProvGraph;
+
+use super::error::QueryError;
+
+/// Result of a subgraph query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphResult {
+    /// All nodes of the subgraph (root, ancestors, descendants,
+    /// siblings of descendants), ascending by id.
+    pub nodes: Vec<NodeId>,
+    /// Number of ancestors of the root (root excluded).
+    pub ancestor_count: usize,
+    /// Number of descendants of the root (root excluded).
+    pub descendant_count: usize,
+}
+
+impl SubgraphResult {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+}
+
+/// Breadth-first sweep over visible nodes in one direction.
+fn sweep(
+    graph: &ProvGraph,
+    root: NodeId,
+    visited: &mut BitSet,
+    next: impl Fn(&ProvGraph, NodeId) -> Vec<NodeId>,
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut local = BitSet::new(graph.len());
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    local.insert(root.index());
+    while let Some(v) = queue.pop_front() {
+        for n in next(graph, v) {
+            if graph.node(n).is_visible() && local.insert(n.index()) {
+                out.push(n);
+                queue.push_back(n);
+            }
+        }
+    }
+    for id in &out {
+        visited.insert(id.index());
+    }
+    out
+}
+
+/// Run a subgraph query from `root`.
+pub fn subgraph(graph: &ProvGraph, root: NodeId) -> Result<SubgraphResult, QueryError> {
+    if !graph.node(root).is_visible() {
+        return Err(QueryError::NodeNotVisible(root));
+    }
+    let mut members = BitSet::new(graph.len());
+    members.insert(root.index());
+
+    let ancestors = sweep(graph, root, &mut members, |g, v| {
+        g.node(v).preds().to_vec()
+    });
+    let descendants = sweep(graph, root, &mut members, |g, v| {
+        g.node(v).succs().to_vec()
+    });
+
+    // Siblings of descendants: other successors of each descendant's
+    // predecessors. The root's own siblings are not included (the paper
+    // scopes siblings to descendants).
+    for d in &descendants {
+        for &p in graph.node(*d).preds() {
+            if !graph.node(p).is_visible() {
+                continue;
+            }
+            for &sib in graph.node(p).succs() {
+                if graph.node(sib).is_visible() {
+                    members.insert(sib.index());
+                }
+            }
+        }
+    }
+
+    Ok(SubgraphResult {
+        nodes: members.iter().map(|i| NodeId(i as u32)).collect(),
+        ancestor_count: ancestors.len(),
+        descendant_count: descendants.len(),
+    })
+}
+
+/// The ancestor set only (used by the §5.5 fine-grainedness analysis:
+/// which base/state tuples does an output depend on?).
+pub fn ancestors(graph: &ProvGraph, root: NodeId) -> Result<Vec<NodeId>, QueryError> {
+    if !graph.node(root).is_visible() {
+        return Err(QueryError::NodeNotVisible(root));
+    }
+    let mut scratch = BitSet::new(graph.len());
+    let mut a = sweep(graph, root, &mut scratch, |g, v| {
+        g.node(v).preds().to_vec()
+    });
+    a.sort();
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond with a sibling branch:
+    ///
+    /// ```text
+    ///   a   b     c
+    ///    \ /      |
+    ///     t       p   (p is a sibling-input relative of nothing here)
+    ///    / \
+    ///   u   w     (u, w descendants of t; c→p separate component)
+    /// ```
+    fn diamond() -> (ProvGraph, [NodeId; 7]) {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let c = g.add_base("c");
+        let t = g.add_times(&[a, b]);
+        let u = g.add_plus(&[t]);
+        let w = g.add_plus(&[t]);
+        let p = g.add_plus(&[c]);
+        (g, [a, b, c, t, u, w, p])
+    }
+
+    #[test]
+    fn subgraph_of_mid_node() {
+        let (g, [a, b, c, t, u, w, p]) = diamond();
+        let r = subgraph(&g, t).unwrap();
+        assert!(r.contains(a) && r.contains(b), "ancestors");
+        assert!(r.contains(u) && r.contains(w), "descendants");
+        assert!(!r.contains(c) && !r.contains(p), "unrelated component");
+        assert_eq!(r.ancestor_count, 2);
+        assert_eq!(r.descendant_count, 2);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn siblings_of_descendants_are_included() {
+        // a → t ← b;  b → x.  Subgraph of a: descendant {t}; x shares
+        // parent b with descendant t, so x is included. b itself is
+        // neither ancestor, descendant, nor sibling — it stays out (the
+        // paper's definition covers siblings only, not co-parents).
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let t = g.add_times(&[a, b]);
+        let x = g.add_plus(&[b]);
+        let r = subgraph(&g, a).unwrap();
+        assert!(r.contains(t));
+        assert!(r.contains(x), "x shares parent b with descendant t");
+        assert!(!r.contains(b), "co-parents are not part of the subgraph");
+    }
+
+    #[test]
+    fn subgraph_of_source_and_sink() {
+        let (g, [a, _, _, t, u, _, _]) = diamond();
+        let from_a = subgraph(&g, a).unwrap();
+        assert_eq!(from_a.ancestor_count, 0);
+        assert!(from_a.contains(t) && from_a.contains(u));
+        let from_u = subgraph(&g, u).unwrap();
+        assert_eq!(from_u.descendant_count, 0);
+        assert!(from_u.contains(a));
+    }
+
+    #[test]
+    fn ancestors_only() {
+        let (g, [a, b, _, t, u, _, _]) = diamond();
+        let anc = ancestors(&g, u).unwrap();
+        assert_eq!(anc, vec![a, b, t]);
+    }
+
+    #[test]
+    fn hidden_nodes_excluded() {
+        let (mut g, [a, _, _, t, u, _, _]) = diamond();
+        g.node_mut(t).zoom_hidden = true;
+        let r = subgraph(&g, a).unwrap();
+        assert!(!r.contains(t));
+        assert!(!r.contains(u), "reachable only through hidden node");
+    }
+
+    #[test]
+    fn query_on_hidden_root_is_error() {
+        let (mut g, [a, ..]) = diamond();
+        g.node_mut(a).deleted = true;
+        assert!(matches!(
+            subgraph(&g, a),
+            Err(QueryError::NodeNotVisible(_))
+        ));
+    }
+}

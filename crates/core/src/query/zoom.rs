@@ -1,0 +1,309 @@
+//! ZoomOut and ZoomIn (paper §4.1).
+//!
+//! ZoomOut on a set of module names hides every invocation's intermediate
+//! computation and state, replacing each invocation by a composite node
+//! between its inputs and outputs. ZoomIn inverts it exactly:
+//! `ZoomIn(ZoomOut(G, M), M) = G`.
+//!
+//! Because invocations of the same module may share state, zooming out a
+//! *proper subset* of a module's invocations is not meaningful (§4.1);
+//! the unit of zooming is the module name, covering all its invocations.
+
+use crate::graph::node::{NodeId, NodeKind, Role};
+use crate::graph::{ProvGraph, ZoomStash};
+
+use super::error::QueryError;
+
+/// Zoom out of the given modules, in place. Returns the composite zoom
+/// nodes created (one per invocation, in invocation order).
+///
+/// Steps mirror the paper's five-step procedure:
+/// 1. find the invocations of the modules;
+/// 2. locate their input and state nodes;
+/// 3. hide their intermediate computation (our `Role` tags; validated
+///    against the Definition 4.1 characterization by tests);
+/// 4. hide their state nodes and the base tuple nodes feeding only them;
+/// 5. add a composite node per invocation wired input → zoom → output.
+pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, QueryError> {
+    // Validate first so the operation is atomic.
+    for m in modules {
+        if graph.invocations_of(m).is_empty() {
+            return Err(QueryError::UnknownModule((*m).to_string()));
+        }
+        if graph.zoomed_out_modules().contains(m) {
+            return Err(QueryError::AlreadyZoomedOut((*m).to_string()));
+        }
+    }
+    let mut created = Vec::new();
+    for module in modules {
+        let invocations = graph.invocations_of(module);
+        let mut hidden: Vec<NodeId> = Vec::new();
+
+        // Steps 3-4: hide intermediates and state nodes of all
+        // invocations of this module.
+        let ids: Vec<NodeId> = graph.iter_visible().map(|(id, _)| id).collect();
+        for id in ids {
+            let node = graph.node(id);
+            let hide = match node.role {
+                Role::Intermediate(inv) | Role::State(inv) => {
+                    invocations.contains(&inv)
+                }
+                _ => false,
+            };
+            if hide {
+                graph.node_mut(id).zoom_hidden = true;
+                hidden.push(id);
+            }
+        }
+        // Step 4 (second half): base tuple nodes that fed only
+        // now-hidden nodes (a module's private initial-state tuples).
+        let ids: Vec<NodeId> = graph
+            .iter_visible()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::BaseTuple { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            let node = graph.node(id);
+            let all_succs_hidden = !node.succs().is_empty()
+                && node
+                    .succs()
+                    .iter()
+                    .all(|s| !graph.node(*s).is_visible());
+            if all_succs_hidden {
+                graph.node_mut(id).zoom_hidden = true;
+                hidden.push(id);
+            }
+        }
+
+        // Step 5: composite nodes. Collect every invocation's input and
+        // output nodes in ONE pass over the graph (a per-invocation scan
+        // would make ZoomOut quadratic on long execution histories).
+        let mut io: std::collections::HashMap<crate::graph::InvocationId, (Vec<NodeId>, Vec<NodeId>)> =
+            invocations.iter().map(|&inv| (inv, (Vec::new(), Vec::new()))).collect();
+        for (id, n) in graph.iter_visible() {
+            match n.role {
+                Role::ModuleInput(inv) => {
+                    if let Some((ins, _)) = io.get_mut(&inv) {
+                        ins.push(id);
+                    }
+                }
+                Role::ModuleOutput(inv) => {
+                    if let Some((_, outs)) = io.get_mut(&inv) {
+                        outs.push(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut zoom_nodes = Vec::with_capacity(invocations.len());
+        // Stash index is assigned below; nodes reference it by value.
+        let stash_idx = graph.zoom_stash_count() as u32;
+        for &inv in &invocations {
+            let zoom = graph.add_node(NodeKind::Zoomed { stash: stash_idx }, Role::Zoom(inv));
+            let (inputs, outputs) = io.remove(&inv).unwrap_or_default();
+            for i in inputs {
+                graph.add_edge(i, zoom);
+            }
+            for o in outputs {
+                graph.add_edge(zoom, o);
+            }
+            zoom_nodes.push(zoom);
+        }
+        created.extend(zoom_nodes.iter().copied());
+        graph.push_stash(ZoomStash {
+            module: (*module).to_string(),
+            hidden,
+            zoom_nodes,
+        });
+    }
+    Ok(created)
+}
+
+/// Zoom back into the given modules, in place: restores the hidden
+/// internals and retires the composite nodes.
+pub fn zoom_in(graph: &mut ProvGraph, modules: &[&str]) -> Result<(), QueryError> {
+    for m in modules {
+        if !graph.zoomed_out_modules().contains(m) {
+            return Err(QueryError::NotZoomedOut((*m).to_string()));
+        }
+    }
+    for module in modules {
+        let stash = graph
+            .take_stash(module)
+            .expect("validated above: module is zoomed out");
+        for id in stash.hidden {
+            graph.node_mut(id).zoom_hidden = false;
+        }
+        for z in stash.zoom_nodes {
+            graph.unlink_and_delete(z);
+        }
+    }
+    Ok(())
+}
+
+impl ProvGraph {
+    /// Number of stashes ever pushed (indices are stable).
+    pub(crate) fn zoom_stash_count(&self) -> usize {
+        self.stash_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::tracker::{GraphTracker, Tracker};
+    use crate::graph::Role;
+
+    /// Two invocations of M (sharing a state tuple) feeding one
+    /// invocation of Agg.
+    fn workflow_graph() -> (ProvGraph, Vec<NodeId>) {
+        let mut t = GraphTracker::new();
+        let wi = t.workflow_input("I1");
+        let c2 = t.base("C2");
+        let mut outputs = Vec::new();
+        for exec in 0..2 {
+            t.begin_invocation("M", exec);
+            let i = t.module_input(wi);
+            let s = t.state_node(c2);
+            let join = t.times(&[i, s]);
+            let o = t.module_output(join, &[]);
+            t.end_invocation();
+            outputs.push(o);
+        }
+        t.begin_invocation("Agg", 0);
+        let i1 = t.module_input(outputs[0]);
+        let i2 = t.module_input(outputs[1]);
+        let best = t.plus(&[i1, i2]);
+        let o = t.module_output(best, &[]);
+        t.end_invocation();
+        outputs.push(o);
+        (t.finish(), outputs)
+    }
+
+    #[test]
+    fn zoom_roundtrip_is_identity() {
+        let (mut g, _) = workflow_graph();
+        let before = g.visible_signature();
+        zoom_out(&mut g, &["M"]).unwrap();
+        assert_ne!(g.visible_signature(), before);
+        zoom_in(&mut g, &["M"]).unwrap();
+        assert_eq!(g.visible_signature(), before);
+    }
+
+    #[test]
+    fn zoom_out_hides_internals_keeps_io() {
+        let (mut g, _) = workflow_graph();
+        zoom_out(&mut g, &["M"]).unwrap();
+        for (_, n) in g.iter_visible() {
+            assert!(
+                !matches!(n.role, Role::Intermediate(inv) | Role::State(inv)
+                    if g.invocation(inv).module == "M"),
+                "internals of M must be hidden"
+            );
+        }
+        // i/o/m nodes of M remain
+        let m_inv = g.invocations_of("M")[0];
+        assert!(g
+            .iter_visible()
+            .any(|(_, n)| n.role == Role::ModuleInput(m_inv)));
+        assert!(g
+            .iter_visible()
+            .any(|(_, n)| n.role == Role::ModuleOutput(m_inv)));
+        // shared state base tuple C2 is hidden (fed only M's state)
+        assert!(g
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::BaseTuple { .. }))
+            .all(|(_, n)| !n.is_visible()));
+        // Agg internals untouched
+        let agg_inv = g.invocations_of("Agg")[0];
+        assert!(g
+            .iter_visible()
+            .any(|(_, n)| n.role == Role::Intermediate(agg_inv)));
+    }
+
+    #[test]
+    fn zoom_out_creates_one_composite_per_invocation() {
+        let (mut g, _) = workflow_graph();
+        let zooms = zoom_out(&mut g, &["M"]).unwrap();
+        assert_eq!(zooms.len(), 2);
+        for z in zooms {
+            let n = g.node(z);
+            assert!(matches!(n.kind, NodeKind::Zoomed { .. }));
+            assert_eq!(n.preds().len(), 1, "one input per invocation");
+            assert_eq!(n.succs().len(), 1, "one output per invocation");
+        }
+    }
+
+    #[test]
+    fn zoom_out_all_modules_gives_coarse_grained_graph() {
+        let (mut g, _) = workflow_graph();
+        zoom_out(&mut g, &["M", "Agg"]).unwrap();
+        // Coarse graph: only workflow inputs, m, i, o, zoom nodes remain.
+        for (_, n) in g.iter_visible() {
+            assert!(
+                matches!(
+                    n.kind,
+                    NodeKind::WorkflowInput { .. }
+                        | NodeKind::Invocation
+                        | NodeKind::ModuleInput
+                        | NodeKind::ModuleOutput
+                        | NodeKind::Zoomed { .. }
+                ),
+                "unexpected visible kind {:?}",
+                n.kind
+            );
+        }
+    }
+
+    #[test]
+    fn double_zoom_out_rejected() {
+        let (mut g, _) = workflow_graph();
+        zoom_out(&mut g, &["M"]).unwrap();
+        assert_eq!(
+            zoom_out(&mut g, &["M"]),
+            Err(QueryError::AlreadyZoomedOut("M".into()))
+        );
+    }
+
+    #[test]
+    fn zoom_in_without_zoom_out_rejected() {
+        let (mut g, _) = workflow_graph();
+        assert_eq!(
+            zoom_in(&mut g, &["M"]),
+            Err(QueryError::NotZoomedOut("M".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_module_rejected_atomically() {
+        let (mut g, _) = workflow_graph();
+        let before = g.visible_signature();
+        assert_eq!(
+            zoom_out(&mut g, &["M", "Nope"]),
+            Err(QueryError::UnknownModule("Nope".into()))
+        );
+        assert_eq!(g.visible_signature(), before, "failed zoom must not mutate");
+    }
+
+    #[test]
+    fn interleaved_zoom_of_two_modules() {
+        let (mut g, _) = workflow_graph();
+        let before = g.visible_signature();
+        zoom_out(&mut g, &["M"]).unwrap();
+        zoom_out(&mut g, &["Agg"]).unwrap();
+        zoom_in(&mut g, &["M"]).unwrap();
+        zoom_in(&mut g, &["Agg"]).unwrap();
+        assert_eq!(g.visible_signature(), before);
+    }
+
+    #[test]
+    fn coarse_expr_still_spans_module_boundary() {
+        let (mut g, outputs) = workflow_graph();
+        zoom_out(&mut g, &["M"]).unwrap();
+        let e = g.expr_of(outputs[2]).to_string();
+        // The workflow input is still an ancestor through the zoom node.
+        assert!(e.contains("I1"), "expr was {e}");
+        // But the hidden state tuple is not.
+        assert!(!e.contains("C2"), "expr was {e}");
+    }
+}

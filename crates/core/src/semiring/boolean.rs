@@ -1,0 +1,49 @@
+//! The boolean semiring ({false, true}, ∨, ∧).
+//!
+//! Valuating tokens as "present"/"absent" answers possibility queries:
+//! does the output tuple survive if these inputs are removed? This is the
+//! semiring counterpart of the paper's deletion propagation (§4.2).
+
+use super::Semiring;
+
+/// Booleans under ∨ / ∧.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bools(pub bool);
+
+impl Semiring for Bools {
+    fn zero() -> Self {
+        Bools(false)
+    }
+    fn one() -> Self {
+        Bools(true)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Bools(self.0 || other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Bools(self.0 && other.0)
+    }
+    // δ is the identity: ∨ is idempotent.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laws_all_cases() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    crate::semiring::laws::check_laws(Bools(a), Bools(b), Bools(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_is_identity() {
+        assert_eq!(Bools(true).delta(), Bools(true));
+        assert_eq!(Bools(false).delta(), Bools(false));
+    }
+}

@@ -1,0 +1,98 @@
+//! The δ (duplicate elimination) extension.
+//!
+//! Group-by "requires exactly one tuple for each occurring value of the
+//! grouping attribute — an implicit duplicate elimination" (§2.3). The
+//! result tuple of a group with member provenances t₁…tₙ is annotated
+//! `δ(t₁ + … + tₙ)`.
+//!
+//! δ is characterized by the equations (for + -idempotent targets it
+//! collapses to the identity):
+//!
+//! - `δ(0) = 0`, `δ(1) = 1`
+//! - `δ(δ(a)) = δ(a)`          (idempotence)
+//! - `δ(a)·δ(a) = δ(a)`        (multiplicative idempotence of dedup)
+//!
+//! This module implements δ-normalization for [`ProvExpr`] under those
+//! equations, used to compare expressions extracted from provenance
+//! graphs.
+
+use super::expr::ProvExpr;
+
+/// Apply the δ-equations as a rewriting normalization (outside-in):
+///
+/// - `δ(0) → 0`, `δ(1) → 1`
+/// - `δ(δ(e)) → δ(e)`
+/// - within sums/products, recurse.
+///
+/// The result is δ-minimal: no δ directly wraps 0, 1, or another δ.
+pub fn normalize(e: &ProvExpr) -> ProvExpr {
+    match e {
+        ProvExpr::Zero | ProvExpr::One | ProvExpr::Tok(_) => e.clone(),
+        ProvExpr::Sum(v) => ProvExpr::sum(v.iter().map(normalize)),
+        ProvExpr::Prod(v) => ProvExpr::prod(v.iter().map(normalize)),
+        ProvExpr::Delta(inner) => {
+            let n = normalize(inner);
+            match n {
+                ProvExpr::Zero => ProvExpr::Zero,
+                ProvExpr::One => ProvExpr::One,
+                ProvExpr::Delta(_) => n,
+                other => ProvExpr::Delta(Box::new(other)),
+            }
+        }
+    }
+}
+
+/// Check whether two expressions are equal modulo δ-normalization and
+/// the smart-constructor algebraic simplifications (flattening, identity
+/// and annihilator elimination). This is *sound* but not complete for
+/// full semiring equivalence (it does not distribute products over sums).
+pub fn delta_equal(a: &ProvExpr, b: &ProvExpr) -> bool {
+    normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_of_one_is_one() {
+        let e = ProvExpr::Delta(Box::new(ProvExpr::One));
+        assert_eq!(normalize(&e), ProvExpr::One);
+    }
+
+    #[test]
+    fn nested_delta_collapses() {
+        let e = ProvExpr::Delta(Box::new(ProvExpr::delta(ProvExpr::tok("a"))));
+        assert_eq!(normalize(&e), ProvExpr::delta(ProvExpr::tok("a")));
+    }
+
+    #[test]
+    fn delta_of_zero_inside_sum_vanishes() {
+        let e = ProvExpr::Sum(vec![
+            ProvExpr::Delta(Box::new(ProvExpr::Zero)),
+            ProvExpr::tok("b"),
+        ]);
+        assert_eq!(normalize(&e), ProvExpr::tok("b"));
+    }
+
+    #[test]
+    fn delta_equal_modulo_flattening() {
+        let a = ProvExpr::Sum(vec![
+            ProvExpr::tok("x"),
+            ProvExpr::Sum(vec![ProvExpr::tok("y")]),
+        ]);
+        let b = ProvExpr::sum(vec![ProvExpr::tok("x"), ProvExpr::tok("y")]);
+        assert!(delta_equal(&a, &b));
+    }
+
+    #[test]
+    fn delta_not_erased_over_tokens() {
+        // δ(a + b) is NOT equal to (a + b): dedup is observable in N[X].
+        let lhs = ProvExpr::delta(ProvExpr::sum(vec![
+            ProvExpr::tok("a"),
+            ProvExpr::tok("b"),
+        ]));
+        let rhs = ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]);
+        assert!(!delta_equal(&lhs, &rhs));
+    }
+}

@@ -1,0 +1,203 @@
+//! Evaluating provenance expressions under a semiring valuation.
+//!
+//! The framework's central property: provenance-polynomial evaluation
+//! commutes with semiring homomorphisms. Given a valuation
+//! `X → K`, [`eval_expr`] is the unique homomorphism `N[X] → K` extending
+//! it (with δ mapped to `K::delta`).
+
+use std::collections::HashMap;
+
+use super::expr::{ProvExpr, Token};
+use super::polynomial::Polynomial;
+use super::Semiring;
+
+/// A token valuation into a semiring.
+pub struct Valuation<'a, K: Semiring> {
+    map: HashMap<&'a str, K>,
+    /// Value for tokens absent from the map.
+    default: K,
+}
+
+impl<'a, K: Semiring> Valuation<'a, K> {
+    /// Valuation with explicit default for unmapped tokens.
+    pub fn with_default(default: K) -> Self {
+        Valuation {
+            map: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Valuation defaulting to `K::one()` (untracked tuples are present).
+    pub fn ones() -> Self {
+        Self::with_default(K::one())
+    }
+
+    /// Bind a token.
+    pub fn set(mut self, token: &'a str, value: K) -> Self {
+        self.map.insert(token, value);
+        self
+    }
+
+    /// Look up a token.
+    pub fn get(&self, token: &Token) -> K {
+        self.map
+            .get(token.as_str())
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
+    }
+}
+
+/// Evaluate a symbolic expression under a valuation.
+pub fn eval_expr<K: Semiring>(e: &ProvExpr, v: &Valuation<'_, K>) -> K {
+    match e {
+        ProvExpr::Zero => K::zero(),
+        ProvExpr::One => K::one(),
+        ProvExpr::Tok(t) => v.get(t),
+        ProvExpr::Sum(parts) => parts
+            .iter()
+            .fold(K::zero(), |acc, p| acc.plus(&eval_expr(p, v))),
+        ProvExpr::Prod(parts) => parts
+            .iter()
+            .fold(K::one(), |acc, p| acc.times(&eval_expr(p, v))),
+        ProvExpr::Delta(inner) => eval_expr(inner, v).delta(),
+    }
+}
+
+/// Evaluate a canonical polynomial under a valuation.
+pub fn eval_poly<K: Semiring>(p: &Polynomial, v: &Valuation<'_, K>) -> K {
+    let mut acc = K::zero();
+    for (monomial, coeff) in p.terms() {
+        let mut term = K::one();
+        for (tok, exp) in monomial.factors() {
+            let kv = v.get(tok);
+            for _ in 0..exp {
+                term = term.times(&kv);
+            }
+        }
+        // Multiply by the natural coefficient via repeated addition
+        // (coefficients are small in practice; this stays exact for any
+        // semiring without requiring a scalar action).
+        let mut with_coeff = K::zero();
+        for _ in 0..*coeff {
+            with_coeff = with_coeff.plus(&term);
+        }
+        acc = acc.plus(&with_coeff);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::boolean::Bools;
+    use crate::semiring::natural::Natural;
+    use crate::semiring::tropical::Tropical;
+    use proptest::prelude::*;
+
+    fn sample_expr() -> ProvExpr {
+        // (a + b)·c + δ(a + a)
+        ProvExpr::sum(vec![
+            ProvExpr::prod(vec![
+                ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]),
+                ProvExpr::tok("c"),
+            ]),
+            ProvExpr::delta(ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("a")])),
+        ])
+    }
+
+    #[test]
+    fn counting_interpretation() {
+        let v = Valuation::<Natural>::with_default(Natural(0))
+            .set("a", Natural(2))
+            .set("b", Natural(1))
+            .set("c", Natural(3));
+        // (2+1)*3 + δ(2+2)=1 → 10
+        assert_eq!(eval_expr(&sample_expr(), &v), Natural(10));
+    }
+
+    #[test]
+    fn boolean_deletion_interpretation() {
+        // Delete c and a: (a+b)·c dies, δ(a+a) dies → false
+        let v = Valuation::<Bools>::with_default(Bools(true))
+            .set("c", Bools(false))
+            .set("a", Bools(false));
+        assert_eq!(eval_expr(&sample_expr(), &v), Bools(false));
+        // Delete only c: δ(a+a) still derivable → true
+        let v = Valuation::<Bools>::with_default(Bools(true)).set("c", Bools(false));
+        assert_eq!(eval_expr(&sample_expr(), &v), Bools(true));
+    }
+
+    #[test]
+    fn tropical_cheapest_derivation() {
+        let e = ProvExpr::sum(vec![
+            ProvExpr::prod(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]),
+            ProvExpr::tok("c"),
+        ]);
+        let v = Valuation::<Tropical>::with_default(Tropical(0.0))
+            .set("a", Tropical(2.0))
+            .set("b", Tropical(3.0))
+            .set("c", Tropical(10.0));
+        // min(2+3, 10) = 5
+        assert_eq!(eval_expr(&e, &v), Tropical(5.0));
+    }
+
+    #[test]
+    fn poly_eval_agrees_with_expr_eval_on_delta_free() {
+        let e = ProvExpr::prod(vec![
+            ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]),
+            ProvExpr::tok("a"),
+        ]);
+        let p = Polynomial::from_expr(&e).unwrap();
+        let v = Valuation::<Natural>::with_default(Natural(0))
+            .set("a", Natural(3))
+            .set("b", Natural(5));
+        assert_eq!(eval_expr(&e, &v), eval_poly(&p, &v));
+    }
+
+    /// Strategy for random δ-free expressions over tokens {a, b, c}.
+    fn arb_expr() -> impl Strategy<Value = ProvExpr> {
+        let leaf = prop_oneof![
+            Just(ProvExpr::Zero),
+            Just(ProvExpr::One),
+            Just(ProvExpr::tok("a")),
+            Just(ProvExpr::tok("b")),
+            Just(ProvExpr::tok("c")),
+        ];
+        leaf.prop_recursive(4, 32, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4).prop_map(ProvExpr::sum),
+                prop::collection::vec(inner, 0..4).prop_map(ProvExpr::prod),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Homomorphism property: expanding to a polynomial and then
+        /// evaluating equals evaluating the tree directly.
+        #[test]
+        fn expansion_commutes_with_evaluation(
+            e in arb_expr(),
+            va in 0u64..5, vb in 0u64..5, vc in 0u64..5,
+        ) {
+            let p = Polynomial::from_expr(&e).expect("delta-free");
+            let v = Valuation::<Natural>::with_default(Natural(0))
+                .set("a", Natural(va))
+                .set("b", Natural(vb))
+                .set("c", Natural(vc));
+            prop_assert_eq!(eval_expr(&e, &v), eval_poly(&p, &v));
+        }
+
+        /// Deleting a token algebraically (substitute 0) equals the
+        /// polynomial-level `delete_token`.
+        #[test]
+        fn delete_token_is_zero_substitution(e in arb_expr(), vb in 0u64..5, vc in 0u64..5) {
+            let p = Polynomial::from_expr(&e).expect("delta-free");
+            let deleted = p.delete_token(&Token::new("a"));
+            let v_zero_a = Valuation::<Natural>::with_default(Natural(0))
+                .set("a", Natural(0)).set("b", Natural(vb)).set("c", Natural(vc));
+            let v_rest = Valuation::<Natural>::with_default(Natural(0))
+                .set("a", Natural(1)).set("b", Natural(vb)).set("c", Natural(vc));
+            prop_assert_eq!(eval_poly(&p, &v_zero_a), eval_poly(&deleted, &v_rest));
+        }
+    }
+}

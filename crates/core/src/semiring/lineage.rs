@@ -1,0 +1,79 @@
+//! The lineage semiring: sets of contributing tokens.
+//!
+//! `Which(X)`-provenance: the flat set of input tuples that contributed
+//! to an output in any way. Both + and · are set union; this is the
+//! weakest informative provenance and corresponds to what coarse-grained
+//! workflow provenance can offer *per module*.
+
+use std::collections::BTreeSet;
+
+use super::expr::Token;
+use super::Semiring;
+
+/// Lineage: `None` encodes 0 (no derivation — distinct from the empty
+/// set, which is 1, "derivable from nothing tracked").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lineage(pub Option<BTreeSet<Token>>);
+
+impl Lineage {
+    pub fn token(t: impl Into<Token>) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(t.into());
+        Lineage(Some(s))
+    }
+
+    /// The contributing tokens, if the tuple is derivable.
+    pub fn tokens(&self) -> Option<&BTreeSet<Token>> {
+        self.0.as_ref()
+    }
+}
+
+impl Semiring for Lineage {
+    fn zero() -> Self {
+        Lineage(None)
+    }
+    fn one() -> Self {
+        Lineage(Some(BTreeSet::new()))
+    }
+    fn plus(&self, other: &Self) -> Self {
+        match (&self.0, &other.0) {
+            (None, x) => Lineage(x.clone()),
+            (x, None) => Lineage(x.clone()),
+            (Some(a), Some(b)) => Lineage(Some(a.union(b).cloned().collect())),
+        }
+    }
+    fn times(&self, other: &Self) -> Self {
+        match (&self.0, &other.0) {
+            (None, _) | (_, None) => Lineage(None),
+            (Some(a), Some(b)) => Lineage(Some(a.union(b).cloned().collect())),
+        }
+    }
+    // δ is the identity: union is idempotent.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(tokens: &[&str]) -> Lineage {
+        Lineage(Some(tokens.iter().map(|t| Token::new(t)).collect()))
+    }
+
+    #[test]
+    fn plus_and_times_union() {
+        assert_eq!(l(&["a"]).plus(&l(&["b"])), l(&["a", "b"]));
+        assert_eq!(l(&["a"]).times(&l(&["b"])), l(&["a", "b"]));
+    }
+
+    #[test]
+    fn zero_annihilates_times_but_not_plus() {
+        assert_eq!(l(&["a"]).times(&Lineage::zero()), Lineage::zero());
+        assert_eq!(l(&["a"]).plus(&Lineage::zero()), l(&["a"]));
+    }
+
+    #[test]
+    fn laws_on_samples() {
+        crate::semiring::laws::check_laws(l(&["a"]), l(&["b", "c"]), Lineage::zero());
+        crate::semiring::laws::check_laws(Lineage::one(), l(&["b"]), l(&["a", "c"]));
+    }
+}

@@ -1,0 +1,50 @@
+//! The counting semiring (N, +, ·, 0, 1).
+//!
+//! Specializing provenance polynomials to N by valuating each token with
+//! its tuple's multiplicity yields exactly the bag-semantics multiplicity
+//! of the output tuple — the fundamental commutation property, used by the
+//! engine's property tests as an end-to-end oracle.
+
+use super::Semiring;
+
+/// Natural numbers under ordinary arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Natural(self.0 + other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Natural(self.0 * other.0)
+    }
+    /// Set-semantics collapse: a positive count deduplicates to 1.
+    fn delta(&self) -> Self {
+        Natural(u64::from(self.0 > 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delta_collapses_counts() {
+        assert_eq!(Natural(7).delta(), Natural(1));
+        assert_eq!(Natural(0).delta(), Natural(0));
+    }
+
+    proptest! {
+        #[test]
+        fn laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            crate::semiring::laws::check_laws(Natural(a), Natural(b), Natural(c));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The tropical (min, +) semiring.
+//!
+//! Valuating tokens with costs yields the cheapest derivation of each
+//! output tuple — trust/cost assessment, one of the applications the
+//! paper cites for the semiring foundation.
+
+use super::Semiring;
+
+/// Costs under (min, +). `Tropical::zero()` is +∞ (no derivation);
+/// `one()` is cost 0 (free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tropical(pub f64);
+
+impl Tropical {
+    pub const INFINITY: Tropical = Tropical(f64::INFINITY);
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical(f64::INFINITY)
+    }
+    fn one() -> Self {
+        Tropical(0.0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Tropical(self.0.min(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Tropical(self.0 + other.0)
+    }
+    // δ is the identity: min is idempotent.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cheapest_alternative_wins() {
+        let a = Tropical(3.0);
+        let b = Tropical(5.0);
+        assert_eq!(a.plus(&b), Tropical(3.0));
+        assert_eq!(a.times(&b), Tropical(8.0));
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        assert_eq!(Tropical(4.0).times(&Tropical::zero()), Tropical::zero());
+    }
+
+    proptest! {
+        // Integer-valued costs keep float addition exact, so the
+        // associativity law can be checked with plain equality.
+        #[test]
+        fn laws(a in 0u32..1000, b in 0u32..1000, c in 0u32..1000) {
+            crate::semiring::laws::check_laws(
+                Tropical(f64::from(a)),
+                Tropical(f64::from(b)),
+                Tropical(f64::from(c)),
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Why-provenance: sets of witnesses (Buneman/Khanna/Tan, ICDT'01).
+//!
+//! A *witness* is a set of input tuples sufficient to derive the output;
+//! why-provenance is the set of minimal witnesses. The paper contrasts
+//! Ibis's "simple form of why-provenance" with Lipstick's full
+//! polynomials — this implementation makes that comparison concrete.
+
+use std::collections::BTreeSet;
+
+use super::expr::Token;
+use super::Semiring;
+
+type Witness = BTreeSet<Token>;
+
+/// Sets of minimal witnesses. + unions witness sets; · takes pairwise
+/// unions of witnesses; both re-minimize (absorption: a witness that is a
+/// superset of another is dropped).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Why(pub BTreeSet<Witness>);
+
+impl Why {
+    pub fn token(t: impl Into<Token>) -> Self {
+        let mut w = BTreeSet::new();
+        w.insert(t.into());
+        let mut s = BTreeSet::new();
+        s.insert(w);
+        Why(s)
+    }
+
+    /// Drop witnesses that strictly contain another witness.
+    fn minimize(mut set: BTreeSet<Witness>) -> BTreeSet<Witness> {
+        let all: Vec<Witness> = set.iter().cloned().collect();
+        set.retain(|w| {
+            !all.iter()
+                .any(|other| other != w && other.is_subset(w))
+        });
+        set
+    }
+
+    /// The minimal witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.0
+    }
+}
+
+impl Semiring for Why {
+    /// No witnesses: underivable.
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+    /// One empty witness: derivable from nothing tracked.
+    fn one() -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(BTreeSet::new());
+        Why(s)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Why(Self::minimize(
+            self.0.union(&other.0).cloned().collect(),
+        ))
+    }
+    fn times(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why(Self::minimize(out))
+    }
+    // δ is the identity: plus is idempotent after minimization.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(tokens: &[&str]) -> Witness {
+        tokens.iter().map(|t| Token::new(t)).collect()
+    }
+
+    fn why(witnesses: &[&[&str]]) -> Why {
+        Why(witnesses.iter().map(|ws| w(ws)).collect())
+    }
+
+    #[test]
+    fn alternative_derivations_are_separate_witnesses() {
+        let p = Why::token("a").plus(&Why::token("b"));
+        assert_eq!(p, why(&[&["a"], &["b"]]));
+    }
+
+    #[test]
+    fn joint_derivation_unions_witnesses() {
+        let p = Why::token("a").times(&Why::token("b"));
+        assert_eq!(p, why(&[&["a", "b"]]));
+    }
+
+    #[test]
+    fn absorption_minimizes() {
+        // a + a·b = a  (witness {a,b} is absorbed by {a})
+        let p = Why::token("a").plus(&Why::token("a").times(&Why::token("b")));
+        assert_eq!(p, why(&[&["a"]]));
+    }
+
+    #[test]
+    fn one_is_absorbing_in_plus() {
+        // 1 + a = 1 under minimal-witness semantics
+        let p = Why::one().plus(&Why::token("a"));
+        assert_eq!(p, Why::one());
+    }
+
+    #[test]
+    fn laws_on_samples() {
+        crate::semiring::laws::check_laws(
+            why(&[&["a"], &["b", "c"]]),
+            why(&[&["b"]]),
+            why(&[&["c", "d"]]),
+        );
+        crate::semiring::laws::check_laws(Why::zero(), Why::one(), why(&[&["x"]]));
+    }
+}

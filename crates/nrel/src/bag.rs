@@ -1,0 +1,229 @@
+//! Bags: unordered multisets of tuples.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Tuple;
+
+/// An unordered bag (multiset) of tuples — the collection type of the
+/// nested relational model (paper §2.1: "A Pig Latin relation is an
+/// unordered bag of tuples").
+///
+/// Internally the tuples are kept in insertion order (which the engine
+/// exploits so that provenance annotations stored *positionally alongside*
+/// a bag stay aligned), but equality, ordering and hashing are
+/// **order-insensitive**: two bags are equal iff they contain the same
+/// tuples with the same multiplicities.
+#[derive(Debug, Clone, Default)]
+pub struct Bag {
+    tuples: Vec<Tuple>,
+}
+
+impl Bag {
+    /// The empty bag.
+    pub fn empty() -> Self {
+        Bag { tuples: Vec::new() }
+    }
+
+    /// Build a bag from tuples (multiplicities preserved).
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        Bag { tuples }
+    }
+
+    /// Number of tuples, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the bag holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Iterate over the tuples in internal (insertion) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice, in internal order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consume the bag, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Multiplicity of `t` in the bag.
+    pub fn multiplicity(&self, t: &Tuple) -> usize {
+        self.tuples.iter().filter(|x| *x == t).count()
+    }
+
+    /// Canonical multiset view: tuple → multiplicity, sorted by tuple.
+    /// This is the basis for order-insensitive `Eq`/`Ord`/`Hash`.
+    pub fn canonical(&self) -> BTreeMap<&Tuple, usize> {
+        let mut m: BTreeMap<&Tuple, usize> = BTreeMap::new();
+        for t in &self.tuples {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Bag union (additive: multiplicities sum).
+    pub fn union(&self, other: &Bag) -> Bag {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.tuples);
+        v.extend_from_slice(&other.tuples);
+        Bag { tuples: v }
+    }
+
+    /// Set of distinct tuples (each with multiplicity 1), in sorted order.
+    pub fn distinct(&self) -> Bag {
+        let mut keys: Vec<&Tuple> = self.canonical().into_keys().collect();
+        keys.sort();
+        Bag {
+            tuples: keys.into_iter().cloned().collect(),
+        }
+    }
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.canonical() == other.canonical()
+    }
+}
+impl Eq for Bag {}
+
+impl PartialOrd for Bag {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bag {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a = self.canonical();
+        let b = other.canonical();
+        a.cmp(&b)
+    }
+}
+
+impl Hash for Bag {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let canon = self.canonical();
+        state.write_usize(canon.len());
+        for (t, m) in canon {
+            t.hash(state);
+            state.write_usize(m);
+        }
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Bag {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Bag {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Bag {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bag {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    fn hash_of(b: &Bag) -> u64 {
+        let mut h = DefaultHasher::new();
+        b.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = Bag::from_tuples(vec![t(&[1]), t(&[2]), t(&[1])]);
+        let b = Bag::from_tuples(vec![t(&[2]), t(&[1]), t(&[1])]);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn equality_respects_multiplicity() {
+        let a = Bag::from_tuples(vec![t(&[1]), t(&[1])]);
+        let b = Bag::from_tuples(vec![t(&[1])]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a = Bag::from_tuples(vec![t(&[1])]);
+        let b = Bag::from_tuples(vec![t(&[1]), t(&[2])]);
+        let u = a.union(&b);
+        assert_eq!(u.multiplicity(&t(&[1])), 2);
+        assert_eq!(u.multiplicity(&t(&[2])), 1);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn distinct_collapses() {
+        let a = Bag::from_tuples(vec![t(&[2]), t(&[1]), t(&[2])]);
+        let d = a.distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.multiplicity(&t(&[2])), 1);
+    }
+
+    #[test]
+    fn display_shape() {
+        let a = Bag::from_tuples(vec![t(&[1, 2])]);
+        assert_eq!(a.to_string(), "{(1, 2)}");
+    }
+
+    #[test]
+    fn nested_bag_equality_inside_value() {
+        let inner1 = Bag::from_tuples(vec![t(&[1]), t(&[2])]);
+        let inner2 = Bag::from_tuples(vec![t(&[2]), t(&[1])]);
+        let v1 = Value::Bag(inner1);
+        let v2 = Value::Bag(inner2);
+        assert_eq!(v1, v2);
+    }
+}

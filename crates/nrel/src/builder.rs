@@ -1,0 +1,56 @@
+//! Construction helpers: the [`tuple!`] and [`bag!`] macros.
+//!
+//! These keep tests, examples, and workload generators readable:
+//!
+//! ```
+//! use lipstick_nrel::{tuple, bag};
+//! let cars = bag![
+//!     tuple!["C1", "Accord"],
+//!     tuple!["C2", "Civic"],
+//! ];
+//! assert_eq!(cars.len(), 2);
+//! ```
+
+/// Build a [`crate::Tuple`] from expressions convertible to
+/// [`crate::Value`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+/// Build a [`crate::Bag`] from tuples.
+#[macro_export]
+macro_rules! bag {
+    ($($t:expr),* $(,)?) => {
+        $crate::Bag::from_tuples(vec![$($t),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bag, Value};
+
+    #[test]
+    fn tuple_macro_converts() {
+        let t = tuple![1i64, "abc", 2.5f64, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.get(0).unwrap(), &Value::Int(1));
+        assert_eq!(t.get(1).unwrap(), &Value::str("abc"));
+        assert_eq!(t.get(2).unwrap(), &Value::Float(2.5));
+        assert_eq!(t.get(3).unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn bag_macro_builds() {
+        let b: Bag = bag![tuple![1i64], tuple![2i64]];
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn empty_bag_macro() {
+        let b: Bag = bag![];
+        assert!(b.is_empty());
+    }
+}

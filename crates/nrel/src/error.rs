@@ -1,0 +1,79 @@
+//! Error types for the data model.
+
+use std::fmt;
+
+/// Errors raised by the nested relational data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NrelError {
+    /// A positional field access exceeded the tuple's arity.
+    FieldOutOfRange { index: usize, arity: usize },
+    /// A name did not resolve against a schema.
+    UnknownField { name: String, schema: String },
+    /// A name matched multiple fields of a schema.
+    AmbiguousField { name: String, schema: String },
+    /// A tuple's arity did not match its schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// A field's value did not conform to the schema type.
+    FieldTypeMismatch {
+        index: usize,
+        expected: String,
+        found: &'static str,
+    },
+    /// A value had the wrong runtime type for an operation.
+    TypeMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for NrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrelError::FieldOutOfRange { index, arity } => {
+                write!(f, "field ${index} out of range for tuple of arity {arity}")
+            }
+            NrelError::UnknownField { name, schema } => {
+                write!(f, "unknown field '{name}' in schema {schema}")
+            }
+            NrelError::AmbiguousField { name, schema } => {
+                write!(f, "ambiguous field '{name}' in schema {schema}")
+            }
+            NrelError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: schema has {expected} fields, tuple has {found}")
+            }
+            NrelError::FieldTypeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "field ${index}: expected type {expected}, found value of type {found}"
+            ),
+            NrelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NrelError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = NrelError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = NrelError::FieldOutOfRange { index: 2, arity: 1 };
+        assert!(e.to_string().contains("$2"));
+        let e = NrelError::UnknownField {
+            name: "x".into(),
+            schema: "(y: int)".into(),
+        };
+        assert!(e.to_string().contains('x'));
+        assert!(e.to_string().contains("(y: int)"));
+    }
+}

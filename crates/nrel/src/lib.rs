@@ -1,0 +1,33 @@
+//! # lipstick-nrel — nested relational data model
+//!
+//! The bag-semantics nested relational data model underlying Lipstick's
+//! Pig Latin dialect (paper §2.1). A *relation* is an unordered bag of
+//! tuples; tuple fields are atomic values, nested tuples, or nested bags.
+//!
+//! The crate provides:
+//!
+//! - [`Value`]: the runtime value tree (null, bool, int, float, string,
+//!   chararray-free — strings are UTF-8 —, tuples, bags, maps);
+//! - [`Tuple`] and [`Bag`]: the composite collection types;
+//! - [`Schema`], [`DataType`], [`Field`]: nested relational schemas with
+//!   optional field names, used for name resolution and validation;
+//! - total ordering and hashing over all values (floats order by
+//!   [`f64::total_cmp`]) so that values can key hash maps and B-trees;
+//! - a small builder DSL ([`tuple!`], [`bag!`]) for tests and examples.
+//!
+//! The model intentionally supports *heterogeneous* bags at runtime (a bag
+//! does not enforce its tuples' types); schemas describe the homogeneous
+//! fragment used throughout the paper and are enforced only at module
+//! boundaries by `lipstick-workflow`.
+
+pub mod bag;
+pub mod builder;
+pub mod error;
+pub mod schema;
+pub mod sort;
+pub mod value;
+
+pub use bag::Bag;
+pub use error::{NrelError, Result};
+pub use schema::{DataType, Field, Schema};
+pub use value::{Tuple, Value};

@@ -1,0 +1,340 @@
+//! Nested relational schemas.
+//!
+//! A [`Schema`] describes the tuples of a relation: an ordered list of
+//! [`Field`]s, each with an optional name and a [`DataType`]. Nested bags
+//! and tuples carry their own schemas, mirroring the paper's use of nested
+//! relations (e.g. `CarsByModel(Model, Inventory: bag{...})`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{NrelError, Result};
+use crate::value::{Tuple, Value};
+
+/// The type of a field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Any type; used where Pig leaves fields untyped (e.g. UDF outputs).
+    Any,
+    Bool,
+    Int,
+    Float,
+    /// UTF-8 string (Pig chararray).
+    Str,
+    /// Nested tuple with its own schema.
+    Tuple(Arc<Schema>),
+    /// Nested bag of tuples with the given tuple schema.
+    Bag(Arc<Schema>),
+    /// String-keyed map with unconstrained value types.
+    Map,
+}
+
+impl DataType {
+    /// Does `value` conform to this type? `Null` conforms to everything
+    /// (nullable model), and `Any` accepts everything.
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) | (DataType::Any, _) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            // Numeric widening: an int is acceptable where a float is
+            // expected (Pig promotes silently).
+            (DataType::Float, Value::Float(_)) | (DataType::Float, Value::Int(_)) => true,
+            (DataType::Str, Value::Str(_)) => true,
+            (DataType::Tuple(s), Value::Tuple(t)) => s.admits_tuple(t).is_ok(),
+            (DataType::Bag(s), Value::Bag(b)) => b.iter().all(|t| s.admits_tuple(t).is_ok()),
+            (DataType::Map, Value::Map(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Any => write!(f, "any"),
+            DataType::Bool => write!(f, "boolean"),
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "double"),
+            DataType::Str => write!(f, "chararray"),
+            DataType::Tuple(s) => write!(f, "tuple{s}"),
+            DataType::Bag(s) => write!(f, "bag{{{s}}}"),
+            DataType::Map => write!(f, "map[]"),
+        }
+    }
+}
+
+/// One field of a schema: optional name plus type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name; `None` for anonymous fields (e.g. generated expressions
+    /// without an `AS` clause).
+    pub name: Option<String>,
+    /// Field type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Named field.
+    pub fn named(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: Some(name.into()),
+            dtype,
+        }
+    }
+
+    /// Anonymous field.
+    pub fn anon(dtype: DataType) -> Self {
+        Field { name: None, dtype }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}: {}", self.dtype),
+            None => write!(f, "{}", self.dtype),
+        }
+    }
+}
+
+/// A tuple/relation schema: ordered fields with optional names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Shorthand: all-named fields of the given types.
+    pub fn named(fields: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: fields
+                .iter()
+                .map(|(n, t)| Field::named(*n, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field by position.
+    pub fn field(&self, idx: usize) -> Result<&Field> {
+        self.fields.get(idx).ok_or(NrelError::FieldOutOfRange {
+            index: idx,
+            arity: self.fields.len(),
+        })
+    }
+
+    /// Resolve a field name to its position.
+    ///
+    /// Names resolve exactly; as in Pig, a join-qualified name such as
+    /// `Cars::Model` also matches a lookup for its unqualified suffix
+    /// `Model` when that suffix is unambiguous.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        // Exact match first.
+        if let Some(i) = self
+            .fields
+            .iter()
+            .position(|f| f.name.as_deref() == Some(name))
+        {
+            return Ok(i);
+        }
+        // Suffix match on qualified names (`rel::field`).
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let n = f.name.as_deref()?;
+                let suffix = n.rsplit("::").next()?;
+                (suffix == name).then_some(i)
+            })
+            .collect();
+        match matches.as_slice() {
+            [only] => Ok(*only),
+            [] => Err(NrelError::UnknownField {
+                name: name.to_string(),
+                schema: self.to_string(),
+            }),
+            _ => Err(NrelError::AmbiguousField {
+                name: name.to_string(),
+                schema: self.to_string(),
+            }),
+        }
+    }
+
+    /// Check that a tuple conforms to this schema (arity + field types).
+    pub fn admits_tuple(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(NrelError::ArityMismatch {
+                expected: self.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, (f, v)) in self.fields.iter().zip(tuple.fields()).enumerate() {
+            if !f.dtype.admits(v) {
+                return Err(NrelError::FieldTypeMismatch {
+                    index: i,
+                    expected: f.dtype.to_string(),
+                    found: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas, qualifying clashing names is the caller's
+    /// responsibility (the planner qualifies join outputs with `rel::`).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// A copy of this schema with every field name qualified as
+    /// `prefix::name` (anonymous fields stay anonymous).
+    pub fn qualified(&self, prefix: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field {
+                    name: f.name.as_ref().map(|n| format!("{prefix}::{n}")),
+                    dtype: f.dtype.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bag;
+
+    fn cars_schema() -> Schema {
+        Schema::named(&[("CarId", DataType::Str), ("Model", DataType::Str)])
+    }
+
+    #[test]
+    fn resolve_exact_and_qualified() {
+        let s = Schema::named(&[
+            ("Cars::Model", DataType::Str),
+            ("ReqModel::Other", DataType::Str),
+        ]);
+        assert_eq!(s.resolve("Cars::Model").unwrap(), 0);
+        assert_eq!(s.resolve("Model").unwrap(), 0);
+        assert_eq!(s.resolve("Other").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_ambiguous_suffix_fails() {
+        let s = Schema::named(&[
+            ("Cars::Model", DataType::Str),
+            ("ReqModel::Model", DataType::Str),
+        ]);
+        assert!(matches!(
+            s.resolve("Model"),
+            Err(NrelError::AmbiguousField { .. })
+        ));
+        // but qualified stays resolvable
+        assert_eq!(s.resolve("ReqModel::Model").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_unknown_fails() {
+        let s = cars_schema();
+        assert!(matches!(
+            s.resolve("Price"),
+            Err(NrelError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn admits_tuple_checks_types() {
+        let s = cars_schema();
+        let ok = Tuple::new(vec![Value::str("C1"), Value::str("Civic")]);
+        assert!(s.admits_tuple(&ok).is_ok());
+        let bad = Tuple::new(vec![Value::Int(1), Value::str("Civic")]);
+        assert!(s.admits_tuple(&bad).is_err());
+        let short = Tuple::new(vec![Value::str("C1")]);
+        assert!(matches!(
+            s.admits_tuple(&short),
+            Err(NrelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nulls_admitted_everywhere() {
+        let s = cars_schema();
+        let t = Tuple::new(vec![Value::Null, Value::Null]);
+        assert!(s.admits_tuple(&t).is_ok());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let s = Schema::named(&[("x", DataType::Float)]);
+        assert!(s
+            .admits_tuple(&Tuple::new(vec![Value::Int(3)]))
+            .is_ok());
+    }
+
+    #[test]
+    fn nested_bag_admission() {
+        let inner = Arc::new(Schema::named(&[("v", DataType::Int)]));
+        let s = Schema::new(vec![Field::named("grp", DataType::Bag(inner))]);
+        let good = Tuple::new(vec![Value::Bag(Bag::from_tuples(vec![Tuple::new(vec![
+            Value::Int(1),
+        ])]))]);
+        assert!(s.admits_tuple(&good).is_ok());
+        let bad = Tuple::new(vec![Value::Bag(Bag::from_tuples(vec![Tuple::new(vec![
+            Value::str("not an int"),
+        ])]))]);
+        assert!(s.admits_tuple(&bad).is_err());
+    }
+
+    #[test]
+    fn qualification_and_concat() {
+        let s = cars_schema().qualified("Cars");
+        assert_eq!(s.resolve("Cars::CarId").unwrap(), 0);
+        let joined = s.concat(&cars_schema().qualified("ReqModel"));
+        assert_eq!(joined.arity(), 4);
+        assert_eq!(joined.resolve("ReqModel::CarId").unwrap(), 2);
+    }
+
+    #[test]
+    fn display_renders_nested() {
+        let inner = Arc::new(Schema::named(&[("v", DataType::Int)]));
+        let s = Schema::new(vec![
+            Field::named("g", DataType::Str),
+            Field::named("items", DataType::Bag(inner)),
+        ]);
+        assert_eq!(s.to_string(), "(g: chararray, items: bag{(v: int)})");
+    }
+}

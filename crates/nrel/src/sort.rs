@@ -1,0 +1,120 @@
+//! Sorting utilities for ORDER BY.
+//!
+//! ORDER is a post-processing step in both Pig Latin and the provenance
+//! model (§3.2: "relations are unordered in our representation, ORDER …
+//! is a post-processing step"). These helpers implement multi-key
+//! ascending/descending sorts over tuples using the total value order.
+
+use std::cmp::Ordering;
+
+use crate::error::Result;
+use crate::value::Tuple;
+
+/// Sort direction for one ORDER BY key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Asc,
+    Desc,
+}
+
+/// One sort key: a field position plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub position: usize,
+    pub direction: Direction,
+}
+
+impl SortKey {
+    pub fn asc(position: usize) -> Self {
+        SortKey {
+            position,
+            direction: Direction::Asc,
+        }
+    }
+    pub fn desc(position: usize) -> Self {
+        SortKey {
+            position,
+            direction: Direction::Desc,
+        }
+    }
+}
+
+/// Compare two tuples under a sequence of sort keys.
+pub fn compare(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Result<Ordering> {
+    for key in keys {
+        let va = a.get(key.position)?;
+        let vb = b.get(key.position)?;
+        let ord = match key.direction {
+            Direction::Asc => va.cmp(vb),
+            Direction::Desc => vb.cmp(va),
+        };
+        if ord != Ordering::Equal {
+            return Ok(ord);
+        }
+    }
+    Ok(Ordering::Equal)
+}
+
+/// Stable-sort tuples (paired with arbitrary payloads, e.g. provenance
+/// references) by the given keys. Returns an error if any key position is
+/// out of range for some tuple.
+pub fn sort_with_payload<P>(rows: &mut Vec<(Tuple, P)>, keys: &[SortKey]) -> Result<()> {
+    // Validate positions up front so the comparator below cannot fail.
+    for (t, _) in rows.iter() {
+        for key in keys {
+            t.get(key.position)?;
+        }
+    }
+    rows.sort_by(|(a, _), (b, _)| {
+        compare(a, b, keys).unwrap_or(Ordering::Equal)
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(a: i64, b: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::str(b)])
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let mut rows = vec![(t(3, "c"), ()), (t(1, "a"), ()), (t(2, "b"), ())];
+        sort_with_payload(&mut rows, &[SortKey::asc(0)]).unwrap();
+        let keys: Vec<i64> = rows
+            .iter()
+            .map(|(t, _)| t.get(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_key_mixed_direction() {
+        let mut rows = vec![
+            (t(1, "b"), 0),
+            (t(1, "a"), 1),
+            (t(0, "z"), 2),
+        ];
+        sort_with_payload(&mut rows, &[SortKey::asc(0), SortKey::desc(1)]).unwrap();
+        assert_eq!(rows[0].1, 2); // (0, z)
+        assert_eq!(rows[1].1, 0); // (1, b) — desc on second key
+        assert_eq!(rows[2].1, 1); // (1, a)
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let mut rows = vec![(t(1, "x"), 0), (t(1, "x"), 1), (t(1, "x"), 2)];
+        sort_with_payload(&mut rows, &[SortKey::asc(0)]).unwrap();
+        let payloads: Vec<i32> = rows.iter().map(|(_, p)| *p).collect();
+        assert_eq!(payloads, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_key_is_error() {
+        let mut rows = vec![(t(1, "x"), ())];
+        assert!(sort_with_payload(&mut rows, &[SortKey::asc(9)]).is_err());
+    }
+}

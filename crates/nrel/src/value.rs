@@ -1,0 +1,514 @@
+//! Runtime values: atoms, tuples, and nested bags.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::bag::Bag;
+use crate::error::{NrelError, Result};
+
+/// A runtime value in the nested relational model.
+///
+/// `Value` is a tree: leaves are atoms (`Null`, `Bool`, `Int`, `Float`,
+/// `Str`), inner nodes are [`Tuple`]s, [`Bag`]s, or string-keyed maps
+/// (Pig's `map` type).
+///
+/// Equality, ordering and hashing are **total**: floats compare with
+/// [`f64::total_cmp`] and hash by bit pattern, so `Value` can be used as a
+/// key in `HashMap`/`BTreeMap` — which the engine relies on for GROUP,
+/// COGROUP, JOIN, and DISTINCT.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style null / Pig's null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (covers Pig's int and long).
+    Int(i64),
+    /// 64-bit float (covers Pig's float and double).
+    Float(f64),
+    /// UTF-8 string (Pig's chararray). Reference-counted: projections and
+    /// joins copy values freely, so cloning must be cheap.
+    Str(Arc<str>),
+    /// Nested tuple.
+    Tuple(Tuple),
+    /// Nested bag (unordered multiset of tuples).
+    Bag(Bag),
+    /// String-keyed map (Pig's map type).
+    Map(Arc<BTreeMap<String, Value>>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short name for the runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "chararray",
+            Value::Tuple(_) => "tuple",
+            Value::Bag(_) => "bag",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Interpret the value as a boolean (for FILTER conditions).
+    ///
+    /// `Null` is treated as `false` (three-valued logic collapses to
+    /// "not selected", matching Pig's behaviour for FILTER).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            _ => true,
+        }
+    }
+
+    /// Numeric view used by arithmetic and aggregates.
+    ///
+    /// Ints widen to floats on demand; anything non-numeric is an error.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(NrelError::TypeMismatch {
+                expected: "numeric",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Integer view; floats are rejected (no silent truncation).
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(NrelError::TypeMismatch {
+                expected: "int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(NrelError::TypeMismatch {
+                expected: "chararray",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Bag view (for aggregation and FLATTEN).
+    pub fn as_bag(&self) -> Result<&Bag> {
+        match self {
+            Value::Bag(b) => Ok(b),
+            other => Err(NrelError::TypeMismatch {
+                expected: "bag",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Tuple view.
+    pub fn as_tuple(&self) -> Result<&Tuple> {
+        match self {
+            Value::Tuple(t) => Ok(t),
+            other => Err(NrelError::TypeMismatch {
+                expected: "tuple",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Render as a display string without quoting (used by CONCAT etc.).
+    pub fn to_text(&self) -> Cow<'_, str> {
+        match self {
+            Value::Str(s) => Cow::Borrowed(s),
+            other => Cow::Owned(other.to_string()),
+        }
+    }
+
+    /// Number of heap nodes in this value tree (used by memory accounting
+    /// and the storage codec's size hints).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Tuple(t) => 1 + t.fields().iter().map(Value::node_count).sum::<usize>(),
+            Value::Bag(b) => {
+                1 + b
+                    .iter()
+                    .map(|t| 1 + t.fields().iter().map(Value::node_count).sum::<usize>())
+                    .sum::<usize>()
+            }
+            Value::Map(m) => 1 + m.values().map(Value::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across all values.
+    ///
+    /// Values of different runtime types order by a fixed type rank
+    /// (null < bool < numeric < string < tuple < bag < map); ints and
+    /// floats inhabit a single *numeric* rank and compare by value so that
+    /// `2 == 2.0` in joins, as in Pig. Floats use [`f64::total_cmp`].
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Bag(a), Bag(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Ints and floats must hash identically when equal (2 == 2.0):
+            // hash every numeric through the f64 bit pattern. Non-finite
+            // and negative-zero cases are fine because equality uses
+            // total_cmp, under which -0.0 != 0.0 — and their bit patterns
+            // differ as well, keeping Eq/Hash consistent... except
+            // -0.0 vs 0.0: total_cmp orders them as unequal, so distinct
+            // hashes are *allowed*. 2 and 2.0 map to the same bits.
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Tuple(t) => {
+                state.write_u8(4);
+                t.hash(state);
+            }
+            Value::Bag(b) => {
+                state.write_u8(5);
+                b.hash(state);
+            }
+            Value::Map(m) => {
+                state.write_u8(6);
+                m.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+            Value::Tuple(_) => 4,
+            Value::Bag(_) => 5,
+            Value::Map(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Tuple(t) => write!(f, "{t}"),
+            Value::Bag(b) => write!(f, "{b}"),
+            Value::Map(m) => {
+                write!(f, "[")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}#{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<Tuple> for Value {
+    fn from(v: Tuple) -> Self {
+        Value::Tuple(v)
+    }
+}
+impl From<Bag> for Value {
+    fn from(v: Bag) -> Self {
+        Value::Bag(v)
+    }
+}
+
+/// A tuple: an ordered sequence of values.
+///
+/// Fields are stored behind an `Arc` so that tuples flowing through
+/// projections, joins and group nests can be cloned in O(1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    fields: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from field values.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Tuple {
+            fields: fields.into(),
+        }
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Self {
+        Tuple { fields: Arc::from([]) }
+    }
+
+    /// Number of fields (the tuple's arity).
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field access by position.
+    pub fn get(&self, idx: usize) -> Result<&Value> {
+        self.fields.get(idx).ok_or(NrelError::FieldOutOfRange {
+            index: idx,
+            arity: self.fields.len(),
+        })
+    }
+
+    /// All fields as a slice.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Concatenate two tuples (used by JOIN, which produces both sides'
+    /// columns, and by FLATTEN).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.fields);
+        v.extend_from_slice(&other.fields);
+        Tuple::new(v)
+    }
+
+    /// Project the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Result<Tuple> {
+        let mut v = Vec::with_capacity(positions.len());
+        for &p in positions {
+            v.push(self.get(p)?.clone());
+        }
+        Ok(Tuple::new(v))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn total_order_is_transitive_across_types() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(0.5),
+            Value::Int(7),
+            Value::str("abc"),
+            Value::Tuple(Tuple::new(vec![Value::Int(1)])),
+        ];
+        let mut sorted = vals.clone();
+        sorted.sort();
+        // null < bools < numerics < strings < tuples
+        assert_eq!(sorted[0], Value::Null);
+        assert!(matches!(sorted[1], Value::Bool(false)));
+        assert!(matches!(sorted[2], Value::Bool(true)));
+        assert_eq!(sorted[3], Value::Int(-3));
+        assert_eq!(sorted[4], Value::Float(0.5));
+        assert_eq!(sorted[5], Value::Int(7));
+    }
+
+    #[test]
+    fn nan_is_orderable_and_hashable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+        assert!(Value::Float(f64::INFINITY) > Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(0).truthy()); // only bools/null gate FILTER
+    }
+
+    #[test]
+    fn tuple_get_out_of_range() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert!(t.get(0).is_ok());
+        let err = t.get(3).unwrap_err();
+        assert!(matches!(
+            err,
+            NrelError::FieldOutOfRange { index: 3, arity: 1 }
+        ));
+    }
+
+    #[test]
+    fn tuple_concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        let b = Tuple::new(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        let p = c.project(&[2, 0]).unwrap();
+        assert_eq!(p.fields(), &[Value::Bool(true), Value::Int(1)]);
+    }
+
+    #[test]
+    fn value_display_round_shapes() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        let t = Tuple::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(t.to_string(), "(1, 'a')");
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Bool(true).as_f64().unwrap(), 1.0);
+        assert!(Value::str("x").as_f64().is_err());
+    }
+
+    #[test]
+    fn node_count_counts_nested() {
+        let inner = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let v = Value::Tuple(Tuple::new(vec![
+            Value::Int(0),
+            Value::Bag(crate::Bag::from_tuples(vec![inner])),
+        ]));
+        // tuple + int + bag + (tuple wrapper + 2 ints) = 6
+        assert_eq!(v.node_count(), 6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Abstract syntax of the Pig Latin fragment.
+
+use std::fmt;
+
+use lipstick_nrel::Value;
+
+/// A parsed script: a sequence of assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement: `Alias = <operator>;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub alias: String,
+    pub op: Op,
+    /// Source line, for error reporting during planning.
+    pub line: usize,
+}
+
+/// Relational operators of the fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `FILTER input BY cond`
+    Filter { input: String, cond: Expr },
+    /// `FOREACH input GENERATE item, …`
+    Foreach { input: String, items: Vec<GenItem> },
+    /// `GROUP input BY keys` / `GROUP input ALL`
+    Group { input: String, keys: GroupKeys },
+    /// `COGROUP a BY k1, b BY k2, …`
+    Cogroup { inputs: Vec<(String, Vec<Expr>)> },
+    /// `JOIN a BY k1, b BY k2` (equi-join)
+    Join {
+        left: (String, Vec<Expr>),
+        right: (String, Vec<Expr>),
+    },
+    /// `UNION a, b, …`
+    Union { inputs: Vec<String> },
+    /// `DISTINCT input`
+    Distinct { input: String },
+    /// `ORDER input BY key [ASC|DESC], …` — post-processing (§3.2)
+    Order {
+        input: String,
+        keys: Vec<(FieldRef, bool)>, // (field, ascending)
+    },
+    /// `LIMIT input n`
+    Limit { input: String, count: usize },
+}
+
+/// Grouping keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKeys {
+    /// `BY expr, …`
+    By(Vec<Expr>),
+    /// `ALL` — a single group holding every tuple.
+    All,
+}
+
+/// One `GENERATE` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenItem {
+    /// `expr [AS name]`
+    Expr { expr: Expr, alias: Option<String> },
+    /// `*` — every field of the input.
+    Star,
+    /// `FLATTEN(expr) [AS name, …]` — unnest a bag field or a
+    /// bag-returning UDF.
+    Flatten { expr: Expr, aliases: Vec<String> },
+}
+
+/// A field reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldRef {
+    /// `$k`
+    Positional(usize),
+    /// `name` or `rel::name`
+    Named(String),
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldRef::Positional(i) => write!(f, "${i}"),
+            FieldRef::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Lit(Value),
+    /// Field of the current tuple.
+    Field(FieldRef),
+    /// `bag.attr` — projects an attribute across a nested bag; valid as
+    /// an aggregate argument (`SUM(Bids.Price)`).
+    BagProject { bag: FieldRef, attr: FieldRef },
+    /// Unary negation / NOT.
+    Unary { op: UnaryOp, inner: Box<Expr> },
+    /// Binary arithmetic / comparison / logic.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull { inner: Box<Expr>, negated: bool },
+    /// Aggregate call: `COUNT(bag)`, `SUM(bag.attr)`, …
+    Agg {
+        op: lipstick_core::agg::AggOp,
+        arg: Box<Expr>,
+    },
+    /// User-defined function call (black box).
+    Udf { name: String, args: Vec<Expr> },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Is this a comparison (result type boolean)?
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Lte | BinOp::Gt | BinOp::Gte
+        )
+    }
+
+    /// Is this a logical connective?
+    pub fn is_logic(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Lte => "<=",
+            BinOp::Gt => ">",
+            BinOp::Gte => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logic());
+        assert!(!BinOp::Lt.is_logic());
+    }
+
+    #[test]
+    fn fieldref_display() {
+        assert_eq!(FieldRef::Positional(2).to_string(), "$2");
+        assert_eq!(FieldRef::Named("Cars::Model".into()).to_string(), "Cars::Model");
+    }
+}

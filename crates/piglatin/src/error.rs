@@ -1,0 +1,98 @@
+//! Error types for the Pig Latin engine.
+
+use std::fmt;
+
+use lipstick_nrel::NrelError;
+
+/// Errors raised while lexing, parsing, planning, or evaluating Pig
+/// Latin programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PigError {
+    /// Lexical error with line/column.
+    Lex {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// Parse error with line/column.
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// Reference to an alias that is not bound (neither a prior
+    /// statement nor an environment relation).
+    UnknownAlias(String),
+    /// Planning error (schema inference / name resolution).
+    Plan(String),
+    /// Unknown UDF name.
+    UnknownUdf(String),
+    /// A UDF failed.
+    Udf { name: String, message: String },
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Data model error (field resolution, type mismatch, …).
+    Nrel(NrelError),
+}
+
+impl fmt::Display for PigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PigError::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            PigError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            PigError::UnknownAlias(a) => write!(f, "unknown alias '{a}'"),
+            PigError::Plan(m) => write!(f, "plan error: {m}"),
+            PigError::UnknownUdf(n) => write!(f, "unknown UDF '{n}'"),
+            PigError::Udf { name, message } => write!(f, "UDF '{name}' failed: {message}"),
+            PigError::Eval(m) => write!(f, "evaluation error: {m}"),
+            PigError::Nrel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PigError::Nrel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NrelError> for PigError {
+    fn from(e: NrelError) -> Self {
+        PigError::Nrel(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = PigError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_position() {
+        let e = PigError::Parse {
+            line: 3,
+            col: 7,
+            message: "expected BY".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected BY");
+    }
+
+    #[test]
+    fn nrel_errors_convert() {
+        let e: PigError = NrelError::TypeMismatch {
+            expected: "int",
+            found: "bag",
+        }
+        .into();
+        assert!(e.to_string().contains("int"));
+    }
+}

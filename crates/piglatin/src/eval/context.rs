@@ -1,0 +1,267 @@
+//! Annotated tuples, relations, and the execution environment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::Tracker;
+use lipstick_nrel::{Schema, Tuple};
+
+use crate::error::Result;
+use crate::plan::SchemaMap;
+
+/// A tuple's annotation: its provenance reference plus value references
+/// for fields whose values were computed by aggregates or black boxes
+/// (`(field position, v-node)` pairs, sparse and usually empty).
+#[derive(Debug, Clone)]
+pub struct Ann<R: Copy> {
+    pub prov: R,
+    pub vrefs: Vec<(u16, R)>,
+}
+
+impl<R: Copy> Ann<R> {
+    /// Annotation with no value refs.
+    pub fn plain(prov: R) -> Self {
+        Ann {
+            prov,
+            vrefs: Vec::new(),
+        }
+    }
+
+    /// Value reference of a field, if any.
+    pub fn vref(&self, field: usize) -> Option<R> {
+        self.vrefs
+            .iter()
+            .find(|(i, _)| *i as usize == field)
+            .map(|(_, r)| *r)
+    }
+
+    /// All value-reference nodes (used when wiring module outputs and
+    /// black-box inputs).
+    pub fn vref_nodes(&self) -> impl Iterator<Item = R> + '_ {
+        self.vrefs.iter().map(|(_, r)| *r)
+    }
+}
+
+/// An annotated tuple.
+#[derive(Debug, Clone)]
+pub struct ATuple<R: Copy> {
+    pub tuple: Tuple,
+    pub ann: Ann<R>,
+    /// For bag-valued fields produced by GROUP/COGROUP: the member
+    /// tuples' annotations, positionally aligned with the bag's internal
+    /// order. Shared via `Arc` so projections stay O(1).
+    pub members: Vec<(u16, Arc<Vec<Ann<R>>>)>,
+}
+
+impl<R: Copy> ATuple<R> {
+    /// Annotated tuple with no value refs or members.
+    pub fn plain(tuple: Tuple, prov: R) -> Self {
+        ATuple {
+            tuple,
+            ann: Ann::plain(prov),
+            members: Vec::new(),
+        }
+    }
+
+    /// Member annotations of a bag field, if recorded.
+    pub fn member_anns(&self, field: usize) -> Option<&Arc<Vec<Ann<R>>>> {
+        self.members
+            .iter()
+            .find(|(i, _)| *i as usize == field)
+            .map(|(_, m)| m)
+    }
+}
+
+/// An annotated relation: schema plus annotated rows.
+#[derive(Debug, Clone)]
+pub struct ARelation<R: Copy> {
+    pub schema: Arc<Schema>,
+    pub rows: Vec<ATuple<R>>,
+}
+
+impl<R: Copy> ARelation<R> {
+    /// Empty relation with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        ARelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The bare tuples, in row order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.rows.iter().map(|r| r.tuple.clone()).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The execution environment: alias → annotated relation.
+///
+/// The workflow layer pre-binds module inputs and state relations here;
+/// `execute` binds every statement's result.
+#[derive(Debug, Clone, Default)]
+pub struct Env<R: Copy> {
+    rels: HashMap<String, ARelation<R>>,
+}
+
+impl<R: Copy> Env<R> {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Env {
+            rels: HashMap::new(),
+        }
+    }
+
+    /// Bind (or replace) a relation.
+    pub fn bind(&mut self, alias: String, rel: ARelation<R>) {
+        self.rels.insert(alias, rel);
+    }
+
+    /// Bind raw tuples, minting a base provenance token
+    /// `"<name>.<row>"` per tuple. Tuples are validated against the
+    /// schema.
+    pub fn bind_with_tokens<T: Tracker<Ref = R>>(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        tracker: &mut T,
+    ) -> Result<()> {
+        self.bind_with_token_fn(name, schema, tuples, tracker, |name, idx, _| {
+            format!("{name}.{idx}")
+        })
+    }
+
+    /// Bind raw tuples with a custom token-naming function (the paper
+    /// uses domain tokens like `C2` for cars).
+    pub fn bind_with_token_fn<T: Tracker<Ref = R>>(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        tracker: &mut T,
+        token_of: impl Fn(&str, usize, &Tuple) -> String,
+    ) -> Result<()> {
+        let schema = Arc::new(schema);
+        let mut rows = Vec::with_capacity(tuples.len());
+        for (idx, t) in tuples.into_iter().enumerate() {
+            schema.admits_tuple(&t).map_err(crate::error::PigError::from)?;
+            let prov = if T::TRACKING {
+                tracker.base(&token_of(name, idx, &t))
+            } else {
+                tracker.base("")
+            };
+            rows.push(ATuple::plain(t, prov));
+        }
+        self.bind(
+            name.to_string(),
+            ARelation {
+                schema,
+                rows,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, alias: &str) -> Option<&ARelation<R>> {
+        self.rels.get(alias)
+    }
+
+    /// Remove and return a relation.
+    pub fn take(&mut self, alias: &str) -> Option<ARelation<R>> {
+        self.rels.remove(alias)
+    }
+
+    /// Schemas of all bound relations (input to the planner).
+    pub fn schemas(&self) -> SchemaMap {
+        self.rels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema.clone()))
+            .collect()
+    }
+
+    /// Bound aliases, sorted.
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.rels.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipstick_core::graph::{GraphTracker, NoTracker};
+    use lipstick_core::NodeKind;
+    use lipstick_nrel::{tuple, DataType};
+
+    #[test]
+    fn bind_with_tokens_creates_base_nodes() {
+        let mut env: Env<lipstick_core::NodeId> = Env::new();
+        let mut tracker = GraphTracker::new();
+        env.bind_with_tokens(
+            "Cars",
+            Schema::named(&[("CarId", DataType::Str)]),
+            vec![tuple!["C1"], tuple!["C2"]],
+            &mut tracker,
+        )
+        .unwrap();
+        let g = tracker.finish();
+        let tokens: Vec<String> = g
+            .iter()
+            .filter_map(|(_, n)| match &n.kind {
+                NodeKind::BaseTuple { token } => Some(token.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tokens, vec!["Cars.0", "Cars.1"]);
+    }
+
+    #[test]
+    fn bind_validates_schema() {
+        let mut env: Env<()> = Env::new();
+        let mut tracker = NoTracker;
+        let res = env.bind_with_tokens(
+            "Cars",
+            Schema::named(&[("CarId", DataType::Int)]),
+            vec![tuple!["not an int"]],
+            &mut tracker,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn ann_vref_lookup() {
+        let ann = Ann {
+            prov: 1u32,
+            vrefs: vec![(2, 42u32)],
+        };
+        assert_eq!(ann.vref(2), Some(42));
+        assert_eq!(ann.vref(0), None);
+        assert_eq!(ann.vref_nodes().collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn env_schemas_and_aliases() {
+        let mut env: Env<()> = Env::new();
+        let mut tracker = NoTracker;
+        env.bind_with_tokens("B", Schema::named(&[("x", DataType::Int)]), vec![], &mut tracker)
+            .unwrap();
+        env.bind_with_tokens("A", Schema::named(&[("y", DataType::Int)]), vec![], &mut tracker)
+            .unwrap();
+        assert_eq!(env.aliases(), vec!["A", "B"]);
+        assert_eq!(env.schemas().len(), 2);
+        assert!(env.take("A").is_some());
+        assert!(env.relation("A").is_none());
+    }
+}

@@ -1,0 +1,396 @@
+//! FOREACH … GENERATE: projection, aggregation, black boxes, FLATTEN.
+//!
+//! Provenance rules (§3.2):
+//!
+//! - **projection**: each output tuple gets a `+` node over its source
+//!   tuple;
+//! - **aggregation**: additionally, an op-labelled v-node with one ⊗
+//!   tensor per group member pairing the member's provenance with the
+//!   aggregated value;
+//! - **black box**: a node labelled with the function name over the
+//!   input nodes (p-node or v-node per the UDF's declaration);
+//! - **FLATTEN** of a bag field: the output row depends jointly (`·`) on
+//!   the outer tuple and the flattened member.
+
+use std::sync::Arc;
+
+use lipstick_core::graph::tracker::AggItemValue;
+use lipstick_core::Tracker;
+use lipstick_nrel::{Schema, Tuple, Value};
+
+use crate::error::{PigError, Result};
+use crate::expr::CExpr;
+use crate::plan::CGenItem;
+use crate::udf::UdfRegistry;
+
+use super::context::{ARelation, ATuple, Ann};
+
+/// One item's contribution for a single input row.
+enum Piece<R: Copy> {
+    /// Fixed fields (projection, aggregate, scalar UDF).
+    Single {
+        values: Vec<Value>,
+        /// v-refs local to this piece (offset within the piece).
+        vrefs: Vec<(u16, R)>,
+        /// An extra joint provenance ingredient (p-node black box).
+        joint: Option<R>,
+        /// Member annotations carried through when projecting a bag
+        /// field that has them (local offset → anns).
+        members: Vec<(u16, Arc<Vec<Ann<R>>>)>,
+    },
+    /// FLATTEN expansion: the cross product multiplies rows.
+    Rows(Vec<PieceRow<R>>),
+}
+
+struct PieceRow<R: Copy> {
+    values: Vec<Value>,
+    /// Provenance of the flattened member (joins the output's `·`).
+    member_prov: Option<R>,
+    vrefs: Vec<(u16, R)>,
+}
+
+/// Evaluate FOREACH over a relation.
+pub fn eval_foreach<T: Tracker>(
+    input: &ARelation<T::Ref>,
+    items: &[CGenItem],
+    out_schema: Arc<Schema>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<ARelation<T::Ref>> {
+    let mut out = ARelation::empty(out_schema);
+    for row in &input.rows {
+        let mut pieces = Vec::with_capacity(items.len());
+        for item in items {
+            pieces.push(eval_item(row, item, tracker, udfs)?);
+        }
+        assemble(row, items, &pieces, &mut out, tracker)?;
+    }
+    Ok(out)
+}
+
+fn eval_item<T: Tracker>(
+    row: &ATuple<T::Ref>,
+    item: &CGenItem,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<Piece<T::Ref>> {
+    match item {
+        CGenItem::Expr { expr, source_field } => {
+            let value = expr.eval(&row.tuple)?;
+            let mut vrefs = Vec::new();
+            let mut members = Vec::new();
+            if let Some(sf) = source_field {
+                if T::TRACKING {
+                    if let Some(v) = row.ann.vref(*sf) {
+                        vrefs.push((0u16, v));
+                    }
+                    if let Some(m) = row.member_anns(*sf) {
+                        members.push((0u16, m.clone()));
+                    }
+                }
+            }
+            Ok(Piece::Single {
+                values: vec![value],
+                vrefs,
+                joint: None,
+                members,
+            })
+        }
+        CGenItem::Star { arity } => {
+            let mut vrefs = Vec::new();
+            let mut members = Vec::new();
+            if T::TRACKING {
+                vrefs.extend(row.ann.vrefs.iter().copied());
+                members.extend(row.members.iter().cloned());
+            }
+            debug_assert_eq!(row.tuple.arity(), *arity);
+            Ok(Piece::Single {
+                values: row.tuple.fields().to_vec(),
+                vrefs,
+                joint: None,
+                members,
+            })
+        }
+        CGenItem::Agg { op, bag, attr } => {
+            let bag_val = row.tuple.get(*bag)?.as_bag()?;
+            let member_anns = row.member_anns(*bag);
+            // Extract the per-member values being aggregated.
+            let mut values = Vec::with_capacity(bag_val.len());
+            for t in bag_val.iter() {
+                values.push(match attr {
+                    Some(a) => t.get(*a)?.clone(),
+                    None => Value::Int(1),
+                });
+            }
+            let result = op.apply(&values)?;
+            let mut vrefs = Vec::new();
+            if T::TRACKING {
+                let mut agg_items: Vec<(T::Ref, AggItemValue<T::Ref>)> =
+                    Vec::with_capacity(values.len());
+                for (j, v) in values.iter().enumerate() {
+                    let member = member_anns
+                        .and_then(|anns| anns.get(j))
+                        .map(|a| (a.prov, attr.and_then(|at| a.vref(at))));
+                    let (prov, vnode) = member.unwrap_or((row.ann.prov, None));
+                    let item_value = match vnode {
+                        Some(n) => AggItemValue::Node(n),
+                        None => AggItemValue::Const(v.clone()),
+                    };
+                    agg_items.push((prov, item_value));
+                }
+                let agg_node = tracker.agg(*op, &agg_items);
+                vrefs.push((0u16, agg_node));
+            }
+            Ok(Piece::Single {
+                values: vec![result],
+                vrefs,
+                joint: None,
+                members: Vec::new(),
+            })
+        }
+        CGenItem::Udf {
+            name,
+            args,
+            arg_fields,
+            returns_value,
+        } => {
+            let (value, bb) = call_udf(row, name, args, arg_fields, *returns_value, tracker, udfs)?;
+            let (vrefs, joint) = if T::TRACKING {
+                if *returns_value {
+                    (vec![(0u16, bb)], None)
+                } else {
+                    (Vec::new(), Some(bb))
+                }
+            } else {
+                (Vec::new(), None)
+            };
+            Ok(Piece::Single {
+                values: vec![value],
+                vrefs,
+                joint,
+                members: Vec::new(),
+            })
+        }
+        CGenItem::FlattenField { bag, arity } => {
+            let bag_val = row.tuple.get(*bag)?.as_bag()?;
+            let member_anns = row.member_anns(*bag);
+            let mut rows = Vec::with_capacity(bag_val.len());
+            for (j, t) in bag_val.iter().enumerate() {
+                if t.arity() != *arity {
+                    return Err(PigError::Eval(format!(
+                        "FLATTEN: member tuple arity {} does not match schema arity {arity}",
+                        t.arity()
+                    )));
+                }
+                let ann = member_anns.and_then(|a| a.get(j));
+                rows.push(PieceRow {
+                    values: t.fields().to_vec(),
+                    member_prov: if T::TRACKING { ann.map(|a| a.prov) } else { None },
+                    vrefs: if T::TRACKING {
+                        ann.map(|a| a.vrefs.clone()).unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
+            Ok(Piece::Rows(rows))
+        }
+        CGenItem::FlattenUdf {
+            name,
+            args,
+            arg_fields,
+            returns_value,
+            arity,
+        } => {
+            let (value, bb) = call_udf(row, name, args, arg_fields, *returns_value, tracker, udfs)?;
+            let members: Vec<Tuple> = match value {
+                Value::Bag(b) => b.into_tuples(),
+                Value::Tuple(t) => vec![t],
+                Value::Null => vec![],
+                other => {
+                    return Err(PigError::Eval(format!(
+                        "FLATTEN({name}(…)) returned non-collection value of type {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let mut rows = Vec::with_capacity(members.len());
+            for t in members {
+                if t.arity() != *arity {
+                    return Err(PigError::Eval(format!(
+                        "{name} returned tuple of arity {} but schema declares {arity}",
+                        t.arity()
+                    )));
+                }
+                let (member_prov, vrefs) = if T::TRACKING {
+                    if *returns_value {
+                        // The BB's value is embedded in the tuple: record
+                        // it as a value reference on the fragment.
+                        (None, vec![(0u16, bb)])
+                    } else {
+                        (Some(bb), Vec::new())
+                    }
+                } else {
+                    (None, Vec::new())
+                };
+                rows.push(PieceRow {
+                    values: t.fields().to_vec(),
+                    member_prov,
+                    vrefs,
+                });
+            }
+            Ok(Piece::Rows(rows))
+        }
+    }
+}
+
+/// Invoke a UDF and create its black-box node over the inputs it read:
+/// the source tuple's p-node, the v-refs of referenced fields, and the
+/// v-refs of members of referenced bag fields.
+fn call_udf<T: Tracker>(
+    row: &ATuple<T::Ref>,
+    name: &str,
+    args: &[CExpr],
+    arg_fields: &[usize],
+    returns_value: bool,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<(Value, T::Ref)> {
+    let udf = udfs.get(name)?;
+    let mut arg_values = Vec::with_capacity(args.len());
+    for a in args {
+        arg_values.push(a.eval(&row.tuple)?);
+    }
+    let value = udf.call(&arg_values)?;
+    let bb = if T::TRACKING {
+        let mut inputs = vec![row.ann.prov];
+        for &f in arg_fields {
+            if let Some(v) = row.ann.vref(f) {
+                inputs.push(v);
+            }
+            if let Some(member_anns) = row.member_anns(f) {
+                for ann in member_anns.iter() {
+                    inputs.extend(ann.vref_nodes());
+                }
+            }
+        }
+        inputs.dedup();
+        tracker.blackbox(name, &inputs, returns_value)
+    } else {
+        tracker.blackbox(name, &[], returns_value)
+    };
+    Ok((value, bb))
+}
+
+/// Cross-product the pieces and emit output rows.
+fn assemble<T: Tracker>(
+    row: &ATuple<T::Ref>,
+    items: &[CGenItem],
+    pieces: &[Piece<T::Ref>],
+    out: &mut ARelation<T::Ref>,
+    tracker: &mut T,
+) -> Result<()> {
+    // Working set of partial rows; FLATTEN pieces multiply it.
+    struct Partial<R: Copy> {
+        values: Vec<Value>,
+        vrefs: Vec<(u16, R)>,
+        joint_parts: Vec<R>,
+        members: Vec<(u16, Arc<Vec<Ann<R>>>)>,
+    }
+    let mut partials = vec![Partial::<T::Ref> {
+        values: Vec::with_capacity(out.schema.arity()),
+        vrefs: Vec::new(),
+        joint_parts: Vec::new(),
+        members: Vec::new(),
+    }];
+    for (item, piece) in items.iter().zip(pieces) {
+        match piece {
+            Piece::Single {
+                values,
+                vrefs,
+                joint,
+                members,
+            } => {
+                for p in &mut partials {
+                    let offset = p.values.len() as u16;
+                    p.values.extend(values.iter().cloned());
+                    p.vrefs
+                        .extend(vrefs.iter().map(|(i, r)| (offset + i, *r)));
+                    p.members
+                        .extend(members.iter().map(|(i, m)| (offset + i, m.clone())));
+                    if let Some(j) = joint {
+                        p.joint_parts.push(*j);
+                    }
+                }
+            }
+            Piece::Rows(rows) => {
+                let mut next = Vec::with_capacity(partials.len() * rows.len());
+                for p in &partials {
+                    for r in rows {
+                        let offset = p.values.len() as u16;
+                        let mut values = p.values.clone();
+                        values.extend(r.values.iter().cloned());
+                        let mut vrefs = p.vrefs.clone();
+                        vrefs.extend(r.vrefs.iter().map(|(i, rr)| (offset + i, *rr)));
+                        let mut joint_parts = p.joint_parts.clone();
+                        if let Some(m) = r.member_prov {
+                            joint_parts.push(m);
+                        }
+                        next.push(Partial {
+                            values,
+                            vrefs,
+                            joint_parts,
+                            members: p.members.clone(),
+                        });
+                    }
+                }
+                partials = next;
+            }
+        }
+        // Touch `item` for exhaustiveness bookkeeping (arities verified
+        // by the planner; a debug assert keeps them honest here).
+        debug_assert!(item.arity() > 0 || matches!(item, CGenItem::Star { arity: 0 }));
+    }
+
+    for p in partials {
+        debug_assert_eq!(p.values.len(), out.schema.arity());
+        let prov = if T::TRACKING {
+            if p.joint_parts.is_empty() {
+                // Pure projection: a fresh + node over the source tuple.
+                tracker.plus(&[row.ann.prov])
+            } else if p.joint_parts.len() == 1
+                && items.len() == 1
+                && matches!(
+                    items[0],
+                    CGenItem::Udf {
+                        returns_value: false,
+                        ..
+                    } | CGenItem::FlattenUdf {
+                        returns_value: false,
+                        ..
+                    }
+                )
+            {
+                // Pure black-box derivation: the BB node *is* the tuple's
+                // provenance (its inputs already include the source).
+                p.joint_parts[0]
+            } else {
+                let mut parts = Vec::with_capacity(1 + p.joint_parts.len());
+                parts.push(row.ann.prov);
+                parts.extend(p.joint_parts.iter().copied());
+                tracker.times(&parts)
+            }
+        } else {
+            row.ann.prov
+        };
+        out.rows.push(ATuple {
+            tuple: Tuple::new(p.values),
+            ann: Ann {
+                prov,
+                vrefs: p.vrefs,
+            },
+            members: p.members,
+        });
+    }
+    Ok(())
+}

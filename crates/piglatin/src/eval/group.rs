@@ -1,0 +1,143 @@
+//! GROUP / COGROUP with δ provenance.
+//!
+//! "For each tuple t in the result of GROUP A BY f, create a p-node
+//! labeled δ, with incoming edges from the p-nodes v₁…vₖ corresponding
+//! to tuples in A that have the same grouping attribute value" (§3.2).
+//! Member tuples keep their original annotations inside the nested bag
+//! so later aggregation can build ⊗ tensors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::Tracker;
+use lipstick_nrel::{Bag, Schema, Tuple, Value};
+
+use crate::error::Result;
+use crate::expr::CExpr;
+
+use super::context::{ARelation, ATuple, Ann};
+
+/// Evaluate grouping keys for one tuple: a single expression yields its
+/// value; several yield a tuple.
+pub(crate) fn key_tuple(keys: &[CExpr], tuple: &Tuple) -> Result<Value> {
+    if keys.len() == 1 {
+        Ok(keys[0].eval(tuple)?)
+    } else {
+        let mut vals = Vec::with_capacity(keys.len());
+        for k in keys {
+            vals.push(k.eval(tuple)?);
+        }
+        Ok(Value::Tuple(Tuple::new(vals)))
+    }
+}
+
+/// `GROUP input BY keys` / `GROUP input ALL` (keys = `None`).
+pub fn eval_group<T: Tracker>(
+    input: &ARelation<T::Ref>,
+    keys: Option<&[CExpr]>,
+    out_schema: Arc<Schema>,
+    tracker: &mut T,
+) -> Result<ARelation<T::Ref>> {
+    // Group rows by key, preserving first-occurrence order for
+    // deterministic output.
+    let mut order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (idx, row) in input.rows.iter().enumerate() {
+        let key = match keys {
+            None => Value::str("all"),
+            Some(ks) => key_tuple(ks, &row.tuple)?,
+        };
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(idx);
+    }
+
+    let mut out = ARelation::empty(out_schema);
+    for key in order {
+        let idxs = &groups[&key];
+        let mut bag = Bag::empty();
+        let mut anns = Vec::with_capacity(idxs.len());
+        let mut provs = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            let row = &input.rows[i];
+            bag.push(row.tuple.clone());
+            if T::TRACKING {
+                anns.push(row.ann.clone());
+                provs.push(row.ann.prov);
+            }
+        }
+        let prov = tracker.delta(&provs);
+        out.rows.push(ATuple {
+            tuple: Tuple::new(vec![key, Value::Bag(bag)]),
+            ann: Ann::plain(prov),
+            members: if T::TRACKING {
+                vec![(1u16, Arc::new(anns))]
+            } else {
+                Vec::new()
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// `COGROUP a BY k₁, b BY k₂, …`: one output tuple per key occurring in
+/// any input, with one nested bag per input; δ over all members.
+pub fn eval_cogroup<T: Tracker>(
+    inputs: &[(&ARelation<T::Ref>, &[CExpr])],
+    out_schema: Arc<Schema>,
+    tracker: &mut T,
+) -> Result<ARelation<T::Ref>> {
+    let n = inputs.len();
+    let mut order: Vec<Value> = Vec::new();
+    // key → per-input row indices
+    let mut groups: HashMap<Value, Vec<Vec<usize>>> = HashMap::new();
+    for (input_idx, (rel, keys)) in inputs.iter().enumerate() {
+        for (row_idx, row) in rel.rows.iter().enumerate() {
+            let key = key_tuple(keys, &row.tuple)?;
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    vec![Vec::new(); n]
+                })[input_idx]
+                .push(row_idx);
+        }
+    }
+
+    let mut out = ARelation::empty(out_schema);
+    for key in order {
+        let per_input = &groups[&key];
+        let mut fields = Vec::with_capacity(1 + n);
+        fields.push(key);
+        let mut members = Vec::new();
+        let mut provs = Vec::new();
+        for (input_idx, idxs) in per_input.iter().enumerate() {
+            let rel = inputs[input_idx].0;
+            let mut bag = Bag::empty();
+            let mut anns = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                let row = &rel.rows[i];
+                bag.push(row.tuple.clone());
+                if T::TRACKING {
+                    anns.push(row.ann.clone());
+                    provs.push(row.ann.prov);
+                }
+            }
+            fields.push(Value::Bag(bag));
+            if T::TRACKING {
+                members.push(((1 + input_idx) as u16, Arc::new(anns)));
+            }
+        }
+        let prov = tracker.delta(&provs);
+        out.rows.push(ATuple {
+            tuple: Tuple::new(fields),
+            ann: Ann::plain(prov),
+            members,
+        });
+    }
+    Ok(out)
+}

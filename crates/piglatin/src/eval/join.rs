@@ -1,0 +1,85 @@
+//! Equi-JOIN with `·` provenance.
+//!
+//! "For each tuple t in the result of JOIN A BY f1, B BY f2, we create a
+//! p-node labeled · with incoming edges from v_t′, v_t″ where t′ from A
+//! and t″ from B join to produce t" (§3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::Tracker;
+use lipstick_nrel::{Schema, Value};
+
+use crate::error::Result;
+use crate::expr::CExpr;
+
+use super::context::{ARelation, ATuple, Ann};
+use super::group::key_tuple;
+
+/// Hash equi-join. Null keys never match (Pig/SQL semantics).
+pub fn eval_join<T: Tracker>(
+    left: &ARelation<T::Ref>,
+    left_keys: &[CExpr],
+    right: &ARelation<T::Ref>,
+    right_keys: &[CExpr],
+    out_schema: Arc<Schema>,
+    tracker: &mut T,
+) -> Result<ARelation<T::Ref>> {
+    // Build side: the smaller input.
+    let mut table: HashMap<Value, Vec<usize>> = HashMap::with_capacity(left.rows.len());
+    for (idx, row) in left.rows.iter().enumerate() {
+        let key = key_tuple(left_keys, &row.tuple)?;
+        if key_has_null(&key) {
+            continue;
+        }
+        table.entry(key).or_default().push(idx);
+    }
+
+    let left_arity = left.schema.arity() as u16;
+    let mut out = ARelation::empty(out_schema);
+    for rrow in &right.rows {
+        let key = key_tuple(right_keys, &rrow.tuple)?;
+        if key_has_null(&key) {
+            continue;
+        }
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
+        for &li in matches {
+            let lrow = &left.rows[li];
+            let tuple = lrow.tuple.concat(&rrow.tuple);
+            let prov = tracker.times(&[lrow.ann.prov, rrow.ann.prov]);
+            let mut vrefs = Vec::new();
+            let mut members = Vec::new();
+            if T::TRACKING {
+                vrefs.extend(lrow.ann.vrefs.iter().copied());
+                vrefs.extend(
+                    rrow.ann
+                        .vrefs
+                        .iter()
+                        .map(|(i, r)| (i + left_arity, *r)),
+                );
+                members.extend(lrow.members.iter().cloned());
+                members.extend(
+                    rrow.members
+                        .iter()
+                        .map(|(i, m)| (i + left_arity, m.clone())),
+                );
+            }
+            out.rows.push(ATuple {
+                tuple,
+                ann: Ann { prov, vrefs },
+                members,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn key_has_null(key: &Value) -> bool {
+    match key {
+        Value::Null => true,
+        Value::Tuple(t) => t.fields().iter().any(Value::is_null),
+        _ => false,
+    }
+}

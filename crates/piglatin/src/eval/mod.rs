@@ -1,0 +1,111 @@
+//! Evaluation of compiled programs with provenance capture.
+//!
+//! Every tuple flowing through the engine is an [`ATuple`]: the tuple
+//! value plus an [`Ann`] — its provenance reference and any *value
+//! references* (v-nodes for fields computed by aggregation or black
+//! boxes). Bag fields produced by GROUP/COGROUP additionally carry the
+//! member tuples' annotations so later aggregation can pair each
+//! member's value with its provenance (the ⊗ tensor construction).
+//!
+//! All operators are generic over [`Tracker`]; run them with
+//! [`lipstick_core::NoTracker`] for the provenance-free baseline.
+
+pub mod context;
+pub mod foreach;
+pub mod group;
+pub mod join;
+pub mod setops;
+#[cfg(test)]
+mod tests;
+
+pub use context::{ARelation, ATuple, Ann, Env};
+
+use lipstick_core::Tracker;
+
+use crate::error::{PigError, Result};
+use crate::plan::{COp, Compiled};
+use crate::udf::UdfRegistry;
+
+/// Execute a compiled program against an environment, binding every
+/// statement's result under its alias.
+pub fn execute<T: Tracker>(
+    program: &Compiled,
+    env: &mut Env<T::Ref>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<()> {
+    for stmt in &program.stmts {
+        let out = match &stmt.op {
+            COp::Filter { input, cond } => {
+                setops::eval_filter(env.relation_or_err(input)?, cond, stmt.schema.clone())?
+            }
+            COp::Foreach { input, items } => foreach::eval_foreach(
+                env.relation_or_err(input)?,
+                items,
+                stmt.schema.clone(),
+                tracker,
+                udfs,
+            )?,
+            COp::Group { input, keys, .. } => group::eval_group(
+                env.relation_or_err(input)?,
+                keys.as_deref(),
+                stmt.schema.clone(),
+                tracker,
+            )?,
+            COp::Cogroup { inputs } => {
+                let mut rels = Vec::with_capacity(inputs.len());
+                for (alias, keys) in inputs {
+                    rels.push((env.relation_or_err(alias)?, keys.as_slice()));
+                }
+                group::eval_cogroup(&rels, stmt.schema.clone(), tracker)?
+            }
+            COp::Join { left, right } => join::eval_join(
+                env.relation_or_err(&left.0)?,
+                &left.1,
+                env.relation_or_err(&right.0)?,
+                &right.1,
+                stmt.schema.clone(),
+                tracker,
+            )?,
+            COp::Union { inputs } => {
+                let mut rels = Vec::with_capacity(inputs.len());
+                for alias in inputs {
+                    rels.push(env.relation_or_err(alias)?);
+                }
+                setops::eval_union(&rels, stmt.schema.clone())
+            }
+            COp::Distinct { input } => {
+                setops::eval_distinct(env.relation_or_err(input)?, stmt.schema.clone(), tracker)
+            }
+            COp::Order { input, keys } => {
+                setops::eval_order(env.relation_or_err(input)?, keys, stmt.schema.clone())?
+            }
+            COp::Limit { input, count } => {
+                setops::eval_limit(env.relation_or_err(input)?, *count, stmt.schema.clone())
+            }
+        };
+        env.bind(stmt.alias.clone(), out);
+    }
+    Ok(())
+}
+
+/// Parse, compile, and execute a script in one call (convenience for
+/// tests and examples).
+pub fn run_script<T: Tracker>(
+    script: &str,
+    env: &mut Env<T::Ref>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<Compiled> {
+    let program = crate::parse(script)?;
+    let compiled = crate::plan::compile(&program, &env.schemas(), udfs)?;
+    execute(&compiled, env, tracker, udfs)?;
+    Ok(compiled)
+}
+
+impl<R: Copy> Env<R> {
+    pub(crate) fn relation_or_err(&self, alias: &str) -> Result<&ARelation<R>> {
+        self.relation(alias)
+            .ok_or_else(|| PigError::UnknownAlias(alias.to_string()))
+    }
+}

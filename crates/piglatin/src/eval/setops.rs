@@ -1,0 +1,109 @@
+//! FILTER, UNION, DISTINCT, ORDER, LIMIT.
+//!
+//! - FILTER selects rows; provenance passes through untouched (no graph
+//!   nodes are created — selection does not derive new data).
+//! - UNION is additive bag union; each tuple keeps its annotation.
+//! - DISTINCT annotates each surviving tuple with δ over its duplicates.
+//! - ORDER / LIMIT are post-processing (§3.2): no provenance structure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::Tracker;
+use lipstick_nrel::sort::{compare, SortKey};
+use lipstick_nrel::{Schema, Tuple};
+
+use crate::error::Result;
+use crate::expr::CExpr;
+
+use super::context::{ARelation, ATuple, Ann};
+
+/// `FILTER input BY cond`.
+pub fn eval_filter<R: Copy>(
+    input: &ARelation<R>,
+    cond: &CExpr,
+    out_schema: Arc<Schema>,
+) -> Result<ARelation<R>> {
+    let mut out = ARelation::empty(out_schema);
+    for row in &input.rows {
+        if cond.eval(&row.tuple)?.truthy() {
+            out.rows.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// `UNION a, b, …` — additive bag union.
+pub fn eval_union<R: Copy>(inputs: &[&ARelation<R>], out_schema: Arc<Schema>) -> ARelation<R> {
+    let total = inputs.iter().map(|r| r.rows.len()).sum();
+    let mut out = ARelation::empty(out_schema);
+    out.rows.reserve(total);
+    for rel in inputs {
+        out.rows.extend(rel.rows.iter().cloned());
+    }
+    out
+}
+
+/// `DISTINCT input` — δ over each tuple's duplicates.
+pub fn eval_distinct<T: Tracker>(
+    input: &ARelation<T::Ref>,
+    out_schema: Arc<Schema>,
+    tracker: &mut T,
+) -> ARelation<T::Ref> {
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut dups: HashMap<Tuple, Vec<T::Ref>> = HashMap::new();
+    for row in &input.rows {
+        dups.entry(row.tuple.clone())
+            .or_insert_with(|| {
+                order.push(row.tuple.clone());
+                Vec::new()
+            })
+            .push(row.ann.prov);
+    }
+    let mut out = ARelation::empty(out_schema);
+    for tuple in order {
+        let provs = &dups[&tuple];
+        let prov = tracker.delta(provs);
+        out.rows.push(ATuple {
+            tuple,
+            ann: Ann::plain(prov),
+            members: Vec::new(),
+        });
+    }
+    out
+}
+
+/// `ORDER input BY …` — stable multi-key sort; annotations follow rows.
+pub fn eval_order<R: Copy>(
+    input: &ARelation<R>,
+    keys: &[SortKey],
+    out_schema: Arc<Schema>,
+) -> Result<ARelation<R>> {
+    // Validate key positions before sorting so the comparator is
+    // infallible.
+    for row in &input.rows {
+        for k in keys {
+            row.tuple.get(k.position)?;
+        }
+    }
+    let mut rows = input.rows.clone();
+    rows.sort_by(|a, b| {
+        compare(&a.tuple, &b.tuple, keys).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(ARelation {
+        schema: out_schema,
+        rows,
+    })
+}
+
+/// `LIMIT input n`.
+pub fn eval_limit<R: Copy>(
+    input: &ARelation<R>,
+    count: usize,
+    out_schema: Arc<Schema>,
+) -> ARelation<R> {
+    ARelation {
+        schema: out_schema,
+        rows: input.rows.iter().take(count).cloned().collect(),
+    }
+}

@@ -1,0 +1,704 @@
+//! End-to-end evaluator tests, including the paper's running example.
+
+
+use lipstick_core::graph::{GraphTracker, NoTracker};
+use lipstick_core::semiring::eval::{eval_expr, Valuation};
+use lipstick_core::semiring::natural::Natural;
+use lipstick_core::semiring::Polynomial;
+use lipstick_core::{NodeId, NodeKind, Semiring};
+use lipstick_nrel::{bag, tuple, Bag, DataType, Schema, Tuple, Value};
+
+use crate::eval::{run_script, Env};
+use crate::udf::UdfRegistry;
+
+fn cars_schema() -> Schema {
+    Schema::named(&[("CarId", DataType::Str), ("Model", DataType::Str)])
+}
+
+fn requests_schema() -> Schema {
+    Schema::named(&[
+        ("UserId", DataType::Str),
+        ("BidId", DataType::Str),
+        ("Model", DataType::Str),
+    ])
+}
+
+fn sold_schema() -> Schema {
+    Schema::named(&[("CarId", DataType::Str), ("BidId", DataType::Str)])
+}
+
+/// The dealer state of Example 2.3.
+fn dealer_env<T: lipstick_core::Tracker>(tracker: &mut T) -> Env<T::Ref> {
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "Cars",
+        cars_schema(),
+        vec![
+            tuple!["C1", "Accord"],
+            tuple!["C2", "Civic"],
+            tuple!["C3", "Civic"],
+        ],
+        tracker,
+        |_, _, t| t.get(0).unwrap().to_text().into_owned(),
+    )
+    .unwrap();
+    env.bind_with_token_fn(
+        "SoldCars",
+        sold_schema(),
+        vec![],
+        tracker,
+        |_, i, _| format!("S{i}"),
+    )
+    .unwrap();
+    env.bind_with_token_fn(
+        "Requests",
+        requests_schema(),
+        vec![tuple!["P1", "B1", "Civic"]],
+        tracker,
+        |_, _, _| "I1".to_string(),
+    )
+    .unwrap();
+    env
+}
+
+/// The state-manipulation query of Mdealer1, nearly verbatim from §2.2.
+const DEALER_QSTATE: &str = r#"
+    ReqModel = FOREACH Requests GENERATE Model;
+    Inventory = JOIN Cars BY Model, ReqModel BY Model;
+    SoldInventory = JOIN Inventory BY Cars::CarId, SoldCars BY CarId;
+    CarsByModel = GROUP Inventory BY Cars::Model;
+    SoldByModel = GROUP SoldInventory BY Inventory::Cars::Model;
+    NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model, COUNT(Inventory) AS NumAvail;
+    NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model, COUNT(SoldInventory) AS NumSold;
+    AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model, NumSoldByModel BY Model;
+    InventoryBids = FOREACH AllInfoByModel GENERATE FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel));
+"#;
+
+fn dealer_udfs() -> UdfRegistry {
+    let mut udfs = UdfRegistry::new();
+    let out_schema = Schema::named(&[
+        ("BidId", DataType::Str),
+        ("UserId", DataType::Str),
+        ("Model", DataType::Str),
+        ("Amount", DataType::Float),
+    ]);
+    // CalcBid(requests_bag, numcars_bag, numsold_bag) → bag of one bid
+    // tuple per request. Price: base 20k, minus availability discount,
+    // plus scarcity premium from sales.
+    udfs.register("CalcBid", true, Some(out_schema), |args| {
+        let requests = args[0].as_bag().map_err(|e| e.to_string())?;
+        let avail = first_int(&args[1], 1)?;
+        let sold = first_int(&args[2], 2)?;
+        let mut out = Bag::empty();
+        for req in requests.iter() {
+            let user = req.get(0).map_err(|e| e.to_string())?.clone();
+            let bid_id = req.get(1).map_err(|e| e.to_string())?.clone();
+            let model = req.get(2).map_err(|e| e.to_string())?.clone();
+            let amount = 20_000.0 - 500.0 * avail as f64 + 750.0 * sold as f64;
+            out.push(Tuple::new(vec![bid_id, user, model, Value::Float(amount)]));
+        }
+        Ok(Value::Bag(out))
+    });
+    udfs
+}
+
+fn first_int(bag: &Value, field: usize) -> Result<i64, String> {
+    let b = bag.as_bag().map_err(|e| e.to_string())?;
+    match b.iter().next() {
+        Some(t) => t
+            .get(field)
+            .map_err(|e| e.to_string())?
+            .as_i64()
+            .map_err(|e| e.to_string()),
+        None => Ok(0),
+    }
+}
+
+#[test]
+fn example_2_3_intermediate_tables() {
+    let mut tracker = NoTracker;
+    let mut env = dealer_env(&mut tracker);
+    run_script(DEALER_QSTATE, &mut env, &mut tracker, &dealer_udfs()).unwrap();
+
+    // ReqModel = {(Civic)}
+    let req_model = env.relation("ReqModel").unwrap();
+    assert_eq!(req_model.tuples(), vec![tuple!["Civic"]]);
+
+    // Inventory = {(C2, Civic, Civic), (C3, Civic, Civic)} (join keeps
+    // both Model columns)
+    let inv = env.relation("Inventory").unwrap();
+    assert_eq!(inv.len(), 2);
+    let ids: Vec<String> = inv
+        .rows
+        .iter()
+        .map(|r| r.tuple.get(0).unwrap().to_text().into_owned())
+        .collect();
+    assert_eq!(ids, vec!["C2", "C3"]);
+
+    // SoldInventory is empty
+    assert!(env.relation("SoldInventory").unwrap().is_empty());
+
+    // NumCarsByModel = {(Civic, 2)}
+    let ncbm = env.relation("NumCarsByModel").unwrap();
+    assert_eq!(ncbm.tuples(), vec![tuple!["Civic", 2i64]]);
+
+    // NumSoldByModel is empty (GROUP of empty input)
+    assert!(env.relation("NumSoldByModel").unwrap().is_empty());
+
+    // AllInfoByModel: one Civic group with the request, the count, and
+    // an empty sold bag
+    let all = env.relation("AllInfoByModel").unwrap();
+    assert_eq!(all.len(), 1);
+    let row = &all.rows[0].tuple;
+    assert_eq!(row.get(0).unwrap(), &Value::str("Civic"));
+    assert_eq!(row.get(1).unwrap().as_bag().unwrap().len(), 1);
+    assert_eq!(row.get(2).unwrap().as_bag().unwrap().len(), 1);
+    assert_eq!(row.get(3).unwrap().as_bag().unwrap().len(), 0);
+
+    // InventoryBids: one bid for B1/P1/Civic at 20000 - 500*2 = 19000
+    let bids = env.relation("InventoryBids").unwrap();
+    assert_eq!(bids.len(), 1);
+    assert_eq!(
+        bids.rows[0].tuple,
+        tuple!["B1", "P1", "Civic", 19_000.0f64]
+    );
+}
+
+#[test]
+fn example_2_3_provenance_graph_shape() {
+    let mut tracker = GraphTracker::new();
+    let mut env = dealer_env(&mut tracker);
+    run_script(DEALER_QSTATE, &mut env, &mut tracker, &dealer_udfs()).unwrap();
+    let bid_prov = env.relation("InventoryBids").unwrap().rows[0].ann.prov;
+    let g = tracker.finish();
+
+    // The bid's provenance mentions the request and both Civics — but
+    // not the Accord and not the (empty) sold tables.
+    let expr = g.expr_of(bid_prov);
+    let toks: Vec<&str> = expr.tokens().iter().map(|t| t.as_str()).collect();
+    assert!(toks.contains(&"I1"), "expr: {expr}");
+    assert!(toks.contains(&"C2"), "expr: {expr}");
+    assert!(toks.contains(&"C3"), "expr: {expr}");
+    assert!(!toks.contains(&"C1"), "expr: {expr}");
+
+    // The graph contains the expected structural pieces: a COUNT agg
+    // v-node with two tensors (C2, C3), a calcBid black box, δ nodes for
+    // the GROUP/COGROUP stages.
+    let count_nodes: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::AggResult { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    assert!(!count_nodes.is_empty());
+    let two_tensor_count = count_nodes
+        .iter()
+        .any(|id| g.node(*id).preds().len() == 2);
+    assert!(two_tensor_count, "COUNT over the two Civics");
+    assert!(g
+        .iter()
+        .any(|(_, n)| matches!(&n.kind, NodeKind::BlackBox { name, is_value: true } if name == "CalcBid")));
+    assert!(g
+        .iter()
+        .any(|(_, n)| matches!(n.kind, NodeKind::Delta)));
+
+    // The recorded aggregate value recomputes to 2 available Civics.
+    let agg_id = count_nodes
+        .into_iter()
+        .find(|id| g.node(*id).preds().len() == 2)
+        .unwrap();
+    let av = g.agg_value_of(agg_id).unwrap();
+    assert_eq!(av.current_value().unwrap(), Value::Int(2));
+    // What-if: without C2 the count drops to 1 (Example 4.3).
+    let v = Valuation::with_default(Natural(1)).set("C2", Natural(0));
+    assert_eq!(av.evaluate(&v).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn counting_oracle_for_spju_scripts() {
+    // Provenance specialized to the counting semiring must reproduce
+    // bag multiplicities: run a script with duplicate inputs and check.
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_tokens(
+        "R",
+        Schema::named(&[("x", DataType::Int), ("y", DataType::Str)]),
+        vec![
+            tuple![1i64, "a"],
+            tuple![1i64, "a"], // duplicate
+            tuple![2i64, "b"],
+        ],
+        &mut tracker,
+    )
+    .unwrap();
+    env.bind_with_tokens(
+        "S",
+        Schema::named(&[("x", DataType::Int), ("z", DataType::Str)]),
+        vec![tuple![1i64, "p"], tuple![1i64, "q"], tuple![2i64, "r"]],
+        &mut tracker,
+    )
+    .unwrap();
+    run_script(
+        "J = JOIN R BY x, S BY x; P = FOREACH J GENERATE R::y, S::z;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let p = env.relation("P").unwrap();
+    let g = tracker.finish();
+    // multiplicity of ('a','p') in P should be 2 (two copies of R row)
+    let target = tuple!["a", "p"];
+    let mult: usize = p
+        .rows
+        .iter()
+        .filter(|r| r.tuple == target)
+        .count();
+    assert_eq!(mult, 2);
+    // each such row's provenance evaluates to 1 under all-ones (each
+    // row is one derivation), and the sum over equal rows gives the
+    // multiplicity
+    let total: u64 = p
+        .rows
+        .iter()
+        .filter(|r| r.tuple == target)
+        .map(|r| {
+            let expr = g.expr_of(r.ann.prov);
+            eval_expr(&expr, &Valuation::<Natural>::ones()).0
+        })
+        .sum();
+    assert_eq!(total, 2);
+}
+
+#[test]
+fn join_provenance_is_product() {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![1i64]],
+        &mut tracker,
+        |_, i, _| format!("a{i}"),
+    )
+    .unwrap();
+    env.bind_with_token_fn(
+        "B",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![1i64]],
+        &mut tracker,
+        |_, i, _| format!("b{i}"),
+    )
+    .unwrap();
+    run_script("J = JOIN A BY x, B BY x;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    let j = env.relation("J").unwrap();
+    let g = tracker.finish();
+    let poly = Polynomial::from_expr(&g.expr_of(j.rows[0].ann.prov)).unwrap();
+    assert_eq!(poly.to_string(), "a0·b0");
+}
+
+#[test]
+fn union_preserves_annotations_and_multiplicity() {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    for name in ["A", "B"] {
+        env.bind_with_token_fn(
+            name,
+            Schema::named(&[("x", DataType::Int)]),
+            vec![tuple![7i64]],
+            &mut tracker,
+            move |n, _, _| format!("{n}tok"),
+        )
+        .unwrap();
+    }
+    run_script("U = UNION A, B;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    let u = env.relation("U").unwrap();
+    assert_eq!(u.len(), 2);
+    let g = tracker.finish();
+    let exprs: Vec<String> = u
+        .rows
+        .iter()
+        .map(|r| g.expr_of(r.ann.prov).to_string())
+        .collect();
+    assert!(exprs.contains(&"Atok".to_string()));
+    assert!(exprs.contains(&"Btok".to_string()));
+}
+
+#[test]
+fn distinct_delta_over_duplicates() {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![1i64], tuple![1i64], tuple![2i64]],
+        &mut tracker,
+        |_, i, _| format!("t{i}"),
+    )
+    .unwrap();
+    run_script("D = DISTINCT A;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    let d = env.relation("D").unwrap();
+    assert_eq!(d.len(), 2);
+    let g = tracker.finish();
+    let expr = g.expr_of(d.rows[0].ann.prov).to_string();
+    assert_eq!(expr, "δ(t0 + t1)");
+}
+
+#[test]
+fn group_then_flatten_roundtrip() {
+    // FLATTEN(GROUP x) reproduces the rows (with group key prepended);
+    // the provenance of each flattened row is ·(δ(members), member).
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("m", DataType::Str), ("v", DataType::Int)]),
+        vec![tuple!["x", 1i64], tuple!["x", 2i64], tuple!["y", 3i64]],
+        &mut tracker,
+        |_, i, _| format!("t{i}"),
+    )
+    .unwrap();
+    run_script(
+        "G = GROUP A BY m; F = FOREACH G GENERATE group, FLATTEN(A);",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let f = env.relation("F").unwrap();
+    assert_eq!(f.len(), 3);
+    assert_eq!(f.rows[0].tuple, tuple!["x", "x", 1i64]);
+    let g = tracker.finish();
+    let expr = g.expr_of(f.rows[0].ann.prov).to_string();
+    assert!(expr.contains("δ(t0 + t1)"), "expr: {expr}");
+    assert!(expr.contains("·"), "joint with member: {expr}");
+}
+
+#[test]
+fn filter_passes_provenance_through() {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![1i64], tuple![5i64]],
+        &mut tracker,
+        |_, i, _| format!("t{i}"),
+    )
+    .unwrap();
+    let nodes_before = tracker.graph().len();
+    run_script("B = FILTER A BY x > 3;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    let b = env.relation("B").unwrap();
+    assert_eq!(b.len(), 1);
+    // FILTER created no provenance nodes
+    assert_eq!(tracker.graph().len(), nodes_before);
+    let g = tracker.finish();
+    assert_eq!(g.expr_of(b.rows[0].ann.prov).to_string(), "t1");
+}
+
+#[test]
+fn order_and_limit_keep_annotations() {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![3i64], tuple![1i64], tuple![2i64]],
+        &mut tracker,
+        |_, i, _| format!("t{i}"),
+    )
+    .unwrap();
+    run_script(
+        "S = ORDER A BY x DESC; T = LIMIT S 2;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let t = env.relation("T").unwrap();
+    assert_eq!(t.tuples(), vec![tuple![3i64], tuple![2i64]]);
+    let g = tracker.finish();
+    assert_eq!(g.expr_of(t.rows[0].ann.prov).to_string(), "t0");
+    assert_eq!(g.expr_of(t.rows[1].ann.prov).to_string(), "t2");
+}
+
+#[test]
+fn group_all_min_aggregation() {
+    // The aggregator module Magg: best (minimum) bid via GROUP ALL.
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "Bids",
+        Schema::named(&[("Model", DataType::Str), ("Price", DataType::Float)]),
+        vec![
+            tuple!["Civic", 19_000.0f64],
+            tuple!["Civic", 21_500.0f64],
+            tuple!["Civic", 18_250.0f64],
+        ],
+        &mut tracker,
+        |_, i, _| format!("bid{i}"),
+    )
+    .unwrap();
+    run_script(
+        "G = GROUP Bids ALL; Best = FOREACH G GENERATE MIN(Bids.Price) AS Best;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let best = env.relation("Best").unwrap();
+    assert_eq!(best.rows[0].tuple, tuple![18_250.0f64]);
+    // The MIN v-node has three tensors; deleting bid2's token makes the
+    // recomputed minimum 19000.
+    let vref = best.rows[0].ann.vref(0).unwrap();
+    let g = tracker.finish();
+    let av = g.agg_value_of(vref).unwrap();
+    assert_eq!(av.terms.len(), 3);
+    let v = Valuation::with_default(Natural(1)).set("bid2", Natural(0));
+    assert_eq!(av.evaluate(&v).unwrap(), Value::Float(19_000.0));
+}
+
+#[test]
+fn empty_group_of_empty_input_is_empty() {
+    let mut tracker = NoTracker;
+    let mut env = Env::new();
+    env.bind_with_tokens(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![],
+        &mut tracker,
+    )
+    .unwrap();
+    run_script(
+        "G = GROUP A BY x; C = FOREACH G GENERATE group, COUNT(A);",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    assert!(env.relation("G").unwrap().is_empty());
+    assert!(env.relation("C").unwrap().is_empty());
+}
+
+#[test]
+fn no_tracker_and_graph_tracker_agree_on_data() {
+    // The two tracker instantiations must compute identical relations.
+    let mut t1 = NoTracker;
+    let mut env1 = dealer_env(&mut t1);
+    run_script(DEALER_QSTATE, &mut env1, &mut t1, &dealer_udfs()).unwrap();
+
+    let mut t2 = GraphTracker::new();
+    let mut env2 = dealer_env(&mut t2);
+    run_script(DEALER_QSTATE, &mut env2, &mut t2, &dealer_udfs()).unwrap();
+
+    for alias in [
+        "ReqModel",
+        "Inventory",
+        "SoldInventory",
+        "NumCarsByModel",
+        "NumSoldByModel",
+        "AllInfoByModel",
+        "InventoryBids",
+    ] {
+        let b1 = Bag::from_tuples(env1.relation(alias).unwrap().tuples());
+        let b2 = Bag::from_tuples(env2.relation(alias).unwrap().tuples());
+        assert_eq!(b1, b2, "relation {alias} differs between trackers");
+    }
+}
+
+#[test]
+fn self_join_squares_annotation() {
+    // Joining a relation with a renamed copy of itself squares tokens.
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("x", DataType::Int)]),
+        vec![tuple![1i64]],
+        &mut tracker,
+        |_, _, _| "a".into(),
+    )
+    .unwrap();
+    run_script(
+        "B = FOREACH A GENERATE x; J = JOIN A BY x, B BY x;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let j = env.relation("J").unwrap();
+    let g = tracker.finish();
+    let poly = Polynomial::from_expr(&g.expr_of(j.rows[0].ann.prov)).unwrap();
+    assert_eq!(poly.to_string(), "a^2");
+}
+
+#[test]
+fn agg_over_projected_group_bag() {
+    // Projecting the nested bag keeps member annotations, so a later
+    // FOREACH can still aggregate with correct tensors.
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "A",
+        Schema::named(&[("m", DataType::Str), ("v", DataType::Int)]),
+        vec![tuple!["x", 10i64], tuple!["x", 20i64]],
+        &mut tracker,
+        |_, i, _| format!("t{i}"),
+    )
+    .unwrap();
+    run_script(
+        "G = GROUP A BY m; H = FOREACH G GENERATE group, A; S = FOREACH H GENERATE group, SUM(A.v);",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
+    let s = env.relation("S").unwrap();
+    assert_eq!(s.rows[0].tuple, tuple!["x", 30i64]);
+    let vref = s.rows[0].ann.vref(1).unwrap();
+    let g = tracker.finish();
+    let av = g.agg_value_of(vref).unwrap();
+    // tensors pair t0⊗10 and t1⊗20
+    assert_eq!(av.terms.len(), 2);
+    let v = Valuation::with_default(Natural(1)).set("t1", Natural(0));
+    assert_eq!(av.evaluate(&v).unwrap(), Value::Int(10));
+}
+
+#[test]
+fn eval_errors_are_reported_not_panicked() {
+    let mut tracker = NoTracker;
+    let mut env = Env::new();
+    env.bind_with_tokens(
+        "A",
+        Schema::named(&[("x", DataType::Str)]),
+        vec![tuple!["abc"]],
+        &mut tracker,
+    )
+    .unwrap();
+    // negating a string is a runtime type error
+    let err = run_script(
+        "B = FOREACH A GENERATE -x;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("negate"));
+}
+
+#[test]
+fn bag_equality_of_nested_results_is_order_insensitive() {
+    let mut tracker = NoTracker;
+    let mut env = Env::new();
+    env.bind_with_tokens(
+        "A",
+        Schema::named(&[("m", DataType::Str)]),
+        vec![tuple!["x"], tuple!["y"]],
+        &mut tracker,
+    )
+    .unwrap();
+    run_script("G = GROUP A BY m;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    let g = env.relation("G").unwrap();
+    let got = Bag::from_tuples(g.tuples());
+    let want = bag![
+        tuple![Value::str("y"), Value::Bag(bag![tuple!["y"]])],
+        tuple![Value::str("x"), Value::Bag(bag![tuple!["x"]])],
+    ];
+    assert_eq!(got, want);
+}
+
+mod proptests {
+    use super::*;
+    use lipstick_core::semiring::boolean::Bools;
+    use lipstick_core::ProvGraph;
+    use proptest::prelude::*;
+
+    const SPJ_SCRIPT: &str =
+        "F = FILTER R BY b > 0; J = JOIN F BY a, S BY a; P = FOREACH J GENERATE F::b, S::c;";
+
+    /// Run the fixed SPJ pipeline with provenance; return the output
+    /// relation and graph.
+    fn run_pipeline(
+        rows_r: &[(i64, i64)],
+        rows_s: &[(i64, i64)],
+    ) -> (super::super::context::ARelation<NodeId>, ProvGraph) {
+        let mut tracker = GraphTracker::new();
+        let mut env = Env::new();
+        env.bind_with_token_fn(
+            "R",
+            Schema::named(&[("a", DataType::Int), ("b", DataType::Int)]),
+            rows_r.iter().map(|(a, b)| tuple![*a, *b]).collect(),
+            &mut tracker,
+            |_, i, _| format!("r{i}"),
+        )
+        .unwrap();
+        env.bind_with_token_fn(
+            "S",
+            Schema::named(&[("a", DataType::Int), ("c", DataType::Int)]),
+            rows_s.iter().map(|(a, c)| tuple![*a, *c]).collect(),
+            &mut tracker,
+            |_, i, _| format!("s{i}"),
+        )
+        .unwrap();
+        run_script(SPJ_SCRIPT, &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+        let p = env.take("P").unwrap();
+        (p, tracker.finish())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// What-if oracle: evaluating each output's provenance in the
+        /// boolean semiring with one input token deleted must agree with
+        /// re-running the pipeline on the input minus that tuple.
+        #[test]
+        fn deletion_agrees_with_reexecution(
+            rows_r in prop::collection::vec((0i64..4, -2i64..4), 1..6),
+            rows_s in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+            victim_seed in 0usize..6,
+        ) {
+            let victim = victim_seed % rows_r.len();
+            let victim_token = format!("r{victim}");
+
+            let (p, g) = run_pipeline(&rows_r, &rows_s);
+            let survived: Vec<Tuple> = p
+                .rows
+                .iter()
+                .filter(|row| {
+                    let expr = g.expr_of(row.ann.prov);
+                    eval_expr(
+                        &expr,
+                        &Valuation::<Bools>::with_default(Bools::one())
+                            .set(&victim_token, Bools(false)),
+                    )
+                    .0
+                })
+                .map(|row| row.tuple.clone())
+                .collect();
+
+            let mut reduced = rows_r.clone();
+            reduced.remove(victim);
+            let (p_reduced, _) = run_pipeline(&reduced, &rows_s);
+
+            prop_assert_eq!(
+                Bag::from_tuples(survived),
+                Bag::from_tuples(p_reduced.tuples())
+            );
+        }
+
+        /// Counting oracle: under the all-ones valuation every output
+        /// row's polynomial evaluates to exactly 1 (one derivation per
+        /// emitted row in an SPJ pipeline).
+        #[test]
+        fn each_row_has_one_derivation(
+            rows_r in prop::collection::vec((0i64..3, -2i64..4), 0..5),
+            rows_s in prop::collection::vec((0i64..3, 0i64..4), 0..5),
+        ) {
+            let (p, g) = run_pipeline(&rows_r, &rows_s);
+            for row in &p.rows {
+                let expr = g.expr_of(row.ann.prov);
+                let n = eval_expr(&expr, &Valuation::<Natural>::ones());
+                prop_assert_eq!(n, Natural(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Compiled scalar expressions and their (provenance-free) evaluation.
+//!
+//! Field references are resolved to positions at plan time; evaluation
+//! is pure over a single tuple. Aggregates and UDF calls are *not*
+//! scalar expressions — they are handled at the `GENERATE`-item level by
+//! the evaluator because they create provenance structure.
+
+use std::cmp::Ordering;
+
+use lipstick_nrel::{Bag, Tuple, Value};
+
+use crate::ast::{BinOp, UnaryOp};
+use crate::error::{PigError, Result};
+
+/// A compiled (position-resolved) scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Literal constant.
+    Lit(Value),
+    /// Field of the current tuple, by resolved position.
+    Field(usize),
+    /// Project one attribute across a nested bag (`Bids.Price`):
+    /// evaluates to a bag of 1-tuples. Valid as an aggregate argument.
+    BagProject { bag: usize, attr: usize },
+    /// Unary operator.
+    Unary { op: UnaryOp, inner: Box<CExpr> },
+    /// Binary operator.
+    Binary {
+        op: BinOp,
+        left: Box<CExpr>,
+        right: Box<CExpr>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull { inner: Box<CExpr>, negated: bool },
+}
+
+impl CExpr {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            CExpr::Lit(v) => Ok(v.clone()),
+            CExpr::Field(i) => Ok(tuple.get(*i)?.clone()),
+            CExpr::BagProject { bag, attr } => {
+                let b = tuple.get(*bag)?.as_bag()?;
+                let mut out = Bag::empty();
+                for t in b.iter() {
+                    out.push(Tuple::new(vec![t.get(*attr)?.clone()]));
+                }
+                Ok(Value::Bag(out))
+            }
+            CExpr::Unary { op, inner } => {
+                let v = inner.eval(tuple)?;
+                eval_unary(*op, v)
+            }
+            CExpr::Binary { op, left, right } => {
+                let l = left.eval(tuple)?;
+                // Short-circuit logic before evaluating the right side.
+                if *op == BinOp::And && l == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                if *op == BinOp::Or && l == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = right.eval(tuple)?;
+                eval_binary(*op, l, r)
+            }
+            CExpr::IsNull { inner, negated } => {
+                let v = inner.eval(tuple)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    /// The field positions this expression reads (used to wire black-box
+    /// provenance inputs and v-ref propagation).
+    pub fn referenced_fields(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_fields(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_fields(&self, out: &mut Vec<usize>) {
+        match self {
+            CExpr::Lit(_) => {}
+            CExpr::Field(i) => out.push(*i),
+            CExpr::BagProject { bag, .. } => out.push(*bag),
+            CExpr::Unary { inner, .. } => inner.collect_fields(out),
+            CExpr::Binary { left, right, .. } => {
+                left.collect_fields(out);
+                right.collect_fields(out);
+            }
+            CExpr::IsNull { inner, .. } => inner.collect_fields(out),
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(PigError::Eval(format!(
+                "cannot negate value of type {}",
+                other.type_name()
+            ))),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(PigError::Eval(format!(
+                "NOT applied to non-boolean {}",
+                other.type_name()
+            ))),
+        },
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    if op.is_logic() {
+        return eval_logic(op, l, r);
+    }
+    // Arithmetic and comparisons are null-propagating (Pig semantics).
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.cmp(&r);
+        let b = match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::Neq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Lte => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Gte => ord != Ordering::Less,
+            _ => unreachable!("comparison ops covered"),
+        };
+        return Ok(Value::Bool(b));
+    }
+    // Arithmetic: int⊗int stays int (except / by zero), otherwise float.
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let v = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Ok(Value::Null); // Pig: x/0 → null
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!("arithmetic ops covered"),
+            };
+            v.map(Value::Int)
+                .ok_or_else(|| PigError::Eval(format!("integer overflow in {a} {op} {b}")))
+        }
+        _ => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                BinOp::Mod => a % b,
+                _ => unreachable!("arithmetic ops covered"),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+/// Three-valued logic for AND / OR.
+fn eval_logic(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    let as_opt = |v: &Value| -> Result<Option<bool>> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(PigError::Eval(format!(
+                "{op} applied to non-boolean {}",
+                other.type_name()
+            ))),
+        }
+    };
+    let a = as_opt(&l)?;
+    let b = as_opt(&r)?;
+    let out = match op {
+        BinOp::And => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!("logic ops covered"),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    fn field(i: usize) -> CExpr {
+        CExpr::Field(i)
+    }
+
+    fn lit(v: impl Into<Value>) -> CExpr {
+        CExpr::Lit(v.into())
+    }
+
+    fn bin(op: BinOp, l: CExpr, r: CExpr) -> CExpr {
+        CExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn arithmetic_int_preservation() {
+        let tup = t(vec![Value::Int(7), Value::Int(2)]);
+        assert_eq!(
+            bin(BinOp::Add, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            bin(BinOp::Div, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin(BinOp::Mod, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        let tup = t(vec![Value::Int(7), Value::Float(2.0)]);
+        assert_eq!(
+            bin(BinOp::Div, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let tup = t(vec![Value::Int(7), Value::Int(0)]);
+        assert_eq!(
+            bin(BinOp::Div, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn overflow_is_error_not_wrap() {
+        let tup = t(vec![Value::Int(i64::MAX), Value::Int(1)]);
+        assert!(bin(BinOp::Add, field(0), field(1)).eval(&tup).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let tup = t(vec![Value::Int(3), Value::Float(3.0), Value::str("abc")]);
+        assert_eq!(
+            bin(BinOp::Eq, field(0), field(1)).eval(&tup).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(BinOp::Lt, field(2), lit("abd")).eval(&tup).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn null_propagation_in_comparison() {
+        let tup = t(vec![Value::Null]);
+        assert_eq!(
+            bin(BinOp::Eq, field(0), lit(1i64)).eval(&tup).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let tup = t(vec![Value::Null]);
+        // null AND false = false
+        assert_eq!(
+            bin(BinOp::And, field(0), lit(false)).eval(&tup).unwrap(),
+            Value::Bool(false)
+        );
+        // null AND true = null
+        assert_eq!(
+            bin(BinOp::And, field(0), lit(true)).eval(&tup).unwrap(),
+            Value::Null
+        );
+        // null OR true = true
+        assert_eq!(
+            bin(BinOp::Or, field(0), lit(true)).eval(&tup).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // false AND (1 + 'x') — rhs would error, but is never evaluated
+        let bad = bin(BinOp::Add, lit(1i64), lit("x"));
+        let e = bin(BinOp::And, lit(false), bad);
+        assert_eq!(e.eval(&t(vec![])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn is_null_and_negation() {
+        let tup = t(vec![Value::Null, Value::Int(1)]);
+        let e = CExpr::IsNull {
+            inner: Box::new(field(0)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&tup).unwrap(), Value::Bool(true));
+        let e = CExpr::IsNull {
+            inner: Box::new(field(1)),
+            negated: true,
+        };
+        assert_eq!(e.eval(&tup).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn bag_project_extracts_attr() {
+        let inner = Bag::from_tuples(vec![
+            Tuple::new(vec![Value::str("a"), Value::Int(1)]),
+            Tuple::new(vec![Value::str("b"), Value::Int(2)]),
+        ]);
+        let tup = t(vec![Value::Bag(inner)]);
+        let e = CExpr::BagProject { bag: 0, attr: 1 };
+        let out = e.eval(&tup).unwrap();
+        let b = out.as_bag().unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.tuples()[0].get(0).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn referenced_fields_dedup_sorted() {
+        let e = bin(
+            BinOp::Add,
+            bin(BinOp::Mul, field(3), field(1)),
+            field(3),
+        );
+        assert_eq!(e.referenced_fields(), vec![1, 3]);
+    }
+
+    #[test]
+    fn unary_neg_and_not() {
+        let tup = t(vec![Value::Int(5), Value::Bool(true), Value::Null]);
+        let neg = CExpr::Unary {
+            op: UnaryOp::Neg,
+            inner: Box::new(field(0)),
+        };
+        assert_eq!(neg.eval(&tup).unwrap(), Value::Int(-5));
+        let not = CExpr::Unary {
+            op: UnaryOp::Not,
+            inner: Box::new(field(1)),
+        };
+        assert_eq!(not.eval(&tup).unwrap(), Value::Bool(false));
+        let not_null = CExpr::Unary {
+            op: UnaryOp::Not,
+            inner: Box::new(field(2)),
+        };
+        assert_eq!(not_null.eval(&tup).unwrap(), Value::Null);
+    }
+}

@@ -1,0 +1,415 @@
+//! Hand-written lexer for the Pig Latin fragment.
+//!
+//! Supports `--` line comments and `/* … */` block comments, single-
+//! quoted string literals with `\'`/`\\`/`\n`/`\t` escapes, integer and
+//! float literals, positional references `$k`, and the operator set of
+//! [`crate::token::Tok`].
+
+use crate::error::{PigError, Result};
+use crate::token::{Spanned, Tok};
+
+/// Tokenize a full script.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> PigError {
+        PigError::Lex {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                ';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                ',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                '(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                '+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                '*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                '/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                '%' => {
+                    self.bump();
+                    Tok::Percent
+                }
+                '.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                '-' => {
+                    self.bump();
+                    Tok::Minus
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Eq
+                    } else {
+                        Tok::Assign
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Neq
+                    } else {
+                        return Err(self.err("expected '=' after '!'"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Lte
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Gte
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                        Tok::DoubleColon
+                    } else {
+                        return Err(self.err("expected '::'"));
+                    }
+                }
+                '\'' => self.string()?,
+                '$' => self.positional()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => self.word(),
+                other => return Err(self.err(format!("unexpected character '{other}'"))),
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('\'') => break,
+                Some('\\') => match self.bump() {
+                    Some('\'') => s.push('\''),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    other => {
+                        return Err(self.err(format!("invalid escape '\\{}'",
+                            other.map(String::from).unwrap_or_default())))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Tok::StrLit(s))
+    }
+
+    fn positional(&mut self) -> Result<Tok> {
+        self.bump(); // '$'
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(self.err("expected digits after '$'"));
+        }
+        digits
+            .parse::<usize>()
+            .map(Tok::Positional)
+            .map_err(|_| self.err("positional index out of range"))
+    }
+
+    fn number(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        // A '.' introduces a float only when followed by a digit — this
+        // keeps `Bids.Price` lexing as ident-dot-ident.
+        let mut is_float = false;
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.chars.get(look), Some('+') | Some('-')) {
+                look += 1;
+            }
+            if self.chars.get(look).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.pos < look {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::FloatLit)
+                .map_err(|e| self.err(format!("bad float literal '{text}': {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::IntLit)
+                .map_err(|e| self.err(format!("bad int literal '{text}': {e}")))
+        }
+    }
+
+    fn word(&mut self) -> Tok {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        Tok::keyword(&text).unwrap_or(Tok::Ident(text))
+    }
+}
+
+// Keep the src field used (error messages could cite the line text in a
+// future improvement; for now it anchors the lifetime).
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lexer at {}:{} of {} chars", self.line, self.col, self.src.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_filter_statement() {
+        assert_eq!(
+            toks("B = FILTER A BY x >= 3;"),
+            vec![
+                Tok::Ident("B".into()),
+                Tok::Assign,
+                Tok::Filter,
+                Tok::Ident("A".into()),
+                Tok::By,
+                Tok::Ident("x".into()),
+                Tok::Gte,
+                Tok::IntLit(3),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_vs_float() {
+        assert_eq!(
+            toks("SUM(Bids.Price) 3.5"),
+            vec![
+                Tok::Ident("SUM".into()),
+                Tok::LParen,
+                Tok::Ident("Bids".into()),
+                Tok::Dot,
+                Tok::Ident("Price".into()),
+                Tok::RParen,
+                Tok::FloatLit(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("A = B; -- trailing\n/* block\nspanning */ C = D;").len(),
+            8
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r"'it\'s' '\\' 'tab\there'"),
+            vec![
+                Tok::StrLit("it's".into()),
+                Tok::StrLit("\\".into()),
+                Tok::StrLit("tab\there".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positional_and_qualified() {
+        assert_eq!(
+            toks("$0 Cars::Model"),
+            vec![
+                Tok::Positional(0),
+                Tok::Ident("Cars".into()),
+                Tok::DoubleColon,
+                Tok::Ident("Model".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = lex("A = @;").unwrap_err();
+        match err {
+            PigError::Lex { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(col, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        assert_eq!(toks("-3"), vec![Tok::Minus, Tok::IntLit(3)]);
+    }
+
+    #[test]
+    fn scientific_floats() {
+        assert_eq!(toks("1e3"), vec![Tok::FloatLit(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Tok::FloatLit(0.25)]);
+    }
+
+    #[test]
+    fn keywords_mixed_case() {
+        assert_eq!(toks("foreach A generate x;").first(), Some(&Tok::Foreach));
+    }
+}

@@ -1,0 +1,52 @@
+//! # lipstick-piglatin — the Pig Latin fragment
+//!
+//! A from-scratch implementation of the Pig Latin fragment used by the
+//! Lipstick paper (§2.1): lexer, parser, logical plans with schema
+//! inference, a UDF registry, and a bag-semantics evaluator instrumented
+//! for fine-grained provenance via [`lipstick_core::Tracker`].
+//!
+//! Supported constructs: `FOREACH … GENERATE` (projection, aggregation,
+//! black-box UDF calls, `FLATTEN`), `FILTER … BY`, `GROUP … BY` /
+//! `GROUP … ALL`, `COGROUP`, `JOIN`, `UNION`, `DISTINCT`, `ORDER … BY`,
+//! `LIMIT`, arithmetic/boolean/comparison expressions, field access by
+//! name, by position (`$0`), and by join-qualified name (`Cars::Model`).
+//!
+//! A program executes against an [`eval::Env`] of named relations (the
+//! workflow layer pre-binds module inputs and state there) and writes
+//! each statement's result back into the environment:
+//!
+//! ```
+//! use lipstick_piglatin::{parse, plan::compile, eval::{Env, execute}, udf::UdfRegistry};
+//! use lipstick_nrel::{Schema, DataType, tuple};
+//! use lipstick_core::graph::GraphTracker;
+//!
+//! let script = "Adults = FILTER People BY Age >= 18;";
+//! let program = parse(script).unwrap();
+//! let schema = Schema::named(&[("Name", DataType::Str), ("Age", DataType::Int)]);
+//! let mut tracker = GraphTracker::new();
+//! let mut env = Env::new();
+//! env.bind_with_tokens(
+//!     "People",
+//!     schema.clone(),
+//!     vec![tuple!["ada", 36i64], tuple!["bob", 7i64]],
+//!     &mut tracker,
+//! ).unwrap();
+//! let udfs = UdfRegistry::new();
+//! let compiled = compile(&program, &env.schemas(), &udfs).unwrap();
+//! execute(&compiled, &mut env, &mut tracker, &udfs).unwrap();
+//! assert_eq!(env.relation("Adults").unwrap().rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod token;
+pub mod udf;
+
+pub use ast::Program;
+pub use error::{PigError, Result};
+pub use parser::parse;

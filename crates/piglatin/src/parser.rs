@@ -1,0 +1,810 @@
+//! Recursive-descent parser for the Pig Latin fragment.
+
+use lipstick_core::agg::AggOp;
+use lipstick_nrel::Value;
+
+use crate::ast::*;
+use crate::error::{PigError, Result};
+use crate::lexer::lex;
+use crate::token::{Spanned, Tok};
+
+/// Parse a script into a [`Program`].
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, message: impl Into<String>) -> PigError {
+        let (line, col) = self.here();
+        PigError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<Spanned> {
+        match self.peek() {
+            Some(t) if t == want => Ok(self.bump().expect("peeked")),
+            Some(t) => Err(self.err(format!("expected '{want}', found '{t}'"))),
+            None => Err(self.err(format!("expected '{want}', found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Ident(s), ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked an ident")
+                };
+                Ok(s)
+            }
+            // GROUP output field is literally named `group`, and `group`
+            // is a keyword — accept keywords that commonly double as
+            // identifiers (`All` is a natural relation alias).
+            Some(Tok::Group) => {
+                self.bump();
+                Ok("group".to_string())
+            }
+            Some(Tok::All) => {
+                self.bump();
+                Ok("All".to_string())
+            }
+            Some(t) => Err(self.err(format!("expected identifier, found '{t}'"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    // ----- grammar -----
+
+    fn program(&mut self) -> Result<Program> {
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Program { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let (line, _) = self.here();
+        let alias = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let op = self.operator()?;
+        self.expect(&Tok::Semi)?;
+        Ok(Stmt { alias, op, line })
+    }
+
+    fn operator(&mut self) -> Result<Op> {
+        match self.peek() {
+            Some(Tok::Filter) => {
+                self.bump();
+                let input = self.ident()?;
+                self.expect(&Tok::By)?;
+                let cond = self.expr()?;
+                Ok(Op::Filter { input, cond })
+            }
+            Some(Tok::Foreach) => {
+                self.bump();
+                let input = self.ident()?;
+                self.expect(&Tok::Generate)?;
+                let mut items = vec![self.gen_item()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    items.push(self.gen_item()?);
+                }
+                Ok(Op::Foreach { input, items })
+            }
+            Some(Tok::Group) => {
+                self.bump();
+                let input = self.ident()?;
+                let keys = match self.peek() {
+                    Some(Tok::All) => {
+                        self.bump();
+                        GroupKeys::All
+                    }
+                    Some(Tok::By) => {
+                        self.bump();
+                        GroupKeys::By(self.expr_list()?)
+                    }
+                    _ => return Err(self.err("expected BY or ALL after GROUP input")),
+                };
+                Ok(Op::Group { input, keys })
+            }
+            Some(Tok::Cogroup) => {
+                self.bump();
+                let mut inputs = vec![self.cogroup_arm()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    inputs.push(self.cogroup_arm()?);
+                }
+                if inputs.len() < 2 {
+                    return Err(self.err("COGROUP requires at least two inputs"));
+                }
+                Ok(Op::Cogroup { inputs })
+            }
+            Some(Tok::Join) => {
+                self.bump();
+                let left = self.cogroup_arm()?;
+                self.expect(&Tok::Comma)?;
+                let right = self.cogroup_arm()?;
+                if left.1.len() != right.1.len() {
+                    return Err(self.err("JOIN key lists must have equal length"));
+                }
+                Ok(Op::Join { left, right })
+            }
+            Some(Tok::Union) => {
+                self.bump();
+                let mut inputs = vec![self.ident()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    inputs.push(self.ident()?);
+                }
+                if inputs.len() < 2 {
+                    return Err(self.err("UNION requires at least two inputs"));
+                }
+                Ok(Op::Union { inputs })
+            }
+            Some(Tok::Distinct) => {
+                self.bump();
+                let input = self.ident()?;
+                Ok(Op::Distinct { input })
+            }
+            Some(Tok::Order) => {
+                self.bump();
+                let input = self.ident()?;
+                self.expect(&Tok::By)?;
+                let mut keys = vec![self.order_key()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    keys.push(self.order_key()?);
+                }
+                Ok(Op::Order { input, keys })
+            }
+            Some(Tok::Limit) => {
+                self.bump();
+                let input = self.ident()?;
+                match self.bump().map(|s| s.tok) {
+                    Some(Tok::IntLit(n)) if n >= 0 => Ok(Op::Limit {
+                        input,
+                        count: n as usize,
+                    }),
+                    _ => Err(self.err("expected non-negative count after LIMIT input")),
+                }
+            }
+            Some(t) => Err(self.err(format!("expected an operator keyword, found '{t}'"))),
+            None => Err(self.err("expected an operator, found end of input")),
+        }
+    }
+
+    fn cogroup_arm(&mut self) -> Result<(String, Vec<Expr>)> {
+        let name = self.ident()?;
+        self.expect(&Tok::By)?;
+        Ok((name, self.expr_list()?))
+    }
+
+    /// A bare field reference: `$k` or a (possibly qualified) name.
+    fn field_ref(&mut self) -> Result<FieldRef> {
+        match self.peek() {
+            Some(Tok::Positional(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Positional(i),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked a positional")
+                };
+                Ok(FieldRef::Positional(i))
+            }
+            _ => Ok(FieldRef::Named(self.qualified_name()?)),
+        }
+    }
+
+    fn order_key(&mut self) -> Result<(FieldRef, bool)> {
+        let field = self.field_ref()?;
+        let asc = match self.peek() {
+            Some(Tok::Asc) => {
+                self.bump();
+                true
+            }
+            Some(Tok::Desc) => {
+                self.bump();
+                false
+            }
+            _ => true,
+        };
+        Ok((field, asc))
+    }
+
+    fn gen_item(&mut self) -> Result<GenItem> {
+        match self.peek() {
+            Some(Tok::Star) => {
+                self.bump();
+                Ok(GenItem::Star)
+            }
+            Some(Tok::Flatten) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let expr = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let mut aliases = Vec::new();
+                if self.peek() == Some(&Tok::As) {
+                    self.bump();
+                    // AS (a, b, c) or AS a
+                    if self.peek() == Some(&Tok::LParen) {
+                        self.bump();
+                        aliases.push(self.ident()?);
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.bump();
+                            aliases.push(self.ident()?);
+                        }
+                        self.expect(&Tok::RParen)?;
+                    } else {
+                        aliases.push(self.ident()?);
+                    }
+                }
+                Ok(GenItem::Flatten { expr, aliases })
+            }
+            _ => {
+                let expr = self.expr()?;
+                let alias = if self.peek() == Some(&Tok::As) {
+                    self.bump();
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Ok(GenItem::Expr { expr, alias })
+            }
+        }
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>> {
+        // A parenthesized list `(a, b)` or a single expression.
+        if self.peek() == Some(&Tok::LParen) {
+            // Could also be a parenthesized single expression — treat a
+            // top-level comma as a list separator.
+            self.bump();
+            let mut list = vec![self.expr()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                list.push(self.expr()?);
+            }
+            self.expect(&Tok::RParen)?;
+            Ok(list)
+        } else {
+            Ok(vec![self.expr()?])
+        }
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                inner: Box::new(inner),
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Neq) => BinOp::Neq,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Lte) => BinOp::Lte,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Gte) => BinOp::Gte,
+            Some(Tok::Is) => {
+                self.bump();
+                let negated = if self.peek() == Some(&Tok::Not) {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                self.expect(&Tok::Null)?;
+                return Ok(Expr::IsNull {
+                    inner: Box::new(lhs),
+                    negated,
+                });
+            }
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(lhs),
+            right: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                inner: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Tok::IntLit(_)) => {
+                let Some(Spanned {
+                    tok: Tok::IntLit(v),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Lit(Value::Int(v)))
+            }
+            Some(Tok::FloatLit(_)) => {
+                let Some(Spanned {
+                    tok: Tok::FloatLit(v),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Lit(Value::Float(v)))
+            }
+            Some(Tok::StrLit(_)) => {
+                let Some(Spanned {
+                    tok: Tok::StrLit(s),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Lit(Value::str(s)))
+            }
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            Some(Tok::Null) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Null))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Positional(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Positional(i),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                self.maybe_bag_project(FieldRef::Positional(i))
+            }
+            Some(Tok::Ident(_)) | Some(Tok::Group) => {
+                // Could be: function call, qualified name, bag.attr, or
+                // a plain field.
+                if matches!(self.peek(), Some(Tok::Ident(_)))
+                    && self.peek2() == Some(&Tok::LParen)
+                {
+                    return self.call();
+                }
+                let name = self.qualified_name()?;
+                self.maybe_bag_project(FieldRef::Named(name))
+            }
+            Some(t) => Err(self.err(format!("expected expression, found '{t}'"))),
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+
+    /// `name (:: name)*`
+    fn qualified_name(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        while self.peek() == Some(&Tok::DoubleColon) {
+            self.bump();
+            name.push_str("::");
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    /// After a field reference, a `.attr` turns it into a bag
+    /// projection (`Bids.Price`).
+    fn maybe_bag_project(&mut self, base: FieldRef) -> Result<Expr> {
+        if self.peek() == Some(&Tok::Dot) {
+            self.bump();
+            let attr = match self.peek() {
+                Some(Tok::Positional(_)) => {
+                    let Some(Spanned {
+                        tok: Tok::Positional(i),
+                        ..
+                    }) = self.bump()
+                    else {
+                        unreachable!()
+                    };
+                    FieldRef::Positional(i)
+                }
+                _ => FieldRef::Named(self.qualified_name()?),
+            };
+            return Ok(Expr::BagProject { bag: base, attr });
+        }
+        Ok(Expr::Field(base))
+    }
+
+    /// `NAME(arg, …)` — aggregate if NAME is COUNT/SUM/MIN/MAX/AVG,
+    /// otherwise a UDF call.
+    fn call(&mut self) -> Result<Expr> {
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            args.push(self.expr()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        if let Some(op) = AggOp::parse(&name) {
+            if args.len() != 1 {
+                return Err(self.err(format!("{name} takes exactly one argument")));
+            }
+            return Ok(Expr::Agg {
+                op,
+                arg: Box::new(args.into_iter().next().expect("len checked")),
+            });
+        }
+        Ok(Expr::Udf { name, args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_filter() {
+        let p = parse("B = FILTER A BY x >= 3 AND y == 'civic';").unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        assert_eq!(p.stmts[0].alias, "B");
+        match &p.stmts[0].op {
+            Op::Filter { input, cond } => {
+                assert_eq!(input, "A");
+                assert!(matches!(
+                    cond,
+                    Expr::Binary {
+                        op: BinOp::And,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_foreach_with_agg_and_alias() {
+        let p = parse(
+            "NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model, COUNT(Inventory) AS NumAvail;",
+        )
+        .unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(
+                    &items[0],
+                    GenItem::Expr {
+                        alias: Some(a),
+                        ..
+                    } if a == "Model"
+                ));
+                assert!(matches!(
+                    &items[1],
+                    GenItem::Expr {
+                        expr: Expr::Agg { op: AggOp::Count, .. },
+                        alias: Some(a),
+                    } if a == "NumAvail"
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join_with_two_keys() {
+        let p = parse("Inventory = JOIN Cars BY (Model, Year), Req BY (Model, Year);").unwrap();
+        match &p.stmts[0].op {
+            Op::Join { left, right } => {
+                assert_eq!(left.0, "Cars");
+                assert_eq!(left.1.len(), 2);
+                assert_eq!(right.1.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cogroup_three_way() {
+        let p = parse("All = COGROUP A BY m, B BY m, C BY m;").unwrap();
+        match &p.stmts[0].op {
+            Op::Cogroup { inputs } => assert_eq!(inputs.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_all_and_sum_path() {
+        let p = parse("G = GROUP Bids ALL; M = FOREACH G GENERATE MIN(Bids.Price);").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(
+            &p.stmts[0].op,
+            Op::Group {
+                keys: GroupKeys::All,
+                ..
+            }
+        ));
+        match &p.stmts[1].op {
+            Op::Foreach { items, .. } => match &items[0] {
+                GenItem::Expr {
+                    expr: Expr::Agg { op, arg },
+                    ..
+                } => {
+                    assert_eq!(*op, AggOp::Min);
+                    assert!(matches!(**arg, Expr::BagProject { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flatten_udf() {
+        let p = parse(
+            "InventoryBids = FOREACH AllInfo GENERATE FLATTEN(CalcBid(Requests, NumCars, NumSold));",
+        )
+        .unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => match &items[0] {
+                GenItem::Flatten { expr, aliases } => {
+                    assert!(aliases.is_empty());
+                    assert!(matches!(expr, Expr::Udf { name, args }
+                        if name == "CalcBid" && args.len() == 3));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flatten_with_alias_list() {
+        let p = parse("X = FOREACH A GENERATE FLATTEN(b) AS (p, q), c;").unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => {
+                assert!(matches!(&items[0], GenItem::Flatten { aliases, .. }
+                    if aliases == &vec!["p".to_string(), "q".to_string()]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_and_limit() {
+        let p = parse("S = ORDER A BY price DESC, $0; T = LIMIT S 10;").unwrap();
+        match &p.stmts[0].op {
+            Op::Order { keys, .. } => {
+                assert_eq!(keys.len(), 2);
+                assert!(!keys[0].1);
+                assert!(keys[1].1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&p.stmts[1].op, Op::Limit { count: 10, .. }));
+    }
+
+    #[test]
+    fn parses_union_distinct() {
+        let p = parse("U = UNION A, B, C; D = DISTINCT U;").unwrap();
+        assert!(matches!(&p.stmts[0].op, Op::Union { inputs } if inputs.len() == 3));
+        assert!(matches!(&p.stmts[1].op, Op::Distinct { .. }));
+    }
+
+    #[test]
+    fn group_as_field_name() {
+        let p = parse("X = FOREACH G GENERATE group;").unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => {
+                assert!(matches!(&items[0], GenItem::Expr {
+                    expr: Expr::Field(FieldRef::Named(n)), ..
+                } if n == "group"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let p = parse("X = FOREACH A GENERATE a + b * c;").unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => match &items[0] {
+                GenItem::Expr {
+                    expr:
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        },
+                    ..
+                } => {
+                    assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_not_null() {
+        let p = parse("B = FILTER A BY x IS NOT NULL;").unwrap();
+        match &p.stmts[0].op {
+            Op::Filter { cond, .. } => {
+                assert!(matches!(cond, Expr::IsNull { negated: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("B = FILTER A x > 3;").unwrap_err();
+        assert!(matches!(err, PigError::Parse { .. }));
+        assert!(err.to_string().contains("BY"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("B = DISTINCT A").is_err());
+    }
+
+    #[test]
+    fn qualified_field_reference() {
+        let p = parse("B = FOREACH A GENERATE Cars::Model;").unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => {
+                assert!(matches!(&items[0], GenItem::Expr {
+                    expr: Expr::Field(FieldRef::Named(n)), ..
+                } if n == "Cars::Model"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_item() {
+        let p = parse("B = FOREACH A GENERATE *;").unwrap();
+        match &p.stmts[0].op {
+            Op::Foreach { items, .. } => assert_eq!(items, &vec![GenItem::Star]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,848 @@
+//! Planning: name resolution and schema inference.
+//!
+//! `compile` turns a parsed [`Program`] into a [`Compiled`] plan whose
+//! field references are resolved to positions and whose statements carry
+//! inferred output schemas. Planning catches unknown aliases, unknown or
+//! ambiguous field names, aggregate arguments that are not bag fields,
+//! and under-specified `FLATTEN(udf(…))` items — all before any data is
+//! touched.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::agg::AggOp;
+use lipstick_nrel::{DataType, Field, Schema};
+
+use crate::ast::{Expr, FieldRef, GenItem, GroupKeys, Op, Program, Stmt, UnaryOp};
+use crate::error::{PigError, Result};
+use crate::expr::CExpr;
+use crate::udf::UdfRegistry;
+
+/// Aliases in scope → their schemas.
+pub type SchemaMap = HashMap<String, Arc<Schema>>;
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub stmts: Vec<CStmt>,
+    /// Schema of every alias defined by the program (outputs only, not
+    /// the pre-bound environment).
+    pub schemas: SchemaMap,
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone)]
+pub struct CStmt {
+    pub alias: String,
+    pub op: COp,
+    pub schema: Arc<Schema>,
+}
+
+/// Compiled operators.
+#[derive(Debug, Clone)]
+pub enum COp {
+    Filter {
+        input: String,
+        cond: CExpr,
+    },
+    Foreach {
+        input: String,
+        items: Vec<CGenItem>,
+    },
+    Group {
+        input: String,
+        /// `None` encodes `GROUP … ALL`.
+        keys: Option<Vec<CExpr>>,
+        /// Input alias (names the nested bag field).
+        input_alias: String,
+    },
+    Cogroup {
+        inputs: Vec<(String, Vec<CExpr>)>,
+    },
+    Join {
+        left: (String, Vec<CExpr>),
+        right: (String, Vec<CExpr>),
+    },
+    Union {
+        inputs: Vec<String>,
+    },
+    Distinct {
+        input: String,
+    },
+    Order {
+        input: String,
+        keys: Vec<lipstick_nrel::sort::SortKey>,
+    },
+    Limit {
+        input: String,
+        count: usize,
+    },
+}
+
+/// Compiled `GENERATE` items. Each carries `arity`, the number of output
+/// fields it contributes.
+#[derive(Debug, Clone)]
+pub enum CGenItem {
+    /// Scalar expression. `source_field` is set when the expression is a
+    /// bare field reference, enabling value-node propagation.
+    Expr {
+        expr: CExpr,
+        source_field: Option<usize>,
+    },
+    /// Every input field.
+    Star { arity: usize },
+    /// Aggregate over a bag field. `attr` is the position inside the bag
+    /// tuples being aggregated; `None` means COUNT-style whole tuples.
+    Agg {
+        op: AggOp,
+        bag: usize,
+        attr: Option<usize>,
+    },
+    /// Scalar UDF call. `arg_fields` are the input-tuple positions the
+    /// arguments read (black-box provenance inputs).
+    Udf {
+        name: String,
+        args: Vec<CExpr>,
+        arg_fields: Vec<usize>,
+        returns_value: bool,
+    },
+    /// `FLATTEN(bagfield)`.
+    FlattenField { bag: usize, arity: usize },
+    /// `FLATTEN(udf(…))`.
+    FlattenUdf {
+        name: String,
+        args: Vec<CExpr>,
+        arg_fields: Vec<usize>,
+        returns_value: bool,
+        arity: usize,
+    },
+}
+
+impl CGenItem {
+    /// Number of output fields contributed.
+    pub fn arity(&self) -> usize {
+        match self {
+            CGenItem::Expr { .. } | CGenItem::Agg { .. } | CGenItem::Udf { .. } => 1,
+            CGenItem::Star { arity }
+            | CGenItem::FlattenField { arity, .. }
+            | CGenItem::FlattenUdf { arity, .. } => *arity,
+        }
+    }
+}
+
+/// Compile a program against the schemas of pre-bound environment
+/// relations.
+pub fn compile(program: &Program, env: &SchemaMap, udfs: &UdfRegistry) -> Result<Compiled> {
+    let mut scope: SchemaMap = env.clone();
+    let mut out = Compiled {
+        stmts: Vec::with_capacity(program.stmts.len()),
+        schemas: SchemaMap::new(),
+    };
+    for stmt in &program.stmts {
+        let (op, schema) = compile_stmt(stmt, &scope, udfs)
+            .map_err(|e| contextualize(e, stmt))?;
+        let schema = Arc::new(schema);
+        scope.insert(stmt.alias.clone(), schema.clone());
+        out.schemas.insert(stmt.alias.clone(), schema.clone());
+        out.stmts.push(CStmt {
+            alias: stmt.alias.clone(),
+            op,
+            schema,
+        });
+    }
+    Ok(out)
+}
+
+fn contextualize(e: PigError, stmt: &Stmt) -> PigError {
+    match e {
+        PigError::Plan(m) => PigError::Plan(format!(
+            "in statement '{}' (line {}): {m}",
+            stmt.alias, stmt.line
+        )),
+        other => other,
+    }
+}
+
+fn lookup<'a>(scope: &'a SchemaMap, alias: &str) -> Result<&'a Arc<Schema>> {
+    scope
+        .get(alias)
+        .ok_or_else(|| PigError::UnknownAlias(alias.to_string()))
+}
+
+fn compile_stmt(stmt: &Stmt, scope: &SchemaMap, udfs: &UdfRegistry) -> Result<(COp, Schema)> {
+    match &stmt.op {
+        Op::Filter { input, cond } => {
+            let schema = lookup(scope, input)?;
+            let cond = compile_expr(cond, schema)?;
+            Ok((
+                COp::Filter {
+                    input: input.clone(),
+                    cond,
+                },
+                (**schema).clone(),
+            ))
+        }
+        Op::Foreach { input, items } => {
+            let schema = lookup(scope, input)?;
+            let mut citems = Vec::with_capacity(items.len());
+            let mut fields = Vec::new();
+            for item in items {
+                let (citem, item_fields) = compile_gen_item(item, schema, udfs)?;
+                fields.extend(item_fields);
+                citems.push(citem);
+            }
+            Ok((
+                COp::Foreach {
+                    input: input.clone(),
+                    items: citems,
+                },
+                Schema::new(fields),
+            ))
+        }
+        Op::Group { input, keys } => {
+            let schema = lookup(scope, input)?;
+            let (ckeys, key_type) = match keys {
+                GroupKeys::All => (None, DataType::Str),
+                GroupKeys::By(exprs) => {
+                    let compiled: Vec<CExpr> = exprs
+                        .iter()
+                        .map(|e| compile_expr(e, schema))
+                        .collect::<Result<_>>()?;
+                    let ty = group_key_type(&compiled, schema);
+                    (Some(compiled), ty)
+                }
+            };
+            let out_schema = Schema::new(vec![
+                Field::named("group", key_type),
+                Field::named(input.clone(), DataType::Bag(Arc::new((**schema).clone()))),
+            ]);
+            Ok((
+                COp::Group {
+                    input: input.clone(),
+                    keys: ckeys,
+                    input_alias: input.clone(),
+                },
+                out_schema,
+            ))
+        }
+        Op::Cogroup { inputs } => {
+            let mut compiled = Vec::with_capacity(inputs.len());
+            let mut fields = Vec::with_capacity(inputs.len() + 1);
+            let mut key_type = DataType::Any;
+            let mut seen = std::collections::HashSet::new();
+            for (alias, keys) in inputs {
+                if !seen.insert(alias.clone()) {
+                    return Err(PigError::Plan(format!(
+                        "COGROUP input '{alias}' appears twice"
+                    )));
+                }
+                let schema = lookup(scope, alias)?;
+                let ckeys: Vec<CExpr> = keys
+                    .iter()
+                    .map(|e| compile_expr(e, schema))
+                    .collect::<Result<_>>()?;
+                if key_type == DataType::Any {
+                    key_type = group_key_type(&ckeys, schema);
+                }
+                fields.push(Field::named(
+                    alias.clone(),
+                    DataType::Bag(Arc::new((**schema).clone())),
+                ));
+                compiled.push((alias.clone(), ckeys));
+            }
+            let mut all_fields = vec![Field::named("group", key_type)];
+            all_fields.extend(fields);
+            Ok((COp::Cogroup { inputs: compiled }, Schema::new(all_fields)))
+        }
+        Op::Join { left, right } => {
+            let ls = lookup(scope, &left.0)?;
+            let rs = lookup(scope, &right.0)?;
+            if left.0 == right.0 {
+                return Err(PigError::Plan(format!(
+                    "self-join of '{}' requires distinct aliases",
+                    left.0
+                )));
+            }
+            let lkeys: Vec<CExpr> = left
+                .1
+                .iter()
+                .map(|e| compile_expr(e, ls))
+                .collect::<Result<_>>()?;
+            let rkeys: Vec<CExpr> = right
+                .1
+                .iter()
+                .map(|e| compile_expr(e, rs))
+                .collect::<Result<_>>()?;
+            let out_schema = ls.qualified(&left.0).concat(&rs.qualified(&right.0));
+            Ok((
+                COp::Join {
+                    left: (left.0.clone(), lkeys),
+                    right: (right.0.clone(), rkeys),
+                },
+                out_schema,
+            ))
+        }
+        Op::Union { inputs } => {
+            let first = lookup(scope, &inputs[0])?;
+            for alias in &inputs[1..] {
+                let s = lookup(scope, alias)?;
+                if s.arity() != first.arity() {
+                    return Err(PigError::Plan(format!(
+                        "UNION inputs '{}' and '{alias}' have different arities ({} vs {})",
+                        inputs[0],
+                        first.arity(),
+                        s.arity()
+                    )));
+                }
+            }
+            Ok((
+                COp::Union {
+                    inputs: inputs.clone(),
+                },
+                (**first).clone(),
+            ))
+        }
+        Op::Distinct { input } => {
+            let schema = lookup(scope, input)?;
+            Ok((
+                COp::Distinct {
+                    input: input.clone(),
+                },
+                (**schema).clone(),
+            ))
+        }
+        Op::Order { input, keys } => {
+            let schema = lookup(scope, input)?;
+            let mut ckeys = Vec::with_capacity(keys.len());
+            for (field, asc) in keys {
+                let pos = resolve_field(field, schema)?;
+                ckeys.push(lipstick_nrel::sort::SortKey {
+                    position: pos,
+                    direction: if *asc {
+                        lipstick_nrel::sort::Direction::Asc
+                    } else {
+                        lipstick_nrel::sort::Direction::Desc
+                    },
+                });
+            }
+            Ok((
+                COp::Order {
+                    input: input.clone(),
+                    keys: ckeys,
+                },
+                (**schema).clone(),
+            ))
+        }
+        Op::Limit { input, count } => {
+            let schema = lookup(scope, input)?;
+            Ok((
+                COp::Limit {
+                    input: input.clone(),
+                    count: *count,
+                },
+                (**schema).clone(),
+            ))
+        }
+    }
+}
+
+fn group_key_type(keys: &[CExpr], schema: &Schema) -> DataType {
+    if keys.len() == 1 {
+        infer_type(&keys[0], schema)
+    } else {
+        DataType::Tuple(Arc::new(Schema::new(
+            keys.iter()
+                .map(|k| Field::anon(infer_type(k, schema)))
+                .collect(),
+        )))
+    }
+}
+
+fn resolve_field(r: &FieldRef, schema: &Schema) -> Result<usize> {
+    match r {
+        FieldRef::Positional(i) => {
+            if *i < schema.arity() {
+                Ok(*i)
+            } else {
+                Err(PigError::Plan(format!(
+                    "positional ${i} out of range for schema {schema}"
+                )))
+            }
+        }
+        FieldRef::Named(n) => schema
+            .resolve(n)
+            .map_err(|e| PigError::Plan(e.to_string())),
+    }
+}
+
+/// Compile a scalar expression (aggregates/UDFs rejected here — they are
+/// only legal as top-level GENERATE items).
+fn compile_expr(e: &Expr, schema: &Schema) -> Result<CExpr> {
+    match e {
+        Expr::Lit(v) => Ok(CExpr::Lit(v.clone())),
+        Expr::Field(r) => Ok(CExpr::Field(resolve_field(r, schema)?)),
+        Expr::BagProject { bag, attr } => {
+            let (bag, attr) = resolve_bag_attr(bag, Some(attr), schema)?;
+            Ok(CExpr::BagProject {
+                bag,
+                attr: attr.expect("attr provided"),
+            })
+        }
+        Expr::Unary { op, inner } => Ok(CExpr::Unary {
+            op: *op,
+            inner: Box::new(compile_expr(inner, schema)?),
+        }),
+        Expr::Binary { op, left, right } => Ok(CExpr::Binary {
+            op: *op,
+            left: Box::new(compile_expr(left, schema)?),
+            right: Box::new(compile_expr(right, schema)?),
+        }),
+        Expr::IsNull { inner, negated } => Ok(CExpr::IsNull {
+            inner: Box::new(compile_expr(inner, schema)?),
+            negated: *negated,
+        }),
+        Expr::Agg { .. } => Err(PigError::Plan(
+            "aggregates are only allowed as top-level GENERATE items".into(),
+        )),
+        Expr::Udf { .. } => Err(PigError::Plan(
+            "UDF calls are only allowed as top-level GENERATE items (optionally under FLATTEN)"
+                .into(),
+        )),
+    }
+}
+
+/// Resolve `bag[.attr]` for aggregate arguments: `bag` must be a
+/// bag-typed field; `attr` (if given) resolves inside its tuple schema.
+fn resolve_bag_attr(
+    bag: &FieldRef,
+    attr: Option<&FieldRef>,
+    schema: &Schema,
+) -> Result<(usize, Option<usize>)> {
+    let bag_pos = resolve_field(bag, schema)?;
+    let field = schema.field(bag_pos).map_err(|e| PigError::Plan(e.to_string()))?;
+    let DataType::Bag(elem) = &field.dtype else {
+        return Err(PigError::Plan(format!(
+            "field '{bag}' is not a bag (type {})",
+            field.dtype
+        )));
+    };
+    let attr_pos = match attr {
+        None => None,
+        Some(a) => Some(resolve_field(a, elem)?),
+    };
+    Ok((bag_pos, attr_pos))
+}
+
+fn infer_type(e: &CExpr, schema: &Schema) -> DataType {
+    match e {
+        CExpr::Lit(v) => match v {
+            lipstick_nrel::Value::Bool(_) => DataType::Bool,
+            lipstick_nrel::Value::Int(_) => DataType::Int,
+            lipstick_nrel::Value::Float(_) => DataType::Float,
+            lipstick_nrel::Value::Str(_) => DataType::Str,
+            _ => DataType::Any,
+        },
+        CExpr::Field(i) => schema
+            .field(*i)
+            .map(|f| f.dtype.clone())
+            .unwrap_or(DataType::Any),
+        CExpr::BagProject { .. } => DataType::Any,
+        CExpr::Unary { op, inner } => match op {
+            UnaryOp::Not => DataType::Bool,
+            UnaryOp::Neg => infer_type(inner, schema),
+        },
+        CExpr::Binary { op, left, right } => {
+            if op.is_comparison() || op.is_logic() {
+                DataType::Bool
+            } else {
+                match (infer_type(left, schema), infer_type(right, schema)) {
+                    (DataType::Int, DataType::Int) => DataType::Int,
+                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                        DataType::Float
+                    }
+                    _ => DataType::Any,
+                }
+            }
+        }
+        CExpr::IsNull { .. } => DataType::Bool,
+    }
+}
+
+fn agg_result_type(op: AggOp, bag_elem: &Schema, attr: Option<usize>) -> DataType {
+    match op {
+        AggOp::Count => DataType::Int,
+        AggOp::Avg => DataType::Float,
+        AggOp::Sum | AggOp::Min | AggOp::Max => attr
+            .and_then(|a| bag_elem.field(a).ok())
+            .map(|f| f.dtype.clone())
+            .unwrap_or(DataType::Any),
+    }
+}
+
+fn compile_gen_item(
+    item: &GenItem,
+    schema: &Schema,
+    udfs: &UdfRegistry,
+) -> Result<(CGenItem, Vec<Field>)> {
+    match item {
+        GenItem::Star => Ok((
+            CGenItem::Star {
+                arity: schema.arity(),
+            },
+            schema.fields().to_vec(),
+        )),
+        GenItem::Expr { expr, alias } => compile_named_item(expr, alias.as_deref(), schema, udfs),
+        GenItem::Flatten { expr, aliases } => match expr {
+            Expr::Field(r) => {
+                let (bag_pos, _) = resolve_bag_attr(r, None, schema)?;
+                let DataType::Bag(elem) = &schema.field(bag_pos).expect("resolved").dtype
+                else {
+                    unreachable!("resolve_bag_attr checked bag type")
+                };
+                let mut fields = elem.fields().to_vec();
+                apply_aliases(&mut fields, aliases)?;
+                Ok((
+                    CGenItem::FlattenField {
+                        bag: bag_pos,
+                        arity: fields.len(),
+                    },
+                    fields,
+                ))
+            }
+            Expr::Udf { name, args } => {
+                let udf = udfs.get(name)?;
+                let cargs: Vec<CExpr> = args
+                    .iter()
+                    .map(|a| compile_expr(a, schema))
+                    .collect::<Result<_>>()?;
+                let arg_fields = referenced_fields_of(&cargs);
+                let mut fields = match &udf.output_schema {
+                    Some(s) => s.fields().to_vec(),
+                    None if !aliases.is_empty() => aliases
+                        .iter()
+                        .map(|a| Field::named(a.clone(), DataType::Any))
+                        .collect(),
+                    None => {
+                        return Err(PigError::Plan(format!(
+                            "FLATTEN({name}(…)) needs AS aliases or a declared UDF output schema"
+                        )))
+                    }
+                };
+                apply_aliases(&mut fields, aliases)?;
+                Ok((
+                    CGenItem::FlattenUdf {
+                        name: name.clone(),
+                        args: cargs,
+                        arg_fields,
+                        returns_value: udf.returns_value,
+                        arity: fields.len(),
+                    },
+                    fields,
+                ))
+            }
+            other => Err(PigError::Plan(format!(
+                "FLATTEN expects a bag field or a UDF call, found {other:?}"
+            ))),
+        },
+    }
+}
+
+fn compile_named_item(
+    expr: &Expr,
+    alias: Option<&str>,
+    schema: &Schema,
+    udfs: &UdfRegistry,
+) -> Result<(CGenItem, Vec<Field>)> {
+    match expr {
+        Expr::Agg { op, arg } => {
+            let (bag, attr) = match &**arg {
+                Expr::Field(r) => resolve_bag_attr(r, None, schema)?,
+                Expr::BagProject { bag, attr } => resolve_bag_attr(bag, Some(attr), schema)?,
+                other => {
+                    return Err(PigError::Plan(format!(
+                        "{op} expects a bag field or bag.attr argument, found {other:?}"
+                    )))
+                }
+            };
+            let DataType::Bag(elem) = &schema.field(bag).expect("resolved").dtype else {
+                unreachable!("resolve_bag_attr checked bag type")
+            };
+            let dtype = agg_result_type(*op, elem, attr);
+            let name = alias.map(String::from);
+            Ok((
+                CGenItem::Agg {
+                    op: *op,
+                    bag,
+                    attr,
+                },
+                vec![Field {
+                    name,
+                    dtype,
+                }],
+            ))
+        }
+        Expr::Udf { name, args } => {
+            let udf = udfs.get(name)?;
+            let cargs: Vec<CExpr> = args
+                .iter()
+                .map(|a| compile_expr(a, schema))
+                .collect::<Result<_>>()?;
+            let arg_fields = referenced_fields_of(&cargs);
+            Ok((
+                CGenItem::Udf {
+                    name: name.clone(),
+                    args: cargs,
+                    arg_fields,
+                    returns_value: udf.returns_value,
+                },
+                vec![Field {
+                    name: alias.map(String::from),
+                    dtype: DataType::Any,
+                }],
+            ))
+        }
+        other => {
+            let cexpr = compile_expr(other, schema)?;
+            let source_field = match &cexpr {
+                CExpr::Field(i) => Some(*i),
+                _ => None,
+            };
+            // A bare field keeps its name unless aliased.
+            let name = alias.map(String::from).or_else(|| {
+                source_field.and_then(|i| schema.field(i).ok().and_then(|f| f.name.clone()))
+            });
+            let dtype = infer_type(&cexpr, schema);
+            Ok((
+                CGenItem::Expr {
+                    expr: cexpr,
+                    source_field,
+                },
+                vec![Field { name, dtype }],
+            ))
+        }
+    }
+}
+
+fn apply_aliases(fields: &mut [Field], aliases: &[String]) -> Result<()> {
+    if aliases.is_empty() {
+        return Ok(());
+    }
+    if aliases.len() != fields.len() {
+        return Err(PigError::Plan(format!(
+            "FLATTEN AS lists {} names but produces {} fields",
+            aliases.len(),
+            fields.len()
+        )));
+    }
+    for (f, a) in fields.iter_mut().zip(aliases) {
+        f.name = Some(a.clone());
+    }
+    Ok(())
+}
+
+fn referenced_fields_of(exprs: &[CExpr]) -> Vec<usize> {
+    let mut out: Vec<usize> = exprs
+        .iter()
+        .flat_map(|e| e.referenced_fields())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use lipstick_nrel::Value;
+
+    fn cars_env() -> SchemaMap {
+        let mut m = SchemaMap::new();
+        m.insert(
+            "Cars".into(),
+            Arc::new(Schema::named(&[
+                ("CarId", DataType::Str),
+                ("Model", DataType::Str),
+            ])),
+        );
+        m.insert(
+            "Requests".into(),
+            Arc::new(Schema::named(&[
+                ("UserId", DataType::Str),
+                ("BidId", DataType::Str),
+                ("Model", DataType::Str),
+            ])),
+        );
+        m
+    }
+
+    #[test]
+    fn filter_keeps_schema() {
+        let p = parse("B = FILTER Cars BY Model == 'Civic';").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        assert_eq!(c.stmts[0].schema.arity(), 2);
+        assert_eq!(c.stmts[0].schema.resolve("Model").unwrap(), 1);
+    }
+
+    #[test]
+    fn foreach_renames_and_types() {
+        let p = parse("M = FOREACH Cars GENERATE Model AS m, 1 AS one;").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        let s = &c.stmts[0].schema;
+        assert_eq!(s.resolve("m").unwrap(), 0);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Int);
+    }
+
+    #[test]
+    fn group_produces_nested_schema() {
+        let p = parse("G = GROUP Cars BY Model;").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        let s = &c.stmts[0].schema;
+        assert_eq!(s.resolve("group").unwrap(), 0);
+        assert_eq!(s.field(0).unwrap().dtype, DataType::Str);
+        match &s.field(1).unwrap().dtype {
+            DataType::Bag(elem) => assert_eq!(elem.arity(), 2),
+            other => panic!("expected bag, got {other}"),
+        }
+        assert_eq!(s.resolve("Cars").unwrap(), 1);
+    }
+
+    #[test]
+    fn count_over_group_resolves() {
+        let p = parse(
+            "G = GROUP Cars BY Model; N = FOREACH G GENERATE group AS Model, COUNT(Cars) AS n;",
+        )
+        .unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        let s = &c.stmts[1].schema;
+        assert_eq!(s.resolve("Model").unwrap(), 0);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Int);
+        match &c.stmts[1].op {
+            COp::Foreach { items, .. } => {
+                assert!(matches!(items[1], CGenItem::Agg { op: AggOp::Count, bag: 1, attr: None }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_with_attr_path() {
+        let p = parse("G = GROUP Cars ALL; S = FOREACH G GENERATE MIN(Cars.Model);").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        match &c.stmts[1].op {
+            COp::Foreach { items, .. } => {
+                assert!(matches!(
+                    items[0],
+                    CGenItem::Agg {
+                        op: AggOp::Min,
+                        bag: 1,
+                        attr: Some(1)
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // MIN over a chararray attr types as chararray
+        assert_eq!(c.stmts[1].schema.field(0).unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn join_qualifies_both_sides() {
+        let p = parse("I = JOIN Cars BY Model, Requests BY Model;").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        let s = &c.stmts[0].schema;
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.resolve("Cars::Model").unwrap(), 1);
+        assert_eq!(s.resolve("Requests::Model").unwrap(), 4);
+        assert_eq!(s.resolve("CarId").unwrap(), 0);
+        // unqualified 'Model' is now ambiguous
+        assert!(compile(
+            &parse("I = JOIN Cars BY Model, Requests BY Model; X = FOREACH I GENERATE Model;")
+                .unwrap(),
+            &cars_env(),
+            &UdfRegistry::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let p = parse("I = JOIN Cars BY Model, Cars BY Model;").unwrap();
+        assert!(compile(&p, &cars_env(), &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn union_arity_check() {
+        let p = parse("U = UNION Cars, Requests;").unwrap();
+        let err = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("different arities"));
+    }
+
+    #[test]
+    fn unknown_alias_and_field() {
+        let p = parse("B = FILTER Nope BY x == 1;").unwrap();
+        assert!(matches!(
+            compile(&p, &cars_env(), &UdfRegistry::new()),
+            Err(PigError::UnknownAlias(_))
+        ));
+        let p = parse("B = FILTER Cars BY Price > 3;").unwrap();
+        let err = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("Price"));
+    }
+
+    #[test]
+    fn flatten_udf_requires_schema_or_aliases() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register("Mk", false, None, |_| Ok(Value::Null));
+        let p = parse("X = FOREACH Cars GENERATE FLATTEN(Mk(Model));").unwrap();
+        assert!(compile(&p, &cars_env(), &udfs).is_err());
+        let p = parse("X = FOREACH Cars GENERATE FLATTEN(Mk(Model)) AS (a, b);").unwrap();
+        let c = compile(&p, &cars_env(), &udfs).unwrap();
+        assert_eq!(c.stmts[0].schema.arity(), 2);
+        assert_eq!(c.stmts[0].schema.resolve("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn flatten_bag_splices_element_schema() {
+        let p = parse("G = GROUP Cars BY Model; F = FOREACH G GENERATE group, FLATTEN(Cars);")
+            .unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        let s = &c.stmts[1].schema;
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.resolve("CarId").unwrap(), 1);
+    }
+
+    #[test]
+    fn aggregate_not_allowed_nested() {
+        let p = parse("G = GROUP Cars ALL; X = FOREACH G GENERATE COUNT(Cars) + 1;").unwrap();
+        let err = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("top-level"));
+    }
+
+    #[test]
+    fn order_key_resolution() {
+        let p = parse("S = ORDER Cars BY Model DESC, $0;").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        match &c.stmts[0].op {
+            COp::Order { keys, .. } => {
+                assert_eq!(keys[0].position, 1);
+                assert_eq!(keys[1].position, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statement_chaining_sees_prior_aliases() {
+        let p = parse("A = FILTER Cars BY true; B = FILTER A BY Model == 'x';").unwrap();
+        let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
+        assert_eq!(c.stmts.len(), 2);
+    }
+
+    #[test]
+    fn plan_errors_cite_statement() {
+        let p = parse("Bad = FOREACH Cars GENERATE Price;").unwrap();
+        let err = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("'Bad'"), "err: {err}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Lexical tokens of the Pig Latin fragment.
+
+use std::fmt;
+
+/// Keywords are recognized case-insensitively (Pig accepts both `FILTER`
+/// and `filter`); identifiers preserve their case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals & identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    /// Positional field reference `$3`.
+    Positional(usize),
+
+    // keywords
+    Filter,
+    By,
+    Foreach,
+    Generate,
+    Group,
+    Cogroup,
+    Join,
+    Union,
+    Distinct,
+    Order,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    Is,
+    Null,
+    True,
+    False,
+    Flatten,
+    All,
+    Asc,
+    Desc,
+
+    // punctuation & operators
+    Semi,
+    Comma,
+    LParen,
+    RParen,
+    Assign,   // =
+    Eq,       // ==
+    Neq,      // !=
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `::` name qualifier.
+    DoubleColon,
+    /// `.` nested-field dereference.
+    Dot,
+}
+
+impl Tok {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "FILTER" => Tok::Filter,
+            "BY" => Tok::By,
+            "FOREACH" => Tok::Foreach,
+            "GENERATE" => Tok::Generate,
+            "GROUP" => Tok::Group,
+            "COGROUP" => Tok::Cogroup,
+            "JOIN" => Tok::Join,
+            "UNION" => Tok::Union,
+            "DISTINCT" => Tok::Distinct,
+            "ORDER" => Tok::Order,
+            "LIMIT" => Tok::Limit,
+            "AS" => Tok::As,
+            "AND" => Tok::And,
+            "OR" => Tok::Or,
+            "NOT" => Tok::Not,
+            "IS" => Tok::Is,
+            "NULL" => Tok::Null,
+            "TRUE" => Tok::True,
+            "FALSE" => Tok::False,
+            "FLATTEN" => Tok::Flatten,
+            "ALL" => Tok::All,
+            "ASC" => Tok::Asc,
+            "DESC" => Tok::Desc,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::IntLit(v) => write!(f, "{v}"),
+            Tok::FloatLit(v) => write!(f, "{v}"),
+            Tok::StrLit(s) => write!(f, "'{s}'"),
+            Tok::Positional(i) => write!(f, "${i}"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Assign => write!(f, "="),
+            Tok::Eq => write!(f, "=="),
+            Tok::Neq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Lte => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Gte => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::DoubleColon => write!(f, "::"),
+            Tok::Dot => write!(f, "."),
+            kw => write!(f, "{}", format!("{kw:?}").to_ascii_uppercase()),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(Tok::keyword("foreach"), Some(Tok::Foreach));
+        assert_eq!(Tok::keyword("FoReAcH"), Some(Tok::Foreach));
+        assert_eq!(Tok::keyword("Inventory"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punct() {
+        assert_eq!(Tok::Eq.to_string(), "==");
+        assert_eq!(Tok::DoubleColon.to_string(), "::");
+        assert_eq!(Tok::Positional(2).to_string(), "$2");
+    }
+}

@@ -1,0 +1,394 @@
+//! Binary codec for values, node kinds, and roles.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use lipstick_core::agg::AggOp;
+use lipstick_core::semiring::Token;
+use lipstick_core::{InvocationId, NodeKind, Role};
+use lipstick_nrel::{Bag, Tuple, Value};
+
+use crate::error::{Result, StorageError};
+use crate::varint::{get_i64, get_str, get_u64, put_i64, put_str, put_u64};
+
+// ----- values -----
+
+/// Append a value.
+pub fn put_value(buf: &mut impl BufMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        Value::Tuple(t) => {
+            buf.put_u8(5);
+            put_tuple(buf, t);
+        }
+        Value::Bag(b) => {
+            buf.put_u8(6);
+            put_u64(buf, b.len() as u64);
+            for t in b.iter() {
+                put_tuple(buf, t);
+            }
+        }
+        Value::Map(m) => {
+            buf.put_u8(7);
+            put_u64(buf, m.len() as u64);
+            for (k, v) in m.iter() {
+                put_str(buf, k);
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+/// Read a value.
+pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(StorageError::Corrupt("truncated value".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(buf.get_u8() != 0)),
+        2 => Ok(Value::Int(get_i64(buf)?)),
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(StorageError::Corrupt("truncated float".into()));
+            }
+            Ok(Value::Float(f64::from_bits(buf.get_u64())))
+        }
+        4 => Ok(Value::Str(Arc::from(get_str(buf)?.as_str()))),
+        5 => Ok(Value::Tuple(get_tuple(buf)?)),
+        6 => {
+            let n = get_u64(buf)? as usize;
+            let mut bag = Bag::empty();
+            for _ in 0..n {
+                bag.push(get_tuple(buf)?);
+            }
+            Ok(Value::Bag(bag))
+        }
+        7 => {
+            let n = get_u64(buf)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let k = get_str(buf)?;
+                let v = get_value(buf)?;
+                m.insert(k, v);
+            }
+            Ok(Value::Map(Arc::new(m)))
+        }
+        other => Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Append a tuple.
+pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
+    put_u64(buf, t.arity() as u64);
+    for v in t.fields() {
+        put_value(buf, v);
+    }
+}
+
+/// Read a tuple.
+pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple> {
+    let n = get_u64(buf)? as usize;
+    let mut fields = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        fields.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(fields))
+}
+
+// ----- node kinds -----
+
+fn agg_tag(op: AggOp) -> u8 {
+    match op {
+        AggOp::Count => 0,
+        AggOp::Sum => 1,
+        AggOp::Min => 2,
+        AggOp::Max => 3,
+        AggOp::Avg => 4,
+    }
+}
+
+fn agg_from(tag: u8) -> Result<AggOp> {
+    Ok(match tag {
+        0 => AggOp::Count,
+        1 => AggOp::Sum,
+        2 => AggOp::Min,
+        3 => AggOp::Max,
+        4 => AggOp::Avg,
+        other => return Err(StorageError::Corrupt(format!("unknown agg op {other}"))),
+    })
+}
+
+/// Append a node kind. Zoomed nodes are rejected at a higher level
+/// (persisting a zoomed view is an error).
+pub fn put_kind(buf: &mut impl BufMut, kind: &NodeKind) -> Result<()> {
+    match kind {
+        NodeKind::WorkflowInput { token } => {
+            buf.put_u8(0);
+            put_str(buf, token.as_str());
+        }
+        NodeKind::Invocation => buf.put_u8(1),
+        NodeKind::ModuleInput => buf.put_u8(2),
+        NodeKind::ModuleOutput => buf.put_u8(3),
+        NodeKind::StateUnit => buf.put_u8(4),
+        NodeKind::BaseTuple { token } => {
+            buf.put_u8(5);
+            put_str(buf, token.as_str());
+        }
+        NodeKind::Plus => buf.put_u8(6),
+        NodeKind::Times => buf.put_u8(7),
+        NodeKind::Delta => buf.put_u8(8),
+        NodeKind::AggResult { op } => {
+            buf.put_u8(9);
+            buf.put_u8(agg_tag(*op));
+        }
+        NodeKind::Tensor => buf.put_u8(10),
+        NodeKind::Const { value } => {
+            buf.put_u8(11);
+            put_value(buf, value);
+        }
+        NodeKind::BlackBox { name, is_value } => {
+            buf.put_u8(12);
+            put_str(buf, name);
+            buf.put_u8(u8::from(*is_value));
+        }
+        NodeKind::Zoomed { .. } => {
+            return Err(StorageError::Corrupt(
+                "zoomed composite nodes are views and cannot be persisted".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Read a node kind.
+pub fn get_kind(buf: &mut impl Buf) -> Result<NodeKind> {
+    if !buf.has_remaining() {
+        return Err(StorageError::Corrupt("truncated node kind".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => NodeKind::WorkflowInput {
+            token: Token::new(get_str(buf)?),
+        },
+        1 => NodeKind::Invocation,
+        2 => NodeKind::ModuleInput,
+        3 => NodeKind::ModuleOutput,
+        4 => NodeKind::StateUnit,
+        5 => NodeKind::BaseTuple {
+            token: Token::new(get_str(buf)?),
+        },
+        6 => NodeKind::Plus,
+        7 => NodeKind::Times,
+        8 => NodeKind::Delta,
+        9 => NodeKind::AggResult {
+            op: agg_from(buf.get_u8())?,
+        },
+        10 => NodeKind::Tensor,
+        11 => NodeKind::Const {
+            value: get_value(buf)?,
+        },
+        12 => NodeKind::BlackBox {
+            name: get_str(buf)?,
+            is_value: buf.get_u8() != 0,
+        },
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown node kind tag {other}"
+            )))
+        }
+    })
+}
+
+// ----- roles -----
+
+/// Append a role.
+pub fn put_role(buf: &mut impl BufMut, role: &Role) {
+    let (tag, inv): (u8, Option<InvocationId>) = match role {
+        Role::WorkflowInput => (0, None),
+        Role::Invocation(i) => (1, Some(*i)),
+        Role::ModuleInput(i) => (2, Some(*i)),
+        Role::ModuleOutput(i) => (3, Some(*i)),
+        Role::State(i) => (4, Some(*i)),
+        Role::Intermediate(i) => (5, Some(*i)),
+        Role::Zoom(i) => (6, Some(*i)),
+        Role::Free => (7, None),
+    };
+    buf.put_u8(tag);
+    if let Some(i) = inv {
+        put_u64(buf, u64::from(i.0));
+    }
+}
+
+/// Read a role.
+pub fn get_role(buf: &mut impl Buf) -> Result<Role> {
+    if !buf.has_remaining() {
+        return Err(StorageError::Corrupt("truncated role".into()));
+    }
+    let tag = buf.get_u8();
+    let mut inv = || -> Result<InvocationId> { Ok(InvocationId(get_u64(buf)? as u32)) };
+    Ok(match tag {
+        0 => Role::WorkflowInput,
+        1 => Role::Invocation(inv()?),
+        2 => Role::ModuleInput(inv()?),
+        3 => Role::ModuleOutput(inv()?),
+        4 => Role::State(inv()?),
+        5 => Role::Intermediate(inv()?),
+        6 => Role::Zoom(inv()?),
+        7 => Role::Free,
+        other => return Err(StorageError::Corrupt(format!("unknown role tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use lipstick_nrel::{bag, tuple};
+    use proptest::prelude::*;
+
+    fn round_trip_value(v: &Value) -> Value {
+        let mut b = BytesMut::new();
+        put_value(&mut b, v);
+        let mut r = b.freeze();
+        get_value(&mut r).unwrap()
+    }
+
+    #[test]
+    fn scalar_values_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::str("hello"),
+        ] {
+            assert_eq!(round_trip_value(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let v = Value::Tuple(tuple![
+            1i64,
+            Value::Bag(bag![tuple!["a", 2i64], tuple!["b", 3i64]])
+        ]);
+        assert_eq!(round_trip_value(&v), v);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::Int(1));
+        m.insert("z".to_string(), Value::str("v"));
+        let v = Value::Map(Arc::new(m));
+        assert_eq!(round_trip_value(&v), v);
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        let kinds = vec![
+            NodeKind::WorkflowInput {
+                token: Token::new("I1"),
+            },
+            NodeKind::Invocation,
+            NodeKind::ModuleInput,
+            NodeKind::ModuleOutput,
+            NodeKind::StateUnit,
+            NodeKind::BaseTuple {
+                token: Token::new("C2"),
+            },
+            NodeKind::Plus,
+            NodeKind::Times,
+            NodeKind::Delta,
+            NodeKind::AggResult { op: AggOp::Min },
+            NodeKind::Tensor,
+            NodeKind::Const {
+                value: Value::Int(5),
+            },
+            NodeKind::BlackBox {
+                name: "CalcBid".into(),
+                is_value: true,
+            },
+        ];
+        for k in kinds {
+            let mut b = BytesMut::new();
+            put_kind(&mut b, &k).unwrap();
+            let mut r = b.freeze();
+            assert_eq!(get_kind(&mut r).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn zoomed_kind_rejected() {
+        let mut b = BytesMut::new();
+        assert!(put_kind(&mut b, &NodeKind::Zoomed { stash: 0 }).is_err());
+    }
+
+    #[test]
+    fn roles_round_trip() {
+        let roles = vec![
+            Role::WorkflowInput,
+            Role::Invocation(InvocationId(3)),
+            Role::ModuleInput(InvocationId(0)),
+            Role::ModuleOutput(InvocationId(9)),
+            Role::State(InvocationId(2)),
+            Role::Intermediate(InvocationId(100)),
+            Role::Free,
+        ];
+        for role in roles {
+            let mut b = BytesMut::new();
+            put_role(&mut b, &role);
+            let mut r = b.freeze();
+            assert_eq!(get_role(&mut r).unwrap(), role);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_errors() {
+        let mut r = bytes::Bytes::from_static(&[99]);
+        assert!(get_value(&mut r).is_err());
+        let mut r = bytes::Bytes::from_static(&[99]);
+        assert!(get_kind(&mut r).is_err());
+        let mut r = bytes::Bytes::from_static(&[99]);
+        assert!(get_role(&mut r).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            "[a-z]{0,8}".prop_map(Value::str),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4)
+                .prop_map(|vs| Value::Tuple(Tuple::new(vs)))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn value_round_trip(v in arb_value()) {
+            prop_assert_eq!(round_trip_value(&v), v);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Storage errors.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding provenance data.
+#[derive(Debug)]
+pub enum StorageError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Bad magic bytes — not a Lipstick provenance file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Truncated or malformed input.
+    Corrupt(String),
+    /// Graphs with active ZoomOuts cannot be persisted (zoom is a view,
+    /// not data; ZoomIn first).
+    ZoomedGraph(Vec<String>),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not a Lipstick provenance file (bad magic)"),
+            StorageError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt provenance file: {m}"),
+            StorageError::ZoomedGraph(mods) => write!(
+                f,
+                "cannot persist a graph with zoomed-out modules: {}",
+                mods.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;

@@ -1,0 +1,36 @@
+//! # lipstick-storage — provenance persistence
+//!
+//! The Lipstick architecture (§5.1) separates the **Provenance
+//! Tracker**, which writes provenance-annotated data to the filesystem
+//! during workflow execution, from the **Query Processor**, which reads
+//! it back and builds the in-memory provenance graph. This crate is
+//! that boundary: a versioned, varint-packed binary format for
+//! provenance graphs, plus the loader whose performance Figure 6
+//! measures ("Building the Provenance Graph").
+//!
+//! The format is append-friendly: nodes are written in id order with
+//! their predecessor lists, so the loader reconstructs both edge
+//! directions in one pass.
+//!
+//! ```
+//! use lipstick_core::graph::GraphTracker;
+//! use lipstick_core::Tracker;
+//! use lipstick_storage::{encode_graph, decode_graph};
+//!
+//! let mut t = GraphTracker::new();
+//! let a = t.base("a");
+//! let b = t.base("b");
+//! t.plus(&[a, b]);
+//! let g = t.finish();
+//! let bytes = encode_graph(&g).unwrap();
+//! let g2 = decode_graph(&bytes).unwrap();
+//! assert_eq!(g.visible_signature(), g2.visible_signature());
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod log;
+pub mod varint;
+
+pub use error::{Result, StorageError};
+pub use log::{decode_graph, encode_graph, load_graph, write_graph};

@@ -1,0 +1,137 @@
+//! LEB128 variable-length integers (unsigned) with zigzag for signed.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{Result, StorageError};
+
+/// Append an unsigned varint.
+pub fn put_u64(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned varint.
+pub fn get_u64(buf: &mut impl Buf) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(StorageError::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed varint.
+pub fn put_i64(buf: &mut impl BufMut, v: i64) {
+    put_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn get_i64(buf: &mut impl Buf) -> Result<i64> {
+    let z = get_u64(buf)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String> {
+    let len = get_u64(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(StorageError::Corrupt("truncated string".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| StorageError::Corrupt("invalid UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u64_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut b = BytesMut::new();
+            put_u64(&mut b, v);
+            let mut r = b.freeze();
+            assert_eq!(get_u64(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trip_boundaries() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63] {
+            let mut b = BytesMut::new();
+            put_i64(&mut b, v);
+            let mut r = b.freeze();
+            assert_eq!(get_i64(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_error() {
+        let mut b = BytesMut::new();
+        put_u64(&mut b, u64::MAX);
+        let frozen = b.freeze();
+        let mut r = frozen.slice(0..frozen.len() - 1);
+        assert!(get_u64(&mut r).is_err());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut b = BytesMut::new();
+        put_str(&mut b, "héllo ⊗ wörld");
+        let mut r = b.freeze();
+        assert_eq!(get_str(&mut r).unwrap(), "héllo ⊗ wörld");
+    }
+
+    #[test]
+    fn truncated_string_is_error() {
+        let mut b = BytesMut::new();
+        put_str(&mut b, "abcdef");
+        let frozen = b.freeze();
+        let mut r = frozen.slice(0..3);
+        assert!(get_str(&mut r).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn u64_round_trip(v: u64) {
+            let mut b = BytesMut::new();
+            put_u64(&mut b, v);
+            let mut r = b.freeze();
+            prop_assert_eq!(get_u64(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn i64_round_trip(v: i64) {
+            let mut b = BytesMut::new();
+            put_i64(&mut b, v);
+            let mut r = b.freeze();
+            prop_assert_eq!(get_i64(&mut r).unwrap(), v);
+        }
+    }
+}

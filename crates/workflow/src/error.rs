@@ -1,0 +1,76 @@
+//! Workflow errors.
+
+use std::fmt;
+
+use lipstick_piglatin::PigError;
+
+/// Errors raised while validating or executing workflows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WfError {
+    /// The workflow graph contains a cycle.
+    Cyclic,
+    /// The workflow graph is not connected.
+    Disconnected,
+    /// An edge references a relation missing from an endpoint schema.
+    BadEdge {
+        from: String,
+        to: String,
+        relation: String,
+        reason: String,
+    },
+    /// Two incoming edges of a node carry the same relation name.
+    DuplicateIncoming { node: String, relation: String },
+    /// A non-input node's input schema is not covered by incoming edges.
+    UncoveredInput { node: String, relation: String },
+    /// An input node received no workflow input for a relation.
+    MissingWorkflowInput { node: String, relation: String },
+    /// Module instance names must be unique.
+    DuplicateInstance(String),
+    /// A module's script failed.
+    Pig { node: String, error: PigError },
+    /// A module script did not produce a declared output relation.
+    MissingOutput { node: String, relation: String },
+    /// Referenced node does not exist.
+    UnknownNode(String),
+}
+
+impl fmt::Display for WfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfError::Cyclic => write!(f, "workflow graph is cyclic"),
+            WfError::Disconnected => write!(f, "workflow graph is not connected"),
+            WfError::BadEdge {
+                from,
+                to,
+                relation,
+                reason,
+            } => write!(f, "edge {from}→{to} relation '{relation}': {reason}"),
+            WfError::DuplicateIncoming { node, relation } => write!(
+                f,
+                "node '{node}' receives relation '{relation}' from two incoming edges"
+            ),
+            WfError::UncoveredInput { node, relation } => write!(
+                f,
+                "node '{node}' input relation '{relation}' is not supplied by any incoming edge"
+            ),
+            WfError::MissingWorkflowInput { node, relation } => write!(
+                f,
+                "input node '{node}' got no workflow input for relation '{relation}'"
+            ),
+            WfError::DuplicateInstance(n) => {
+                write!(f, "duplicate module instance name '{n}'")
+            }
+            WfError::Pig { node, error } => write!(f, "module '{node}': {error}"),
+            WfError::MissingOutput { node, relation } => write!(
+                f,
+                "module '{node}' did not produce declared output relation '{relation}'"
+            ),
+            WfError::UnknownNode(n) => write!(f, "unknown workflow node '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = WfError> = std::result::Result<T, E>;

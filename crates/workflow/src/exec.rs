@@ -1,0 +1,451 @@
+//! Workflow execution (Definition 2.3) with provenance capture (§3.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lipstick_core::Tracker;
+use lipstick_nrel::Tuple;
+use lipstick_piglatin::eval::{execute as run_pig, ARelation, ATuple, Ann, Env};
+use lipstick_piglatin::plan::{compile, Compiled};
+use lipstick_piglatin::udf::UdfRegistry;
+
+use crate::dag::{NodeIdx, Workflow};
+use crate::error::{Result, WfError};
+use crate::module::ModuleSpec;
+
+/// External inputs for one workflow execution: instance name →
+/// relation name → tuples.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowInput {
+    data: HashMap<String, HashMap<String, Vec<Tuple>>>,
+}
+
+impl WorkflowInput {
+    pub fn new() -> Self {
+        WorkflowInput::default()
+    }
+
+    /// Provide tuples for an input node's relation (builder style).
+    pub fn provide(
+        mut self,
+        instance: impl Into<String>,
+        relation: impl Into<String>,
+        tuples: Vec<Tuple>,
+    ) -> Self {
+        self.data
+            .entry(instance.into())
+            .or_default()
+            .insert(relation.into(), tuples);
+        self
+    }
+
+    pub(crate) fn get(&self, instance: &str, relation: &str) -> &[Tuple] {
+        self.data
+            .get(instance)
+            .and_then(|m| m.get(relation))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// The mutable workflow state: per **module** (spec name), its state
+/// relations with their provenance annotations (these persist across
+/// executions — that is the point of the paper's `s` nodes).
+///
+/// State is keyed by module name, not node instance: the paper's
+/// unfolded workflows map several DAG nodes to one module (the dealers
+/// appear once in the bid phase and once in the purchase phase) and
+/// those invocations share state. Nodes of the same module must never
+/// be concurrently ready — in an unfolded loop they are ordered by the
+/// DAG, which the parallel executor relies on.
+#[derive(Debug, Clone)]
+pub struct WorkflowState<R: Copy> {
+    per_module: HashMap<String, HashMap<String, ARelation<R>>>,
+}
+
+impl<R: Copy> WorkflowState<R> {
+    /// Empty state for every module, shaped by the state schemas.
+    pub fn empty(wf: &Workflow) -> Self {
+        let mut per_module: HashMap<String, HashMap<String, ARelation<R>>> = HashMap::new();
+        for n in wf.nodes() {
+            per_module.entry(n.spec.name.clone()).or_insert_with(|| {
+                n.spec
+                    .state_schema
+                    .iter()
+                    .map(|(rel, schema)| {
+                        (rel.clone(), ARelation::empty(Arc::new(schema.clone())))
+                    })
+                    .collect()
+            });
+        }
+        WorkflowState { per_module }
+    }
+
+    /// Seed a state relation with base tuples (one token per tuple).
+    pub fn seed<T: Tracker<Ref = R>>(
+        &mut self,
+        _wf: &Workflow,
+        module: &str,
+        relation: &str,
+        tuples: Vec<Tuple>,
+        tracker: &mut T,
+        token_of: impl Fn(usize, &Tuple) -> String,
+    ) -> Result<()> {
+        let slot = self
+            .per_module
+            .get_mut(module)
+            .and_then(|m| m.get_mut(relation))
+            .ok_or_else(|| WfError::UnknownNode(format!("{module}.{relation}")))?;
+        for (i, t) in tuples.into_iter().enumerate() {
+            let prov = if T::TRACKING {
+                tracker.base(&token_of(i, &t))
+            } else {
+                tracker.base("")
+            };
+            slot.rows.push(ATuple::plain(t, prov));
+        }
+        Ok(())
+    }
+
+    /// A state relation, if present.
+    pub fn relation(&self, _wf: &Workflow, module: &str, rel: &str) -> Option<&ARelation<R>> {
+        self.per_module.get(module).and_then(|m| m.get(rel))
+    }
+
+    /// Total state tuples across all modules.
+    pub fn total_tuples(&self) -> usize {
+        self.per_module
+            .values()
+            .flat_map(|m| m.values())
+            .map(|r| r.rows.len())
+            .sum()
+    }
+
+    pub(crate) fn module_state_mut(
+        &mut self,
+        module: &str,
+    ) -> &mut HashMap<String, ARelation<R>> {
+        self.per_module
+            .entry(module.to_string())
+            .or_default()
+    }
+}
+
+/// Output of one workflow execution: for every output node, its output
+/// relations (rows annotated with their `o` nodes).
+#[derive(Debug, Clone)]
+pub struct ExecutionOutput<R: Copy> {
+    pub outputs: HashMap<String, HashMap<String, ARelation<R>>>,
+}
+
+impl<R: Copy> ExecutionOutput<R> {
+    /// An output relation of an output node.
+    pub fn relation(&self, instance: &str, rel: &str) -> Option<&ARelation<R>> {
+        self.outputs.get(instance).and_then(|m| m.get(rel))
+    }
+}
+
+/// What one module invocation produced.
+pub(crate) struct InvocationResult<R: Copy> {
+    /// Output relations, rows annotated with their `o` nodes.
+    pub outputs: HashMap<String, ARelation<R>>,
+    /// The full post-invocation state (rebound relations replaced,
+    /// untouched ones carried through with their original refs).
+    pub new_state: HashMap<String, ARelation<R>>,
+}
+
+/// Invoke one module: wrap inputs/state in `i`/`s` nodes, run
+/// `Qstate; Qout`, wrap outputs in `o` nodes, and return the new state.
+///
+/// `external_inputs` holds raw workflow-input tuples for input nodes;
+/// `edge_inputs` holds relations staged by upstream modules (their rows
+/// already annotated with `o`-node refs in this tracker's space).
+pub(crate) fn invoke_module<T: Tracker>(
+    instance: &str,
+    spec: &ModuleSpec,
+    compiled: &Compiled,
+    external_inputs: &HashMap<String, Vec<Tuple>>,
+    mut edge_inputs: HashMap<String, ARelation<T::Ref>>,
+    state_rels: HashMap<String, ARelation<T::Ref>>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+    execution: u32,
+) -> Result<InvocationResult<T::Ref>> {
+    // Invocations are identified by the *module name* (spec.name): the
+    // same module may label several DAG nodes (unfolded loops), and zoom
+    // must treat all of their invocations as one unit (§4.1).
+    tracker.begin_invocation(&spec.name, execution);
+    let mut env: Env<T::Ref> = Env::new();
+
+    // ---- inputs: wrap each tuple in an `i` node ----
+    for (rel, schema) in &spec.input_schema {
+        let wrapped = if let Some(tuples) = external_inputs.get(rel) {
+            let mut r = ARelation::empty(Arc::new(schema.clone()));
+            for (i, t) in tuples.iter().enumerate() {
+                let wf_in = if T::TRACKING {
+                    tracker.workflow_input(&format!("I{execution}.{instance}.{rel}.{i}"))
+                } else {
+                    tracker.workflow_input("")
+                };
+                let prov = tracker.module_input(wf_in);
+                r.rows.push(ATuple::plain(t.clone(), prov));
+            }
+            r
+        } else {
+            let upstream = edge_inputs
+                .remove(rel)
+                .unwrap_or_else(|| ARelation::empty(Arc::new(schema.clone())));
+            let mut r = ARelation::empty(upstream.schema.clone());
+            for row in upstream.rows {
+                let prov = tracker.module_input(row.ann.prov);
+                r.rows.push(ATuple {
+                    tuple: row.tuple,
+                    ann: Ann {
+                        prov,
+                        vrefs: row.ann.vrefs,
+                    },
+                    members: row.members,
+                });
+            }
+            r
+        };
+        env.bind(rel.clone(), wrapped);
+    }
+
+    // ---- state: wrap each tuple in an `s` node ----
+    for (rel, _schema) in &spec.state_schema {
+        let stored = state_rels.get(rel).expect("state initialized per schema");
+        let mut r = ARelation::empty(stored.schema.clone());
+        for row in &stored.rows {
+            let prov = tracker.state_node(row.ann.prov);
+            r.rows.push(ATuple {
+                tuple: row.tuple.clone(),
+                ann: Ann {
+                    prov,
+                    vrefs: row.ann.vrefs.clone(),
+                },
+                members: row.members.clone(),
+            });
+        }
+        env.bind(rel.clone(), r);
+    }
+
+    // ---- run Qstate; Qout ----
+    run_pig(compiled, &mut env, tracker, udfs).map_err(|error| WfError::Pig {
+        node: instance.to_string(),
+        error,
+    })?;
+
+    // ---- commit state ----
+    let mut new_state = state_rels;
+    for (rel, _schema) in &spec.state_schema {
+        if compiled.schemas.contains_key(rel) {
+            let mut rebound = env.take(rel).expect("script-bound relations stay in env");
+            // Value references do not cross invocation boundaries: a
+            // v-node belongs to the invocation that computed it (its
+            // edges end at that invocation's `o` nodes, Figure 2(c));
+            // later invocations pair state values as constants.
+            for row in &mut rebound.rows {
+                row.ann.vrefs.clear();
+                row.members.clear();
+            }
+            new_state.insert(rel.clone(), rebound);
+        }
+        // Untouched state relations keep their stored (unwrapped) rows:
+        // `s` nodes are per-invocation views, not part of the state.
+    }
+
+    // ---- outputs: wrap each tuple in an `o` node ----
+    let mut outputs = HashMap::new();
+    for (rel, _schema) in &spec.output_schema {
+        let produced = env.take(rel).ok_or_else(|| WfError::MissingOutput {
+            node: instance.to_string(),
+            relation: rel.clone(),
+        })?;
+        let mut r = ARelation::empty(produced.schema.clone());
+        for row in produced.rows {
+            let vnodes: Vec<T::Ref> = row.ann.vref_nodes().collect();
+            let prov = tracker.module_output(row.ann.prov, &vnodes);
+            r.rows.push(ATuple {
+                tuple: row.tuple,
+                ann: Ann {
+                    prov,
+                    vrefs: row.ann.vrefs,
+                },
+                members: Vec::new(),
+            });
+        }
+        outputs.insert(rel.clone(), r);
+    }
+    tracker.end_invocation();
+    Ok(InvocationResult { outputs, new_state })
+}
+
+/// A workflow executor with a per-node compiled-plan cache (module
+/// scripts compile once; schemas are fixed per specification).
+pub struct Executor<'a> {
+    wf: &'a Workflow,
+    udfs: &'a UdfRegistry,
+    compiled: Vec<Option<Arc<Compiled>>>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(wf: &'a Workflow, udfs: &'a UdfRegistry) -> Self {
+        Executor {
+            wf,
+            udfs,
+            compiled: vec![None; wf.len()],
+        }
+    }
+
+    /// The workflow being executed.
+    pub fn workflow(&self) -> &Workflow {
+        self.wf
+    }
+
+    pub(crate) fn compiled_for(&mut self, idx: NodeIdx) -> Result<Arc<Compiled>> {
+        if self.compiled[idx.index()].is_none() {
+            let node = self.wf.node(idx);
+            let mut schemas = lipstick_piglatin::plan::SchemaMap::new();
+            for (rel, schema) in node
+                .spec
+                .input_schema
+                .iter()
+                .chain(&node.spec.state_schema)
+            {
+                schemas.insert(rel.clone(), Arc::new(schema.clone()));
+            }
+            let program =
+                lipstick_piglatin::parse(&node.spec.combined_script()).map_err(|error| {
+                    WfError::Pig {
+                        node: node.instance.clone(),
+                        error,
+                    }
+                })?;
+            let compiled =
+                compile(&program, &schemas, self.udfs).map_err(|error| WfError::Pig {
+                    node: node.instance.clone(),
+                    error,
+                })?;
+            self.compiled[idx.index()] = Some(Arc::new(compiled));
+        }
+        Ok(self.compiled[idx.index()]
+            .clone()
+            .expect("just inserted"))
+    }
+
+    /// Run a single execution (Definition 2.3): every module once, in
+    /// topological order.
+    pub fn execute_once<T: Tracker>(
+        &mut self,
+        input: &WorkflowInput,
+        state: &mut WorkflowState<T::Ref>,
+        tracker: &mut T,
+        execution: u32,
+    ) -> Result<ExecutionOutput<T::Ref>> {
+        // Relations staged on edges: (consumer, relation) → rows.
+        let mut staged: HashMap<(NodeIdx, String), ARelation<T::Ref>> = HashMap::new();
+        let mut result = ExecutionOutput {
+            outputs: HashMap::new(),
+        };
+
+        for &idx in self.wf.topo_order() {
+            let compiled = self.compiled_for(idx)?;
+            let node = self.wf.node(idx);
+            let is_input_node = self.wf.input_nodes().contains(&idx);
+            let is_output_node = self.wf.output_nodes().contains(&idx);
+
+            let mut external_inputs = HashMap::new();
+            let mut edge_inputs = HashMap::new();
+            for (rel, _schema) in &node.spec.input_schema {
+                if is_input_node {
+                    external_inputs
+                        .insert(rel.clone(), input.get(&node.instance, rel).to_vec());
+                } else if let Some(r) = staged.remove(&(idx, rel.clone())) {
+                    edge_inputs.insert(rel.clone(), r);
+                }
+            }
+            let state_rels = std::mem::take(state.module_state_mut(&node.spec.name));
+
+            let inv = invoke_module(
+                &node.instance,
+                &node.spec,
+                &compiled,
+                &external_inputs,
+                edge_inputs,
+                state_rels,
+                tracker,
+                self.udfs,
+                execution,
+            )?;
+            *state.module_state_mut(&node.spec.name) = inv.new_state;
+
+            // ---- route along edges (vrefs stay in their invocation;
+            // downstream modules see the tuple through its `o` node) ----
+            for edge in self.wf.outgoing(idx) {
+                for rel in &edge.relations {
+                    let out = inv
+                        .outputs
+                        .get(rel)
+                        .expect("edge validated against Sout");
+                    let mut routed = out.clone();
+                    for row in &mut routed.rows {
+                        row.ann.vrefs.clear();
+                    }
+                    staged.insert((edge.to, rel.clone()), routed);
+                }
+            }
+            if is_output_node {
+                result.outputs.insert(node.instance.clone(), inv.outputs);
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// One-shot convenience: run a single execution.
+pub fn execute_once<T: Tracker>(
+    wf: &Workflow,
+    input: &WorkflowInput,
+    state: &mut WorkflowState<T::Ref>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+    execution: u32,
+) -> Result<ExecutionOutput<T::Ref>> {
+    Executor::new(wf, udfs).execute_once(input, state, tracker, execution)
+}
+
+/// Run a sequence of executions E₀…Eₙ (Definition 2.3's sequences):
+/// state threads from each execution into the next.
+pub fn execute_sequence<T: Tracker>(
+    wf: &Workflow,
+    inputs: &[WorkflowInput],
+    state: &mut WorkflowState<T::Ref>,
+    tracker: &mut T,
+    udfs: &UdfRegistry,
+) -> Result<Vec<ExecutionOutput<T::Ref>>> {
+    let mut executor = Executor::new(wf, udfs);
+    let mut outputs = Vec::with_capacity(inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        outputs.push(executor.execute_once(input, state, tracker, i as u32)?);
+    }
+    Ok(outputs)
+}
+
+/// Pretty-print an execution's outputs (used by examples).
+pub fn render_outputs<R: Copy>(out: &ExecutionOutput<R>) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    let mut instances: Vec<&String> = out.outputs.keys().collect();
+    instances.sort();
+    for instance in instances {
+        let rels = &out.outputs[instance];
+        let mut names: Vec<&String> = rels.keys().collect();
+        names.sort();
+        for rel in names {
+            for row in &rels[rel].rows {
+                lines.push(format!("{instance}.{rel}: {}", row.tuple));
+            }
+        }
+    }
+    lines.join("\n")
+}

@@ -1,0 +1,115 @@
+//! Module specifications (Definition 2.1).
+
+use std::sync::Arc;
+
+use lipstick_nrel::Schema;
+
+/// A module specification: the 5-tuple
+/// `(Sin, Sstate, Sout, Qstate, Qout)` of Definition 2.1. Schemas are
+/// *named* relation schemas (a module may have several input / state /
+/// output relations, e.g. the dealer's `Cars`, `SoldCars`,
+/// `InventoryBids`).
+///
+/// `Qstate` and `Qout` are Pig Latin scripts. They run sequentially in
+/// one environment seeded with the module's input and (pre-invocation)
+/// state relations; after both run,
+///
+/// - for every state relation that the scripts re-bound, the new
+///   binding becomes the module's state (untouched state relations are
+///   carried over unchanged);
+/// - every output relation must be bound and becomes the module output.
+///
+/// This realizes `Qstate : Sin × Sstate → Sstate` and
+/// `Qout : Sin × Sstate → Sout` for straight-line scripts (the paper's
+/// own examples never re-read a state relation after rewriting it).
+#[derive(Debug, Clone)]
+pub struct ModuleSpec {
+    /// Specification name (instances add their own identity).
+    pub name: String,
+    /// Input relations `Sin`.
+    pub input_schema: Vec<(String, Schema)>,
+    /// State relations `Sstate`.
+    pub state_schema: Vec<(String, Schema)>,
+    /// Output relations `Sout`.
+    pub output_schema: Vec<(String, Schema)>,
+    /// State-manipulation query (may be empty).
+    pub q_state: String,
+    /// Output query.
+    pub q_out: String,
+}
+
+impl ModuleSpec {
+    /// Convenience builder for a module with single input/output
+    /// relations and no state.
+    pub fn stateless(
+        name: impl Into<String>,
+        input: (&str, Schema),
+        output: (&str, Schema),
+        q_out: impl Into<String>,
+    ) -> Arc<ModuleSpec> {
+        Arc::new(ModuleSpec {
+            name: name.into(),
+            input_schema: vec![(input.0.to_string(), input.1)],
+            state_schema: Vec::new(),
+            output_schema: vec![(output.0.to_string(), output.1)],
+            q_state: String::new(),
+            q_out: q_out.into(),
+        })
+    }
+
+    /// Names of input relations.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.input_schema.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Names of state relations.
+    pub fn state_names(&self) -> impl Iterator<Item = &str> {
+        self.state_schema.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Names of output relations.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.output_schema.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Does `rel` belong to `Sout`?
+    pub fn has_output(&self, rel: &str) -> bool {
+        self.output_schema.iter().any(|(n, _)| n == rel)
+    }
+
+    /// Does `rel` belong to `Sin`?
+    pub fn has_input(&self, rel: &str) -> bool {
+        self.input_schema.iter().any(|(n, _)| n == rel)
+    }
+
+    /// The combined script (Qstate then Qout).
+    pub fn combined_script(&self) -> String {
+        let mut s = String::with_capacity(self.q_state.len() + self.q_out.len() + 1);
+        s.push_str(&self.q_state);
+        s.push('\n');
+        s.push_str(&self.q_out);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipstick_nrel::DataType;
+
+    #[test]
+    fn stateless_builder() {
+        let m = ModuleSpec::stateless(
+            "Magg",
+            ("Bids", Schema::named(&[("Price", DataType::Float)])),
+            ("Best", Schema::named(&[("Price", DataType::Float)])),
+            "G = GROUP Bids ALL; Best = FOREACH G GENERATE MIN(Bids.Price) AS Price;",
+        );
+        assert_eq!(m.name, "Magg");
+        assert!(m.has_input("Bids"));
+        assert!(m.has_output("Best"));
+        assert!(!m.has_output("Bids"));
+        assert_eq!(m.state_names().count(), 0);
+        assert!(m.combined_script().contains("GROUP Bids ALL"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # lipstick-workflowgen — the WorkflowGen benchmark (paper §5.2)
+//!
+//! Generates and executes the two workload families of the Lipstick
+//! evaluation:
+//!
+//! - **Car dealerships** ([`dealers`]): the paper's running example,
+//!   with a fixed topology — a bid-request module fanning out to four
+//!   dealership modules (each with `Cars` / `SoldCars` /
+//!   `InventoryBids` state and a `CalcBid` black box), a minimum-bid
+//!   aggregator, a user-choice input, an accept/decline router, the
+//!   purchase phase (the dealers invoked a second time), and a final
+//!   car-output module. A *run* is a sequence of executions that ends
+//!   when the buyer purchases a car or `num_exec` is reached.
+//! - **Arctic stations** ([`arctic`]): meteorological station modules
+//!   over monthly observations (1961–2000), in *serial*, *parallel*, or
+//!   *dense* topologies with configurable fan-out, computing running
+//!   minimum air temperatures; the `selectivity` parameter (all /
+//!   season / month / year) controls which fraction of each station's
+//!   state contributes to its output — and therefore the provenance
+//!   graph's density.
+//!
+//! The paper's real NSIDC dataset ("Meteorological data from the
+//! Russian Arctic, 1961–2000") is substituted by a deterministic
+//! synthetic generator with the same shape (see `DESIGN.md`).
+
+pub mod arctic;
+pub mod dealers;
+
+pub use arctic::{ArcticParams, Selectivity, Topology};
+pub use dealers::DealersParams;

@@ -1,0 +1,84 @@
+//! A tiny interactive Pig Latin shell with provenance.
+//!
+//! Reads statements from stdin (terminated by `;`), executes them
+//! against an in-memory environment pre-loaded with a demo relation,
+//! and prints each result with its provenance expression. `\dot ALIAS`
+//! prints the provenance graph as Graphviz; `\quit` exits.
+//!
+//! ```sh
+//! echo "B = FILTER Cars BY Model == 'Civic';" | cargo run --example pig_shell
+//! ```
+
+use std::io::{BufRead, Write};
+
+use lipstick::core::graph::dot::to_dot;
+use lipstick::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "Cars",
+        Schema::named(&[("CarId", DataType::Str), ("Model", DataType::Str)]),
+        vec![
+            tuple!["C1", "Accord"],
+            tuple!["C2", "Civic"],
+            tuple!["C3", "Civic"],
+            tuple!["C4", "Jetta"],
+        ],
+        &mut tracker,
+        |_, _, t| t.get(0).unwrap().to_text().into_owned(),
+    )?;
+    let udfs = UdfRegistry::new();
+
+    println!("lipstick pig shell — relations: {:?}", env.aliases());
+    println!("enter Pig Latin statements ending in ';', \\dot ALIAS, or \\quit");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print!("pig> ");
+    std::io::stdout().flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed == "\\quit" {
+            break;
+        }
+        if let Some(alias) = trimmed.strip_prefix("\\dot ") {
+            match env.relation(alias.trim()) {
+                Some(_) => println!("{}", to_dot(tracker.graph(), alias.trim())),
+                None => println!("unknown alias '{alias}'"),
+            }
+            print!("pig> ");
+            std::io::stdout().flush()?;
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            continue; // statement continues on the next line
+        }
+        let script = std::mem::take(&mut buffer);
+        match run_script(&script, &mut env, &mut tracker, &udfs) {
+            Ok(compiled) => {
+                for stmt in &compiled.stmts {
+                    let rel = env.relation(&stmt.alias).expect("bound");
+                    println!("{}: {} ({} rows)", stmt.alias, stmt.schema, rel.len());
+                    for row in rel.rows.iter().take(10) {
+                        println!(
+                            "  {}   ⟵   {}",
+                            row.tuple,
+                            tracker.graph().expr_of(row.ann.prov)
+                        );
+                    }
+                    if rel.len() > 10 {
+                        println!("  … {} more", rel.len() - 10);
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        print!("pig> ");
+        std::io::stdout().flush()?;
+    }
+    Ok(())
+}

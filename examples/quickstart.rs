@@ -1,0 +1,71 @@
+//! Quickstart: run a Pig Latin script with provenance tracking, inspect
+//! a result tuple's provenance polynomial, and ask a what-if question.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lipstick::prelude::*;
+use lipstick::core::semiring::eval::{eval_expr, Valuation};
+use lipstick::core::semiring::boolean::Bools;
+use lipstick::core::Semiring;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Bind an input relation; every tuple gets a provenance token.
+    let mut tracker = GraphTracker::new();
+    let mut env = Env::new();
+    env.bind_with_token_fn(
+        "Cars",
+        Schema::named(&[("CarId", DataType::Str), ("Model", DataType::Str)]),
+        vec![
+            tuple!["C1", "Accord"],
+            tuple!["C2", "Civic"],
+            tuple!["C3", "Civic"],
+        ],
+        &mut tracker,
+        |_, _, t| t.get(0).unwrap().to_text().into_owned(), // token = CarId
+    )?;
+
+    // 2. Run a script: count cars per model.
+    run_script(
+        "ByModel = GROUP Cars BY Model;
+         Counts  = FOREACH ByModel GENERATE group AS Model, COUNT(Cars) AS N;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )?;
+
+    // 3. Inspect results with their provenance.
+    let counts = env.relation("Counts").expect("bound by the script");
+    let graph = tracker.finish();
+    println!("Counts with provenance:");
+    for row in &counts.rows {
+        println!("  {}   ⟵   {}", row.tuple, graph.expr_of(row.ann.prov));
+    }
+
+    // 4. What-if: does the Civic count row survive without car C2?
+    let civic_row = counts
+        .rows
+        .iter()
+        .find(|r| r.tuple.get(0).unwrap() == &Value::str("Civic"))
+        .expect("Civic group exists");
+    let expr = graph.expr_of(civic_row.ann.prov);
+    let survives = eval_expr(
+        &expr,
+        &Valuation::<Bools>::with_default(Bools::one()).set("C2", Bools(false)),
+    );
+    println!(
+        "\nWithout C2, the Civic row {} (C3 still derives it).",
+        if survives.0 { "survives" } else { "disappears" }
+    );
+
+    // 5. And the recorded COUNT value can be *recomputed* under the
+    //    deletion, because aggregation provenance pairs each value with
+    //    its tuple's annotation (t ⊗ v).
+    let vref = civic_row.ann.vref(1).expect("COUNT field has a v-node");
+    let agg = graph.agg_value_of(vref).expect("aggregate value");
+    let v = Valuation::with_default(lipstick::core::semiring::natural::Natural(1))
+        .set("C2", lipstick::core::semiring::natural::Natural(0));
+    println!("COUNT recomputed without C2: {}", agg.evaluate(&v)?);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # Lipstick — database-style workflow provenance for Pig Latin dataflows
+//!
+//! A from-scratch Rust reproduction of *"Putting Lipstick on Pig:
+//! Enabling Database-style Workflow Provenance"* (Amsterdamer, Davidson,
+//! Deutch, Milo, Stoyanovich, Tannen — VLDB 2011).
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! - [`nrel`]: nested relational (bag) data model;
+//! - [`core`]: provenance semirings, the provenance graph, and the graph
+//!   transformations (ZoomIn / ZoomOut, deletion propagation, subgraph
+//!   and dependency queries);
+//! - [`piglatin`]: the Pig Latin fragment — parser, planner, and a
+//!   bag-semantics evaluator instrumented for provenance capture;
+//! - [`workflow`]: modules with state, workflow DAGs, sequential and
+//!   parallel execution;
+//! - [`storage`]: the provenance log (Tracker → disk → Query Processor);
+//! - [`workflowgen`]: the WorkflowGen benchmark workloads (Car
+//!   dealerships, Arctic stations).
+//!
+//! See `README.md` for a tour, `examples/` for runnable end-to-end
+//! demonstrations, and `crates/bench` for the harness regenerating the
+//! paper's Figures 5–7.
+
+pub use lipstick_core as core;
+pub use lipstick_nrel as nrel;
+pub use lipstick_piglatin as piglatin;
+pub use lipstick_storage as storage;
+pub use lipstick_workflow as workflow;
+pub use lipstick_workflowgen as workflowgen;
+
+/// Commonly used items, for `use lipstick::prelude::*`.
+pub mod prelude {
+    pub use lipstick_core::graph::stats::stats;
+    pub use lipstick_core::query::{
+        depends_on, propagate_deletion, subgraph, zoom_in, zoom_out,
+    };
+    pub use lipstick_core::{GraphTracker, NoTracker, NodeId, NodeKind, ProvGraph, Tracker};
+    pub use lipstick_nrel::{bag, tuple, Bag, DataType, Schema, Tuple, Value};
+    pub use lipstick_piglatin::eval::{run_script, Env};
+    pub use lipstick_piglatin::udf::UdfRegistry;
+    pub use lipstick_workflow::{
+        execute_once, execute_sequence, ModuleSpec, Workflow, WorkflowBuilder, WorkflowInput,
+        WorkflowState,
+    };
+}
