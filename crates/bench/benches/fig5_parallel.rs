@@ -17,16 +17,12 @@ fn fig5c(c: &mut Criterion) {
         seed: 1_000_003,
     };
     for reducers in [1usize, 2, 3, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("no_prov", reducers),
-            &reducers,
-            |b, &r| b.iter(|| run_dealers_parallel(&params, r, false)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("prov", reducers),
-            &reducers,
-            |b, &r| b.iter(|| run_dealers_parallel(&params, r, true)),
-        );
+        group.bench_with_input(BenchmarkId::new("no_prov", reducers), &reducers, |b, &r| {
+            b.iter(|| run_dealers_parallel(&params, r, false))
+        });
+        group.bench_with_input(BenchmarkId::new("prov", reducers), &reducers, |b, &r| {
+            b.iter(|| run_dealers_parallel(&params, r, true))
+        });
     }
     group.finish();
 }

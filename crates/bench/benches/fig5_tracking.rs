@@ -19,16 +19,12 @@ fn fig5a_dealers(c: &mut Criterion) {
             num_exec,
             seed: 1_000_003,
         };
-        group.bench_with_input(
-            BenchmarkId::new("no_prov", num_exec),
-            &params,
-            |b, p| b.iter(|| run_dealers(p, false).executions),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("prov", num_exec),
-            &params,
-            |b, p| b.iter(|| run_dealers(p, true).executions),
-        );
+        group.bench_with_input(BenchmarkId::new("no_prov", num_exec), &params, |b, p| {
+            b.iter(|| run_dealers(p, false).executions)
+        });
+        group.bench_with_input(BenchmarkId::new("prov", num_exec), &params, |b, p| {
+            b.iter(|| run_dealers(p, true).executions)
+        });
     }
     group.finish();
 }

@@ -22,11 +22,9 @@ fn fig6a(c: &mut Criterion) {
         let g = run_dealers(&params, true).graph.expect("tracking on");
         let bytes = encode_graph(&g).expect("no zoom");
         group.throughput(Throughput::Elements(g.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g.len()),
-            &bytes,
-            |b, bytes| b.iter(|| decode_graph(bytes).expect("round trip").len()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(g.len()), &bytes, |b, bytes| {
+            b.iter(|| decode_graph(bytes).expect("round trip").len())
+        });
     }
     group.finish();
 }
@@ -35,10 +33,7 @@ fn fig6b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6b_build_arctic_modules");
     group.sample_size(10);
     for stations in [2usize, 6, 12] {
-        for (sel_name, selectivity) in [
-            ("all", Selectivity::All),
-            ("year", Selectivity::Year),
-        ] {
+        for (sel_name, selectivity) in [("all", Selectivity::All), ("year", Selectivity::Year)] {
             let params = ArcticParams {
                 stations,
                 topology: Topology::Dense { fanout: 2 },
@@ -48,11 +43,9 @@ fn fig6b(c: &mut Criterion) {
             };
             let g = run_arctic(&params, true).graph.expect("tracking on");
             let bytes = encode_graph(&g).expect("no zoom");
-            group.bench_with_input(
-                BenchmarkId::new(sel_name, stations),
-                &bytes,
-                |b, bytes| b.iter(|| decode_graph(bytes).expect("round trip").len()),
-            );
+            group.bench_with_input(BenchmarkId::new(sel_name, stations), &bytes, |b, bytes| {
+                b.iter(|| decode_graph(bytes).expect("round trip").len())
+            });
         }
     }
     group.finish();

@@ -1,0 +1,131 @@
+//! ProQL planned-vs-naive execution (fig7-style, §5.1's trade-offs).
+//!
+//! - `proql_depends`: dependency tests via deletion propagation vs the
+//!   planner's reach-index prefilter. With the closure built, negative
+//!   answers become O(1) lookups, so the indexed plan must win.
+//! - `proql_match`: `MATCH … WHERE module = …` as a naive full sweep +
+//!   post-filter vs the planner's invocation-table-driven module scan
+//!   with the predicate pushed into the traversal.
+//! - `proql_descendants`: unbounded descendant walks, BFS vs closure
+//!   lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipstick_bench::run_dealers;
+use lipstick_core::{NodeId, ProvGraph};
+use lipstick_proql::Session;
+use lipstick_workflowgen::DealersParams;
+
+fn dealers_graph(num_exec: usize) -> ProvGraph {
+    let params = DealersParams {
+        num_cars: 200,
+        num_exec,
+        seed: 1_000_003,
+    };
+    run_dealers(&params, true).graph.expect("tracking on")
+}
+
+/// Roots × targets pairs exercised by the dependency benches.
+fn depends_pairs(g: &ProvGraph) -> Vec<(NodeId, NodeId)> {
+    let roots = g.top_fanout_nodes(4);
+    let targets: Vec<NodeId> = g.iter_visible().map(|(id, _)| id).take(8).collect();
+    roots
+        .iter()
+        .flat_map(|&r| targets.iter().map(move |&t| (t, r)))
+        .collect()
+}
+
+fn proql_depends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_depends");
+    group.sample_size(10);
+    let g = dealers_graph(10);
+    let pairs = depends_pairs(&g);
+    let stmts: Vec<String> = pairs
+        .iter()
+        .map(|(n, m)| format!("DEPENDS(#{}, #{})", n.0, m.0))
+        .collect();
+
+    let mut plain = Session::new(g.clone());
+    group.bench_function(BenchmarkId::new("propagation", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .filter(|s| plain.run_one(s).unwrap().bool_value().unwrap())
+                .count()
+        })
+    });
+
+    let mut indexed = Session::new(g.clone());
+    indexed.run_one("BUILD INDEX").unwrap();
+    group.bench_function(BenchmarkId::new("reach_prefilter", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .filter(|s| indexed.run_one(s).unwrap().bool_value().unwrap())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn proql_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_match");
+    group.sample_size(10);
+    let g = dealers_graph(10);
+    let module = g.invocations()[0].module.clone();
+
+    // Naive: sweep every visible node, post-filter on the module.
+    group.bench_function(BenchmarkId::new("naive_fullscan", g.len()), |b| {
+        b.iter(|| {
+            g.iter_visible()
+                .filter(|(_, n)| {
+                    n.role
+                        .invocation()
+                        .is_some_and(|inv| g.invocation(inv).module == module)
+                })
+                .count()
+        })
+    });
+
+    let mut session = Session::new(g.clone());
+    let stmt = format!("MATCH nodes WHERE module = '{module}'");
+    group.bench_function(BenchmarkId::new("module_scan", g.len()), |b| {
+        b.iter(|| session.run_one(&stmt).unwrap().nodes().unwrap().len())
+    });
+    group.finish();
+}
+
+fn proql_descendants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_descendants");
+    group.sample_size(10);
+    let g = dealers_graph(10);
+    let stmts: Vec<String> = g
+        .top_fanout_nodes(8)
+        .into_iter()
+        .map(|r| format!("DESCENDANTS OF #{}", r.0))
+        .collect();
+
+    let mut bfs = Session::new(g.clone());
+    group.bench_function(BenchmarkId::new("bfs", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| bfs.run_one(s).unwrap().nodes().unwrap().len())
+                .sum::<usize>()
+        })
+    });
+
+    let mut indexed = Session::new(g.clone());
+    indexed.run_one("BUILD INDEX").unwrap();
+    group.bench_function(BenchmarkId::new("reach_index", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| indexed.run_one(s).unwrap().nodes().unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, proql_depends, proql_match, proql_descendants);
+criterion_main!(benches);

@@ -349,8 +349,7 @@ fn fig7c(scale: f64) {
             let run = run_arctic(&params, true);
             let g = run.graph.expect("tracking on");
             let pairs = measure_subgraphs(&g, 50);
-            let mean =
-                pairs.iter().map(|(_, t)| ms(*t)).sum::<f64>() / pairs.len().max(1) as f64;
+            let mean = pairs.iter().map(|(_, t)| ms(*t)).sum::<f64>() / pairs.len().max(1) as f64;
             row.push_str(&format!(" {:>12.3}", mean));
         }
         println!("{row}");

@@ -71,16 +71,8 @@ impl AggOp {
                     Ok(Value::Float(acc))
                 }
             }
-            AggOp::Min => Ok((*non_null
-                .iter()
-                .min()
-                .expect("non-empty checked"))
-            .clone()),
-            AggOp::Max => Ok((*non_null
-                .iter()
-                .max()
-                .expect("non-empty checked"))
-            .clone()),
+            AggOp::Min => Ok((*non_null.iter().min().expect("non-empty checked")).clone()),
+            AggOp::Max => Ok((*non_null.iter().max().expect("non-empty checked")).clone()),
             AggOp::Avg => {
                 let mut acc = 0.0;
                 for v in &non_null {

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn sum_respects_multiplicity() {
-        let agg = AggValue::new(
-            AggOp::Sum,
-            vec![(ProvExpr::tok("a"), Value::Int(10))],
-        );
+        let agg = AggValue::new(AggOp::Sum, vec![(ProvExpr::tok("a"), Value::Int(10))]);
         let v = Valuation::with_default(Natural(3));
         assert_eq!(agg.evaluate(&v).unwrap(), Value::Int(30));
     }

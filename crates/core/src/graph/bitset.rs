@@ -27,7 +27,11 @@ impl BitSet {
 
     /// Set bit `i`. Returns `true` if the bit was newly set.
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;
@@ -44,7 +48,9 @@ impl BitSet {
     /// Test bit `i`.
     pub fn contains(&self, i: usize) -> bool {
         let (w, b) = (i / 64, i % 64);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Number of set bits.

@@ -55,6 +55,10 @@ pub struct ZoomStash {
     pub zoom_nodes: Vec<NodeId>,
 }
 
+/// Canonical visible-graph signature: sorted labelled nodes plus
+/// sorted visible edges (see [`ProvGraph::visible_signature`]).
+pub type VisibleSignature = (Vec<(NodeId, String)>, Vec<(NodeId, NodeId)>);
+
 /// The provenance graph.
 #[derive(Debug, Clone, Default)]
 pub struct ProvGraph {
@@ -288,10 +292,7 @@ impl ProvGraph {
             NodeKind::Invocation => {
                 let inv = node.role.invocation().expect("invocation node has inv");
                 let info = self.invocation(inv);
-                ProvExpr::Tok(Token::new(format!(
-                    "⟨{}#{}⟩",
-                    info.module, info.execution
-                )))
+                ProvExpr::Tok(Token::new(format!("⟨{}#{}⟩", info.module, info.execution)))
             }
             NodeKind::Plus => ProvExpr::sum(pred_exprs(self, memo)),
             NodeKind::Times
@@ -302,9 +303,7 @@ impl ProvGraph {
             | NodeKind::BlackBox { .. } => ProvExpr::prod(pred_exprs(self, memo)),
             NodeKind::Delta => ProvExpr::delta(ProvExpr::sum(pred_exprs(self, memo))),
             // v-nodes have no tuple provenance of their own.
-            NodeKind::AggResult { .. } | NodeKind::Tensor | NodeKind::Const { .. } => {
-                ProvExpr::One
-            }
+            NodeKind::AggResult { .. } | NodeKind::Tensor | NodeKind::Const { .. } => ProvExpr::One,
         };
         memo.insert(id, expr.clone());
         expr
@@ -342,7 +341,7 @@ impl ProvGraph {
     /// kind labels, and sorted visible edges. Two graphs with equal
     /// signatures are equal as provenance graphs (node identity in this
     /// arena is stable, so this is exact, not up to isomorphism).
-    pub fn visible_signature(&self) -> (Vec<(NodeId, String)>, Vec<(NodeId, NodeId)>) {
+    pub fn visible_signature(&self) -> VisibleSignature {
         let mut nodes: Vec<(NodeId, String)> = self
             .iter_visible()
             .map(|(id, n)| (id, n.kind.label()))
@@ -473,10 +472,7 @@ mod tests {
         let mut g = ProvGraph::new();
         let c2 = g.add_base("C2");
         let c3 = g.add_base("C3");
-        let agg = g.add_agg(
-            AggOp::Count,
-            &[(c2, Value::Int(1)), (c3, Value::Int(1))],
-        );
+        let agg = g.add_agg(AggOp::Count, &[(c2, Value::Int(1)), (c3, Value::Int(1))]);
         let av = g.agg_value_of(agg).unwrap();
         assert_eq!(av.current_value().unwrap(), Value::Int(2));
         // v-node preds don't leak into tuple provenance extraction

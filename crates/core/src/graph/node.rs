@@ -113,6 +113,27 @@ impl NodeKind {
         )
     }
 
+    /// Stable textual name of the kind, used by statistics breakdowns
+    /// and ProQL `kind = '…'` predicates.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeKind::WorkflowInput { .. } => "workflow_input",
+            NodeKind::Invocation => "invocation",
+            NodeKind::ModuleInput => "module_input",
+            NodeKind::ModuleOutput => "module_output",
+            NodeKind::StateUnit => "state",
+            NodeKind::BaseTuple { .. } => "base_tuple",
+            NodeKind::Plus => "plus",
+            NodeKind::Times => "times",
+            NodeKind::Delta => "delta",
+            NodeKind::AggResult { .. } => "agg",
+            NodeKind::Tensor => "tensor",
+            NodeKind::Const { .. } => "const",
+            NodeKind::BlackBox { .. } => "blackbox",
+            NodeKind::Zoomed { .. } => "zoomed",
+        }
+    }
+
     /// Short label for display / DOT export.
     pub fn label(&self) -> String {
         match self {
@@ -160,6 +181,21 @@ pub enum Role {
 }
 
 impl Role {
+    /// Stable textual name of the role, used by ProQL `role = '…'`
+    /// predicates.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::WorkflowInput => "workflow_input",
+            Role::Invocation(_) => "invocation",
+            Role::ModuleInput(_) => "module_input",
+            Role::ModuleOutput(_) => "module_output",
+            Role::State(_) => "state",
+            Role::Intermediate(_) => "intermediate",
+            Role::Zoom(_) => "zoom",
+            Role::Free => "free",
+        }
+    }
+
     /// The invocation this role is attached to, if any.
     pub fn invocation(&self) -> Option<InvocationId> {
         match self {

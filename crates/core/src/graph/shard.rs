@@ -197,9 +197,9 @@ mod tests {
         assert!(expr.contains("g1"), "expr: {expr}");
         assert!(expr.contains("M#0"), "expr: {expr}");
         // no placeholder leaked into the global graph
-        assert!(!g
-            .iter()
-            .any(|(_, n)| matches!(&n.kind, NodeKind::BaseTuple { token } if token.as_str() == "@import")));
+        assert!(!g.iter().any(
+            |(_, n)| matches!(&n.kind, NodeKind::BaseTuple { token } if token.as_str() == "@import")
+        ));
     }
 
     #[test]

@@ -6,7 +6,6 @@
 
 use std::collections::BTreeMap;
 
-use super::node::NodeKind;
 use super::ProvGraph;
 
 /// Node/edge counts of the visible graph, broken down by node kind.
@@ -32,28 +31,9 @@ pub fn stats(graph: &ProvGraph) -> GraphStats {
         } else {
             s.p_nodes += 1;
         }
-        *s.by_kind.entry(kind_name(&node.kind)).or_insert(0) += 1;
+        *s.by_kind.entry(node.kind.name()).or_insert(0) += 1;
     }
     s
-}
-
-fn kind_name(kind: &NodeKind) -> &'static str {
-    match kind {
-        NodeKind::WorkflowInput { .. } => "workflow_input",
-        NodeKind::Invocation => "invocation",
-        NodeKind::ModuleInput => "module_input",
-        NodeKind::ModuleOutput => "module_output",
-        NodeKind::StateUnit => "state",
-        NodeKind::BaseTuple { .. } => "base_tuple",
-        NodeKind::Plus => "plus",
-        NodeKind::Times => "times",
-        NodeKind::Delta => "delta",
-        NodeKind::AggResult { .. } => "agg",
-        NodeKind::Tensor => "tensor",
-        NodeKind::Const { .. } => "const",
-        NodeKind::BlackBox { .. } => "blackbox",
-        NodeKind::Zoomed { .. } => "zoomed",
-    }
 }
 
 impl std::fmt::Display for GraphStats {

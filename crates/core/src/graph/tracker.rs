@@ -106,8 +106,7 @@ impl Tracker for NoTracker {
     #[inline(always)]
     fn delta(&mut self, _parts: &[Self::Ref]) -> Self::Ref {}
     #[inline(always)]
-    fn agg(&mut self, _op: AggOp, _items: &[(Self::Ref, AggItemValue<Self::Ref>)]) -> Self::Ref {
-    }
+    fn agg(&mut self, _op: AggOp, _items: &[(Self::Ref, AggItemValue<Self::Ref>)]) -> Self::Ref {}
     #[inline(always)]
     fn blackbox(&mut self, _name: &str, _inputs: &[Self::Ref], _is_value: bool) -> Self::Ref {}
     #[inline(always)]

@@ -19,5 +19,8 @@ pub use deletion::{propagate_deletion, propagate_deletion_inplace, DeletionRepor
 pub use dependency::depends_on;
 pub use error::QueryError;
 pub use reach::ReachIndex;
-pub use subgraph::{subgraph, SubgraphResult};
+pub use subgraph::{
+    ancestors_bounded, descendants_bounded, subgraph, traverse, BoundedResult, Direction,
+    SubgraphResult, TraversalStats,
+};
 pub use zoom::{zoom_in, zoom_out};

@@ -6,11 +6,18 @@
 //! successors of d's predecessors (nodes sharing a parent with d) — they
 //! expose the alternative/joint derivations that the node's descendants
 //! participate in, which is what dependency analysis inspects.
+//!
+//! Besides the paper's all-depth query, this module exposes the
+//! traversal machinery the ProQL planner composes: [`traverse`] is a
+//! bounded-depth sweep with a collect-filter hook (so planners can push
+//! predicates into the walk instead of post-filtering) that reports how
+//! many nodes it visited — the planner's unit of work.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use crate::graph::bitset::BitSet;
-use crate::graph::node::NodeId;
+use crate::graph::node::{Node, NodeId};
 use crate::graph::ProvGraph;
 
 use super::error::QueryError;
@@ -37,6 +44,188 @@ impl SubgraphResult {
     pub fn contains(&self, id: NodeId) -> bool {
         self.nodes.binary_search(&id).is_ok()
     }
+
+    /// Render the induced subgraph as Graphviz DOT (see
+    /// [`crate::graph::dot::to_dot_induced`]).
+    pub fn to_dot(&self, graph: &ProvGraph, name: &str) -> String {
+        crate::graph::dot::to_dot_induced(graph, name, &self.nodes)
+    }
+}
+
+impl fmt::Display for SubgraphResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subgraph of {} nodes ({} ancestors, {} descendants)",
+            self.nodes.len(),
+            self.ancestor_count,
+            self.descendant_count
+        )?;
+        for chunk in self.nodes.chunks(16) {
+            write!(f, "\n  ")?;
+            for (i, id) in chunk.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{id}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which way a [`traverse`] walks the provenance DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow ingredient edges backwards (towards sources).
+    Ancestors,
+    /// Follow dependent edges forwards (towards sinks).
+    Descendants,
+}
+
+/// Work done by one traversal — the planner's cost feedback signal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Visible nodes dequeued during the sweep (root included).
+    pub visited: usize,
+}
+
+/// Result of a bounded-depth ancestor/descendant query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedResult {
+    pub root: NodeId,
+    pub direction: Direction,
+    /// Depth bound the query ran with (`None` = unbounded).
+    pub depth: Option<u32>,
+    /// Collected nodes, ascending by id; the root is excluded.
+    pub nodes: Vec<NodeId>,
+    pub stats: TraversalStats,
+}
+
+impl BoundedResult {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+
+    /// Render the result (plus its root) as Graphviz DOT.
+    pub fn to_dot(&self, graph: &ProvGraph, name: &str) -> String {
+        let mut nodes = self.nodes.clone();
+        if let Err(pos) = nodes.binary_search(&self.root) {
+            nodes.insert(pos, self.root);
+        }
+        crate::graph::dot::to_dot_induced(graph, name, &nodes)
+    }
+}
+
+impl fmt::Display for BoundedResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.direction {
+            Direction::Ancestors => "ancestors",
+            Direction::Descendants => "descendants",
+        };
+        match self.depth {
+            Some(d) => write!(f, "{} {what} of {} within depth {d}", self.len(), self.root)?,
+            None => write!(f, "{} {what} of {}", self.len(), self.root)?,
+        }
+        for chunk in self.nodes.chunks(16) {
+            write!(f, "\n  ")?;
+            for (i, id) in chunk.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{id}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Breadth-first sweep from `root` over visible nodes, at most `depth`
+/// edges deep (`None` = unbounded). Every visible node reached is
+/// *visited* (and counted in the stats); only those passing `collect`
+/// are returned. The root itself is visited but never collected.
+///
+/// This is the traversal primitive planners build on: pushing a filter
+/// into `collect` avoids materialising the unfiltered set, and the
+/// visited count exposes the true work done for cost comparisons.
+pub fn traverse(
+    graph: &ProvGraph,
+    root: NodeId,
+    direction: Direction,
+    depth: Option<u32>,
+    mut collect: impl FnMut(NodeId, &Node) -> bool,
+) -> Result<(Vec<NodeId>, TraversalStats), QueryError> {
+    if !graph.node(root).is_visible() {
+        return Err(QueryError::NodeNotVisible(root));
+    }
+    let mut seen = BitSet::new(graph.len());
+    seen.insert(root.index());
+    let mut out = Vec::new();
+    let mut stats = TraversalStats { visited: 1 };
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    queue.push_back((root, 0));
+    while let Some((v, d)) = queue.pop_front() {
+        if let Some(limit) = depth {
+            if d >= limit {
+                continue;
+            }
+        }
+        let node = graph.node(v);
+        let next = match direction {
+            Direction::Ancestors => node.preds(),
+            Direction::Descendants => node.succs(),
+        };
+        for &n in next {
+            let nn = graph.node(n);
+            if nn.is_visible() && seen.insert(n.index()) {
+                stats.visited += 1;
+                if collect(n, nn) {
+                    out.push(n);
+                }
+                queue.push_back((n, d + 1));
+            }
+        }
+    }
+    out.sort();
+    Ok((out, stats))
+}
+
+/// Ancestors of `root` within `depth` edges (`None` = all).
+pub fn ancestors_bounded(
+    graph: &ProvGraph,
+    root: NodeId,
+    depth: Option<u32>,
+) -> Result<BoundedResult, QueryError> {
+    let (nodes, stats) = traverse(graph, root, Direction::Ancestors, depth, |_, _| true)?;
+    Ok(BoundedResult {
+        root,
+        direction: Direction::Ancestors,
+        depth,
+        nodes,
+        stats,
+    })
+}
+
+/// Descendants of `root` within `depth` edges (`None` = all).
+pub fn descendants_bounded(
+    graph: &ProvGraph,
+    root: NodeId,
+    depth: Option<u32>,
+) -> Result<BoundedResult, QueryError> {
+    let (nodes, stats) = traverse(graph, root, Direction::Descendants, depth, |_, _| true)?;
+    Ok(BoundedResult {
+        root,
+        direction: Direction::Descendants,
+        depth,
+        nodes,
+        stats,
+    })
 }
 
 /// Breadth-first sweep over visible nodes in one direction.
@@ -73,12 +262,8 @@ pub fn subgraph(graph: &ProvGraph, root: NodeId) -> Result<SubgraphResult, Query
     let mut members = BitSet::new(graph.len());
     members.insert(root.index());
 
-    let ancestors = sweep(graph, root, &mut members, |g, v| {
-        g.node(v).preds().to_vec()
-    });
-    let descendants = sweep(graph, root, &mut members, |g, v| {
-        g.node(v).succs().to_vec()
-    });
+    let ancestors = sweep(graph, root, &mut members, |g, v| g.node(v).preds().to_vec());
+    let descendants = sweep(graph, root, &mut members, |g, v| g.node(v).succs().to_vec());
 
     // Siblings of descendants: other successors of each descendant's
     // predecessors. The root's own siblings are not included (the paper
@@ -110,9 +295,7 @@ pub fn ancestors(graph: &ProvGraph, root: NodeId) -> Result<Vec<NodeId>, QueryEr
         return Err(QueryError::NodeNotVisible(root));
     }
     let mut scratch = BitSet::new(graph.len());
-    let mut a = sweep(graph, root, &mut scratch, |g, v| {
-        g.node(v).preds().to_vec()
-    });
+    let mut a = sweep(graph, root, &mut scratch, |g, v| g.node(v).preds().to_vec());
     a.sort();
     Ok(a)
 }
@@ -206,5 +389,96 @@ mod tests {
             subgraph(&g, a),
             Err(QueryError::NodeNotVisible(_))
         ));
+    }
+
+    /// A four-deep chain a → b → c → d for depth-bound tests.
+    fn chain() -> (ProvGraph, [NodeId; 4]) {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_plus(&[a]);
+        let c = g.add_plus(&[b]);
+        let d = g.add_plus(&[c]);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn bounded_descendants_respect_depth() {
+        let (g, [a, b, c, d]) = chain();
+        let r1 = descendants_bounded(&g, a, Some(1)).unwrap();
+        assert_eq!(r1.nodes, vec![b]);
+        let r2 = descendants_bounded(&g, a, Some(2)).unwrap();
+        assert_eq!(r2.nodes, vec![b, c]);
+        let all = descendants_bounded(&g, a, None).unwrap();
+        assert_eq!(all.nodes, vec![b, c, d]);
+    }
+
+    #[test]
+    fn bounded_ancestors_respect_depth() {
+        let (g, [a, b, c, d]) = chain();
+        let r1 = ancestors_bounded(&g, d, Some(1)).unwrap();
+        assert_eq!(r1.nodes, vec![c]);
+        let all = ancestors_bounded(&g, d, None).unwrap();
+        assert_eq!(all.nodes, vec![a, b, c]);
+        assert_eq!(all.stats.visited, 4, "root plus three ancestors");
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_ancestors() {
+        let (g, [_, _, _, _, u, _, _]) = {
+            let (g, ids) = diamond();
+            (g, ids)
+        };
+        let anc = ancestors(&g, u).unwrap();
+        let bounded = ancestors_bounded(&g, u, None).unwrap();
+        assert_eq!(anc, bounded.nodes);
+    }
+
+    #[test]
+    fn collect_filter_prunes_output_not_traversal() {
+        let (g, [a, b, c, d]) = chain();
+        let (collected, stats) =
+            traverse(&g, a, Direction::Descendants, None, |id, _| id == c).unwrap();
+        assert_eq!(collected, vec![c]);
+        // b and d were still visited: the filter affects the output set.
+        assert_eq!(stats.visited, 4);
+        let _ = (b, d);
+    }
+
+    #[test]
+    fn depth_zero_visits_only_root() {
+        let (g, [a, ..]) = chain();
+        let r = descendants_bounded(&g, a, Some(0)).unwrap();
+        assert!(r.nodes.is_empty());
+        assert_eq!(r.stats.visited, 1);
+    }
+
+    #[test]
+    fn bounded_traversal_skips_hidden() {
+        let (mut g, [a, b, c, _]) = chain();
+        g.node_mut(b).zoom_hidden = true;
+        let r = descendants_bounded(&g, a, None).unwrap();
+        assert!(!r.contains(b));
+        assert!(!r.contains(c), "only path runs through hidden b");
+    }
+
+    #[test]
+    fn display_and_dot_render_results() {
+        let (g, [a, _, _, t, u, w, _]) = diamond();
+        let r = subgraph(&g, t).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("5 nodes"), "got: {text}");
+        let dot = r.to_dot(&g, "sub");
+        assert!(dot.starts_with("digraph \"sub\""));
+        // Induced render keeps in-set edges, drops out-of-set nodes.
+        assert!(dot.contains(&format!("n{} -> n{}", a.0, t.0)));
+        assert!(dot.contains(&format!("n{}", u.0)) && dot.contains(&format!("n{}", w.0)));
+
+        let b = descendants_bounded(&g, a, Some(1)).unwrap();
+        assert!(b.to_string().contains("within depth 1"));
+        let bdot = b.to_dot(&g, "b");
+        assert!(
+            bdot.contains(&format!("n{} -> n{}", a.0, t.0)),
+            "root included"
+        );
     }
 }

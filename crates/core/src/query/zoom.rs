@@ -25,12 +25,17 @@ use super::error::QueryError;
 /// 4. hide their state nodes and the base tuple nodes feeding only them;
 /// 5. add a composite node per invocation wired input → zoom → output.
 pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, QueryError> {
-    // Validate first so the operation is atomic.
+    // Validate first so the operation is atomic. A duplicate within
+    // the list is the in-call spelling of zooming an already-zoomed
+    // module (validation runs against the pre-zoom state, so without
+    // this check a repeated name would zoom twice and corrupt the
+    // graph with duplicate composites).
+    let mut seen = std::collections::HashSet::new();
     for m in modules {
         if graph.invocations_of(m).is_empty() {
             return Err(QueryError::UnknownModule((*m).to_string()));
         }
-        if graph.zoomed_out_modules().contains(m) {
+        if !seen.insert(*m) || graph.zoomed_out_modules().contains(m) {
             return Err(QueryError::AlreadyZoomedOut((*m).to_string()));
         }
     }
@@ -45,9 +50,7 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
         for id in ids {
             let node = graph.node(id);
             let hide = match node.role {
-                Role::Intermediate(inv) | Role::State(inv) => {
-                    invocations.contains(&inv)
-                }
+                Role::Intermediate(inv) | Role::State(inv) => invocations.contains(&inv),
                 _ => false,
             };
             if hide {
@@ -65,10 +68,7 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
         for id in ids {
             let node = graph.node(id);
             let all_succs_hidden = !node.succs().is_empty()
-                && node
-                    .succs()
-                    .iter()
-                    .all(|s| !graph.node(*s).is_visible());
+                && node.succs().iter().all(|s| !graph.node(*s).is_visible());
             if all_succs_hidden {
                 graph.node_mut(id).zoom_hidden = true;
                 hidden.push(id);
@@ -78,8 +78,13 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
         // Step 5: composite nodes. Collect every invocation's input and
         // output nodes in ONE pass over the graph (a per-invocation scan
         // would make ZoomOut quadratic on long execution histories).
-        let mut io: std::collections::HashMap<crate::graph::InvocationId, (Vec<NodeId>, Vec<NodeId>)> =
-            invocations.iter().map(|&inv| (inv, (Vec::new(), Vec::new()))).collect();
+        let mut io: std::collections::HashMap<
+            crate::graph::InvocationId,
+            (Vec<NodeId>, Vec<NodeId>),
+        > = invocations
+            .iter()
+            .map(|&inv| (inv, (Vec::new(), Vec::new())))
+            .collect();
         for (id, n) in graph.iter_visible() {
             match n.role {
                 Role::ModuleInput(inv) => {
@@ -122,8 +127,13 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
 /// Zoom back into the given modules, in place: restores the hidden
 /// internals and retires the composite nodes.
 pub fn zoom_in(graph: &mut ProvGraph, modules: &[&str]) -> Result<(), QueryError> {
+    // A duplicate in the list would pass per-name validation against
+    // the unmutated stash table and then panic on the second
+    // take_stash; reject it up front as not-zoomed-out (the second
+    // occurrence has nothing left to restore).
+    let mut seen = std::collections::HashSet::new();
     for m in modules {
-        if !graph.zoomed_out_modules().contains(m) {
+        if !seen.insert(*m) || !graph.zoomed_out_modules().contains(m) {
             return Err(QueryError::NotZoomedOut((*m).to_string()));
         }
     }
@@ -272,6 +282,25 @@ mod tests {
             zoom_in(&mut g, &["M"]),
             Err(QueryError::NotZoomedOut("M".into()))
         );
+    }
+
+    #[test]
+    fn duplicate_modules_in_one_call_rejected_atomically() {
+        let (mut g, _) = workflow_graph();
+        let before = g.visible_signature();
+        assert_eq!(
+            zoom_out(&mut g, &["M", "M"]),
+            Err(QueryError::AlreadyZoomedOut("M".into()))
+        );
+        assert_eq!(g.visible_signature(), before, "failed zoom must not mutate");
+        zoom_out(&mut g, &["M"]).unwrap();
+        // Duplicate ZoomIn must error (not panic on the second stash take).
+        assert_eq!(
+            zoom_in(&mut g, &["M", "M"]),
+            Err(QueryError::NotZoomedOut("M".into()))
+        );
+        zoom_in(&mut g, &["M"]).unwrap();
+        assert_eq!(g.visible_signature(), before);
     }
 
     #[test]

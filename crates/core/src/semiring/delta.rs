@@ -88,10 +88,7 @@ mod tests {
     #[test]
     fn delta_not_erased_over_tokens() {
         // δ(a + b) is NOT equal to (a + b): dedup is observable in N[X].
-        let lhs = ProvExpr::delta(ProvExpr::sum(vec![
-            ProvExpr::tok("a"),
-            ProvExpr::tok("b"),
-        ]));
+        let lhs = ProvExpr::delta(ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]));
         let rhs = ProvExpr::sum(vec![ProvExpr::tok("a"), ProvExpr::tok("b")]);
         assert!(!delta_equal(&lhs, &rhs));
     }

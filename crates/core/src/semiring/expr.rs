@@ -129,9 +129,7 @@ impl ProvExpr {
     pub fn size(&self) -> usize {
         match self {
             ProvExpr::Zero | ProvExpr::One | ProvExpr::Tok(_) => 1,
-            ProvExpr::Sum(v) | ProvExpr::Prod(v) => {
-                1 + v.iter().map(ProvExpr::size).sum::<usize>()
-            }
+            ProvExpr::Sum(v) | ProvExpr::Prod(v) => 1 + v.iter().map(ProvExpr::size).sum::<usize>(),
             ProvExpr::Delta(p) => 1 + p.size(),
         }
     }

@@ -56,7 +56,7 @@ mod tests {
     use super::*;
 
     fn l(tokens: &[&str]) -> Lineage {
-        Lineage(Some(tokens.iter().map(|t| Token::new(t)).collect()))
+        Lineage(Some(tokens.iter().map(Token::new).collect()))
     }
 
     #[test]

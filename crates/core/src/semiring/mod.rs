@@ -69,16 +69,12 @@ pub trait Semiring: Clone + PartialEq + std::fmt::Debug {
 
 /// Sum an iterator of semiring values.
 pub fn sum<K: Semiring>(items: impl IntoIterator<Item = K>) -> K {
-    items
-        .into_iter()
-        .fold(K::zero(), |acc, x| acc.plus(&x))
+    items.into_iter().fold(K::zero(), |acc, x| acc.plus(&x))
 }
 
 /// Multiply an iterator of semiring values.
 pub fn product<K: Semiring>(items: impl IntoIterator<Item = K>) -> K {
-    items
-        .into_iter()
-        .fold(K::one(), |acc, x| acc.times(&x))
+    items.into_iter().fold(K::one(), |acc, x| acc.times(&x))
 }
 
 #[cfg(test)]
@@ -90,19 +86,11 @@ pub(crate) mod laws {
     pub fn check_laws<K: Semiring>(a: K, b: K, c: K) {
         // commutative monoid (+, 0)
         assert_eq!(a.plus(&b), b.plus(&a), "+ commutes");
-        assert_eq!(
-            a.plus(&b).plus(&c),
-            a.plus(&b.plus(&c)),
-            "+ associates"
-        );
+        assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)), "+ associates");
         assert_eq!(a.plus(&K::zero()), a, "0 is + identity");
         // commutative monoid (·, 1)
         assert_eq!(a.times(&b), b.times(&a), "· commutes");
-        assert_eq!(
-            a.times(&b).times(&c),
-            a.times(&b.times(&c)),
-            "· associates"
-        );
+        assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)), "· associates");
         assert_eq!(a.times(&K::one()), a, "1 is · identity");
         // distributivity
         assert_eq!(

@@ -107,10 +107,7 @@ impl Polynomial {
     /// (coefficient-is-counted-once + monomial degree). Used by the
     /// representation ablation against graph node counts.
     pub fn expanded_size(&self) -> usize {
-        self.terms
-            .iter()
-            .map(|(m, _)| 1 + m.degree() as usize)
-            .sum()
+        self.terms.keys().map(|m| 1 + m.degree() as usize).sum()
     }
 
     /// Expand a δ-free [`ProvExpr`] to its canonical polynomial.
@@ -281,9 +278,7 @@ mod tests {
     #[test]
     fn expanded_size_grows_with_distribution() {
         // (a+b)·(c+d) has 4 monomials of degree 2 → expanded 12
-        let p = tok("a")
-            .plus(&tok("b"))
-            .times(&tok("c").plus(&tok("d")));
+        let p = tok("a").plus(&tok("b")).times(&tok("c").plus(&tok("d")));
         assert_eq!(p.num_terms(), 4);
         assert_eq!(p.expanded_size(), 12);
     }

@@ -30,10 +30,7 @@ impl Why {
     /// Drop witnesses that strictly contain another witness.
     fn minimize(mut set: BTreeSet<Witness>) -> BTreeSet<Witness> {
         let all: Vec<Witness> = set.iter().cloned().collect();
-        set.retain(|w| {
-            !all.iter()
-                .any(|other| other != w && other.is_subset(w))
-        });
+        set.retain(|w| !all.iter().any(|other| other != w && other.is_subset(w)));
         set
     }
 
@@ -55,9 +52,7 @@ impl Semiring for Why {
         Why(s)
     }
     fn plus(&self, other: &Self) -> Self {
-        Why(Self::minimize(
-            self.0.union(&other.0).cloned().collect(),
-        ))
+        Why(Self::minimize(self.0.union(&other.0).cloned().collect()))
     }
     fn times(&self, other: &Self) -> Self {
         let mut out = BTreeSet::new();
@@ -76,7 +71,7 @@ mod tests {
     use super::*;
 
     fn w(tokens: &[&str]) -> Witness {
-        tokens.iter().map(|t| Token::new(t)).collect()
+        tokens.iter().map(Token::new).collect()
     }
 
     fn why(witnesses: &[&[&str]]) -> Why {

@@ -39,7 +39,10 @@ impl fmt::Display for NrelError {
                 write!(f, "ambiguous field '{name}' in schema {schema}")
             }
             NrelError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: schema has {expected} fields, tuple has {found}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} fields, tuple has {found}"
+                )
             }
             NrelError::FieldTypeMismatch {
                 index,

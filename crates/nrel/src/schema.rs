@@ -300,9 +300,7 @@ mod tests {
     #[test]
     fn int_widens_to_float() {
         let s = Schema::named(&[("x", DataType::Float)]);
-        assert!(s
-            .admits_tuple(&Tuple::new(vec![Value::Int(3)]))
-            .is_ok());
+        assert!(s.admits_tuple(&Tuple::new(vec![Value::Int(3)])).is_ok());
     }
 
     #[test]

@@ -58,16 +58,14 @@ pub fn compare(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Result<Ordering> {
 /// Stable-sort tuples (paired with arbitrary payloads, e.g. provenance
 /// references) by the given keys. Returns an error if any key position is
 /// out of range for some tuple.
-pub fn sort_with_payload<P>(rows: &mut Vec<(Tuple, P)>, keys: &[SortKey]) -> Result<()> {
+pub fn sort_with_payload<P>(rows: &mut [(Tuple, P)], keys: &[SortKey]) -> Result<()> {
     // Validate positions up front so the comparator below cannot fail.
     for (t, _) in rows.iter() {
         for key in keys {
             t.get(key.position)?;
         }
     }
-    rows.sort_by(|(a, _), (b, _)| {
-        compare(a, b, keys).unwrap_or(Ordering::Equal)
-    });
+    rows.sort_by(|(a, _), (b, _)| compare(a, b, keys).unwrap_or(Ordering::Equal));
     Ok(())
 }
 
@@ -93,11 +91,7 @@ mod tests {
 
     #[test]
     fn multi_key_mixed_direction() {
-        let mut rows = vec![
-            (t(1, "b"), 0),
-            (t(1, "a"), 1),
-            (t(0, "z"), 2),
-        ];
+        let mut rows = vec![(t(1, "b"), 0), (t(1, "a"), 1), (t(0, "z"), 2)];
         sort_with_payload(&mut rows, &[SortKey::asc(0), SortKey::desc(1)]).unwrap();
         assert_eq!(rows[0].1, 2); // (0, z)
         assert_eq!(rows[1].1, 0); // (1, b) — desc on second key

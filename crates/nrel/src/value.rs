@@ -348,7 +348,9 @@ impl Tuple {
 
     /// The empty tuple.
     pub fn empty() -> Self {
-        Tuple { fields: Arc::from([]) }
+        Tuple {
+            fields: Arc::from([]),
+        }
     }
 
     /// Number of fields (the tuple's arity).

@@ -192,6 +192,9 @@ mod tests {
     #[test]
     fn fieldref_display() {
         assert_eq!(FieldRef::Positional(2).to_string(), "$2");
-        assert_eq!(FieldRef::Named("Cars::Model".into()).to_string(), "Cars::Model");
+        assert_eq!(
+            FieldRef::Named("Cars::Model".into()).to_string(),
+            "Cars::Model"
+        );
     }
 }

@@ -154,7 +154,9 @@ impl<R: Copy> Env<R> {
         let schema = Arc::new(schema);
         let mut rows = Vec::with_capacity(tuples.len());
         for (idx, t) in tuples.into_iter().enumerate() {
-            schema.admits_tuple(&t).map_err(crate::error::PigError::from)?;
+            schema
+                .admits_tuple(&t)
+                .map_err(crate::error::PigError::from)?;
             let prov = if T::TRACKING {
                 tracker.base(&token_of(name, idx, &t))
             } else {
@@ -162,13 +164,7 @@ impl<R: Copy> Env<R> {
             };
             rows.push(ATuple::plain(t, prov));
         }
-        self.bind(
-            name.to_string(),
-            ARelation {
-                schema,
-                rows,
-            },
-        );
+        self.bind(name.to_string(), ARelation { schema, rows });
         Ok(())
     }
 
@@ -255,10 +251,20 @@ mod tests {
     fn env_schemas_and_aliases() {
         let mut env: Env<()> = Env::new();
         let mut tracker = NoTracker;
-        env.bind_with_tokens("B", Schema::named(&[("x", DataType::Int)]), vec![], &mut tracker)
-            .unwrap();
-        env.bind_with_tokens("A", Schema::named(&[("y", DataType::Int)]), vec![], &mut tracker)
-            .unwrap();
+        env.bind_with_tokens(
+            "B",
+            Schema::named(&[("x", DataType::Int)]),
+            vec![],
+            &mut tracker,
+        )
+        .unwrap();
+        env.bind_with_tokens(
+            "A",
+            Schema::named(&[("y", DataType::Int)]),
+            vec![],
+            &mut tracker,
+        )
+        .unwrap();
         assert_eq!(env.aliases(), vec!["A", "B"]);
         assert_eq!(env.schemas().len(), 2);
         assert!(env.take("A").is_some());

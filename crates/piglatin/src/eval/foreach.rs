@@ -185,7 +185,11 @@ fn eval_item<T: Tracker>(
                 let ann = member_anns.and_then(|a| a.get(j));
                 rows.push(PieceRow {
                     values: t.fields().to_vec(),
-                    member_prov: if T::TRACKING { ann.map(|a| a.prov) } else { None },
+                    member_prov: if T::TRACKING {
+                        ann.map(|a| a.prov)
+                    } else {
+                        None
+                    },
                     vrefs: if T::TRACKING {
                         ann.map(|a| a.vrefs.clone()).unwrap_or_default()
                     } else {
@@ -314,8 +318,7 @@ fn assemble<T: Tracker>(
                 for p in &mut partials {
                     let offset = p.values.len() as u16;
                     p.values.extend(values.iter().cloned());
-                    p.vrefs
-                        .extend(vrefs.iter().map(|(i, r)| (offset + i, *r)));
+                    p.vrefs.extend(vrefs.iter().map(|(i, r)| (offset + i, *r)));
                     p.members
                         .extend(members.iter().map(|(i, m)| (offset + i, m.clone())));
                     if let Some(j) = joint {

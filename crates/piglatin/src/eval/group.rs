@@ -98,12 +98,10 @@ pub fn eval_cogroup<T: Tracker>(
     for (input_idx, (rel, keys)) in inputs.iter().enumerate() {
         for (row_idx, row) in rel.rows.iter().enumerate() {
             let key = key_tuple(keys, &row.tuple)?;
-            groups
-                .entry(key.clone())
-                .or_insert_with(|| {
-                    order.push(key);
-                    vec![Vec::new(); n]
-                })[input_idx]
+            groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                vec![Vec::new(); n]
+            })[input_idx]
                 .push(row_idx);
         }
     }

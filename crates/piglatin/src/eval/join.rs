@@ -53,12 +53,7 @@ pub fn eval_join<T: Tracker>(
             let mut members = Vec::new();
             if T::TRACKING {
                 vrefs.extend(lrow.ann.vrefs.iter().copied());
-                vrefs.extend(
-                    rrow.ann
-                        .vrefs
-                        .iter()
-                        .map(|(i, r)| (i + left_arity, *r)),
-                );
+                vrefs.extend(rrow.ann.vrefs.iter().map(|(i, r)| (i + left_arity, *r)));
                 members.extend(lrow.members.iter().cloned());
                 members.extend(
                     rrow.members

@@ -87,9 +87,7 @@ pub fn eval_order<R: Copy>(
         }
     }
     let mut rows = input.rows.clone();
-    rows.sort_by(|a, b| {
-        compare(&a.tuple, &b.tuple, keys).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    rows.sort_by(|a, b| compare(&a.tuple, &b.tuple, keys).unwrap_or(std::cmp::Ordering::Equal));
     Ok(ARelation {
         schema: out_schema,
         rows,

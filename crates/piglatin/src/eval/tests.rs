@@ -1,6 +1,5 @@
 //! End-to-end evaluator tests, including the paper's running example.
 
-
 use lipstick_core::graph::{GraphTracker, NoTracker};
 use lipstick_core::semiring::eval::{eval_expr, Valuation};
 use lipstick_core::semiring::natural::Natural;
@@ -42,13 +41,9 @@ fn dealer_env<T: lipstick_core::Tracker>(tracker: &mut T) -> Env<T::Ref> {
         |_, _, t| t.get(0).unwrap().to_text().into_owned(),
     )
     .unwrap();
-    env.bind_with_token_fn(
-        "SoldCars",
-        sold_schema(),
-        vec![],
-        tracker,
-        |_, i, _| format!("S{i}"),
-    )
+    env.bind_with_token_fn("SoldCars", sold_schema(), vec![], tracker, |_, i, _| {
+        format!("S{i}")
+    })
     .unwrap();
     env.bind_with_token_fn(
         "Requests",
@@ -158,10 +153,7 @@ fn example_2_3_intermediate_tables() {
     // InventoryBids: one bid for B1/P1/Civic at 20000 - 500*2 = 19000
     let bids = env.relation("InventoryBids").unwrap();
     assert_eq!(bids.len(), 1);
-    assert_eq!(
-        bids.rows[0].tuple,
-        tuple!["B1", "P1", "Civic", 19_000.0f64]
-    );
+    assert_eq!(bids.rows[0].tuple, tuple!["B1", "P1", "Civic", 19_000.0f64]);
 }
 
 #[test]
@@ -190,16 +182,12 @@ fn example_2_3_provenance_graph_shape() {
         .map(|(id, _)| id)
         .collect();
     assert!(!count_nodes.is_empty());
-    let two_tensor_count = count_nodes
-        .iter()
-        .any(|id| g.node(*id).preds().len() == 2);
+    let two_tensor_count = count_nodes.iter().any(|id| g.node(*id).preds().len() == 2);
     assert!(two_tensor_count, "COUNT over the two Civics");
-    assert!(g
-        .iter()
-        .any(|(_, n)| matches!(&n.kind, NodeKind::BlackBox { name, is_value: true } if name == "CalcBid")));
-    assert!(g
-        .iter()
-        .any(|(_, n)| matches!(n.kind, NodeKind::Delta)));
+    assert!(g.iter().any(
+        |(_, n)| matches!(&n.kind, NodeKind::BlackBox { name, is_value: true } if name == "CalcBid")
+    ));
+    assert!(g.iter().any(|(_, n)| matches!(n.kind, NodeKind::Delta)));
 
     // The recorded aggregate value recomputes to 2 available Civics.
     let agg_id = count_nodes
@@ -248,11 +236,7 @@ fn counting_oracle_for_spju_scripts() {
     let g = tracker.finish();
     // multiplicity of ('a','p') in P should be 2 (two copies of R row)
     let target = tuple!["a", "p"];
-    let mult: usize = p
-        .rows
-        .iter()
-        .filter(|r| r.tuple == target)
-        .count();
+    let mult: usize = p.rows.iter().filter(|r| r.tuple == target).count();
     assert_eq!(mult, 2);
     // each such row's provenance evaluates to 1 under all-ones (each
     // row is one derivation), and the sum over equal rows gives the
@@ -289,7 +273,13 @@ fn join_provenance_is_product() {
         |_, i, _| format!("b{i}"),
     )
     .unwrap();
-    run_script("J = JOIN A BY x, B BY x;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "J = JOIN A BY x, B BY x;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     let j = env.relation("J").unwrap();
     let g = tracker.finish();
     let poly = Polynomial::from_expr(&g.expr_of(j.rows[0].ann.prov)).unwrap();
@@ -310,7 +300,13 @@ fn union_preserves_annotations_and_multiplicity() {
         )
         .unwrap();
     }
-    run_script("U = UNION A, B;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "U = UNION A, B;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     let u = env.relation("U").unwrap();
     assert_eq!(u.len(), 2);
     let g = tracker.finish();
@@ -335,7 +331,13 @@ fn distinct_delta_over_duplicates() {
         |_, i, _| format!("t{i}"),
     )
     .unwrap();
-    run_script("D = DISTINCT A;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "D = DISTINCT A;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     let d = env.relation("D").unwrap();
     assert_eq!(d.len(), 2);
     let g = tracker.finish();
@@ -386,7 +388,13 @@ fn filter_passes_provenance_through() {
     )
     .unwrap();
     let nodes_before = tracker.graph().len();
-    run_script("B = FILTER A BY x > 3;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "B = FILTER A BY x > 3;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     let b = env.relation("B").unwrap();
     assert_eq!(b.len(), 1);
     // FILTER created no provenance nodes
@@ -596,7 +604,13 @@ fn bag_equality_of_nested_results_is_order_insensitive() {
         &mut tracker,
     )
     .unwrap();
-    run_script("G = GROUP A BY m;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "G = GROUP A BY m;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     let g = env.relation("G").unwrap();
     let got = Bag::from_tuples(g.tuples());
     let want = bag![

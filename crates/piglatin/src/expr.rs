@@ -362,11 +362,7 @@ mod tests {
 
     #[test]
     fn referenced_fields_dedup_sorted() {
-        let e = bin(
-            BinOp::Add,
-            bin(BinOp::Mul, field(3), field(1)),
-            field(3),
-        );
+        let e = bin(BinOp::Add, bin(BinOp::Mul, field(3), field(1)), field(3));
         assert_eq!(e.referenced_fields(), vec![1, 3]);
     }
 

@@ -212,8 +212,10 @@ impl<'a> Lexer<'a> {
                     Some('n') => s.push('\n'),
                     Some('t') => s.push('\t'),
                     other => {
-                        return Err(self.err(format!("invalid escape '\\{}'",
-                            other.map(String::from).unwrap_or_default())))
+                        return Err(self.err(format!(
+                            "invalid escape '\\{}'",
+                            other.map(String::from).unwrap_or_default()
+                        )))
                     }
                 },
                 Some(c) => s.push(c),
@@ -286,10 +288,7 @@ impl<'a> Lexer<'a> {
 
     fn word(&mut self) -> Tok {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
             self.bump();
         }
         let text: String = self.chars[start..self.pos].iter().collect();
@@ -301,7 +300,13 @@ impl<'a> Lexer<'a> {
 // future improvement; for now it anchors the lifetime).
 impl std::fmt::Debug for Lexer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Lexer at {}:{} of {} chars", self.line, self.col, self.src.len())
+        write!(
+            f,
+            "Lexer at {}:{} of {} chars",
+            self.line,
+            self.col,
+            self.src.len()
+        )
     }
 }
 

@@ -502,8 +502,7 @@ impl Parser {
             Some(Tok::Ident(_)) | Some(Tok::Group) => {
                 // Could be: function call, qualified name, bag.attr, or
                 // a plain field.
-                if matches!(self.peek(), Some(Tok::Ident(_)))
-                    && self.peek2() == Some(&Tok::LParen)
+                if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen)
                 {
                     return self.call();
                 }
@@ -588,13 +587,7 @@ mod tests {
         match &p.stmts[0].op {
             Op::Filter { input, cond } => {
                 assert_eq!(input, "A");
-                assert!(matches!(
-                    cond,
-                    Expr::Binary {
-                        op: BinOp::And,
-                        ..
-                    }
-                ));
+                assert!(matches!(cond, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
         }

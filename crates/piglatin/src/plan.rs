@@ -139,8 +139,7 @@ pub fn compile(program: &Program, env: &SchemaMap, udfs: &UdfRegistry) -> Result
         schemas: SchemaMap::new(),
     };
     for stmt in &program.stmts {
-        let (op, schema) = compile_stmt(stmt, &scope, udfs)
-            .map_err(|e| contextualize(e, stmt))?;
+        let (op, schema) = compile_stmt(stmt, &scope, udfs).map_err(|e| contextualize(e, stmt))?;
         let schema = Arc::new(schema);
         scope.insert(stmt.alias.clone(), schema.clone());
         out.schemas.insert(stmt.alias.clone(), schema.clone());
@@ -369,9 +368,7 @@ fn resolve_field(r: &FieldRef, schema: &Schema) -> Result<usize> {
                 )))
             }
         }
-        FieldRef::Named(n) => schema
-            .resolve(n)
-            .map_err(|e| PigError::Plan(e.to_string())),
+        FieldRef::Named(n) => schema.resolve(n).map_err(|e| PigError::Plan(e.to_string())),
     }
 }
 
@@ -419,7 +416,9 @@ fn resolve_bag_attr(
     schema: &Schema,
 ) -> Result<(usize, Option<usize>)> {
     let bag_pos = resolve_field(bag, schema)?;
-    let field = schema.field(bag_pos).map_err(|e| PigError::Plan(e.to_string()))?;
+    let field = schema
+        .field(bag_pos)
+        .map_err(|e| PigError::Plan(e.to_string()))?;
     let DataType::Bag(elem) = &field.dtype else {
         return Err(PigError::Plan(format!(
             "field '{bag}' is not a bag (type {})",
@@ -495,8 +494,7 @@ fn compile_gen_item(
         GenItem::Flatten { expr, aliases } => match expr {
             Expr::Field(r) => {
                 let (bag_pos, _) = resolve_bag_attr(r, None, schema)?;
-                let DataType::Bag(elem) = &schema.field(bag_pos).expect("resolved").dtype
-                else {
+                let DataType::Bag(elem) = &schema.field(bag_pos).expect("resolved").dtype else {
                     unreachable!("resolve_bag_attr checked bag type")
                 };
                 let mut fields = elem.fields().to_vec();
@@ -570,15 +568,8 @@ fn compile_named_item(
             let dtype = agg_result_type(*op, elem, attr);
             let name = alias.map(String::from);
             Ok((
-                CGenItem::Agg {
-                    op: *op,
-                    bag,
-                    attr,
-                },
-                vec![Field {
-                    name,
-                    dtype,
-                }],
+                CGenItem::Agg { op: *op, bag, attr },
+                vec![Field { name, dtype }],
             ))
         }
         Expr::Udf { name, args } => {
@@ -641,10 +632,7 @@ fn apply_aliases(fields: &mut [Field], aliases: &[String]) -> Result<()> {
 }
 
 fn referenced_fields_of(exprs: &[CExpr]) -> Vec<usize> {
-    let mut out: Vec<usize> = exprs
-        .iter()
-        .flat_map(|e| e.referenced_fields())
-        .collect();
+    let mut out: Vec<usize> = exprs.iter().flat_map(|e| e.referenced_fields()).collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -719,7 +707,14 @@ mod tests {
         assert_eq!(s.field(1).unwrap().dtype, DataType::Int);
         match &c.stmts[1].op {
             COp::Foreach { items, .. } => {
-                assert!(matches!(items[1], CGenItem::Agg { op: AggOp::Count, bag: 1, attr: None }));
+                assert!(matches!(
+                    items[1],
+                    CGenItem::Agg {
+                        op: AggOp::Count,
+                        bag: 1,
+                        attr: None
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -804,8 +799,8 @@ mod tests {
 
     #[test]
     fn flatten_bag_splices_element_schema() {
-        let p = parse("G = GROUP Cars BY Model; F = FOREACH G GENERATE group, FLATTEN(Cars);")
-            .unwrap();
+        let p =
+            parse("G = GROUP Cars BY Model; F = FOREACH G GENERATE group, FLATTEN(Cars);").unwrap();
         let c = compile(&p, &cars_env(), &UdfRegistry::new()).unwrap();
         let s = &c.stmts[1].schema;
         assert_eq!(s.arity(), 3);

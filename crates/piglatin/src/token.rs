@@ -44,9 +44,9 @@ pub enum Tok {
     Comma,
     LParen,
     RParen,
-    Assign,   // =
-    Eq,       // ==
-    Neq,      // !=
+    Assign, // =
+    Eq,     // ==
+    Neq,    // !=
     Lt,
     Lte,
     Gt,

@@ -1,0 +1,276 @@
+//! Typed abstract syntax for ProQL statements.
+
+use std::fmt;
+
+/// How a statement names a graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// `#42` — direct node id.
+    Id(u32),
+    /// `'C2'` — the token of a base-tuple or workflow-input node.
+    Token(String),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Id(n) => write!(f, "#{n}"),
+            NodeRef::Token(t) => write!(f, "'{t}'"),
+        }
+    }
+}
+
+/// Node classes selectable by `MATCH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Every visible node.
+    All,
+    /// Module invocation nodes (`m`).
+    Invocation,
+    /// Module input nodes (`i`).
+    ModuleInput,
+    /// Module output nodes (`o`).
+    ModuleOutput,
+    /// Module state nodes (`s`).
+    State,
+    /// Base tuple nodes.
+    Base,
+    /// Provenance nodes (p-nodes).
+    PNodes,
+    /// Value nodes (v-nodes).
+    VNodes,
+}
+
+impl NodeClass {
+    /// Parse a class name (case-insensitive).
+    pub fn parse(name: &str) -> Option<NodeClass> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "nodes" | "all" => NodeClass::All,
+            "m-nodes" => NodeClass::Invocation,
+            "i-nodes" => NodeClass::ModuleInput,
+            "o-nodes" => NodeClass::ModuleOutput,
+            "s-nodes" => NodeClass::State,
+            "base-nodes" => NodeClass::Base,
+            "p-nodes" => NodeClass::PNodes,
+            "v-nodes" => NodeClass::VNodes,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeClass::All => "nodes",
+            NodeClass::Invocation => "m-nodes",
+            NodeClass::ModuleInput => "i-nodes",
+            NodeClass::ModuleOutput => "o-nodes",
+            NodeClass::State => "s-nodes",
+            NodeClass::Base => "base-nodes",
+            NodeClass::PNodes => "p-nodes",
+            NodeClass::VNodes => "v-nodes",
+        }
+    }
+}
+
+/// Predicate fields over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Owning module name (via the node's invocation).
+    Module,
+    /// Node kind name (`plus`, `delta`, `module_output`, …).
+    Kind,
+    /// Role name (`intermediate`, `state`, `free`, …).
+    Role,
+    /// Owning invocation's execution number.
+    Execution,
+}
+
+impl Field {
+    pub fn parse(name: &str) -> Option<Field> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "module" => Field::Module,
+            "kind" => Field::Kind,
+            "role" => Field::Role,
+            "execution" => Field::Execution,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Field::Module => "module",
+            Field::Kind => "kind",
+            Field::Role => "role",
+            Field::Execution => "execution",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+}
+
+/// Literal comparison value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lit {
+    Str(String),
+    Int(u64),
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Str(s) => write!(f, "'{s}'"),
+            Lit::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One `field op value` comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    pub field: Field,
+    pub op: CmpOp,
+    pub value: Lit,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{} {op} {}", self.field.name(), self.value)
+    }
+}
+
+/// Conjunction of comparisons (`WHERE a = x AND b != y`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Predicate {
+    pub conjuncts: Vec<Comparison>,
+}
+
+impl Predicate {
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The module name demanded by a `module = '…'` equality conjunct,
+    /// if present — the planner's index-scan opportunity.
+    pub fn required_module(&self) -> Option<&str> {
+        self.conjuncts.iter().find_map(|c| match c {
+            Comparison {
+                field: Field::Module,
+                op: CmpOp::Eq,
+                value: Lit::Str(s),
+            } => Some(s.as_str()),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Traversal direction for `ANCESTORS` / `DESCENDANTS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkDir {
+    Ancestors,
+    Descendants,
+}
+
+/// A term producing a node set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetTerm {
+    /// `SUBGRAPH OF ref`.
+    Subgraph(NodeRef),
+    /// `ANCESTORS/DESCENDANTS [OF] ref [DEPTH k] [WHERE pred]`.
+    Walk {
+        dir: WalkDir,
+        root: NodeRef,
+        depth: Option<u32>,
+        filter: Predicate,
+    },
+    /// `MATCH class [WHERE pred]`.
+    Match { class: NodeClass, filter: Predicate },
+    /// Parenthesized sub-expression.
+    Paren(Box<SetExpr>),
+}
+
+/// Node-set expressions composed with set operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetExpr {
+    Term(SetTerm),
+    Union(Box<SetExpr>, Box<SetExpr>),
+    Intersect(Box<SetExpr>, Box<SetExpr>),
+}
+
+/// Semirings `EVAL … IN <name>` can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiringName {
+    Counting,
+    Boolean,
+    Tropical,
+    Lineage,
+    Why,
+}
+
+impl SemiringName {
+    pub fn parse(name: &str) -> Option<SemiringName> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "counting" | "natural" => SemiringName::Counting,
+            "boolean" | "bool" => SemiringName::Boolean,
+            "tropical" | "cost" => SemiringName::Tropical,
+            "lineage" | "which" => SemiringName::Lineage,
+            "why" => SemiringName::Why,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemiringName::Counting => "counting",
+            SemiringName::Boolean => "boolean",
+            SemiringName::Tropical => "tropical",
+            SemiringName::Lineage => "lineage",
+            SemiringName::Why => "why",
+        }
+    }
+}
+
+/// One parsed ProQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A node-set query.
+    Query(SetExpr),
+    /// `WHY ref` — symbolic provenance expression of a node.
+    Why(NodeRef),
+    /// `DEPENDS(n, m)` — does n's existence depend on m's?
+    Depends(NodeRef, NodeRef),
+    /// `DELETE ref PROPAGATE` — §4.2 deletion, mutating the session.
+    DeletePropagate(NodeRef),
+    /// `ZOOM OUT TO m1, m2, …`.
+    ZoomOut(Vec<String>),
+    /// `ZOOM IN [TO m1, …]`; `None` = all currently zoomed modules.
+    ZoomIn(Option<Vec<String>>),
+    /// `EVAL ref IN semiring`.
+    Eval(NodeRef, SemiringName),
+    /// `BUILD INDEX` — build the reachability closure.
+    BuildIndex,
+    /// `DROP INDEX`.
+    DropIndex,
+    /// `EXPLAIN stmt` — plan without executing.
+    Explain(Box<Statement>),
+    /// `STATS` — graph statistics.
+    Stats,
+}

@@ -1,0 +1,61 @@
+//! ProQL error type.
+
+use std::fmt;
+
+use lipstick_core::query::QueryError;
+
+/// Anything that can go wrong between source text and query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProqlError {
+    /// Lexical error with position and message.
+    Lex { pos: usize, message: String },
+    /// Syntax error with message (includes what was expected).
+    Parse(String),
+    /// A node reference did not resolve against the session graph.
+    UnknownNode(String),
+    /// Unknown semiring name in `EVAL … IN <name>`.
+    UnknownSemiring(String),
+    /// Unknown node class in `MATCH <class>`.
+    UnknownClass(String),
+    /// Unknown predicate field.
+    UnknownField(String),
+    /// Engine-level query failure.
+    Query(QueryError),
+    /// Loading a provenance log failed.
+    Storage(String),
+}
+
+impl fmt::Display for ProqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            ProqlError::Parse(m) => write!(f, "parse error: {m}"),
+            ProqlError::UnknownNode(r) => write!(f, "unknown node reference {r}"),
+            ProqlError::UnknownSemiring(s) => write!(
+                f,
+                "unknown semiring '{s}' (expected counting, boolean, tropical, lineage, or why)"
+            ),
+            ProqlError::UnknownClass(c) => write!(
+                f,
+                "unknown node class '{c}' (expected nodes, m-nodes, i-nodes, o-nodes, s-nodes, \
+                 base-nodes, p-nodes, or v-nodes)"
+            ),
+            ProqlError::UnknownField(c) => write!(
+                f,
+                "unknown predicate field '{c}' (expected module, kind, role, or execution)"
+            ),
+            ProqlError::Query(e) => write!(f, "query error: {e}"),
+            ProqlError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProqlError {}
+
+impl From<QueryError> for ProqlError {
+    fn from(e: QueryError) -> Self {
+        ProqlError::Query(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ProqlError>;

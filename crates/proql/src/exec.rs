@@ -1,0 +1,453 @@
+//! The ProQL executor: physical plans → results, against a session.
+//!
+//! Executors report `visited` counts — the number of graph nodes they
+//! actually examined — so tests (and the `proql_planner` bench) can
+//! verify the planner's cost model against observed work.
+
+use std::collections::BTreeSet;
+
+use lipstick_core::graph::bitset::BitSet;
+use lipstick_core::graph::stats::stats;
+use lipstick_core::query::{
+    depends_on, propagate_deletion_inplace, subgraph, traverse, zoom_in, zoom_out, Direction,
+    ReachIndex,
+};
+use lipstick_core::semiring::boolean::Bools;
+use lipstick_core::semiring::eval::{eval_expr, Valuation};
+use lipstick_core::semiring::lineage::Lineage;
+use lipstick_core::semiring::natural::Natural;
+use lipstick_core::semiring::tropical::Tropical;
+use lipstick_core::semiring::whyprov::Why;
+use lipstick_core::{
+    InvocationId, Node, NodeId, NodeKind, Polynomial, ProvExpr, ProvGraph, Semiring, Token,
+};
+
+use crate::ast::{CmpOp, Comparison, Field, Lit, NodeClass, Predicate, SemiringName, WalkDir};
+use crate::error::Result;
+use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
+use crate::result::{NodeSetResult, QueryOutput};
+use crate::session::Session;
+
+/// Execute one planned statement against the session.
+pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOutput> {
+    match plan {
+        StmtPlan::Set(p) => {
+            let (nodes, visited) = run_set(session.graph(), session.reach(), p)?;
+            Ok(QueryOutput::Nodes(NodeSetResult { nodes, visited }))
+        }
+        StmtPlan::Why(n) => {
+            let expr = session.graph().expr_of(*n);
+            let mut text = format!("{n}: {expr}");
+            if let Some(poly) = Polynomial::from_expr(&expr) {
+                text.push_str(&format!("\n  = {poly} (expanded N[X] polynomial)"));
+            }
+            Ok(QueryOutput::Text(text))
+        }
+        StmtPlan::Depends {
+            n,
+            n_prime,
+            strategy,
+        } => {
+            let value = match strategy {
+                DependsStrategy::Propagation => depends_on(session.graph(), *n, *n_prime)?,
+                DependsStrategy::ReachPrefilter => {
+                    let index = session.reach().expect("planned with a reach index");
+                    if n == n_prime {
+                        true
+                    } else if !index.reaches(*n_prime, *n) {
+                        // Deletion of n' only propagates to its
+                        // descendants; n is not one.
+                        false
+                    } else {
+                        depends_on(session.graph(), *n, *n_prime)?
+                    }
+                }
+            };
+            Ok(QueryOutput::Bool(value))
+        }
+        StmtPlan::Delete(n) => {
+            let report = propagate_deletion_inplace(session.graph_mut(), *n)?;
+            session.invalidate_index();
+            Ok(QueryOutput::Deleted {
+                nodes: report.deleted,
+            })
+        }
+        StmtPlan::ZoomOut {
+            modules,
+            fused_from,
+        } => {
+            let names: Vec<&str> = modules.iter().map(String::as_str).collect();
+            let created = zoom_out(session.graph_mut(), &names)?;
+            session.invalidate_index();
+            let mut msg = format!(
+                "zoomed out {} module(s), {} composite node(s)",
+                modules.len(),
+                created.len()
+            );
+            if *fused_from > 1 {
+                msg.push_str(&format!(" [fused from {fused_from} statements]"));
+            }
+            Ok(QueryOutput::Message(msg))
+        }
+        StmtPlan::ZoomIn {
+            modules,
+            fused_from,
+        } => {
+            let names: Vec<String> = match modules {
+                Some(ms) => ms.clone(),
+                None => session
+                    .graph()
+                    .zoomed_out_modules()
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            };
+            if names.is_empty() {
+                return Ok(QueryOutput::Message("no modules are zoomed out".into()));
+            }
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            zoom_in(session.graph_mut(), &refs)?;
+            session.invalidate_index();
+            let mut msg = format!("zoomed back into {}", names.join(", "));
+            if *fused_from > 1 {
+                msg.push_str(&format!(" [fused from {fused_from} statements]"));
+            }
+            Ok(QueryOutput::Message(msg))
+        }
+        StmtPlan::Eval(n, semiring) => Ok(QueryOutput::Text(eval_in_semiring(
+            session.graph(),
+            *n,
+            *semiring,
+        ))),
+        StmtPlan::BuildIndex => {
+            let index = ReachIndex::build(session.graph());
+            let bytes = index.memory_bytes();
+            session.set_index(index);
+            Ok(QueryOutput::Message(format!(
+                "reach index built ({bytes} bytes)"
+            )))
+        }
+        StmtPlan::DropIndex => {
+            session.invalidate_index();
+            Ok(QueryOutput::Message("reach index dropped".into()))
+        }
+        StmtPlan::Stats => {
+            let graph = session.graph();
+            let mut text = stats(graph).to_string();
+            text.push_str(&format!(
+                "  {} invocation(s), {} zoomed-out module(s), reach index: {}",
+                graph.invocations().len(),
+                graph.zoomed_out_modules().len(),
+                if session.reach().is_some() {
+                    "present"
+                } else {
+                    "absent"
+                }
+            ));
+            Ok(QueryOutput::Text(text))
+        }
+        StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+    }
+}
+
+/// Run a set plan; returns (sorted nodes, visited count).
+fn run_set(
+    graph: &ProvGraph,
+    reach: Option<&ReachIndex>,
+    plan: &SetPlan,
+) -> Result<(Vec<NodeId>, usize)> {
+    match plan {
+        SetPlan::Scan {
+            class,
+            filter,
+            strategy,
+        } => Ok(match strategy {
+            ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter),
+            ScanStrategy::ModuleScan { module, .. } => module_scan(graph, module, *class, filter),
+        }),
+        SetPlan::Walk {
+            root,
+            dir,
+            depth,
+            filter,
+            strategy,
+        } => {
+            let direction = match dir {
+                WalkDir::Ancestors => Direction::Ancestors,
+                WalkDir::Descendants => Direction::Descendants,
+            };
+            match strategy {
+                WalkStrategy::Bfs { .. } => {
+                    // Predicate pushed into the traversal's collect step.
+                    let (nodes, stats) = traverse(graph, *root, direction, *depth, |id, node| {
+                        pred_matches(graph, id, node, filter)
+                    })?;
+                    Ok((nodes, stats.visited))
+                }
+                WalkStrategy::ReachIndex => {
+                    let index = reach.expect("planned with a reach index");
+                    let candidates = index.descendants(*root);
+                    let visited = candidates.len();
+                    let nodes: Vec<NodeId> = candidates
+                        .into_iter()
+                        .filter(|id| {
+                            let node = graph.node(*id);
+                            node.is_visible() && pred_matches(graph, *id, node, filter)
+                        })
+                        .collect();
+                    Ok((nodes, visited))
+                }
+            }
+        }
+        SetPlan::Subgraph { root } => {
+            let result = subgraph(graph, *root)?;
+            let visited = result.len();
+            Ok((result.nodes, visited))
+        }
+        SetPlan::Union(a, b) => {
+            let (xs, va) = run_set(graph, reach, a)?;
+            let (ys, vb) = run_set(graph, reach, b)?;
+            Ok((merge_union(xs, ys), va + vb))
+        }
+        SetPlan::Intersect(a, b) => {
+            let (xs, va) = run_set(graph, reach, a)?;
+            let (ys, vb) = run_set(graph, reach, b)?;
+            Ok((merge_intersect(xs, ys), va + vb))
+        }
+    }
+}
+
+/// Sweep every visible node.
+fn full_scan(graph: &ProvGraph, class: NodeClass, filter: &Predicate) -> (Vec<NodeId>, usize) {
+    let mut visited = 0;
+    let mut out = Vec::new();
+    for (id, node) in graph.iter_visible() {
+        visited += 1;
+        if class_matches(class, node) && pred_matches(graph, id, node, filter) {
+            out.push(id);
+        }
+    }
+    (out, visited)
+}
+
+/// Drive the scan from the invocation table: visit only nodes owned by
+/// the target module's invocations (reached by a role-bounded sweep
+/// from each invocation's `m` node) instead of the whole graph.
+fn module_scan(
+    graph: &ProvGraph,
+    module: &str,
+    class: NodeClass,
+    filter: &Predicate,
+) -> (Vec<NodeId>, usize) {
+    let invocations = graph.invocations_of(module);
+    let inv_set: BTreeSet<InvocationId> = invocations.iter().copied().collect();
+    let mut visited = 0;
+    let mut out = Vec::new();
+
+    if class == NodeClass::Invocation {
+        // m-nodes come straight off the invocation table.
+        for inv in invocations {
+            let m = graph.invocation(inv).m_node;
+            let node = graph.node(m);
+            if !node.is_visible() {
+                continue;
+            }
+            visited += 1;
+            if pred_matches(graph, m, node, filter) {
+                out.push(m);
+            }
+        }
+        out.sort();
+        return (out, visited);
+    }
+
+    // General classes: sweep each invocation's role-owned component
+    // (both edge directions) starting from its m node.
+    let mut seen = BitSet::new(graph.len());
+    let mut stack: Vec<NodeId> = Vec::new();
+    for inv in invocations {
+        let m = graph.invocation(inv).m_node;
+        if graph.node(m).is_visible() && seen.insert(m.index()) {
+            stack.push(m);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        let node = graph.node(id);
+        visited += 1;
+        if class_matches(class, node) && pred_matches(graph, id, node, filter) {
+            out.push(id);
+        }
+        for &n in node.preds().iter().chain(node.succs()) {
+            let nn = graph.node(n);
+            let owned = nn
+                .role
+                .invocation()
+                .is_some_and(|inv| inv_set.contains(&inv));
+            if owned && nn.is_visible() && seen.insert(n.index()) {
+                stack.push(n);
+            }
+        }
+    }
+    out.sort();
+    (out, visited)
+}
+
+/// Does a node belong to a `MATCH` class?
+fn class_matches(class: NodeClass, node: &Node) -> bool {
+    match class {
+        NodeClass::All => true,
+        NodeClass::Invocation => matches!(node.kind, NodeKind::Invocation),
+        NodeClass::ModuleInput => matches!(node.kind, NodeKind::ModuleInput),
+        NodeClass::ModuleOutput => matches!(node.kind, NodeKind::ModuleOutput),
+        NodeClass::State => matches!(node.kind, NodeKind::StateUnit),
+        NodeClass::Base => matches!(node.kind, NodeKind::BaseTuple { .. }),
+        NodeClass::PNodes => !node.kind.is_value_node(),
+        NodeClass::VNodes => node.kind.is_value_node(),
+    }
+}
+
+/// Evaluate a predicate conjunction on one node. Fields that don't
+/// apply (e.g. `module` on a free node) make `=` false and `!=` true.
+fn pred_matches(graph: &ProvGraph, _id: NodeId, node: &Node, pred: &Predicate) -> bool {
+    pred.conjuncts
+        .iter()
+        .all(|c| comparison_matches(graph, node, c))
+}
+
+fn comparison_matches(graph: &ProvGraph, node: &Node, c: &Comparison) -> bool {
+    let holds = match (&c.field, &c.value) {
+        (Field::Kind, Lit::Str(want)) => node.kind.name() == want,
+        (Field::Role, Lit::Str(want)) => node.role.name() == want,
+        (Field::Module, Lit::Str(want)) => node
+            .role
+            .invocation()
+            .is_some_and(|inv| graph.invocation(inv).module == *want),
+        (Field::Execution, Lit::Int(want)) => node
+            .role
+            .invocation()
+            .is_some_and(|inv| u64::from(graph.invocation(inv).execution) == *want),
+        // Type-mismatched comparisons never hold.
+        _ => false,
+    };
+    match c.op {
+        CmpOp::Eq => holds,
+        CmpOp::Ne => !holds,
+    }
+}
+
+fn merge_union(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(xs[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(ys[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&xs[i..]);
+    out.extend_from_slice(&ys[j..]);
+    out
+}
+
+fn merge_intersect(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Collect the distinct tokens of an expression.
+fn collect_tokens(e: &ProvExpr, out: &mut BTreeSet<Token>) {
+    match e {
+        ProvExpr::Zero | ProvExpr::One => {}
+        ProvExpr::Tok(t) => {
+            out.insert(t.clone());
+        }
+        ProvExpr::Sum(parts) | ProvExpr::Prod(parts) => {
+            for p in parts {
+                collect_tokens(p, out);
+            }
+        }
+        ProvExpr::Delta(inner) => collect_tokens(inner, out),
+    }
+}
+
+/// Evaluate a node's provenance under the named semiring.
+///
+/// Valuations: counting and tropical give every token weight 1 (number
+/// of derivations / minimum tuples on a derivation); boolean marks all
+/// tokens present; lineage and why map each token to itself, producing
+/// contributing-token sets and minimal witnesses respectively.
+fn eval_in_semiring(graph: &ProvGraph, id: NodeId, semiring: SemiringName) -> String {
+    let expr = graph.expr_of(id);
+    let mut tokens = BTreeSet::new();
+    collect_tokens(&expr, &mut tokens);
+    let tokens: Vec<Token> = tokens.into_iter().collect();
+    match semiring {
+        SemiringName::Counting => {
+            let v = Valuation::<Natural>::with_default(Natural(1));
+            let n = eval_expr(&expr, &v);
+            format!("{id} in counting: {} derivation(s)", n.0)
+        }
+        SemiringName::Boolean => {
+            let v = Valuation::<Bools>::with_default(Bools(true));
+            let b = eval_expr(&expr, &v);
+            format!("{id} in boolean: {}", b.0)
+        }
+        SemiringName::Tropical => {
+            let v = Valuation::<Tropical>::with_default(Tropical(1.0));
+            let t = eval_expr(&expr, &v);
+            format!("{id} in tropical (unit costs): {}", t.0)
+        }
+        SemiringName::Lineage => {
+            let mut v = Valuation::<Lineage>::with_default(Lineage::one());
+            for t in &tokens {
+                v = v.set(t.as_str(), Lineage::token(t.clone()));
+            }
+            match eval_expr(&expr, &v).tokens() {
+                Some(set) => {
+                    let names: Vec<&str> = set.iter().map(|t| t.as_str()).collect();
+                    format!("{id} in lineage: {{{}}}", names.join(", "))
+                }
+                None => format!("{id} in lineage: underivable"),
+            }
+        }
+        SemiringName::Why => {
+            let mut v = Valuation::<Why>::with_default(Why::one());
+            for t in &tokens {
+                v = v.set(t.as_str(), Why::token(t.clone()));
+            }
+            let why = eval_expr(&expr, &v);
+            let witnesses: Vec<String> = why
+                .witnesses()
+                .iter()
+                .map(|w| {
+                    let names: Vec<&str> = w.iter().map(|t| t.as_str()).collect();
+                    format!("{{{}}}", names.join(", "))
+                })
+                .collect();
+            format!("{id} in why: {{{}}}", witnesses.join(", "))
+        }
+    }
+}

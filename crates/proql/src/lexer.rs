@@ -1,0 +1,207 @@
+//! ProQL lexer.
+//!
+//! Keywords are not reserved at the lexical level: everything wordy is
+//! an [`Tok::Ident`] and the parser matches keywords case-insensitively,
+//! so module names like `Mdealer1` or `in-flight-stats` need no
+//! quoting. Identifiers may contain `-` (ProQL has no arithmetic), which
+//! is what makes the `m-nodes` class names single tokens.
+
+use crate::error::{ProqlError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Bare word: keyword, class name, module name, field, …
+    Ident(String),
+    /// Single-quoted string literal (provenance tokens, module names).
+    Str(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// `#123` — a node id reference.
+    NodeId(u32),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+    Ne,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::NodeId(n) => write!(f, "#{n}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Eq => f.write_str("="),
+            Tok::Ne => f.write_str("!="),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize a ProQL script. `--` starts a comment running to end of
+/// line.
+pub fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            _ if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ProqlError::Lex {
+                        pos: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Tok::Str(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '#' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ProqlError::Lex {
+                        pos: i,
+                        message: "expected digits after '#'".into(),
+                    });
+                }
+                let digits: String = bytes[start..j].iter().collect();
+                let id = digits.parse::<u32>().map_err(|_| ProqlError::Lex {
+                    pos: i,
+                    message: format!("node id #{digits} out of range"),
+                })?;
+                out.push(Tok::NodeId(id));
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let digits: String = bytes[start..j].iter().collect();
+                let n = digits.parse::<u64>().map_err(|_| ProqlError::Lex {
+                    pos: start,
+                    message: format!("integer {digits} out of range"),
+                })?;
+                out.push(Tok::Int(n));
+                i = j;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                out.push(Tok::Ident(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(ProqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement_shapes() {
+        let toks = lex("MATCH m-nodes WHERE module = 'Mdealer1';").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("MATCH".into()),
+                Tok::Ident("m-nodes".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("module".into()),
+                Tok::Eq,
+                Tok::Str("Mdealer1".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_node_refs_ints_and_ne() {
+        let toks = lex("DEPENDS(#42, 'C2') DEPTH 3 kind != delta").unwrap();
+        assert!(toks.contains(&Tok::NodeId(42)));
+        assert!(toks.contains(&Tok::Int(3)));
+        assert!(toks.contains(&Tok::Ne));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = lex("-- a comment\n  STATS -- trailing\n").unwrap();
+        assert_eq!(toks, vec![Tok::Ident("STATS".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(lex("WHY 'C2"), Err(ProqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn bare_hash_is_an_error() {
+        assert!(matches!(lex("# 12"), Err(ProqlError::Lex { .. })));
+    }
+}

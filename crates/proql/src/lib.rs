@@ -1,0 +1,52 @@
+//! # ProQL — a declarative query language over provenance graphs
+//!
+//! The paper's Query Processor (§5.1) exposes three hard-coded queries:
+//! subgraph extraction, dependency tests, and deletion propagation.
+//! ProQL turns those primitives — plus zooming, semiring evaluation,
+//! predicate-based node selection, bounded-depth traversals, and set
+//! operations — into a small composable language, so new provenance
+//! workloads don't require new engine code.
+//!
+//! ## Statement forms
+//!
+//! ```text
+//! SUBGRAPH OF #42                          -- §5.1 subgraph query
+//! WHY 'C2'                                 -- symbolic provenance expression
+//! DEPENDS(#42, 'C2')                       -- §4.3 dependency test
+//! DELETE 'C2' PROPAGATE                    -- §4.2 deletion propagation
+//! ZOOM OUT TO Mdealer1, Magg               -- §4.1 ZoomOut
+//! ZOOM IN                                  -- §4.1 ZoomIn (all zoomed modules)
+//! EVAL #42 IN counting                     -- semiring evaluation
+//! MATCH m-nodes WHERE module = 'Mdealer1'  -- node selection
+//! ANCESTORS OF #42 DEPTH 3                 -- bounded-depth traversal
+//! DESCENDANTS OF 'C2' WHERE kind = 'module_output'
+//! MATCH base-nodes INTERSECT ANCESTORS OF #42
+//! BUILD INDEX / DROP INDEX                 -- §5.1 reachability closure
+//! EXPLAIN DEPENDS(#42, 'C2')              -- show the chosen physical plan
+//! STATS                                    -- graph statistics
+//! ```
+//!
+//! ## Pipeline
+//!
+//! Text goes through [`lexer`] → [`parser`] (typed [`ast`]) →
+//! [`planner`] (cost-aware physical [`plan`]) → [`exec`]. The planner
+//! consults [`lipstick_core::graph::stats`] and the session's optional
+//! [`lipstick_core::query::ReachIndex`] to pick traversal strategies,
+//! fuses consecutive zoom statements, and pushes `WHERE` predicates
+//! into traversals instead of post-filtering. [`session::Session`]
+//! owns the graph (in-memory or loaded from a provenance log via
+//! `lipstick-storage`) and drives the pipeline.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+pub mod result;
+pub mod session;
+
+pub use error::ProqlError;
+pub use result::{NodeSetResult, QueryOutput};
+pub use session::Session;

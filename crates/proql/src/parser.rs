@@ -1,0 +1,428 @@
+//! Recursive-descent parser: token stream → [`Statement`]s.
+//!
+//! Keywords are matched case-insensitively against identifiers, so
+//! `match m-nodes where module = 'x'` and the upper-case spelling are
+//! the same script.
+
+use crate::ast::*;
+use crate::error::{ProqlError, Result};
+use crate::lexer::{lex, Tok};
+
+/// Parse a whole script: statements separated/terminated by `;`.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        if p.eat_symbol(&Tok::Semi) {
+            continue; // empty statement
+        }
+        out.push(p.statement()?);
+        if !p.at_end() && !p.eat_symbol(&Tok::Semi) {
+            return Err(ProqlError::Parse(format!(
+                "expected ';' between statements, found {}",
+                p.peek_desc()
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement (trailing `;` allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        0 => Err(ProqlError::Parse("empty statement".into())),
+        n => Err(ProqlError::Parse(format!(
+            "expected one statement, found {n}"
+        ))),
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("'{t}'"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the next token if it is the given symbol.
+    fn eat_symbol(&mut self, sym: &Tok) -> bool {
+        if self.peek() == Some(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the next token if it is the given keyword
+    /// (case-insensitive identifier match).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ProqlError::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek_desc()
+            )))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Tok) -> Result<()> {
+        if self.eat_symbol(&sym) {
+            Ok(())
+        } else {
+            Err(ProqlError::Parse(format!(
+                "expected '{sym}', found {}",
+                self.peek_desc()
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            let inner = self.statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
+        if self.eat_kw("WHY") {
+            return Ok(Statement::Why(self.node_ref()?));
+        }
+        if self.eat_kw("DEPENDS") {
+            self.expect_symbol(Tok::LParen)?;
+            let n = self.node_ref()?;
+            self.expect_symbol(Tok::Comma)?;
+            let m = self.node_ref()?;
+            self.expect_symbol(Tok::RParen)?;
+            return Ok(Statement::Depends(n, m));
+        }
+        if self.eat_kw("DELETE") {
+            let target = self.node_ref()?;
+            self.expect_kw("PROPAGATE")?;
+            return Ok(Statement::DeletePropagate(target));
+        }
+        if self.eat_kw("ZOOM") {
+            if self.eat_kw("OUT") {
+                self.expect_kw("TO")?;
+                return Ok(Statement::ZoomOut(self.name_list()?));
+            }
+            self.expect_kw("IN")?;
+            if self.eat_kw("TO") {
+                return Ok(Statement::ZoomIn(Some(self.name_list()?)));
+            }
+            return Ok(Statement::ZoomIn(None));
+        }
+        if self.eat_kw("EVAL") {
+            let target = self.node_ref()?;
+            self.expect_kw("IN")?;
+            let name = self.ident("semiring name")?;
+            let semiring = SemiringName::parse(&name)
+                .ok_or_else(|| ProqlError::UnknownSemiring(name.clone()))?;
+            return Ok(Statement::Eval(target, semiring));
+        }
+        if self.eat_kw("BUILD") {
+            self.expect_kw("INDEX")?;
+            return Ok(Statement::BuildIndex);
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("INDEX")?;
+            return Ok(Statement::DropIndex);
+        }
+        if self.eat_kw("STATS") {
+            return Ok(Statement::Stats);
+        }
+        // Everything else is a node-set expression.
+        Ok(Statement::Query(self.set_expr()?))
+    }
+
+    /// `term (UNION term | INTERSECT term)*`, left-associative.
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut lhs = SetExpr::Term(self.set_term()?);
+        loop {
+            if self.eat_kw("UNION") {
+                let rhs = self.set_term()?;
+                lhs = SetExpr::Union(Box::new(lhs), Box::new(SetExpr::Term(rhs)));
+            } else if self.eat_kw("INTERSECT") {
+                let rhs = self.set_term()?;
+                lhs = SetExpr::Intersect(Box::new(lhs), Box::new(SetExpr::Term(rhs)));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn set_term(&mut self) -> Result<SetTerm> {
+        if self.eat_symbol(&Tok::LParen) {
+            let inner = self.set_expr()?;
+            self.expect_symbol(Tok::RParen)?;
+            return Ok(SetTerm::Paren(Box::new(inner)));
+        }
+        if self.eat_kw("SUBGRAPH") {
+            self.expect_kw("OF")?;
+            return Ok(SetTerm::Subgraph(self.node_ref()?));
+        }
+        if self.eat_kw("ANCESTORS") {
+            return self.walk_tail(WalkDir::Ancestors);
+        }
+        if self.eat_kw("DESCENDANTS") {
+            return self.walk_tail(WalkDir::Descendants);
+        }
+        if self.eat_kw("MATCH") {
+            let name = self.ident("node class")?;
+            let class =
+                NodeClass::parse(&name).ok_or_else(|| ProqlError::UnknownClass(name.clone()))?;
+            let filter = self.opt_where()?;
+            return Ok(SetTerm::Match { class, filter });
+        }
+        Err(ProqlError::Parse(format!(
+            "expected a statement or node-set term (SUBGRAPH, ANCESTORS, DESCENDANTS, MATCH, …), \
+             found {}",
+            self.peek_desc()
+        )))
+    }
+
+    /// `[OF] ref [DEPTH k] [WHERE pred]` after ANCESTORS/DESCENDANTS.
+    fn walk_tail(&mut self, dir: WalkDir) -> Result<SetTerm> {
+        let _ = self.eat_kw("OF"); // optional
+        let root = self.node_ref()?;
+        let depth = if self.eat_kw("DEPTH") {
+            match self.bump() {
+                Some(Tok::Int(n)) => Some(
+                    u32::try_from(n)
+                        .map_err(|_| ProqlError::Parse(format!("depth {n} out of range")))?,
+                ),
+                other => {
+                    return Err(ProqlError::Parse(format!(
+                        "expected integer after DEPTH, found {}",
+                        other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        let filter = self.opt_where()?;
+        Ok(SetTerm::Walk {
+            dir,
+            root,
+            depth,
+            filter,
+        })
+    }
+
+    fn opt_where(&mut self) -> Result<Predicate> {
+        if !self.eat_kw("WHERE") {
+            return Ok(Predicate::default());
+        }
+        let mut conjuncts = vec![self.comparison()?];
+        while self.eat_kw("AND") {
+            conjuncts.push(self.comparison()?);
+        }
+        Ok(Predicate { conjuncts })
+    }
+
+    fn comparison(&mut self) -> Result<Comparison> {
+        let name = self.ident("predicate field")?;
+        let field = Field::parse(&name).ok_or_else(|| ProqlError::UnknownField(name.clone()))?;
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            other => {
+                return Err(ProqlError::Parse(format!(
+                    "expected '=' or '!=' after {}, found {}",
+                    field.name(),
+                    other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+                )))
+            }
+        };
+        let value = match self.bump() {
+            Some(Tok::Str(s)) => Lit::Str(s),
+            Some(Tok::Int(n)) => Lit::Int(n),
+            // Bare identifiers compare as strings: kind = delta.
+            Some(Tok::Ident(s)) => Lit::Str(s),
+            other => {
+                return Err(ProqlError::Parse(format!(
+                    "expected a literal value, found {}",
+                    other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+                )))
+            }
+        };
+        Ok(Comparison { field, op, value })
+    }
+
+    fn node_ref(&mut self) -> Result<NodeRef> {
+        match self.bump() {
+            Some(Tok::NodeId(n)) => Ok(NodeRef::Id(n)),
+            Some(Tok::Str(s)) => Ok(NodeRef::Token(s)),
+            other => Err(ProqlError::Parse(format!(
+                "expected a node reference (#id or 'token'), found {}",
+                other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+            ))),
+        }
+    }
+
+    /// Comma-separated module names (identifiers or strings).
+    fn name_list(&mut self) -> Result<Vec<String>> {
+        let mut names = vec![self.name()?];
+        while self.eat_symbol(&Tok::Comma) {
+            names.push(self.name()?);
+        }
+        Ok(names)
+    }
+
+    fn name(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) | Some(Tok::Str(s)) => Ok(s),
+            other => Err(ProqlError::Parse(format!(
+                "expected a module name, found {}",
+                other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+            ))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ProqlError::Parse(format!(
+                "expected {what}, found {}",
+                other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_statement_form() {
+        let script = "
+            SUBGRAPH OF #42;
+            WHY 'C2';
+            DEPENDS(#42, 'C2');
+            DELETE 'C2' PROPAGATE;
+            ZOOM OUT TO Mdealer1, Magg;
+            ZOOM IN;
+            ZOOM IN TO Mdealer1;
+            EVAL #42 IN counting;
+            MATCH m-nodes WHERE module = 'Mdealer1';
+            ANCESTORS OF #42 DEPTH 3;
+            DESCENDANTS 'C2' WHERE kind = module_output;
+            MATCH base-nodes INTERSECT ANCESTORS OF #42;
+            BUILD INDEX;
+            DROP INDEX;
+            EXPLAIN DEPENDS(#1, #2);
+            STATS;
+        ";
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 16);
+        assert!(matches!(stmts[0], Statement::Query(_)));
+        assert!(matches!(stmts[1], Statement::Why(NodeRef::Token(_))));
+        assert!(matches!(stmts[2], Statement::Depends(..)));
+        assert!(matches!(stmts[3], Statement::DeletePropagate(_)));
+        assert_eq!(
+            stmts[4],
+            Statement::ZoomOut(vec!["Mdealer1".into(), "Magg".into()])
+        );
+        assert_eq!(stmts[5], Statement::ZoomIn(None));
+        assert_eq!(stmts[6], Statement::ZoomIn(Some(vec!["Mdealer1".into()])));
+        assert!(matches!(
+            stmts[7],
+            Statement::Eval(_, SemiringName::Counting)
+        ));
+        assert!(matches!(stmts[13], Statement::DropIndex));
+        assert!(matches!(stmts[14], Statement::Explain(_)));
+        assert!(matches!(stmts[15], Statement::Stats));
+    }
+
+    #[test]
+    fn match_predicates_parse() {
+        let s = parse_statement("MATCH nodes WHERE module = 'M' AND kind != delta").unwrap();
+        let Statement::Query(SetExpr::Term(SetTerm::Match { class, filter })) = s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(class, NodeClass::All);
+        assert_eq!(filter.conjuncts.len(), 2);
+        assert_eq!(filter.required_module(), Some("M"));
+    }
+
+    #[test]
+    fn set_ops_are_left_associative() {
+        let s =
+            parse_statement("MATCH nodes UNION MATCH base-nodes INTERSECT MATCH v-nodes").unwrap();
+        // ((nodes UNION base) INTERSECT v)
+        let Statement::Query(SetExpr::Intersect(lhs, _)) = s else {
+            panic!("expected top-level INTERSECT, got {s:?}");
+        };
+        assert!(matches!(*lhs, SetExpr::Union(..)));
+    }
+
+    #[test]
+    fn parens_group_set_ops() {
+        let s = parse_statement("MATCH nodes UNION (MATCH base-nodes INTERSECT MATCH v-nodes)")
+            .unwrap();
+        let Statement::Query(SetExpr::Union(_, rhs)) = s else {
+            panic!("expected top-level UNION");
+        };
+        assert!(matches!(*rhs, SetExpr::Term(SetTerm::Paren(_))));
+    }
+
+    #[test]
+    fn depth_and_filter_on_walks() {
+        let s = parse_statement("ANCESTORS OF #7 DEPTH 2 WHERE kind = 'base_tuple'").unwrap();
+        let Statement::Query(SetExpr::Term(SetTerm::Walk {
+            dir, depth, filter, ..
+        })) = s
+        else {
+            panic!("wrong shape");
+        };
+        assert_eq!(dir, WalkDir::Ancestors);
+        assert_eq!(depth, Some(2));
+        assert_eq!(filter.conjuncts.len(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("DELETE #1").is_err(), "missing PROPAGATE");
+        assert!(parse_statement("ZOOM OUT").is_err(), "missing TO list");
+        assert!(parse_statement("EVAL #1 IN nonsense").is_err());
+        assert!(parse_statement("MATCH q-nodes").is_err());
+        assert!(parse_statement("MATCH nodes WHERE size = 3").is_err());
+        assert!(parse_statement("SUBGRAPH OF #1 SUBGRAPH OF #2").is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Physical plans.
+//!
+//! The [`crate::planner`] lowers parsed statements into these plans,
+//! making every strategy choice explicit — which is what `EXPLAIN`
+//! prints. Estimates (`est_*`) are in "nodes visited", the unit the
+//! executor also reports back, so planner predictions can be checked
+//! against observed work in tests.
+
+use std::fmt;
+
+use lipstick_core::NodeId;
+
+use crate::ast::{NodeClass, Predicate, SemiringName, WalkDir};
+
+/// How a bounded/unbounded traversal runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkStrategy {
+    /// Breadth-first sweep over adjacency lists, with any filter pushed
+    /// into the traversal's collect step.
+    Bfs { est_visited: usize },
+    /// Lookup in the precomputed descendant closure ([`lipstick_core::query::ReachIndex`]).
+    ReachIndex,
+}
+
+/// How a `MATCH` selects candidate nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// Examine every visible node.
+    FullScan { est_visited: usize },
+    /// Drive the scan from the invocation table: enumerate the target
+    /// module's invocations and walk only their role-owned nodes.
+    ModuleScan {
+        module: String,
+        invocations: usize,
+        est_visited: usize,
+    },
+}
+
+/// A plan producing a sorted node set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetPlan {
+    Scan {
+        class: NodeClass,
+        filter: Predicate,
+        strategy: ScanStrategy,
+    },
+    Walk {
+        root: NodeId,
+        dir: WalkDir,
+        depth: Option<u32>,
+        filter: Predicate,
+        strategy: WalkStrategy,
+    },
+    Subgraph {
+        root: NodeId,
+    },
+    Union(Box<SetPlan>, Box<SetPlan>),
+    Intersect(Box<SetPlan>, Box<SetPlan>),
+}
+
+/// How a `DEPENDS` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependsStrategy {
+    /// Full §4.2 deletion propagation on a scratch copy.
+    Propagation,
+    /// Consult the reachability closure first: if `n` is not a
+    /// descendant of `n'`, deleting `n'` cannot touch it — answer
+    /// `false` in O(1). Fall back to propagation only on reachable
+    /// pairs.
+    ReachPrefilter,
+}
+
+/// A fully planned statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtPlan {
+    Set(SetPlan),
+    Why(NodeId),
+    Depends {
+        n: NodeId,
+        n_prime: NodeId,
+        strategy: DependsStrategy,
+    },
+    Delete(NodeId),
+    /// Possibly several source-level `ZOOM OUT` statements fused into
+    /// one atomic multi-module ZoomOut.
+    ZoomOut {
+        modules: Vec<String>,
+        fused_from: usize,
+    },
+    /// `None` = every currently zoomed module (resolved at execution).
+    ZoomIn {
+        modules: Option<Vec<String>>,
+        fused_from: usize,
+    },
+    Eval(NodeId, SemiringName),
+    BuildIndex,
+    DropIndex,
+    Stats,
+    Explain(Box<StmtPlan>),
+}
+
+impl fmt::Display for SetPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl SetPlan {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            SetPlan::Scan {
+                class,
+                filter,
+                strategy,
+            } => {
+                write!(f, "{pad}scan {}", class.name())?;
+                if !filter.is_empty() {
+                    write!(f, " where {filter}")?;
+                }
+                match strategy {
+                    ScanStrategy::FullScan { est_visited } => {
+                        write!(f, " [full scan, est visited {est_visited}]")
+                    }
+                    ScanStrategy::ModuleScan {
+                        module,
+                        invocations,
+                        est_visited,
+                    } => write!(
+                        f,
+                        " [module scan of '{module}' via invocation table, {invocations} \
+                         invocations, est visited {est_visited}]"
+                    ),
+                }
+            }
+            SetPlan::Walk {
+                root,
+                dir,
+                depth,
+                filter,
+                strategy,
+            } => {
+                let what = match dir {
+                    WalkDir::Ancestors => "ancestors",
+                    WalkDir::Descendants => "descendants",
+                };
+                write!(f, "{pad}walk {what} of {root}")?;
+                match depth {
+                    Some(d) => write!(f, " depth {d}")?,
+                    None => write!(f, " depth unbounded")?,
+                }
+                if !filter.is_empty() {
+                    write!(f, " where {filter} [filter pushed into traversal]")?;
+                }
+                match strategy {
+                    WalkStrategy::Bfs { est_visited } => {
+                        write!(f, " [bfs, est visited {est_visited}]")
+                    }
+                    WalkStrategy::ReachIndex => write!(f, " [reach-index lookup]"),
+                }
+            }
+            SetPlan::Subgraph { root } => write!(f, "{pad}subgraph of {root}"),
+            SetPlan::Union(a, b) => {
+                writeln!(f, "{pad}union")?;
+                a.fmt_indented(f, indent + 1)?;
+                writeln!(f)?;
+                b.fmt_indented(f, indent + 1)
+            }
+            SetPlan::Intersect(a, b) => {
+                writeln!(f, "{pad}intersect")?;
+                a.fmt_indented(f, indent + 1)?;
+                writeln!(f)?;
+                b.fmt_indented(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for StmtPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmtPlan::Set(p) => write!(f, "{p}"),
+            StmtPlan::Why(n) => write!(f, "why {n} [graph expression extraction]"),
+            StmtPlan::Depends {
+                n,
+                n_prime,
+                strategy,
+            } => match strategy {
+                DependsStrategy::Propagation => write!(
+                    f,
+                    "depends({n}, {n_prime}) [deletion propagation on scratch copy]"
+                ),
+                DependsStrategy::ReachPrefilter => write!(
+                    f,
+                    "depends({n}, {n_prime}) [reach-index prefilter, propagation only if \
+                     reachable]"
+                ),
+            },
+            StmtPlan::Delete(n) => write!(f, "delete {n} propagate [in-place §4.2 deletion]"),
+            StmtPlan::ZoomOut {
+                modules,
+                fused_from,
+            } => {
+                write!(f, "zoom out to {}", modules.join(", "))?;
+                if *fused_from > 1 {
+                    write!(f, " [fused from {fused_from} statements]")?;
+                }
+                Ok(())
+            }
+            StmtPlan::ZoomIn {
+                modules,
+                fused_from,
+            } => {
+                match modules {
+                    Some(ms) => write!(f, "zoom in to {}", ms.join(", "))?,
+                    None => write!(f, "zoom in to all zoomed modules")?,
+                }
+                if *fused_from > 1 {
+                    write!(f, " [fused from {fused_from} statements]")?;
+                }
+                Ok(())
+            }
+            StmtPlan::Eval(n, s) => write!(f, "eval {n} in {} semiring", s.name()),
+            StmtPlan::BuildIndex => write!(f, "build reach index [descendant closure]"),
+            StmtPlan::DropIndex => write!(f, "drop reach index"),
+            StmtPlan::Stats => write!(f, "graph statistics"),
+            StmtPlan::Explain(inner) => write!(f, "explain\n  {inner}"),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The cost-aware planner: typed AST → physical plan.
+//!
+//! Three decisions are made here rather than in the executor:
+//!
+//! 1. **Scan strategy for `MATCH`.** A `module = '…'` equality conjunct
+//!    lets the scan be driven from the graph's invocation table instead
+//!    of sweeping every visible node; the planner estimates both costs
+//!    from graph statistics and picks the cheaper. Predicates always
+//!    ride inside the chosen scan (pushdown), never as a post-filter.
+//! 2. **Traversal strategy for walks and `DEPENDS`.** With a
+//!    [`ReachIndex`](lipstick_core::query::ReachIndex) present,
+//!    unbounded descendant walks become closure lookups, and dependency
+//!    tests get an O(1) unreachability prefilter before falling back to
+//!    deletion propagation.
+//! 3. **Zoom fusion.** Consecutive `ZOOM OUT` (or `ZOOM IN TO`)
+//!    statements fuse into one atomic multi-module operation, so a
+//!    script that zooms module-by-module pays one graph sweep instead
+//!    of one per statement.
+
+use lipstick_core::{NodeId, NodeKind, ProvGraph};
+
+use crate::ast::{NodeClass, NodeRef, SetExpr, SetTerm, Statement, WalkDir};
+use crate::error::{ProqlError, Result};
+use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
+
+/// Plans statements against a graph snapshot.
+pub struct Planner<'a> {
+    graph: &'a ProvGraph,
+    has_reach_index: bool,
+    /// Visible node count, the full-scan cost unit (computed once).
+    visible: usize,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(graph: &'a ProvGraph, has_reach_index: bool) -> Planner<'a> {
+        Planner {
+            graph,
+            has_reach_index,
+            visible: graph.visible_count(),
+        }
+    }
+
+    /// Resolve a node reference against the graph.
+    pub fn resolve(&self, r: &NodeRef) -> Result<NodeId> {
+        match r {
+            NodeRef::Id(n) => {
+                let id = NodeId(*n);
+                if (*n as usize) < self.graph.len() && self.graph.node(id).is_visible() {
+                    Ok(id)
+                } else {
+                    Err(ProqlError::UnknownNode(r.to_string()))
+                }
+            }
+            NodeRef::Token(t) => self
+                .graph
+                .iter_visible()
+                .find(|(_, n)| match &n.kind {
+                    NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                        token.as_str() == t
+                    }
+                    _ => false,
+                })
+                .map(|(id, _)| id)
+                .ok_or_else(|| ProqlError::UnknownNode(r.to_string())),
+        }
+    }
+
+    pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
+        Ok(match stmt {
+            Statement::Query(e) => StmtPlan::Set(self.plan_set(e)?),
+            Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
+            Statement::Depends(n, n_prime) => {
+                let strategy = if self.has_reach_index {
+                    DependsStrategy::ReachPrefilter
+                } else {
+                    DependsStrategy::Propagation
+                };
+                StmtPlan::Depends {
+                    n: self.resolve(n)?,
+                    n_prime: self.resolve(n_prime)?,
+                    strategy,
+                }
+            }
+            Statement::DeletePropagate(r) => StmtPlan::Delete(self.resolve(r)?),
+            Statement::ZoomOut(modules) => StmtPlan::ZoomOut {
+                modules: modules.clone(),
+                fused_from: 1,
+            },
+            Statement::ZoomIn(modules) => StmtPlan::ZoomIn {
+                modules: modules.clone(),
+                fused_from: 1,
+            },
+            Statement::Eval(r, s) => StmtPlan::Eval(self.resolve(r)?, *s),
+            Statement::BuildIndex => StmtPlan::BuildIndex,
+            Statement::DropIndex => StmtPlan::DropIndex,
+            Statement::Stats => StmtPlan::Stats,
+            Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
+        })
+    }
+
+    fn plan_set(&self, e: &SetExpr) -> Result<SetPlan> {
+        Ok(match e {
+            SetExpr::Term(t) => self.plan_term(t)?,
+            SetExpr::Union(a, b) => {
+                SetPlan::Union(Box::new(self.plan_set(a)?), Box::new(self.plan_set(b)?))
+            }
+            SetExpr::Intersect(a, b) => {
+                SetPlan::Intersect(Box::new(self.plan_set(a)?), Box::new(self.plan_set(b)?))
+            }
+        })
+    }
+
+    fn plan_term(&self, t: &SetTerm) -> Result<SetPlan> {
+        Ok(match t {
+            SetTerm::Subgraph(r) => SetPlan::Subgraph {
+                root: self.resolve(r)?,
+            },
+            SetTerm::Walk {
+                dir,
+                root,
+                depth,
+                filter,
+            } => {
+                let root = self.resolve(root)?;
+                // The closure only stores full-depth descendant sets;
+                // bounded walks and ancestor walks take the BFS.
+                let strategy =
+                    if self.has_reach_index && *dir == WalkDir::Descendants && depth.is_none() {
+                        WalkStrategy::ReachIndex
+                    } else {
+                        WalkStrategy::Bfs {
+                            est_visited: self.visible,
+                        }
+                    };
+                SetPlan::Walk {
+                    root,
+                    dir: *dir,
+                    depth: *depth,
+                    filter: filter.clone(),
+                    strategy,
+                }
+            }
+            SetTerm::Match { class, filter } => {
+                let strategy = self.scan_strategy(*class, filter.required_module());
+                SetPlan::Scan {
+                    class: *class,
+                    filter: filter.clone(),
+                    strategy,
+                }
+            }
+            SetTerm::Paren(inner) => self.plan_set(inner)?,
+        })
+    }
+
+    /// Choose full scan vs invocation-table-driven module scan.
+    fn scan_strategy(&self, class: NodeClass, module: Option<&str>) -> ScanStrategy {
+        let full = ScanStrategy::FullScan {
+            est_visited: self.visible,
+        };
+        let Some(module) = module else { return full };
+        let module_invs = self.graph.invocations_of(module).len();
+        let total_invs = self.graph.invocations().len().max(1);
+        let est_visited = if class == NodeClass::Invocation {
+            // m-nodes come straight off the invocation table.
+            module_invs
+        } else {
+            // Assume invocations own similar node counts: this module's
+            // share of the visible graph.
+            (self.visible * module_invs).div_ceil(total_invs)
+        };
+        if est_visited < self.visible {
+            ScanStrategy::ModuleScan {
+                module: module.to_string(),
+                invocations: module_invs,
+                est_visited,
+            }
+        } else {
+            full
+        }
+    }
+}
+
+/// A source statement plus how many source statements fused into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedStatement {
+    pub stmt: Statement,
+    pub fused_from: usize,
+}
+
+/// Fuse runs of consecutive `ZOOM OUT` statements (and of explicit
+/// `ZOOM IN TO` statements) into single multi-module statements, so a
+/// script that zooms module-by-module pays one atomic zoom instead of
+/// one graph pass per statement. Runs on the AST, before planning:
+/// later statements must be planned against the graph state their
+/// predecessors produce, so per-statement planning happens lazily in
+/// the session loop.
+pub fn fuse_zooms(stmts: Vec<Statement>) -> Vec<FusedStatement> {
+    let mut out: Vec<FusedStatement> = Vec::new();
+    for stmt in stmts {
+        match (&stmt, out.last_mut()) {
+            (
+                Statement::ZoomOut(next),
+                Some(FusedStatement {
+                    stmt: Statement::ZoomOut(acc),
+                    fused_from,
+                }),
+            ) => {
+                acc.extend(next.iter().cloned());
+                *fused_from += 1;
+            }
+            (
+                Statement::ZoomIn(Some(next)),
+                Some(FusedStatement {
+                    stmt: Statement::ZoomIn(Some(acc)),
+                    fused_from,
+                }),
+            ) => {
+                acc.extend(next.iter().cloned());
+                *fused_from += 1;
+            }
+            _ => out.push(FusedStatement {
+                stmt,
+                fused_from: 1,
+            }),
+        }
+    }
+    out
+}
+
+impl Planner<'_> {
+    /// Plan a fused statement, carrying the fusion count into zoom
+    /// plans so `EXPLAIN` can show it.
+    pub fn plan_fused(&self, fs: &FusedStatement) -> Result<StmtPlan> {
+        let plan = self.plan(&fs.stmt)?;
+        Ok(match plan {
+            StmtPlan::ZoomOut { modules, .. } => StmtPlan::ZoomOut {
+                modules,
+                fused_from: fs.fused_from,
+            },
+            StmtPlan::ZoomIn { modules, .. } => StmtPlan::ZoomIn {
+                modules,
+                fused_from: fs.fused_from,
+            },
+            other => other,
+        })
+    }
+}

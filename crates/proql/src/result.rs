@@ -1,0 +1,136 @@
+//! Query outputs.
+
+use std::fmt;
+
+use lipstick_core::graph::dot::to_dot_induced;
+use lipstick_core::{NodeId, ProvGraph};
+
+/// A sorted node set plus the work the executor did to produce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSetResult {
+    /// Members, ascending by id.
+    pub nodes: Vec<NodeId>,
+    /// Nodes the executor visited (the planner's cost unit), summed
+    /// over sub-plans for set operations.
+    pub visited: usize,
+}
+
+impl NodeSetResult {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+
+    /// Render the induced subgraph as Graphviz DOT.
+    pub fn to_dot(&self, graph: &ProvGraph, name: &str) -> String {
+        to_dot_induced(graph, name, &self.nodes)
+    }
+
+    /// Multi-line listing with node labels, capped at `limit` rows.
+    pub fn render(&self, graph: &ProvGraph, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{} nodes (visited {})", self.len(), self.visited);
+        for id in self.nodes.iter().take(limit) {
+            let node = graph.node(*id);
+            let _ = write!(
+                out,
+                "\n  {id}  {}  [{}]",
+                node.kind.label(),
+                node.kind.name()
+            );
+        }
+        if self.len() > limit {
+            let _ = write!(out, "\n  … {} more", self.len() - limit);
+        }
+        out
+    }
+}
+
+impl fmt::Display for NodeSetResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nodes (visited {}):", self.len(), self.visited)?;
+        for chunk in self.nodes.chunks(16) {
+            write!(f, "\n  ")?;
+            for (i, id) in chunk.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{id}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of one executed ProQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Node-set queries (`MATCH`, walks, `SUBGRAPH OF`, set ops).
+    Nodes(NodeSetResult),
+    /// `DEPENDS`.
+    Bool(bool),
+    /// `WHY`, `EVAL`, `STATS`, `EXPLAIN`.
+    Text(String),
+    /// `DELETE … PROPAGATE`: the deleted node ids, root first.
+    Deleted { nodes: Vec<NodeId> },
+    /// Zoom and index statements report what they did.
+    Message(String),
+}
+
+impl QueryOutput {
+    /// The node set, when this output carries one.
+    pub fn nodes(&self) -> Option<&NodeSetResult> {
+        match self {
+            QueryOutput::Nodes(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this output carries one.
+    pub fn bool_value(&self) -> Option<bool> {
+        match self {
+            QueryOutput::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The text, when this output carries some.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            QueryOutput::Text(t) => Some(t),
+            QueryOutput::Message(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::Nodes(ns) => write!(f, "{ns}"),
+            QueryOutput::Bool(b) => write!(f, "{b}"),
+            QueryOutput::Text(t) => write!(f, "{t}"),
+            QueryOutput::Deleted { nodes } => {
+                write!(f, "deleted {} nodes:", nodes.len())?;
+                for chunk in nodes.chunks(16) {
+                    write!(f, "\n  ")?;
+                    for (i, id) in chunk.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{id}")?;
+                    }
+                }
+                Ok(())
+            }
+            QueryOutput::Message(m) => write!(f, "{m}"),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A ProQL session: a provenance graph, an optional reachability
+//! index, and the parse → plan → execute loop.
+
+use std::path::Path;
+
+use lipstick_core::query::ReachIndex;
+use lipstick_core::ProvGraph;
+
+use crate::ast::Statement;
+use crate::error::{ProqlError, Result};
+use crate::exec;
+use crate::parser::{parse_script, parse_statement};
+use crate::plan::StmtPlan;
+use crate::planner::{fuse_zooms, Planner};
+use crate::result::QueryOutput;
+
+/// Query-processor state: the graph under interrogation plus the
+/// optional §5.1 reachability closure. Mutating statements (`DELETE`,
+/// `ZOOM`) invalidate the closure automatically; rebuild it with
+/// `BUILD INDEX`.
+pub struct Session {
+    graph: ProvGraph,
+    reach: Option<ReachIndex>,
+}
+
+impl Session {
+    /// A session over an in-memory graph.
+    pub fn new(graph: ProvGraph) -> Session {
+        Session { graph, reach: None }
+    }
+
+    /// Load a provenance log written by `lipstick_storage::write_graph`
+    /// — the Query Processor's first step.
+    pub fn load(path: impl AsRef<Path>) -> Result<Session> {
+        let graph = lipstick_storage::load_graph(path.as_ref())
+            .map_err(|e| ProqlError::Storage(e.to_string()))?;
+        Ok(Session::new(graph))
+    }
+
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    pub(crate) fn graph_mut(&mut self) -> &mut ProvGraph {
+        &mut self.graph
+    }
+
+    pub(crate) fn reach(&self) -> Option<&ReachIndex> {
+        self.reach.as_ref()
+    }
+
+    pub fn has_reach_index(&self) -> bool {
+        self.reach.is_some()
+    }
+
+    pub(crate) fn set_index(&mut self, index: ReachIndex) {
+        self.reach = Some(index);
+    }
+
+    /// Drop the reachability closure (it is stale once the graph
+    /// mutates).
+    pub(crate) fn invalidate_index(&mut self) {
+        self.reach = None;
+    }
+
+    /// Run a script: zero or more `;`-separated statements. Statements
+    /// are planned one at a time against the current graph state (a
+    /// `DELETE` changes what later statements see), with consecutive
+    /// zooms fused first.
+    pub fn run(&mut self, script: &str) -> Result<Vec<QueryOutput>> {
+        let stmts = parse_script(script)?;
+        let fused = fuse_zooms(stmts);
+        let mut outputs = Vec::with_capacity(fused.len());
+        for fs in &fused {
+            let plan = Planner::new(&self.graph, self.reach.is_some()).plan_fused(fs)?;
+            outputs.push(exec::execute(self, &plan)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Run exactly one statement.
+    pub fn run_one(&mut self, statement: &str) -> Result<QueryOutput> {
+        let stmt = parse_statement(statement)?;
+        let plan = self.plan(&stmt)?;
+        exec::execute(self, &plan)
+    }
+
+    /// Plan a statement without executing it.
+    pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
+        Planner::new(&self.graph, self.reach.is_some()).plan(stmt)
+    }
+
+    /// The physical plan for a statement, as `EXPLAIN` would print it.
+    pub fn explain(&self, statement: &str) -> Result<String> {
+        let stmt = parse_statement(statement)?;
+        Ok(self.plan(&stmt)?.to_string())
+    }
+}

@@ -63,7 +63,7 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
     }
     match buf.get_u8() {
         0 => Ok(Value::Null),
-        1 => Ok(Value::Bool(buf.get_u8() != 0)),
+        1 => Ok(Value::Bool(get_u8_checked(buf)? != 0)),
         2 => Ok(Value::Int(get_i64(buf)?)),
         3 => {
             if buf.remaining() < 8 {
@@ -115,6 +115,14 @@ pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple> {
 
 // ----- node kinds -----
 
+/// Read one byte or report truncation (the raw `get_u8` panics).
+fn get_u8_checked(buf: &mut impl Buf) -> Result<u8> {
+    if !buf.has_remaining() {
+        return Err(StorageError::Corrupt("truncated byte".into()));
+    }
+    Ok(buf.get_u8())
+}
+
 fn agg_tag(op: AggOp) -> u8 {
     match op {
         AggOp::Count => 0,
@@ -136,8 +144,21 @@ fn agg_from(tag: u8) -> Result<AggOp> {
     })
 }
 
+/// Kind tag for a *retired* zoom composite: a tombstoned, unlinked
+/// `Zoomed` node left in the arena by ZoomIn. Its stash index is dead,
+/// so it round-trips as `Zoomed { stash: u32::MAX }` + the tombstone
+/// flag. Visible zoomed nodes are still unpersistable (zoom is a view;
+/// the encoder rejects graphs with active ZoomOuts).
+pub const RETIRED_ZOOM_TAG: u8 = 13;
+
+/// Append the kind of a retired (tombstoned) zoom composite.
+pub fn put_retired_zoom(buf: &mut impl BufMut) {
+    buf.put_u8(RETIRED_ZOOM_TAG);
+}
+
 /// Append a node kind. Zoomed nodes are rejected at a higher level
-/// (persisting a zoomed view is an error).
+/// (persisting a zoomed view is an error); retired composites go
+/// through [`put_retired_zoom`].
 pub fn put_kind(buf: &mut impl BufMut, kind: &NodeKind) -> Result<()> {
     match kind {
         NodeKind::WorkflowInput { token } => {
@@ -198,7 +219,7 @@ pub fn get_kind(buf: &mut impl Buf) -> Result<NodeKind> {
         7 => NodeKind::Times,
         8 => NodeKind::Delta,
         9 => NodeKind::AggResult {
-            op: agg_from(buf.get_u8())?,
+            op: agg_from(get_u8_checked(buf)?)?,
         },
         10 => NodeKind::Tensor,
         11 => NodeKind::Const {
@@ -206,8 +227,9 @@ pub fn get_kind(buf: &mut impl Buf) -> Result<NodeKind> {
         },
         12 => NodeKind::BlackBox {
             name: get_str(buf)?,
-            is_value: buf.get_u8() != 0,
+            is_value: get_u8_checked(buf)? != 0,
         },
+        RETIRED_ZOOM_TAG => NodeKind::Zoomed { stash: u32::MAX },
         other => {
             return Err(StorageError::Corrupt(format!(
                 "unknown node kind tag {other}"
@@ -380,8 +402,7 @@ mod tests {
             "[a-z]{0,8}".prop_map(Value::str),
         ];
         leaf.prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 0..4)
-                .prop_map(|vs| Value::Tuple(Tuple::new(vs)))
+            prop::collection::vec(inner, 0..4).prop_map(|vs| Value::Tuple(Tuple::new(vs)))
         })
     }
 

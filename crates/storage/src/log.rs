@@ -26,9 +26,10 @@ use std::path::Path;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lipstick_core::{NodeId, ProvGraph};
 
-use crate::codec::{get_kind, get_role, put_kind, put_role};
+use crate::codec::{get_kind, get_role, put_kind, put_retired_zoom, put_role};
 use crate::error::{Result, StorageError};
 use crate::varint::{get_str, get_u64, put_str, put_u64};
+use lipstick_core::NodeKind;
 
 const MAGIC: &[u8; 5] = b"LPSTK";
 const VERSION: u8 = 1;
@@ -55,7 +56,14 @@ pub fn encode_graph(graph: &ProvGraph) -> Result<Vec<u8>> {
         let flags = u8::from(node.is_deleted());
         buf.put_u8(flags);
         put_role(&mut buf, &node.role);
-        put_kind(&mut buf, &node.kind)?;
+        // Composite zoom nodes retired by ZoomIn stay in the arena as
+        // unlinked tombstones; persist them as such so a graph that
+        // went through a zoom cycle remains storable.
+        if node.is_deleted() && matches!(node.kind, NodeKind::Zoomed { .. }) {
+            put_retired_zoom(&mut buf);
+        } else {
+            put_kind(&mut buf, &node.kind)?;
+        }
         put_u64(&mut buf, node.preds().len() as u64);
         for p in node.preds() {
             put_u64(&mut buf, u64::from(p.0));
@@ -117,9 +125,7 @@ pub fn decode_graph(bytes: &[u8]) -> Result<ProvGraph> {
         let to = NodeId(idx as u32);
         for from in preds {
             if from == to {
-                return Err(StorageError::Corrupt(format!(
-                    "self-loop on node {idx}"
-                )));
+                return Err(StorageError::Corrupt(format!("self-loop on node {idx}")));
             }
             graph.add_edge(from, to);
         }

@@ -348,10 +348,7 @@ mod tests {
         let mut b = WorkflowBuilder::new();
         b.add_node("same", passthrough("M"));
         b.add_node("same", passthrough("M"));
-        assert!(matches!(
-            b.build(),
-            Err(WfError::DuplicateInstance(_))
-        ));
+        assert!(matches!(b.build(), Err(WfError::DuplicateInstance(_))));
     }
 
     #[test]

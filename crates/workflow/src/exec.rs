@@ -72,9 +72,7 @@ impl<R: Copy> WorkflowState<R> {
                 n.spec
                     .state_schema
                     .iter()
-                    .map(|(rel, schema)| {
-                        (rel.clone(), ARelation::empty(Arc::new(schema.clone())))
-                    })
+                    .map(|(rel, schema)| (rel.clone(), ARelation::empty(Arc::new(schema.clone()))))
                     .collect()
             });
         }
@@ -121,13 +119,8 @@ impl<R: Copy> WorkflowState<R> {
             .sum()
     }
 
-    pub(crate) fn module_state_mut(
-        &mut self,
-        module: &str,
-    ) -> &mut HashMap<String, ARelation<R>> {
-        self.per_module
-            .entry(module.to_string())
-            .or_default()
+    pub(crate) fn module_state_mut(&mut self, module: &str) -> &mut HashMap<String, ARelation<R>> {
+        self.per_module.entry(module.to_string()).or_default()
     }
 }
 
@@ -160,6 +153,10 @@ pub(crate) struct InvocationResult<R: Copy> {
 /// `external_inputs` holds raw workflow-input tuples for input nodes;
 /// `edge_inputs` holds relations staged by upstream modules (their rows
 /// already annotated with `o`-node refs in this tracker's space).
+// Nine arguments mirror the module-invocation protocol (inputs, state,
+// tracker, registry, execution counter); bundling them would only move
+// the list into a struct literal at each call site.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn invoke_module<T: Tracker>(
     instance: &str,
     spec: &ModuleSpec,
@@ -307,12 +304,7 @@ impl<'a> Executor<'a> {
         if self.compiled[idx.index()].is_none() {
             let node = self.wf.node(idx);
             let mut schemas = lipstick_piglatin::plan::SchemaMap::new();
-            for (rel, schema) in node
-                .spec
-                .input_schema
-                .iter()
-                .chain(&node.spec.state_schema)
-            {
+            for (rel, schema) in node.spec.input_schema.iter().chain(&node.spec.state_schema) {
                 schemas.insert(rel.clone(), Arc::new(schema.clone()));
             }
             let program =
@@ -329,9 +321,7 @@ impl<'a> Executor<'a> {
                 })?;
             self.compiled[idx.index()] = Some(Arc::new(compiled));
         }
-        Ok(self.compiled[idx.index()]
-            .clone()
-            .expect("just inserted"))
+        Ok(self.compiled[idx.index()].clone().expect("just inserted"))
     }
 
     /// Run a single execution (Definition 2.3): every module once, in
@@ -359,8 +349,7 @@ impl<'a> Executor<'a> {
             let mut edge_inputs = HashMap::new();
             for (rel, _schema) in &node.spec.input_schema {
                 if is_input_node {
-                    external_inputs
-                        .insert(rel.clone(), input.get(&node.instance, rel).to_vec());
+                    external_inputs.insert(rel.clone(), input.get(&node.instance, rel).to_vec());
                 } else if let Some(r) = staged.remove(&(idx, rel.clone())) {
                     edge_inputs.insert(rel.clone(), r);
                 }
@@ -384,10 +373,7 @@ impl<'a> Executor<'a> {
             // downstream modules see the tuple through its `o` node) ----
             for edge in self.wf.outgoing(idx) {
                 for rel in &edge.relations {
-                    let out = inv
-                        .outputs
-                        .get(rel)
-                        .expect("edge validated against Sout");
+                    let out = inv.outputs.get(rel).expect("edge validated against Sout");
                     let mut routed = out.clone();
                     for row in &mut routed.rows {
                         row.ann.vrefs.clear();

@@ -52,7 +52,6 @@ impl RemapTable<NodeId> {
     }
 }
 
-
 impl ParallelTracker for NoTracker {
     type Shard = NoTracker;
     fn make_shard(&self) -> NoTracker {
@@ -219,42 +218,39 @@ where
         }
         drop(done_tx);
 
-        let dispatch =
-            |idx: NodeIdx,
-             staged: &mut HashMap<(NodeIdx, String), ARelation<T::Ref>>,
-             state: &mut WorkflowState<T::Ref>,
-             tracker: &mut T|
-             -> Result<()> {
-                let node = wf.node(idx);
-                let is_input_node = wf.input_nodes().contains(&idx);
-                let mut shard = tracker.make_shard();
-                let mut external_inputs = HashMap::new();
-                let mut edge_inputs = HashMap::new();
-                for (rel, _schema) in &node.spec.input_schema {
-                    if is_input_node {
-                        external_inputs
-                            .insert(rel.clone(), input.get(&node.instance, rel).to_vec());
-                    } else if let Some(r) = staged.remove(&(idx, rel.clone())) {
-                        edge_inputs
-                            .insert(rel.clone(), import_relation::<T>(&r, &mut shard));
-                    }
+        let dispatch = |idx: NodeIdx,
+                        staged: &mut HashMap<(NodeIdx, String), ARelation<T::Ref>>,
+                        state: &mut WorkflowState<T::Ref>,
+                        tracker: &mut T|
+         -> Result<()> {
+            let node = wf.node(idx);
+            let is_input_node = wf.input_nodes().contains(&idx);
+            let mut shard = tracker.make_shard();
+            let mut external_inputs = HashMap::new();
+            let mut edge_inputs = HashMap::new();
+            for (rel, _schema) in &node.spec.input_schema {
+                if is_input_node {
+                    external_inputs.insert(rel.clone(), input.get(&node.instance, rel).to_vec());
+                } else if let Some(r) = staged.remove(&(idx, rel.clone())) {
+                    edge_inputs.insert(rel.clone(), import_relation::<T>(&r, &mut shard));
                 }
-                let mut state_rels = HashMap::new();
-                for (rel, r) in state.module_state_mut(&node.spec.name).drain() {
-                    state_rels.insert(rel.clone(), import_relation::<T>(&r, &mut shard));
-                }
-                task_tx
-                    .send(Task {
-                        idx,
-                        shard,
-                        external_inputs,
-                        edge_inputs,
-                        state_rels,
-                        compiled: compiled[idx.index()].clone(),
-                    })
-                    .expect("workers outlive dispatch");
-                Ok(())
-            };
+            }
+            let mut state_rels = HashMap::new();
+            for (rel, r) in state.module_state_mut(&node.spec.name).drain() {
+                state_rels.insert(rel.clone(), import_relation::<T>(&r, &mut shard));
+            }
+            task_tx
+                .send(Task {
+                    idx,
+                    shard,
+                    external_inputs,
+                    edge_inputs,
+                    state_rels,
+                    compiled: compiled[idx.index()].clone(),
+                })
+                .expect("workers outlive dispatch");
+            Ok(())
+        };
 
         for idx in ready.drain(..) {
             dispatch(idx, &mut staged, state, tracker)?;
@@ -297,13 +293,17 @@ where
                 }
             }
             if wf.output_nodes().contains(&idx) {
-                result.outputs.insert(node.instance.clone(), remapped_outputs);
+                result
+                    .outputs
+                    .insert(node.instance.clone(), remapped_outputs);
             }
         }
         drop(task_tx);
         Ok(())
     })
-    .map_err(|_| WfError::Cyclic /* a worker panicked; surfaced as error */)??;
+    .map_err(
+        |_| WfError::Cyclic, /* a worker panicked; surfaced as error */
+    )??;
 
     Ok(result)
 }

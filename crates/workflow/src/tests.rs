@@ -33,8 +33,7 @@ fn min_chain() -> (Workflow, UdfRegistry) {
         state_schema: vec![("History".into(), readings.clone())],
         output_schema: vec![("Best".into(), readings.clone())],
         q_state: "History = UNION History, Out;".into(),
-        q_out: "G = GROUP History ALL; Best = FOREACH G GENERATE MIN(History.Temp) AS Temp;"
-            .into(),
+        q_out: "G = GROUP History ALL; Best = FOREACH G GENERATE MIN(History.Temp) AS Temp;".into(),
     });
     let mut b = WorkflowBuilder::new();
     let s = b.add_node("src", source);
@@ -85,7 +84,13 @@ fn state_threads_across_executions() {
     let outs = execute_sequence(&wf, &inputs, &mut state, &mut tracker, &udfs).unwrap();
     let bests: Vec<Value> = outs
         .iter()
-        .map(|o| o.relation("min", "Best").unwrap().rows[0].tuple.get(0).unwrap().clone())
+        .map(|o| {
+            o.relation("min", "Best").unwrap().rows[0]
+                .tuple
+                .get(0)
+                .unwrap()
+                .clone()
+        })
         .collect();
     // running minimum: 5, 5, 1, 1
     assert_eq!(
@@ -125,9 +130,7 @@ fn provenance_capture_structure() {
         kinds.insert(std::mem::discriminant(&n.kind));
     }
     for want in [
-        NodeKind::WorkflowInput {
-            token: "x".into(),
-        },
+        NodeKind::WorkflowInput { token: "x".into() },
         NodeKind::Invocation,
         NodeKind::ModuleInput,
         NodeKind::ModuleOutput,
@@ -207,15 +210,7 @@ fn deletion_of_input_propagates_through_module() {
     let (wf, udfs) = min_chain();
     let mut tracker = GraphTracker::new();
     let mut state = WorkflowState::empty(&wf);
-    let out = execute_once(
-        &wf,
-        &input_with(&[2.0]),
-        &mut state,
-        &mut tracker,
-        &udfs,
-        0,
-    )
-    .unwrap();
+    let out = execute_once(&wf, &input_with(&[2.0]), &mut state, &mut tracker, &udfs, 0).unwrap();
     let best_prov = out.relation("min", "Best").unwrap().rows[0].ann.prov;
     let g = tracker.finish();
     let wf_input = g
@@ -279,7 +274,11 @@ fn empty_workflow_input_is_allowed() {
     let best = out.relation("min", "Best").unwrap();
     assert!(best.is_empty());
     let g = tracker.finish();
-    assert_eq!(g.invocations().len(), 2, "invocations recorded despite empty input");
+    assert_eq!(
+        g.invocations().len(),
+        2,
+        "invocations recorded despite empty input"
+    );
 }
 
 // ---------- parallel executor ----------
@@ -306,9 +305,7 @@ fn fan_out(k: usize) -> (Workflow, UdfRegistry) {
     });
     let sink = Arc::new(ModuleSpec {
         name: "Sink".into(),
-        input_schema: (0..k)
-            .map(|i| (format!("Val{i}"), s.clone()))
-            .collect(),
+        input_schema: (0..k).map(|i| (format!("Val{i}"), s.clone())).collect(),
         state_schema: vec![],
         output_schema: vec![("Total".into(), s.clone())],
         q_state: String::new(),
@@ -335,9 +332,7 @@ fn fan_out(k: usize) -> (Workflow, UdfRegistry) {
         let spec_i = Arc::new(ModuleSpec {
             name: format!("Worker{i}"),
             output_schema: vec![(format!("Val{i}"), s.clone())],
-            q_out: format!(
-                "G = GROUP Seen ALL; Val{i} = FOREACH G GENERATE COUNT(Seen) AS V;"
-            ),
+            q_out: format!("G = GROUP Seen ALL; Val{i} = FOREACH G GENERATE COUNT(Seen) AS V;"),
             ..(*worker).clone()
         });
         let w = b.add_node(format!("w{i}"), spec_i);
@@ -354,15 +349,7 @@ fn parallel_matches_sequential_data() {
     let input = WorkflowInput::new().provide("src", "In", vec![tuple![1i64], tuple![2i64]]);
 
     let mut seq_state = WorkflowState::empty(&wf);
-    let seq_out = execute_once(
-        &wf,
-        &input,
-        &mut seq_state,
-        &mut NoTracker,
-        &udfs,
-        0,
-    )
-    .unwrap();
+    let seq_out = execute_once(&wf, &input, &mut seq_state, &mut NoTracker, &udfs, 0).unwrap();
 
     for reducers in [1, 2, 4, 8] {
         let mut par_state = WorkflowState::empty(&wf);
@@ -398,16 +385,8 @@ fn parallel_provenance_graph_is_equivalent() {
 
     let mut par_state = WorkflowState::empty(&wf);
     let mut par_tracker = GraphTracker::new();
-    let par_out = execute_once_parallel(
-        &wf,
-        &input,
-        &mut par_state,
-        &mut par_tracker,
-        &udfs,
-        0,
-        3,
-    )
-    .unwrap();
+    let par_out =
+        execute_once_parallel(&wf, &input, &mut par_state, &mut par_tracker, &udfs, 0, 3).unwrap();
     let par_g = par_tracker.finish();
     check_structure(&par_g).unwrap();
 
@@ -445,16 +424,8 @@ fn parallel_sequence_threads_state() {
     let mut tracker = GraphTracker::new();
     for exec in 0..3u32 {
         let input = WorkflowInput::new().provide("src", "In", vec![tuple![exec as i64]]);
-        let out = execute_once_parallel(
-            &wf,
-            &input,
-            &mut state,
-            &mut tracker,
-            &udfs,
-            exec,
-            4,
-        )
-        .unwrap();
+        let out =
+            execute_once_parallel(&wf, &input, &mut state, &mut tracker, &udfs, exec, 4).unwrap();
         // each worker has seen exec+1 tuples; SUM over 2 workers
         let total = out.relation("sink", "Total").unwrap().rows[0]
             .tuple

@@ -281,18 +281,18 @@ pub fn upstream_map(stations: usize, topology: Topology) -> Vec<Vec<usize>> {
     match topology {
         Topology::Parallel => {}
         Topology::Serial => {
-            for i in 1..stations {
-                up[i].push(i - 1);
+            for (i, ups) in up.iter_mut().enumerate().skip(1) {
+                ups.push(i - 1);
             }
         }
         Topology::Dense { fanout } => {
             let fanout = fanout.max(1);
-            for i in 0..stations {
+            for (i, ups) in up.iter_mut().enumerate() {
                 let layer = i / fanout;
                 if layer > 0 {
                     let prev_start = (layer - 1) * fanout;
                     let prev_end = (layer * fanout).min(stations);
-                    up[i].extend(prev_start..prev_end);
+                    ups.extend(prev_start..prev_end);
                 }
             }
         }
@@ -394,14 +394,9 @@ pub fn seed_state<T: Tracker>(
 ) -> Result<()> {
     for i in 0..params.stations {
         let obs = observations(i, params.seed);
-        state.seed(
-            wf,
-            &format!("Msta{i}"),
-            "Obs",
-            obs,
-            tracker,
-            move |j, _| format!("S{i}.O{j}"),
-        )?;
+        state.seed(wf, &format!("Msta{i}"), "Obs", obs, tracker, move |j, _| {
+            format!("S{i}.O{j}")
+        })?;
     }
     Ok(())
 }
@@ -422,16 +417,13 @@ pub fn query_input(execution: u32) -> WorkflowInput {
     )
 }
 
+/// What [`run`] returns: the workflow, final state, and per-execution
+/// outputs.
+pub type ArcticRun<R> = (Workflow, WorkflowState<R>, Vec<ExecutionOutput<R>>);
+
 /// Execute a full run of `num_exec` executions; returns the workflow,
 /// final state, and the per-execution outputs.
-pub fn run<T: Tracker>(
-    params: &ArcticParams,
-    tracker: &mut T,
-) -> Result<(
-    Workflow,
-    WorkflowState<T::Ref>,
-    Vec<ExecutionOutput<T::Ref>>,
-)> {
+pub fn run<T: Tracker>(params: &ArcticParams, tracker: &mut T) -> Result<ArcticRun<T::Ref>> {
     let mut udfs = UdfRegistry::new();
     let wf = build(params, &mut udfs);
     let mut state = WorkflowState::empty(&wf);
@@ -486,7 +478,10 @@ mod tests {
         assert!(dense[0].is_empty());
         assert_eq!(dense[4], vec![0, 1, 2]);
         assert_eq!(dense[8], vec![3, 4, 5]);
-        assert_eq!(sink_stations(9, Topology::Dense { fanout: 3 }), vec![6, 7, 8]);
+        assert_eq!(
+            sink_stations(9, Topology::Dense { fanout: 3 }),
+            vec![6, 7, 8]
+        );
         assert_eq!(sink_stations(5, Topology::Serial), vec![4]);
     }
 
@@ -509,10 +504,7 @@ mod tests {
             };
             let mut tracker = NoTracker;
             let (_, _, outs) = run(&params, &mut tracker).unwrap();
-            let v = outs[0]
-                .relation("Mout", "MinTemp")
-                .unwrap()
-                .rows[0]
+            let v = outs[0].relation("Mout", "MinTemp").unwrap().rows[0]
                 .tuple
                 .get(0)
                 .unwrap()
@@ -569,9 +561,7 @@ mod tests {
         let mut tracker = NoTracker;
         let (wf, state, _) = run(&params, &mut tracker).unwrap();
         for i in 0..3 {
-            let obs = state
-                .relation(&wf, &format!("Msta{i}"), "Obs")
-                .unwrap();
+            let obs = state.relation(&wf, &format!("Msta{i}"), "Obs").unwrap();
             assert_eq!(obs.len(), 480 + 5);
         }
     }

@@ -127,39 +127,34 @@ fn sold_out_schema() -> Schema {
 /// Register the `CalcBid` black box (§2.2): price from availability,
 /// recent sales, and the dealer's previous bids for the model.
 pub fn register_udfs(udfs: &mut UdfRegistry) {
-    udfs.register(
-        "CalcBid",
-        true,
-        Some(inventory_bids_schema()),
-        |args| {
-            let requests = args[0].as_bag().map_err(|e| e.to_string())?;
-            let avail = first_count(&args[1], 1)?;
-            let sold = first_count(&args[2], 1)?;
-            let prev_min = bag_min_amount(&args[3], 3)?;
-            let mut out = Bag::empty();
-            for req in requests.iter() {
-                let user = req.get(0).map_err(|e| e.to_string())?.clone();
-                let bid_id = req.get(1).map_err(|e| e.to_string())?.clone();
-                let model_v = req.get(2).map_err(|e| e.to_string())?.clone();
-                let model = model_v.to_text().into_owned();
-                let base = base_price(&model);
-                let mut amount = base - 500.0 * avail as f64 + 750.0 * sold as f64;
-                if let Some(prev) = prev_min {
-                    // a re-request is answered with the same or a lower
-                    // amount (§1)
-                    amount = amount.min(prev - 250.0);
-                }
-                amount = amount.max(base * 0.5);
-                out.push(Tuple::new(vec![
-                    bid_id,
-                    user,
-                    model_v,
-                    Value::Float(amount),
-                ]));
+    udfs.register("CalcBid", true, Some(inventory_bids_schema()), |args| {
+        let requests = args[0].as_bag().map_err(|e| e.to_string())?;
+        let avail = first_count(&args[1], 1)?;
+        let sold = first_count(&args[2], 1)?;
+        let prev_min = bag_min_amount(&args[3], 3)?;
+        let mut out = Bag::empty();
+        for req in requests.iter() {
+            let user = req.get(0).map_err(|e| e.to_string())?.clone();
+            let bid_id = req.get(1).map_err(|e| e.to_string())?.clone();
+            let model_v = req.get(2).map_err(|e| e.to_string())?.clone();
+            let model = model_v.to_text().into_owned();
+            let base = base_price(&model);
+            let mut amount = base - 500.0 * avail as f64 + 750.0 * sold as f64;
+            if let Some(prev) = prev_min {
+                // a re-request is answered with the same or a lower
+                // amount (§1)
+                amount = amount.min(prev - 250.0);
             }
-            Ok(Value::Bag(out))
-        },
-    );
+            amount = amount.max(base * 0.5);
+            out.push(Tuple::new(vec![
+                bid_id,
+                user,
+                model_v,
+                Value::Float(amount),
+            ]));
+        }
+        Ok(Value::Bag(out))
+    });
 }
 
 fn first_count(bag: &Value, field: usize) -> std::result::Result<i64, String> {
@@ -247,9 +242,7 @@ fn dealer_buy_spec(k: usize) -> Arc<ModuleSpec> {
             SoldCars = UNION SoldCars, Pick;
             "#
         ),
-        q_out: format!(
-            "Sold{k} = FOREACH Pick GENERATE 'dealer{k}' AS Dealer, CarId, BidId;"
-        ),
+        q_out: format!("Sold{k} = FOREACH Pick GENERATE 'dealer{k}' AS Dealer, CarId, BidId;"),
     })
 }
 
@@ -299,10 +292,7 @@ pub fn build(udfs: &mut UdfRegistry) -> Workflow {
             state_schema: vec![],
             output_schema: vec![
                 ("Winner".into(), bids_schema()),
-                (
-                    "Best".into(),
-                    Schema::named(&[("Price", DataType::Float)]),
-                ),
+                ("Best".into(), Schema::named(&[("Price", DataType::Float)])),
             ],
             q_state: String::new(),
             q_out: r#"
@@ -393,10 +383,7 @@ pub fn seed_state<T: Tracker>(
         let cars: Vec<Tuple> = (0..per_dealer)
             .map(|i| {
                 let model = MODELS[rng.random_range(0..MODELS.len())];
-                Tuple::new(vec![
-                    Value::str(format!("C{k}.{i}")),
-                    Value::str(model),
-                ])
+                Tuple::new(vec![Value::str(format!("C{k}.{i}")), Value::str(model)])
             })
             .collect();
         state.seed(
@@ -434,6 +421,10 @@ impl Buyer {
     }
 }
 
+/// What [`run`] and [`run_declining`] return: the workflow, final
+/// state, and the run's outcome.
+pub type DealersRun<R> = (Workflow, WorkflowState<R>, RunOutcome<R>);
+
 /// Result of a full run (a sequence of executions).
 #[derive(Debug)]
 pub struct RunOutcome<R: Copy> {
@@ -452,7 +443,7 @@ pub struct RunOutcome<R: Copy> {
 pub fn run_declining<T: Tracker>(
     params: &DealersParams,
     tracker: &mut T,
-) -> Result<(Workflow, WorkflowState<T::Ref>, RunOutcome<T::Ref>)> {
+) -> Result<DealersRun<T::Ref>> {
     let mut udfs = UdfRegistry::new();
     let wf = build(&mut udfs);
     let mut state = WorkflowState::empty(&wf);
@@ -463,7 +454,9 @@ pub fn run_declining<T: Tracker>(
     let mut outputs = Vec::with_capacity(params.num_exec);
     for e in 0..params.num_exec {
         let input = execution_input(&buyer, e as u32, 0.99);
-        outputs.push(execute_once(&wf, &input, &mut state, tracker, &udfs, e as u32)?);
+        outputs.push(execute_once(
+            &wf, &input, &mut state, tracker, &udfs, e as u32,
+        )?);
     }
     let executions = outputs.len();
     Ok((
@@ -479,10 +472,7 @@ pub fn run_declining<T: Tracker>(
 
 /// Execute a full run: consecutive executions with a fixed buyer until
 /// purchase or `num_exec`.
-pub fn run<T: Tracker>(
-    params: &DealersParams,
-    tracker: &mut T,
-) -> Result<(Workflow, WorkflowState<T::Ref>, RunOutcome<T::Ref>)> {
+pub fn run<T: Tracker>(params: &DealersParams, tracker: &mut T) -> Result<DealersRun<T::Ref>> {
     let mut udfs = UdfRegistry::new();
     let wf = build(&mut udfs);
     let mut state = WorkflowState::empty(&wf);
@@ -628,16 +618,13 @@ mod tests {
         let mut last_best: Option<f64> = None;
         for e in 0..params.num_exec {
             let input = execution_input(&buyer, e as u32, 0.99);
-            let out =
-                execute_once(&wf, &input, &mut state, &mut tracker, &udfs, e as u32).unwrap();
+            let out = execute_once(&wf, &input, &mut state, &mut tracker, &udfs, e as u32).unwrap();
             let best = out.relation("Magg", "Best");
             // Magg is not an output node; read Winner via Mcar path
             // instead: use the winner staged nowhere — so check dealer
             // state: last InventoryBids amount per execution.
             let _ = best;
-            let bids = state
-                .relation(&wf, "Mdealer1", "InventoryBids")
-                .unwrap();
+            let bids = state.relation(&wf, "Mdealer1", "InventoryBids").unwrap();
             let latest = bids
                 .rows
                 .iter()

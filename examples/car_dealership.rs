@@ -60,9 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Q2: "Was this output affected by the presence of car C1.0?" —
     // a dependency query via deletion propagation.
-    if let Some((c10, _)) = graph.iter_visible().find(|(_, n)| {
-        matches!(&n.kind, NodeKind::BaseTuple { token } if token.as_str() == "C1.0")
-    }) {
+    if let Some((c10, _)) = graph
+        .iter_visible()
+        .find(|(_, n)| matches!(&n.kind, NodeKind::BaseTuple { token } if token.as_str() == "C1.0"))
+    {
         let dep = depends_on(&graph, output, c10)?;
         println!("Q2: does the last output depend on car C1.0? {dep}");
     }

@@ -3,7 +3,8 @@
 //! Reads statements from stdin (terminated by `;`), executes them
 //! against an in-memory environment pre-loaded with a demo relation,
 //! and prints each result with its provenance expression. `\dot ALIAS`
-//! prints the provenance graph as Graphviz; `\quit` exits.
+//! prints the provenance graph as Graphviz, `\sub N` the subgraph
+//! query result rooted at node N as Graphviz; `\quit` exits.
 //!
 //! ```sh
 //! echo "B = FILTER Cars BY Model == 'Civic';" | cargo run --example pig_shell
@@ -47,6 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match env.relation(alias.trim()) {
                 Some(_) => println!("{}", to_dot(tracker.graph(), alias.trim())),
                 None => println!("unknown alias '{alias}'"),
+            }
+            print!("pig> ");
+            std::io::stdout().flush()?;
+            continue;
+        }
+        if let Some(id) = trimmed.strip_prefix("\\sub ") {
+            match id.trim().parse::<u32>().ok().map(NodeId) {
+                Some(root) if (root.index()) < tracker.graph().len() => {
+                    match lipstick::core::query::subgraph(tracker.graph(), root) {
+                        Ok(result) => {
+                            println!("{result}");
+                            println!("{}", result.to_dot(tracker.graph(), &format!("sub_{root}")));
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: \\sub NODE_ID (0..{})", tracker.graph().len()),
             }
             print!("pig> ");
             std::io::stdout().flush()?;

@@ -1,0 +1,119 @@
+//! An interactive ProQL shell over a WorkflowGen provenance graph.
+//!
+//! With no arguments it executes the Car-dealerships workflow and
+//! queries the captured provenance; `--load PATH` instead loads a
+//! provenance log written by `lipstick_storage::write_graph`.
+//!
+//! Statements end with `;`. Meta commands: `\dot` prints the last
+//! node-set result as Graphviz, `\help` lists statement forms,
+//! `\quit` exits.
+//!
+//! ```sh
+//! echo "STATS; MATCH m-nodes WHERE module = 'Mdealer1';" | \
+//!     cargo run --example proql_shell
+//! ```
+
+use std::io::{BufRead, Write};
+
+use lipstick::core::GraphTracker;
+use lipstick::proql::{QueryOutput, Session};
+use lipstick::workflowgen::dealers::{self, DealersParams};
+
+const HELP: &str = "\
+ProQL statement forms:
+  SUBGRAPH OF #42                          ancestors + descendants + siblings
+  WHY 'C2'                                 symbolic provenance expression
+  DEPENDS(#42, 'C2')                       dependency test
+  DELETE 'C2' PROPAGATE                    deletion propagation (mutates!)
+  ZOOM OUT TO Mdealer1, Magg  /  ZOOM IN   coarsen / restore module views
+  EVAL #42 IN counting|boolean|tropical|lineage|why
+  MATCH m-nodes WHERE module = 'Mdealer1'  node selection (m/i/o/s/base/p/v/nodes)
+  ANCESTORS OF #42 DEPTH 3                 bounded traversal (also DESCENDANTS)
+  MATCH base-nodes INTERSECT ANCESTORS OF #42   set ops (also UNION)
+  BUILD INDEX / DROP INDEX                 reachability closure on/off
+  EXPLAIN <statement>                      show the physical plan
+  STATS                                    graph statistics
+Meta: \\dot (last node set as Graphviz), \\help, \\quit";
+
+fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--load") => {
+            let path = args.next().ok_or("--load requires a path")?;
+            eprintln!("loading provenance log {path}");
+            Ok(Session::load(path)?)
+        }
+        Some(other) => Err(format!("unknown argument '{other}' (try --load PATH)").into()),
+        None => {
+            eprintln!("running the Car-dealerships workflow (24 cars, 3 executions)…");
+            let params = DealersParams {
+                num_cars: 24,
+                num_exec: 3,
+                seed: 7,
+            };
+            let mut tracker = GraphTracker::new();
+            dealers::run_declining(&params, &mut tracker)?;
+            Ok(Session::new(tracker.finish()))
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = build_session()?;
+    println!(
+        "proql shell — graph has {} visible nodes; end statements with ';', \\help for help",
+        session.graph().visible_count()
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut last_nodes: Option<lipstick::proql::NodeSetResult> = None;
+    print!("proql> ");
+    std::io::stdout().flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        match trimmed {
+            "\\quit" => break,
+            "\\help" => {
+                println!("{HELP}");
+                print!("proql> ");
+                std::io::stdout().flush()?;
+                continue;
+            }
+            "\\dot" => {
+                match &last_nodes {
+                    Some(ns) => println!("{}", ns.to_dot(session.graph(), "proql")),
+                    None => println!("no node-set result yet"),
+                }
+                print!("proql> ");
+                std::io::stdout().flush()?;
+                continue;
+            }
+            _ => {}
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            continue; // statement continues on the next line
+        }
+        let script = std::mem::take(&mut buffer);
+        match session.run(&script) {
+            Ok(outputs) => {
+                for out in outputs {
+                    match out {
+                        QueryOutput::Nodes(ns) => {
+                            println!("{}", ns.render(session.graph(), 20));
+                            last_nodes = Some(ns);
+                        }
+                        other => println!("{other}"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        print!("proql> ");
+        std::io::stdout().flush()?;
+    }
+    Ok(())
+}

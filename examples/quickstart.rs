@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use lipstick::prelude::*;
-use lipstick::core::semiring::eval::{eval_expr, Valuation};
 use lipstick::core::semiring::boolean::Bools;
+use lipstick::core::semiring::eval::{eval_expr, Valuation};
 use lipstick::core::Semiring;
+use lipstick::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Bind an input relation; every tuple gets a provenance token.

@@ -12,6 +12,9 @@
 //!   and dependency queries);
 //! - [`piglatin`]: the Pig Latin fragment — parser, planner, and a
 //!   bag-semantics evaluator instrumented for provenance capture;
+//! - [`proql`]: ProQL, the declarative provenance query language
+//!   (lexer → parser → cost-aware planner → executor) over provenance
+//!   graphs;
 //! - [`workflow`]: modules with state, workflow DAGs, sequential and
 //!   parallel execution;
 //! - [`storage`]: the provenance log (Tracker → disk → Query Processor);
@@ -25,6 +28,7 @@
 pub use lipstick_core as core;
 pub use lipstick_nrel as nrel;
 pub use lipstick_piglatin as piglatin;
+pub use lipstick_proql as proql;
 pub use lipstick_storage as storage;
 pub use lipstick_workflow as workflow;
 pub use lipstick_workflowgen as workflowgen;
@@ -32,13 +36,12 @@ pub use lipstick_workflowgen as workflowgen;
 /// Commonly used items, for `use lipstick::prelude::*`.
 pub mod prelude {
     pub use lipstick_core::graph::stats::stats;
-    pub use lipstick_core::query::{
-        depends_on, propagate_deletion, subgraph, zoom_in, zoom_out,
-    };
+    pub use lipstick_core::query::{depends_on, propagate_deletion, subgraph, zoom_in, zoom_out};
     pub use lipstick_core::{GraphTracker, NoTracker, NodeId, NodeKind, ProvGraph, Tracker};
     pub use lipstick_nrel::{bag, tuple, Bag, DataType, Schema, Tuple, Value};
     pub use lipstick_piglatin::eval::{run_script, Env};
     pub use lipstick_piglatin::udf::UdfRegistry;
+    pub use lipstick_proql::{QueryOutput, Session as ProqlSession};
     pub use lipstick_workflow::{
         execute_once, execute_sequence, ModuleSpec, Workflow, WorkflowBuilder, WorkflowInput,
         WorkflowState,

@@ -201,6 +201,12 @@ fn facade_prelude_is_usable() {
         &mut tracker,
     )
     .unwrap();
-    run_script("O = FILTER T BY x > 1;", &mut env, &mut tracker, &UdfRegistry::new()).unwrap();
+    run_script(
+        "O = FILTER T BY x > 1;",
+        &mut env,
+        &mut tracker,
+        &UdfRegistry::new(),
+    )
+    .unwrap();
     assert_eq!(env.relation("O").unwrap().len(), 1);
 }

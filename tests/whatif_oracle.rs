@@ -72,7 +72,9 @@ fn station_output_survives_single_observation_deletion() {
     };
     let mut tracker = GraphTracker::new();
     let (_, _, outs) = arctic::run(&params, &mut tracker).unwrap();
-    let out_prov = outs[0].relation("Mout", "MinTemp").unwrap().rows[0].ann.prov;
+    let out_prov = outs[0].relation("Mout", "MinTemp").unwrap().rows[0]
+        .ann
+        .prov;
     let g = tracker.finish();
     let expr = g.expr_of(out_prov);
     let surviving = eval_expr(
