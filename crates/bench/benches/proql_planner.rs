@@ -8,11 +8,16 @@
 //!   with the predicate pushed into the traversal.
 //! - `proql_descendants`: unbounded descendant walks, BFS vs closure
 //!   lookup.
+//! - `proql_cold_start`: a module-filtered `MATCH` against an on-disk
+//!   log, full decode (`Session::load`) vs the v2 footer index
+//!   (`Session::open`). The paged path reads only the module's postings
+//!   records, so it must win on a ≥10k-node log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lipstick_bench::run_dealers;
 use lipstick_core::{NodeId, ProvGraph};
 use lipstick_proql::Session;
+use lipstick_storage::write_graph_v2;
 use lipstick_workflowgen::DealersParams;
 
 fn dealers_graph(num_exec: usize) -> ProvGraph {
@@ -127,5 +132,65 @@ fn proql_descendants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, proql_depends, proql_match, proql_descendants);
+fn proql_cold_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_cold_start");
+    group.sample_size(10);
+    // Grow the workload until the log holds at least 10k nodes, so the
+    // cold-start gap is measured at a size where it matters.
+    let mut num_exec = 10;
+    let g = loop {
+        let g = dealers_graph(num_exec);
+        if g.len() >= 10_000 || num_exec >= 160 {
+            break g;
+        }
+        num_exec *= 2;
+    };
+    assert!(g.len() >= 10_000, "workload too small: {} nodes", g.len());
+    let dir = std::env::temp_dir().join("lipstick-bench-cold-start");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dealers.lpstk");
+    write_graph_v2(&g, &path).unwrap();
+    let module = g.invocations()[0].module.clone();
+    let stmt = format!("MATCH nodes WHERE module = '{module}'");
+
+    // Baseline sanity: both paths agree on the answer.
+    let expect = Session::load(&path)
+        .unwrap()
+        .run_one(&stmt)
+        .unwrap()
+        .nodes()
+        .unwrap()
+        .len();
+
+    group.bench_function(BenchmarkId::new("full_load_match", g.len()), |b| {
+        b.iter(|| {
+            let mut s = Session::load(&path).unwrap();
+            let n = s.run_one(&stmt).unwrap().nodes().unwrap().len();
+            assert_eq!(n, expect);
+            n
+        })
+    });
+    let total = g.len();
+    group.bench_function(BenchmarkId::new("indexed_open_match", g.len()), |b| {
+        b.iter(|| {
+            let mut s = Session::open(&path).unwrap();
+            let n = s.run_one(&stmt).unwrap().nodes().unwrap().len();
+            assert_eq!(n, expect);
+            assert!(
+                s.records_read() < total,
+                "lazy path must not decode the log"
+            );
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    proql_depends,
+    proql_match,
+    proql_descendants,
+    proql_cold_start
+);
 criterion_main!(benches);

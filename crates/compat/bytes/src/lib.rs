@@ -113,6 +113,24 @@ impl Buf for Bytes {
     }
 }
 
+/// Upstream `bytes` implements `Buf` for byte slices; the storage
+/// crate's lazy reader decodes individual records straight out of the
+/// mapped file without copying.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        *self = &self[cnt..];
+    }
+}
+
 /// Growable byte buffer.
 #[derive(Debug, Clone, Default)]
 pub struct BytesMut {

@@ -22,7 +22,7 @@ pub mod tracker;
 pub mod validate;
 
 pub use bitset::BitSet;
-pub use node::{InvocationId, Node, NodeId, NodeKind, Role};
+pub use node::{InvocationId, Node, NodeId, NodeKind, Role, RETIRED_STASH};
 pub use shard::ShardTracker;
 pub use tracker::{GraphTracker, NoTracker, Tracker};
 

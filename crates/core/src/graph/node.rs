@@ -41,6 +41,13 @@ impl fmt::Display for InvocationId {
     }
 }
 
+/// Reserved stash index marking a *retired* zoom composite: a
+/// tombstoned `Zoomed` node whose stash has been taken back by ZoomIn.
+/// ZoomOut never allocates this index (it errors first), so
+/// `Zoomed { stash: RETIRED_STASH }` unambiguously means "retired" —
+/// both in memory and in the on-disk codec's sentinel tag.
+pub const RETIRED_STASH: u32 = u32::MAX;
+
 /// What a node *is* — the legend of the paper's Figure 2(a).
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {

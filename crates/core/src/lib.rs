@@ -29,8 +29,10 @@ pub mod agg;
 pub mod graph;
 pub mod query;
 pub mod semiring;
+pub mod store;
 
 pub use graph::{
     GraphTracker, InvocationId, NoTracker, Node, NodeId, NodeKind, ProvGraph, Role, Tracker,
 };
 pub use semiring::{Polynomial, ProvExpr, Semiring, Token};
+pub use store::GraphStore;

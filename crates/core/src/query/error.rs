@@ -13,6 +13,9 @@ pub enum QueryError {
     NotZoomedOut(String),
     /// A node id referenced a deleted or hidden node.
     NodeNotVisible(crate::graph::NodeId),
+    /// The zoom stash table is full (the last index is reserved for
+    /// retired composites).
+    StashOverflow,
 }
 
 impl fmt::Display for QueryError {
@@ -22,6 +25,9 @@ impl fmt::Display for QueryError {
             QueryError::AlreadyZoomedOut(m) => write!(f, "module '{m}' is already zoomed out"),
             QueryError::NotZoomedOut(m) => write!(f, "module '{m}' is not zoomed out"),
             QueryError::NodeNotVisible(n) => write!(f, "node {n} is deleted or hidden"),
+            QueryError::StashOverflow => {
+                write!(f, "zoom stash table is full (index u32::MAX is reserved)")
+            }
         }
     }
 }

@@ -39,6 +39,13 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
             return Err(QueryError::AlreadyZoomedOut((*m).to_string()));
         }
     }
+    // One stash per module; RETIRED_STASH is reserved for retired
+    // composites (and the storage codec's sentinel tag), so it must
+    // never be allocated as a live index. Checked up front to keep the
+    // operation atomic.
+    if graph.zoom_stash_count() + modules.len() > crate::graph::node::RETIRED_STASH as usize {
+        return Err(QueryError::StashOverflow);
+    }
     let mut created = Vec::new();
     for module in modules {
         let invocations = graph.invocations_of(module);
@@ -146,6 +153,13 @@ pub fn zoom_in(graph: &mut ProvGraph, modules: &[&str]) -> Result<(), QueryError
         }
         for z in stash.zoom_nodes {
             graph.unlink_and_delete(z);
+            // Remap the dead stash index to the reserved sentinel so the
+            // in-memory representation matches what the storage codec
+            // round-trips (a genuine index would collide with the
+            // on-disk retired-zoom tag otherwise).
+            graph.node_mut(z).kind = NodeKind::Zoomed {
+                stash: crate::graph::node::RETIRED_STASH,
+            };
         }
     }
     Ok(())

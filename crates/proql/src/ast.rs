@@ -69,6 +69,20 @@ impl NodeClass {
             NodeClass::VNodes => "v-nodes",
         }
     }
+
+    /// The single [`lipstick_core::NodeKind::name`] this class selects,
+    /// when there is one — the paged planner's kind-postings
+    /// opportunity. `None` for classes spanning several kinds.
+    pub fn single_kind_name(&self) -> Option<&'static str> {
+        match self {
+            NodeClass::Invocation => Some("invocation"),
+            NodeClass::ModuleInput => Some("module_input"),
+            NodeClass::ModuleOutput => Some("module_output"),
+            NodeClass::State => Some("state"),
+            NodeClass::Base => Some("base_tuple"),
+            NodeClass::All | NodeClass::PNodes | NodeClass::VNodes => None,
+        }
+    }
 }
 
 /// Predicate fields over nodes.
@@ -162,6 +176,19 @@ impl Predicate {
         self.conjuncts.iter().find_map(|c| match c {
             Comparison {
                 field: Field::Module,
+                op: CmpOp::Eq,
+                value: Lit::Str(s),
+            } => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The kind name demanded by a `kind = '…'` equality conjunct, if
+    /// present — the paged planner's kind-postings opportunity.
+    pub fn required_kind(&self) -> Option<&str> {
+        self.conjuncts.iter().find_map(|c| match c {
+            Comparison {
+                field: Field::Kind,
                 op: CmpOp::Eq,
                 value: Lit::Str(s),
             } => Some(s.as_str()),

@@ -37,11 +37,7 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
         }
         StmtPlan::Why(n) => {
             let expr = session.graph().expr_of(*n);
-            let mut text = format!("{n}: {expr}");
-            if let Some(poly) = Polynomial::from_expr(&expr) {
-                text.push_str(&format!("\n  = {poly} (expanded N[X] polynomial)"));
-            }
-            Ok(QueryOutput::Text(text))
+            Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
         StmtPlan::Depends {
             n,
@@ -49,7 +45,9 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             strategy,
         } => {
             let value = match strategy {
-                DependsStrategy::Propagation => depends_on(session.graph(), *n, *n_prime)?,
+                DependsStrategy::Propagation | DependsStrategy::PagedPropagation => {
+                    depends_on(session.graph(), *n, *n_prime)?
+                }
                 DependsStrategy::ReachPrefilter => {
                     let index = session.reach().expect("planned with a reach index");
                     if n == n_prime {
@@ -114,11 +112,12 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             }
             Ok(QueryOutput::Message(msg))
         }
-        StmtPlan::Eval(n, semiring) => Ok(QueryOutput::Text(eval_in_semiring(
-            session.graph(),
-            *n,
-            *semiring,
-        ))),
+        StmtPlan::Eval(n, semiring) => {
+            let expr = session.graph().expr_of(*n);
+            Ok(QueryOutput::Text(eval_expr_in_semiring(
+                *n, &expr, *semiring,
+            )))
+        }
         StmtPlan::BuildIndex => {
             let index = ReachIndex::build(session.graph());
             let bytes = index.memory_bytes();
@@ -164,6 +163,12 @@ fn run_set(
         } => Ok(match strategy {
             ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter),
             ScanStrategy::ModuleScan { module, .. } => module_scan(graph, module, *class, filter),
+            // Paged strategies only arise in paged sessions; if one
+            // lands here (e.g. a plan replayed after promotion), the
+            // full scan is always correct.
+            ScanStrategy::PostingsScan { .. } | ScanStrategy::PagedFullScan { .. } => {
+                full_scan(graph, *class, filter)
+            }
         }),
         SetPlan::Walk {
             root,
@@ -177,7 +182,7 @@ fn run_set(
                 WalkDir::Descendants => Direction::Descendants,
             };
             match strategy {
-                WalkStrategy::Bfs { .. } => {
+                WalkStrategy::Bfs { .. } | WalkStrategy::PagedBfs { .. } => {
                     // Predicate pushed into the traversal's collect step.
                     let (nodes, stats) = traverse(graph, *root, direction, *depth, |id, node| {
                         pred_matches(graph, id, node, filter)
@@ -335,7 +340,7 @@ fn comparison_matches(graph: &ProvGraph, node: &Node, c: &Comparison) -> bool {
     }
 }
 
-fn merge_union(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
+pub(crate) fn merge_union(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(xs.len() + ys.len());
     let (mut i, mut j) = (0, 0);
     while i < xs.len() && j < ys.len() {
@@ -360,7 +365,7 @@ fn merge_union(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
     out
 }
 
-fn merge_intersect(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
+pub(crate) fn merge_intersect(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     while i < xs.len() && j < ys.len() {
@@ -375,6 +380,17 @@ fn merge_intersect(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {
         }
     }
     out
+}
+
+/// Render a `WHY` answer: the symbolic expression plus its expanded
+/// N\[X\] polynomial when one exists. Shared by the resident and paged
+/// executors.
+pub(crate) fn why_text(n: NodeId, expr: &ProvExpr) -> String {
+    let mut text = format!("{n}: {expr}");
+    if let Some(poly) = Polynomial::from_expr(expr) {
+        text.push_str(&format!("\n  = {poly} (expanded N[X] polynomial)"));
+    }
+    text
 }
 
 /// Collect the distinct tokens of an expression.
@@ -393,31 +409,31 @@ fn collect_tokens(e: &ProvExpr, out: &mut BTreeSet<Token>) {
     }
 }
 
-/// Evaluate a node's provenance under the named semiring.
+/// Evaluate an extracted provenance expression under the named
+/// semiring. Shared by the resident and paged executors.
 ///
 /// Valuations: counting and tropical give every token weight 1 (number
 /// of derivations / minimum tuples on a derivation); boolean marks all
 /// tokens present; lineage and why map each token to itself, producing
 /// contributing-token sets and minimal witnesses respectively.
-fn eval_in_semiring(graph: &ProvGraph, id: NodeId, semiring: SemiringName) -> String {
-    let expr = graph.expr_of(id);
+pub(crate) fn eval_expr_in_semiring(id: NodeId, expr: &ProvExpr, semiring: SemiringName) -> String {
     let mut tokens = BTreeSet::new();
-    collect_tokens(&expr, &mut tokens);
+    collect_tokens(expr, &mut tokens);
     let tokens: Vec<Token> = tokens.into_iter().collect();
     match semiring {
         SemiringName::Counting => {
             let v = Valuation::<Natural>::with_default(Natural(1));
-            let n = eval_expr(&expr, &v);
+            let n = eval_expr(expr, &v);
             format!("{id} in counting: {} derivation(s)", n.0)
         }
         SemiringName::Boolean => {
             let v = Valuation::<Bools>::with_default(Bools(true));
-            let b = eval_expr(&expr, &v);
+            let b = eval_expr(expr, &v);
             format!("{id} in boolean: {}", b.0)
         }
         SemiringName::Tropical => {
             let v = Valuation::<Tropical>::with_default(Tropical(1.0));
-            let t = eval_expr(&expr, &v);
+            let t = eval_expr(expr, &v);
             format!("{id} in tropical (unit costs): {}", t.0)
         }
         SemiringName::Lineage => {
@@ -425,7 +441,7 @@ fn eval_in_semiring(graph: &ProvGraph, id: NodeId, semiring: SemiringName) -> St
             for t in &tokens {
                 v = v.set(t.as_str(), Lineage::token(t.clone()));
             }
-            match eval_expr(&expr, &v).tokens() {
+            match eval_expr(expr, &v).tokens() {
                 Some(set) => {
                     let names: Vec<&str> = set.iter().map(|t| t.as_str()).collect();
                     format!("{id} in lineage: {{{}}}", names.join(", "))
@@ -438,7 +454,7 @@ fn eval_in_semiring(graph: &ProvGraph, id: NodeId, semiring: SemiringName) -> St
             for t in &tokens {
                 v = v.set(t.as_str(), Why::token(t.clone()));
             }
-            let why = eval_expr(&expr, &v);
+            let why = eval_expr(expr, &v);
             let witnesses: Vec<String> = why
                 .witnesses()
                 .iter()

@@ -36,11 +36,23 @@
 //! into traversals instead of post-filtering. [`session::Session`]
 //! owns the graph (in-memory or loaded from a provenance log via
 //! `lipstick-storage`) and drives the pipeline.
+//!
+//! ## Resident vs. paged sessions
+//!
+//! [`Session::load`] decodes the whole log up front. [`Session::open`]
+//! instead keeps a v2 (footer-indexed) log **paged**: the
+//! [`planner::PagedPlanner`] turns `MATCH` into footer-postings reads
+//! and walks into faulting BFS over the footer adjacency, so cold-start
+//! cost scales with what the query touches, not with graph size.
+//! `EXPLAIN` on a paged session reports how many of the log's records a
+//! plan will read. The first mutating statement (`DELETE`, `ZOOM`,
+//! `BUILD INDEX`) promotes the session to resident transparently.
 
 pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
+pub mod paged;
 pub mod parser;
 pub mod plan;
 pub mod planner;

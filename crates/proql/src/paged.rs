@@ -1,0 +1,187 @@
+//! The paged executor: physical plans → results, against a
+//! [`GraphStore`] instead of a resident graph.
+//!
+//! Runs the read-only statement forms — `MATCH`, walks, `SUBGRAPH OF`,
+//! `WHY`, `EVAL`, `DEPENDS`, set operations, `EXPLAIN`, `STATS` —
+//! faulting in only the node records each query touches. Mutating
+//! statements never reach this module: the session promotes the paged
+//! backend to a resident graph first (see
+//! [`crate::session::Session::run`]).
+
+use lipstick_core::query::Direction;
+use lipstick_core::store::{
+    depends_on_store, expr_of_store, subgraph_store, traverse_store, GraphStore,
+};
+use lipstick_core::{NodeId, NodeKind};
+
+use crate::ast::{CmpOp, Comparison, Field, Lit, NodeClass, Predicate, WalkDir};
+use crate::error::{ProqlError, Result};
+use crate::exec::{eval_expr_in_semiring, why_text};
+use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan};
+use crate::result::{NodeSetResult, QueryOutput};
+
+/// Execute one planned read-only statement against a paged store.
+pub(crate) fn execute<S: GraphStore>(store: &S, plan: &StmtPlan) -> Result<QueryOutput> {
+    match plan {
+        StmtPlan::Set(p) => {
+            let (nodes, visited) = run_set(store, p)?;
+            Ok(QueryOutput::Nodes(NodeSetResult { nodes, visited }))
+        }
+        StmtPlan::Why(n) => {
+            let expr = expr_of_store(store, *n);
+            Ok(QueryOutput::Text(why_text(*n, &expr)))
+        }
+        StmtPlan::Eval(n, semiring) => {
+            let expr = expr_of_store(store, *n);
+            Ok(QueryOutput::Text(eval_expr_in_semiring(
+                *n, &expr, *semiring,
+            )))
+        }
+        StmtPlan::Depends {
+            n,
+            n_prime,
+            strategy: DependsStrategy::PagedPropagation,
+        } => Ok(QueryOutput::Bool(depends_on_store(store, *n, *n_prime)?)),
+        StmtPlan::Stats => {
+            let visible = (0..store.node_count() as u32)
+                .filter(|i| store.is_visible(NodeId(*i)))
+                .count();
+            Ok(QueryOutput::Text(format!(
+                "paged log: {} record(s), {} visible, {} invocation(s), {} record(s) decoded \
+                 so far",
+                store.node_count(),
+                visible,
+                store.invocations().len(),
+                store.records_read()
+            )))
+        }
+        StmtPlan::DropIndex => Ok(QueryOutput::Message(
+            "reach index dropped (paged sessions have none)".into(),
+        )),
+        StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+        // Mutating plans are routed through promotion by the session.
+        StmtPlan::Delete(_)
+        | StmtPlan::ZoomOut { .. }
+        | StmtPlan::ZoomIn { .. }
+        | StmtPlan::BuildIndex
+        | StmtPlan::Depends { .. } => Err(ProqlError::Storage(
+            "internal: mutating plan reached the paged executor".into(),
+        )),
+    }
+}
+
+/// Run a set plan; returns (sorted nodes, candidates examined).
+fn run_set<S: GraphStore>(store: &S, plan: &SetPlan) -> Result<(Vec<NodeId>, usize)> {
+    match plan {
+        SetPlan::Scan {
+            class,
+            filter,
+            strategy,
+        } => {
+            let candidates: Vec<NodeId> = match strategy {
+                ScanStrategy::PostingsScan { key, .. } => match key {
+                    PostingsKey::Module(m) => store
+                        .module_postings(m)
+                        .expect("planned against a postings-backed store"),
+                    PostingsKey::Kind(k) => store
+                        .kind_postings(k)
+                        .expect("planned against a postings-backed store"),
+                },
+                _ => (0..store.node_count() as u32).map(NodeId).collect(),
+            };
+            let mut visited = 0;
+            let mut out = Vec::new();
+            for id in candidates {
+                if !store.is_visible(id) {
+                    continue;
+                }
+                visited += 1;
+                if class_matches(store, *class, id) && pred_matches(store, id, filter) {
+                    out.push(id);
+                }
+            }
+            out.sort();
+            Ok((out, visited))
+        }
+        SetPlan::Walk {
+            root,
+            dir,
+            depth,
+            filter,
+            ..
+        } => {
+            let direction = match dir {
+                WalkDir::Ancestors => Direction::Ancestors,
+                WalkDir::Descendants => Direction::Descendants,
+            };
+            let (nodes, stats) = traverse_store(store, *root, direction, *depth, |id| {
+                pred_matches(store, id, filter)
+            })?;
+            Ok((nodes, stats.visited))
+        }
+        SetPlan::Subgraph { root } => {
+            let result = subgraph_store(store, *root)?;
+            let visited = result.len();
+            Ok((result.nodes, visited))
+        }
+        SetPlan::Union(a, b) => {
+            let (xs, va) = run_set(store, a)?;
+            let (ys, vb) = run_set(store, b)?;
+            Ok((crate::exec::merge_union(xs, ys), va + vb))
+        }
+        SetPlan::Intersect(a, b) => {
+            let (xs, va) = run_set(store, a)?;
+            let (ys, vb) = run_set(store, b)?;
+            Ok((crate::exec::merge_intersect(xs, ys), va + vb))
+        }
+    }
+}
+
+/// Does a node belong to a `MATCH` class? Mirrors the resident
+/// executor's classification, faulting the record for its kind.
+fn class_matches<S: GraphStore>(store: &S, class: NodeClass, id: NodeId) -> bool {
+    if class == NodeClass::All {
+        return true;
+    }
+    let kind = store.kind_of(id);
+    match class {
+        NodeClass::All => true,
+        NodeClass::Invocation => matches!(kind, NodeKind::Invocation),
+        NodeClass::ModuleInput => matches!(kind, NodeKind::ModuleInput),
+        NodeClass::ModuleOutput => matches!(kind, NodeKind::ModuleOutput),
+        NodeClass::State => matches!(kind, NodeKind::StateUnit),
+        NodeClass::Base => matches!(kind, NodeKind::BaseTuple { .. }),
+        NodeClass::PNodes => !kind.is_value_node(),
+        NodeClass::VNodes => kind.is_value_node(),
+    }
+}
+
+/// Evaluate a predicate conjunction on one node, mirroring the resident
+/// executor's semantics: fields that don't apply make `=` false and
+/// `!=` true.
+fn pred_matches<S: GraphStore>(store: &S, id: NodeId, pred: &Predicate) -> bool {
+    pred.conjuncts
+        .iter()
+        .all(|c| comparison_matches(store, id, c))
+}
+
+fn comparison_matches<S: GraphStore>(store: &S, id: NodeId, c: &Comparison) -> bool {
+    let holds = match (&c.field, &c.value) {
+        (Field::Kind, Lit::Str(want)) => store.kind_of(id).name() == want,
+        (Field::Role, Lit::Str(want)) => store.role_of(id).name() == want,
+        (Field::Module, Lit::Str(want)) => store
+            .role_of(id)
+            .invocation()
+            .is_some_and(|inv| store.invocation(inv).module == *want),
+        (Field::Execution, Lit::Int(want)) => store
+            .role_of(id)
+            .invocation()
+            .is_some_and(|inv| u64::from(store.invocation(inv).execution) == *want),
+        // Type-mismatched comparisons never hold.
+        _ => false,
+    };
+    match c.op {
+        CmpOp::Eq => holds,
+        CmpOp::Ne => !holds,
+    }
+}

@@ -20,6 +20,27 @@ pub enum WalkStrategy {
     Bfs { est_visited: usize },
     /// Lookup in the precomputed descendant closure ([`lipstick_core::query::ReachIndex`]).
     ReachIndex,
+    /// Paged session: BFS over the log footer's adjacency, faulting in
+    /// node records only where the filter needs them.
+    PagedBfs { total_records: usize },
+}
+
+/// Which footer postings list drives a paged scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PostingsKey {
+    /// `module = '…'` equality conjunct → the module's owned nodes.
+    Module(String),
+    /// Node class or `kind = '…'` conjunct → nodes of one kind.
+    Kind(String),
+}
+
+impl fmt::Display for PostingsKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostingsKey::Module(m) => write!(f, "module '{m}'"),
+            PostingsKey::Kind(k) => write!(f, "kind '{k}'"),
+        }
+    }
 }
 
 /// How a `MATCH` selects candidate nodes.
@@ -34,6 +55,17 @@ pub enum ScanStrategy {
         invocations: usize,
         est_visited: usize,
     },
+    /// Paged session: read only the records listed in a footer postings
+    /// list. `postings` of `total_records` is the records-read figure
+    /// `EXPLAIN` reports.
+    PostingsScan {
+        key: PostingsKey,
+        postings: usize,
+        total_records: usize,
+    },
+    /// Paged session with no usable postings list: decode every record
+    /// once, streaming.
+    PagedFullScan { total_records: usize },
 }
 
 /// A plan producing a sorted node set.
@@ -68,6 +100,9 @@ pub enum DependsStrategy {
     /// `false` in O(1). Fall back to propagation only on reachable
     /// pairs.
     ReachPrefilter,
+    /// Paged session: propagate over the log, faulting in only the
+    /// records the cascade actually examines.
+    PagedPropagation,
 }
 
 /// A fully planned statement.
@@ -131,6 +166,18 @@ impl SetPlan {
                         " [module scan of '{module}' via invocation table, {invocations} \
                          invocations, est visited {est_visited}]"
                     ),
+                    ScanStrategy::PostingsScan {
+                        key,
+                        postings,
+                        total_records,
+                    } => write!(
+                        f,
+                        " [paged postings scan on {key}, reads {postings} of {total_records} \
+                         records]"
+                    ),
+                    ScanStrategy::PagedFullScan { total_records } => {
+                        write!(f, " [paged full scan, reads {total_records} records]")
+                    }
                 }
             }
             SetPlan::Walk {
@@ -157,6 +204,10 @@ impl SetPlan {
                         write!(f, " [bfs, est visited {est_visited}]")
                     }
                     WalkStrategy::ReachIndex => write!(f, " [reach-index lookup]"),
+                    WalkStrategy::PagedBfs { total_records } => write!(
+                        f,
+                        " [paged bfs over footer adjacency, ≤ {total_records} records]"
+                    ),
                 }
             }
             SetPlan::Subgraph { root } => write!(f, "{pad}subgraph of {root}"),
@@ -194,6 +245,10 @@ impl fmt::Display for StmtPlan {
                     f,
                     "depends({n}, {n_prime}) [reach-index prefilter, propagation only if \
                      reachable]"
+                ),
+                DependsStrategy::PagedPropagation => write!(
+                    f,
+                    "depends({n}, {n_prime}) [paged propagation over faulted neighbourhood]"
                 ),
             },
             StmtPlan::Delete(n) => write!(f, "delete {n} propagate [in-place §4.2 deletion]"),

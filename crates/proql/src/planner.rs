@@ -17,11 +17,12 @@
 //!    script that zooms module-by-module pays one graph sweep instead
 //!    of one per statement.
 
+use lipstick_core::store::GraphStore;
 use lipstick_core::{NodeId, NodeKind, ProvGraph};
 
 use crate::ast::{NodeClass, NodeRef, SetExpr, SetTerm, Statement, WalkDir};
 use crate::error::{ProqlError, Result};
-use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
+use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
 
 /// Plans statements against a graph snapshot.
 pub struct Planner<'a> {
@@ -243,5 +244,171 @@ impl Planner<'_> {
             },
             other => other,
         })
+    }
+}
+
+/// Plans statements against a paged log (or any [`GraphStore`]) without
+/// decoding records the query does not need. Strategy choices favour
+/// footer postings lists: a `module = '…'` or `kind = '…'` conjunct (or
+/// a single-kind node class) turns the scan into a postings read, whose
+/// size — known from the index before any record is touched — is what
+/// `EXPLAIN` reports as records read.
+pub struct PagedPlanner<'a, S: GraphStore> {
+    store: &'a S,
+    total_records: usize,
+}
+
+impl<'a, S: GraphStore> PagedPlanner<'a, S> {
+    pub fn new(store: &'a S) -> PagedPlanner<'a, S> {
+        PagedPlanner {
+            store,
+            total_records: store.node_count(),
+        }
+    }
+
+    /// Resolve a node reference. Token lookups go through the
+    /// base-tuple and workflow-input kind postings, faulting only those
+    /// records instead of sweeping the log.
+    pub fn resolve(&self, r: &NodeRef) -> Result<NodeId> {
+        match r {
+            NodeRef::Id(n) => {
+                let id = NodeId(*n);
+                if (*n as usize) < self.store.node_count() && self.store.is_visible(id) {
+                    Ok(id)
+                } else {
+                    Err(ProqlError::UnknownNode(r.to_string()))
+                }
+            }
+            NodeRef::Token(t) => {
+                // Merge both token-bearing kinds and test in ascending
+                // id order, so a token present on several nodes
+                // resolves to the same node the resident planner's
+                // id-order sweep picks.
+                let mut candidates: Vec<NodeId> = ["base_tuple", "workflow_input"]
+                    .into_iter()
+                    .flat_map(|kind| {
+                        self.store
+                            .kind_postings(kind)
+                            .unwrap_or_else(|| self.all_visible())
+                    })
+                    .collect();
+                candidates.sort();
+                candidates.dedup();
+                candidates
+                    .into_iter()
+                    .find(|id| match self.store.kind_of(*id) {
+                        NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                            token.as_str() == t
+                        }
+                        _ => false,
+                    })
+                    .ok_or_else(|| ProqlError::UnknownNode(r.to_string()))
+            }
+        }
+    }
+
+    fn all_visible(&self) -> Vec<NodeId> {
+        (0..self.store.node_count() as u32)
+            .map(NodeId)
+            .filter(|id| self.store.is_visible(*id))
+            .collect()
+    }
+
+    pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
+        Ok(match stmt {
+            Statement::Query(e) => StmtPlan::Set(self.plan_set(e)?),
+            Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
+            Statement::Depends(n, n_prime) => StmtPlan::Depends {
+                n: self.resolve(n)?,
+                n_prime: self.resolve(n_prime)?,
+                strategy: DependsStrategy::PagedPropagation,
+            },
+            Statement::DeletePropagate(r) => StmtPlan::Delete(self.resolve(r)?),
+            Statement::ZoomOut(modules) => StmtPlan::ZoomOut {
+                modules: modules.clone(),
+                fused_from: 1,
+            },
+            Statement::ZoomIn(modules) => StmtPlan::ZoomIn {
+                modules: modules.clone(),
+                fused_from: 1,
+            },
+            Statement::Eval(r, s) => StmtPlan::Eval(self.resolve(r)?, *s),
+            Statement::BuildIndex => StmtPlan::BuildIndex,
+            Statement::DropIndex => StmtPlan::DropIndex,
+            Statement::Stats => StmtPlan::Stats,
+            Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
+        })
+    }
+
+    fn plan_set(&self, e: &SetExpr) -> Result<SetPlan> {
+        Ok(match e {
+            SetExpr::Term(t) => self.plan_term(t)?,
+            SetExpr::Union(a, b) => {
+                SetPlan::Union(Box::new(self.plan_set(a)?), Box::new(self.plan_set(b)?))
+            }
+            SetExpr::Intersect(a, b) => {
+                SetPlan::Intersect(Box::new(self.plan_set(a)?), Box::new(self.plan_set(b)?))
+            }
+        })
+    }
+
+    fn plan_term(&self, t: &SetTerm) -> Result<SetPlan> {
+        Ok(match t {
+            SetTerm::Subgraph(r) => SetPlan::Subgraph {
+                root: self.resolve(r)?,
+            },
+            SetTerm::Walk {
+                dir,
+                root,
+                depth,
+                filter,
+            } => SetPlan::Walk {
+                root: self.resolve(root)?,
+                dir: *dir,
+                depth: *depth,
+                filter: filter.clone(),
+                strategy: WalkStrategy::PagedBfs {
+                    total_records: self.total_records,
+                },
+            },
+            SetTerm::Match { class, filter } => SetPlan::Scan {
+                class: *class,
+                filter: filter.clone(),
+                strategy: self.scan_strategy(*class, filter),
+            },
+            SetTerm::Paren(inner) => self.plan_set(inner)?,
+        })
+    }
+
+    /// Pick the smallest applicable postings list; fall back to a
+    /// streaming full-record scan.
+    fn scan_strategy(&self, class: NodeClass, filter: &crate::ast::Predicate) -> ScanStrategy {
+        let mut best: Option<(PostingsKey, usize)> = None;
+        let mut consider = |key: PostingsKey, len: usize| {
+            if best.as_ref().is_none_or(|(_, b)| len < *b) {
+                best = Some((key, len));
+            }
+        };
+        if let Some(m) = filter.required_module() {
+            if let Some(ids) = self.store.module_postings(m) {
+                consider(PostingsKey::Module(m.to_string()), ids.len());
+            }
+        }
+        let kind_key = filter.required_kind().or(class.single_kind_name());
+        if let Some(k) = kind_key {
+            if let Some(ids) = self.store.kind_postings(k) {
+                consider(PostingsKey::Kind(k.to_string()), ids.len());
+            }
+        }
+        match best {
+            Some((key, postings)) => ScanStrategy::PostingsScan {
+                key,
+                postings,
+                total_records: self.total_records,
+            },
+            None => ScanStrategy::PagedFullScan {
+                total_records: self.total_records,
+            },
+        }
     }
 }

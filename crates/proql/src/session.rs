@@ -1,48 +1,132 @@
-//! A ProQL session: a provenance graph, an optional reachability
-//! index, and the parse → plan → execute loop.
+//! A ProQL session: a provenance graph (resident or paged), an
+//! optional reachability index, and the parse → plan → execute loop.
 
 use std::path::Path;
 
 use lipstick_core::query::ReachIndex;
+use lipstick_core::store::GraphStore;
 use lipstick_core::ProvGraph;
+use lipstick_storage::PagedLog;
 
 use crate::ast::Statement;
 use crate::error::{ProqlError, Result};
 use crate::exec;
+use crate::paged;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::StmtPlan;
-use crate::planner::{fuse_zooms, Planner};
+use crate::planner::{fuse_zooms, FusedStatement, PagedPlanner, Planner};
 use crate::result::QueryOutput;
+
+/// How the session holds its graph.
+enum Backend {
+    /// Fully decoded, mutable graph.
+    Resident(ProvGraph),
+    /// Footer-indexed v2 log; records fault in per query.
+    Paged(PagedLog),
+}
 
 /// Query-processor state: the graph under interrogation plus the
 /// optional §5.1 reachability closure. Mutating statements (`DELETE`,
 /// `ZOOM`) invalidate the closure automatically; rebuild it with
 /// `BUILD INDEX`.
+///
+/// Sessions come in two flavours. [`Session::new`]/[`Session::load`]
+/// hold a **resident** graph. [`Session::open`] keeps a v2 log
+/// **paged**: queries read only the records they touch, and the first
+/// mutating statement transparently *promotes* the session to resident
+/// by decoding the full log.
 pub struct Session {
-    graph: ProvGraph,
+    backend: Backend,
     reach: Option<ReachIndex>,
 }
 
 impl Session {
     /// A session over an in-memory graph.
     pub fn new(graph: ProvGraph) -> Session {
-        Session { graph, reach: None }
+        Session {
+            backend: Backend::Resident(graph),
+            reach: None,
+        }
     }
 
-    /// Load a provenance log written by `lipstick_storage::write_graph`
-    /// — the Query Processor's first step.
+    /// Fully load a provenance log written by
+    /// `lipstick_storage::write_graph` (v1 or v2) — the Query
+    /// Processor's original, decode-everything first step.
     pub fn load(path: impl AsRef<Path>) -> Result<Session> {
         let graph = lipstick_storage::load_graph(path.as_ref())
             .map_err(|e| ProqlError::Storage(e.to_string()))?;
         Ok(Session::new(graph))
     }
 
+    /// Open a provenance log lazily. A v2 log (written by
+    /// `lipstick_storage::write_graph_v2`) becomes a paged session that
+    /// answers `MATCH`/`WHY`/`DEPENDS`/walks without materialising the
+    /// graph; a v1 log has no footer and falls back to a full load.
+    pub fn open(path: impl AsRef<Path>) -> Result<Session> {
+        let data = std::fs::read(path.as_ref()).map_err(|e| ProqlError::Storage(e.to_string()))?;
+        // Sniff the version first so the v1 fallback decodes the bytes
+        // already in hand instead of re-reading the file.
+        if lipstick_storage::log_version(&data) == Some(1) {
+            let graph = lipstick_storage::decode_graph(&data)
+                .map_err(|e| ProqlError::Storage(e.to_string()))?;
+            return Ok(Session::new(graph));
+        }
+        let log = PagedLog::from_bytes(data).map_err(|e| ProqlError::Storage(e.to_string()))?;
+        Ok(Session {
+            backend: Backend::Paged(log),
+            reach: None,
+        })
+    }
+
+    /// Is the session still paged (no full graph materialised)?
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backend, Backend::Paged(_))
+    }
+
+    /// Node records decoded so far by a paged session (0 once resident:
+    /// the question no longer applies).
+    pub fn records_read(&self) -> usize {
+        match &self.backend {
+            Backend::Resident(_) => 0,
+            Backend::Paged(log) => log.records_read(),
+        }
+    }
+
+    /// The resident graph, when there is one (`None` while paged).
+    pub fn resident_graph(&self) -> Option<&ProvGraph> {
+        match &self.backend {
+            Backend::Resident(g) => Some(g),
+            Backend::Paged(_) => None,
+        }
+    }
+
+    /// The resident graph.
+    ///
+    /// # Panics
+    /// On a paged session — call [`Session::materialize`] first, or
+    /// check [`Session::is_paged`].
     pub fn graph(&self) -> &ProvGraph {
-        &self.graph
+        self.resident_graph()
+            .expect("paged session has no resident graph; call materialize() first")
+    }
+
+    /// Decode the full log and switch to the resident backend. No-op if
+    /// already resident. Returns the graph.
+    pub fn materialize(&mut self) -> Result<&ProvGraph> {
+        if let Backend::Paged(log) = &self.backend {
+            let graph = log
+                .decode_full()
+                .map_err(|e| ProqlError::Storage(e.to_string()))?;
+            self.backend = Backend::Resident(graph);
+        }
+        Ok(self.graph())
     }
 
     pub(crate) fn graph_mut(&mut self) -> &mut ProvGraph {
-        &mut self.graph
+        match &mut self.backend {
+            Backend::Resident(g) => g,
+            Backend::Paged(_) => unreachable!("mutating statements promote before executing"),
+        }
     }
 
     pub(crate) fn reach(&self) -> Option<&ReachIndex> {
@@ -63,6 +147,17 @@ impl Session {
         self.reach = None;
     }
 
+    /// Does executing this statement require a resident, mutable graph?
+    fn needs_resident(stmt: &Statement) -> bool {
+        matches!(
+            stmt,
+            Statement::DeletePropagate(_)
+                | Statement::ZoomOut(_)
+                | Statement::ZoomIn(_)
+                | Statement::BuildIndex
+        )
+    }
+
     /// Run a script: zero or more `;`-separated statements. Statements
     /// are planned one at a time against the current graph state (a
     /// `DELETE` changes what later statements see), with consecutive
@@ -72,8 +167,7 @@ impl Session {
         let fused = fuse_zooms(stmts);
         let mut outputs = Vec::with_capacity(fused.len());
         for fs in &fused {
-            let plan = Planner::new(&self.graph, self.reach.is_some()).plan_fused(fs)?;
-            outputs.push(exec::execute(self, &plan)?);
+            outputs.push(self.run_fused(fs)?);
         }
         Ok(outputs)
     }
@@ -81,16 +175,58 @@ impl Session {
     /// Run exactly one statement.
     pub fn run_one(&mut self, statement: &str) -> Result<QueryOutput> {
         let stmt = parse_statement(statement)?;
-        let plan = self.plan(&stmt)?;
-        exec::execute(self, &plan)
+        self.run_fused(&FusedStatement {
+            stmt,
+            fused_from: 1,
+        })
     }
 
-    /// Plan a statement without executing it.
+    fn run_fused(&mut self, fs: &FusedStatement) -> Result<QueryOutput> {
+        if self.is_paged() && Session::needs_resident(&fs.stmt) {
+            self.materialize()?;
+        }
+        match &self.backend {
+            Backend::Resident(graph) => {
+                let plan = Planner::new(graph, self.reach.is_some()).plan_fused(fs)?;
+                exec::execute(self, &plan)
+            }
+            Backend::Paged(log) => {
+                // The footer only validates record *offsets*; a record
+                // whose bytes are garbled is first noticed when a query
+                // faults it in, deep inside infallible GraphStore
+                // accessors. Contain that panic here so corrupt input
+                // surfaces as an error, never an abort — the same
+                // contract every other corruption path honours.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let plan = PagedPlanner::new(log).plan(&fs.stmt)?;
+                    paged::execute(log, &plan)
+                }));
+                result.unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("paged execution panicked");
+                    Err(ProqlError::Storage(format!(
+                        "corrupt provenance log: {msg}"
+                    )))
+                })
+            }
+        }
+    }
+
+    /// Plan a statement without executing it, against whichever backend
+    /// the session currently has.
     pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
-        Planner::new(&self.graph, self.reach.is_some()).plan(stmt)
+        match &self.backend {
+            Backend::Resident(graph) => Planner::new(graph, self.reach.is_some()).plan(stmt),
+            Backend::Paged(log) => PagedPlanner::new(log).plan(stmt),
+        }
     }
 
     /// The physical plan for a statement, as `EXPLAIN` would print it.
+    /// On a paged session this includes the records-read figures the
+    /// footer postings predict.
     pub fn explain(&self, statement: &str) -> Result<String> {
         let stmt = parse_statement(statement)?;
         Ok(self.plan(&stmt)?.to_string())

@@ -1,0 +1,278 @@
+//! Paged (lazy) sessions over v2 provenance logs: `Session::open` must
+//! agree answer-for-answer with a full `Session::load`, while reading
+//! strictly fewer records than the log holds, and must promote itself
+//! to a resident graph on the first mutating statement.
+
+use lipstick_core::{GraphTracker, ProvGraph};
+use lipstick_proql::{QueryOutput, Session};
+use lipstick_storage::{write_graph, write_graph_v2};
+use lipstick_workflowgen::dealers::{self, DealersParams};
+
+fn dealers_graph() -> ProvGraph {
+    let params = DealersParams {
+        num_cars: 24,
+        num_exec: 2,
+        seed: 7,
+    };
+    let mut tracker = GraphTracker::new();
+    dealers::run_declining(&params, &mut tracker).expect("dealers run");
+    tracker.finish()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lipstick-proql-lazy");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Write the dealers graph as a v2 log and open it both ways.
+fn open_both(name: &str) -> (Session, Session, ProvGraph) {
+    let g = dealers_graph();
+    let path = temp_path(name);
+    write_graph_v2(&g, &path).unwrap();
+    let lazy = Session::open(&path).unwrap();
+    let full = Session::load(&path).unwrap();
+    (lazy, full, g)
+}
+
+fn nodes_of(out: &QueryOutput) -> Vec<u32> {
+    out.nodes()
+        .expect("node set")
+        .nodes
+        .iter()
+        .map(|n| n.0)
+        .collect()
+}
+
+#[test]
+fn open_is_paged_and_load_is_resident() {
+    let (lazy, full, _) = open_both("flavours.lpstk");
+    assert!(lazy.is_paged());
+    assert!(!full.is_paged());
+    assert_eq!(lazy.records_read(), 0, "opening decodes no records");
+}
+
+#[test]
+fn module_filtered_match_agrees_and_reads_fewer_records() {
+    let (mut lazy, mut full, g) = open_both("match.lpstk");
+    let module = g.invocations()[0].module.clone();
+    let stmt = format!("MATCH nodes WHERE module = '{module}'");
+    let a = lazy.run_one(&stmt).unwrap();
+    let b = full.run_one(&stmt).unwrap();
+    assert_eq!(nodes_of(&a), nodes_of(&b));
+    assert!(!nodes_of(&a).is_empty());
+    assert!(
+        lazy.records_read() < g.len(),
+        "read {} of {} records",
+        lazy.records_read(),
+        g.len()
+    );
+}
+
+#[test]
+fn explain_reports_records_read_below_total() {
+    let (lazy, _, g) = open_both("explain.lpstk");
+    let module = g.invocations()[0].module.clone();
+    let plan = lazy
+        .explain(&format!("MATCH nodes WHERE module = '{module}'"))
+        .unwrap();
+    // e.g. "[paged postings scan on module 'Mdealer1', reads 37 of 412 records]"
+    let (reads, total) = parse_records_read(&plan).expect("explain names records read");
+    assert_eq!(total, g.len());
+    assert!(reads > 0);
+    assert!(
+        reads < total,
+        "indexed scan must read strictly fewer than all records: {plan}"
+    );
+}
+
+/// Pull "reads X of Y records" out of an EXPLAIN line.
+fn parse_records_read(plan: &str) -> Option<(usize, usize)> {
+    let at = plan.find("reads ")? + "reads ".len();
+    let rest = &plan[at..];
+    let mut parts = rest.split_whitespace();
+    let reads = parts.next()?.parse().ok()?;
+    assert_eq!(parts.next(), Some("of"));
+    let total = parts.next()?.parse().ok()?;
+    Some((reads, total))
+}
+
+#[test]
+fn kind_class_match_uses_postings() {
+    let (mut lazy, mut full, g) = open_both("kinds.lpstk");
+    for stmt in [
+        "MATCH m-nodes",
+        "MATCH base-nodes",
+        "MATCH o-nodes",
+        "MATCH nodes WHERE kind = 'delta'",
+    ] {
+        let a = lazy.run_one(stmt).unwrap();
+        let b = full.run_one(stmt).unwrap();
+        assert_eq!(nodes_of(&a), nodes_of(&b), "{stmt}");
+    }
+    assert!(lazy.records_read() < g.len());
+}
+
+#[test]
+fn why_walks_depends_and_eval_agree_with_full_load() {
+    let (mut lazy, mut full, g) = open_both("agree.lpstk");
+    let roots = g.top_fanout_nodes(3);
+    let mut stmts = vec![format!("SUBGRAPH OF #{}", roots[0].0)];
+    for r in &roots {
+        stmts.push(format!("WHY #{}", r.0));
+        stmts.push(format!("EVAL #{} IN counting", r.0));
+        stmts.push(format!("DESCENDANTS OF #{} DEPTH 2", r.0));
+        stmts.push(format!("ANCESTORS OF #{}", r.0));
+        stmts.push(format!("DEPENDS(#{}, #{})", roots[1].0, r.0));
+    }
+    stmts.push(format!(
+        "MATCH base-nodes INTERSECT ANCESTORS OF #{}",
+        roots[0].0
+    ));
+    for stmt in &stmts {
+        let a = lazy.run_one(stmt).unwrap();
+        let b = full.run_one(stmt).unwrap();
+        match (&a, &b) {
+            (QueryOutput::Nodes(x), QueryOutput::Nodes(y)) => {
+                assert_eq!(x.nodes, y.nodes, "{stmt}")
+            }
+            (QueryOutput::Text(x), QueryOutput::Text(y)) => assert_eq!(x, y, "{stmt}"),
+            (QueryOutput::Bool(x), QueryOutput::Bool(y)) => assert_eq!(x, y, "{stmt}"),
+            other => panic!("mismatched output shapes for {stmt}: {other:?}"),
+        }
+        assert!(
+            lazy.is_paged(),
+            "read-only statements keep the session paged"
+        );
+    }
+}
+
+#[test]
+fn token_references_resolve_lazily() {
+    let (mut lazy, mut full, _) = open_both("tokens.lpstk");
+    // Find a token via the full session, then resolve it lazily.
+    let out = full.run_one("MATCH base-nodes").unwrap();
+    assert!(!nodes_of(&out).is_empty());
+    let g = full.graph();
+    let token = g
+        .iter_visible()
+        .find_map(|(_, n)| match &n.kind {
+            lipstick_core::NodeKind::BaseTuple { token } => Some(token.as_str().to_string()),
+            _ => None,
+        })
+        .unwrap();
+    let a = lazy.run_one(&format!("WHY '{token}'")).unwrap();
+    let b = full.run_one(&format!("WHY '{token}'")).unwrap();
+    assert_eq!(a.text(), b.text());
+}
+
+#[test]
+fn mutating_statements_promote_then_work() {
+    let (mut lazy, mut full, g) = open_both("promote.lpstk");
+    let module = g.invocations()[0].module.clone();
+    assert!(lazy.is_paged());
+    let stmt = format!("ZOOM OUT TO {module}");
+    let a = lazy.run_one(&stmt).unwrap();
+    let b = full.run_one(&stmt).unwrap();
+    assert_eq!(a.text(), b.text());
+    assert!(!lazy.is_paged(), "mutation promoted the session");
+    // And the promoted session keeps answering queries correctly.
+    let a = lazy.run_one("MATCH nodes").unwrap();
+    let b = full.run_one("MATCH nodes").unwrap();
+    assert_eq!(nodes_of(&a), nodes_of(&b));
+}
+
+#[test]
+fn delete_propagate_promotes_and_matches_resident_semantics() {
+    let (mut lazy, mut full, g) = open_both("delete.lpstk");
+    let root = g.top_fanout_nodes(1)[0];
+    let stmt = format!("DELETE #{} PROPAGATE", root.0);
+    let a = lazy.run_one(&stmt).unwrap();
+    let b = full.run_one(&stmt).unwrap();
+    match (a, b) {
+        (QueryOutput::Deleted { nodes: x }, QueryOutput::Deleted { nodes: y }) => {
+            assert_eq!(x, y)
+        }
+        other => panic!("expected deletions, got {other:?}"),
+    }
+    assert!(!lazy.is_paged());
+}
+
+#[test]
+fn build_index_promotes_and_serves_reach_lookups() {
+    let (mut lazy, _, g) = open_both("index.lpstk");
+    lazy.run_one("BUILD INDEX").unwrap();
+    assert!(!lazy.is_paged());
+    assert!(lazy.has_reach_index());
+    let root = g.top_fanout_nodes(1)[0];
+    let out = lazy
+        .run_one(&format!("DESCENDANTS OF #{}", root.0))
+        .unwrap();
+    assert!(!nodes_of(&out).is_empty());
+}
+
+#[test]
+fn v1_logs_fall_back_to_a_full_load() {
+    let g = dealers_graph();
+    let path = temp_path("v1.lpstk");
+    write_graph(&g, &path).unwrap();
+    let mut s = Session::open(&path).unwrap();
+    assert!(!s.is_paged(), "v1 has no footer; open falls back to load");
+    let out = s.run_one("MATCH base-nodes").unwrap();
+    assert!(!nodes_of(&out).is_empty());
+}
+
+#[test]
+fn paged_stats_report_log_shape() {
+    let (mut lazy, _, g) = open_both("stats.lpstk");
+    let out = lazy.run_one("STATS").unwrap();
+    let text = out.text().unwrap().to_string();
+    assert!(text.contains("paged log"), "got: {text}");
+    assert!(
+        text.contains(&format!("{} record(s)", g.len())),
+        "got: {text}"
+    );
+}
+
+#[test]
+fn corrupt_record_bytes_error_at_query_time_without_aborting() {
+    // The footer validates offsets, not record contents: garbled record
+    // bytes are only noticed when a query faults the record in. That
+    // must surface as an error, not a process abort.
+    let g = dealers_graph();
+    let path = temp_path("corrupt-record.lpstk");
+    write_graph_v2(&g, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Locate a record via the index of a clean open, then trash it.
+    let probe = lipstick_storage::PagedLog::from_bytes(bytes.clone()).unwrap();
+    let range = probe.index().record_range(lipstick_core::NodeId(3));
+    for b in &mut bytes[range] {
+        *b = 0xff; // role tag 255 is invalid
+    }
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The footer still parses, so the open itself succeeds.
+    let mut s = Session::open(&path).unwrap();
+    // `MATCH nodes` alone never faults a record (visibility is
+    // index-level) — and must therefore still succeed.
+    assert!(s.run_one("MATCH nodes").is_ok());
+    // `p-nodes` has no postings list, so the scan decodes every record
+    // and trips over the garbled one.
+    let err = s.run_one("MATCH p-nodes").unwrap_err();
+    assert!(
+        err.to_string().contains("corrupt"),
+        "expected a corruption error, got: {err}"
+    );
+}
+
+#[test]
+fn corrupt_v2_footer_is_an_open_error() {
+    let g = dealers_graph();
+    let path = temp_path("corrupt.lpstk");
+    write_graph_v2(&g, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let len = bytes.len();
+    bytes[len - 2] ^= 0xff; // inside the trailer magic
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Session::open(&path).is_err());
+}

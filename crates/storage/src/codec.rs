@@ -10,7 +10,7 @@ use lipstick_core::{InvocationId, NodeKind, Role};
 use lipstick_nrel::{Bag, Tuple, Value};
 
 use crate::error::{Result, StorageError};
-use crate::varint::{get_i64, get_str, get_u64, put_i64, put_str, put_u64};
+use crate::varint::{get_count, get_i64, get_str, get_u32, put_i64, put_str, put_u64};
 
 // ----- values -----
 
@@ -74,7 +74,7 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
         4 => Ok(Value::Str(Arc::from(get_str(buf)?.as_str()))),
         5 => Ok(Value::Tuple(get_tuple(buf)?)),
         6 => {
-            let n = get_u64(buf)? as usize;
+            let n = get_count(buf)?;
             let mut bag = Bag::empty();
             for _ in 0..n {
                 bag.push(get_tuple(buf)?);
@@ -82,7 +82,7 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
             Ok(Value::Bag(bag))
         }
         7 => {
-            let n = get_u64(buf)? as usize;
+            let n = get_count(buf)?;
             let mut m = BTreeMap::new();
             for _ in 0..n {
                 let k = get_str(buf)?;
@@ -105,8 +105,8 @@ pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
 
 /// Read a tuple.
 pub fn get_tuple(buf: &mut impl Buf) -> Result<Tuple> {
-    let n = get_u64(buf)? as usize;
-    let mut fields = Vec::with_capacity(n.min(1024));
+    let n = get_count(buf)?;
+    let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
         fields.push(get_value(buf)?);
     }
@@ -145,10 +145,12 @@ fn agg_from(tag: u8) -> Result<AggOp> {
 }
 
 /// Kind tag for a *retired* zoom composite: a tombstoned, unlinked
-/// `Zoomed` node left in the arena by ZoomIn. Its stash index is dead,
-/// so it round-trips as `Zoomed { stash: u32::MAX }` + the tombstone
-/// flag. Visible zoomed nodes are still unpersistable (zoom is a view;
-/// the encoder rejects graphs with active ZoomOuts).
+/// `Zoomed` node left in the arena by ZoomIn. ZoomIn remaps such nodes
+/// to the reserved stash index [`lipstick_core::graph::RETIRED_STASH`]
+/// (which ZoomOut never allocates), so the tag round-trips exactly:
+/// `Zoomed { stash: RETIRED_STASH }` in means the same out. Visible
+/// zoomed nodes are still unpersistable (zoom is a view; the encoder
+/// rejects graphs with active ZoomOuts).
 pub const RETIRED_ZOOM_TAG: u8 = 13;
 
 /// Append the kind of a retired (tombstoned) zoom composite.
@@ -229,7 +231,9 @@ pub fn get_kind(buf: &mut impl Buf) -> Result<NodeKind> {
             name: get_str(buf)?,
             is_value: get_u8_checked(buf)? != 0,
         },
-        RETIRED_ZOOM_TAG => NodeKind::Zoomed { stash: u32::MAX },
+        RETIRED_ZOOM_TAG => NodeKind::Zoomed {
+            stash: lipstick_core::graph::RETIRED_STASH,
+        },
         other => {
             return Err(StorageError::Corrupt(format!(
                 "unknown node kind tag {other}"
@@ -264,7 +268,7 @@ pub fn get_role(buf: &mut impl Buf) -> Result<Role> {
         return Err(StorageError::Corrupt("truncated role".into()));
     }
     let tag = buf.get_u8();
-    let mut inv = || -> Result<InvocationId> { Ok(InvocationId(get_u64(buf)? as u32)) };
+    let mut inv = || -> Result<InvocationId> { Ok(InvocationId(get_u32(buf)?)) };
     Ok(match tag {
         0 => Role::WorkflowInput,
         1 => Role::Invocation(inv()?),
@@ -380,6 +384,66 @@ mod tests {
             put_role(&mut b, &role);
             let mut r = b.freeze();
             assert_eq!(get_role(&mut r).unwrap(), role);
+        }
+    }
+
+    #[test]
+    fn invocation_id_overflow_is_error_not_wrap() {
+        // Role tag 1 (Invocation) followed by a varint above u32::MAX:
+        // must be rejected, not silently truncated to a small id.
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        put_u64(&mut b, u64::from(u32::MAX) + 1);
+        let mut r = b.freeze();
+        let err = get_role(&mut r).unwrap_err();
+        assert!(err.to_string().contains("overflows 32-bit"), "got: {err}");
+        // The boundary value itself still round-trips.
+        let role = Role::Invocation(InvocationId(u32::MAX));
+        let mut b = BytesMut::new();
+        put_role(&mut b, &role);
+        let mut r = b.freeze();
+        assert_eq!(get_role(&mut r).unwrap(), role);
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_rejected_before_allocating() {
+        // A bag whose 8-byte header claims u64::MAX tuples.
+        let mut b = BytesMut::new();
+        b.put_u8(6);
+        put_u64(&mut b, u64::MAX);
+        let mut r = b.freeze();
+        assert!(get_value(&mut r).is_err());
+        // A tuple claiming more fields than the buffer could hold.
+        let mut b = BytesMut::new();
+        put_u64(&mut b, 1 << 40);
+        b.put_u8(0);
+        let mut r = b.freeze();
+        assert!(get_tuple(&mut r).is_err());
+        // A map likewise.
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        put_u64(&mut b, 1 << 40);
+        let mut r = b.freeze();
+        assert!(get_value(&mut r).is_err());
+    }
+
+    #[test]
+    fn retired_zoom_sentinel_round_trips_to_reserved_stash() {
+        use lipstick_core::graph::RETIRED_STASH;
+        let mut b = BytesMut::new();
+        put_retired_zoom(&mut b);
+        let mut r = b.freeze();
+        assert_eq!(
+            get_kind(&mut r).unwrap(),
+            NodeKind::Zoomed {
+                stash: RETIRED_STASH
+            }
+        );
+        // Live zoom composites — any stash id, the reserved one
+        // included — are views and never encodable.
+        for stash in [0, RETIRED_STASH - 1, RETIRED_STASH] {
+            let mut b = BytesMut::new();
+            assert!(put_kind(&mut b, &NodeKind::Zoomed { stash }).is_err());
         }
     }
 

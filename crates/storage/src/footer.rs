@@ -1,0 +1,414 @@
+//! The v2 node-table footer: per-record byte offsets, a visibility
+//! bitmap, successor adjacency, and module/kind postings, terminated by
+//! a fixed-width trailer.
+//!
+//! Layout appended after the v1-compatible body (all integers varint
+//! unless noted):
+//!
+//! ```text
+//! footer payload:
+//!   node_count                 (must match the header's)
+//!   first_record_offset        byte offset of record 0
+//!   per node: record_len       (offsets reconstruct by prefix sum)
+//!   visible bitmap             ceil(node_count / 8) bytes, bit i = visible
+//!   per node: succ_count, succ id deltas   (successor adjacency, sorted)
+//!   module_count
+//!   per module: name, id_count, id deltas  (visible nodes owned by the
+//!                                           module's invocations)
+//!   kind_count
+//!   per kind: name, id_count, id deltas    (visible nodes of that kind)
+//! trailer (fixed width, little-endian):
+//!   footer_len  u64            length of the payload above
+//!   magic       "LPIX"         4 bytes
+//!   version     u8             currently 1
+//! ```
+//!
+//! Readers locate the footer from the end of the file: verify the
+//! 13-byte trailer, then parse `footer_len` bytes before it. The
+//! postings cover only *visible* nodes, so a postings-driven scan never
+//! faults a tombstone's record. Successor lists are raw adjacency
+//! (edges to invisible nodes included), matching the resident graph's
+//! `succs()` — traversals filter by visibility, exactly as they do in
+//! memory.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, BytesMut};
+use lipstick_core::{NodeId, ProvGraph};
+
+use crate::error::{Result, StorageError};
+use crate::varint::{get_count, get_str, get_u32, get_u64, put_str, put_u64};
+
+/// Magic bytes of the footer trailer.
+pub const FOOTER_MAGIC: &[u8; 4] = b"LPIX";
+/// Footer layout version.
+pub const FOOTER_VERSION: u8 = 1;
+/// Fixed trailer width: footer_len (8) + magic (4) + version (1).
+pub const TRAILER_LEN: usize = 13;
+
+/// Accumulates record offsets during encoding, then serializes the
+/// footer and trailer.
+pub struct FooterWriter {
+    offsets: Vec<u64>,
+    records_end: u64,
+}
+
+impl FooterWriter {
+    pub fn new(node_count: usize) -> FooterWriter {
+        FooterWriter {
+            offsets: Vec::with_capacity(node_count + 1),
+            records_end: 0,
+        }
+    }
+
+    /// Record that the next node record starts at `offset`.
+    pub fn record_starts_at(&mut self, offset: u64) {
+        self.offsets.push(offset);
+    }
+
+    /// Record where the last node record ends (= start of the
+    /// invocation table).
+    pub fn records_end_at(&mut self, offset: u64) {
+        self.records_end = offset;
+    }
+
+    /// Serialize the footer payload and trailer onto `buf`. Postings
+    /// and successor adjacency come from the graph being encoded.
+    pub fn finish(mut self, graph: &ProvGraph, buf: &mut BytesMut) {
+        self.offsets.push(self.records_end);
+        let n = graph.len();
+        debug_assert_eq!(self.offsets.len(), n + 1);
+
+        let start = buf.len();
+        put_u64(buf, n as u64);
+        put_u64(buf, self.offsets.first().copied().unwrap_or(0));
+        for w in self.offsets.windows(2) {
+            put_u64(buf, w[1] - w[0]);
+        }
+
+        // Visibility bitmap. Persisted graphs have no zoom-hidden nodes
+        // (the encoder rejects active zooms), so visible = !deleted.
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for (id, node) in graph.iter() {
+            if node.is_visible() {
+                bitmap[id.index() / 8] |= 1 << (id.index() % 8);
+            }
+        }
+        buf.put_slice(&bitmap);
+
+        // Successor adjacency (sorted, delta-encoded).
+        for (_, node) in graph.iter() {
+            let mut succs: Vec<u32> = node.succs().iter().map(|s| s.0).collect();
+            succs.sort_unstable();
+            put_u64(buf, succs.len() as u64);
+            let mut prev = 0u32;
+            for s in succs {
+                put_u64(buf, u64::from(s - prev));
+                prev = s;
+            }
+        }
+
+        // Module and kind postings over visible nodes.
+        let mut by_module: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut by_kind: BTreeMap<&'static str, Vec<u32>> = BTreeMap::new();
+        for (id, node) in graph.iter() {
+            if !node.is_visible() {
+                continue;
+            }
+            if let Some(inv) = node.role.invocation() {
+                by_module
+                    .entry(graph.invocation(inv).module.clone())
+                    .or_default()
+                    .push(id.0);
+            }
+            by_kind.entry(node.kind.name()).or_default().push(id.0);
+        }
+        put_postings(buf, by_module.iter().map(|(k, v)| (k.as_str(), v)));
+        put_postings(buf, by_kind.iter().map(|(k, v)| (*k, v)));
+
+        // Trailer.
+        let footer_len = (buf.len() - start) as u64;
+        buf.put_slice(&footer_len.to_le_bytes());
+        buf.put_slice(FOOTER_MAGIC);
+        buf.put_u8(FOOTER_VERSION);
+    }
+}
+
+fn put_postings<'a>(
+    buf: &mut BytesMut,
+    groups: impl ExactSizeIterator<Item = (&'a str, &'a Vec<u32>)>,
+) {
+    put_u64(buf, groups.len() as u64);
+    for (name, ids) in groups {
+        put_str(buf, name);
+        put_u64(buf, ids.len() as u64);
+        let mut prev = 0u32;
+        for &id in ids {
+            put_u64(buf, u64::from(id - prev));
+            prev = id;
+        }
+    }
+}
+
+/// The parsed v2 footer: everything a lazy reader keeps resident.
+#[derive(Debug, Clone)]
+pub struct LogIndex {
+    /// `node_count + 1` entries: byte offset of each record, then the
+    /// end of the record section (= start of the invocation table).
+    offsets: Vec<u64>,
+    /// Bit i set = node i visible (not tombstoned).
+    visible: Vec<u8>,
+    /// CSR successor adjacency.
+    succ_starts: Vec<u32>,
+    succ_ids: Vec<NodeId>,
+    module_postings: BTreeMap<String, Vec<NodeId>>,
+    kind_postings: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl LogIndex {
+    /// Parse the footer of a v2 log. `data` is the whole file;
+    /// `node_count` comes from the header. Every structural claim the
+    /// footer makes is validated against the file's bounds, so a
+    /// truncated or garbled footer is an error, never a panic or an
+    /// oversized allocation.
+    pub fn parse(data: &[u8], node_count: usize) -> Result<LogIndex> {
+        if data.len() < TRAILER_LEN {
+            return Err(StorageError::Corrupt("missing footer trailer".into()));
+        }
+        let trailer = &data[data.len() - TRAILER_LEN..];
+        if &trailer[8..12] != FOOTER_MAGIC {
+            return Err(StorageError::Corrupt("bad footer magic".into()));
+        }
+        if trailer[12] != FOOTER_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported footer version {}",
+                trailer[12]
+            )));
+        }
+        let footer_len = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        let body_len = (data.len() - TRAILER_LEN) as u64;
+        if footer_len > body_len {
+            return Err(StorageError::Corrupt(format!(
+                "footer length {footer_len} exceeds file size"
+            )));
+        }
+        let footer_start = (body_len - footer_len) as usize;
+        let mut buf = &data[footer_start..data.len() - TRAILER_LEN];
+
+        let declared = get_u64(&mut buf)? as usize;
+        if declared != node_count {
+            return Err(StorageError::Corrupt(format!(
+                "footer node count {declared} does not match header {node_count}"
+            )));
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut at = get_u64(&mut buf)?;
+        offsets.push(at);
+        for _ in 0..node_count {
+            at = at
+                .checked_add(get_u64(&mut buf)?)
+                .ok_or_else(|| StorageError::Corrupt("record offset overflow".into()))?;
+            offsets.push(at);
+        }
+        if *offsets.last().expect("non-empty") > footer_start as u64 {
+            return Err(StorageError::Corrupt(
+                "record offsets run past the footer".into(),
+            ));
+        }
+
+        let bitmap_len = node_count.div_ceil(8);
+        if buf.remaining() < bitmap_len {
+            return Err(StorageError::Corrupt("truncated visibility bitmap".into()));
+        }
+        let mut visible = vec![0u8; bitmap_len];
+        buf.copy_to_slice(&mut visible);
+
+        let mut succ_starts = Vec::with_capacity(node_count + 1);
+        let mut succ_ids = Vec::new();
+        succ_starts.push(0u32);
+        for _ in 0..node_count {
+            let count = get_count(&mut buf)?;
+            let mut prev = 0u32;
+            for i in 0..count {
+                let delta = get_u32(&mut buf)?;
+                prev = if i == 0 {
+                    delta
+                } else {
+                    check_id_add(prev, delta)?
+                };
+                if prev as usize >= node_count {
+                    return Err(StorageError::Corrupt(format!(
+                        "successor id {prev} beyond node count {node_count}"
+                    )));
+                }
+                succ_ids.push(NodeId(prev));
+            }
+            succ_starts.push(succ_ids.len() as u32);
+        }
+
+        let module_postings = get_postings(&mut buf, node_count)?;
+        let kind_postings = get_postings(&mut buf, node_count)?;
+        if buf.has_remaining() {
+            return Err(StorageError::Corrupt(
+                "trailing garbage inside footer".into(),
+            ));
+        }
+        Ok(LogIndex {
+            offsets,
+            visible,
+            succ_starts,
+            succ_ids,
+            module_postings,
+            kind_postings,
+        })
+    }
+
+    /// Number of node records.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Byte range of record `id` within the file.
+    pub fn record_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        self.offsets[id.index()] as usize..self.offsets[id.index() + 1] as usize
+    }
+
+    /// Byte offset where the invocation table starts.
+    pub fn invocations_offset(&self) -> usize {
+        *self.offsets.last().expect("non-empty") as usize
+    }
+
+    /// Is node `id` visible (not tombstoned)?
+    pub fn is_visible(&self, id: NodeId) -> bool {
+        self.visible[id.index() / 8] & (1 << (id.index() % 8)) != 0
+    }
+
+    /// Successors of node `id` (raw adjacency; may include invisible
+    /// nodes).
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        let lo = self.succ_starts[id.index()] as usize;
+        let hi = self.succ_starts[id.index() + 1] as usize;
+        &self.succ_ids[lo..hi]
+    }
+
+    /// Visible nodes owned by the module's invocations (empty slice if
+    /// the module is unknown).
+    pub fn module_postings(&self, module: &str) -> &[NodeId] {
+        self.module_postings.get(module).map_or(&[], Vec::as_slice)
+    }
+
+    /// Visible nodes of the given kind name.
+    pub fn kind_postings(&self, kind: &str) -> &[NodeId] {
+        self.kind_postings.get(kind).map_or(&[], Vec::as_slice)
+    }
+
+    /// Count of visible nodes, straight off the bitmap.
+    pub fn visible_count(&self) -> usize {
+        self.visible.iter().map(|b| b.count_ones() as usize).sum()
+    }
+}
+
+fn check_id_add(prev: u32, delta: u32) -> Result<u32> {
+    prev.checked_add(delta)
+        .ok_or_else(|| StorageError::Corrupt("posting id overflow".into()))
+}
+
+fn get_postings(buf: &mut impl Buf, node_count: usize) -> Result<BTreeMap<String, Vec<NodeId>>> {
+    let groups = get_count(buf)?;
+    let mut out = BTreeMap::new();
+    for _ in 0..groups {
+        let name = get_str(buf)?;
+        let count = get_count(buf)?;
+        let mut ids = Vec::with_capacity(count);
+        let mut prev = 0u32;
+        for i in 0..count {
+            let delta = get_u32(buf)?;
+            prev = if i == 0 {
+                delta
+            } else {
+                check_id_add(prev, delta)?
+            };
+            if prev as usize >= node_count {
+                return Err(StorageError::Corrupt(format!(
+                    "posting id {prev} beyond node count {node_count}"
+                )));
+            }
+            ids.push(NodeId(prev));
+        }
+        out.insert(name, ids);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::encode_graph_v2;
+
+    fn small_graph() -> ProvGraph {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let t = g.add_times(&[a, b]);
+        g.add_plus(&[t]);
+        g
+    }
+
+    #[test]
+    fn footer_round_trips_offsets_and_succs() {
+        let g = small_graph();
+        let bytes = encode_graph_v2(&g).unwrap();
+        let index = LogIndex::parse(&bytes, g.len()).unwrap();
+        assert_eq!(index.node_count(), g.len());
+        for (id, node) in g.iter() {
+            assert_eq!(index.is_visible(id), node.is_visible());
+            let mut expect: Vec<NodeId> = node.succs().to_vec();
+            expect.sort();
+            assert_eq!(index.succs(id), expect.as_slice(), "succs of {id}");
+            assert!(!index.record_range(id).is_empty());
+        }
+        assert_eq!(index.visible_count(), g.visible_count());
+    }
+
+    #[test]
+    fn postings_cover_visible_kinds() {
+        let g = small_graph();
+        let bytes = encode_graph_v2(&g).unwrap();
+        let index = LogIndex::parse(&bytes, g.len()).unwrap();
+        assert_eq!(index.kind_postings("base_tuple").len(), 2);
+        assert_eq!(index.kind_postings("times").len(), 1);
+        assert_eq!(index.kind_postings("plus").len(), 1);
+        assert!(index.kind_postings("delta").is_empty());
+        assert!(index.module_postings("nope").is_empty());
+    }
+
+    #[test]
+    fn truncated_footer_is_error_not_panic() {
+        let g = small_graph();
+        let bytes = encode_graph_v2(&g).unwrap();
+        for cut in [0, 5, TRAILER_LEN - 1, bytes.len() - 4, bytes.len() - 1] {
+            assert!(
+                LogIndex::parse(&bytes[..cut], g.len()).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbled_trailer_magic_is_error() {
+        let g = small_graph();
+        let mut bytes = encode_graph_v2(&g).unwrap();
+        let at = bytes.len() - 3; // inside "LPIX"
+        bytes[at] ^= 0xff;
+        assert!(LogIndex::parse(&bytes, g.len()).is_err());
+    }
+
+    #[test]
+    fn oversized_footer_len_is_error() {
+        let g = small_graph();
+        let mut bytes = encode_graph_v2(&g).unwrap();
+        let at = bytes.len() - TRAILER_LEN;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(LogIndex::parse(&bytes, g.len()).is_err());
+    }
+}

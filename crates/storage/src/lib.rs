@@ -29,8 +29,15 @@
 
 pub mod codec;
 pub mod error;
+pub mod footer;
 pub mod log;
+pub mod paged;
 pub mod varint;
 
 pub use error::{Result, StorageError};
-pub use log::{decode_graph, encode_graph, load_graph, write_graph};
+pub use footer::{FooterWriter, LogIndex};
+pub use log::{
+    decode_graph, encode_graph, encode_graph_v2, load_graph, log_version, write_graph,
+    write_graph_v2,
+};
+pub use paged::PagedLog;

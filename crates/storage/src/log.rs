@@ -28,11 +28,18 @@ use lipstick_core::{NodeId, ProvGraph};
 
 use crate::codec::{get_kind, get_role, put_kind, put_retired_zoom, put_role};
 use crate::error::{Result, StorageError};
-use crate::varint::{get_str, get_u64, put_str, put_u64};
+use crate::footer::FooterWriter;
+use crate::varint::{get_count, get_str, get_u32, put_str, put_u64};
+use lipstick_core::graph::{InvocationInfo, RETIRED_STASH};
 use lipstick_core::NodeKind;
 
-const MAGIC: &[u8; 5] = b"LPSTK";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: &[u8; 5] = b"LPSTK";
+/// Original format: header + records + invocation table, full decode
+/// only.
+pub const VERSION_V1: u8 = 1;
+/// Footer-indexed format: identical records, plus a trailing
+/// [`crate::footer::LogIndex`] enabling lazy per-record reads.
+pub const VERSION_V2: u8 = 2;
 
 /// Serialize a graph to bytes.
 ///
@@ -40,6 +47,17 @@ const VERSION: u8 = 1;
 /// persist the underlying graph (ZoomIn first) and re-apply zooming
 /// after loading.
 pub fn encode_graph(graph: &ProvGraph) -> Result<Vec<u8>> {
+    encode_graph_versioned(graph, VERSION_V1)
+}
+
+/// Serialize a graph in the v2 indexed format: the same records as v1
+/// followed by a node-table footer ([`crate::footer::LogIndex`]) that
+/// lets readers fault in individual records without a full decode.
+pub fn encode_graph_v2(graph: &ProvGraph) -> Result<Vec<u8>> {
+    encode_graph_versioned(graph, VERSION_V2)
+}
+
+fn encode_graph_versioned(graph: &ProvGraph, version: u8) -> Result<Vec<u8>> {
     let zoomed: Vec<String> = graph
         .zoomed_out_modules()
         .into_iter()
@@ -50,16 +68,33 @@ pub fn encode_graph(graph: &ProvGraph) -> Result<Vec<u8>> {
     }
     let mut buf = BytesMut::with_capacity(64 + graph.len() * 16);
     buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
+    buf.put_u8(version);
     put_u64(&mut buf, graph.len() as u64);
+    let mut footer = FooterWriter::new(graph.len());
     for (_, node) in graph.iter() {
+        footer.record_starts_at(buf.len() as u64);
         let flags = u8::from(node.is_deleted());
         buf.put_u8(flags);
         put_role(&mut buf, &node.role);
         // Composite zoom nodes retired by ZoomIn stay in the arena as
         // unlinked tombstones; persist them as such so a graph that
         // went through a zoom cycle remains storable.
-        if node.is_deleted() && matches!(node.kind, NodeKind::Zoomed { .. }) {
+        if let NodeKind::Zoomed { stash } = node.kind {
+            if !node.is_deleted() {
+                // Unreachable given the zoomed-modules rejection above,
+                // but kept as a hard invariant.
+                return Err(StorageError::Corrupt(
+                    "zoomed composite nodes are views and cannot be persisted".into(),
+                ));
+            }
+            if stash != RETIRED_STASH {
+                // A dead composite must carry the reserved sentinel
+                // (ZoomIn remaps it); a live index here would decode to
+                // a different kind than was encoded.
+                return Err(StorageError::Corrupt(format!(
+                    "retired zoom composite carries live stash index {stash}"
+                )));
+            }
             put_retired_zoom(&mut buf);
         } else {
             put_kind(&mut buf, &node.kind)?;
@@ -69,13 +104,54 @@ pub fn encode_graph(graph: &ProvGraph) -> Result<Vec<u8>> {
             put_u64(&mut buf, u64::from(p.0));
         }
     }
+    footer.records_end_at(buf.len() as u64);
     put_u64(&mut buf, graph.invocations().len() as u64);
     for info in graph.invocations() {
         put_str(&mut buf, &info.module);
         put_u64(&mut buf, u64::from(info.execution));
         put_u64(&mut buf, u64::from(info.m_node.0));
     }
+    if version == VERSION_V2 {
+        footer.finish(graph, &mut buf);
+    }
     Ok(buf.to_vec())
+}
+
+/// The format version of an encoded log, if the header is recognisable
+/// (`None` = not a Lipstick provenance file). Lets callers choose
+/// between a full decode and a lazy open without reading twice.
+pub fn log_version(data: &[u8]) -> Option<u8> {
+    if data.len() >= 6 && &data[..5] == MAGIC {
+        Some(data[5])
+    } else {
+        None
+    }
+}
+
+/// Decode the invocation table section (shared by the full loader and
+/// the paged reader).
+pub(crate) fn decode_invocations(
+    buf: &mut impl Buf,
+    node_count: usize,
+) -> Result<Vec<InvocationInfo>> {
+    let inv_count = get_count(buf)?;
+    let mut invocations = Vec::with_capacity(inv_count);
+    for _ in 0..inv_count {
+        let module = get_str(buf)?;
+        let execution = get_u32(buf)?;
+        let m_node = get_u32(buf)?;
+        if m_node as usize >= node_count {
+            return Err(StorageError::Corrupt(format!(
+                "invocation m-node {m_node} beyond node count"
+            )));
+        }
+        invocations.push(InvocationInfo {
+            module,
+            execution,
+            m_node: NodeId(m_node),
+        });
+    }
+    Ok(invocations)
 }
 
 /// Deserialize a graph from bytes.
@@ -90,10 +166,12 @@ pub fn decode_graph(bytes: &[u8]) -> Result<ProvGraph> {
         return Err(StorageError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(StorageError::BadVersion(version));
     }
-    let node_count = get_u64(&mut buf)? as usize;
+    // v2 records are identical to v1; the sequential decode simply
+    // stops before the trailing footer, which only lazy readers parse.
+    let node_count = get_count(&mut buf)?;
     let mut graph = ProvGraph::new();
     // First pass: create nodes; collect pred lists.
     let mut pred_lists: Vec<Vec<NodeId>> = Vec::with_capacity(node_count);
@@ -105,17 +183,7 @@ pub fn decode_graph(bytes: &[u8]) -> Result<ProvGraph> {
         let flags = buf.get_u8();
         let role = get_role(&mut buf)?;
         let kind = get_kind(&mut buf)?;
-        let pred_count = get_u64(&mut buf)? as usize;
-        let mut preds = Vec::with_capacity(pred_count.min(4096));
-        for _ in 0..pred_count {
-            let p = get_u64(&mut buf)? as u32;
-            if p as usize >= node_count {
-                return Err(StorageError::Corrupt(format!(
-                    "edge references node {p} beyond node count {node_count}"
-                )));
-            }
-            preds.push(NodeId(p));
-        }
+        let preds = decode_pred_list(&mut buf, node_count)?;
         graph.add_node(kind, role);
         pred_lists.push(preds);
         deleted_flags.push(flags & 1 != 0);
@@ -135,24 +203,41 @@ pub fn decode_graph(bytes: &[u8]) -> Result<ProvGraph> {
             graph.set_node_deleted(NodeId(idx as u32), true);
         }
     }
-    let inv_count = get_u64(&mut buf)? as usize;
-    for _ in 0..inv_count {
-        let module = get_str(&mut buf)?;
-        let execution = get_u64(&mut buf)? as u32;
-        let m_node = get_u64(&mut buf)? as u32;
-        if m_node as usize >= node_count {
-            return Err(StorageError::Corrupt(format!(
-                "invocation m-node {m_node} beyond node count"
-            )));
-        }
-        graph.register_invocation(module, execution, NodeId(m_node));
+    for info in decode_invocations(&mut buf, node_count)? {
+        graph.register_invocation(info.module, info.execution, info.m_node);
     }
     Ok(graph)
 }
 
+/// Decode one record's predecessor list, validating ids against the
+/// node count.
+pub(crate) fn decode_pred_list(buf: &mut impl Buf, node_count: usize) -> Result<Vec<NodeId>> {
+    let pred_count = get_count(buf)?;
+    let mut preds = Vec::with_capacity(pred_count);
+    for _ in 0..pred_count {
+        let p = get_u32(buf)?;
+        if p as usize >= node_count {
+            return Err(StorageError::Corrupt(format!(
+                "edge references node {p} beyond node count {node_count}"
+            )));
+        }
+        preds.push(NodeId(p));
+    }
+    Ok(preds)
+}
+
 /// Write a graph to a file.
 pub fn write_graph(graph: &ProvGraph, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = encode_graph(graph)?;
+    write_bytes(encode_graph(graph)?, path)
+}
+
+/// Write a graph to a file in the v2 indexed format (see
+/// [`encode_graph_v2`]).
+pub fn write_graph_v2(graph: &ProvGraph, path: impl AsRef<Path>) -> Result<()> {
+    write_bytes(encode_graph_v2(graph)?, path)
+}
+
+fn write_bytes(bytes: Vec<u8>, path: impl AsRef<Path>) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&bytes)?;
     w.flush()?;

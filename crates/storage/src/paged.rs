@@ -1,0 +1,292 @@
+//! Lazy, footer-indexed access to a v2 provenance log.
+//!
+//! [`PagedLog`] keeps the raw file bytes plus the parsed
+//! [`LogIndex`] resident, and decodes individual node records only when
+//! a query touches them (a *fault*). Faulted records are cached, and the
+//! fault count is the "records read" figure ProQL's `EXPLAIN` reports —
+//! the measurable difference between a postings-driven scan and a full
+//! decode.
+//!
+//! Visibility and successor adjacency come from the footer, so pure
+//! reachability sweeps fault nothing; kinds, roles, and predecessor
+//! lists fault one record each, once.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::path::Path;
+
+use bytes::Buf;
+use lipstick_core::graph::InvocationInfo;
+use lipstick_core::store::GraphStore;
+use lipstick_core::{InvocationId, NodeId, NodeKind, ProvGraph, Role};
+
+use crate::codec::{get_kind, get_role};
+use crate::error::{Result, StorageError};
+use crate::footer::LogIndex;
+use crate::log::{decode_graph, decode_invocations, decode_pred_list, MAGIC, VERSION_V2};
+use crate::varint::get_count;
+
+/// One decoded node record.
+#[derive(Debug, Clone)]
+struct Record {
+    kind: NodeKind,
+    role: Role,
+    preds: Vec<NodeId>,
+}
+
+/// A v2 provenance log opened for lazy, record-at-a-time reads.
+pub struct PagedLog {
+    data: Vec<u8>,
+    index: LogIndex,
+    invocations: Vec<InvocationInfo>,
+    cache: RefCell<HashMap<u32, Record>>,
+    faults: Cell<usize>,
+}
+
+impl PagedLog {
+    /// Open a v2 log file. Fails with [`StorageError::BadVersion`] on a
+    /// v1 log (which has no footer; use [`crate::load_graph`]) and with
+    /// [`StorageError::Corrupt`] on a truncated or garbled footer.
+    pub fn open(path: impl AsRef<Path>) -> Result<PagedLog> {
+        PagedLog::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Open a v2 log already in memory.
+    pub fn from_bytes(data: Vec<u8>) -> Result<PagedLog> {
+        if data.len() < 6 {
+            return Err(StorageError::BadMagic);
+        }
+        if &data[..5] != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = data[5];
+        if version != VERSION_V2 {
+            return Err(StorageError::BadVersion(version));
+        }
+        let mut header = &data[6..];
+        let before = header.remaining();
+        let node_count = get_count(&mut header)?;
+        let records_start = 6 + (before - header.remaining());
+        let index = LogIndex::parse(&data, node_count)?;
+        if node_count > 0 && index.record_range(NodeId(0)).start < records_start {
+            return Err(StorageError::Corrupt(
+                "first record offset points into the header".into(),
+            ));
+        }
+        // The invocation table is small; decode it eagerly so module
+        // predicates never fault node records.
+        let inv_start = index.invocations_offset();
+        if inv_start > data.len() {
+            return Err(StorageError::Corrupt(
+                "invocation table offset beyond file".into(),
+            ));
+        }
+        let mut inv_buf = &data[inv_start..];
+        let invocations = decode_invocations(&mut inv_buf, node_count)?;
+        Ok(PagedLog {
+            data,
+            index,
+            invocations,
+            cache: RefCell::new(HashMap::new()),
+            faults: Cell::new(0),
+        })
+    }
+
+    /// The parsed footer index.
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// Number of node records decoded so far (cache misses).
+    pub fn faults(&self) -> usize {
+        self.faults.get()
+    }
+
+    /// Decode the *entire* log into a resident [`ProvGraph`] — the
+    /// promotion path for statements that must mutate (DELETE, ZOOM,
+    /// BUILD INDEX).
+    pub fn decode_full(&self) -> Result<ProvGraph> {
+        decode_graph(&self.data)
+    }
+
+    /// Fault in record `id`, consulting the cache first.
+    fn with_record<R>(&self, id: NodeId, f: impl FnOnce(&Record) -> R) -> Result<R> {
+        if let Some(rec) = self.cache.borrow().get(&id.0) {
+            return Ok(f(rec));
+        }
+        let range = self.index.record_range(id);
+        let mut buf = self
+            .data
+            .get(range)
+            .ok_or_else(|| StorageError::Corrupt(format!("record {id} out of file bounds")))?;
+        if !buf.has_remaining() {
+            return Err(StorageError::Corrupt(format!("empty record for {id}")));
+        }
+        let _flags = buf.get_u8();
+        let role = get_role(&mut buf)?;
+        let kind = get_kind(&mut buf)?;
+        let preds = decode_pred_list(&mut buf, self.index.node_count())?;
+        let rec = Record { kind, role, preds };
+        self.faults.set(self.faults.get() + 1);
+        let out = f(&rec);
+        self.cache.borrow_mut().insert(id.0, rec);
+        Ok(out)
+    }
+
+    fn expect_record<R>(&self, id: NodeId, f: impl FnOnce(&Record) -> R) -> R {
+        // GraphStore accessors are infallible (ids are minted by the
+        // store); a record that fails to decode *after* the footer
+        // validated its offsets is file corruption discovered late.
+        self.with_record(id, f)
+            .unwrap_or_else(|e| panic!("corrupt record {id}: {e}"))
+    }
+
+    /// Decode every record, verifying the whole file (used by tests and
+    /// `proql`'s corruption checks).
+    pub fn verify_all(&self) -> Result<()> {
+        for i in 0..self.index.node_count() {
+            self.with_record(NodeId(i as u32), |_| ())?;
+        }
+        Ok(())
+    }
+}
+
+impl GraphStore for PagedLog {
+    fn node_count(&self) -> usize {
+        self.index.node_count()
+    }
+
+    fn is_visible(&self, id: NodeId) -> bool {
+        self.index.is_visible(id)
+    }
+
+    fn kind_of(&self, id: NodeId) -> NodeKind {
+        self.expect_record(id, |r| r.kind.clone())
+    }
+
+    fn role_of(&self, id: NodeId) -> Role {
+        self.expect_record(id, |r| r.role)
+    }
+
+    fn preds_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.expect_record(id, |r| r.preds.clone())
+    }
+
+    fn succs_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.index.succs(id).to_vec()
+    }
+
+    fn invocations(&self) -> &[InvocationInfo] {
+        &self.invocations
+    }
+
+    fn invocation(&self, id: InvocationId) -> &InvocationInfo {
+        &self.invocations[id.index()]
+    }
+
+    fn records_read(&self) -> usize {
+        self.faults()
+    }
+
+    fn module_postings(&self, module: &str) -> Option<Vec<NodeId>> {
+        Some(self.index.module_postings(module).to_vec())
+    }
+
+    fn kind_postings(&self, kind: &str) -> Option<Vec<NodeId>> {
+        Some(self.index.kind_postings(kind).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{encode_graph, encode_graph_v2};
+    use lipstick_core::query::{depends_on, Direction};
+    use lipstick_core::store::{depends_on_store, expr_of_store, traverse_store};
+
+    fn sample() -> ProvGraph {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let c = g.add_base("c");
+        let t = g.add_times(&[a, b]);
+        let p = g.add_plus(&[t, c]);
+        g.add_delta(&[p]);
+        g
+    }
+
+    #[test]
+    fn paged_accessors_agree_with_resident() {
+        let g = sample();
+        let paged = PagedLog::from_bytes(encode_graph_v2(&g).unwrap()).unwrap();
+        assert_eq!(paged.node_count(), g.len());
+        for (id, node) in g.iter() {
+            assert_eq!(paged.is_visible(id), node.is_visible());
+            assert_eq!(paged.kind_of(id), node.kind);
+            assert_eq!(paged.role_of(id), node.role);
+            assert_eq!(paged.preds_of(id), node.preds().to_vec());
+            let mut succs = node.succs().to_vec();
+            succs.sort();
+            assert_eq!(paged.succs_of(id), succs);
+        }
+    }
+
+    #[test]
+    fn faults_count_distinct_records_only() {
+        let g = sample();
+        let paged = PagedLog::from_bytes(encode_graph_v2(&g).unwrap()).unwrap();
+        assert_eq!(paged.faults(), 0);
+        let id = NodeId(3);
+        let _ = paged.kind_of(id);
+        let _ = paged.role_of(id);
+        let _ = paged.preds_of(id);
+        assert_eq!(paged.faults(), 1, "one record, one fault");
+        let _ = paged.succs_of(NodeId(0));
+        assert!(paged.is_visible(NodeId(0)));
+        assert_eq!(
+            paged.faults(),
+            1,
+            "adjacency and visibility are index-level"
+        );
+    }
+
+    #[test]
+    fn generic_primitives_run_over_the_paged_store() {
+        let g = sample();
+        let paged = PagedLog::from_bytes(encode_graph_v2(&g).unwrap()).unwrap();
+        let root = NodeId(0);
+        let (nodes, _) =
+            traverse_store(&paged, root, Direction::Descendants, None, |_| true).unwrap();
+        let (expect, _) = traverse_store(&g, root, Direction::Descendants, None, |_| true).unwrap();
+        assert_eq!(nodes, expect);
+        assert_eq!(
+            expr_of_store(&paged, NodeId(5)).to_string(),
+            g.expr_of(NodeId(5)).to_string()
+        );
+        for (n, _) in g.iter_visible() {
+            for (m, _) in g.iter_visible() {
+                assert_eq!(
+                    depends_on_store(&paged, n, m).unwrap(),
+                    depends_on(&g, n, m).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_log_is_rejected_with_bad_version() {
+        let g = sample();
+        let bytes = encode_graph(&g).unwrap();
+        assert!(matches!(
+            PagedLog::from_bytes(bytes),
+            Err(StorageError::BadVersion(1))
+        ));
+    }
+
+    #[test]
+    fn full_decode_of_v2_matches_v1_decode() {
+        let g = sample();
+        let v2 = decode_graph(&encode_graph_v2(&g).unwrap()).unwrap();
+        assert_eq!(v2.visible_signature(), g.visible_signature());
+    }
+}

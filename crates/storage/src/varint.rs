@@ -48,6 +48,30 @@ pub fn get_i64(buf: &mut impl Buf) -> Result<i64> {
     Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
 }
 
+/// Read a count that prefixes `count` encoded elements, each at least
+/// one byte long. A declared count larger than the remaining buffer can
+/// only come from corruption — rejecting it here caps what downstream
+/// `Vec::with_capacity` calls can allocate from untrusted input.
+pub fn get_count(buf: &mut impl Buf) -> Result<usize> {
+    let n = get_u64(buf)?;
+    let remaining = buf.remaining() as u64;
+    if n > remaining {
+        return Err(StorageError::Corrupt(format!(
+            "declared count {n} exceeds {remaining} remaining bytes"
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// Read a varint that must fit in `u32` (node ids, invocation ids,
+/// execution numbers). Values above `u32::MAX` previously wrapped
+/// silently via `as u32`; they are corruption and must be rejected.
+pub fn get_u32(buf: &mut impl Buf) -> Result<u32> {
+    let raw = get_u64(buf)?;
+    u32::try_from(raw)
+        .map_err(|_| StorageError::Corrupt(format!("value {raw} overflows 32-bit field")))
+}
+
 /// Append a length-prefixed UTF-8 string.
 pub fn put_str(buf: &mut impl BufMut, s: &str) {
     put_u64(buf, s.len() as u64);

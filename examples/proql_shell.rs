@@ -43,7 +43,14 @@ fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
             eprintln!("loading provenance log {path}");
             Ok(Session::load(path)?)
         }
-        Some(other) => Err(format!("unknown argument '{other}' (try --load PATH)").into()),
+        Some("--open") => {
+            let path = args.next().ok_or("--open requires a path")?;
+            eprintln!("opening provenance log {path} lazily (v2 footer index)");
+            Ok(Session::open(path)?)
+        }
+        Some(other) => {
+            Err(format!("unknown argument '{other}' (try --load PATH or --open PATH)").into())
+        }
         None => {
             eprintln!("running the Car-dealerships workflow (24 cars, 3 executions)…");
             let params = DealersParams {
@@ -60,10 +67,14 @@ fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = build_session()?;
-    println!(
-        "proql shell — graph has {} visible nodes; end statements with ';', \\help for help",
-        session.graph().visible_count()
-    );
+    if session.is_paged() {
+        println!("proql shell — paged session; records fault in per query, \\help for help");
+    } else {
+        println!(
+            "proql shell — graph has {} visible nodes; end statements with ';', \\help for help",
+            session.graph().visible_count()
+        );
+    }
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -82,9 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             "\\dot" => {
-                match &last_nodes {
-                    Some(ns) => println!("{}", ns.to_dot(session.graph(), "proql")),
-                    None => println!("no node-set result yet"),
+                match (&last_nodes, session.resident_graph()) {
+                    (Some(ns), Some(graph)) => println!("{}", ns.to_dot(graph, "proql")),
+                    (Some(_), None) => {
+                        println!("(paged session — DOT rendering needs the resident graph)")
+                    }
+                    (None, _) => println!("no node-set result yet"),
                 }
                 print!("proql> ");
                 std::io::stdout().flush()?;
@@ -103,7 +117,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 for out in outputs {
                     match out {
                         QueryOutput::Nodes(ns) => {
-                            println!("{}", ns.render(session.graph(), 20));
+                            match session.resident_graph() {
+                                Some(graph) => println!("{}", ns.render(graph, 20)),
+                                // Paged sessions print ids only; labels
+                                // would fault every listed record.
+                                None => println!("{ns}"),
+                            }
                             last_nodes = Some(ns);
                         }
                         other => println!("{other}"),
