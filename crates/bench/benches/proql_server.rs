@@ -1,0 +1,127 @@
+//! lipstick-serve throughput: the plan-keyed result cache and the
+//! worker pool under repeated interactive workloads.
+//!
+//! - `proql_server_cache`: one client replaying the same `MATCH`-heavy
+//!   statement mix against two servers — cache enabled vs disabled.
+//!   Hits skip planning, execution, and rendering, so the hot-cache
+//!   server must win.
+//! - `proql_server_clients`: the same fixed query volume issued by 1
+//!   vs N concurrent clients against a paged backend; the worker pool
+//!   and the `Send + Sync` paged log let N clients share the work.
+//!   The speedup tracks the machine's core count (printed with the
+//!   results): on a single-core box the expected result is parity —
+//!   i.e. concurrency costs nothing — not a linear win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipstick_bench::run_dealers;
+use lipstick_proql::Session;
+use lipstick_serve::{Client, Server, ServerConfig, ServerHandle};
+use lipstick_storage::write_graph_v2;
+use lipstick_workflowgen::DealersParams;
+
+/// A ~10k-node dealers provenance log on disk, served paged.
+fn serve_paged(workers: usize, cache_capacity: usize) -> ServerHandle {
+    let params = DealersParams {
+        num_cars: 200,
+        num_exec: 10,
+        seed: 1_000_003,
+    };
+    let graph = run_dealers(&params, true).graph.expect("tracking on");
+    let path = std::env::temp_dir().join(format!(
+        "lipstick-bench-server-{workers}-{cache_capacity}.lpstk"
+    ));
+    write_graph_v2(&graph, &path).unwrap();
+    let session = Session::open(&path).unwrap();
+    assert!(session.is_paged());
+    Server::new(
+        session,
+        ServerConfig {
+            workers,
+            cache_capacity,
+        },
+    )
+    .serve("127.0.0.1:0")
+    .unwrap()
+}
+
+/// The repeated interactive mix: module-filtered and kind-filtered
+/// MATCHes plus a ranged predicate — the queries an exploring user
+/// re-issues while narrowing in.
+const WORKLOAD: &[&str] = &[
+    "MATCH m-nodes WHERE module = 'Mdealer1'",
+    "MATCH base-nodes",
+    "MATCH nodes WHERE module = 'Mdealer1' AND execution < 3",
+    "MATCH o-nodes WHERE execution >= 5",
+];
+
+fn proql_server_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_server_cache");
+    group.sample_size(10);
+    for (label, capacity) in [("uncached", 0usize), ("hot_cache", 256)] {
+        let handle = serve_paged(2, capacity);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Prime: the hot-cache server answers everything once so the
+        // timed loop measures steady-state hits.
+        for stmt in WORKLOAD {
+            assert!(client.query(stmt).unwrap().is_ok());
+        }
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                for _ in 0..5 {
+                    for stmt in WORKLOAD {
+                        let reply = client.query(stmt).unwrap();
+                        assert!(reply.is_ok());
+                    }
+                }
+            })
+        });
+        let (hits, misses) = handle.cache_stats();
+        println!("  {label}: {hits} hits / {misses} misses");
+        if capacity > 0 {
+            assert!(hits > misses, "hot server must serve mostly hits");
+        } else {
+            assert_eq!(hits, 0, "disabled cache must never hit");
+        }
+        drop(client);
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+fn proql_server_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_server_clients");
+    group.sample_size(10);
+    println!(
+        "  (available parallelism: {} core(s); expect ~parity on 1)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    // Fixed total volume, split across the clients; the cache is off so
+    // every query costs real execution and the pool has work to share.
+    // Volume is high enough that per-iteration connect/spawn overhead
+    // does not drown the serving time being measured.
+    const TOTAL_QUERIES: usize = 512;
+    for clients in [1usize, 4] {
+        let handle = serve_paged(4, 0);
+        let addr = handle.addr();
+        group.bench_function(BenchmarkId::from_parameter(clients), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..clients {
+                        scope.spawn(|| {
+                            let mut client = Client::connect(addr).unwrap();
+                            for i in 0..TOTAL_QUERIES / clients {
+                                let stmt = WORKLOAD[i % WORKLOAD.len()];
+                                assert!(client.query(stmt).unwrap().is_ok());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, proql_server_cache, proql_server_clients);
+criterion_main!(benches);

@@ -123,6 +123,23 @@ impl Field {
 pub enum CmpOp {
     Eq,
     Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
 }
 
 /// Literal comparison value.
@@ -149,13 +166,48 @@ pub struct Comparison {
     pub value: Lit,
 }
 
+/// A node's actual value for a predicate field, when the field applies
+/// to the node.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldValue<'a> {
+    Str(&'a str),
+    Int(u64),
+}
+
+impl Comparison {
+    /// Evaluate against a node's actual field value. `None` means the
+    /// field does not apply (e.g. `module` on a free node); then — and
+    /// on a type-mismatched literal — `!=` holds and every other
+    /// operator fails, matching the original equality-only semantics.
+    /// Integers compare numerically, strings lexicographically.
+    pub fn eval(&self, actual: Option<FieldValue<'_>>) -> bool {
+        let ord = match (actual, &self.value) {
+            (Some(FieldValue::Str(a)), Lit::Str(want)) => Some(a.cmp(want.as_str())),
+            (Some(FieldValue::Int(a)), Lit::Int(want)) => Some(a.cmp(want)),
+            _ => None,
+        };
+        match (self.op, ord) {
+            (CmpOp::Ne, None) => true,
+            (_, None) => false,
+            (CmpOp::Eq, Some(o)) => o.is_eq(),
+            (CmpOp::Ne, Some(o)) => o.is_ne(),
+            (CmpOp::Lt, Some(o)) => o.is_lt(),
+            (CmpOp::Le, Some(o)) => o.is_le(),
+            (CmpOp::Gt, Some(o)) => o.is_gt(),
+            (CmpOp::Ge, Some(o)) => o.is_ge(),
+        }
+    }
+}
+
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let op = match self.op {
-            CmpOp::Eq => "=",
-            CmpOp::Ne => "!=",
-        };
-        write!(f, "{} {op} {}", self.field.name(), self.value)
+        write!(
+            f,
+            "{} {} {}",
+            self.field.name(),
+            self.op.symbol(),
+            self.value
+        )
     }
 }
 
@@ -300,4 +352,24 @@ pub enum Statement {
     Explain(Box<Statement>),
     /// `STATS` — graph statistics.
     Stats,
+}
+
+impl Statement {
+    /// Can this statement run against a shared, immutable session?
+    ///
+    /// Read-only statements (`MATCH`, walks, `SUBGRAPH OF`, `WHY`,
+    /// `DEPENDS`, `EVAL`, `EXPLAIN`, `STATS`, set operations) may
+    /// execute concurrently through [`crate::Session::run_read`];
+    /// everything else (`DELETE PROPAGATE`, zooms, index maintenance)
+    /// mutates session state and must serialize through `&mut` access.
+    pub fn is_read_only(&self) -> bool {
+        !matches!(
+            self,
+            Statement::DeletePropagate(_)
+                | Statement::ZoomOut(_)
+                | Statement::ZoomIn(_)
+                | Statement::BuildIndex
+                | Statement::DropIndex
+        )
+    }
 }

@@ -23,6 +23,9 @@ pub enum ProqlError {
     Query(QueryError),
     /// Loading a provenance log failed.
     Storage(String),
+    /// A mutating statement reached a read-only execution path
+    /// ([`crate::Session::run_read`]).
+    ReadOnly(String),
 }
 
 impl fmt::Display for ProqlError {
@@ -46,6 +49,10 @@ impl fmt::Display for ProqlError {
             ),
             ProqlError::Query(e) => write!(f, "query error: {e}"),
             ProqlError::Storage(m) => write!(f, "storage error: {m}"),
+            ProqlError::ReadOnly(stmt) => write!(
+                f,
+                "statement mutates the session and cannot run on a read-only handle: {stmt}"
+            ),
         }
     }
 }

@@ -22,21 +22,29 @@ use lipstick_core::{
     InvocationId, Node, NodeId, NodeKind, Polynomial, ProvExpr, ProvGraph, Semiring, Token,
 };
 
-use crate::ast::{CmpOp, Comparison, Field, Lit, NodeClass, Predicate, SemiringName, WalkDir};
+use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, SemiringName, WalkDir};
 use crate::error::Result;
 use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
 use crate::result::{NodeSetResult, QueryOutput};
 use crate::session::Session;
 
-/// Execute one planned statement against the session.
-pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOutput> {
+/// Execute one planned **read-only** statement against a resident
+/// graph, without exclusive access to the session — the execution arm
+/// `lipstick-serve` runs concurrently under a shared read lock.
+/// Mutating plans (`DELETE`, zooms, index maintenance) never reach this
+/// function; they go through [`execute`], which holds `&mut Session`.
+pub(crate) fn execute_read(
+    graph: &ProvGraph,
+    reach: Option<&ReachIndex>,
+    plan: &StmtPlan,
+) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Set(p) => {
-            let (nodes, visited) = run_set(session.graph(), session.reach(), p)?;
+            let (nodes, visited) = run_set(graph, reach, p)?;
             Ok(QueryOutput::Nodes(NodeSetResult { nodes, visited }))
         }
         StmtPlan::Why(n) => {
-            let expr = session.graph().expr_of(*n);
+            let expr = graph.expr_of(*n);
             Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
         StmtPlan::Depends {
@@ -46,10 +54,10 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
         } => {
             let value = match strategy {
                 DependsStrategy::Propagation | DependsStrategy::PagedPropagation => {
-                    depends_on(session.graph(), *n, *n_prime)?
+                    depends_on(graph, *n, *n_prime)?
                 }
                 DependsStrategy::ReachPrefilter => {
-                    let index = session.reach().expect("planned with a reach index");
+                    let index = reach.expect("planned with a reach index");
                     if n == n_prime {
                         true
                     } else if !index.reaches(*n_prime, *n) {
@@ -57,12 +65,41 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
                         // descendants; n is not one.
                         false
                     } else {
-                        depends_on(session.graph(), *n, *n_prime)?
+                        depends_on(graph, *n, *n_prime)?
                     }
                 }
             };
             Ok(QueryOutput::Bool(value))
         }
+        StmtPlan::Eval(n, semiring) => {
+            let expr = graph.expr_of(*n);
+            Ok(QueryOutput::Text(eval_expr_in_semiring(
+                *n, &expr, *semiring,
+            )))
+        }
+        StmtPlan::Stats => {
+            let mut text = stats(graph).to_string();
+            text.push_str(&format!(
+                "  {} invocation(s), {} zoomed-out module(s), reach index: {}",
+                graph.invocations().len(),
+                graph.zoomed_out_modules().len(),
+                if reach.is_some() { "present" } else { "absent" }
+            ));
+            Ok(QueryOutput::Text(text))
+        }
+        StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+        StmtPlan::Delete(_)
+        | StmtPlan::ZoomOut { .. }
+        | StmtPlan::ZoomIn { .. }
+        | StmtPlan::BuildIndex
+        | StmtPlan::DropIndex => Err(crate::error::ProqlError::ReadOnly(plan.to_string())),
+    }
+}
+
+/// Execute one planned statement against the session, mutating it where
+/// the plan calls for it. Read-only plans delegate to [`execute_read`].
+pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOutput> {
+    match plan {
         StmtPlan::Delete(n) => {
             let report = propagate_deletion_inplace(session.graph_mut(), *n)?;
             session.invalidate_index();
@@ -112,12 +149,6 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             }
             Ok(QueryOutput::Message(msg))
         }
-        StmtPlan::Eval(n, semiring) => {
-            let expr = session.graph().expr_of(*n);
-            Ok(QueryOutput::Text(eval_expr_in_semiring(
-                *n, &expr, *semiring,
-            )))
-        }
         StmtPlan::BuildIndex => {
             let index = ReachIndex::build(session.graph());
             let bytes = index.memory_bytes();
@@ -130,22 +161,7 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             session.invalidate_index();
             Ok(QueryOutput::Message("reach index dropped".into()))
         }
-        StmtPlan::Stats => {
-            let graph = session.graph();
-            let mut text = stats(graph).to_string();
-            text.push_str(&format!(
-                "  {} invocation(s), {} zoomed-out module(s), reach index: {}",
-                graph.invocations().len(),
-                graph.zoomed_out_modules().len(),
-                if session.reach().is_some() {
-                    "present"
-                } else {
-                    "absent"
-                }
-            ));
-            Ok(QueryOutput::Text(text))
-        }
-        StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+        read_only => execute_read(session.graph(), session.reach(), read_only),
     }
 }
 
@@ -320,24 +336,19 @@ fn pred_matches(graph: &ProvGraph, _id: NodeId, node: &Node, pred: &Predicate) -
 }
 
 fn comparison_matches(graph: &ProvGraph, node: &Node, c: &Comparison) -> bool {
-    let holds = match (&c.field, &c.value) {
-        (Field::Kind, Lit::Str(want)) => node.kind.name() == want,
-        (Field::Role, Lit::Str(want)) => node.role.name() == want,
-        (Field::Module, Lit::Str(want)) => node
+    let actual = match c.field {
+        Field::Kind => Some(FieldValue::Str(node.kind.name())),
+        Field::Role => Some(FieldValue::Str(node.role.name())),
+        Field::Module => node
             .role
             .invocation()
-            .is_some_and(|inv| graph.invocation(inv).module == *want),
-        (Field::Execution, Lit::Int(want)) => node
+            .map(|inv| FieldValue::Str(graph.invocation(inv).module.as_str())),
+        Field::Execution => node
             .role
             .invocation()
-            .is_some_and(|inv| u64::from(graph.invocation(inv).execution) == *want),
-        // Type-mismatched comparisons never hold.
-        _ => false,
+            .map(|inv| FieldValue::Int(u64::from(graph.invocation(inv).execution))),
     };
-    match c.op {
-        CmpOp::Eq => holds,
-        CmpOp::Ne => !holds,
-    }
+    c.eval(actual)
 }
 
 pub(crate) fn merge_union(xs: Vec<NodeId>, ys: Vec<NodeId>) -> Vec<NodeId> {

@@ -25,6 +25,10 @@ pub enum Tok {
     Semi,
     Eq,
     Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 impl std::fmt::Display for Tok {
@@ -40,6 +44,10 @@ impl std::fmt::Display for Tok {
             Tok::Semi => f.write_str(";"),
             Tok::Eq => f.write_str("="),
             Tok::Ne => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
         }
     }
 }
@@ -90,6 +98,24 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
             '!' if bytes.get(i + 1) == Some(&'=') => {
                 out.push(Tok::Ne);
                 i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
             }
             '\'' => {
                 let start = i + 1;

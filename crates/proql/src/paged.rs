@@ -14,7 +14,7 @@ use lipstick_core::store::{
 };
 use lipstick_core::{NodeId, NodeKind};
 
-use crate::ast::{CmpOp, Comparison, Field, Lit, NodeClass, Predicate, WalkDir};
+use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, WalkDir};
 use crate::error::{ProqlError, Result};
 use crate::exec::{eval_expr_in_semiring, why_text};
 use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan};
@@ -166,22 +166,17 @@ fn pred_matches<S: GraphStore>(store: &S, id: NodeId, pred: &Predicate) -> bool 
 }
 
 fn comparison_matches<S: GraphStore>(store: &S, id: NodeId, c: &Comparison) -> bool {
-    let holds = match (&c.field, &c.value) {
-        (Field::Kind, Lit::Str(want)) => store.kind_of(id).name() == want,
-        (Field::Role, Lit::Str(want)) => store.role_of(id).name() == want,
-        (Field::Module, Lit::Str(want)) => store
+    let actual = match c.field {
+        Field::Kind => Some(FieldValue::Str(store.kind_of(id).name())),
+        Field::Role => Some(FieldValue::Str(store.role_of(id).name())),
+        Field::Module => store
             .role_of(id)
             .invocation()
-            .is_some_and(|inv| store.invocation(inv).module == *want),
-        (Field::Execution, Lit::Int(want)) => store
+            .map(|inv| FieldValue::Str(store.invocation(inv).module.as_str())),
+        Field::Execution => store
             .role_of(id)
             .invocation()
-            .is_some_and(|inv| u64::from(store.invocation(inv).execution) == *want),
-        // Type-mismatched comparisons never hold.
-        _ => false,
+            .map(|inv| FieldValue::Int(u64::from(store.invocation(inv).execution))),
     };
-    match c.op {
-        CmpOp::Eq => holds,
-        CmpOp::Ne => !holds,
-    }
+    c.eval(actual)
 }

@@ -260,9 +260,14 @@ impl Parser {
         let op = match self.bump() {
             Some(Tok::Eq) => CmpOp::Eq,
             Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
             other => {
                 return Err(ProqlError::Parse(format!(
-                    "expected '=' or '!=' after {}, found {}",
+                    "expected a comparison operator ('=', '!=', '<', '<=', '>', '>=') after {}, \
+                     found {}",
                     field.name(),
                     other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
                 )))
@@ -378,6 +383,52 @@ mod tests {
         assert_eq!(class, NodeClass::All);
         assert_eq!(filter.conjuncts.len(), 2);
         assert_eq!(filter.required_module(), Some("M"));
+    }
+
+    #[test]
+    fn ordered_comparisons_parse() {
+        let s = parse_statement(
+            "MATCH nodes WHERE execution < 5 AND execution >= 2 AND kind <= 'delta' AND \
+             execution > 0",
+        )
+        .unwrap();
+        let Statement::Query(SetExpr::Term(SetTerm::Match { filter, .. })) = s else {
+            panic!("wrong shape");
+        };
+        let ops: Vec<CmpOp> = filter.conjuncts.iter().map(|c| c.op).collect();
+        assert_eq!(ops, vec![CmpOp::Lt, CmpOp::Ge, CmpOp::Le, CmpOp::Gt]);
+        assert_eq!(
+            filter.to_string(),
+            "execution < 5 AND execution >= 2 AND kind <= 'delta' AND execution > 0"
+        );
+    }
+
+    #[test]
+    fn comparison_eval_semantics() {
+        use crate::ast::FieldValue;
+        let cmp = |op, value| Comparison {
+            field: Field::Execution,
+            op,
+            value,
+        };
+        let lt5 = cmp(CmpOp::Lt, Lit::Int(5));
+        assert!(lt5.eval(Some(FieldValue::Int(4))));
+        assert!(!lt5.eval(Some(FieldValue::Int(5))));
+        assert!(!lt5.eval(None), "inapplicable field fails ordered ops");
+        // Type mismatch: only != holds, as with equality-only semantics.
+        assert!(!lt5.eval(Some(FieldValue::Str("x"))));
+        assert!(cmp(CmpOp::Ne, Lit::Int(5)).eval(None));
+        let ge = cmp(CmpOp::Ge, Lit::Int(2));
+        assert!(ge.eval(Some(FieldValue::Int(2))));
+        assert!(!ge.eval(Some(FieldValue::Int(1))));
+        // Strings order lexicographically.
+        let kind_le = Comparison {
+            field: Field::Kind,
+            op: CmpOp::Le,
+            value: Lit::Str("delta".into()),
+        };
+        assert!(kind_le.eval(Some(FieldValue::Str("base_tuple"))));
+        assert!(!kind_le.eval(Some(FieldValue::Str("times"))));
     }
 
     #[test]

@@ -84,7 +84,65 @@ pub enum QueryOutput {
     Message(String),
 }
 
+/// Escape a string for embedding in a JSON document (quotes,
+/// backslashes, and control characters; everything else passes
+/// through, JSON being UTF-8).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_id_array(nodes: &[NodeId]) -> String {
+    let ids: Vec<String> = nodes.iter().map(|n| n.0.to_string()).collect();
+    format!("[{}]", ids.join(","))
+}
+
 impl QueryOutput {
+    /// Render as a single-line JSON value — the representation
+    /// `lipstick-serve`'s HTTP shim returns. Every variant carries a
+    /// `"type"` discriminator:
+    ///
+    /// ```text
+    /// {"type":"nodes","count":3,"visited":9,"nodes":[1,4,7]}
+    /// {"type":"bool","value":true}
+    /// {"type":"text","text":"…"}
+    /// {"type":"deleted","count":2,"nodes":[3,5]}
+    /// {"type":"message","message":"…"}
+    /// ```
+    pub fn to_json(&self) -> String {
+        match self {
+            QueryOutput::Nodes(ns) => format!(
+                r#"{{"type":"nodes","count":{},"visited":{},"nodes":{}}}"#,
+                ns.len(),
+                ns.visited,
+                json_id_array(&ns.nodes)
+            ),
+            QueryOutput::Bool(b) => format!(r#"{{"type":"bool","value":{b}}}"#),
+            QueryOutput::Text(t) => format!(r#"{{"type":"text","text":"{}"}}"#, json_escape(t)),
+            QueryOutput::Deleted { nodes } => format!(
+                r#"{{"type":"deleted","count":{},"nodes":{}}}"#,
+                nodes.len(),
+                json_id_array(nodes)
+            ),
+            QueryOutput::Message(m) => {
+                format!(r#"{{"type":"message","message":"{}"}}"#, json_escape(m))
+            }
+        }
+    }
+
     /// The node set, when this output carries one.
     pub fn nodes(&self) -> Option<&NodeSetResult> {
         match self {
@@ -132,5 +190,62 @@ impl fmt::Display for QueryOutput {
             }
             QueryOutput::Message(m) => write!(f, "{m}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshots_cover_every_variant() {
+        let nodes = QueryOutput::Nodes(NodeSetResult {
+            nodes: vec![NodeId(1), NodeId(4), NodeId(7)],
+            visited: 9,
+        });
+        assert_eq!(
+            nodes.to_json(),
+            r#"{"type":"nodes","count":3,"visited":9,"nodes":[1,4,7]}"#
+        );
+        assert_eq!(
+            QueryOutput::Bool(true).to_json(),
+            r#"{"type":"bool","value":true}"#
+        );
+        assert_eq!(
+            QueryOutput::Text("a \"quoted\"\nline".into()).to_json(),
+            r#"{"type":"text","text":"a \"quoted\"\nline"}"#
+        );
+        assert_eq!(
+            QueryOutput::Deleted {
+                nodes: vec![NodeId(3), NodeId(5)],
+            }
+            .to_json(),
+            r#"{"type":"deleted","count":2,"nodes":[3,5]}"#
+        );
+        assert_eq!(
+            QueryOutput::Message("zoomed out 1 module(s)".into()).to_json(),
+            r#"{"type":"message","message":"zoomed out 1 module(s)"}"#
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_controls_and_unicode() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("naïve ⟨M#1⟩"), "naïve ⟨M#1⟩");
+        assert_eq!(json_escape("back\\slash \"q\""), "back\\\\slash \\\"q\\\"");
+    }
+
+    #[test]
+    fn empty_node_set_renders_empty_array() {
+        let out = QueryOutput::Nodes(NodeSetResult {
+            nodes: vec![],
+            visited: 0,
+        });
+        assert_eq!(
+            out.to_json(),
+            r#"{"type":"nodes","count":0,"visited":0,"nodes":[]}"#
+        );
     }
 }

@@ -175,8 +175,15 @@ impl Session {
     /// Run exactly one statement.
     pub fn run_one(&mut self, statement: &str) -> Result<QueryOutput> {
         let stmt = parse_statement(statement)?;
+        self.run_stmt(&stmt)
+    }
+
+    /// Run one already-parsed statement, mutating the session where the
+    /// statement calls for it — the exclusive-access counterpart of
+    /// [`Session::run_read_stmt`].
+    pub fn run_stmt(&mut self, stmt: &Statement) -> Result<QueryOutput> {
         self.run_fused(&FusedStatement {
-            stmt,
+            stmt: stmt.clone(),
             fused_from: 1,
         })
     }
@@ -190,28 +197,37 @@ impl Session {
                 let plan = Planner::new(graph, self.reach.is_some()).plan_fused(fs)?;
                 exec::execute(self, &plan)
             }
-            Backend::Paged(log) => {
-                // The footer only validates record *offsets*; a record
-                // whose bytes are garbled is first noticed when a query
-                // faults it in, deep inside infallible GraphStore
-                // accessors. Contain that panic here so corrupt input
-                // surfaces as an error, never an abort — the same
-                // contract every other corruption path honours.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let plan = PagedPlanner::new(log).plan(&fs.stmt)?;
-                    paged::execute(log, &plan)
-                }));
-                result.unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("paged execution panicked");
-                    Err(ProqlError::Storage(format!(
-                        "corrupt provenance log: {msg}"
-                    )))
-                })
+            Backend::Paged(log) => run_paged(log, &fs.stmt),
+        }
+    }
+
+    /// Run exactly one **read-only** statement through a shared
+    /// reference — the execution path `lipstick-serve` fans out across
+    /// a worker pool, with many `run_read` calls in flight against one
+    /// session at once (the session is `Send + Sync`; wrap it in an
+    /// `RwLock` and take the read side).
+    ///
+    /// Mutating statements (`DELETE PROPAGATE`, zooms, `BUILD INDEX`,
+    /// `DROP INDEX`) fail with [`ProqlError::ReadOnly`]; route them
+    /// through [`Session::run_one`] under exclusive access instead.
+    /// Unlike the `&mut` paths, `run_read` never promotes a paged
+    /// session: queries keep faulting in only the records they touch.
+    pub fn run_read(&self, statement: &str) -> Result<QueryOutput> {
+        let stmt = parse_statement(statement)?;
+        self.run_read_stmt(&stmt)
+    }
+
+    /// [`Session::run_read`] for an already parsed statement.
+    pub fn run_read_stmt(&self, stmt: &Statement) -> Result<QueryOutput> {
+        if !stmt.is_read_only() {
+            return Err(ProqlError::ReadOnly(stmt_summary(stmt)));
+        }
+        match &self.backend {
+            Backend::Resident(graph) => {
+                let plan = Planner::new(graph, self.reach.is_some()).plan(stmt)?;
+                exec::execute_read(graph, self.reach(), &plan)
             }
+            Backend::Paged(log) => run_paged(log, stmt),
         }
     }
 
@@ -220,7 +236,9 @@ impl Session {
     pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
         match &self.backend {
             Backend::Resident(graph) => Planner::new(graph, self.reach.is_some()).plan(stmt),
-            Backend::Paged(log) => PagedPlanner::new(log).plan(stmt),
+            // Planning faults records too (token resolution), so it
+            // needs the same corruption containment as execution.
+            Backend::Paged(log) => contain_corruption(|| PagedPlanner::new(log).plan(stmt)),
         }
     }
 
@@ -232,3 +250,52 @@ impl Session {
         Ok(self.plan(&stmt)?.to_string())
     }
 }
+
+/// Plan and execute one statement against a paged log. The footer only
+/// validates record *offsets*; a record whose bytes are garbled is
+/// first noticed when a query faults it in, deep inside infallible
+/// GraphStore accessors. Contain that panic here so corrupt input
+/// surfaces as an error, never an abort — the same contract every other
+/// corruption path honours.
+fn run_paged(log: &PagedLog, stmt: &Statement) -> Result<QueryOutput> {
+    contain_corruption(|| {
+        let plan = PagedPlanner::new(log).plan(stmt)?;
+        paged::execute(log, &plan)
+    })
+}
+
+/// Run a paged planning/execution step, containing corruption panics
+/// (see [`run_paged`]) so they surface as errors, never an abort or a
+/// dead server worker.
+fn contain_corruption<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("paged execution panicked");
+        Err(ProqlError::Storage(format!(
+            "corrupt provenance log: {msg}"
+        )))
+    })
+}
+
+/// The leading keyword(s) of a statement, for error messages.
+fn stmt_summary(stmt: &Statement) -> String {
+    match stmt {
+        Statement::DeletePropagate(r) => format!("DELETE {r} PROPAGATE"),
+        Statement::ZoomOut(_) => "ZOOM OUT".into(),
+        Statement::ZoomIn(_) => "ZOOM IN".into(),
+        Statement::BuildIndex => "BUILD INDEX".into(),
+        Statement::DropIndex => "DROP INDEX".into(),
+        _ => format!("{stmt:?}"),
+    }
+}
+
+// `lipstick-serve` shares one session across a worker pool behind an
+// `RwLock`; a backend that regresses to single-thread-only interior
+// mutability must not compile.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};

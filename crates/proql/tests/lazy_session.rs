@@ -114,6 +114,41 @@ fn kind_class_match_uses_postings() {
 }
 
 #[test]
+fn ordered_predicates_agree_and_push_down() {
+    let (mut lazy, mut full, g) = open_both("ordered.lpstk");
+    let module = g.invocations()[0].module.clone();
+    for stmt in [
+        "MATCH nodes WHERE execution < 1".to_string(),
+        "MATCH nodes WHERE execution >= 1".to_string(),
+        "MATCH m-nodes WHERE execution > 0".to_string(),
+        "MATCH i-nodes WHERE execution <= 0".to_string(),
+        format!("MATCH nodes WHERE module = '{module}' AND execution < 2"),
+        "MATCH nodes WHERE kind != 'delta' AND execution >= 0".to_string(),
+    ] {
+        let a = lazy.run_one(&stmt).unwrap();
+        let b = full.run_one(&stmt).unwrap();
+        assert_eq!(nodes_of(&a), nodes_of(&b), "{stmt}");
+    }
+    // The ranged conjunct rides inside the postings scan: a fresh
+    // session answering a module-filtered MATCH with an execution range
+    // reads only the module's postings records, not the whole log.
+    let (mut fresh, _, _) = open_both("ordered.lpstk");
+    fresh
+        .run_one(&format!(
+            "MATCH nodes WHERE module = '{module}' AND execution < 2"
+        ))
+        .unwrap();
+    assert!(fresh.records_read() > 0);
+    assert!(fresh.records_read() < g.len());
+    // Sanity: ordered predicates actually partition the m-nodes.
+    let lt = nodes_of(&full.run_one("MATCH m-nodes WHERE execution < 1").unwrap());
+    let ge = nodes_of(&full.run_one("MATCH m-nodes WHERE execution >= 1").unwrap());
+    let all = nodes_of(&full.run_one("MATCH m-nodes").unwrap());
+    assert_eq!(lt.len() + ge.len(), all.len());
+    assert!(!lt.is_empty() && !ge.is_empty());
+}
+
+#[test]
 fn why_walks_depends_and_eval_agree_with_full_load() {
     let (mut lazy, mut full, g) = open_both("agree.lpstk");
     let roots = g.top_fanout_nodes(3);
@@ -209,6 +244,45 @@ fn build_index_promotes_and_serves_reach_lookups() {
         .run_one(&format!("DESCENDANTS OF #{}", root.0))
         .unwrap();
     assert!(!nodes_of(&out).is_empty());
+}
+
+#[test]
+fn run_read_is_concurrent_and_rejects_mutations() {
+    let (lazy, full, g) = open_both("runread.lpstk");
+    let root = g.top_fanout_nodes(1)[0];
+    let stmts = [
+        "MATCH base-nodes".to_string(),
+        format!("DESCENDANTS OF #{} DEPTH 2", root.0),
+        format!("WHY #{}", root.0),
+        "STATS".to_string(),
+        "EXPLAIN MATCH m-nodes".to_string(),
+    ];
+    // Shared references from many threads at once, against both
+    // backends: Session is Send + Sync and run_read takes &self.
+    std::thread::scope(|s| {
+        for session in [&lazy, &full] {
+            for stmt in &stmts {
+                s.spawn(move || session.run_read(stmt).unwrap());
+            }
+        }
+    });
+    assert!(lazy.is_paged(), "run_read never promotes");
+    for session in [&lazy, &full] {
+        for stmt in [
+            "DELETE #0 PROPAGATE",
+            "ZOOM OUT TO M",
+            "BUILD INDEX",
+            "DROP INDEX",
+        ] {
+            let err = session.run_read(stmt).unwrap_err();
+            assert!(
+                matches!(err, lipstick_proql::ProqlError::ReadOnly(_)),
+                "{stmt}: {err}"
+            );
+        }
+        // EXPLAIN of a mutating statement only plans — still read-only.
+        session.run_read("EXPLAIN DELETE #0 PROPAGATE").unwrap();
+    }
 }
 
 #[test]

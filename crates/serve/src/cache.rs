@@ -1,0 +1,201 @@
+//! The plan-keyed result cache.
+//!
+//! Keys are the `Debug` rendering of the *parsed* statement, so two
+//! spellings of the same query — different whitespace, keyword case, a
+//! trailing `;` — share one entry. Every entry is tagged with the
+//! server's write epoch at execution time; a lookup only hits when the
+//! tags match, so a mutation (which bumps the epoch) invalidates the
+//! whole cache at once without touching it — the same
+//! invalidate-on-write discipline the session already applies to its
+//! reachability index. Stale entries are dropped lazily on lookup and
+//! by LRU eviction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached, fully rendered query result: both wire representations,
+/// produced once at insert so repeated hits skip planning, execution,
+/// *and* rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Line-protocol payload ([`std::fmt::Display`] of the output).
+    pub text: String,
+    /// HTTP-shim payload (`QueryOutput::to_json`).
+    pub json: String,
+}
+
+struct Entry {
+    epoch: u64,
+    result: CachedResult,
+    last_used: u64,
+}
+
+struct Lru {
+    map: HashMap<String, Entry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+}
+
+/// A bounded, epoch-aware LRU from normalized statements to rendered
+/// results. Eviction scans for the least-recently-used entry — O(n) at
+/// the default capacity of a few hundred entries, which is far below
+/// the cost of the query execution a hit saves.
+///
+/// Capacity 0 disables the cache entirely (every lookup misses, every
+/// insert is dropped) — the `proql_server` bench's uncached baseline.
+pub struct QueryCache {
+    inner: Mutex<Lru>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key` at the given epoch. An entry from an older epoch
+    /// is stale: it is removed and the lookup misses.
+    pub fn get(&self, key: &str, epoch: u64) -> Option<CachedResult> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        lru.tick += 1;
+        let tick = lru.tick;
+        match lru.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = tick;
+                let result = entry.result.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            Some(_) => {
+                lru.map.remove(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a result computed at `epoch`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&self, key: String, epoch: u64, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        lru.tick += 1;
+        let tick = lru.tick;
+        if !lru.map.contains_key(&key) && lru.map.len() >= self.capacity {
+            // Prefer evicting a stale entry; otherwise the coldest.
+            let victim = lru
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.epoch == epoch, e.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                lru.map.remove(&v);
+            }
+        }
+        lru.map.insert(
+            key,
+            Entry {
+                epoch,
+                result,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (including stale-entry evictions) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Live entries (stale ones included until they are looked up or
+    /// evicted).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            text: tag.to_string(),
+            json: format!("\"{tag}\""),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_at_same_epoch() {
+        let cache = QueryCache::new(4);
+        assert_eq!(cache.get("q", 0), None);
+        cache.insert("q".into(), 0, result("r"));
+        assert_eq!(cache.get("q", 0), Some(result("r")));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = QueryCache::new(4);
+        cache.insert("q".into(), 0, result("old"));
+        assert_eq!(cache.get("q", 1), None, "stale entry must not serve");
+        assert_eq!(cache.len(), 0, "stale entry dropped on lookup");
+        cache.insert("q".into(), 1, result("new"));
+        assert_eq!(cache.get("q", 1), Some(result("new")));
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first_and_stale_before_fresh() {
+        let cache = QueryCache::new(2);
+        cache.insert("a".into(), 0, result("a"));
+        cache.insert("b".into(), 0, result("b"));
+        let _ = cache.get("a", 0); // b is now coldest
+        cache.insert("c".into(), 0, result("c"));
+        assert_eq!(cache.get("b", 0), None, "coldest evicted");
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+        // A stale entry is preferred over any fresh one, even a colder
+        // fresh one.
+        let cache = QueryCache::new(2);
+        cache.insert("fresh".into(), 1, result("f"));
+        cache.insert("stale".into(), 0, result("s"));
+        let _ = cache.get("stale", 0); // stale is warmest, fresh coldest
+        cache.insert("new".into(), 1, result("n"));
+        assert!(cache.get("fresh", 1).is_some(), "fresh survived");
+        assert!(cache.get("new", 1).is_some());
+    }
+}

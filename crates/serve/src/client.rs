@@ -1,0 +1,83 @@
+//! A blocking line-protocol client, used by `proql_shell --connect`,
+//! the server's tests, and the `proql_server` bench.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{read_reply, Reply};
+
+/// One persistent line-protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one statement and wait for its framed reply. Newlines in
+    /// the statement collapse to spaces (the protocol is one statement
+    /// per line).
+    pub fn query(&mut self, statement: &str) -> std::io::Result<Reply> {
+        let flat = statement.replace(['\n', '\r'], " ");
+        self.writer.write_all(flat.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })
+    }
+}
+
+/// Issue one HTTP `POST /query` on a fresh connection (the shim is
+/// one-shot) and return `(status line, body)`.
+pub fn http_post_query(
+    addr: impl ToSocketAddrs,
+    statement: &str,
+) -> std::io::Result<(String, String)> {
+    http_request(addr, &{
+        let body = statement.as_bytes();
+        let mut req = format!(
+            "POST /query HTTP/1.1\r\nHost: lipstick\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        req.push_str(statement);
+        req
+    })
+}
+
+/// Issue one HTTP `GET /explain?q=…` (statement percent-encoded by the
+/// caller or plain if it needs no escaping).
+pub fn http_get_explain(
+    addr: impl ToSocketAddrs,
+    encoded_query: &str,
+) -> std::io::Result<(String, String)> {
+    http_request(
+        addr,
+        &format!("GET /explain?q={encoded_query} HTTP/1.1\r\nHost: lipstick\r\n\r\n"),
+    )
+}
+
+fn http_request(addr: impl ToSocketAddrs, raw: &str) -> std::io::Result<(String, String)> {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(raw.as_bytes())?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    let status = head.lines().next().unwrap_or_default().to_string();
+    Ok((status, body.to_string()))
+}

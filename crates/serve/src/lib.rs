@@ -1,0 +1,50 @@
+//! # lipstick-serve — ProQL over the network
+//!
+//! After `lipstick-proql`, the planner and executors are still
+//! library-only: nothing can query provenance without linking Rust.
+//! This crate serves a [`lipstick_proql::Session`] — resident or paged
+//! — over TCP, std-only (`std::net` plus the vendored crossbeam
+//! channel), with two wire formats on **one listener**:
+//!
+//! - a newline-delimited **line protocol** (persistent connections, one
+//!   statement per line, counted-line response framing), and
+//! - a minimal **HTTP/1.1 shim** (`POST /query`, `GET /explain?q=…`)
+//!   answering JSON, one request per connection.
+//!
+//! Read-only statements (`MATCH`, walks, `WHY`, `DEPENDS`, `EVAL`,
+//! `EXPLAIN`, `STATS`, set ops) execute concurrently on a worker pool
+//! through the session's shared-reference path
+//! ([`lipstick_proql::Session::run_read`]); mutating statements
+//! (`DELETE … PROPAGATE`, zooms, index maintenance) serialize through a
+//! write lock and bump the **write epoch**.
+//!
+//! Repeated exploratory queries are the interactive workload's common
+//! case, so results are cached in a **plan-keyed LRU**
+//! ([`cache::QueryCache`]): the key is the parsed statement (spelling
+//! differences normalize away), the value is the fully rendered output,
+//! and every entry is stamped with the write epoch — a mutation
+//! invalidates the whole cache by making every stamp stale, mirroring
+//! the session's reach-index invalidation. Responses report `cache_hit`
+//! so clients (and the `proql_server` bench) can see the cache working.
+//!
+//! ```no_run
+//! use lipstick_proql::Session;
+//! use lipstick_serve::{Server, ServerConfig};
+//!
+//! let session = Session::open("provenance.lpstk").unwrap();
+//! let handle = Server::new(session, ServerConfig::default())
+//!     .serve("127.0.0.1:0")
+//!     .unwrap();
+//! println!("serving ProQL on {}", handle.addr());
+//! # handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::QueryCache;
+pub use client::Client;
+pub use proto::Reply;
+pub use server::{Server, ServerConfig, ServerHandle};

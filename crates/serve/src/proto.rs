@@ -1,0 +1,346 @@
+//! Wire formats: the newline-delimited line protocol and the minimal
+//! HTTP/1.1 shim that share one listener.
+//!
+//! ## Line protocol
+//!
+//! One request per line — a single ProQL statement, trailing `;`
+//! optional. Responses are framed by a header line:
+//!
+//! ```text
+//! OK <payload-lines> cache_hit=<0|1> epoch=<n>
+//! <payload line 1>
+//! …
+//! ERR <single-line message>
+//! ```
+//!
+//! The header names how many payload lines follow, so clients never
+//! sniff for prompts or blank lines. Connections are persistent: a
+//! client issues any number of statements before disconnecting.
+//!
+//! ## HTTP shim
+//!
+//! The same listener answers `POST /query` (body = one statement) and
+//! `GET /explain?q=<percent-encoded statement>` with JSON bodies, one
+//! request per connection (`Connection: close`). A connection is
+//! classified by its first line: HTTP request lines end with an
+//! `HTTP/1.x` version tag, which no ProQL statement can (statements
+//! never contain `/`).
+
+use std::io::{BufRead, Result, Write};
+
+/// How a freshly accepted connection speaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FirstLine {
+    /// HTTP request line: method, target, version.
+    Http { method: String, target: String },
+    /// Anything else: the line is already the first ProQL statement.
+    Proql(String),
+}
+
+/// Classify a connection's first line.
+pub fn classify_first_line(line: &str) -> FirstLine {
+    let mut parts = line.split_whitespace();
+    if let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    {
+        if version.starts_with("HTTP/") && parts.next().is_none() {
+            return FirstLine::Http {
+                method: method.to_string(),
+                target: target.to_string(),
+            };
+        }
+    }
+    FirstLine::Proql(line.to_string())
+}
+
+/// One parsed line-protocol response, as read back by clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    Ok {
+        cache_hit: bool,
+        epoch: u64,
+        /// Payload lines, joined with `\n`.
+        body: String,
+    },
+    Err(String),
+}
+
+impl Reply {
+    /// The payload, whichever arm carries it.
+    pub fn body(&self) -> &str {
+        match self {
+            Reply::Ok { body, .. } => body,
+            Reply::Err(m) => m,
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok { .. })
+    }
+
+    pub fn cache_hit(&self) -> bool {
+        matches!(
+            self,
+            Reply::Ok {
+                cache_hit: true,
+                ..
+            }
+        )
+    }
+
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            Reply::Ok { epoch, .. } => Some(*epoch),
+            Reply::Err(_) => None,
+        }
+    }
+}
+
+/// Write a success response: header line, then the payload split into
+/// counted lines.
+pub fn write_ok(w: &mut impl Write, payload: &str, cache_hit: bool, epoch: u64) -> Result<()> {
+    let lines: Vec<&str> = if payload.is_empty() {
+        Vec::new()
+    } else {
+        payload.split('\n').collect()
+    };
+    writeln!(
+        w,
+        "OK {} cache_hit={} epoch={epoch}",
+        lines.len(),
+        u8::from(cache_hit)
+    )?;
+    for line in lines {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Write an error response. Multi-line messages collapse onto one line
+/// so the framing stays parseable.
+pub fn write_err(w: &mut impl Write, message: &str) -> Result<()> {
+    let flat = message.replace('\n', "; ");
+    writeln!(w, "ERR {flat}")?;
+    w.flush()
+}
+
+/// Read one framed response off the wire (client side). Returns `None`
+/// on clean EOF before a header line.
+pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches(['\r', '\n']);
+    if let Some(msg) = header.strip_prefix("ERR ") {
+        return Ok(Some(Reply::Err(msg.to_string())));
+    }
+    let Some(rest) = header.strip_prefix("OK ") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed response header: {header:?}"),
+        ));
+    };
+    let mut fields = rest.split(' ');
+    let parse_fail = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed OK header");
+    let nlines: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(parse_fail)?;
+    let cache_hit = match fields.next() {
+        Some("cache_hit=1") => true,
+        Some("cache_hit=0") => false,
+        _ => return Err(parse_fail()),
+    };
+    let epoch: u64 = fields
+        .next()
+        .and_then(|s| s.strip_prefix("epoch="))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(parse_fail)?;
+    // The header is untrusted wire input: never let a declared count
+    // drive the allocation (the payload lines themselves will grow the
+    // vector if they actually arrive).
+    let mut body_lines = Vec::with_capacity(nlines.min(1024));
+    for _ in 0..nlines {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-payload",
+            ));
+        }
+        body_lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+    }
+    Ok(Some(Reply::Ok {
+        cache_hit,
+        epoch,
+        body: body_lines.join("\n"),
+    }))
+}
+
+/// Largest request body the HTTP shim accepts.
+pub const MAX_HTTP_BODY: usize = 1 << 20;
+
+/// Read HTTP headers (after the request line) and the body demanded by
+/// `Content-Length`. Headers other than `Content-Length` are ignored.
+/// Returns `None` when the declared body exceeds [`MAX_HTTP_BODY`] —
+/// silently truncating could execute a different (valid-prefix)
+/// statement than the one sent, so the caller must reject instead.
+pub fn read_http_request_rest(r: &mut impl BufRead) -> Result<Option<String>> {
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_HTTP_BODY {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Write an HTTP response with a JSON body.
+pub fn write_http_json(w: &mut impl Write, status: &str, body: &str) -> Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// Percent-decode a query-string value (`+` is a space).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h << 4 | l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_http_and_proql_first_lines() {
+        assert_eq!(
+            classify_first_line("POST /query HTTP/1.1"),
+            FirstLine::Http {
+                method: "POST".into(),
+                target: "/query".into()
+            }
+        );
+        assert_eq!(
+            classify_first_line("GET /explain?q=STATS HTTP/1.0"),
+            FirstLine::Http {
+                method: "GET".into(),
+                target: "/explain?q=STATS".into()
+            }
+        );
+        assert_eq!(
+            classify_first_line("MATCH m-nodes WHERE module = 'M';"),
+            FirstLine::Proql("MATCH m-nodes WHERE module = 'M';".into())
+        );
+        // DEPENDS(#1, #2) has three words but no HTTP version tag.
+        assert_eq!(
+            classify_first_line("DEPENDS( #1, #2 )"),
+            FirstLine::Proql("DEPENDS( #1, #2 )".into())
+        );
+    }
+
+    #[test]
+    fn ok_reply_roundtrips() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "line one\nline two", true, 7).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let reply = read_reply(&mut r).unwrap().unwrap();
+        assert_eq!(
+            reply,
+            Reply::Ok {
+                cache_hit: true,
+                epoch: 7,
+                body: "line one\nline two".into()
+            }
+        );
+        assert_eq!(read_reply(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "", false, 0).unwrap();
+        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            reply,
+            Reply::Ok {
+                cache_hit: false,
+                epoch: 0,
+                body: String::new()
+            }
+        );
+    }
+
+    #[test]
+    fn err_reply_flattens_newlines() {
+        let mut buf = Vec::new();
+        write_err(&mut buf, "parse error:\nunexpected thing").unwrap();
+        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply, Reply::Err("parse error:; unexpected thing".into()));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("MATCH+m-nodes"), "MATCH m-nodes");
+        assert_eq!(percent_decode("a%20b%3D%27c%27"), "a b='c'");
+        assert_eq!(percent_decode("100%"), "100%", "dangling % passes through");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex passes through");
+    }
+}

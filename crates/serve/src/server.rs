@@ -1,0 +1,414 @@
+//! The server: one shared session, a worker pool, and the write epoch.
+//!
+//! ## Concurrency model
+//!
+//! The session sits behind an [`RwLock`]. Read-only statements take the
+//! read side and execute concurrently — `proql::Session::run_read`
+//! borrows `&self`, and both backends (resident graph, paged log with
+//! its sharded fault cache) are `Sync`. Mutating statements take the
+//! write side, execute exclusively, and on success bump the **write
+//! epoch**, an atomic counter that stamps every cached result; a stale
+//! stamp is what invalidates a cache entry. The epoch can only change
+//! while the write lock is held, so a result computed under a read
+//! guard is always tagged with the epoch it actually executed at.
+//!
+//! Connections are accepted on one thread and handed to a fixed pool of
+//! workers over an MPMC channel; each worker owns a connection for its
+//! lifetime (the line protocol is persistent, the HTTP shim is
+//! one-shot), so `workers` bounds the number of concurrently served
+//! clients.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use lipstick_proql::ast::Statement;
+use lipstick_proql::parser::parse_statement;
+use lipstick_proql::result::json_escape;
+use lipstick_proql::Session;
+
+use crate::cache::{CachedResult, QueryCache};
+use crate::proto::{
+    classify_first_line, percent_decode, read_http_request_rest, write_err, write_http_json,
+    write_ok, FirstLine,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — the number of concurrently served connections.
+    pub workers: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    session: RwLock<Session>,
+    /// Bumped (under the session write lock) by every successful
+    /// mutation; stamps cached results.
+    epoch: AtomicU64,
+    cache: QueryCache,
+    queries: AtomicU64,
+    mutations: AtomicU64,
+}
+
+/// The outcome of one statement, ready for either wire format.
+struct Outcome {
+    result: Result<CachedResult, String>,
+    cache_hit: bool,
+    epoch: u64,
+}
+
+impl Shared {
+    /// Parse, normalize, consult the cache, execute, and (for read-only
+    /// statements) populate the cache. The single execution path both
+    /// protocols share.
+    fn run_statement(&self, input: &str) -> Outcome {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let stmt = match parse_statement(input) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                return Outcome {
+                    result: Err(e.to_string()),
+                    cache_hit: false,
+                    epoch: self.epoch.load(Ordering::Acquire),
+                }
+            }
+        };
+        if stmt.is_read_only() {
+            self.run_read(&stmt)
+        } else {
+            self.run_write(&stmt)
+        }
+    }
+
+    fn run_read(&self, stmt: &Statement) -> Outcome {
+        // The parsed statement is the cache key: spelling differences
+        // (case, whitespace, comments, trailing ';') normalize away.
+        let key = format!("{stmt:?}");
+        // Serving a hit needs no session lock: the entry's stamp names
+        // the epoch it was computed at, and epochs never repeat.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if let Some(result) = self.cache.get(&key, epoch) {
+            return Outcome {
+                result: Ok(result),
+                cache_hit: true,
+                epoch,
+            };
+        }
+        let session = self.session.read().unwrap_or_else(|e| e.into_inner());
+        // Re-read under the read guard: a writer may have bumped the
+        // epoch between the cache probe and lock acquisition, and the
+        // stamp must name the epoch this execution actually sees.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        match session.run_read_stmt(stmt) {
+            Ok(out) => {
+                let result = CachedResult {
+                    text: out.to_string(),
+                    json: out.to_json(),
+                };
+                self.cache.insert(key, epoch, result.clone());
+                Outcome {
+                    result: Ok(result),
+                    cache_hit: false,
+                    epoch,
+                }
+            }
+            Err(e) => Outcome {
+                result: Err(e.to_string()),
+                cache_hit: false,
+                epoch,
+            },
+        }
+    }
+
+    fn run_write(&self, stmt: &Statement) -> Outcome {
+        let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
+        let was_paged = session.is_paged();
+        let result = session.run_stmt(stmt);
+        // A mutating statement promotes a paged backend *before*
+        // executing, so even a failed one (e.g. `ZOOM OUT TO Bogus`)
+        // can leave the session resident — where identical queries
+        // render different visited-cost figures. Any observable change
+        // must bump the epoch, or cached paged-era results would be
+        // served as if nothing happened.
+        let changed = result.is_ok() || (was_paged && !session.is_paged());
+        let epoch = if changed {
+            // Bump while still exclusive: no reader can observe the
+            // changed session under the old epoch.
+            self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            self.epoch.load(Ordering::Acquire)
+        };
+        match result {
+            Ok(out) => {
+                self.mutations.fetch_add(1, Ordering::Relaxed);
+                Outcome {
+                    result: Ok(CachedResult {
+                        text: out.to_string(),
+                        json: out.to_json(),
+                    }),
+                    cache_hit: false,
+                    epoch,
+                }
+            }
+            Err(e) => Outcome {
+                result: Err(e.to_string()),
+                cache_hit: false,
+                epoch,
+            },
+        }
+    }
+}
+
+/// A ProQL server ready to bind.
+pub struct Server {
+    shared: Arc<Shared>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Wrap a session (resident or paged) for serving.
+    pub fn new(session: Session, config: ServerConfig) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                session: RwLock::new(session),
+                epoch: AtomicU64::new(0),
+                cache: QueryCache::new(config.cache_capacity),
+                queries: AtomicU64::new(0),
+                mutations: AtomicU64::new(0),
+            }),
+            config,
+        }
+    }
+
+    /// Bind and start serving. `addr` may name port 0 for an ephemeral
+    /// port; [`ServerHandle::addr`] reports the bound address.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers.max(1) {
+            let rx = rx.clone();
+            let shared = self.shared.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    // A broken connection is the client's problem, not
+                    // the server's: log-and-continue semantics.
+                    let _ = handle_connection(&shared, stream);
+                }
+            }));
+        }
+        drop(rx);
+
+        let accept_shutdown = shutdown.clone();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping `tx` here closes the channel and drains workers.
+        });
+
+        Ok(ServerHandle {
+            addr: local,
+            shared: self.shared,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server: the bound address, counters, and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current write epoch (number of successful mutations).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Statements executed so far (both protocols, errors included).
+    pub fn queries(&self) -> u64 {
+        self.shared.queries.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits / misses so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.shared.cache.hits(), self.shared.cache.misses())
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    /// In-flight connections finish first: shutdown is graceful, so
+    /// callers should disconnect their clients before invoking it.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serve one accepted connection to completion.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    // Responses are small and latency-bound; never wait on Nagle.
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(()); // connected and left
+    }
+    match classify_first_line(first.trim_end_matches(['\r', '\n'])) {
+        FirstLine::Http { method, target } => {
+            let Some(body) = read_http_request_rest(&mut reader)? else {
+                return write_http_json(
+                    &mut writer,
+                    "413 Payload Too Large",
+                    r#"{"ok":false,"error":"request body exceeds 1 MiB"}"#,
+                );
+            };
+            handle_http(shared, &mut writer, &method, &target, &body)
+        }
+        FirstLine::Proql(stmt) => {
+            serve_line_statement(shared, &mut writer, &stmt)?;
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return Ok(());
+                }
+                serve_line_statement(shared, &mut writer, line.trim_end_matches(['\r', '\n']))?;
+            }
+        }
+    }
+}
+
+/// Execute one line-protocol statement and write its framed response.
+/// Blank lines are acknowledged with an empty OK so a scripted client
+/// can pipeline them without desynchronizing.
+fn serve_line_statement(
+    shared: &Shared,
+    writer: &mut impl Write,
+    line: &str,
+) -> std::io::Result<()> {
+    let trimmed = line.trim().trim_end_matches(';').trim();
+    if trimmed.is_empty() {
+        return write_ok(writer, "", false, shared.epoch.load(Ordering::Acquire));
+    }
+    let outcome = shared.run_statement(trimmed);
+    match &outcome.result {
+        Ok(result) => write_ok(writer, &result.text, outcome.cache_hit, outcome.epoch),
+        Err(message) => write_err(writer, message),
+    }
+}
+
+/// Answer one HTTP request (`POST /query`, `GET /explain`) and close.
+fn handle_http(
+    shared: &Shared,
+    writer: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    match (method, target) {
+        ("POST", "/query") => {
+            let outcome = shared.run_statement(body.trim());
+            match &outcome.result {
+                Ok(result) => write_http_json(
+                    writer,
+                    "200 OK",
+                    &format!(
+                        r#"{{"ok":true,"cache_hit":{},"epoch":{},"result":{}}}"#,
+                        outcome.cache_hit, outcome.epoch, result.json
+                    ),
+                ),
+                Err(message) => write_http_json(
+                    writer,
+                    "400 Bad Request",
+                    &format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(message)),
+                ),
+            }
+        }
+        ("GET", t) if t == "/explain" || t.starts_with("/explain?") => {
+            let q = t
+                .split_once('?')
+                .map(|(_, qs)| qs)
+                .and_then(|qs| {
+                    qs.split('&')
+                        .find_map(|pair| pair.strip_prefix("q=").map(percent_decode))
+                })
+                .unwrap_or_default();
+            if q.trim().is_empty() {
+                return write_http_json(
+                    writer,
+                    "400 Bad Request",
+                    r#"{"ok":false,"error":"missing query parameter q"}"#,
+                );
+            }
+            // Lock first, then read the epoch: the reported epoch must
+            // name the graph version the plan is computed against.
+            let session = shared.session.read().unwrap_or_else(|e| e.into_inner());
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            match session.explain(q.trim().trim_end_matches(';')) {
+                Ok(plan) => write_http_json(
+                    writer,
+                    "200 OK",
+                    &format!(
+                        r#"{{"ok":true,"epoch":{epoch},"plan":"{}"}}"#,
+                        json_escape(&plan)
+                    ),
+                ),
+                Err(e) => write_http_json(
+                    writer,
+                    "400 Bad Request",
+                    &format!(
+                        r#"{{"ok":false,"error":"{}"}}"#,
+                        json_escape(&e.to_string())
+                    ),
+                ),
+            }
+        }
+        _ => write_http_json(
+            writer,
+            "404 Not Found",
+            r#"{"ok":false,"error":"unknown endpoint (POST /query, GET /explain?q=...)"}"#,
+        ),
+    }
+}

@@ -1,0 +1,363 @@
+//! End-to-end tests for lipstick-serve: concurrent reads over both
+//! protocols, plan-keyed caching, epoch invalidation under interleaved
+//! writes, and paged/resident agreement.
+
+use std::collections::HashMap;
+
+use lipstick_core::{GraphTracker, ProvGraph};
+use lipstick_proql::Session;
+use lipstick_serve::client::{http_get_explain, http_post_query};
+use lipstick_serve::{Client, Reply, Server, ServerConfig};
+use lipstick_storage::write_graph_v2;
+use lipstick_workflowgen::dealers::{self, DealersParams};
+
+fn dealers_graph() -> ProvGraph {
+    let params = DealersParams {
+        num_cars: 24,
+        num_exec: 2,
+        seed: 7,
+    };
+    let mut tracker = GraphTracker::new();
+    dealers::run_declining(&params, &mut tracker).expect("dealers run");
+    tracker.finish()
+}
+
+fn temp_log(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lipstick-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_graph_v2(&dealers_graph(), &path).unwrap();
+    path
+}
+
+/// Drop the backend-dependent "(visited N)" cost figure so paged and
+/// resident renderings compare on substance.
+fn strip_visited(s: &str) -> String {
+    match (s.find("(visited "), s.find("):")) {
+        (Some(a), Some(b)) if a < b => format!("{}{}", &s[..a], &s[b + 1..]),
+        _ => s.to_string(),
+    }
+}
+
+fn serve_paged(name: &str, workers: usize) -> lipstick_serve::ServerHandle {
+    let session = Session::open(temp_log(name)).unwrap();
+    assert!(session.is_paged());
+    Server::new(
+        session,
+        ServerConfig {
+            workers,
+            cache_capacity: 64,
+        },
+    )
+    .serve("127.0.0.1:0")
+    .unwrap()
+}
+
+#[test]
+fn line_protocol_answers_statements_and_reports_cache_hits() {
+    let handle = serve_paged("line.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let first = client.query("MATCH base-nodes").unwrap();
+    assert!(first.is_ok(), "got {first:?}");
+    assert!(!first.cache_hit());
+    assert!(first.body().contains("nodes"));
+
+    // Different spelling, same parsed statement: a cache hit with an
+    // identical payload.
+    let second = client.query("  match BASE-NODES ;").unwrap();
+    assert!(second.cache_hit(), "normalized statement must hit");
+    assert_eq!(first.body(), second.body());
+
+    // Errors are framed, not connection-fatal.
+    let err = client.query("MATCH q-nodes").unwrap();
+    assert!(matches!(err, Reply::Err(_)));
+    let after = client.query("STATS").unwrap();
+    assert!(after.is_ok(), "connection survives an error reply");
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_agree_with_a_resident_session() {
+    let path = temp_log("agree.lpstk");
+    let graph = dealers_graph();
+    let roots = graph.top_fanout_nodes(3);
+    let handle = serve_paged("agree.lpstk", 4);
+
+    // Exact expected payloads come from a paged session (the server's
+    // backend); a resident session must agree on everything except the
+    // backend-dependent visited-cost figure.
+    let paged = Session::open(&path).unwrap();
+    let mut resident = Session::load(&path).unwrap();
+    let mut stmts = vec![
+        "MATCH base-nodes".to_string(),
+        "MATCH m-nodes WHERE execution < 1".to_string(),
+        "MATCH nodes WHERE execution >= 1".to_string(),
+    ];
+    for r in &roots {
+        stmts.push(format!("WHY #{}", r.0));
+        stmts.push(format!("DESCENDANTS OF #{} DEPTH 2", r.0));
+        stmts.push(format!("EVAL #{} IN counting", r.0));
+        stmts.push(format!("DEPENDS(#{}, #{})", roots[0].0, r.0));
+    }
+    let expected: HashMap<String, String> = stmts
+        .iter()
+        .map(|s| (s.clone(), paged.run_read(s).unwrap().to_string()))
+        .collect();
+    for stmt in &stmts {
+        assert_eq!(
+            strip_visited(&expected[stmt]),
+            strip_visited(&resident.run_one(stmt).unwrap().to_string()),
+            "paged and resident answers must agree for {stmt}"
+        );
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let stmts = &stmts;
+            let expected = &expected;
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    for stmt in stmts {
+                        let reply = client.query(stmt).unwrap();
+                        assert!(reply.is_ok(), "{stmt}: {reply:?}");
+                        assert_eq!(
+                            reply.body(),
+                            expected[stmt],
+                            "paged server answer diverged for {stmt}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let (hits, misses) = handle.cache_stats();
+    assert!(hits > 0, "repeated statements must hit the cache");
+    assert!(misses >= stmts.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn epoch_bump_invalidates_cached_results() {
+    let handle = serve_paged("epoch.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let before = client.query("MATCH base-nodes").unwrap();
+    let hit = client.query("MATCH base-nodes").unwrap();
+    assert!(hit.cache_hit());
+    assert_eq!(before.epoch(), Some(0));
+
+    // Find a base token to delete: WHY on any base node, or just
+    // delete by id from the known graph shape.
+    let graph = dealers_graph();
+    let victim = graph
+        .iter_visible()
+        .find(|(_, n)| matches!(n.kind, lipstick_core::NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .unwrap();
+    let del = client
+        .query(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    assert!(del.is_ok(), "{del:?}");
+    assert_eq!(del.epoch(), Some(1), "mutation bumps the epoch");
+
+    let after = client.query("MATCH base-nodes").unwrap();
+    assert!(
+        !after.cache_hit(),
+        "epoch bump must invalidate the cached result"
+    );
+    assert_eq!(after.epoch(), Some(1));
+    assert_ne!(
+        before.body(),
+        after.body(),
+        "the deleted base node must be gone from the new answer"
+    );
+
+    // The new answer caches under the new epoch.
+    let warm = client.query("MATCH base-nodes").unwrap();
+    assert!(warm.cache_hit());
+    assert_eq!(warm.body(), after.body());
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// N reader threads hammer one statement while a writer interleaves a
+/// `DELETE PROPAGATE`. Every reply must carry the answer that is
+/// correct *for the epoch it reports* — a cached result served across
+/// the epoch bump would pair epoch 1 with the pre-delete answer (or
+/// report epoch 0 after observing the post-delete answer).
+#[test]
+fn cached_results_are_never_served_across_an_epoch_bump() {
+    let path = temp_log("race.lpstk");
+    let handle = serve_paged("race.lpstk", 6);
+
+    // Mirror the server's lifecycle exactly: a paged session answers
+    // the pre-delete reads, the DELETE promotes it to resident, and the
+    // resident session answers the post-delete reads.
+    let mut mirror = Session::open(&path).unwrap();
+    let stmt = "MATCH base-nodes";
+    let before = mirror.run_one(stmt).unwrap().to_string();
+    let graph = dealers_graph();
+    let victim = graph
+        .iter_visible()
+        .find(|(_, n)| matches!(n.kind, lipstick_core::NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .unwrap();
+    mirror
+        .run_one(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    assert!(!mirror.is_paged());
+    let after = mirror.run_one(stmt).unwrap().to_string();
+    assert_ne!(before, after);
+
+    std::thread::scope(|scope| {
+        for _ in 0..5 {
+            let addr = handle.addr();
+            let (before, after) = (&before, &after);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..50 {
+                    let reply = client.query(stmt).unwrap();
+                    let Reply::Ok { epoch, body, .. } = reply else {
+                        panic!("read failed: {reply:?}");
+                    };
+                    match epoch {
+                        0 => assert_eq!(&body, before, "epoch 0 must see the pre-delete answer"),
+                        1 => assert_eq!(&body, after, "epoch 1 must see the post-delete answer"),
+                        other => panic!("unexpected epoch {other}"),
+                    }
+                }
+            });
+        }
+        let addr = handle.addr();
+        scope.spawn(move || {
+            let mut writer = Client::connect(addr).unwrap();
+            // Let readers warm the cache first.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let del = writer
+                .query(&format!("DELETE #{} PROPAGATE", victim.0))
+                .unwrap();
+            assert!(del.is_ok(), "{del:?}");
+        });
+    });
+    assert_eq!(handle.epoch(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn http_shim_serves_query_and_explain() {
+    let handle = serve_paged("http.lpstk", 2);
+    let addr = handle.addr();
+
+    let (status, body) = http_post_query(addr, "MATCH base-nodes").unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains(r#""ok":true"#), "{body}");
+    assert!(body.contains(r#""cache_hit":false"#), "{body}");
+    assert!(body.contains(r#""type":"nodes""#), "{body}");
+
+    // Same statement over HTTP shares the line protocol's cache.
+    let (_, body2) = http_post_query(addr, "match base-nodes;").unwrap();
+    assert!(body2.contains(r#""cache_hit":true"#), "{body2}");
+
+    let (status, body) = http_get_explain(addr, "MATCH+base-nodes").unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains(r#""plan":"#), "{body}");
+    assert!(
+        body.contains("postings scan"),
+        "paged plan expected: {body}"
+    );
+
+    let (status, body) = http_post_query(addr, "MATCH q-nodes").unwrap();
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(body.contains(r#""ok":false"#), "{body}");
+
+    let (status, _) = lipstick_serve::client::http_get_explain(addr, "").unwrap();
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    handle.shutdown();
+}
+
+#[test]
+fn paged_server_stays_paged_under_reads_and_promotes_on_write() {
+    let handle = serve_paged("promote.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    for stmt in ["MATCH base-nodes", "STATS", "EXPLAIN MATCH m-nodes"] {
+        assert!(client.query(stmt).unwrap().is_ok());
+    }
+    // STATS on a paged backend names the paged log.
+    let stats = client.query("STATS").unwrap();
+    assert!(stats.body().contains("paged log"), "{stats:?}");
+
+    // A zoom promotes the backend; subsequent STATS is resident-form.
+    let graph = dealers_graph();
+    let module = graph.invocations()[0].module.clone();
+    let zoom = client.query(&format!("ZOOM OUT TO {module}")).unwrap();
+    assert!(zoom.is_ok(), "{zoom:?}");
+    let stats = client.query("STATS").unwrap();
+    assert!(
+        !stats.body().contains("paged log"),
+        "promoted session must report resident stats: {stats:?}"
+    );
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn failed_mutation_that_promotes_still_bumps_the_epoch() {
+    let handle = serve_paged("failmut.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let before = client.query("MATCH base-nodes").unwrap();
+    assert_eq!(before.epoch(), Some(0));
+
+    // The zoom fails (no such module) — but mutating statements promote
+    // the paged backend before executing, and a resident backend
+    // renders different visited-cost figures. The epoch must move so
+    // the paged-era cache entry is never served for the new backend.
+    let err = client.query("ZOOM OUT TO NoSuchModule").unwrap();
+    assert!(matches!(err, Reply::Err(_)), "{err:?}");
+
+    let after = client.query("MATCH base-nodes").unwrap();
+    assert!(
+        !after.cache_hit(),
+        "promotion must invalidate paged-era cache entries"
+    );
+    assert_eq!(after.epoch(), Some(1), "promotion bumps the epoch");
+
+    // A failed mutation on an already resident session changes nothing
+    // and must not bump.
+    let err = client.query("ZOOM OUT TO NoSuchModule").unwrap();
+    assert!(matches!(err, Reply::Err(_)));
+    let warm = client.query("MATCH base-nodes").unwrap();
+    assert!(warm.cache_hit(), "nothing changed; the cache stays warm");
+    assert_eq!(warm.epoch(), Some(1));
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn read_only_statements_do_not_bump_the_epoch() {
+    let handle = serve_paged("readonly.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for stmt in [
+        "MATCH base-nodes",
+        "STATS",
+        "EXPLAIN DELETE #0 PROPAGATE",
+        "MATCH base-nodes UNION MATCH m-nodes",
+    ] {
+        let reply = client.query(stmt).unwrap();
+        assert!(reply.is_ok(), "{stmt}: {reply:?}");
+        assert_eq!(reply.epoch(), Some(0), "{stmt}");
+    }
+    assert_eq!(handle.epoch(), 0);
+    drop(client);
+    handle.shutdown();
+}

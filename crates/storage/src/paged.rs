@@ -10,10 +10,17 @@
 //! Visibility and successor adjacency come from the footer, so pure
 //! reachability sweeps fault nothing; kinds, roles, and predecessor
 //! lists fault one record each, once.
+//!
+//! The fault cache is sharded behind mutexes (and the fault counter is
+//! atomic), so a `PagedLog` is `Send + Sync`: `lipstick-serve` shares
+//! one paged log across a whole worker pool, with concurrent queries
+//! faulting records in parallel and contending only when two threads
+//! touch the same shard.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use bytes::Buf;
 use lipstick_core::graph::InvocationInfo;
@@ -34,13 +41,24 @@ struct Record {
     preds: Vec<NodeId>,
 }
 
+/// Number of cache shards. A small power of two: enough to keep a
+/// worker pool's threads off each other's locks, cheap enough that an
+/// idle log carries no weight.
+const CACHE_SHARDS: usize = 16;
+
 /// A v2 provenance log opened for lazy, record-at-a-time reads.
+///
+/// `Send + Sync`: the raw bytes and footer index are immutable, the
+/// fault cache is sharded behind mutexes, and the fault counter is
+/// atomic, so concurrent readers may share one log freely.
 pub struct PagedLog {
     data: Vec<u8>,
     index: LogIndex,
     invocations: Vec<InvocationInfo>,
-    cache: RefCell<HashMap<u32, Record>>,
-    faults: Cell<usize>,
+    /// Boxed so an idle `PagedLog` (and the session enum wrapping it)
+    /// stays small; the shards only cost a pointer until first fault.
+    cache: Box<[Mutex<HashMap<u32, Record>>]>,
+    faults: AtomicUsize,
 }
 
 impl PagedLog {
@@ -87,8 +105,10 @@ impl PagedLog {
             data,
             index,
             invocations,
-            cache: RefCell::new(HashMap::new()),
-            faults: Cell::new(0),
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            faults: AtomicUsize::new(0),
         })
     }
 
@@ -99,7 +119,7 @@ impl PagedLog {
 
     /// Number of node records decoded so far (cache misses).
     pub fn faults(&self) -> usize {
-        self.faults.get()
+        self.faults.load(Ordering::Relaxed)
     }
 
     /// Decode the *entire* log into a resident [`ProvGraph`] — the
@@ -109,9 +129,15 @@ impl PagedLog {
         decode_graph(&self.data)
     }
 
-    /// Fault in record `id`, consulting the cache first.
+    /// Fault in record `id`, consulting the cache first. The record's
+    /// shard stays locked across the decode, so two threads racing on
+    /// the same record decode it once; threads on different shards
+    /// never contend.
     fn with_record<R>(&self, id: NodeId, f: impl FnOnce(&Record) -> R) -> Result<R> {
-        if let Some(rec) = self.cache.borrow().get(&id.0) {
+        let mut shard = self.cache[id.0 as usize % CACHE_SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(rec) = shard.get(&id.0) {
             return Ok(f(rec));
         }
         let range = self.index.record_range(id);
@@ -127,9 +153,9 @@ impl PagedLog {
         let kind = get_kind(&mut buf)?;
         let preds = decode_pred_list(&mut buf, self.index.node_count())?;
         let rec = Record { kind, role, preds };
-        self.faults.set(self.faults.get() + 1);
+        self.faults.fetch_add(1, Ordering::Relaxed);
         let out = f(&rec);
-        self.cache.borrow_mut().insert(id.0, rec);
+        shard.insert(id.0, rec);
         Ok(out)
     }
 
@@ -150,6 +176,13 @@ impl PagedLog {
         Ok(())
     }
 }
+
+// The serve frontend shares one log across a worker pool; regressing
+// to single-thread-only interior mutability must not compile.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PagedLog>();
+};
 
 impl GraphStore for PagedLog {
     fn node_count(&self) -> usize {
@@ -271,6 +304,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_log() {
+        let g = sample();
+        let paged = PagedLog::from_bytes(encode_graph_v2(&g).unwrap()).unwrap();
+        let n = paged.node_count();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..n {
+                        let id = NodeId(i as u32);
+                        let _ = paged.kind_of(id);
+                        let _ = paged.role_of(id);
+                        let _ = paged.preds_of(id);
+                    }
+                });
+            }
+        });
+        // The shard lock is held across decode-and-insert, so racing
+        // threads serialize on a record and decode it exactly once.
+        assert_eq!(paged.faults(), n);
+        let before = paged.faults();
+        for i in 0..n {
+            let _ = paged.kind_of(NodeId(i as u32));
+        }
+        assert_eq!(paged.faults(), before, "warm cache faults nothing");
     }
 
     #[test]

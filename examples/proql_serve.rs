@@ -1,0 +1,167 @@
+//! Serve ProQL over the network.
+//!
+//! With no graph argument it executes the Car-dealerships workflow and
+//! serves the captured provenance; `--open PATH` serves a v2 log paged
+//! (queries fault in only the records they touch), `--load PATH`
+//! decodes a v1/v2 log fully first.
+//!
+//! ```sh
+//! cargo run --release --example proql_serve -- --open prov.lpstk --addr 127.0.0.1:7433
+//! # then, from another terminal:
+//! printf "MATCH base-nodes;\n" | nc 127.0.0.1 7433
+//! curl -s -X POST --data "MATCH base-nodes" http://127.0.0.1:7433/query
+//! curl -s "http://127.0.0.1:7433/explain?q=MATCH+base-nodes"
+//! ```
+//!
+//! `--self-test` writes the demo graph to a temp v2 log, serves it
+//! **paged** on an ephemeral port, drives a scripted client through
+//! both protocols, and exits non-zero on any mismatch — the CI smoke
+//! test.
+
+use lipstick::core::GraphTracker;
+use lipstick::proql::Session;
+use lipstick::serve::client::{http_get_explain, http_post_query};
+use lipstick::serve::{Client, Server, ServerConfig};
+use lipstick::workflowgen::dealers::{self, DealersParams};
+
+struct Args {
+    session: Session,
+    addr: String,
+    workers: usize,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
+    let mut session = None;
+    let mut addr = "127.0.0.1:7433".to_string();
+    let mut workers = 4;
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--open" => {
+                let path = args.next().ok_or("--open requires a path")?;
+                eprintln!("opening provenance log {path} lazily (v2 footer index)");
+                session = Some(Session::open(path)?);
+            }
+            "--load" => {
+                let path = args.next().ok_or("--load requires a path")?;
+                eprintln!("loading provenance log {path}");
+                session = Some(Session::load(path)?);
+            }
+            "--addr" => addr = args.next().ok_or("--addr requires HOST:PORT")?,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .ok_or("--workers requires a count")?
+                    .parse()
+                    .map_err(|_| "--workers requires a number")?;
+            }
+            "--self-test" => {
+                self_test = true;
+                addr = "127.0.0.1:0".to_string();
+            }
+            other => return Err(format!("unknown argument '{other}'").into()),
+        }
+    }
+    let session = match session {
+        Some(s) => s,
+        None => {
+            eprintln!("running the Car-dealerships workflow (24 cars, 3 executions)…");
+            let params = DealersParams {
+                num_cars: 24,
+                num_exec: 3,
+                seed: 7,
+            };
+            let mut tracker = GraphTracker::new();
+            dealers::run_declining(&params, &mut tracker)?;
+            let graph = tracker.finish();
+            if self_test {
+                // The smoke test exercises the paged path end to end:
+                // demo graph → temp v2 log → Session::open.
+                let path = std::env::temp_dir().join("lipstick-serve-selftest.lpstk");
+                lipstick::storage::write_graph_v2(&graph, &path)?;
+                let session = Session::open(&path)?;
+                assert!(session.is_paged());
+                session
+            } else {
+                Session::new(graph)
+            }
+        }
+    };
+    Ok(Args {
+        session,
+        addr,
+        workers,
+        self_test,
+    })
+}
+
+fn self_test(handle: &lipstick::serve::ServerHandle) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = handle.addr();
+    let mut client = Client::connect(addr)?;
+
+    let cold = client.query("MATCH base-nodes")?;
+    if !cold.is_ok() || cold.cache_hit() {
+        return Err(format!("cold query misbehaved: {cold:?}").into());
+    }
+    let warm = client.query("match BASE-NODES ;")?;
+    if !warm.cache_hit() || warm.body() != cold.body() {
+        return Err(format!("normalized re-query must hit the cache: {warm:?}").into());
+    }
+    for stmt in [
+        "STATS",
+        "EXPLAIN MATCH m-nodes",
+        "MATCH m-nodes WHERE execution < 1",
+    ] {
+        let reply = client.query(stmt)?;
+        if !reply.is_ok() {
+            return Err(format!("{stmt} failed: {reply:?}").into());
+        }
+    }
+
+    let (status, body) = http_post_query(addr, "MATCH base-nodes")?;
+    if status != "HTTP/1.1 200 OK" || !body.contains(r#""cache_hit":true"#) {
+        return Err(format!("HTTP query misbehaved: {status} {body}").into());
+    }
+    let (status, body) = http_get_explain(addr, "MATCH+base-nodes")?;
+    if status != "HTTP/1.1 200 OK" || !body.contains(r#""plan":"#) {
+        return Err(format!("HTTP explain misbehaved: {status} {body}").into());
+    }
+
+    let (hits, misses) = handle.cache_stats();
+    eprintln!(
+        "self-test ok: {} queries, {hits} cache hits, {misses} misses",
+        handle.queries()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()?;
+    let paged = args.session.is_paged();
+    let handle = Server::new(
+        args.session,
+        ServerConfig {
+            workers: args.workers,
+            ..ServerConfig::default()
+        },
+    )
+    .serve(&args.addr)?;
+    eprintln!(
+        "lipstick-serve listening on {} ({} backend, {} workers)",
+        handle.addr(),
+        if paged { "paged" } else { "resident" },
+        args.workers
+    );
+    if args.self_test {
+        let result = self_test(&handle);
+        handle.shutdown();
+        return result;
+    }
+    eprintln!("line protocol: one statement per line; HTTP: POST /query, GET /explain?q=…");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

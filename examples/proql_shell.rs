@@ -2,7 +2,9 @@
 //!
 //! With no arguments it executes the Car-dealerships workflow and
 //! queries the captured provenance; `--load PATH` instead loads a
-//! provenance log written by `lipstick_storage::write_graph`.
+//! provenance log written by `lipstick_storage::write_graph`, `--open
+//! PATH` opens one lazily, and `--connect HOST:PORT` drives a remote
+//! `lipstick-serve` instance over the line protocol with the same REPL.
 //!
 //! Statements end with `;`. Meta commands: `\dot` prints the last
 //! node-set result as Graphviz, `\help` lists statement forms,
@@ -17,6 +19,7 @@ use std::io::{BufRead, Write};
 
 use lipstick::core::GraphTracker;
 use lipstick::proql::{QueryOutput, Session};
+use lipstick::serve::{Client, Reply};
 use lipstick::workflowgen::dealers::{self, DealersParams};
 
 const HELP: &str = "\
@@ -35,9 +38,29 @@ ProQL statement forms:
   STATS                                    graph statistics
 Meta: \\dot (last node set as Graphviz), \\help, \\quit";
 
-fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
+/// Where statements go: a local session or a remote lipstick-serve.
+enum Engine {
+    Local(Box<Session>),
+    Remote(Client),
+}
+
+fn build_engine() -> Result<Engine, Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
+        Some("--connect") => {
+            let addr = args.next().ok_or("--connect requires HOST:PORT")?;
+            eprintln!("connecting to lipstick-serve at {addr}");
+            Ok(Engine::Remote(Client::connect(addr.as_str())?))
+        }
+        other => Ok(Engine::Local(Box::new(build_session(other, args)?))),
+    }
+}
+
+fn build_session(
+    first: Option<&str>,
+    mut args: impl Iterator<Item = String>,
+) -> Result<Session, Box<dyn std::error::Error>> {
+    match first {
         Some("--load") => {
             let path = args.next().ok_or("--load requires a path")?;
             eprintln!("loading provenance log {path}");
@@ -48,9 +71,10 @@ fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
             eprintln!("opening provenance log {path} lazily (v2 footer index)");
             Ok(Session::open(path)?)
         }
-        Some(other) => {
-            Err(format!("unknown argument '{other}' (try --load PATH or --open PATH)").into())
-        }
+        Some(other) => Err(format!(
+            "unknown argument '{other}' (try --load PATH, --open PATH, or --connect HOST:PORT)"
+        )
+        .into()),
         None => {
             eprintln!("running the Car-dealerships workflow (24 cars, 3 executions)…");
             let params = DealersParams {
@@ -65,15 +89,40 @@ fn build_session() -> Result<Session, Box<dyn std::error::Error>> {
     }
 }
 
+/// Split a script on `;` separators that sit outside single-quoted
+/// string literals, mirroring the ProQL lexer's quoting rules so remote
+/// and local sessions see the same statement boundaries.
+fn split_statements(script: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in script.char_indices() {
+        match c {
+            '\'' => in_string = !in_string,
+            ';' if !in_string => {
+                out.push(&script[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    out.push(&script[start..]);
+    out
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = build_session()?;
-    if session.is_paged() {
-        println!("proql shell — paged session; records fault in per query, \\help for help");
-    } else {
-        println!(
+    let mut engine = build_engine()?;
+    match &engine {
+        Engine::Remote(_) => {
+            println!("proql shell — remote session; responses name cache hits, \\help for help")
+        }
+        Engine::Local(session) if session.is_paged() => {
+            println!("proql shell — paged session; records fault in per query, \\help for help")
+        }
+        Engine::Local(session) => println!(
             "proql shell — graph has {} visible nodes; end statements with ';', \\help for help",
             session.graph().visible_count()
-        );
+        ),
     }
 
     let stdin = std::io::stdin();
@@ -93,11 +142,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             "\\dot" => {
-                match (&last_nodes, session.resident_graph()) {
+                let resident = match &engine {
+                    Engine::Local(session) => session.resident_graph(),
+                    Engine::Remote(_) => None,
+                };
+                match (&last_nodes, resident) {
                     (Some(ns), Some(graph)) => println!("{}", ns.to_dot(graph, "proql")),
-                    (Some(_), None) => {
-                        println!("(paged session — DOT rendering needs the resident graph)")
-                    }
+                    (Some(_), None) => println!(
+                        "(remote/paged session — DOT rendering needs a local resident graph)"
+                    ),
                     (None, _) => println!("no node-set result yet"),
                 }
                 print!("proql> ");
@@ -112,24 +165,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue; // statement continues on the next line
         }
         let script = std::mem::take(&mut buffer);
-        match session.run(&script) {
-            Ok(outputs) => {
-                for out in outputs {
-                    match out {
-                        QueryOutput::Nodes(ns) => {
-                            match session.resident_graph() {
-                                Some(graph) => println!("{}", ns.render(graph, 20)),
-                                // Paged sessions print ids only; labels
-                                // would fault every listed record.
-                                None => println!("{ns}"),
+        match &mut engine {
+            Engine::Local(session) => match session.run(&script) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        match out {
+                            QueryOutput::Nodes(ns) => {
+                                match session.resident_graph() {
+                                    Some(graph) => println!("{}", ns.render(graph, 20)),
+                                    // Paged sessions print ids only; labels
+                                    // would fault every listed record.
+                                    None => println!("{ns}"),
+                                }
+                                last_nodes = Some(ns);
                             }
-                            last_nodes = Some(ns);
+                            other => println!("{other}"),
                         }
-                        other => println!("{other}"),
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            Engine::Remote(client) => {
+                // The wire protocol takes one statement per line; split
+                // the buffered script on ';' (outside string literals,
+                // matching the lexer) so multi-statement input keeps
+                // working remotely.
+                for stmt in split_statements(&script) {
+                    let stmt = stmt.trim();
+                    if stmt.is_empty() {
+                        continue;
+                    }
+                    match client.query(stmt) {
+                        Ok(Reply::Ok {
+                            cache_hit, body, ..
+                        }) => {
+                            if cache_hit {
+                                println!("{body}\n(cached)");
+                            } else {
+                                println!("{body}");
+                            }
+                        }
+                        Ok(Reply::Err(message)) => println!("error: {message}"),
+                        Err(e) => {
+                            println!("connection error: {e}");
+                            return Ok(());
+                        }
                     }
                 }
             }
-            Err(e) => println!("error: {e}"),
         }
         print!("proql> ");
         std::io::stdout().flush()?;

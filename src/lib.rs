@@ -15,6 +15,9 @@
 //! - [`proql`]: ProQL, the declarative provenance query language
 //!   (lexer → parser → cost-aware planner → executor) over provenance
 //!   graphs;
+//! - [`serve`]: the ProQL network frontend — a concurrent line-protocol
+//!   and HTTP server over a shared session, with a plan-keyed,
+//!   epoch-invalidated result cache;
 //! - [`workflow`]: modules with state, workflow DAGs, sequential and
 //!   parallel execution;
 //! - [`storage`]: the provenance log (Tracker → disk → Query Processor);
@@ -29,6 +32,7 @@ pub use lipstick_core as core;
 pub use lipstick_nrel as nrel;
 pub use lipstick_piglatin as piglatin;
 pub use lipstick_proql as proql;
+pub use lipstick_serve as serve;
 pub use lipstick_storage as storage;
 pub use lipstick_workflow as workflow;
 pub use lipstick_workflowgen as workflowgen;
