@@ -385,8 +385,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Like the real proptest, the `PROPTEST_CASES` environment
+    /// variable overrides the default case count — CI uses it to pin
+    /// deterministic budgets per step.
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 48 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(48);
+        ProptestConfig { cases }
     }
 }
 

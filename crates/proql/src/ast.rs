@@ -96,6 +96,9 @@ pub enum Field {
     Role,
     /// Owning invocation's execution number.
     Execution,
+    /// Base-tuple / workflow-input token (`'C2'`); inapplicable to
+    /// every other node kind.
+    Token,
 }
 
 impl Field {
@@ -105,6 +108,7 @@ impl Field {
             "kind" => Field::Kind,
             "role" => Field::Role,
             "execution" => Field::Execution,
+            "token" => Field::Token,
             _ => return None,
         })
     }
@@ -115,6 +119,7 @@ impl Field {
             Field::Kind => "kind",
             Field::Role => "role",
             Field::Execution => "execution",
+            Field::Token => "token",
         }
     }
 }
@@ -127,6 +132,9 @@ pub enum CmpOp {
     Le,
     Gt,
     Ge,
+    /// SQL-style pattern match: `%` any sequence, `_` one character.
+    Like,
+    NotLike,
 }
 
 impl CmpOp {
@@ -138,8 +146,40 @@ impl CmpOp {
             CmpOp::Le => "<=",
             CmpOp::Gt => ">",
             CmpOp::Ge => ">=",
+            CmpOp::Like => "LIKE",
+            CmpOp::NotLike => "NOT LIKE",
         }
     }
+}
+
+/// SQL `LIKE` matching: `%` matches any (possibly empty) sequence,
+/// `_` matches exactly one character, everything else is literal.
+/// Classic two-pointer scan with backtracking on the last `%`.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Let the last % swallow one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// Literal comparison value.
@@ -177,10 +217,19 @@ pub enum FieldValue<'a> {
 impl Comparison {
     /// Evaluate against a node's actual field value. `None` means the
     /// field does not apply (e.g. `module` on a free node); then — and
-    /// on a type-mismatched literal — `!=` holds and every other
-    /// operator fails, matching the original equality-only semantics.
-    /// Integers compare numerically, strings lexicographically.
+    /// on a type-mismatched literal — `!=` and `NOT LIKE` hold and
+    /// every other operator fails, matching the original equality-only
+    /// semantics. Integers compare numerically, strings
+    /// lexicographically; `LIKE` matches string fields against a
+    /// `%`/`_` wildcard pattern.
     pub fn eval(&self, actual: Option<FieldValue<'_>>) -> bool {
+        if matches!(self.op, CmpOp::Like | CmpOp::NotLike) {
+            let matched = match (actual, &self.value) {
+                (Some(FieldValue::Str(a)), Lit::Str(pattern)) => like_match(pattern, a),
+                _ => false,
+            };
+            return (self.op == CmpOp::NotLike) != matched;
+        }
         let ord = match (actual, &self.value) {
             (Some(FieldValue::Str(a)), Lit::Str(want)) => Some(a.cmp(want.as_str())),
             (Some(FieldValue::Int(a)), Lit::Int(want)) => Some(a.cmp(want)),
@@ -195,6 +244,7 @@ impl Comparison {
             (CmpOp::Le, Some(o)) => o.is_le(),
             (CmpOp::Gt, Some(o)) => o.is_gt(),
             (CmpOp::Ge, Some(o)) => o.is_ge(),
+            (CmpOp::Like | CmpOp::NotLike, Some(_)) => unreachable!("handled above"),
         }
     }
 }
@@ -242,6 +292,31 @@ impl Predicate {
             Comparison {
                 field: Field::Kind,
                 op: CmpOp::Eq,
+                value: Lit::Str(s),
+            } => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Does any conjunct demand an *applicable* token — i.e. use an
+    /// operator that fails on token-less nodes? Such a predicate can
+    /// only match base-tuple / workflow-input nodes, which is the
+    /// paged planner's token-kind-postings opportunity (`token LIKE
+    /// 'C%'` narrows the scan to the two token-bearing kinds).
+    pub fn requires_token(&self) -> bool {
+        self.conjuncts
+            .iter()
+            .any(|c| c.field == Field::Token && !matches!(c.op, CmpOp::Ne | CmpOp::NotLike))
+    }
+
+    /// The pattern of a `module LIKE '…'` conjunct, if present — the
+    /// paged planner matches it against the (resident) invocation
+    /// table and unions the matching modules' postings.
+    pub fn module_like_pattern(&self) -> Option<&str> {
+        self.conjuncts.iter().find_map(|c| match c {
+            Comparison {
+                field: Field::Module,
+                op: CmpOp::Like,
                 value: Lit::Str(s),
             } => Some(s.as_str()),
             _ => None,
@@ -327,11 +402,143 @@ impl SemiringName {
     }
 }
 
+/// A computed projection over a node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)` — the node count, as a one-row table.
+    CountStar,
+    /// `COUNT(DISTINCT field)` — distinct applicable field values
+    /// (nodes the field does not apply to are ignored, as SQL ignores
+    /// NULLs).
+    CountDistinct(Field),
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::CountStar => f.write_str("COUNT(*)"),
+            Aggregate::CountDistinct(field) => write!(f, "COUNT(DISTINCT {})", field.name()),
+        }
+    }
+}
+
+/// What an `ORDER BY` sorts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// Node id (the default order of every node set).
+    Id,
+    /// The `count` column of a `GROUP BY` table.
+    Count,
+    /// A node field (node sets) or the grouping field (tables).
+    Field(Field),
+}
+
+impl SortKey {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortKey::Id => "id",
+            SortKey::Count => "count",
+            SortKey::Field(f) => f.name(),
+        }
+    }
+}
+
+/// `ORDER BY key [ASC|DESC]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderBy {
+    pub key: SortKey,
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORDER BY {}", self.key.name())?;
+        if self.desc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result-shaping clauses riding on a node-set query: an aggregate
+/// projection, grouping, ordering, and a row limit. All optional; the
+/// default shapes nothing (the query returns its plain node set).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Shaping {
+    /// `COUNT(*)` / `COUNT(DISTINCT f)` prefix (excludes the others).
+    pub agg: Option<Aggregate>,
+    /// `GROUP BY field` — rows of (field value, count).
+    pub group_by: Option<Field>,
+    /// `ORDER BY key [ASC|DESC]`.
+    pub order_by: Option<OrderBy>,
+    /// `LIMIT n` — keep the first n rows/nodes of the result order.
+    pub limit: Option<u64>,
+}
+
+impl Shaping {
+    /// No shaping at all — the query passes its node set through.
+    pub fn is_plain(&self) -> bool {
+        self.agg.is_none()
+            && self.group_by.is_none()
+            && self.order_by.is_none()
+            && self.limit.is_none()
+    }
+
+    /// The limit the planner may push into an id-ordered scan for
+    /// early exit: only when nothing reshapes the set first and the
+    /// requested order is the scan's native one (id ascending).
+    pub fn pushdown_limit(&self) -> Option<u64> {
+        if self.agg.is_some() || self.group_by.is_some() {
+            return None;
+        }
+        match self.order_by {
+            None
+            | Some(OrderBy {
+                key: SortKey::Id,
+                desc: false,
+            }) => self.limit,
+            Some(_) => None,
+        }
+    }
+
+    /// Lowercase one-line description for `EXPLAIN` output. Identical
+    /// for the resident and paged planners — the "plan shape" the
+    /// agreement tests compare.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(agg) = &self.agg {
+            parts.push(agg.to_string().to_ascii_lowercase());
+        }
+        if let Some(g) = &self.group_by {
+            parts.push(format!("group by {}", g.name()));
+        }
+        if let Some(o) = &self.order_by {
+            parts.push(format!(
+                "order by {}{}",
+                o.key.name(),
+                if o.desc { " desc" } else { "" }
+            ));
+        }
+        if let Some(n) = &self.limit {
+            parts.push(format!("limit {n}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// A node-set query with optional result shaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub expr: SetExpr,
+    pub shaping: Shaping,
+}
+
 /// One parsed ProQL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Statement {
-    /// A node-set query.
-    Query(SetExpr),
+    /// A node-set query, possibly shaped (aggregated/grouped/ordered/
+    /// limited).
+    Query(Query),
     /// `WHY ref` — symbolic provenance expression of a node.
     Why(NodeRef),
     /// `DEPENDS(n, m)` — does n's existence depend on m's?
@@ -371,5 +578,148 @@ impl Statement {
                 | Statement::BuildIndex
                 | Statement::DropIndex
         )
+    }
+}
+
+/// Render a module name the way the parser reads it back: bare when it
+/// lexes as one identifier, quoted otherwise.
+fn fmt_name(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    let mut chars = name.chars();
+    let ident = match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        }
+        _ => false,
+    };
+    if ident {
+        f.write_str(name)
+    } else {
+        write!(f, "'{name}'")
+    }
+}
+
+fn fmt_name_list(f: &mut fmt::Formatter<'_>, names: &[String]) -> fmt::Result {
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        fmt_name(f, n)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for SetTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetTerm::Subgraph(r) => write!(f, "SUBGRAPH OF {r}"),
+            SetTerm::Walk {
+                dir,
+                root,
+                depth,
+                filter,
+            } => {
+                let kw = match dir {
+                    WalkDir::Ancestors => "ANCESTORS",
+                    WalkDir::Descendants => "DESCENDANTS",
+                };
+                write!(f, "{kw} OF {root}")?;
+                if let Some(d) = depth {
+                    write!(f, " DEPTH {d}")?;
+                }
+                if !filter.is_empty() {
+                    write!(f, " WHERE {filter}")?;
+                }
+                Ok(())
+            }
+            SetTerm::Match { class, filter } => {
+                write!(f, "MATCH {}", class.name())?;
+                if !filter.is_empty() {
+                    write!(f, " WHERE {filter}")?;
+                }
+                Ok(())
+            }
+            SetTerm::Paren(inner) => write!(f, "({inner})"),
+        }
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Term(t) => write!(f, "{t}"),
+            SetExpr::Union(a, b) => write!(f, "{a} UNION {b}"),
+            SetExpr::Intersect(a, b) => write!(f, "{a} INTERSECT {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(agg) = &self.shaping.agg {
+            write!(f, "{agg} ")?;
+        }
+        write!(f, "{}", self.expr)?;
+        if let Some(g) = &self.shaping.group_by {
+            write!(f, " GROUP BY {}", g.name())?;
+        }
+        if let Some(o) = &self.shaping.order_by {
+            write!(f, " {o}")?;
+        }
+        if let Some(n) = &self.shaping.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The canonical pretty-printer: upper-case keywords, single spaces,
+/// quoted string literals. `parse(stmt.to_string())` round-trips to an
+/// equal `Statement` (property-tested in `tests/integration.rs`), so
+/// the rendering doubles as a normalization key — equivalent spellings
+/// of one statement share a single cache entry in `lipstick-serve`.
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::Why(r) => write!(f, "WHY {r}"),
+            Statement::Depends(n, m) => write!(f, "DEPENDS({n}, {m})"),
+            Statement::DeletePropagate(r) => write!(f, "DELETE {r} PROPAGATE"),
+            Statement::ZoomOut(names) => {
+                f.write_str("ZOOM OUT TO ")?;
+                fmt_name_list(f, names)
+            }
+            Statement::ZoomIn(None) => f.write_str("ZOOM IN"),
+            Statement::ZoomIn(Some(names)) => {
+                f.write_str("ZOOM IN TO ")?;
+                fmt_name_list(f, names)
+            }
+            Statement::Eval(r, s) => write!(f, "EVAL {r} IN {}", s.name()),
+            Statement::BuildIndex => f.write_str("BUILD INDEX"),
+            Statement::DropIndex => f.write_str("DROP INDEX"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Stats => f.write_str("STATS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod like_tests {
+    use super::like_match;
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("C%", "C2"));
+        assert!(like_match("C%", "C"));
+        assert!(!like_match("C%", "xC"));
+        assert!(like_match("%2", "C2"));
+        assert!(like_match("%", ""));
+        assert!(like_match("C_", "C2"));
+        assert!(!like_match("C_", "C22"));
+        assert!(like_match("a%b%c", "a-x-b-y-c"));
+        assert!(!like_match("a%b%c", "a-c"));
+        assert!(like_match("Mdealer_", "Mdealer1"));
+        assert!(like_match("exact", "exact"));
+        assert!(!like_match("exact", "exactly"));
+        assert!(like_match("%%", "anything"));
     }
 }

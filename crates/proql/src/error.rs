@@ -45,7 +45,7 @@ impl fmt::Display for ProqlError {
             ),
             ProqlError::UnknownField(c) => write!(
                 f,
-                "unknown predicate field '{c}' (expected module, kind, role, or execution)"
+                "unknown predicate field '{c}' (expected module, kind, role, execution, or token)"
             ),
             ProqlError::Query(e) => write!(f, "query error: {e}"),
             ProqlError::Storage(m) => write!(f, "storage error: {m}"),

@@ -25,7 +25,7 @@ use lipstick_core::{
 use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, SemiringName, WalkDir};
 use crate::error::Result;
 use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
-use crate::result::{NodeSetResult, QueryOutput};
+use crate::result::QueryOutput;
 use crate::session::Session;
 
 /// Execute one planned **read-only** statement against a resident
@@ -39,9 +39,9 @@ pub(crate) fn execute_read(
     plan: &StmtPlan,
 ) -> Result<QueryOutput> {
     match plan {
-        StmtPlan::Set(p) => {
+        StmtPlan::Set { plan: p, shaping } => {
             let (nodes, visited) = run_set(graph, reach, p)?;
-            Ok(QueryOutput::Nodes(NodeSetResult { nodes, visited }))
+            Ok(crate::shape::apply_shaping(graph, nodes, visited, shaping))
         }
         StmtPlan::Why(n) => {
             let expr = graph.expr_of(*n);
@@ -176,14 +176,19 @@ fn run_set(
             class,
             filter,
             strategy,
+            limit,
         } => Ok(match strategy {
-            ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter),
+            ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter, *limit),
+            // The module scan collects in invocation-component order
+            // and sorts afterwards, so an early-exit limit would be
+            // unsound here — the planner never plants one (see
+            // `SetPlan::push_limit`); the shaping stage truncates.
             ScanStrategy::ModuleScan { module, .. } => module_scan(graph, module, *class, filter),
             // Paged strategies only arise in paged sessions; if one
             // lands here (e.g. a plan replayed after promotion), the
             // full scan is always correct.
             ScanStrategy::PostingsScan { .. } | ScanStrategy::PagedFullScan { .. } => {
-                full_scan(graph, *class, filter)
+                full_scan(graph, *class, filter, *limit)
             }
         }),
         SetPlan::Walk {
@@ -238,11 +243,21 @@ fn run_set(
     }
 }
 
-/// Sweep every visible node.
-fn full_scan(graph: &ProvGraph, class: NodeClass, filter: &Predicate) -> (Vec<NodeId>, usize) {
+/// Sweep every visible node, in id order — which is what makes the
+/// planner's pushed-down `limit` sound: the first `n` matches are the
+/// set's `n` smallest members, so the scan stops early.
+fn full_scan(
+    graph: &ProvGraph,
+    class: NodeClass,
+    filter: &Predicate,
+    limit: Option<u64>,
+) -> (Vec<NodeId>, usize) {
     let mut visited = 0;
     let mut out = Vec::new();
     for (id, node) in graph.iter_visible() {
+        if limit.is_some_and(|n| out.len() as u64 >= n) {
+            break;
+        }
         visited += 1;
         if class_matches(class, node) && pred_matches(graph, id, node, filter) {
             out.push(id);
@@ -347,6 +362,12 @@ fn comparison_matches(graph: &ProvGraph, node: &Node, c: &Comparison) -> bool {
             .role
             .invocation()
             .map(|inv| FieldValue::Int(u64::from(graph.invocation(inv).execution))),
+        Field::Token => match &node.kind {
+            NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                Some(FieldValue::Str(token.as_str()))
+            }
+            _ => None,
+        },
     };
     c.eval(actual)
 }

@@ -23,6 +23,8 @@ pub enum Tok {
     RParen,
     Comma,
     Semi,
+    /// `*` — only used by `COUNT(*)`.
+    Star,
     Eq,
     Ne,
     Lt,
@@ -42,6 +44,7 @@ impl std::fmt::Display for Tok {
             Tok::RParen => f.write_str(")"),
             Tok::Comma => f.write_str(","),
             Tok::Semi => f.write_str(";"),
+            Tok::Star => f.write_str("*"),
             Tok::Eq => f.write_str("="),
             Tok::Ne => f.write_str("!="),
             Tok::Lt => f.write_str("<"),
@@ -89,6 +92,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             ';' => {
                 out.push(Tok::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
                 i += 1;
             }
             '=' => {

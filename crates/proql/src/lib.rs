@@ -18,6 +18,11 @@
 //! ZOOM IN                                  -- §4.1 ZoomIn (all zoomed modules)
 //! EVAL #42 IN counting                     -- semiring evaluation
 //! MATCH m-nodes WHERE module = 'Mdealer1'  -- node selection
+//! MATCH base-nodes WHERE token LIKE 'C%'   -- %/_ patterns (also NOT LIKE)
+//! MATCH o-nodes GROUP BY module ORDER BY count DESC LIMIT 3
+//! COUNT(*) MATCH base-nodes                -- scalar aggregates
+//! COUNT(DISTINCT module) MATCH nodes
+//! MATCH nodes ORDER BY execution DESC LIMIT 5
 //! ANCESTORS OF #42 DEPTH 3                 -- bounded-depth traversal
 //! DESCENDANTS OF 'C2' WHERE kind = 'module_output'
 //! MATCH base-nodes INTERSECT ANCESTORS OF #42
@@ -47,6 +52,22 @@
 //! `EXPLAIN` on a paged session reports how many of the log's records a
 //! plan will read. The first mutating statement (`DELETE`, `ZOOM`,
 //! `BUILD INDEX`) promotes the session to resident transparently.
+//!
+//! ## Result shaping
+//!
+//! Node-set statements accept `LIKE`/`NOT LIKE` wildcard patterns
+//! (`%`/`_`, on any string field including the new `token`),
+//! `COUNT(*)` / `COUNT(DISTINCT f)` projections, `GROUP BY`, `ORDER
+//! BY`, and `LIMIT`. Shaping runs in one
+//! [`GraphStore`](lipstick_core::store::GraphStore)-generic module
+//! shared by both executors, so resident and paged answers cannot
+//! drift; `tests/differential.rs` locks the property down by running
+//! generated statements (see [`testgen`]) against a resident session,
+//! a paged session, and a `lipstick-serve` round trip, shrinking any
+//! divergence to a minimal failing statement. On the paged side, a
+//! token-demanding predicate narrows the scan to the token-bearing
+//! kind postings, `module LIKE` unions matching modules' postings, and
+//! a pushed-down `LIMIT` early-exits id-ordered scans.
 
 pub mod ast;
 pub mod error;
@@ -58,7 +79,9 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 pub mod session;
+mod shape;
+pub mod testgen;
 
 pub use error::ProqlError;
-pub use result::{NodeSetResult, QueryOutput};
+pub use result::{NodeSetResult, QueryOutput, TableResult};
 pub use session::Session;

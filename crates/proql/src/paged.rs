@@ -18,14 +18,14 @@ use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, WalkDir};
 use crate::error::{ProqlError, Result};
 use crate::exec::{eval_expr_in_semiring, why_text};
 use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan};
-use crate::result::{NodeSetResult, QueryOutput};
+use crate::result::QueryOutput;
 
 /// Execute one planned read-only statement against a paged store.
 pub(crate) fn execute<S: GraphStore>(store: &S, plan: &StmtPlan) -> Result<QueryOutput> {
     match plan {
-        StmtPlan::Set(p) => {
+        StmtPlan::Set { plan: p, shaping } => {
             let (nodes, visited) = run_set(store, p)?;
-            Ok(QueryOutput::Nodes(NodeSetResult { nodes, visited }))
+            Ok(crate::shape::apply_shaping(store, nodes, visited, shaping))
         }
         StmtPlan::Why(n) => {
             let expr = expr_of_store(store, *n);
@@ -77,7 +77,12 @@ fn run_set<S: GraphStore>(store: &S, plan: &SetPlan) -> Result<(Vec<NodeId>, usi
             class,
             filter,
             strategy,
+            limit,
         } => {
+            // Postings lists are written in ascending id order, and the
+            // full-record sweep is ascending by construction — which is
+            // what makes the early-exit limit below agree with the
+            // resident executor's id-ordered scan.
             let candidates: Vec<NodeId> = match strategy {
                 ScanStrategy::PostingsScan { key, .. } => match key {
                     PostingsKey::Module(m) => store
@@ -86,12 +91,41 @@ fn run_set<S: GraphStore>(store: &S, plan: &SetPlan) -> Result<(Vec<NodeId>, usi
                     PostingsKey::Kind(k) => store
                         .kind_postings(k)
                         .expect("planned against a postings-backed store"),
+                    PostingsKey::TokenKinds => {
+                        let mut ids = store
+                            .kind_postings("base_tuple")
+                            .expect("planned against a postings-backed store");
+                        ids.extend(
+                            store
+                                .kind_postings("workflow_input")
+                                .expect("planned against a postings-backed store"),
+                        );
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids
+                    }
+                    PostingsKey::ModuleLike { modules, .. } => {
+                        let mut ids: Vec<NodeId> = modules
+                            .iter()
+                            .flat_map(|m| {
+                                store
+                                    .module_postings(m)
+                                    .expect("planned against a postings-backed store")
+                            })
+                            .collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids
+                    }
                 },
                 _ => (0..store.node_count() as u32).map(NodeId).collect(),
             };
             let mut visited = 0;
             let mut out = Vec::new();
             for id in candidates {
+                if limit.is_some_and(|n| out.len() as u64 >= n) {
+                    break;
+                }
                 if !store.is_visible(id) {
                     continue;
                 }
@@ -166,17 +200,28 @@ fn pred_matches<S: GraphStore>(store: &S, id: NodeId, pred: &Predicate) -> bool 
 }
 
 fn comparison_matches<S: GraphStore>(store: &S, id: NodeId, c: &Comparison) -> bool {
-    let actual = match c.field {
-        Field::Kind => Some(FieldValue::Str(store.kind_of(id).name())),
-        Field::Role => Some(FieldValue::Str(store.role_of(id).name())),
-        Field::Module => store
-            .role_of(id)
-            .invocation()
-            .map(|inv| FieldValue::Str(store.invocation(inv).module.as_str())),
-        Field::Execution => store
-            .role_of(id)
-            .invocation()
-            .map(|inv| FieldValue::Int(u64::from(store.invocation(inv).execution))),
-    };
-    c.eval(actual)
+    match c.field {
+        Field::Kind => c.eval(Some(FieldValue::Str(store.kind_of(id).name()))),
+        Field::Role => c.eval(Some(FieldValue::Str(store.role_of(id).name()))),
+        Field::Module => c.eval(
+            store
+                .role_of(id)
+                .invocation()
+                .map(|inv| FieldValue::Str(store.invocation(inv).module.as_str())),
+        ),
+        Field::Execution => c.eval(
+            store
+                .role_of(id)
+                .invocation()
+                .map(|inv| FieldValue::Int(u64::from(store.invocation(inv).execution))),
+        ),
+        // The decoded kind is a temporary; borrow the token from a
+        // local binding for the comparison's lifetime.
+        Field::Token => match &store.kind_of(id) {
+            NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                c.eval(Some(FieldValue::Str(token.as_str())))
+            }
+            _ => c.eval(None),
+        },
+    }
 }

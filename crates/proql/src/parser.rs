@@ -164,8 +164,86 @@ impl Parser {
         if self.eat_kw("STATS") {
             return Ok(Statement::Stats);
         }
-        // Everything else is a node-set expression.
-        Ok(Statement::Query(self.set_expr()?))
+        // Everything else is a node-set query, optionally shaped:
+        // [COUNT(…)] set_expr [GROUP BY f] [ORDER BY k [ASC|DESC]]
+        // [LIMIT n].
+        let agg = self.opt_aggregate()?;
+        let expr = self.set_expr()?;
+        let shaping = self.shaping_tail(agg)?;
+        Ok(Statement::Query(Query { expr, shaping }))
+    }
+
+    /// `COUNT(*)` / `COUNT(DISTINCT field)` projection prefix.
+    fn opt_aggregate(&mut self) -> Result<Option<Aggregate>> {
+        if !self.eat_kw("COUNT") {
+            return Ok(None);
+        }
+        self.expect_symbol(Tok::LParen)?;
+        let agg = if self.eat_symbol(&Tok::Star) {
+            Aggregate::CountStar
+        } else {
+            self.expect_kw("DISTINCT")?;
+            let name = self.ident("aggregate field")?;
+            let field =
+                Field::parse(&name).ok_or_else(|| ProqlError::UnknownField(name.clone()))?;
+            Aggregate::CountDistinct(field)
+        };
+        self.expect_symbol(Tok::RParen)?;
+        Ok(Some(agg))
+    }
+
+    /// The optional shaping clauses after a set expression, plus the
+    /// combination rules that keep shaped statements well-formed.
+    fn shaping_tail(&mut self, agg: Option<Aggregate>) -> Result<Shaping> {
+        let mut group_by = None;
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let name = self.ident("grouping field")?;
+            group_by =
+                Some(Field::parse(&name).ok_or_else(|| ProqlError::UnknownField(name.clone()))?);
+        }
+        let mut order_by = None;
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let name = self.ident("ordering key")?;
+            let key = match name.to_ascii_lowercase().as_str() {
+                "id" => SortKey::Id,
+                "count" => SortKey::Count,
+                _ => SortKey::Field(Field::parse(&name).ok_or_else(|| {
+                    ProqlError::Parse(format!(
+                        "unknown ordering key '{name}' (expected id, count, module, kind, role, \
+                         execution, or token)"
+                    ))
+                })?),
+            };
+            let desc = if self.eat_kw("DESC") {
+                true
+            } else {
+                let _ = self.eat_kw("ASC"); // the default, spelled out
+                false
+            };
+            order_by = Some(OrderBy { key, desc });
+        }
+        let mut limit = None;
+        if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(Tok::Int(n)) => limit = Some(n),
+                other => {
+                    return Err(ProqlError::Parse(format!(
+                        "expected integer after LIMIT, found {}",
+                        other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+                    )))
+                }
+            }
+        }
+        let shaping = Shaping {
+            agg,
+            group_by,
+            order_by,
+            limit,
+        };
+        validate_shaping(&shaping)?;
+        Ok(shaping)
     }
 
     /// `term (UNION term | INTERSECT term)*`, left-associative.
@@ -257,6 +335,13 @@ impl Parser {
     fn comparison(&mut self) -> Result<Comparison> {
         let name = self.ident("predicate field")?;
         let field = Field::parse(&name).ok_or_else(|| ProqlError::UnknownField(name.clone()))?;
+        if self.eat_kw("LIKE") {
+            return self.like_value(field, CmpOp::Like);
+        }
+        if self.eat_kw("NOT") {
+            self.expect_kw("LIKE")?;
+            return self.like_value(field, CmpOp::NotLike);
+        }
         let op = match self.bump() {
             Some(Tok::Eq) => CmpOp::Eq,
             Some(Tok::Ne) => CmpOp::Ne,
@@ -286,6 +371,21 @@ impl Parser {
             }
         };
         Ok(Comparison { field, op, value })
+    }
+
+    /// The quoted `%`/`_` pattern a `LIKE` comparison requires.
+    fn like_value(&mut self, field: Field, op: CmpOp) -> Result<Comparison> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(Comparison {
+                field,
+                op,
+                value: Lit::Str(s),
+            }),
+            other => Err(ProqlError::Parse(format!(
+                "expected a quoted pattern after LIKE, found {}",
+                other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
+            ))),
+        }
     }
 
     fn node_ref(&mut self) -> Result<NodeRef> {
@@ -326,6 +426,51 @@ impl Parser {
                 other.map_or_else(|| "end of input".into(), |t| format!("'{t}'"))
             ))),
         }
+    }
+}
+
+/// Reject shaped statements whose clauses cannot compose:
+/// an aggregate projection is a single row (nothing to group, order,
+/// or limit), `ORDER BY count` needs a count column, and a grouped
+/// table can only order by its own columns.
+fn validate_shaping(s: &Shaping) -> Result<()> {
+    if s.agg.is_some() && (s.group_by.is_some() || s.order_by.is_some() || s.limit.is_some()) {
+        return Err(ProqlError::Parse(
+            "COUNT(…) produces a single row; GROUP BY / ORDER BY / LIMIT cannot apply".into(),
+        ));
+    }
+    match (s.group_by, s.order_by) {
+        (
+            None,
+            Some(OrderBy {
+                key: SortKey::Count,
+                ..
+            }),
+        ) => Err(ProqlError::Parse("ORDER BY count requires GROUP BY".into())),
+        (
+            Some(g),
+            Some(OrderBy {
+                key: SortKey::Field(f),
+                ..
+            }),
+        ) if f != g => Err(ProqlError::Parse(format!(
+            "ORDER BY {} does not name a column of the GROUP BY {} table (order by {} or \
+                 count)",
+            f.name(),
+            g.name(),
+            g.name()
+        ))),
+        (
+            Some(g),
+            Some(OrderBy {
+                key: SortKey::Id, ..
+            }),
+        ) => Err(ProqlError::Parse(format!(
+            "ORDER BY id does not name a column of the GROUP BY {} table (order by {} or count)",
+            g.name(),
+            g.name()
+        ))),
+        _ => Ok(()),
     }
 }
 
@@ -377,7 +522,11 @@ mod tests {
     #[test]
     fn match_predicates_parse() {
         let s = parse_statement("MATCH nodes WHERE module = 'M' AND kind != delta").unwrap();
-        let Statement::Query(SetExpr::Term(SetTerm::Match { class, filter })) = s else {
+        let Statement::Query(Query {
+            expr: SetExpr::Term(SetTerm::Match { class, filter }),
+            ..
+        }) = s
+        else {
             panic!("wrong shape");
         };
         assert_eq!(class, NodeClass::All);
@@ -392,7 +541,11 @@ mod tests {
              execution > 0",
         )
         .unwrap();
-        let Statement::Query(SetExpr::Term(SetTerm::Match { filter, .. })) = s else {
+        let Statement::Query(Query {
+            expr: SetExpr::Term(SetTerm::Match { filter, .. }),
+            ..
+        }) = s
+        else {
             panic!("wrong shape");
         };
         let ops: Vec<CmpOp> = filter.conjuncts.iter().map(|c| c.op).collect();
@@ -436,7 +589,11 @@ mod tests {
         let s =
             parse_statement("MATCH nodes UNION MATCH base-nodes INTERSECT MATCH v-nodes").unwrap();
         // ((nodes UNION base) INTERSECT v)
-        let Statement::Query(SetExpr::Intersect(lhs, _)) = s else {
+        let Statement::Query(Query {
+            expr: SetExpr::Intersect(lhs, _),
+            ..
+        }) = s
+        else {
             panic!("expected top-level INTERSECT, got {s:?}");
         };
         assert!(matches!(*lhs, SetExpr::Union(..)));
@@ -446,7 +603,11 @@ mod tests {
     fn parens_group_set_ops() {
         let s = parse_statement("MATCH nodes UNION (MATCH base-nodes INTERSECT MATCH v-nodes)")
             .unwrap();
-        let Statement::Query(SetExpr::Union(_, rhs)) = s else {
+        let Statement::Query(Query {
+            expr: SetExpr::Union(_, rhs),
+            ..
+        }) = s
+        else {
             panic!("expected top-level UNION");
         };
         assert!(matches!(*rhs, SetExpr::Term(SetTerm::Paren(_))));
@@ -455,9 +616,13 @@ mod tests {
     #[test]
     fn depth_and_filter_on_walks() {
         let s = parse_statement("ANCESTORS OF #7 DEPTH 2 WHERE kind = 'base_tuple'").unwrap();
-        let Statement::Query(SetExpr::Term(SetTerm::Walk {
-            dir, depth, filter, ..
-        })) = s
+        let Statement::Query(Query {
+            expr:
+                SetExpr::Term(SetTerm::Walk {
+                    dir, depth, filter, ..
+                }),
+            ..
+        }) = s
         else {
             panic!("wrong shape");
         };
@@ -475,5 +640,137 @@ mod tests {
         assert!(parse_statement("MATCH q-nodes").is_err());
         assert!(parse_statement("MATCH nodes WHERE size = 3").is_err());
         assert!(parse_statement("SUBGRAPH OF #1 SUBGRAPH OF #2").is_err());
+    }
+
+    #[test]
+    fn like_predicates_parse_and_require_patterns() {
+        let s = parse_statement("MATCH base-nodes WHERE token LIKE 'C%'").unwrap();
+        let Statement::Query(Query {
+            expr: SetExpr::Term(SetTerm::Match { filter, .. }),
+            ..
+        }) = s
+        else {
+            panic!("wrong shape");
+        };
+        assert_eq!(filter.conjuncts[0].op, CmpOp::Like);
+        assert!(filter.requires_token());
+        assert_eq!(filter.to_string(), "token LIKE 'C%'");
+
+        let s = parse_statement("MATCH nodes WHERE module NOT LIKE 'M_dealer%'").unwrap();
+        let Statement::Query(Query {
+            expr: SetExpr::Term(SetTerm::Match { filter, .. }),
+            ..
+        }) = s
+        else {
+            panic!("wrong shape");
+        };
+        assert_eq!(filter.conjuncts[0].op, CmpOp::NotLike);
+        assert!(
+            !filter.requires_token(),
+            "NOT LIKE matches token-less nodes"
+        );
+
+        assert!(parse_statement("MATCH nodes WHERE token LIKE 3").is_err());
+        assert!(parse_statement("MATCH nodes WHERE token NOT 'C%'").is_err());
+        assert!(parse_statement("MATCH nodes WHERE token LIKE").is_err());
+    }
+
+    #[test]
+    fn shaping_clauses_parse() {
+        let s = parse_statement(
+            "MATCH o-nodes WHERE module LIKE 'M%' GROUP BY module ORDER BY count DESC LIMIT 3",
+        )
+        .unwrap();
+        let Statement::Query(Query { shaping, .. }) = &s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(shaping.group_by, Some(Field::Module));
+        assert_eq!(
+            shaping.order_by,
+            Some(OrderBy {
+                key: SortKey::Count,
+                desc: true
+            })
+        );
+        assert_eq!(shaping.limit, Some(3));
+        assert_eq!(shaping.pushdown_limit(), None, "grouping blocks pushdown");
+
+        let s = parse_statement("MATCH nodes ORDER BY execution ASC LIMIT 10").unwrap();
+        let Statement::Query(Query { shaping, .. }) = &s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(
+            shaping.order_by,
+            Some(OrderBy {
+                key: SortKey::Field(Field::Execution),
+                desc: false
+            })
+        );
+        assert_eq!(
+            shaping.pushdown_limit(),
+            None,
+            "field order blocks pushdown"
+        );
+
+        let s = parse_statement("MATCH nodes LIMIT 0").unwrap();
+        let Statement::Query(Query { shaping, .. }) = &s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(shaping.pushdown_limit(), Some(0));
+
+        let s = parse_statement("COUNT(*) MATCH base-nodes").unwrap();
+        let Statement::Query(Query { shaping, .. }) = &s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(shaping.agg, Some(Aggregate::CountStar));
+
+        let s = parse_statement("COUNT(DISTINCT module) MATCH o-nodes").unwrap();
+        let Statement::Query(Query { shaping, .. }) = &s else {
+            panic!("wrong shape");
+        };
+        assert_eq!(shaping.agg, Some(Aggregate::CountDistinct(Field::Module)));
+
+        // Shaping composes with set operations and EXPLAIN.
+        let s = parse_statement(
+            "EXPLAIN MATCH base-nodes UNION MATCH m-nodes ORDER BY id DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn ill_formed_shaping_is_rejected() {
+        assert!(parse_statement("COUNT(*) MATCH nodes GROUP BY module").is_err());
+        assert!(parse_statement("COUNT(*) MATCH nodes LIMIT 3").is_err());
+        assert!(parse_statement("COUNT(*) MATCH nodes ORDER BY id").is_err());
+        assert!(parse_statement("MATCH nodes ORDER BY count").is_err());
+        assert!(parse_statement("MATCH nodes GROUP BY module ORDER BY kind").is_err());
+        assert!(parse_statement("MATCH nodes GROUP BY module ORDER BY id").is_err());
+        assert!(parse_statement("MATCH nodes GROUP BY size").is_err());
+        assert!(parse_statement("MATCH nodes ORDER BY size").is_err());
+        assert!(parse_statement("MATCH nodes LIMIT").is_err());
+        assert!(parse_statement("MATCH nodes LIMIT 'three'").is_err());
+        assert!(parse_statement("COUNT(module) MATCH nodes").is_err());
+    }
+
+    #[test]
+    fn canonical_display_round_trips_spellings() {
+        // Distinct spellings of one statement normalize to one string.
+        let spellings = [
+            "match BASE-NODES where token like 'C%' order by execution desc limit 2",
+            "MATCH base-nodes WHERE token LIKE 'C%' ORDER BY execution DESC LIMIT 2",
+        ];
+        let canon: Vec<String> = spellings
+            .iter()
+            .map(|s| parse_statement(s).unwrap().to_string())
+            .collect();
+        assert_eq!(canon[0], canon[1]);
+        assert_eq!(
+            canon[0],
+            "MATCH base-nodes WHERE token LIKE 'C%' ORDER BY execution DESC LIMIT 2"
+        );
+        // And the canonical form parses back to the same statement.
+        let stmt = parse_statement(spellings[0]).unwrap();
+        assert_eq!(parse_statement(&canon[0]).unwrap(), stmt);
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 
 use lipstick_core::NodeId;
 
-use crate::ast::{NodeClass, Predicate, SemiringName, WalkDir};
+use crate::ast::{NodeClass, Predicate, SemiringName, Shaping, WalkDir};
 
 /// How a bounded/unbounded traversal runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,13 +25,24 @@ pub enum WalkStrategy {
     PagedBfs { total_records: usize },
 }
 
-/// Which footer postings list drives a paged scan.
+/// Which footer postings list(s) drive a paged scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PostingsKey {
     /// `module = '…'` equality conjunct → the module's owned nodes.
     Module(String),
     /// Node class or `kind = '…'` conjunct → nodes of one kind.
     Kind(String),
+    /// A predicate that only token-bearing nodes can satisfy (`token
+    /// LIKE 'C%'`, `token = '…'`, ordered token comparisons) → the
+    /// union of the `base_tuple` and `workflow_input` kind postings.
+    TokenKinds,
+    /// `module LIKE '…'` → the union of the postings of every module
+    /// (resolved against the resident invocation table) matching the
+    /// pattern.
+    ModuleLike {
+        pattern: String,
+        modules: Vec<String>,
+    },
 }
 
 impl fmt::Display for PostingsKey {
@@ -39,6 +50,10 @@ impl fmt::Display for PostingsKey {
         match self {
             PostingsKey::Module(m) => write!(f, "module '{m}'"),
             PostingsKey::Kind(k) => write!(f, "kind '{k}'"),
+            PostingsKey::TokenKinds => f.write_str("token-bearing kinds"),
+            PostingsKey::ModuleLike { pattern, modules } => {
+                write!(f, "modules LIKE '{pattern}' ({} module(s))", modules.len())
+            }
         }
     }
 }
@@ -75,6 +90,13 @@ pub enum SetPlan {
         class: NodeClass,
         filter: Predicate,
         strategy: ScanStrategy,
+        /// Stop after collecting this many matches — sound only on
+        /// id-ordered candidate streams, which is where the planner
+        /// plants it (see [`SetPlan::push_limit`]). Strategies that
+        /// collect out of order (the resident module scan) ignore it;
+        /// the shaping stage re-truncates, so an ignored hint costs
+        /// work but never correctness.
+        limit: Option<u64>,
     },
     Walk {
         root: NodeId,
@@ -88,6 +110,33 @@ pub enum SetPlan {
     },
     Union(Box<SetPlan>, Box<SetPlan>),
     Intersect(Box<SetPlan>, Box<SetPlan>),
+}
+
+impl SetPlan {
+    /// Plant an early-exit limit where it is sound: id-ordered scans
+    /// produce their matches ascending, so the first `n` matches *are*
+    /// the query's first `n` rows; a union's first `n` members all sit
+    /// within the first `n` of its operands. No hint goes where it
+    /// would be unsound or ignored — the resident module scan (which
+    /// collects in invocation-component order and sorts afterwards),
+    /// intersections (a member may pair with an arbitrarily deep
+    /// counterpart), walks, and subgraphs (BFS discovery order is not
+    /// id order) all rely on the shaping stage's truncation instead,
+    /// and their `EXPLAIN` output shows no early-exit marker.
+    pub fn push_limit(&mut self, n: u64) {
+        match self {
+            SetPlan::Scan {
+                strategy: ScanStrategy::ModuleScan { .. },
+                ..
+            } => {}
+            SetPlan::Scan { limit, .. } => *limit = Some(n),
+            SetPlan::Union(a, b) => {
+                a.push_limit(n);
+                b.push_limit(n);
+            }
+            SetPlan::Walk { .. } | SetPlan::Subgraph { .. } | SetPlan::Intersect(..) => {}
+        }
+    }
 }
 
 /// How a `DEPENDS` runs.
@@ -108,7 +157,12 @@ pub enum DependsStrategy {
 /// A fully planned statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtPlan {
-    Set(SetPlan),
+    /// A node-set query plus the shaping (aggregate / group / order /
+    /// limit) applied to the produced set.
+    Set {
+        plan: SetPlan,
+        shaping: Shaping,
+    },
     Why(NodeId),
     Depends {
         n: NodeId,
@@ -148,10 +202,14 @@ impl SetPlan {
                 class,
                 filter,
                 strategy,
+                limit,
             } => {
                 write!(f, "{pad}scan {}", class.name())?;
                 if !filter.is_empty() {
                     write!(f, " where {filter}")?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " [early-exit after {n} match(es)]")?;
                 }
                 match strategy {
                     ScanStrategy::FullScan { est_visited } => {
@@ -230,7 +288,15 @@ impl SetPlan {
 impl fmt::Display for StmtPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StmtPlan::Set(p) => write!(f, "{p}"),
+            StmtPlan::Set { plan, shaping } => {
+                write!(f, "{plan}")?;
+                if !shaping.is_plain() {
+                    // One backend-independent line: the resident and
+                    // paged planners must describe identical shapes.
+                    write!(f, "\n  shape: {}", shaping.describe())?;
+                }
+                Ok(())
+            }
             StmtPlan::Why(n) => write!(f, "why {n} [graph expression extraction]"),
             StmtPlan::Depends {
                 n,

@@ -68,7 +68,16 @@ impl<'a> Planner<'a> {
 
     pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
         Ok(match stmt {
-            Statement::Query(e) => StmtPlan::Set(self.plan_set(e)?),
+            Statement::Query(q) => {
+                let mut plan = self.plan_set(&q.expr)?;
+                if let Some(n) = q.shaping.pushdown_limit() {
+                    plan.push_limit(n);
+                }
+                StmtPlan::Set {
+                    plan,
+                    shaping: q.shaping.clone(),
+                }
+            }
             Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
             Statement::Depends(n, n_prime) => {
                 let strategy = if self.has_reach_index {
@@ -147,6 +156,7 @@ impl<'a> Planner<'a> {
                     class: *class,
                     filter: filter.clone(),
                     strategy,
+                    limit: None,
                 }
             }
             SetTerm::Paren(inner) => self.plan_set(inner)?,
@@ -316,7 +326,16 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
 
     pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
         Ok(match stmt {
-            Statement::Query(e) => StmtPlan::Set(self.plan_set(e)?),
+            Statement::Query(q) => {
+                let mut plan = self.plan_set(&q.expr)?;
+                if let Some(n) = q.shaping.pushdown_limit() {
+                    plan.push_limit(n);
+                }
+                StmtPlan::Set {
+                    plan,
+                    shaping: q.shaping.clone(),
+                }
+            }
             Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
             Statement::Depends(n, n_prime) => StmtPlan::Depends {
                 n: self.resolve(n)?,
@@ -375,13 +394,19 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
                 class: *class,
                 filter: filter.clone(),
                 strategy: self.scan_strategy(*class, filter),
+                limit: None,
             },
             SetTerm::Paren(inner) => self.plan_set(inner)?,
         })
     }
 
     /// Pick the smallest applicable postings list; fall back to a
-    /// streaming full-record scan.
+    /// streaming full-record scan. Beyond the module/kind equality
+    /// postings, a token-demanding predicate (`token LIKE 'C%'`)
+    /// narrows to the union of the two token-bearing kind postings,
+    /// and `module LIKE '…'` resolves the pattern against the
+    /// resident invocation table and unions the matching modules'
+    /// postings.
     fn scan_strategy(&self, class: NodeClass, filter: &crate::ast::Predicate) -> ScanStrategy {
         let mut best: Option<(PostingsKey, usize)> = None;
         let mut consider = |key: PostingsKey, len: usize| {
@@ -398,6 +423,39 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
         if let Some(k) = kind_key {
             if let Some(ids) = self.store.kind_postings(k) {
                 consider(PostingsKey::Kind(k.to_string()), ids.len());
+            }
+        }
+        if filter.requires_token() {
+            if let (Some(base), Some(inputs)) = (
+                self.store.kind_postings("base_tuple"),
+                self.store.kind_postings("workflow_input"),
+            ) {
+                // Disjoint kinds: the union's size is the sum.
+                consider(PostingsKey::TokenKinds, base.len() + inputs.len());
+            }
+        }
+        if let Some(pattern) = filter.module_like_pattern() {
+            let mut modules: Vec<String> = self
+                .store
+                .invocations()
+                .iter()
+                .filter(|info| crate::ast::like_match(pattern, &info.module))
+                .map(|info| info.module.clone())
+                .collect();
+            modules.sort();
+            modules.dedup();
+            let lens: Option<usize> = modules
+                .iter()
+                .map(|m| self.store.module_postings(m).map(|ids| ids.len()))
+                .sum();
+            if let Some(len) = lens {
+                consider(
+                    PostingsKey::ModuleLike {
+                        pattern: pattern.to_string(),
+                        modules,
+                    },
+                    len,
+                );
             }
         }
         match best {

@@ -69,11 +69,87 @@ impl fmt::Display for NodeSetResult {
     }
 }
 
+/// One value in a [`TableResult`] row. Integers and strings order
+/// among themselves the way the corresponding fields compare in
+/// predicates; a shaped query never mixes the two within a column
+/// except for the `(none)` marker, which [`Ord`]ers after integers by
+/// construction (`Int` precedes `Str` in the enum).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cell {
+    Int(u64),
+    Str(String),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Int(n) => write!(f, "{n}"),
+            Cell::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl Cell {
+    /// JSON rendering: integers bare, strings quoted and escaped.
+    pub fn to_json(&self) -> String {
+        match self {
+            Cell::Int(n) => n.to_string(),
+            Cell::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+}
+
+/// Rows of computed cells — what `GROUP BY` and `COUNT(…)` queries
+/// return. Row order is part of the result (it reflects `ORDER BY`),
+/// and `visited` reports the executor work exactly as
+/// [`NodeSetResult::visited`] does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableResult {
+    /// Column names, e.g. `["module", "count"]`.
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+    pub visited: usize,
+}
+
+impl TableResult {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TableResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} row(s) (visited {}):\n  {}",
+            self.len(),
+            self.visited,
+            self.columns.join(" | ")
+        )?;
+        for row in &self.rows {
+            write!(f, "\n  ")?;
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The result of one executed ProQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutput {
     /// Node-set queries (`MATCH`, walks, `SUBGRAPH OF`, set ops).
     Nodes(NodeSetResult),
+    /// Shaped queries (`GROUP BY`, `COUNT(…)`): computed rows.
+    Table(TableResult),
     /// `DEPENDS`.
     Bool(bool),
     /// `WHY`, `EVAL`, `STATS`, `EXPLAIN`.
@@ -117,6 +193,7 @@ impl QueryOutput {
     ///
     /// ```text
     /// {"type":"nodes","count":3,"visited":9,"nodes":[1,4,7]}
+    /// {"type":"table","columns":["module","count"],"visited":9,"rows":[["M",2]]}
     /// {"type":"bool","value":true}
     /// {"type":"text","text":"…"}
     /// {"type":"deleted","count":2,"nodes":[3,5]}
@@ -130,6 +207,27 @@ impl QueryOutput {
                 ns.visited,
                 json_id_array(&ns.nodes)
             ),
+            QueryOutput::Table(t) => {
+                let columns: Vec<String> = t
+                    .columns
+                    .iter()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .collect();
+                let rows: Vec<String> = t
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let cells: Vec<String> = row.iter().map(Cell::to_json).collect();
+                        format!("[{}]", cells.join(","))
+                    })
+                    .collect();
+                format!(
+                    r#"{{"type":"table","columns":[{}],"visited":{},"rows":[{}]}}"#,
+                    columns.join(","),
+                    t.visited,
+                    rows.join(",")
+                )
+            }
             QueryOutput::Bool(b) => format!(r#"{{"type":"bool","value":{b}}}"#),
             QueryOutput::Text(t) => format!(r#"{{"type":"text","text":"{}"}}"#, json_escape(t)),
             QueryOutput::Deleted { nodes } => format!(
@@ -147,6 +245,14 @@ impl QueryOutput {
     pub fn nodes(&self) -> Option<&NodeSetResult> {
         match self {
             QueryOutput::Nodes(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// The table, when this output carries one.
+    pub fn table(&self) -> Option<&TableResult> {
+        match self {
+            QueryOutput::Table(t) => Some(t),
             _ => None,
         }
     }
@@ -173,6 +279,7 @@ impl fmt::Display for QueryOutput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryOutput::Nodes(ns) => write!(f, "{ns}"),
+            QueryOutput::Table(t) => write!(f, "{t}"),
             QueryOutput::Bool(b) => write!(f, "{b}"),
             QueryOutput::Text(t) => write!(f, "{t}"),
             QueryOutput::Deleted { nodes } => {
@@ -226,6 +333,37 @@ mod tests {
             QueryOutput::Message("zoomed out 1 module(s)".into()).to_json(),
             r#"{"type":"message","message":"zoomed out 1 module(s)"}"#
         );
+        let table = QueryOutput::Table(TableResult {
+            columns: vec!["module".into(), "count".into()],
+            rows: vec![
+                vec![Cell::Str("Magg".into()), Cell::Int(4)],
+                vec![Cell::Str("(none)".into()), Cell::Int(2)],
+            ],
+            visited: 9,
+        });
+        assert_eq!(
+            table.to_json(),
+            r#"{"type":"table","columns":["module","count"],"visited":9,"rows":[["Magg",4],["(none)",2]]}"#
+        );
+        assert_eq!(
+            table.to_string(),
+            "2 row(s) (visited 9):\n  module | count\n  Magg | 4\n  (none) | 2"
+        );
+    }
+
+    #[test]
+    fn empty_table_is_well_formed() {
+        let out = QueryOutput::Table(TableResult {
+            columns: vec!["kind".into(), "count".into()],
+            rows: vec![],
+            visited: 3,
+        });
+        assert_eq!(
+            out.to_json(),
+            r#"{"type":"table","columns":["kind","count"],"visited":3,"rows":[]}"#
+        );
+        assert_eq!(out.to_string(), "0 row(s) (visited 3):\n  kind | count");
+        assert!(out.table().unwrap().is_empty());
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! A ProQL session: a provenance graph (resident or paged), an
 //! optional reachability index, and the parse → plan → execute loop.
+//!
+//! Shaped statements (`LIKE` predicates, `COUNT(…)`, `GROUP BY`,
+//! `ORDER BY`, `LIMIT`) take the same paths as plain node-set queries:
+//! both backends plan the shaping into the statement plan and apply it
+//! through the shared `shape` module, so every entry point here —
+//! `run`, `run_one`, `run_read`, `explain` — handles them uniformly
+//! and `QueryOutput::Table` flows to callers like any other output.
 
 use std::path::Path;
 

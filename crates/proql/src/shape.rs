@@ -1,0 +1,195 @@
+//! Result shaping: aggregates, `GROUP BY`, `ORDER BY`, `LIMIT`.
+//!
+//! One implementation, generic over [`GraphStore`], shared by the
+//! resident and paged executors — the two backends cannot drift on
+//! shaping semantics because they run the same code over the same node
+//! sets. All orderings are total (ties break on the group value or
+//! node id), so shaped results are byte-for-byte deterministic, which
+//! the differential harness (`tests/differential.rs`) relies on.
+
+use std::collections::BTreeMap;
+
+use lipstick_core::store::GraphStore;
+use lipstick_core::{NodeId, NodeKind};
+
+use crate::ast::{Aggregate, Field, OrderBy, Shaping, SortKey};
+use crate::result::{Cell, NodeSetResult, QueryOutput, TableResult};
+
+/// The cell a `GROUP BY` (or `ORDER BY field`) key renders for nodes
+/// the field does not apply to.
+const NONE_MARKER: &str = "(none)";
+
+/// A node's value for a shaping field, when the field applies.
+/// Mirrors the predicate semantics in both executors'
+/// `comparison_matches`.
+pub(crate) fn field_cell<S: GraphStore + ?Sized>(
+    store: &S,
+    id: NodeId,
+    field: Field,
+) -> Option<Cell> {
+    match field {
+        Field::Kind => Some(Cell::Str(store.kind_of(id).name().to_string())),
+        Field::Role => Some(Cell::Str(store.role_of(id).name().to_string())),
+        Field::Module => store
+            .role_of(id)
+            .invocation()
+            .map(|inv| Cell::Str(store.invocation(inv).module.clone())),
+        Field::Execution => store
+            .role_of(id)
+            .invocation()
+            .map(|inv| Cell::Int(u64::from(store.invocation(inv).execution))),
+        Field::Token => match store.kind_of(id) {
+            NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                Some(Cell::Str(token.as_str().to_string()))
+            }
+            _ => None,
+        },
+    }
+}
+
+/// A grouping key with the order the shaped output uses: every present
+/// value first (in [`Cell`] order), the missing-field group last.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GroupKey {
+    Present(Cell),
+    Missing,
+}
+
+impl GroupKey {
+    fn new(cell: Option<Cell>) -> GroupKey {
+        match cell {
+            Some(c) => GroupKey::Present(c),
+            None => GroupKey::Missing,
+        }
+    }
+
+    fn into_cell(self) -> Cell {
+        match self {
+            GroupKey::Present(c) => c,
+            GroupKey::Missing => Cell::Str(NONE_MARKER.into()),
+        }
+    }
+}
+
+/// Apply a query's shaping clauses to an executed node set. `visited`
+/// passes through untouched: shaping reshapes the answer, not the
+/// executor's work accounting.
+pub(crate) fn apply_shaping<S: GraphStore + ?Sized>(
+    store: &S,
+    nodes: Vec<NodeId>,
+    visited: usize,
+    shaping: &Shaping,
+) -> QueryOutput {
+    if shaping.is_plain() {
+        return QueryOutput::Nodes(NodeSetResult { nodes, visited });
+    }
+    if let Some(agg) = &shaping.agg {
+        return QueryOutput::Table(aggregate(store, &nodes, visited, *agg));
+    }
+    if let Some(group_field) = shaping.group_by {
+        return QueryOutput::Table(group(store, &nodes, visited, group_field, shaping));
+    }
+    // Plain node set with ORDER BY and/or LIMIT.
+    let mut nodes = nodes;
+    if let Some(OrderBy { key, desc }) = shaping.order_by {
+        match key {
+            SortKey::Id => {
+                if desc {
+                    nodes.reverse(); // sets arrive ascending by id
+                }
+            }
+            SortKey::Field(f) => {
+                // Total order: (field value — missing last, id); DESC
+                // reverses the whole order, ids included, so every
+                // ordering is deterministic for the differential
+                // harness.
+                let mut keyed: Vec<(GroupKey, NodeId)> = nodes
+                    .into_iter()
+                    .map(|id| (GroupKey::new(field_cell(store, id, f)), id))
+                    .collect();
+                keyed.sort();
+                if desc {
+                    keyed.reverse();
+                }
+                nodes = keyed.into_iter().map(|(_, id)| id).collect();
+            }
+            // The parser rejects ORDER BY count without GROUP BY.
+            SortKey::Count => unreachable!("validated at parse time"),
+        }
+    }
+    if let Some(n) = shaping.limit {
+        nodes.truncate(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    QueryOutput::Nodes(NodeSetResult { nodes, visited })
+}
+
+/// `COUNT(*)` / `COUNT(DISTINCT f)`: always exactly one row, zero
+/// included — an empty match counts as 0, never errors.
+fn aggregate<S: GraphStore + ?Sized>(
+    store: &S,
+    nodes: &[NodeId],
+    visited: usize,
+    agg: Aggregate,
+) -> TableResult {
+    let (column, value) = match agg {
+        Aggregate::CountStar => ("count".to_string(), nodes.len() as u64),
+        Aggregate::CountDistinct(f) => {
+            let mut distinct: Vec<Cell> = nodes
+                .iter()
+                .filter_map(|&id| field_cell(store, id, f))
+                .collect();
+            distinct.sort();
+            distinct.dedup();
+            (
+                format!("count(distinct {})", f.name()),
+                distinct.len() as u64,
+            )
+        }
+    };
+    TableResult {
+        columns: vec![column],
+        rows: vec![vec![Cell::Int(value)]],
+        visited,
+    }
+}
+
+/// `GROUP BY field`: one row per distinct field value (plus a
+/// `(none)` row for nodes the field does not apply to), ordered by the
+/// group value unless `ORDER BY count` reorders rows by size. An empty
+/// node set produces a well-formed zero-row table.
+fn group<S: GraphStore + ?Sized>(
+    store: &S,
+    nodes: &[NodeId],
+    visited: usize,
+    field: Field,
+    shaping: &Shaping,
+) -> TableResult {
+    let mut counts: BTreeMap<GroupKey, u64> = BTreeMap::new();
+    for &id in nodes {
+        *counts
+            .entry(GroupKey::new(field_cell(store, id, field)))
+            .or_insert(0) += 1;
+    }
+    // BTreeMap iteration is already the default order: group value
+    // ascending, missing last.
+    let mut rows: Vec<(GroupKey, u64)> = counts.into_iter().collect();
+    if let Some(OrderBy { key, desc }) = shaping.order_by {
+        if key == SortKey::Count {
+            rows.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+        }
+        if desc {
+            rows.reverse();
+        }
+    }
+    if let Some(n) = shaping.limit {
+        rows.truncate(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    TableResult {
+        columns: vec![field.name().to_string(), "count".to_string()],
+        rows: rows
+            .into_iter()
+            .map(|(key, count)| vec![key.into_cell(), Cell::Int(count)])
+            .collect(),
+        visited,
+    }
+}

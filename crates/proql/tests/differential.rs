@@ -1,0 +1,234 @@
+//! The resident/paged/server differential harness.
+//!
+//! Random WorkflowGen graphs (Car-dealerships and Arctic-stations
+//! parameter sweeps) are written as v2 logs; random well-formed
+//! read-only statements (see `lipstick_proql::testgen`) then run
+//! three ways —
+//!
+//! 1. a **resident** session (`Session::load`),
+//! 2. a **paged** session (`Session::open`), and
+//! 3. a round trip through **`lipstick-serve`** (line protocol, over a
+//!    second paged session),
+//!
+//! and every answer must agree byte-for-byte once the one sanctioned
+//! difference — the backend-dependent `(visited N)` work figure — is
+//! masked. Error paths are differential too: if one engine rejects a
+//! statement, all three must reject it with the same message. On
+//! divergence the harness *shrinks* the statement (dropping clauses,
+//! conjuncts, and operands while the divergence persists) and reports
+//! the minimal failing statement.
+//!
+//! The case budget comes from `PROPTEST_CASES` (default 256), so CI
+//! pins a deterministic, bounded run; generation itself is seeded and
+//! deterministic.
+
+use lipstick_core::{GraphTracker, ProvGraph};
+use lipstick_proql::ast::Statement;
+use lipstick_proql::testgen::{self, Rng, Vocab};
+use lipstick_proql::Session;
+use lipstick_serve::{Client, Reply, Server, ServerConfig};
+use lipstick_storage::write_graph_v2;
+use lipstick_workflowgen::arctic::{self, ArcticParams, Selectivity, Topology};
+use lipstick_workflowgen::dealers::{self, DealersParams};
+
+/// Statements per generated graph (each graph pays for a log write,
+/// two session opens, and a server start).
+const STMTS_PER_GRAPH: usize = 32;
+
+fn case_budget() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// A random small WorkflowGen graph: alternate the two workload
+/// families, varying their shape parameters.
+fn random_graph(rng: &mut Rng) -> ProvGraph {
+    let mut tracker = GraphTracker::new();
+    if rng.chance(50) {
+        let params = DealersParams {
+            num_cars: 6 + rng.below(20),
+            num_exec: 1 + rng.below(3),
+            seed: rng.next_u64(),
+        };
+        dealers::run_declining(&params, &mut tracker).expect("dealers run");
+    } else {
+        let params = ArcticParams {
+            stations: 2 + rng.below(4),
+            topology: match rng.below(3) {
+                0 => Topology::Serial,
+                1 => Topology::Parallel,
+                _ => Topology::Dense { fanout: 2 },
+            },
+            selectivity: [
+                Selectivity::All,
+                Selectivity::Season,
+                Selectivity::Month,
+                Selectivity::Year,
+            ][rng.below(4)],
+            num_exec: 1 + rng.below(2),
+            seed: rng.next_u64(),
+        };
+        arctic::run(&params, &mut tracker).expect("arctic run");
+    }
+    tracker.finish()
+}
+
+fn temp_log(graph: &ProvGraph, tag: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lipstick-proql-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("graph-{tag}.lpstk"));
+    write_graph_v2(graph, &path).unwrap();
+    path
+}
+
+/// Mask the backend-dependent `(visited N)` figure: resident scans
+/// count swept nodes, paged scans count postings candidates, and both
+/// are legitimate costs of the *same* answer.
+fn mask_visited(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find("(visited ") {
+        let tail = &rest[at + "(visited ".len()..];
+        let digits = tail.chars().take_while(char::is_ascii_digit).count();
+        if digits > 0 && tail[digits..].starts_with(')') {
+            out.push_str(&rest[..at]);
+            out.push_str("(visited _)");
+            rest = &tail[digits + 1..];
+        } else {
+            out.push_str(&rest[..at + "(visited ".len()]);
+            rest = tail;
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// One engine's answer, comparable across engines: the rendered
+/// payload (visited-masked) or the error message (newlines flattened
+/// the way the server's `ERR` frame flattens them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Answer {
+    Ok(String),
+    Err(String),
+}
+
+fn local_answer(session: &Session, text: &str) -> Answer {
+    match session.run_read(text) {
+        Ok(out) => Answer::Ok(mask_visited(&out.to_string())),
+        Err(e) => Answer::Err(e.to_string().replace('\n', "; ")),
+    }
+}
+
+fn server_answer(client: &mut Client, text: &str) -> Answer {
+    match client.query(text).expect("server connection") {
+        Reply::Ok { body, .. } => Answer::Ok(mask_visited(&body)),
+        Reply::Err(m) => Answer::Err(m),
+    }
+}
+
+/// Where the three engines disagree on a statement, if anywhere.
+fn divergence(
+    resident: &Session,
+    paged: &Session,
+    client: &mut Client,
+    stmt: &Statement,
+) -> Option<String> {
+    let text = stmt.to_string();
+    let r = local_answer(resident, &text);
+    let p = local_answer(paged, &text);
+    if r != p {
+        return Some(format!("resident: {r:?}\n  paged:    {p:?}"));
+    }
+    let s = server_answer(client, &text);
+    if p != s {
+        return Some(format!("paged:  {p:?}\n  server: {s:?}"));
+    }
+    // Ask again: the reply must be reproducible through the server's
+    // result cache (grouped/shaped payloads included).
+    let s2 = server_answer(client, &text);
+    if s != s2 {
+        return Some(format!("server first: {s:?}\n  server again: {s2:?}"));
+    }
+    None
+}
+
+/// Shrink to a minimal still-diverging statement.
+fn shrink_divergence(
+    resident: &Session,
+    paged: &Session,
+    client: &mut Client,
+    start: Statement,
+) -> Statement {
+    let mut current = start;
+    loop {
+        let simpler = testgen::shrink(&current)
+            .into_iter()
+            .find(|s| divergence(resident, paged, client, s).is_some());
+        match simpler {
+            Some(s) => current = s,
+            None => return current,
+        }
+    }
+}
+
+#[test]
+fn differential_resident_paged_server() {
+    let budget = case_budget();
+    let mut rng = Rng::new(0x11f5_71c4_d1ff_e001);
+    let mut executed = 0usize;
+    let mut graph_tag = 0usize;
+
+    while executed < budget {
+        let graph = random_graph(&mut rng);
+        let vocab = Vocab::from_graph(&graph);
+        let path = temp_log(&graph, graph_tag);
+        graph_tag += 1;
+
+        let resident = Session::load(&path).unwrap();
+        let paged = Session::open(&path).unwrap();
+        assert!(paged.is_paged());
+        let handle = Server::new(
+            Session::open(&path).unwrap(),
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 128,
+            },
+        )
+        .serve("127.0.0.1:0")
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        for _ in 0..STMTS_PER_GRAPH.min(budget - executed) {
+            let stmt = testgen::statement(&vocab, &mut rng);
+            // The canonical rendering must survive a parse round trip
+            // before the engines even run it — otherwise the three
+            // engines would be answering different statements.
+            let text = stmt.to_string();
+            let reparsed = lipstick_proql::parser::parse_statement(&text)
+                .unwrap_or_else(|e| panic!("canonical form failed to parse: {text}\n  {e}"));
+            assert_eq!(reparsed, stmt, "display/parse round trip for {text}");
+
+            if let Some(detail) = divergence(&resident, &paged, &mut client, &stmt) {
+                let minimal = shrink_divergence(&resident, &paged, &mut client, stmt.clone());
+                let minimal_detail =
+                    divergence(&resident, &paged, &mut client, &minimal).unwrap_or_default();
+                panic!(
+                    "engines diverged.\n  statement: {stmt}\n  {detail}\n  \
+                     shrunk to: {minimal}\n  {minimal_detail}"
+                );
+            }
+            executed += 1;
+        }
+
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    assert!(
+        executed >= budget,
+        "harness must exercise the full case budget ({executed} of {budget})"
+    );
+}

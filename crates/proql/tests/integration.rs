@@ -464,6 +464,233 @@ fn errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn like_predicates_match_wildcards() {
+    let mut s = dealers_session();
+    let (_, token) = some_base_token(s.graph());
+    let prefix: String = token.chars().take(1).collect();
+
+    // token LIKE '<first-char>%' selects exactly the base/workflow-input
+    // nodes whose token starts with that character.
+    let expected: Vec<NodeId> = s
+        .graph()
+        .iter_visible()
+        .filter(|(_, n)| match &n.kind {
+            NodeKind::BaseTuple { token } | NodeKind::WorkflowInput { token } => {
+                token.as_str().starts_with(&prefix)
+            }
+            _ => false,
+        })
+        .map(|(id, _)| id)
+        .collect();
+    assert!(!expected.is_empty());
+    let out = s
+        .run_one(&format!("MATCH nodes WHERE token LIKE '{prefix}%'"))
+        .unwrap();
+    assert_eq!(out.nodes().unwrap().nodes, expected);
+
+    // NOT LIKE holds for every node the pattern does not match —
+    // token-less nodes included.
+    let out = s
+        .run_one(&format!("MATCH nodes WHERE token NOT LIKE '{prefix}%'"))
+        .unwrap();
+    let complement = out.nodes().unwrap();
+    assert_eq!(complement.len() + expected.len(), s.graph().visible_count());
+
+    // module LIKE with a prefix pattern selects module-owned nodes.
+    let module = some_module(s.graph());
+    let like = s
+        .run_one(&format!("MATCH nodes WHERE module LIKE '{module}%'"))
+        .unwrap();
+    let eq = s
+        .run_one(&format!("MATCH nodes WHERE module = '{module}'"))
+        .unwrap();
+    assert!(like.nodes().unwrap().len() >= eq.nodes().unwrap().len());
+}
+
+#[test]
+fn group_by_counts_match_manual_aggregation() {
+    let mut s = dealers_session();
+    let out = s.run_one("MATCH o-nodes GROUP BY module").unwrap();
+    let table = out.table().expect("grouped output is a table");
+    assert_eq!(table.columns, vec!["module", "count"]);
+
+    let mut manual: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (_, n) in s.graph().iter_visible() {
+        if matches!(n.kind, NodeKind::ModuleOutput) {
+            let module = n
+                .role
+                .invocation()
+                .map(|inv| s.graph().invocation(inv).module.clone())
+                .unwrap_or_else(|| "(none)".into());
+            *manual.entry(module).or_insert(0) += 1;
+        }
+    }
+    let got: Vec<(String, u64)> = table
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string().parse().unwrap()))
+        .collect();
+    let want: Vec<(String, u64)> = manual.into_iter().collect();
+    assert_eq!(got, want, "group rows in group-value order");
+
+    // ORDER BY count DESC LIMIT 1 yields the largest group.
+    let out = s
+        .run_one("MATCH o-nodes GROUP BY module ORDER BY count DESC LIMIT 1")
+        .unwrap();
+    let top = out.table().unwrap();
+    assert_eq!(top.len(), 1);
+    let max = want.iter().map(|(_, c)| *c).max().unwrap();
+    assert_eq!(top.rows[0][1].to_string(), max.to_string());
+}
+
+#[test]
+fn count_aggregates_project_scalars() {
+    let mut s = dealers_session();
+    let all = s.run_one("MATCH base-nodes").unwrap();
+    let n = all.nodes().unwrap().len();
+    let out = s.run_one("COUNT(*) MATCH base-nodes").unwrap();
+    let table = out.table().unwrap();
+    assert_eq!(table.columns, vec!["count"]);
+    assert_eq!(
+        table.rows,
+        vec![vec![lipstick_proql::result::Cell::Int(n as u64)]]
+    );
+
+    let distinct_modules = {
+        let mut set = std::collections::BTreeSet::new();
+        for info in s.graph().invocations() {
+            set.insert(info.module.clone());
+        }
+        set.len() as u64
+    };
+    let out = s.run_one("COUNT(DISTINCT module) MATCH nodes").unwrap();
+    assert_eq!(
+        out.table().unwrap().rows[0][0],
+        lipstick_proql::result::Cell::Int(distinct_modules)
+    );
+}
+
+#[test]
+fn order_by_and_limit_shape_node_sets() {
+    let mut s = dealers_session();
+    let all = s.run_one("MATCH m-nodes").unwrap().nodes().unwrap().clone();
+    assert!(all.len() > 3);
+
+    // ORDER BY id DESC reverses the canonical order.
+    let desc = s.run_one("MATCH m-nodes ORDER BY id DESC").unwrap();
+    let mut reversed = all.nodes.clone();
+    reversed.reverse();
+    assert_eq!(desc.nodes().unwrap().nodes, reversed);
+
+    // LIMIT keeps the first n of the result order.
+    let limited = s.run_one("MATCH m-nodes LIMIT 3").unwrap();
+    assert_eq!(limited.nodes().unwrap().nodes, all.nodes[..3].to_vec());
+    let limited_desc = s.run_one("MATCH m-nodes ORDER BY id DESC LIMIT 3").unwrap();
+    assert_eq!(limited_desc.nodes().unwrap().nodes, reversed[..3].to_vec());
+
+    // ORDER BY execution DESC: executions are non-increasing down the
+    // list, ties broken deterministically.
+    let by_exec = s.run_one("MATCH m-nodes ORDER BY execution DESC").unwrap();
+    let execs: Vec<u32> = by_exec
+        .nodes()
+        .unwrap()
+        .nodes
+        .iter()
+        .map(|&id| {
+            let inv = s.graph().node(id).role.invocation().unwrap();
+            s.graph().invocation(inv).execution
+        })
+        .collect();
+    assert!(execs.windows(2).all(|w| w[0] >= w[1]), "{execs:?}");
+    assert_eq!(by_exec.nodes().unwrap().len(), all.len());
+}
+
+#[test]
+fn limit_bounded_scan_visits_fewer_nodes_than_unbounded() {
+    let mut s = dealers_session();
+    let unbounded = s.run_one("MATCH nodes").unwrap().nodes().unwrap().clone();
+    let bounded = s
+        .run_one("MATCH nodes LIMIT 5")
+        .unwrap()
+        .nodes()
+        .unwrap()
+        .clone();
+    assert_eq!(bounded.nodes, unbounded.nodes[..5].to_vec());
+    assert!(
+        bounded.visited < unbounded.visited,
+        "early exit must stop the scan: visited {} of {}",
+        bounded.visited,
+        unbounded.visited
+    );
+    // The plan says so, too.
+    let plan = s.explain("MATCH nodes LIMIT 5").unwrap();
+    assert!(plan.contains("early-exit after 5"), "{plan}");
+    assert!(plan.contains("shape: limit 5"), "{plan}");
+}
+
+#[test]
+fn limit_zero_and_empty_aggregates_are_well_formed() {
+    let mut s = dealers_session();
+
+    // LIMIT 0: an empty node set, not an error — and the early-exit
+    // scan does no work at all.
+    let out = s.run_one("MATCH nodes LIMIT 0").unwrap();
+    let ns = out.nodes().unwrap();
+    assert!(ns.is_empty());
+    assert_eq!(ns.visited, 0);
+
+    // COUNT over an empty match: one row holding 0.
+    let out = s
+        .run_one("COUNT(*) MATCH nodes WHERE module = 'NoSuchModule'")
+        .unwrap();
+    assert_eq!(
+        out.table().unwrap().rows,
+        vec![vec![lipstick_proql::result::Cell::Int(0)]]
+    );
+    let out = s
+        .run_one("COUNT(DISTINCT module) MATCH nodes WHERE module = 'NoSuchModule'")
+        .unwrap();
+    assert_eq!(
+        out.table().unwrap().rows,
+        vec![vec![lipstick_proql::result::Cell::Int(0)]]
+    );
+
+    // GROUP BY over an empty match: a zero-row table with its header.
+    let out = s
+        .run_one("MATCH nodes WHERE module = 'NoSuchModule' GROUP BY kind")
+        .unwrap();
+    let table = out.table().unwrap();
+    assert!(table.is_empty());
+    assert_eq!(table.columns, vec!["kind", "count"]);
+
+    // Shaped empty walks behave the same.
+    let out = s.run_one("ANCESTORS OF #0 GROUP BY module").unwrap();
+    assert!(out.table().is_some());
+}
+
+#[test]
+fn display_round_trips_generated_statements() {
+    use lipstick_proql::parser::parse_statement;
+    use lipstick_proql::testgen::{self, Rng, Vocab};
+
+    let vocab = Vocab::from_graph(&dealers_graph());
+    let mut rng = Rng::new(0xd15b_1a4f_600d_cafe);
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    for _ in 0..cases {
+        let stmt = testgen::statement(&vocab, &mut rng);
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("canonical form must parse: {printed}\n  {e}"));
+        assert_eq!(reparsed, stmt, "parse(display(s)) == s for {printed}");
+        // Display is a fixpoint: one more round changes nothing.
+        assert_eq!(reparsed.to_string(), printed);
+    }
+}
+
+#[test]
 fn script_runs_multiple_statements_in_order() {
     let mut s = dealers_session();
     let module = some_module(s.graph());

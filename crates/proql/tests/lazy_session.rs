@@ -148,6 +148,125 @@ fn ordered_predicates_agree_and_push_down() {
     assert!(!lt.is_empty() && !ge.is_empty());
 }
 
+/// A token prefix pattern that matches at least one base tuple.
+fn token_prefix_pattern(g: &ProvGraph) -> String {
+    let token = g
+        .iter_visible()
+        .find_map(|(_, n)| match &n.kind {
+            lipstick_core::NodeKind::BaseTuple { token } => Some(token.as_str().to_string()),
+            _ => None,
+        })
+        .expect("graph has base tuples");
+    format!("{}%", token.chars().next().unwrap())
+}
+
+#[test]
+fn prefix_like_match_narrows_to_token_kind_postings() {
+    let (mut lazy, mut full, g) = open_both("like.lpstk");
+    let pattern = token_prefix_pattern(&g);
+    let stmt = format!("MATCH nodes WHERE token LIKE '{pattern}'");
+
+    // The plan names the narrowed scan and reads fewer records than
+    // the log holds.
+    let plan = lazy.explain(&stmt).unwrap();
+    assert!(
+        plan.contains("postings scan on token-bearing kinds"),
+        "got: {plan}"
+    );
+    let (reads, total) = parse_records_read(&plan).expect("explain names records read");
+    assert_eq!(total, g.len());
+    assert!(reads > 0 && reads < total, "narrowed scan: {plan}");
+
+    // Both backends answer identically, and the paged side touches no
+    // more records than the postings estimate announced.
+    let a = lazy.run_one(&stmt).unwrap();
+    let b = full.run_one(&stmt).unwrap();
+    assert_eq!(nodes_of(&a), nodes_of(&b));
+    assert!(!nodes_of(&a).is_empty());
+    assert!(
+        lazy.records_read() <= reads,
+        "records_read {} must not exceed the postings estimate {reads}",
+        lazy.records_read()
+    );
+
+    // module LIKE narrows through the invocation table the same way.
+    let module = g.invocations()[0].module.clone();
+    let mprefix: String = module.chars().take(2).collect();
+    let stmt = format!("MATCH nodes WHERE module LIKE '{mprefix}%'");
+    let plan = lazy.explain(&stmt).unwrap();
+    assert!(plan.contains("modules LIKE"), "got: {plan}");
+    let (reads, total) = parse_records_read(&plan).unwrap();
+    assert!(reads < total, "got: {plan}");
+    let a = lazy.run_one(&stmt).unwrap();
+    let b = full.run_one(&stmt).unwrap();
+    assert_eq!(nodes_of(&a), nodes_of(&b));
+}
+
+/// Both backends must report the same *shape* for shaped plans — the
+/// strategy brackets legitimately differ (module scan vs postings
+/// scan), the `shape:` line and the early-exit marker must not.
+#[test]
+fn explain_shape_agrees_between_backends() {
+    let (lazy, full, g) = open_both("shape.lpstk");
+    let pattern = token_prefix_pattern(&g);
+    let shape_line = |plan: &str| -> Option<String> {
+        plan.lines()
+            .find(|l| l.trim_start().starts_with("shape:"))
+            .map(|l| l.trim().to_string())
+    };
+    for stmt in [
+        format!("MATCH nodes WHERE token LIKE '{pattern}' LIMIT 4"),
+        "MATCH o-nodes GROUP BY module ORDER BY count DESC LIMIT 3".to_string(),
+        "COUNT(DISTINCT module) MATCH nodes".to_string(),
+        "MATCH base-nodes ORDER BY execution DESC LIMIT 7".to_string(),
+    ] {
+        let paged_plan = lazy.explain(&stmt).unwrap();
+        let resident_plan = full.explain(&stmt).unwrap();
+        let p = shape_line(&paged_plan)
+            .unwrap_or_else(|| panic!("paged plan has no shape line: {paged_plan}"));
+        let r = shape_line(&resident_plan)
+            .unwrap_or_else(|| panic!("resident plan has no shape line: {resident_plan}"));
+        assert_eq!(p, r, "{stmt}");
+        // A pushed-down limit shows up identically on both sides.
+        assert_eq!(
+            paged_plan.contains("early-exit"),
+            resident_plan.contains("early-exit"),
+            "{stmt}:\n  paged: {paged_plan}\n  resident: {resident_plan}"
+        );
+    }
+}
+
+#[test]
+fn shaped_results_agree_between_backends() {
+    let (mut lazy, mut full, g) = open_both("shaped.lpstk");
+    let pattern = token_prefix_pattern(&g);
+    for stmt in [
+        "MATCH nodes GROUP BY kind ORDER BY count DESC".to_string(),
+        "MATCH o-nodes GROUP BY module".to_string(),
+        "COUNT(*) MATCH base-nodes".to_string(),
+        "COUNT(DISTINCT module) MATCH nodes".to_string(),
+        format!("MATCH nodes WHERE token LIKE '{pattern}' ORDER BY token"),
+        "MATCH m-nodes ORDER BY execution DESC LIMIT 5".to_string(),
+        "MATCH nodes LIMIT 0".to_string(),
+        "MATCH nodes WHERE module = 'NoSuchModule' GROUP BY kind".to_string(),
+    ] {
+        let a = lazy.run_one(&stmt).unwrap();
+        let b = full.run_one(&stmt).unwrap();
+        match (&a, &b) {
+            (QueryOutput::Table(x), QueryOutput::Table(y)) => {
+                assert_eq!(x.columns, y.columns, "{stmt}");
+                assert_eq!(x.rows, y.rows, "{stmt}");
+            }
+            (QueryOutput::Nodes(x), QueryOutput::Nodes(y)) => {
+                assert_eq!(x.nodes, y.nodes, "{stmt}")
+            }
+            other => panic!("mismatched shapes for {stmt}: {other:?}"),
+        }
+    }
+    // LIMIT 0 and empty GROUP BY stay paged and well-formed.
+    assert!(lazy.is_paged());
+}
+
 #[test]
 fn why_walks_depends_and_eval_agree_with_full_load() {
     let (mut lazy, mut full, g) = open_both("agree.lpstk");

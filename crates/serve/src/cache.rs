@@ -1,8 +1,10 @@
 //! The plan-keyed result cache.
 //!
-//! Keys are the `Debug` rendering of the *parsed* statement, so two
-//! spellings of the same query — different whitespace, keyword case, a
-//! trailing `;` — share one entry. Every entry is tagged with the
+//! Keys are the canonical [`Display`](lipstick_proql::ast::Statement)
+//! rendering of the *parsed* statement, so two spellings of the same
+//! query — different whitespace, keyword case, a trailing `;`, an
+//! omitted optional keyword (`ANCESTORS #1` vs `ANCESTORS OF #1`) —
+//! share one entry. Every entry is tagged with the
 //! server's write epoch at execution time; a lookup only hits when the
 //! tags match, so a mutation (which bumps the epoch) invalidates the
 //! whole cache at once without touching it — the same

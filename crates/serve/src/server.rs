@@ -95,9 +95,11 @@ impl Shared {
     }
 
     fn run_read(&self, stmt: &Statement) -> Outcome {
-        // The parsed statement is the cache key: spelling differences
-        // (case, whitespace, comments, trailing ';') normalize away.
-        let key = format!("{stmt:?}");
+        // The statement's canonical pretty-printing is the cache key:
+        // spelling differences (case, whitespace, comments, trailing
+        // ';', optional keywords like `OF` or `ASC`) normalize away,
+        // and the key is itself a valid statement — handy in logs.
+        let key = stmt.to_string();
         // Serving a hit needs no session lock: the entry's stamp names
         // the epoch it was computed at, and epochs never repeat.
         let epoch = self.epoch.load(Ordering::Acquire);

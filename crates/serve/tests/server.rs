@@ -249,6 +249,119 @@ fn cached_results_are_never_served_across_an_epoch_bump() {
     handle.shutdown();
 }
 
+/// Shaped (grouped/ordered/limited) results through the cache, under
+/// a mutating writer: every reply must carry the grouped table that is
+/// correct *for the epoch it reports*. This is the serve-layer lockdown
+/// for the new result shaping — a stale cached table served across the
+/// epoch bump would pair the post-delete epoch with pre-delete counts.
+#[test]
+fn shaped_results_match_their_reported_epoch_under_writes() {
+    let path = temp_log("shaped-race.lpstk");
+    let handle = serve_paged("shaped-race.lpstk", 6);
+
+    let stmts = [
+        "MATCH nodes GROUP BY kind ORDER BY count DESC",
+        "MATCH o-nodes GROUP BY module ORDER BY count DESC LIMIT 3",
+        "COUNT(*) MATCH base-nodes",
+    ];
+
+    // Mirror the server's lifecycle: paged answers before the DELETE,
+    // promoted-resident answers after.
+    let mut mirror = Session::open(&path).unwrap();
+    let graph = dealers_graph();
+    let victim = graph
+        .iter_visible()
+        .find(|(_, n)| matches!(n.kind, lipstick_core::NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .unwrap();
+    let before: HashMap<&str, String> = stmts
+        .iter()
+        .map(|s| (*s, mirror.run_one(s).unwrap().to_string()))
+        .collect();
+    mirror
+        .run_one(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    let after: HashMap<&str, String> = stmts
+        .iter()
+        .map(|s| (*s, mirror.run_one(s).unwrap().to_string()))
+        .collect();
+    for s in &stmts {
+        assert_ne!(before[s], after[s], "deletion must change {s}");
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..5 {
+            let addr = handle.addr();
+            let (stmts, before, after) = (&stmts, &before, &after);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..30 {
+                    for stmt in stmts {
+                        let reply = client.query(stmt).unwrap();
+                        let Reply::Ok { epoch, body, .. } = reply else {
+                            panic!("shaped read failed: {reply:?}");
+                        };
+                        match epoch {
+                            0 => assert_eq!(&body, &before[stmt], "epoch 0: {stmt}"),
+                            1 => assert_eq!(&body, &after[stmt], "epoch 1: {stmt}"),
+                            other => panic!("unexpected epoch {other}"),
+                        }
+                    }
+                }
+            });
+        }
+        let addr = handle.addr();
+        scope.spawn(move || {
+            let mut writer = Client::connect(addr).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            let del = writer
+                .query(&format!("DELETE #{} PROPAGATE", victim.0))
+                .unwrap();
+            assert!(del.is_ok(), "{del:?}");
+        });
+    });
+    let (hits, _) = handle.cache_stats();
+    assert!(hits > 0, "shaped results must be cacheable");
+    assert_eq!(handle.epoch(), 1);
+    handle.shutdown();
+}
+
+/// The cache key is the canonical statement rendering: spellings that
+/// differ beyond case/whitespace — an omitted optional keyword, ASC
+/// spelled out — share one entry.
+#[test]
+fn canonical_cache_key_normalizes_equivalent_spellings() {
+    let handle = serve_paged("canon.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let graph = dealers_graph();
+    let root = graph.top_fanout_nodes(1)[0];
+    let first = client
+        .query(&format!("ANCESTORS OF #{} DEPTH 2", root.0))
+        .unwrap();
+    assert!(first.is_ok(), "{first:?}");
+    assert!(!first.cache_hit());
+    // `OF` is optional; the parsed statement is the same.
+    let second = client
+        .query(&format!("ancestors #{} depth 2", root.0))
+        .unwrap();
+    assert!(second.cache_hit(), "optional-keyword spelling must hit");
+    assert_eq!(first.body(), second.body());
+
+    let first = client
+        .query("MATCH m-nodes ORDER BY execution DESC LIMIT 4")
+        .unwrap();
+    assert!(!first.cache_hit());
+    let second = client
+        .query("match m-nodes order by execution DESC limit 4;")
+        .unwrap();
+    assert!(second.cache_hit());
+    assert_eq!(first.body(), second.body());
+
+    drop(client);
+    handle.shutdown();
+}
+
 #[test]
 fn http_shim_serves_query_and_explain() {
     let handle = serve_paged("http.lpstk", 2);

@@ -31,6 +31,10 @@ ProQL statement forms:
   ZOOM OUT TO Mdealer1, Magg  /  ZOOM IN   coarsen / restore module views
   EVAL #42 IN counting|boolean|tropical|lineage|why
   MATCH m-nodes WHERE module = 'Mdealer1'  node selection (m/i/o/s/base/p/v/nodes)
+  MATCH base-nodes WHERE token LIKE 'C%'   %/_ wildcard patterns (also NOT LIKE)
+  MATCH o-nodes GROUP BY module            counts per group (fields: module/kind/role/execution/token)
+  COUNT(*) MATCH base-nodes                scalar counts (also COUNT(DISTINCT field))
+  MATCH nodes ORDER BY execution DESC LIMIT 5   order and truncate any node set
   ANCESTORS OF #42 DEPTH 3                 bounded traversal (also DESCENDANTS)
   MATCH base-nodes INTERSECT ANCESTORS OF #42   set ops (also UNION)
   BUILD INDEX / DROP INDEX                 reachability closure on/off
