@@ -8,6 +8,9 @@
 //!   with the predicate pushed into the traversal.
 //! - `proql_descendants`: unbounded descendant walks, BFS vs closure
 //!   lookup.
+//! - `proql_ancestors`: the upward mirror — unbounded ancestor walks,
+//!   BFS vs the transposed (ancestor) closure the bidirectional index
+//!   added.
 //! - `proql_cold_start`: a module-filtered `MATCH` against an on-disk
 //!   log, full decode (`Session::load`) vs the v2 footer index
 //!   (`Session::open`). The paged path reads only the module's postings
@@ -132,6 +135,42 @@ fn proql_descendants(c: &mut Criterion) {
     group.finish();
 }
 
+fn proql_ancestors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proql_ancestors");
+    group.sample_size(10);
+    let g = dealers_graph(10);
+    // Deepest nodes (largest ancestor cones), found via a throwaway
+    // index; the benched statements then run on fresh sessions.
+    let index = lipstick_core::query::ReachIndex::build(&g);
+    let roots = lipstick_bench::top_nodes_by(&g, 8, |id| index.ancestor_count(id));
+    let stmts: Vec<String> = roots
+        .iter()
+        .map(|r| format!("ANCESTORS OF #{}", r.0))
+        .collect();
+
+    let mut bfs = Session::new(g.clone());
+    group.bench_function(BenchmarkId::new("bfs", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| bfs.run_one(s).unwrap().nodes().unwrap().len())
+                .sum::<usize>()
+        })
+    });
+
+    let mut indexed = Session::new(g.clone());
+    indexed.run_one("BUILD INDEX").unwrap();
+    group.bench_function(BenchmarkId::new("reach_index", g.len()), |b| {
+        b.iter(|| {
+            stmts
+                .iter()
+                .map(|s| indexed.run_one(s).unwrap().nodes().unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
 fn proql_cold_start(c: &mut Criterion) {
     let mut group = c.benchmark_group("proql_cold_start");
     group.sample_size(10);
@@ -191,6 +230,7 @@ criterion_group!(
     proql_depends,
     proql_match,
     proql_descendants,
+    proql_ancestors,
     proql_cold_start
 );
 criterion_main!(benches);

@@ -9,3 +9,17 @@
 pub mod drivers;
 
 pub use drivers::*;
+
+/// The `k` visible nodes maximizing `size` — how the reach benches pick
+/// worst-case walk roots (largest ancestor cones for upward queries,
+/// largest descendant cones for heavy `UNION` branches).
+pub fn top_nodes_by(
+    graph: &lipstick_core::ProvGraph,
+    k: usize,
+    mut size: impl FnMut(lipstick_core::NodeId) -> usize,
+) -> Vec<lipstick_core::NodeId> {
+    let mut ids: Vec<lipstick_core::NodeId> = graph.iter_visible().map(|(id, _)| id).collect();
+    ids.sort_by_key(|id| std::cmp::Reverse(size(*id)));
+    ids.truncate(k);
+    ids
+}

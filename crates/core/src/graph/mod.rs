@@ -163,6 +163,16 @@ impl ProvGraph {
         &self.stashes[idx as usize]
     }
 
+    /// The stash of a currently zoomed-out module, if any — what a
+    /// `ZOOM IN` of that module would restore. Callers maintaining
+    /// derived state (the reach index) read it to learn exactly which
+    /// nodes a zoom touched.
+    pub fn stash_of(&self, module: &str) -> Option<&ZoomStash> {
+        self.zoomed_modules
+            .get(module)
+            .map(|&idx| &self.stashes[idx as usize])
+    }
+
     pub(crate) fn stash_count(&self) -> usize {
         self.stashes.len()
     }

@@ -1,31 +1,54 @@
-//! Precomputed reachability index.
+//! Precomputed bidirectional reachability index.
 //!
 //! §5.1 discusses the design trade-off: "An alternative is to pre-compute
 //! the transitive closure of each node, or to keep pair-wise reachability
 //! information. Both these options would result in higher memory
 //! overhead, but may speed up query processing." This module implements
-//! that alternative so the `ablation_reach` bench can measure both sides
-//! of the trade-off.
+//! that alternative — in **both directions**: one descendant bitset and
+//! one ancestor bitset per node, so `DESCENDANTS OF` and `ANCESTORS OF`
+//! are symmetric closure lookups and the planner's cost model does not
+//! privilege one walk direction over the other.
+//!
+//! The index is **incrementally maintained** rather than rebuilt.
+//! Mutations in this system are structured: deletion propagation only
+//! ever *removes* reachability, and zooms flip visibility of a known
+//! node set while wiring in (or retiring) composite nodes. After any
+//! such mutation, [`ReachIndex::repair`] recomputes only the *affected
+//! region* — the nodes that can reach (or be reached from) a changed
+//! node — instead of the whole closure. [`ReachIndex::matches_fresh_build`]
+//! is the exactness oracle: a repaired index must be bit-identical to a
+//! from-scratch build (asserted in debug builds by `proql::Session` and
+//! property-tested over random mutation sequences).
 
 use crate::graph::bitset::BitSet;
 use crate::graph::node::NodeId;
 use crate::graph::ProvGraph;
 
-/// Descendant transitive closure: one bitset per node.
+/// Bidirectional transitive closure: per node, a descendant bitset and
+/// an ancestor bitset (its transpose).
 ///
-/// Memory is O(V²/8) bytes — the index reports its own footprint so the
-/// ablation can chart memory against query speedup.
-#[derive(Debug)]
+/// Memory is O(2·V²/8) bytes — the index reports its own footprint so
+/// the ablation can chart memory against query speedup.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachIndex {
     descendants: Vec<BitSet>,
+    ancestors: Vec<BitSet>,
+}
+
+/// Which closure a repair pass recomputes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Closure {
+    Descendants,
+    Ancestors,
 }
 
 impl ReachIndex {
-    /// Build the closure over visible nodes.
+    /// Build both closures over visible nodes.
     ///
-    /// Provenance graphs are DAGs; we process nodes in reverse
-    /// topological order so each node's set is the union of its visible
-    /// successors' sets plus the successors themselves.
+    /// Provenance graphs are DAGs; descendant sets are computed in
+    /// reverse topological order (each node's set is the union of its
+    /// visible successors' sets plus the successors themselves) and
+    /// ancestor sets in one mirror pass in forward order.
     pub fn build(graph: &ProvGraph) -> ReachIndex {
         let n = graph.len();
         let order = topo_order(graph);
@@ -46,7 +69,25 @@ impl ReachIndex {
             }
             descendants[v.index()] = acc;
         }
-        ReachIndex { descendants }
+        let mut ancestors: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &v in order.iter() {
+            let node = graph.node(v);
+            if !node.is_visible() {
+                continue;
+            }
+            let mut acc = BitSet::new(n);
+            for &p in node.preds() {
+                if graph.node(p).is_visible() {
+                    acc.insert(p.index());
+                    acc.union_with(&ancestors[p.index()]);
+                }
+            }
+            ancestors[v.index()] = acc;
+        }
+        ReachIndex {
+            descendants,
+            ancestors,
+        }
     }
 
     /// Is `to` a (strict) descendant of `from`?
@@ -62,12 +103,147 @@ impl ReachIndex {
             .collect()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// All ancestors of `of`, ascending.
+    pub fn ancestors(&self, of: NodeId) -> Vec<NodeId> {
+        self.ancestors[of.index()]
+            .iter()
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Size of the descendant cone (the exact work an indexed
+    /// descendant walk does — the planner's cost estimate).
+    pub fn descendant_count(&self, from: NodeId) -> usize {
+        self.descendants[from.index()].count()
+    }
+
+    /// Size of the ancestor cone.
+    pub fn ancestor_count(&self, of: NodeId) -> usize {
+        self.ancestors[of.index()].count()
+    }
+
+    /// Approximate heap footprint in bytes (both closures).
     pub fn memory_bytes(&self) -> usize {
         self.descendants
             .iter()
+            .chain(self.ancestors.iter())
             .map(|b| b.capacity().div_ceil(64) * 8)
             .sum()
+    }
+
+    /// Repair both closures in place after a graph mutation.
+    ///
+    /// `changed` must name every node whose **visibility flipped**
+    /// (deleted, hidden, restored) and every node whose **adjacency
+    /// changed** (composite zoom nodes plus the inputs/outputs they were
+    /// wired to). From those seeds the affected region is discovered by
+    /// a BFS through visible neighbours — any node whose closure can
+    /// have changed reaches a seed through surviving nodes (take the
+    /// first changed node on a gained/lost path: its prefix is wholly
+    /// visible) — and only that region is recomputed, in dependency
+    /// order local to the region.
+    ///
+    /// New nodes appended by the mutation (zoom composites) grow every
+    /// bitset, so a repaired index stays bit-identical to a fresh
+    /// [`ReachIndex::build`] — see [`ReachIndex::matches_fresh_build`].
+    pub fn repair(&mut self, graph: &ProvGraph, changed: &[NodeId]) {
+        let n = graph.len();
+        if n > self.descendants.len() {
+            for set in self.descendants.iter_mut().chain(self.ancestors.iter_mut()) {
+                set.grow(n);
+            }
+            while self.descendants.len() < n {
+                self.descendants.push(BitSet::new(n));
+                self.ancestors.push(BitSet::new(n));
+            }
+        }
+        self.repair_closure(graph, changed, Closure::Descendants);
+        self.repair_closure(graph, changed, Closure::Ancestors);
+    }
+
+    /// Recompute one closure over the affected region.
+    ///
+    /// For the descendant closure, "up" edges (towards ancestors) find
+    /// the dirty region and "down" edges (towards descendants) feed the
+    /// recomputation; the ancestor closure mirrors both.
+    fn repair_closure(&mut self, graph: &ProvGraph, changed: &[NodeId], which: Closure) {
+        let n = graph.len();
+        let sets = match which {
+            Closure::Descendants => &mut self.descendants,
+            Closure::Ancestors => &mut self.ancestors,
+        };
+        let up = |v: NodeId| match which {
+            Closure::Descendants => graph.node(v).preds(),
+            Closure::Ancestors => graph.node(v).succs(),
+        };
+        let down = |v: NodeId| match which {
+            Closure::Descendants => graph.node(v).succs(),
+            Closure::Ancestors => graph.node(v).preds(),
+        };
+
+        // 1. Dirty discovery: every changed node, plus every visible
+        //    node that reaches one against the closure direction.
+        let mut dirty = BitSet::new(n);
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &c in changed {
+            if dirty.insert(c.index()) {
+                queue.push(c);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &u in up(v) {
+                if graph.node(u).is_visible() && dirty.insert(u.index()) {
+                    queue.push(u);
+                }
+            }
+        }
+
+        // 2. Local Kahn order: a dirty node is ready once all its dirty
+        //    "down" neighbours are recomputed.
+        let dirty_ids: Vec<NodeId> = dirty.iter().map(|i| NodeId(i as u32)).collect();
+        let mut deg = vec![0u32; n];
+        for &v in &dirty_ids {
+            deg[v.index()] = down(v).iter().filter(|d| dirty.contains(d.index())).count() as u32;
+        }
+        let mut ready: Vec<NodeId> = dirty_ids
+            .iter()
+            .copied()
+            .filter(|v| deg[v.index()] == 0)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(v) = ready.pop() {
+            processed += 1;
+            let mut acc = BitSet::new(sets[v.index()].capacity());
+            if graph.node(v).is_visible() {
+                for &d in down(v) {
+                    if graph.node(d).is_visible() {
+                        acc.insert(d.index());
+                        acc.union_with(&sets[d.index()]);
+                    }
+                }
+            }
+            sets[v.index()] = acc;
+            for &u in up(v) {
+                if dirty.contains(u.index()) {
+                    deg[u.index()] -= 1;
+                    if deg[u.index()] == 0 {
+                        ready.push(u);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            processed,
+            dirty_ids.len(),
+            "affected region of a DAG must drain"
+        );
+    }
+
+    /// Is this index bit-identical to a fresh build over `graph`? The
+    /// exactness oracle behind the incremental-repair debug assertion
+    /// and the property tests.
+    pub fn matches_fresh_build(&self, graph: &ProvGraph) -> bool {
+        *self == ReachIndex::build(graph)
     }
 }
 
@@ -102,6 +278,7 @@ fn topo_order(graph: &ProvGraph) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{propagate_deletion_inplace, zoom_in, zoom_out};
 
     #[test]
     fn closure_matches_bfs() {
@@ -121,6 +298,32 @@ mod tests {
     }
 
     #[test]
+    fn ancestor_closure_is_the_transpose() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let t = g.add_times(&[a, b]);
+        let u = g.add_plus(&[t]);
+        let w = g.add_plus(&[t, u]);
+        let idx = ReachIndex::build(&g);
+        assert_eq!(idx.ancestors(w), vec![a, b, t, u]);
+        assert_eq!(idx.ancestors(t), vec![a, b]);
+        assert!(idx.ancestors(a).is_empty());
+        // Transpose identity: to ∈ desc(from) ⇔ from ∈ anc(to).
+        for (from, _) in g.iter_visible() {
+            for (to, _) in g.iter_visible() {
+                assert_eq!(
+                    idx.descendants(from).contains(&to),
+                    idx.ancestors(to).contains(&from),
+                    "transpose mismatch {from}→{to}"
+                );
+            }
+        }
+        assert_eq!(idx.ancestor_count(w), 4);
+        assert_eq!(idx.descendant_count(a), 3);
+    }
+
+    #[test]
     fn hidden_nodes_break_paths() {
         let mut g = ProvGraph::new();
         let a = g.add_base("a");
@@ -129,6 +332,7 @@ mod tests {
         g.node_mut(t).zoom_hidden = true;
         let idx = ReachIndex::build(&g);
         assert!(!idx.reaches(a, u), "only path goes through hidden node");
+        assert!(idx.ancestors(u).is_empty(), "transpose agrees");
     }
 
     #[test]
@@ -138,7 +342,102 @@ mod tests {
             g.add_base(&format!("t{i}"));
         }
         let idx = ReachIndex::build(&g);
-        // 130 nodes → ⌈130/64⌉ = 3 words = 24 bytes each
-        assert_eq!(idx.memory_bytes(), 130 * 24);
+        // 130 nodes → ⌈130/64⌉ = 3 words = 24 bytes each, two closures
+        assert_eq!(idx.memory_bytes(), 2 * 130 * 24);
+    }
+
+    #[test]
+    fn repair_after_deletion_matches_fresh_build() {
+        // a and b feed a joint t; deleting a kills t and its plus chain
+        // but leaves the alternative-derivation branch alive.
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let b = g.add_base("b");
+        let t = g.add_times(&[a, b]);
+        let u = g.add_plus(&[t]);
+        let alt = g.add_plus(&[b]);
+        let w = g.add_plus(&[u, alt]);
+        let mut idx = ReachIndex::build(&g);
+        let report = propagate_deletion_inplace(&mut g, a).unwrap();
+        idx.repair(&g, &report.deleted);
+        assert!(idx.matches_fresh_build(&g), "repaired ≠ fresh build");
+        // b still reaches w through the surviving branch only.
+        assert!(idx.reaches(b, w));
+        assert!(!idx.reaches(b, t));
+        assert!(idx.descendants(a).is_empty());
+        assert_eq!(idx.ancestors(w), vec![b, alt]);
+        let _ = u;
+    }
+
+    #[test]
+    fn repair_after_root_deletion_clears_everything_reachable() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let p1 = g.add_plus(&[a]);
+        let p2 = g.add_plus(&[p1]);
+        let mut idx = ReachIndex::build(&g);
+        let report = propagate_deletion_inplace(&mut g, a).unwrap();
+        idx.repair(&g, &report.deleted);
+        assert!(idx.matches_fresh_build(&g));
+        for v in [a, p1, p2] {
+            assert!(idx.descendants(v).is_empty());
+            assert!(idx.ancestors(v).is_empty());
+        }
+    }
+
+    /// Zoom repair, including index growth for the appended composite
+    /// nodes and the exact changed-set contract `proql`'s session uses.
+    #[test]
+    fn repair_after_zoom_out_and_in_matches_fresh_build() {
+        use crate::graph::tracker::{GraphTracker, Tracker};
+        let mut t = GraphTracker::new();
+        let wi = t.workflow_input("I1");
+        let c2 = t.base("C2");
+        for exec in 0..2 {
+            t.begin_invocation("M", exec);
+            let i = t.module_input(wi);
+            let s = t.state_node(c2);
+            let join = t.times(&[i, s]);
+            let _o = t.module_output(join, &[]);
+            t.end_invocation();
+        }
+        let mut g = t.finish();
+        let mut idx = ReachIndex::build(&g);
+
+        let created = zoom_out(&mut g, &["M"]).unwrap();
+        let mut changed: Vec<NodeId> = created.clone();
+        let stash = g.stash_of("M").expect("just zoomed");
+        changed.extend_from_slice(&stash.hidden);
+        for &z in &created {
+            changed.extend_from_slice(g.node(z).preds());
+            changed.extend_from_slice(g.node(z).succs());
+        }
+        idx.repair(&g, &changed);
+        assert!(idx.matches_fresh_build(&g), "zoom-out repair ≠ fresh");
+
+        // Zoom back in: capture the stash (and the composites'
+        // neighbours) before the edges are unlinked.
+        let stash = g.stash_of("M").unwrap();
+        let mut changed: Vec<NodeId> = stash.hidden.clone();
+        for z in stash.zoom_nodes.clone() {
+            changed.push(z);
+            changed.extend_from_slice(g.node(z).preds());
+            changed.extend_from_slice(g.node(z).succs());
+        }
+        zoom_in(&mut g, &["M"]).unwrap();
+        idx.repair(&g, &changed);
+        assert!(idx.matches_fresh_build(&g), "zoom-in repair ≠ fresh");
+    }
+
+    #[test]
+    fn repair_with_empty_change_set_is_identity() {
+        let mut g = ProvGraph::new();
+        let a = g.add_base("a");
+        let t = g.add_plus(&[a]);
+        let mut idx = ReachIndex::build(&g);
+        let before = idx.clone();
+        idx.repair(&g, &[]);
+        assert_eq!(idx, before);
+        let _ = t;
     }
 }

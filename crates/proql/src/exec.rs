@@ -3,6 +3,20 @@
 //! Executors report `visited` counts — the number of graph nodes they
 //! actually examined — so tests (and the `proql_planner` bench) can
 //! verify the planner's cost model against observed work.
+//!
+//! ## Branch parallelism
+//!
+//! The operands of a `UNION`/`INTERSECT` chain are independent: no
+//! branch reads another's output. On graphs past a size threshold the
+//! executor fans the flattened branches out over a crossbeam worker
+//! pool (the same scoped-thread machinery `lipstick-workflow` uses for
+//! module-level parallelism) and merges in **source order**, so
+//! results, visited-cost sums, and error choices are byte-identical to
+//! the sequential path no matter the thread count — the property the
+//! resident/paged/server differential harness locks down. Everything a
+//! worker touches is behind `&` (the same discipline that lets
+//! `lipstick-serve` run [`execute_read`] concurrently under a shared
+//! read lock), so the fan-out composes with server-side concurrency.
 
 use std::collections::BTreeSet;
 
@@ -28,6 +42,89 @@ use crate::plan::{DependsStrategy, ScanStrategy, SetPlan, StmtPlan, WalkStrategy
 use crate::result::QueryOutput;
 use crate::session::Session;
 
+/// How set-operation branches are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for independent branches; 1 = fully sequential.
+    pub threads: usize,
+    /// Smallest graph (allocated nodes) worth the thread hand-off —
+    /// below it every branch runs inline.
+    pub min_nodes: usize,
+}
+
+impl Parallelism {
+    /// Strictly sequential execution.
+    pub const SEQUENTIAL: Parallelism = Parallelism {
+        threads: 1,
+        min_nodes: usize::MAX,
+    };
+
+    /// Default policy: one thread per core (capped), engaged only on
+    /// graphs large enough that a branch outweighs a thread hand-off.
+    pub fn default_for_host() -> Parallelism {
+        Parallelism {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            min_nodes: 4096,
+        }
+    }
+
+    pub(crate) fn engaged(&self, node_count: usize, branches: usize) -> bool {
+        self.threads > 1 && branches > 1 && node_count >= self.min_nodes
+    }
+}
+
+/// Fan `tasks` out over a scoped crossbeam worker pool and return every
+/// task's outcome **in task order** (which is what keeps merged
+/// results, visited sums, and error choices deterministic). Worker
+/// panics are caught per task and returned in their slot, so the caller
+/// can re-raise the *leftmost* bad outcome — exactly the one sequential
+/// left-to-right evaluation would have hit first — instead of whichever
+/// worker happened to die first.
+pub(crate) fn run_tasks_parallel<T: Send>(
+    threads: usize,
+    count: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<std::thread::Result<T>> {
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..count {
+        task_tx.send(i).expect("receiver alive");
+    }
+    drop(task_tx);
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, std::thread::Result<T>)>();
+    let outcome = crossbeam::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            let task = &task;
+            scope.spawn(move |_| {
+                while let Ok(i) = task_rx.recv() {
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
+                    if done_tx.send((i, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Err(payload) = outcome {
+        // Backstop: only reachable if a panic escaped the per-task
+        // catch (e.g. a panic in the channel machinery itself).
+        std::panic::resume_unwind(payload);
+    }
+    drop(done_tx);
+    let mut slots: Vec<Option<std::thread::Result<T>>> = (0..count).map(|_| None).collect();
+    while let Ok((i, r)) = done_rx.recv() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every branch task completes"))
+        .collect()
+}
+
 /// Execute one planned **read-only** statement against a resident
 /// graph, without exclusive access to the session — the execution arm
 /// `lipstick-serve` runs concurrently under a shared read lock.
@@ -37,13 +134,14 @@ pub(crate) fn execute_read(
     graph: &ProvGraph,
     reach: Option<&ReachIndex>,
     plan: &StmtPlan,
+    par: Parallelism,
 ) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
-            let (nodes, visited) = run_set(graph, reach, p)?;
+            let (nodes, visited) = run_set(graph, reach, p, par)?;
             Ok(crate::shape::apply_shaping(graph, nodes, visited, shaping))
         }
-        StmtPlan::Why(n) => {
+        StmtPlan::Why { n, .. } => {
             let expr = graph.expr_of(*n);
             Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
@@ -98,11 +196,20 @@ pub(crate) fn execute_read(
 
 /// Execute one planned statement against the session, mutating it where
 /// the plan calls for it. Read-only plans delegate to [`execute_read`].
+///
+/// Mutations no longer drop the reachability closure: each arm hands
+/// the session the exact set of touched nodes and the index is repaired
+/// in place ([`Session::repair_index`]) — deletion subtracts the dead
+/// cone, zooms remap the affected region (growing the index for new
+/// composite nodes) — so an index, once built, stays exact for the
+/// session's lifetime.
 pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Delete(n) => {
             let report = propagate_deletion_inplace(session.graph_mut(), *n)?;
-            session.invalidate_index();
+            // Deletion only removes reachability: the changed set is
+            // exactly the tombstoned cone.
+            session.repair_index(&report.deleted);
             Ok(QueryOutput::Deleted {
                 nodes: report.deleted,
             })
@@ -113,7 +220,23 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
         } => {
             let names: Vec<&str> = modules.iter().map(String::as_str).collect();
             let created = zoom_out(session.graph_mut(), &names)?;
-            session.invalidate_index();
+            // Changed: everything each stash hid, the new composites,
+            // and the i/o nodes the composites were wired to (their
+            // adjacency gained edges).
+            let mut changed = created.clone();
+            {
+                let graph = session.graph();
+                for m in modules {
+                    if let Some(stash) = graph.stash_of(m) {
+                        changed.extend_from_slice(&stash.hidden);
+                    }
+                }
+                for &z in &created {
+                    changed.extend_from_slice(graph.node(z).preds());
+                    changed.extend_from_slice(graph.node(z).succs());
+                }
+            }
+            session.repair_index(&changed);
             let mut msg = format!(
                 "zoomed out {} module(s), {} composite node(s)",
                 modules.len(),
@@ -140,9 +263,25 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             if names.is_empty() {
                 return Ok(QueryOutput::Message("no modules are zoomed out".into()));
             }
+            // Capture the changed set before executing: ZoomIn unlinks
+            // the composites, so their neighbours must be read now.
+            let mut changed: Vec<lipstick_core::NodeId> = Vec::new();
+            {
+                let graph = session.graph();
+                for m in &names {
+                    if let Some(stash) = graph.stash_of(m) {
+                        changed.extend_from_slice(&stash.hidden);
+                        for &z in &stash.zoom_nodes {
+                            changed.push(z);
+                            changed.extend_from_slice(graph.node(z).preds());
+                            changed.extend_from_slice(graph.node(z).succs());
+                        }
+                    }
+                }
+            }
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             zoom_in(session.graph_mut(), &refs)?;
-            session.invalidate_index();
+            session.repair_index(&changed);
             let mut msg = format!("zoomed back into {}", names.join(", "));
             if *fused_from > 1 {
                 msg.push_str(&format!(" [fused from {fused_from} statements]"));
@@ -150,6 +289,17 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             Ok(QueryOutput::Message(msg))
         }
         StmtPlan::BuildIndex => {
+            // Mutations repair the index in place, so a present index
+            // is always exact — rebuilding it would only redo work
+            // (this also keeps `BUILD INDEX` after a promoting mutation
+            // from silently building twice).
+            if session.has_reach_index() {
+                return Ok(QueryOutput::Message(
+                    "reach index already present (maintained in place); DROP INDEX first to \
+                     force a rebuild"
+                        .into(),
+                ));
+            }
             let index = ReachIndex::build(session.graph());
             let bytes = index.memory_bytes();
             session.set_index(index);
@@ -161,7 +311,12 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             session.invalidate_index();
             Ok(QueryOutput::Message("reach index dropped".into()))
         }
-        read_only => execute_read(session.graph(), session.reach(), read_only),
+        read_only => execute_read(
+            session.graph(),
+            session.reach_index(),
+            read_only,
+            session.parallelism(),
+        ),
     }
 }
 
@@ -170,6 +325,7 @@ fn run_set(
     graph: &ProvGraph,
     reach: Option<&ReachIndex>,
     plan: &SetPlan,
+    par: Parallelism,
 ) -> Result<(Vec<NodeId>, usize)> {
     match plan {
         SetPlan::Scan {
@@ -210,9 +366,12 @@ fn run_set(
                     })?;
                     Ok((nodes, stats.visited))
                 }
-                WalkStrategy::ReachIndex => {
+                WalkStrategy::ReachIndex { .. } => {
                     let index = reach.expect("planned with a reach index");
-                    let candidates = index.descendants(*root);
+                    let candidates = match dir {
+                        WalkDir::Descendants => index.descendants(*root),
+                        WalkDir::Ancestors => index.ancestors(*root),
+                    };
                     let visited = candidates.len();
                     let nodes: Vec<NodeId> = candidates
                         .into_iter()
@@ -230,17 +389,52 @@ fn run_set(
             let visited = result.len();
             Ok((result.nodes, visited))
         }
-        SetPlan::Union(a, b) => {
-            let (xs, va) = run_set(graph, reach, a)?;
-            let (ys, vb) = run_set(graph, reach, b)?;
-            Ok((merge_union(xs, ys), va + vb))
-        }
-        SetPlan::Intersect(a, b) => {
-            let (xs, va) = run_set(graph, reach, a)?;
-            let (ys, vb) = run_set(graph, reach, b)?;
-            Ok((merge_intersect(xs, ys), va + vb))
+        SetPlan::Union(a, b) | SetPlan::Intersect(a, b) => {
+            let merge: fn(Vec<NodeId>, Vec<NodeId>) -> Vec<NodeId> = match plan {
+                SetPlan::Union(..) => merge_union,
+                _ => merge_intersect,
+            };
+            let branches = plan.branches();
+            if par.engaged(graph.len(), branches.len()) {
+                return combine_branches(
+                    run_tasks_parallel(par.threads, branches.len(), |i| {
+                        run_set(graph, reach, branches[i], Parallelism::SEQUENTIAL)
+                    }),
+                    merge,
+                );
+            }
+            let (xs, va) = run_set(graph, reach, a, par)?;
+            let (ys, vb) = run_set(graph, reach, b, par)?;
+            Ok((merge(xs, ys), va + vb))
         }
     }
+}
+
+/// One branch's `(sorted nodes, visited)` payload, or its failure.
+pub(crate) type BranchResult = Result<(Vec<NodeId>, usize)>;
+
+/// Fold per-branch outcomes in source order — the exact association the
+/// sequential path produces, so parallel execution is observationally
+/// identical: same node set, same visited sum, and on a bad branch the
+/// same (leftmost) outcome, whether that is an error or a panic (paged
+/// corruption containment catches panics above this layer, so the
+/// branch order must decide which one it sees).
+pub(crate) fn combine_branches(
+    results: Vec<std::thread::Result<BranchResult>>,
+    merge: impl Fn(Vec<NodeId>, Vec<NodeId>) -> Vec<NodeId>,
+) -> BranchResult {
+    let mut acc: Option<(Vec<NodeId>, usize)> = None;
+    for r in results {
+        let (ys, vb) = match r {
+            Ok(branch) => branch?,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        acc = Some(match acc {
+            None => (ys, vb),
+            Some((xs, va)) => (merge(xs, ys), va + vb),
+        });
+    }
+    Ok(acc.expect("set ops have at least one branch"))
 }
 
 /// Sweep every visible node, in id order — which is what makes the

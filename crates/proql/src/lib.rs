@@ -36,11 +36,17 @@
 //! Text goes through [`lexer`] → [`parser`] (typed [`ast`]) →
 //! [`planner`] (cost-aware physical [`plan`]) → [`exec`]. The planner
 //! consults [`lipstick_core::graph::stats`] and the session's optional
-//! [`lipstick_core::query::ReachIndex`] to pick traversal strategies,
-//! fuses consecutive zoom statements, and pushes `WHERE` predicates
-//! into traversals instead of post-filtering. [`session::Session`]
-//! owns the graph (in-memory or loaded from a provenance log via
-//! `lipstick-storage`) and drives the pipeline.
+//! [`lipstick_core::query::ReachIndex`] — a bidirectional closure, so
+//! unbounded `ANCESTORS OF` and `DESCENDANTS OF` are symmetric index
+//! lookups — to pick traversal strategies, fuses consecutive zoom
+//! statements, and pushes `WHERE` predicates into traversals instead of
+//! post-filtering. Mutating statements repair the closure in place
+//! (deletion subtracts the dead cone; zooms remap the affected region)
+//! rather than dropping it, and independent `UNION`/`INTERSECT`
+//! branches fan out over a crossbeam worker pool on large graphs (see
+//! [`Session::set_parallelism`]). [`session::Session`] owns the graph
+//! (in-memory or loaded from a provenance log via `lipstick-storage`)
+//! and drives the pipeline.
 //!
 //! ## Resident vs. paged sessions
 //!
@@ -83,5 +89,6 @@ mod shape;
 pub mod testgen;
 
 pub use error::ProqlError;
+pub use exec::Parallelism;
 pub use result::{NodeSetResult, QueryOutput, TableResult};
 pub use session::Session;

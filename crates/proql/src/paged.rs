@@ -16,18 +16,27 @@ use lipstick_core::{NodeId, NodeKind};
 
 use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, WalkDir};
 use crate::error::{ProqlError, Result};
-use crate::exec::{eval_expr_in_semiring, why_text};
+use crate::exec::{
+    combine_branches, eval_expr_in_semiring, run_tasks_parallel, why_text, Parallelism,
+};
 use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan};
 use crate::result::QueryOutput;
 
-/// Execute one planned read-only statement against a paged store.
-pub(crate) fn execute<S: GraphStore>(store: &S, plan: &StmtPlan) -> Result<QueryOutput> {
+/// Execute one planned read-only statement against a paged store. The
+/// `Sync` bound is what lets independent set-operation branches fan out
+/// over worker threads against one store — `PagedLog`'s sharded fault
+/// cache is already built for concurrent readers.
+pub(crate) fn execute<S: GraphStore + Sync>(
+    store: &S,
+    plan: &StmtPlan,
+    par: Parallelism,
+) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
-            let (nodes, visited) = run_set(store, p)?;
+            let (nodes, visited) = run_set(store, p, par)?;
             Ok(crate::shape::apply_shaping(store, nodes, visited, shaping))
         }
-        StmtPlan::Why(n) => {
+        StmtPlan::Why { n, .. } => {
             let expr = expr_of_store(store, *n);
             Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
@@ -71,7 +80,11 @@ pub(crate) fn execute<S: GraphStore>(store: &S, plan: &StmtPlan) -> Result<Query
 }
 
 /// Run a set plan; returns (sorted nodes, candidates examined).
-fn run_set<S: GraphStore>(store: &S, plan: &SetPlan) -> Result<(Vec<NodeId>, usize)> {
+fn run_set<S: GraphStore + Sync>(
+    store: &S,
+    plan: &SetPlan,
+    par: Parallelism,
+) -> Result<(Vec<NodeId>, usize)> {
     match plan {
         SetPlan::Scan {
             class,
@@ -158,15 +171,23 @@ fn run_set<S: GraphStore>(store: &S, plan: &SetPlan) -> Result<(Vec<NodeId>, usi
             let visited = result.len();
             Ok((result.nodes, visited))
         }
-        SetPlan::Union(a, b) => {
-            let (xs, va) = run_set(store, a)?;
-            let (ys, vb) = run_set(store, b)?;
-            Ok((crate::exec::merge_union(xs, ys), va + vb))
-        }
-        SetPlan::Intersect(a, b) => {
-            let (xs, va) = run_set(store, a)?;
-            let (ys, vb) = run_set(store, b)?;
-            Ok((crate::exec::merge_intersect(xs, ys), va + vb))
+        SetPlan::Union(a, b) | SetPlan::Intersect(a, b) => {
+            let merge: fn(Vec<NodeId>, Vec<NodeId>) -> Vec<NodeId> = match plan {
+                SetPlan::Union(..) => crate::exec::merge_union,
+                _ => crate::exec::merge_intersect,
+            };
+            let branches = plan.branches();
+            if par.engaged(store.node_count(), branches.len()) {
+                return combine_branches(
+                    run_tasks_parallel(par.threads, branches.len(), |i| {
+                        run_set(store, branches[i], Parallelism::SEQUENTIAL)
+                    }),
+                    merge,
+                );
+            }
+            let (xs, va) = run_set(store, a, par)?;
+            let (ys, vb) = run_set(store, b, par)?;
+            Ok((merge(xs, ys), va + vb))
         }
     }
 }

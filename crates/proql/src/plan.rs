@@ -18,8 +18,11 @@ pub enum WalkStrategy {
     /// Breadth-first sweep over adjacency lists, with any filter pushed
     /// into the traversal's collect step.
     Bfs { est_visited: usize },
-    /// Lookup in the precomputed descendant closure ([`lipstick_core::query::ReachIndex`]).
-    ReachIndex,
+    /// Lookup in the precomputed bidirectional closure
+    /// ([`lipstick_core::query::ReachIndex`]); serves both walk
+    /// directions. `est_visited` is the exact cone size read off the
+    /// index at plan time, so the estimate matches observed work.
+    ReachIndex { est_visited: usize },
     /// Paged session: BFS over the log footer's adjacency, faulting in
     /// node records only where the filter needs them.
     PagedBfs { total_records: usize },
@@ -113,6 +116,34 @@ pub enum SetPlan {
 }
 
 impl SetPlan {
+    /// The operands of the outermost run of one set operator, in source
+    /// order: `((a UNION b) UNION c)` yields `[a, b, c]`. Operands of a
+    /// *different* operator stay whole (they are one branch). These
+    /// branches are independent — no branch reads another's output —
+    /// which is what lets the executor fan them out across worker
+    /// threads and still merge deterministically in source order.
+    pub fn branches(&self) -> Vec<&SetPlan> {
+        fn walk<'a>(plan: &'a SetPlan, union: bool, out: &mut Vec<&'a SetPlan>) {
+            match plan {
+                SetPlan::Union(a, b) if union => {
+                    walk(a, union, out);
+                    walk(b, union, out);
+                }
+                SetPlan::Intersect(a, b) if !union => {
+                    walk(a, union, out);
+                    walk(b, union, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            SetPlan::Union(..) => walk(self, true, &mut out),
+            SetPlan::Intersect(..) => walk(self, false, &mut out),
+            other => out.push(other),
+        }
+        out
+    }
     /// Plant an early-exit limit where it is sound: id-ordered scans
     /// produce their matches ascending, so the first `n` matches *are*
     /// the query's first `n` rows; a union's first `n` members all sit
@@ -146,8 +177,10 @@ pub enum DependsStrategy {
     Propagation,
     /// Consult the reachability closure first: if `n` is not a
     /// descendant of `n'`, deleting `n'` cannot touch it — answer
-    /// `false` in O(1). Fall back to propagation only on reachable
-    /// pairs.
+    /// `false` in O(1). The bidirectional index answers the same bit
+    /// from either side (`n ∈ desc(n')` ⇔ `n' ∈ anc(n)`), so the test
+    /// costs one word probe whichever closure is consulted. Fall back
+    /// to propagation only on reachable pairs.
     ReachPrefilter,
     /// Paged session: propagate over the log, faulting in only the
     /// records the cascade actually examines.
@@ -163,7 +196,14 @@ pub enum StmtPlan {
         plan: SetPlan,
         shaping: Shaping,
     },
-    Why(NodeId),
+    /// `est_cone` is the ancestor-cone size read off the reach index at
+    /// plan time (`None` without an index): expression extraction walks
+    /// exactly the root's visible ancestors, so the index bounds the
+    /// work before execution.
+    Why {
+        n: NodeId,
+        est_cone: Option<usize>,
+    },
     Depends {
         n: NodeId,
         n_prime: NodeId,
@@ -261,7 +301,16 @@ impl SetPlan {
                     WalkStrategy::Bfs { est_visited } => {
                         write!(f, " [bfs, est visited {est_visited}]")
                     }
-                    WalkStrategy::ReachIndex => write!(f, " [reach-index lookup]"),
+                    WalkStrategy::ReachIndex { est_visited } => {
+                        let closure = match dir {
+                            WalkDir::Ancestors => "ancestor",
+                            WalkDir::Descendants => "descendant",
+                        };
+                        write!(
+                            f,
+                            " [reach-index lookup, {closure} closure, cone {est_visited} node(s)]"
+                        )
+                    }
                     WalkStrategy::PagedBfs { total_records } => write!(
                         f,
                         " [paged bfs over footer adjacency, ≤ {total_records} records]"
@@ -297,7 +346,13 @@ impl fmt::Display for StmtPlan {
                 }
                 Ok(())
             }
-            StmtPlan::Why(n) => write!(f, "why {n} [graph expression extraction]"),
+            StmtPlan::Why { n, est_cone } => {
+                write!(f, "why {n} [graph expression extraction")?;
+                if let Some(k) = est_cone {
+                    write!(f, ", ancestor cone {k} node(s) via reach index")?;
+                }
+                f.write_str("]")
+            }
             StmtPlan::Depends {
                 n,
                 n_prime,
@@ -342,7 +397,10 @@ impl fmt::Display for StmtPlan {
                 Ok(())
             }
             StmtPlan::Eval(n, s) => write!(f, "eval {n} in {} semiring", s.name()),
-            StmtPlan::BuildIndex => write!(f, "build reach index [descendant closure]"),
+            StmtPlan::BuildIndex => write!(
+                f,
+                "build reach index [bidirectional closure, incrementally maintained]"
+            ),
             StmtPlan::DropIndex => write!(f, "drop reach index"),
             StmtPlan::Stats => write!(f, "graph statistics"),
             StmtPlan::Explain(inner) => write!(f, "explain\n  {inner}"),

@@ -9,14 +9,19 @@
 //!    ride inside the chosen scan (pushdown), never as a post-filter.
 //! 2. **Traversal strategy for walks and `DEPENDS`.** With a
 //!    [`ReachIndex`](lipstick_core::query::ReachIndex) present,
-//!    unbounded descendant walks become closure lookups, and dependency
-//!    tests get an O(1) unreachability prefilter before falling back to
-//!    deletion propagation.
+//!    unbounded walks in *either* direction become closure lookups (the
+//!    index is bidirectional, so `ANCESTORS OF` costs the same as
+//!    `DESCENDANTS OF` — and the estimate is the exact cone size read
+//!    off the index), `WHY` plans carry the ancestor-cone bound of the
+//!    extraction they are about to run, and dependency tests get an
+//!    O(1) unreachability prefilter before falling back to deletion
+//!    propagation.
 //! 3. **Zoom fusion.** Consecutive `ZOOM OUT` (or `ZOOM IN TO`)
 //!    statements fuse into one atomic multi-module operation, so a
 //!    script that zooms module-by-module pays one graph sweep instead
 //!    of one per statement.
 
+use lipstick_core::query::ReachIndex;
 use lipstick_core::store::GraphStore;
 use lipstick_core::{NodeId, NodeKind, ProvGraph};
 
@@ -27,16 +32,16 @@ use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan,
 /// Plans statements against a graph snapshot.
 pub struct Planner<'a> {
     graph: &'a ProvGraph,
-    has_reach_index: bool,
+    reach: Option<&'a ReachIndex>,
     /// Visible node count, the full-scan cost unit (computed once).
     visible: usize,
 }
 
 impl<'a> Planner<'a> {
-    pub fn new(graph: &'a ProvGraph, has_reach_index: bool) -> Planner<'a> {
+    pub fn new(graph: &'a ProvGraph, reach: Option<&'a ReachIndex>) -> Planner<'a> {
         Planner {
             graph,
-            has_reach_index,
+            reach,
             visible: graph.visible_count(),
         }
     }
@@ -78,9 +83,15 @@ impl<'a> Planner<'a> {
                     shaping: q.shaping.clone(),
                 }
             }
-            Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
+            Statement::Why(r) => {
+                let n = self.resolve(r)?;
+                StmtPlan::Why {
+                    n,
+                    est_cone: self.reach.map(|idx| idx.ancestor_count(n)),
+                }
+            }
             Statement::Depends(n, n_prime) => {
-                let strategy = if self.has_reach_index {
+                let strategy = if self.reach.is_some() {
                     DependsStrategy::ReachPrefilter
                 } else {
                     DependsStrategy::Propagation
@@ -132,16 +143,20 @@ impl<'a> Planner<'a> {
                 filter,
             } => {
                 let root = self.resolve(root)?;
-                // The closure only stores full-depth descendant sets;
-                // bounded walks and ancestor walks take the BFS.
-                let strategy =
-                    if self.has_reach_index && *dir == WalkDir::Descendants && depth.is_none() {
-                        WalkStrategy::ReachIndex
-                    } else {
-                        WalkStrategy::Bfs {
-                            est_visited: self.visible,
-                        }
-                    };
+                // The closure stores full-depth cones in both
+                // directions; only bounded walks take the BFS (the
+                // closure holds no depth information).
+                let strategy = match (self.reach, depth) {
+                    (Some(index), None) => WalkStrategy::ReachIndex {
+                        est_visited: match dir {
+                            WalkDir::Descendants => index.descendant_count(root),
+                            WalkDir::Ancestors => index.ancestor_count(root),
+                        },
+                    },
+                    _ => WalkStrategy::Bfs {
+                        est_visited: self.visible,
+                    },
+                };
                 SetPlan::Walk {
                     root,
                     dir: *dir,
@@ -336,7 +351,10 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
                     shaping: q.shaping.clone(),
                 }
             }
-            Statement::Why(r) => StmtPlan::Why(self.resolve(r)?),
+            Statement::Why(r) => StmtPlan::Why {
+                n: self.resolve(r)?,
+                est_cone: None,
+            },
             Statement::Depends(n, n_prime) => StmtPlan::Depends {
                 n: self.resolve(n)?,
                 n_prime: self.resolve(n_prime)?,

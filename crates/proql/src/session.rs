@@ -17,7 +17,7 @@ use lipstick_storage::PagedLog;
 
 use crate::ast::Statement;
 use crate::error::{ProqlError, Result};
-use crate::exec;
+use crate::exec::{self, Parallelism};
 use crate::paged;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::StmtPlan;
@@ -33,9 +33,12 @@ enum Backend {
 }
 
 /// Query-processor state: the graph under interrogation plus the
-/// optional §5.1 reachability closure. Mutating statements (`DELETE`,
-/// `ZOOM`) invalidate the closure automatically; rebuild it with
-/// `BUILD INDEX`.
+/// optional §5.1 reachability closure (bidirectional: descendant and
+/// ancestor bitsets). Mutating statements (`DELETE`, `ZOOM`) **repair
+/// the closure in place** — deletion subtracts the dead cone, zooms
+/// remap the affected region — so an index built once stays exact and
+/// indexed plans keep serving across mutations; `DROP INDEX` is the
+/// only way to lose it.
 ///
 /// Sessions come in two flavours. [`Session::new`]/[`Session::load`]
 /// hold a **resident** graph. [`Session::open`] keeps a v2 log
@@ -45,6 +48,13 @@ enum Backend {
 pub struct Session {
     backend: Backend,
     reach: Option<ReachIndex>,
+    /// Branch-parallelism policy for set-operation execution; see
+    /// [`Session::set_parallelism`].
+    parallel: Parallelism,
+    /// From-scratch closure builds performed so far (repairs excluded)
+    /// — lets tests pin down that promotion and incremental
+    /// maintenance never trigger a silent second rebuild.
+    index_builds: u64,
 }
 
 impl Session {
@@ -53,6 +63,8 @@ impl Session {
         Session {
             backend: Backend::Resident(graph),
             reach: None,
+            parallel: Parallelism::default_for_host(),
+            index_builds: 0,
         }
     }
 
@@ -82,7 +94,37 @@ impl Session {
         Ok(Session {
             backend: Backend::Paged(log),
             reach: None,
+            parallel: Parallelism::default_for_host(),
+            index_builds: 0,
         })
+    }
+
+    /// Cap the worker threads used for independent `UNION`/`INTERSECT`
+    /// branches (1 disables branch parallelism). The default is one
+    /// thread per core, capped at 8; results are byte-identical at any
+    /// setting — only wall-clock changes.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallel.threads = threads.max(1);
+    }
+
+    /// Full control over the branch-parallelism policy (thread count
+    /// *and* engagement threshold) — benches and tests use it to force
+    /// the parallel path on small graphs.
+    pub fn set_parallelism_policy(&mut self, policy: Parallelism) {
+        self.parallel = Parallelism {
+            threads: policy.threads.max(1),
+            ..policy
+        };
+    }
+
+    pub(crate) fn parallelism(&self) -> Parallelism {
+        self.parallel
+    }
+
+    /// How many times a reach index was built from scratch in this
+    /// session (incremental repairs don't count).
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds
     }
 
     /// Is the session still paged (no full graph materialised)?
@@ -136,7 +178,10 @@ impl Session {
         }
     }
 
-    pub(crate) fn reach(&self) -> Option<&ReachIndex> {
+    /// The session's reachability closure, when one is built — public
+    /// so property tests can compare it against a fresh
+    /// [`ReachIndex::build`] after mutation sequences.
+    pub fn reach_index(&self) -> Option<&ReachIndex> {
         self.reach.as_ref()
     }
 
@@ -146,12 +191,30 @@ impl Session {
 
     pub(crate) fn set_index(&mut self, index: ReachIndex) {
         self.reach = Some(index);
+        self.index_builds += 1;
     }
 
-    /// Drop the reachability closure (it is stale once the graph
-    /// mutates).
+    /// Drop the reachability closure (`DROP INDEX`).
     pub(crate) fn invalidate_index(&mut self) {
         self.reach = None;
+    }
+
+    /// Repair the reachability closure in place after a mutation.
+    /// `changed` must list every node whose visibility or adjacency the
+    /// mutation touched (the executor's mutation arms compute it). In
+    /// debug builds the repaired index is checked bit-for-bit against a
+    /// fresh build — the incremental path must never drift.
+    pub(crate) fn repair_index(&mut self, changed: &[lipstick_core::NodeId]) {
+        let Backend::Resident(graph) = &self.backend else {
+            return;
+        };
+        if let Some(index) = self.reach.as_mut() {
+            index.repair(graph, changed);
+            debug_assert!(
+                index.matches_fresh_build(graph),
+                "incremental reach-index repair diverged from a fresh build"
+            );
+        }
     }
 
     /// Does executing this statement require a resident, mutable graph?
@@ -201,10 +264,10 @@ impl Session {
         }
         match &self.backend {
             Backend::Resident(graph) => {
-                let plan = Planner::new(graph, self.reach.is_some()).plan_fused(fs)?;
+                let plan = Planner::new(graph, self.reach.as_ref()).plan_fused(fs)?;
                 exec::execute(self, &plan)
             }
-            Backend::Paged(log) => run_paged(log, &fs.stmt),
+            Backend::Paged(log) => run_paged(log, &fs.stmt, self.parallel),
         }
     }
 
@@ -231,10 +294,10 @@ impl Session {
         }
         match &self.backend {
             Backend::Resident(graph) => {
-                let plan = Planner::new(graph, self.reach.is_some()).plan(stmt)?;
-                exec::execute_read(graph, self.reach(), &plan)
+                let plan = Planner::new(graph, self.reach.as_ref()).plan(stmt)?;
+                exec::execute_read(graph, self.reach_index(), &plan, self.parallel)
             }
-            Backend::Paged(log) => run_paged(log, stmt),
+            Backend::Paged(log) => run_paged(log, stmt, self.parallel),
         }
     }
 
@@ -242,7 +305,7 @@ impl Session {
     /// the session currently has.
     pub fn plan(&self, stmt: &Statement) -> Result<StmtPlan> {
         match &self.backend {
-            Backend::Resident(graph) => Planner::new(graph, self.reach.is_some()).plan(stmt),
+            Backend::Resident(graph) => Planner::new(graph, self.reach.as_ref()).plan(stmt),
             // Planning faults records too (token resolution), so it
             // needs the same corruption containment as execution.
             Backend::Paged(log) => contain_corruption(|| PagedPlanner::new(log).plan(stmt)),
@@ -264,10 +327,10 @@ impl Session {
 /// GraphStore accessors. Contain that panic here so corrupt input
 /// surfaces as an error, never an abort — the same contract every other
 /// corruption path honours.
-fn run_paged(log: &PagedLog, stmt: &Statement) -> Result<QueryOutput> {
+fn run_paged(log: &PagedLog, stmt: &Statement, par: Parallelism) -> Result<QueryOutput> {
     contain_corruption(|| {
         let plan = PagedPlanner::new(log).plan(stmt)?;
-        paged::execute(log, &plan)
+        paged::execute(log, &plan, par)
     })
 }
 

@@ -100,6 +100,30 @@ impl Vocab {
     }
 }
 
+/// One random **mutating** statement: deletion propagation, zooms (out
+/// and back in), and `BUILD INDEX`. Interleaved between read-only
+/// statements by the differential harness so resident, paged, and
+/// server backends are compared *under incremental index maintenance*,
+/// not just on read-only workloads. Some references dangle and some
+/// zooms target already-zoomed (or never-zoomed) modules on purpose:
+/// failed mutations must also fail identically everywhere.
+///
+/// `DROP INDEX` is deliberately absent: on a never-promoted paged
+/// session it answers with a paged-specific message by design, which is
+/// a sanctioned backend difference the harness would flag.
+pub fn mutation(v: &Vocab, rng: &mut Rng) -> Statement {
+    match rng.below(100) {
+        0..=39 => Statement::DeletePropagate(node_ref(v, rng)),
+        40..=59 if !v.modules.is_empty() => Statement::ZoomOut(vec![rng.pick(&v.modules).clone()]),
+        60..=79 if !v.modules.is_empty() => Statement::ZoomIn(if rng.chance(50) {
+            None
+        } else {
+            Some(vec![rng.pick(&v.modules).clone()])
+        }),
+        _ => Statement::BuildIndex,
+    }
+}
+
 /// One random read-only statement: mostly shaped node-set queries,
 /// with `WHY`/`DEPENDS`/`EVAL` mixed in. A few percent of node
 /// references are deliberately dangling so the error paths are

@@ -18,6 +18,16 @@
 //! conjuncts, and operands while the divergence persists) and reports
 //! the minimal failing statement.
 //!
+//! Statement sequences are **mutation-interleaved**: every few
+//! read-only statements, one random mutation (`DELETE … PROPAGATE`,
+//! `ZOOM OUT`/`ZOOM IN`, `BUILD INDEX`) is applied to all three engines
+//! and its answer compared like any other. That exercises paged→
+//! resident promotion, the write path of the server (epoch bumps and
+//! cache invalidation), and — once a `BUILD INDEX` has run — the
+//! incremental in-place repair of the reach index, whose debug
+//! assertion cross-checks every repaired closure against a fresh build
+//! while the harness checks answers across engines.
+//!
 //! The case budget comes from `PROPTEST_CASES` (default 256), so CI
 //! pins a deterministic, bounded run; generation itself is seeded and
 //! deterministic.
@@ -34,6 +44,10 @@ use lipstick_workflowgen::dealers::{self, DealersParams};
 /// Statements per generated graph (each graph pays for a log write,
 /// two session opens, and a server start).
 const STMTS_PER_GRAPH: usize = 32;
+
+/// One mutation is interleaved after every run of this many read-only
+/// statements.
+const MUTATE_EVERY: usize = 8;
 
 fn case_budget() -> usize {
     std::env::var("PROPTEST_CASES")
@@ -121,6 +135,15 @@ fn local_answer(session: &Session, text: &str) -> Answer {
     }
 }
 
+/// Mutations go through the exclusive path (the server routes them
+/// through its write lock on its own).
+fn local_mutation_answer(session: &mut Session, text: &str) -> Answer {
+    match session.run_one(text) {
+        Ok(out) => Answer::Ok(mask_visited(&out.to_string())),
+        Err(e) => Answer::Err(e.to_string().replace('\n', "; ")),
+    }
+}
+
 fn server_answer(client: &mut Client, text: &str) -> Answer {
     match client.query(text).expect("server connection") {
         Reply::Ok { body, .. } => Answer::Ok(mask_visited(&body)),
@@ -186,8 +209,8 @@ fn differential_resident_paged_server() {
         let path = temp_log(&graph, graph_tag);
         graph_tag += 1;
 
-        let resident = Session::load(&path).unwrap();
-        let paged = Session::open(&path).unwrap();
+        let mut resident = Session::load(&path).unwrap();
+        let mut paged = Session::open(&path).unwrap();
         assert!(paged.is_paged());
         let handle = Server::new(
             Session::open(&path).unwrap(),
@@ -200,8 +223,17 @@ fn differential_resident_paged_server() {
         .unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
 
-        for _ in 0..STMTS_PER_GRAPH.min(budget - executed) {
-            let stmt = testgen::statement(&vocab, &mut rng);
+        for i in 0..STMTS_PER_GRAPH.min(budget - executed) {
+            // Interleave mutations between runs of read-only
+            // statements: the three engines must stay in lock-step
+            // through promotion, epoch bumps, and in-place reach-index
+            // repair.
+            let mutating = i % MUTATE_EVERY == MUTATE_EVERY - 1;
+            let stmt = if mutating {
+                testgen::mutation(&vocab, &mut rng)
+            } else {
+                testgen::statement(&vocab, &mut rng)
+            };
             // The canonical rendering must survive a parse round trip
             // before the engines even run it — otherwise the three
             // engines would be answering different statements.
@@ -210,7 +242,16 @@ fn differential_resident_paged_server() {
                 .unwrap_or_else(|e| panic!("canonical form failed to parse: {text}\n  {e}"));
             assert_eq!(reparsed, stmt, "display/parse round trip for {text}");
 
-            if let Some(detail) = divergence(&resident, &paged, &mut client, &stmt) {
+            if mutating {
+                let r = local_mutation_answer(&mut resident, &text);
+                let p = local_mutation_answer(&mut paged, &text);
+                let s = server_answer(&mut client, &text);
+                assert!(
+                    r == p && p == s,
+                    "engines diverged on mutation.\n  statement: {stmt}\n  resident: {r:?}\n  \
+                     paged:    {p:?}\n  server:   {s:?}"
+                );
+            } else if let Some(detail) = divergence(&resident, &paged, &mut client, &stmt) {
                 let minimal = shrink_divergence(&resident, &paged, &mut client, stmt.clone());
                 let minimal_detail =
                     divergence(&resident, &paged, &mut client, &minimal).unwrap_or_default();

@@ -363,6 +363,105 @@ fn descendants_via_index_match_bfs() {
 }
 
 #[test]
+fn ancestors_via_index_match_bfs() {
+    let mut s = dealers_session();
+    // Deep nodes (largest ancestor cones) stress the upward direction.
+    let mut roots: Vec<NodeId> = s.graph().iter_visible().map(|(id, _)| id).collect();
+    roots.sort_by_key(|r| std::cmp::Reverse(ancestors_bounded(s.graph(), *r, None).unwrap().len()));
+    roots.truncate(4);
+    let bfs: Vec<_> = roots
+        .iter()
+        .map(|r| {
+            s.run_one(&format!("ANCESTORS OF #{}", r.0))
+                .unwrap()
+                .nodes()
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    s.run_one("BUILD INDEX").unwrap();
+    // The upward walk is now index-served, symmetrically with
+    // DESCENDANTS — no BFS — and EXPLAIN names the closure direction.
+    let explain = s.explain(&format!("ANCESTORS OF #{}", roots[0].0)).unwrap();
+    assert!(
+        explain.contains("reach-index lookup") && explain.contains("ancestor closure"),
+        "got: {explain}"
+    );
+    assert!(!explain.contains("bfs"), "got: {explain}");
+    for (r, bfs_result) in roots.iter().zip(&bfs) {
+        let indexed = s.run_one(&format!("ANCESTORS OF #{}", r.0)).unwrap();
+        assert_eq!(indexed.nodes().unwrap().nodes, bfs_result.nodes);
+    }
+    // Predicates still push into the indexed lookup.
+    let filtered = s
+        .run_one(&format!(
+            "ANCESTORS OF #{} WHERE kind = 'base_tuple'",
+            roots[0].0
+        ))
+        .unwrap();
+    assert!(filtered
+        .nodes()
+        .unwrap()
+        .nodes
+        .iter()
+        .all(|n| matches!(s.graph().node(*n).kind, NodeKind::BaseTuple { .. })));
+    // Bounded walks still BFS (the closure holds no depth information).
+    let explain = s
+        .explain(&format!("ANCESTORS OF #{} DEPTH 2", roots[0].0))
+        .unwrap();
+    assert!(explain.contains("bfs"), "got: {explain}");
+    // WHY plans report the ancestor-cone bound read off the index.
+    let explain = s.explain(&format!("WHY #{}", roots[0].0)).unwrap();
+    assert!(explain.contains("ancestor cone"), "got: {explain}");
+}
+
+#[test]
+fn parallel_set_operations_match_sequential_byte_for_byte() {
+    let g = dealers_graph();
+    let roots = g.top_fanout_nodes(4);
+    let union_stmt = roots
+        .iter()
+        .map(|r| format!("DESCENDANTS OF #{}", r.0))
+        .collect::<Vec<_>>()
+        .join(" UNION ");
+    let intersect_stmt = roots
+        .iter()
+        .map(|r| format!("SUBGRAPH OF #{}", r.0))
+        .collect::<Vec<_>>()
+        .join(" INTERSECT ");
+    let mixed_stmt = format!(
+        "(MATCH base-nodes UNION ANCESTORS OF #{}) INTERSECT MATCH p-nodes ORDER BY id DESC \
+         LIMIT 9",
+        roots[0].0
+    );
+    let err_stmt = format!(
+        "DESCENDANTS OF #{} UNION SUBGRAPH OF #999999 UNION MATCH nodes",
+        roots[0].0
+    );
+
+    let mut sequential = Session::new(g.clone());
+    sequential.set_parallelism_policy(lipstick_proql::Parallelism::SEQUENTIAL);
+    let mut parallel = Session::new(g.clone());
+    // Force engagement despite the small test graph.
+    parallel.set_parallelism_policy(lipstick_proql::Parallelism {
+        threads: 4,
+        min_nodes: 0,
+    });
+
+    for stmt in [&union_stmt, &intersect_stmt, &mixed_stmt] {
+        let a = sequential.run_one(stmt).unwrap();
+        let b = parallel.run_one(stmt).unwrap();
+        // to_string covers nodes AND the visited figure: the parallel
+        // merge must reproduce the sequential cost sum exactly.
+        assert_eq!(a.to_string(), b.to_string(), "{stmt}");
+    }
+    // Failing statements reject identically under either policy.
+    let ea = sequential.run_one(&err_stmt).unwrap_err().to_string();
+    let eb = parallel.run_one(&err_stmt).unwrap_err().to_string();
+    assert_eq!(ea, eb);
+}
+
+#[test]
 fn set_operations_compose_node_sets() {
     let mut s = dealers_session();
     let root = s.graph().top_fanout_nodes(1)[0];
@@ -417,13 +516,25 @@ fn stats_and_index_lifecycle() {
     assert!(s.has_reach_index());
     let out = s.run_one("STATS").unwrap();
     assert!(out.text().unwrap().contains("reach index: present"));
-    // Mutation invalidates the closure.
+    // Mutation repairs the closure in place instead of dropping it,
+    // and the repaired index keeps serving indexed plans.
     let (_, token) = some_base_token(s.graph());
     s.run_one(&format!("DELETE '{token}' PROPAGATE")).unwrap();
-    assert!(!s.has_reach_index(), "stale index dropped after DELETE");
+    assert!(s.has_reach_index(), "index repaired in place after DELETE");
+    let root = s.graph().iter_visible().next().unwrap().0;
+    assert!(s
+        .explain(&format!("DESCENDANTS OF #{}", root.0))
+        .unwrap()
+        .contains("reach-index lookup"));
+    // A redundant BUILD INDEX is deduped (the repaired index is exact).
+    assert_eq!(s.index_builds(), 1);
     s.run_one("BUILD INDEX").unwrap();
+    assert_eq!(s.index_builds(), 1, "present index must not rebuild");
+    // DROP INDEX remains the only way to lose the closure.
     s.run_one("DROP INDEX").unwrap();
     assert!(!s.has_reach_index());
+    s.run_one("BUILD INDEX").unwrap();
+    assert_eq!(s.index_builds(), 2);
 }
 
 #[test]

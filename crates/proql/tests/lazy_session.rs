@@ -365,6 +365,41 @@ fn build_index_promotes_and_serves_reach_lookups() {
     assert!(!nodes_of(&out).is_empty());
 }
 
+/// Regression: `BUILD INDEX` after a promoting mutation must build the
+/// closure exactly once — promotion itself builds nothing, a present
+/// index is repaired in place by later mutations, and a redundant
+/// `BUILD INDEX` is deduped instead of silently rebuilding.
+#[test]
+fn build_index_after_promoting_delete_builds_exactly_once() {
+    let (mut lazy, _, g) = open_both("dedupe.lpstk");
+    let root = g.top_fanout_nodes(1)[0];
+    lazy.run_one(&format!("DELETE #{} PROPAGATE", root.0))
+        .unwrap();
+    assert!(!lazy.is_paged(), "DELETE promotes");
+    assert_eq!(lazy.index_builds(), 0, "promotion builds no index");
+
+    lazy.run_one("BUILD INDEX").unwrap();
+    assert_eq!(lazy.index_builds(), 1);
+
+    // A second BUILD INDEX is a no-op: mutations maintain the closure,
+    // so a present index is always exact.
+    let out = lazy.run_one("BUILD INDEX").unwrap();
+    assert!(out.to_string().contains("already present"), "got: {}", out);
+    assert_eq!(lazy.index_builds(), 1, "silent rebuild");
+
+    // Mutating again repairs rather than rebuilds, and the index keeps
+    // serving indexed plans afterwards.
+    let victim = g.top_fanout_nodes(3)[2];
+    let _ = lazy.run_one(&format!("DELETE #{} PROPAGATE", victim.0));
+    assert!(lazy.has_reach_index());
+    assert_eq!(lazy.index_builds(), 1);
+    let alive = lazy.graph().iter_visible().next().unwrap().0;
+    assert!(lazy
+        .explain(&format!("ANCESTORS OF #{}", alive.0))
+        .unwrap()
+        .contains("reach-index lookup"));
+}
+
 #[test]
 fn run_read_is_concurrent_and_rejects_mutations() {
     let (lazy, full, g) = open_both("runread.lpstk");

@@ -1,0 +1,93 @@
+//! Property test: the incrementally-repaired reach index is
+//! **bit-identical** to a from-scratch `ReachIndex::build` after random
+//! delete/zoom sequences.
+//!
+//! The session repairs the closure in place on every mutation (deletion
+//! subtracts the dead cone; zooms remap the affected region, growing
+//! the index for appended composite nodes). This harness drives random
+//! WorkflowGen graphs through random mutation scripts and compares the
+//! maintained index against a fresh build after *every* step — in both
+//! directions, at full bitset granularity, including capacities. The
+//! case budget honours `PROPTEST_CASES` like the other property suites.
+
+use lipstick_core::GraphTracker;
+use lipstick_proql::testgen::{self, Rng, Vocab};
+use lipstick_proql::Session;
+use lipstick_workflowgen::arctic::{self, ArcticParams, Selectivity, Topology};
+use lipstick_workflowgen::dealers::{self, DealersParams};
+
+/// Mutations per generated graph.
+const MUTATIONS_PER_GRAPH: usize = 12;
+
+fn case_budget() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+fn random_graph(rng: &mut Rng) -> lipstick_core::ProvGraph {
+    let mut tracker = GraphTracker::new();
+    if rng.chance(50) {
+        let params = DealersParams {
+            num_cars: 6 + rng.below(16),
+            num_exec: 1 + rng.below(3),
+            seed: rng.next_u64(),
+        };
+        dealers::run_declining(&params, &mut tracker).expect("dealers run");
+    } else {
+        let params = ArcticParams {
+            stations: 2 + rng.below(4),
+            topology: match rng.below(3) {
+                0 => Topology::Serial,
+                1 => Topology::Parallel,
+                _ => Topology::Dense { fanout: 2 },
+            },
+            selectivity: [
+                Selectivity::All,
+                Selectivity::Season,
+                Selectivity::Month,
+                Selectivity::Year,
+            ][rng.below(4)],
+            num_exec: 1 + rng.below(2),
+            seed: rng.next_u64(),
+        };
+        arctic::run(&params, &mut tracker).expect("arctic run");
+    }
+    tracker.finish()
+}
+
+#[test]
+fn repaired_index_is_bit_identical_to_fresh_build() {
+    let budget = case_budget();
+    let mut rng = Rng::new(0x005e_a1c1_050f_f1ce);
+    let mut executed = 0usize;
+
+    while executed < budget {
+        let graph = random_graph(&mut rng);
+        let vocab = Vocab::from_graph(&graph);
+        let mut session = Session::new(graph);
+        session.run_one("BUILD INDEX").unwrap();
+        assert_eq!(session.index_builds(), 1);
+
+        for _ in 0..MUTATIONS_PER_GRAPH.min(budget - executed) {
+            let stmt = testgen::mutation(&vocab, &mut rng);
+            // Failed mutations (dangling deletes, double zooms) must
+            // leave the index untouched; successful ones must repair it
+            // exactly. Either way the oracle below decides.
+            let _ = session.run_one(&stmt.to_string());
+            let index = session
+                .reach_index()
+                .expect("mutations repair, never drop, the index");
+            assert!(
+                index.matches_fresh_build(session.graph()),
+                "maintained index diverged from fresh build after: {stmt}"
+            );
+            executed += 1;
+        }
+
+        // Incremental maintenance means the build counter never moved,
+        // no matter what the mutation script did.
+        assert_eq!(session.index_builds(), 1, "silent rebuild detected");
+    }
+}

@@ -23,9 +23,11 @@
 //! ([`cache::QueryCache`]): the key is the parsed statement (spelling
 //! differences normalize away), the value is the fully rendered output,
 //! and every entry is stamped with the write epoch — a mutation
-//! invalidates the whole cache by making every stamp stale, mirroring
-//! the session's reach-index invalidation. Responses report `cache_hit`
-//! so clients (and the `proql_server` bench) can see the cache working.
+//! invalidates the whole cache by making every stamp stale. (The
+//! session's reach index, by contrast, *survives* mutations: it is
+//! repaired in place, so post-mutation misses re-execute against an
+//! index that is still warm.) Responses report `cache_hit` so clients
+//! (and the `proql_server` bench) can see the cache working.
 //!
 //! ```no_run
 //! use lipstick_proql::Session;

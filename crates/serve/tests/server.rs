@@ -456,6 +456,75 @@ fn failed_mutation_that_promotes_still_bumps_the_epoch() {
     handle.shutdown();
 }
 
+/// The reach index now survives mutations (repaired in place), so a
+/// served session keeps answering `ANCESTORS`/`DESCENDANTS` from the
+/// closure across `DELETE PROPAGATE` — while the epoch bump still
+/// invalidates every result cached against the pre-mutation graph.
+#[test]
+fn reach_index_survives_mutations_behind_the_cache() {
+    // Pick a victim and a query root that survives the victim's
+    // deletion cone (with ancestors left to report), using a local
+    // oracle copy of the graph the server is serving.
+    let g = dealers_graph();
+    let victim = lipstick_core::NodeId(0);
+    let (g2, _) = lipstick_core::query::propagate_deletion(&g, victim).unwrap();
+    let root = g2
+        .iter_visible()
+        .find(|(_, n)| n.preds().iter().any(|p| g2.node(*p).is_visible()))
+        .map(|(id, _)| id)
+        .expect("a surviving node with visible ancestors");
+    let ancestors_stmt = format!("ANCESTORS OF #{}", root.0);
+    let encoded_stmt = format!("ANCESTORS+OF+%23{}", root.0);
+
+    let handle = serve_paged("index-epoch.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let built = client.query("BUILD INDEX").unwrap();
+    assert!(built.is_ok(), "got {built:?}");
+    let epoch_after_build = handle.epoch();
+
+    let (_, explain) = http_get_explain(handle.addr(), &encoded_stmt).unwrap();
+    assert!(
+        explain.contains("reach-index lookup") && explain.contains("ancestor closure"),
+        "indexed upward plan expected, got: {explain}"
+    );
+
+    let before = client.query(&ancestors_stmt).unwrap();
+    assert!(before.is_ok(), "got {before:?}");
+    let cached = client.query(&ancestors_stmt).unwrap();
+    assert!(cached.cache_hit(), "second read must come from cache");
+
+    // Mutate: epoch bumps, cache entries die, but the index is
+    // repaired rather than dropped.
+    let del = client
+        .query(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    assert!(del.is_ok(), "got {del:?}");
+    assert_eq!(handle.epoch(), epoch_after_build + 1);
+
+    let (_, explain) = http_get_explain(handle.addr(), &encoded_stmt).unwrap();
+    assert!(
+        explain.contains("reach-index lookup"),
+        "index must survive the mutation, got: {explain}"
+    );
+    assert!(!explain.contains("bfs"), "got: {explain}");
+
+    // The post-mutation answer is freshly computed (no stale hit) and
+    // matches a resident oracle replaying the same statements.
+    let after = client.query(&ancestors_stmt).unwrap();
+    assert!(after.is_ok() && !after.cache_hit());
+    let mut oracle = Session::new(g);
+    oracle.run_one("BUILD INDEX").unwrap();
+    oracle
+        .run_one(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    let expect = oracle.run_one(&ancestors_stmt).unwrap().to_string();
+    assert_eq!(strip_visited(after.body()), strip_visited(&expect));
+
+    drop(client);
+    handle.shutdown();
+}
+
 #[test]
 fn read_only_statements_do_not_bump_the_epoch() {
     let handle = serve_paged("readonly.lpstk", 2);
