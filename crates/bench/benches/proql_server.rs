@@ -38,6 +38,7 @@ fn serve_paged(workers: usize, cache_capacity: usize) -> ServerHandle {
         ServerConfig {
             workers,
             cache_capacity,
+            ..ServerConfig::default()
         },
     )
     .serve("127.0.0.1:0")

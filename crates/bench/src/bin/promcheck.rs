@@ -1,0 +1,66 @@
+//! Validate Prometheus text exposition — a file, stdin, or a live
+//! `lipstick-serve` `/metrics` endpoint.
+//!
+//! CI's smoke step scrapes the self-test server through this binary so
+//! a malformed exposition (bad name, sample before its TYPE line,
+//! non-numeric value, broken histogram family) fails the build rather
+//! than a dashboard three tools downstream.
+//!
+//! Usage:
+//!   promcheck FILE          validate a saved exposition
+//!   promcheck -             validate stdin
+//!   promcheck --addr H:P    scrape http://H:P/metrics and validate
+
+use std::io::Read;
+
+use lipstick_core::obs::{parse_plain_samples, validate_prometheus_text};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first().map(String::as_str) {
+        Some("--addr") => {
+            let addr = args
+                .get(1)
+                .unwrap_or_else(|| usage("--addr needs HOST:PORT"));
+            let (status, body) = lipstick_serve::client::http_get(addr.as_str(), "/metrics")
+                .unwrap_or_else(|e| fail(&format!("scrape {addr}: {e}")));
+            if status != "HTTP/1.1 200 OK" {
+                fail(&format!("scrape {addr}: {status}"));
+            }
+            body
+        }
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(&format!("stdin: {e}")));
+            buf
+        }
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")))
+        }
+        None => usage("missing input"),
+    };
+
+    match validate_prometheus_text(&text) {
+        Ok(()) => {
+            let samples = parse_plain_samples(&text);
+            println!(
+                "ok: {} line(s), {} scalar sample(s)",
+                text.lines().count(),
+                samples.len()
+            );
+        }
+        Err(e) => fail(&format!("invalid exposition: {e}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("promcheck: {msg}\nusage: promcheck FILE | promcheck - | promcheck --addr HOST:PORT");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("promcheck: {msg}");
+    std::process::exit(1);
+}

@@ -27,6 +27,7 @@
 
 pub mod agg;
 pub mod graph;
+pub mod obs;
 pub mod query;
 pub mod semiring;
 pub mod store;

@@ -557,6 +557,9 @@ pub enum Statement {
     DropIndex,
     /// `EXPLAIN stmt` — plan without executing.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE stmt` — execute and report the plan annotated
+    /// with per-operator actuals (rows, visited, reads, wall time).
+    ExplainAnalyze(Box<Statement>),
     /// `STATS` — graph statistics.
     Stats,
 }
@@ -569,6 +572,10 @@ impl Statement {
     /// execute concurrently through [`crate::Session::run_read`];
     /// everything else (`DELETE PROPAGATE`, zooms, index maintenance)
     /// mutates session state and must serialize through `&mut` access.
+    ///
+    /// `EXPLAIN ANALYZE` counts as read-only: it executes its inner
+    /// statement, so the planners reject a mutating inner outright
+    /// rather than letting it slip through a shared session.
     pub fn is_read_only(&self) -> bool {
         !matches!(
             self,
@@ -697,6 +704,7 @@ impl fmt::Display for Statement {
             Statement::BuildIndex => f.write_str("BUILD INDEX"),
             Statement::DropIndex => f.write_str("DROP INDEX"),
             Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::ExplainAnalyze(inner) => write!(f, "EXPLAIN ANALYZE {inner}"),
             Statement::Stats => f.write_str("STATS"),
         }
     }

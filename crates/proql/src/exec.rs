@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 
 use lipstick_core::graph::bitset::BitSet;
 use lipstick_core::graph::stats::stats;
+use lipstick_core::obs::{QueryTrace, TraceCtx, Tracer};
 use lipstick_core::query::{
     depends_on, propagate_deletion_inplace, subgraph, traverse, zoom_in, zoom_out, Direction,
     ReachIndex,
@@ -135,13 +136,18 @@ pub(crate) fn execute_read(
     reach: Option<&ReachIndex>,
     plan: &StmtPlan,
     par: Parallelism,
+    ctx: TraceCtx<'_>,
 ) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
-            let (nodes, visited) = run_set(graph, reach, p, par)?;
-            Ok(crate::shape::apply_shaping(graph, nodes, visited, shaping))
+            let (nodes, visited) = run_set(graph, reach, p, par, ctx)?;
+            let mut span = ctx.span("shaping");
+            let out = crate::shape::apply_shaping(graph, nodes, visited, shaping);
+            span.attr("rows", output_rows(&out));
+            Ok(out)
         }
         StmtPlan::Why { n, .. } => {
+            let _span = ctx.span("why");
             let expr = graph.expr_of(*n);
             Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
@@ -150,6 +156,7 @@ pub(crate) fn execute_read(
             n_prime,
             strategy,
         } => {
+            let _span = ctx.span("depends");
             let value = match strategy {
                 DependsStrategy::Propagation | DependsStrategy::PagedPropagation => {
                     depends_on(graph, *n, *n_prime)?
@@ -170,6 +177,7 @@ pub(crate) fn execute_read(
             Ok(QueryOutput::Bool(value))
         }
         StmtPlan::Eval(n, semiring) => {
+            let _span = ctx.span("eval");
             let expr = graph.expr_of(*n);
             Ok(QueryOutput::Text(eval_expr_in_semiring(
                 *n, &expr, *semiring,
@@ -186,6 +194,15 @@ pub(crate) fn execute_read(
             Ok(QueryOutput::Text(text))
         }
         StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+        StmtPlan::ExplainAnalyze(inner) => {
+            let tracer = Tracer::new();
+            let output = execute_read(graph, reach, inner, par, TraceCtx::root(&tracer))?;
+            Ok(QueryOutput::Text(render_analyze(
+                inner,
+                &tracer.finish(),
+                &output,
+            )))
+        }
         StmtPlan::Delete(_)
         | StmtPlan::ZoomOut { .. }
         | StmtPlan::ZoomIn { .. }
@@ -316,6 +333,7 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             session.reach_index(),
             read_only,
             session.parallelism(),
+            TraceCtx::disabled(),
         ),
     }
 }
@@ -326,6 +344,7 @@ fn run_set(
     reach: Option<&ReachIndex>,
     plan: &SetPlan,
     par: Parallelism,
+    ctx: TraceCtx<'_>,
 ) -> Result<(Vec<NodeId>, usize)> {
     match plan {
         SetPlan::Scan {
@@ -333,20 +352,28 @@ fn run_set(
             filter,
             strategy,
             limit,
-        } => Ok(match strategy {
-            ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter, *limit),
-            // The module scan collects in invocation-component order
-            // and sorts afterwards, so an early-exit limit would be
-            // unsound here — the planner never plants one (see
-            // `SetPlan::push_limit`); the shaping stage truncates.
-            ScanStrategy::ModuleScan { module, .. } => module_scan(graph, module, *class, filter),
-            // Paged strategies only arise in paged sessions; if one
-            // lands here (e.g. a plan replayed after promotion), the
-            // full scan is always correct.
-            ScanStrategy::PostingsScan { .. } | ScanStrategy::PagedFullScan { .. } => {
-                full_scan(graph, *class, filter, *limit)
-            }
-        }),
+        } => {
+            let mut span = ctx.span("scan");
+            let (out, visited) = match strategy {
+                ScanStrategy::FullScan { .. } => full_scan(graph, *class, filter, *limit),
+                // The module scan collects in invocation-component order
+                // and sorts afterwards, so an early-exit limit would be
+                // unsound here — the planner never plants one (see
+                // `SetPlan::push_limit`); the shaping stage truncates.
+                ScanStrategy::ModuleScan { module, .. } => {
+                    module_scan(graph, module, *class, filter)
+                }
+                // Paged strategies only arise in paged sessions; if one
+                // lands here (e.g. a plan replayed after promotion), the
+                // full scan is always correct.
+                ScanStrategy::PostingsScan { .. } | ScanStrategy::PagedFullScan { .. } => {
+                    full_scan(graph, *class, filter, *limit)
+                }
+            };
+            span.attr("rows", out.len() as u64);
+            span.attr("visited", visited as u64);
+            Ok((out, visited))
+        }
         SetPlan::Walk {
             root,
             dir,
@@ -354,17 +381,18 @@ fn run_set(
             filter,
             strategy,
         } => {
+            let mut span = ctx.span("walk");
             let direction = match dir {
                 WalkDir::Ancestors => Direction::Ancestors,
                 WalkDir::Descendants => Direction::Descendants,
             };
-            match strategy {
+            let (nodes, visited) = match strategy {
                 WalkStrategy::Bfs { .. } | WalkStrategy::PagedBfs { .. } => {
                     // Predicate pushed into the traversal's collect step.
                     let (nodes, stats) = traverse(graph, *root, direction, *depth, |id, node| {
                         pred_matches(graph, id, node, filter)
                     })?;
-                    Ok((nodes, stats.visited))
+                    (nodes, stats.visited)
                 }
                 WalkStrategy::ReachIndex { .. } => {
                     let index = reach.expect("planned with a reach index");
@@ -380,13 +408,19 @@ fn run_set(
                             node.is_visible() && pred_matches(graph, *id, node, filter)
                         })
                         .collect();
-                    Ok((nodes, visited))
+                    (nodes, visited)
                 }
-            }
+            };
+            span.attr("rows", nodes.len() as u64);
+            span.attr("visited", visited as u64);
+            Ok((nodes, visited))
         }
         SetPlan::Subgraph { root } => {
+            let mut span = ctx.span("subgraph");
             let result = subgraph(graph, *root)?;
             let visited = result.len();
+            span.attr("rows", result.nodes.len() as u64);
+            span.attr("visited", visited as u64);
             Ok((result.nodes, visited))
         }
         SetPlan::Union(a, b) | SetPlan::Intersect(a, b) => {
@@ -395,19 +429,82 @@ fn run_set(
                 _ => merge_intersect,
             };
             let branches = plan.branches();
-            if par.engaged(graph.len(), branches.len()) {
-                return combine_branches(
+            let engaged = par.engaged(graph.len(), branches.len());
+            // A traced execution always takes the flattened-branches
+            // path, so the span tree has one canonical shape (set-op →
+            // `branch i` children) whatever the thread count; branch
+            // panics are caught per branch exactly like the parallel
+            // workers do, keeping the leftmost-outcome rule intact.
+            if engaged || ctx.enabled() {
+                let label = match plan {
+                    SetPlan::Union(..) => "union",
+                    _ => "intersect",
+                };
+                let mut span = ctx.span(label);
+                let sctx = span.ctx();
+                let run_branch = |i: usize, branch_par: Parallelism| {
+                    let mut bspan = sctx.span_indexed(&format!("branch {i}"), i as u32);
+                    let r = run_set(graph, reach, branches[i], branch_par, bspan.ctx());
+                    if let Ok((nodes, visited)) = &r {
+                        bspan.attr("rows", nodes.len() as u64);
+                        bspan.attr("visited", *visited as u64);
+                    }
+                    r
+                };
+                let results = if engaged {
                     run_tasks_parallel(par.threads, branches.len(), |i| {
-                        run_set(graph, reach, branches[i], Parallelism::SEQUENTIAL)
-                    }),
-                    merge,
-                );
+                        run_branch(i, Parallelism::SEQUENTIAL)
+                    })
+                } else {
+                    (0..branches.len())
+                        .map(|i| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_branch(i, par)
+                            }))
+                        })
+                        .collect()
+                };
+                let out = combine_branches(results, merge);
+                if let Ok((nodes, visited)) = &out {
+                    span.attr("rows", nodes.len() as u64);
+                    span.attr("visited", *visited as u64);
+                }
+                return out;
             }
-            let (xs, va) = run_set(graph, reach, a, par)?;
-            let (ys, vb) = run_set(graph, reach, b, par)?;
+            let (xs, va) = run_set(graph, reach, a, par, ctx)?;
+            let (ys, vb) = run_set(graph, reach, b, par, ctx)?;
             Ok((merge(xs, ys), va + vb))
         }
     }
+}
+
+/// Rows in a query output, for span attributes: node count, table rows,
+/// or 1 for scalars/text.
+pub(crate) fn output_rows(out: &QueryOutput) -> u64 {
+    match out {
+        QueryOutput::Nodes(ns) => ns.nodes.len() as u64,
+        QueryOutput::Table(t) => t.rows.len() as u64,
+        QueryOutput::Deleted { nodes } => nodes.len() as u64,
+        QueryOutput::Bool(_) | QueryOutput::Text(_) | QueryOutput::Message(_) => 1,
+    }
+}
+
+/// Render an `EXPLAIN ANALYZE` answer: the chosen physical plan, the
+/// observed per-operator span tree, and a one-line total. Shared by the
+/// resident and paged executors.
+pub(crate) fn render_analyze(plan: &StmtPlan, trace: &QueryTrace, output: &QueryOutput) -> String {
+    let mut text = format!("explain analyze\n  {plan}\nactuals:\n");
+    for line in trace.render_tree().lines() {
+        text.push_str("  ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(&format!(
+        "total: {} row(s), {} µs",
+        output_rows(output),
+        trace.total_us()
+    ));
+    text
 }
 
 /// One branch's `(sorted nodes, visited)` payload, or its failure.

@@ -28,6 +28,7 @@
 //! MATCH base-nodes INTERSECT ANCESTORS OF #42
 //! BUILD INDEX / DROP INDEX                 -- §5.1 reachability closure
 //! EXPLAIN DEPENDS(#42, 'C2')              -- show the chosen physical plan
+//! EXPLAIN ANALYZE MATCH base-nodes        -- run it, report per-operator actuals
 //! STATS                                    -- graph statistics
 //! ```
 //!
@@ -74,6 +75,17 @@
 //! token-demanding predicate narrows the scan to the token-bearing
 //! kind postings, `module LIKE` unions matching modules' postings, and
 //! a pushed-down `LIMIT` early-exits id-ordered scans.
+//!
+//! ## Observability
+//!
+//! `EXPLAIN ANALYZE <stmt>` executes a read-only statement under a span
+//! tracer ([`lipstick_core::obs`]) and renders the chosen plan next to
+//! per-operator **actuals** — rows produced, nodes visited, backend
+//! records decoded (paged sessions), wall time — on both executors.
+//! Every statement a [`Session`] runs also feeds the process-wide
+//! metrics registry (`lipstick_proql_statements_total`,
+//! `lipstick_proql_statement_us`, index build/repair series), which
+//! `lipstick-serve` exposes at `GET /metrics`.
 
 pub mod ast;
 pub mod error;

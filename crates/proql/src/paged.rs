@@ -8,6 +8,7 @@
 //! backend to a resident graph first (see
 //! [`crate::session::Session::run`]).
 
+use lipstick_core::obs::{SpanGuard, TraceCtx, Tracer};
 use lipstick_core::query::Direction;
 use lipstick_core::store::{
     depends_on_store, expr_of_store, subgraph_store, traverse_store, GraphStore,
@@ -17,10 +18,19 @@ use lipstick_core::{NodeId, NodeKind};
 use crate::ast::{Comparison, Field, FieldValue, NodeClass, Predicate, WalkDir};
 use crate::error::{ProqlError, Result};
 use crate::exec::{
-    combine_branches, eval_expr_in_semiring, run_tasks_parallel, why_text, Parallelism,
+    combine_branches, eval_expr_in_semiring, output_rows, render_analyze, run_tasks_parallel,
+    why_text, Parallelism,
 };
 use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan};
 use crate::result::QueryOutput;
+
+/// Stamp a `reads` attribute on a span from the store's fault-counter
+/// delta around an operator. Parallel branches fault concurrently into
+/// the same counter, so per-branch deltas can overlap there; per-query
+/// totals are always exact.
+fn attr_reads<S: GraphStore>(span: &mut SpanGuard<'_>, store: &S, before: usize) {
+    span.attr("reads", store.records_read().saturating_sub(before) as u64);
+}
 
 /// Execute one planned read-only statement against a paged store. The
 /// `Sync` bound is what lets independent set-operation branches fan out
@@ -30,18 +40,30 @@ pub(crate) fn execute<S: GraphStore + Sync>(
     store: &S,
     plan: &StmtPlan,
     par: Parallelism,
+    ctx: TraceCtx<'_>,
 ) -> Result<QueryOutput> {
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
-            let (nodes, visited) = run_set(store, p, par)?;
-            Ok(crate::shape::apply_shaping(store, nodes, visited, shaping))
+            let (nodes, visited) = run_set(store, p, par, ctx)?;
+            let mut span = ctx.span("shaping");
+            let before = store.records_read();
+            let out = crate::shape::apply_shaping(store, nodes, visited, shaping);
+            span.attr("rows", output_rows(&out));
+            attr_reads(&mut span, store, before);
+            Ok(out)
         }
         StmtPlan::Why { n, .. } => {
+            let mut span = ctx.span("why");
+            let before = store.records_read();
             let expr = expr_of_store(store, *n);
+            attr_reads(&mut span, store, before);
             Ok(QueryOutput::Text(why_text(*n, &expr)))
         }
         StmtPlan::Eval(n, semiring) => {
+            let mut span = ctx.span("eval");
+            let before = store.records_read();
             let expr = expr_of_store(store, *n);
+            attr_reads(&mut span, store, before);
             Ok(QueryOutput::Text(eval_expr_in_semiring(
                 *n, &expr, *semiring,
             )))
@@ -50,7 +72,13 @@ pub(crate) fn execute<S: GraphStore + Sync>(
             n,
             n_prime,
             strategy: DependsStrategy::PagedPropagation,
-        } => Ok(QueryOutput::Bool(depends_on_store(store, *n, *n_prime)?)),
+        } => {
+            let mut span = ctx.span("depends");
+            let before = store.records_read();
+            let value = depends_on_store(store, *n, *n_prime)?;
+            attr_reads(&mut span, store, before);
+            Ok(QueryOutput::Bool(value))
+        }
         StmtPlan::Stats => {
             let visible = (0..store.node_count() as u32)
                 .filter(|i| store.is_visible(NodeId(*i)))
@@ -68,6 +96,15 @@ pub(crate) fn execute<S: GraphStore + Sync>(
             "reach index dropped (paged sessions have none)".into(),
         )),
         StmtPlan::Explain(inner) => Ok(QueryOutput::Text(inner.to_string())),
+        StmtPlan::ExplainAnalyze(inner) => {
+            let tracer = Tracer::new();
+            let output = execute(store, inner, par, TraceCtx::root(&tracer))?;
+            Ok(QueryOutput::Text(render_analyze(
+                inner,
+                &tracer.finish(),
+                &output,
+            )))
+        }
         // Mutating plans are routed through promotion by the session.
         StmtPlan::Delete(_)
         | StmtPlan::ZoomOut { .. }
@@ -84,6 +121,7 @@ fn run_set<S: GraphStore + Sync>(
     store: &S,
     plan: &SetPlan,
     par: Parallelism,
+    ctx: TraceCtx<'_>,
 ) -> Result<(Vec<NodeId>, usize)> {
     match plan {
         SetPlan::Scan {
@@ -92,6 +130,8 @@ fn run_set<S: GraphStore + Sync>(
             strategy,
             limit,
         } => {
+            let mut span = ctx.span("scan");
+            let before = store.records_read();
             // Postings lists are written in ascending id order, and the
             // full-record sweep is ascending by construction — which is
             // what makes the early-exit limit below agree with the
@@ -148,6 +188,9 @@ fn run_set<S: GraphStore + Sync>(
                 }
             }
             out.sort();
+            span.attr("rows", out.len() as u64);
+            span.attr("visited", visited as u64);
+            attr_reads(&mut span, store, before);
             Ok((out, visited))
         }
         SetPlan::Walk {
@@ -157,6 +200,8 @@ fn run_set<S: GraphStore + Sync>(
             filter,
             ..
         } => {
+            let mut span = ctx.span("walk");
+            let before = store.records_read();
             let direction = match dir {
                 WalkDir::Ancestors => Direction::Ancestors,
                 WalkDir::Descendants => Direction::Descendants,
@@ -164,11 +209,19 @@ fn run_set<S: GraphStore + Sync>(
             let (nodes, stats) = traverse_store(store, *root, direction, *depth, |id| {
                 pred_matches(store, id, filter)
             })?;
+            span.attr("rows", nodes.len() as u64);
+            span.attr("visited", stats.visited as u64);
+            attr_reads(&mut span, store, before);
             Ok((nodes, stats.visited))
         }
         SetPlan::Subgraph { root } => {
+            let mut span = ctx.span("subgraph");
+            let before = store.records_read();
             let result = subgraph_store(store, *root)?;
             let visited = result.len();
+            span.attr("rows", result.nodes.len() as u64);
+            span.attr("visited", visited as u64);
+            attr_reads(&mut span, store, before);
             Ok((result.nodes, visited))
         }
         SetPlan::Union(a, b) | SetPlan::Intersect(a, b) => {
@@ -177,16 +230,52 @@ fn run_set<S: GraphStore + Sync>(
                 _ => crate::exec::merge_intersect,
             };
             let branches = plan.branches();
-            if par.engaged(store.node_count(), branches.len()) {
-                return combine_branches(
+            let engaged = par.engaged(store.node_count(), branches.len());
+            // Traced executions always flatten (see the resident
+            // executor's twin arm for why: one canonical span shape,
+            // per-branch panic containment preserved).
+            if engaged || ctx.enabled() {
+                let label = match plan {
+                    SetPlan::Union(..) => "union",
+                    _ => "intersect",
+                };
+                let mut span = ctx.span(label);
+                let before = store.records_read();
+                let sctx = span.ctx();
+                let run_branch = |i: usize, branch_par: Parallelism| {
+                    let mut bspan = sctx.span_indexed(&format!("branch {i}"), i as u32);
+                    let breads = store.records_read();
+                    let r = run_set(store, branches[i], branch_par, bspan.ctx());
+                    if let Ok((nodes, visited)) = &r {
+                        bspan.attr("rows", nodes.len() as u64);
+                        bspan.attr("visited", *visited as u64);
+                    }
+                    attr_reads(&mut bspan, store, breads);
+                    r
+                };
+                let results = if engaged {
                     run_tasks_parallel(par.threads, branches.len(), |i| {
-                        run_set(store, branches[i], Parallelism::SEQUENTIAL)
-                    }),
-                    merge,
-                );
+                        run_branch(i, Parallelism::SEQUENTIAL)
+                    })
+                } else {
+                    (0..branches.len())
+                        .map(|i| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_branch(i, par)
+                            }))
+                        })
+                        .collect()
+                };
+                let out = combine_branches(results, merge);
+                if let Ok((nodes, visited)) = &out {
+                    span.attr("rows", nodes.len() as u64);
+                    span.attr("visited", *visited as u64);
+                }
+                attr_reads(&mut span, store, before);
+                return out;
             }
-            let (xs, va) = run_set(store, a, par)?;
-            let (ys, vb) = run_set(store, b, par)?;
+            let (xs, va) = run_set(store, a, par, ctx)?;
+            let (ys, vb) = run_set(store, b, par, ctx)?;
             Ok((merge(xs, ys), va + vb))
         }
     }

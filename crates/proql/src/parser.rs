@@ -115,6 +115,10 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                let inner = self.statement()?;
+                return Ok(Statement::ExplainAnalyze(Box::new(inner)));
+            }
             let inner = self.statement()?;
             return Ok(Statement::Explain(Box::new(inner)));
         }

@@ -226,6 +226,9 @@ pub enum StmtPlan {
     DropIndex,
     Stats,
     Explain(Box<StmtPlan>),
+    /// Execute the inner plan under a span tracer and render the plan
+    /// annotated with per-operator actuals.
+    ExplainAnalyze(Box<StmtPlan>),
 }
 
 impl fmt::Display for SetPlan {
@@ -404,6 +407,7 @@ impl fmt::Display for StmtPlan {
             StmtPlan::DropIndex => write!(f, "drop reach index"),
             StmtPlan::Stats => write!(f, "graph statistics"),
             StmtPlan::Explain(inner) => write!(f, "explain\n  {inner}"),
+            StmtPlan::ExplainAnalyze(inner) => write!(f, "explain analyze\n  {inner}"),
         }
     }
 }

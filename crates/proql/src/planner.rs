@@ -29,6 +29,17 @@ use crate::ast::{NodeClass, NodeRef, SetExpr, SetTerm, Statement, WalkDir};
 use crate::error::{ProqlError, Result};
 use crate::plan::{DependsStrategy, PostingsKey, ScanStrategy, SetPlan, StmtPlan, WalkStrategy};
 
+/// `EXPLAIN ANALYZE` executes its inner statement, so a mutating inner
+/// must be rejected at plan time — identically by both planners, so the
+/// resident, paged, and served engines return the same error text.
+fn reject_mutating_analyze(inner: &Statement) -> Result<()> {
+    if inner.is_read_only() {
+        Ok(())
+    } else {
+        Err(ProqlError::ReadOnly(format!("EXPLAIN ANALYZE {inner}")))
+    }
+}
+
 /// Plans statements against a graph snapshot.
 pub struct Planner<'a> {
     graph: &'a ProvGraph,
@@ -116,6 +127,10 @@ impl<'a> Planner<'a> {
             Statement::DropIndex => StmtPlan::DropIndex,
             Statement::Stats => StmtPlan::Stats,
             Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
+            Statement::ExplainAnalyze(inner) => {
+                reject_mutating_analyze(inner)?;
+                StmtPlan::ExplainAnalyze(Box::new(self.plan(inner)?))
+            }
         })
     }
 
@@ -374,6 +389,10 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
             Statement::DropIndex => StmtPlan::DropIndex,
             Statement::Stats => StmtPlan::Stats,
             Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
+            Statement::ExplainAnalyze(inner) => {
+                reject_mutating_analyze(inner)?;
+                StmtPlan::ExplainAnalyze(Box::new(self.plan(inner)?))
+            }
         })
     }
 
@@ -477,14 +496,53 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
             }
         }
         match best {
-            Some((key, postings)) => ScanStrategy::PostingsScan {
-                key,
-                postings,
-                total_records: self.total_records,
-            },
+            // The per-list sums above are cheap *comparison* costs; the
+            // number the plan reports ("reads X of Y records") is
+            // recomputed from the chosen key as the deduplicated union
+            // the executor will actually materialize, so the estimate
+            // and `EXPLAIN ANALYZE` actuals are comparable.
+            Some((key, _)) => {
+                let postings = self.chosen_postings_len(&key);
+                ScanStrategy::PostingsScan {
+                    key,
+                    postings,
+                    total_records: self.total_records,
+                }
+            }
             None => ScanStrategy::PagedFullScan {
                 total_records: self.total_records,
             },
         }
+    }
+
+    /// Exactly how many candidate records the executor faults for a
+    /// chosen postings key — mirrors the union + dedup in
+    /// `crate::paged::run_set`.
+    fn chosen_postings_len(&self, key: &PostingsKey) -> usize {
+        let ids = match key {
+            PostingsKey::Module(m) => self.store.module_postings(m),
+            PostingsKey::Kind(k) => self.store.kind_postings(k),
+            PostingsKey::TokenKinds => {
+                let mut ids = self.store.kind_postings("base_tuple").unwrap_or_default();
+                ids.extend(
+                    self.store
+                        .kind_postings("workflow_input")
+                        .unwrap_or_default(),
+                );
+                ids.sort_unstable();
+                ids.dedup();
+                Some(ids)
+            }
+            PostingsKey::ModuleLike { modules, .. } => {
+                let mut ids: Vec<NodeId> = modules
+                    .iter()
+                    .flat_map(|m| self.store.module_postings(m).unwrap_or_default())
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                Some(ids)
+            }
+        };
+        ids.map_or(0, |ids| ids.len())
     }
 }

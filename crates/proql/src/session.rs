@@ -9,7 +9,10 @@
 //! and `QueryOutput::Table` flows to callers like any other output.
 
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
+use lipstick_core::obs::{self, TraceCtx, Tracer};
 use lipstick_core::query::ReachIndex;
 use lipstick_core::store::GraphStore;
 use lipstick_core::ProvGraph;
@@ -28,8 +31,45 @@ use crate::result::QueryOutput;
 enum Backend {
     /// Fully decoded, mutable graph.
     Resident(ProvGraph),
-    /// Footer-indexed v2 log; records fault in per query.
-    Paged(PagedLog),
+    /// Footer-indexed v2 log; records fault in per query. Boxed: the
+    /// log (fault cache, postings, instruments) dwarfs the resident
+    /// variant's inline size.
+    Paged(Box<PagedLog>),
+}
+
+/// The session's handles into the process-wide metrics registry,
+/// resolved once at construction.
+struct Instruments {
+    statements: Arc<obs::Counter>,
+    statement_us: Arc<obs::Histogram>,
+    index_builds: Arc<obs::Counter>,
+    repair_us: Arc<obs::Histogram>,
+}
+
+impl Instruments {
+    fn get() -> Instruments {
+        let reg = obs::registry();
+        Instruments {
+            statements: reg.counter(
+                "lipstick_proql_statements_total",
+                "ProQL statements executed (all sessions)",
+            ),
+            statement_us: reg.histogram(
+                "lipstick_proql_statement_us",
+                "Per-statement execution latency in microseconds",
+                obs::LATENCY_BUCKETS_US,
+            ),
+            index_builds: reg.counter(
+                "lipstick_proql_index_builds_total",
+                "Reach-index builds from scratch (repairs excluded)",
+            ),
+            repair_us: reg.histogram(
+                "lipstick_proql_index_repair_us",
+                "In-place reach-index repair latency in microseconds",
+                obs::LATENCY_BUCKETS_US,
+            ),
+        }
+    }
 }
 
 /// Query-processor state: the graph under interrogation plus the
@@ -55,6 +95,13 @@ pub struct Session {
     /// — lets tests pin down that promotion and incremental
     /// maintenance never trigger a silent second rebuild.
     index_builds: u64,
+    /// Records decoded by paged backends this session has since
+    /// promoted away — keeps [`Session::records_read`] monotonic across
+    /// promotion instead of silently resetting to zero.
+    carried_reads: usize,
+    /// Registry handles (statement counts/latency, index builds,
+    /// repair latency).
+    instruments: Instruments,
 }
 
 impl Session {
@@ -65,6 +112,8 @@ impl Session {
             reach: None,
             parallel: Parallelism::default_for_host(),
             index_builds: 0,
+            carried_reads: 0,
+            instruments: Instruments::get(),
         }
     }
 
@@ -92,10 +141,12 @@ impl Session {
         }
         let log = PagedLog::from_bytes(data).map_err(|e| ProqlError::Storage(e.to_string()))?;
         Ok(Session {
-            backend: Backend::Paged(log),
+            backend: Backend::Paged(Box::new(log)),
             reach: None,
             parallel: Parallelism::default_for_host(),
             index_builds: 0,
+            carried_reads: 0,
+            instruments: Instruments::get(),
         })
     }
 
@@ -132,13 +183,16 @@ impl Session {
         matches!(self.backend, Backend::Paged(_))
     }
 
-    /// Node records decoded so far by a paged session (0 once resident:
-    /// the question no longer applies).
+    /// Node records decoded by this session's paged backends — including
+    /// any backend a promoting mutation has since replaced, so the
+    /// figure is monotonic for the session's lifetime (it used to reset
+    /// to zero on promotion). A session born resident reports 0.
     pub fn records_read(&self) -> usize {
-        match &self.backend {
-            Backend::Resident(_) => 0,
-            Backend::Paged(log) => log.records_read(),
-        }
+        self.carried_reads
+            + match &self.backend {
+                Backend::Resident(_) => 0,
+                Backend::Paged(log) => log.records_read(),
+            }
     }
 
     /// The resident graph, when there is one (`None` while paged).
@@ -166,6 +220,9 @@ impl Session {
             let graph = log
                 .decode_full()
                 .map_err(|e| ProqlError::Storage(e.to_string()))?;
+            // Dropping the log would silently zero `records_read`; bank
+            // its figure first so the session's count stays monotonic.
+            self.carried_reads += log.records_read();
             self.backend = Backend::Resident(graph);
         }
         Ok(self.graph())
@@ -191,7 +248,10 @@ impl Session {
 
     pub(crate) fn set_index(&mut self, index: ReachIndex) {
         self.reach = Some(index);
+        // Per-session count (tests pin exact values) plus the
+        // process-wide registry series.
         self.index_builds += 1;
+        self.instruments.index_builds.inc();
     }
 
     /// Drop the reachability closure (`DROP INDEX`).
@@ -209,7 +269,11 @@ impl Session {
             return;
         };
         if let Some(index) = self.reach.as_mut() {
+            let start = Instant::now();
             index.repair(graph, changed);
+            self.instruments
+                .repair_us
+                .observe(start.elapsed().as_micros() as u64);
             debug_assert!(
                 index.matches_fresh_build(graph),
                 "incremental reach-index repair diverged from a fresh build"
@@ -262,13 +326,19 @@ impl Session {
         if self.is_paged() && Session::needs_resident(&fs.stmt) {
             self.materialize()?;
         }
-        match &self.backend {
+        let start = Instant::now();
+        let out = match &self.backend {
             Backend::Resident(graph) => {
                 let plan = Planner::new(graph, self.reach.as_ref()).plan_fused(fs)?;
                 exec::execute(self, &plan)
             }
-            Backend::Paged(log) => run_paged(log, &fs.stmt, self.parallel),
-        }
+            Backend::Paged(log) => run_paged(log, &fs.stmt, self.parallel, TraceCtx::disabled()),
+        };
+        self.instruments.statements.inc();
+        self.instruments
+            .statement_us
+            .observe(start.elapsed().as_micros() as u64);
+        out
     }
 
     /// Run exactly one **read-only** statement through a shared
@@ -289,16 +359,40 @@ impl Session {
 
     /// [`Session::run_read`] for an already parsed statement.
     pub fn run_read_stmt(&self, stmt: &Statement) -> Result<QueryOutput> {
+        self.run_read_stmt_traced(stmt, None)
+    }
+
+    /// [`Session::run_read_stmt`], recording plan/execute/per-operator
+    /// spans into `tracer` when one is supplied — how `lipstick-serve`
+    /// captures a [`lipstick_core::obs::QueryTrace`] per statement for
+    /// its slow-query log. With `None` this is exactly
+    /// [`Session::run_read_stmt`].
+    pub fn run_read_stmt_traced(
+        &self,
+        stmt: &Statement,
+        tracer: Option<&Tracer>,
+    ) -> Result<QueryOutput> {
         if !stmt.is_read_only() {
             return Err(ProqlError::ReadOnly(stmt_summary(stmt)));
         }
-        match &self.backend {
+        let ctx = tracer.map_or(TraceCtx::disabled(), TraceCtx::root);
+        let start = Instant::now();
+        let out = match &self.backend {
             Backend::Resident(graph) => {
-                let plan = Planner::new(graph, self.reach.as_ref()).plan(stmt)?;
-                exec::execute_read(graph, self.reach_index(), &plan, self.parallel)
+                let plan = {
+                    let _span = ctx.span("plan");
+                    Planner::new(graph, self.reach.as_ref()).plan(stmt)?
+                };
+                let span = ctx.span("execute");
+                exec::execute_read(graph, self.reach_index(), &plan, self.parallel, span.ctx())
             }
-            Backend::Paged(log) => run_paged(log, stmt, self.parallel),
-        }
+            Backend::Paged(log) => run_paged(log, stmt, self.parallel, ctx),
+        };
+        self.instruments.statements.inc();
+        self.instruments
+            .statement_us
+            .observe(start.elapsed().as_micros() as u64);
+        out
     }
 
     /// Plan a statement without executing it, against whichever backend
@@ -308,7 +402,9 @@ impl Session {
             Backend::Resident(graph) => Planner::new(graph, self.reach.as_ref()).plan(stmt),
             // Planning faults records too (token resolution), so it
             // needs the same corruption containment as execution.
-            Backend::Paged(log) => contain_corruption(|| PagedPlanner::new(log).plan(stmt)),
+            Backend::Paged(log) => {
+                contain_corruption(|| PagedPlanner::new(log.as_ref()).plan(stmt))
+            }
         }
     }
 
@@ -327,10 +423,19 @@ impl Session {
 /// GraphStore accessors. Contain that panic here so corrupt input
 /// surfaces as an error, never an abort — the same contract every other
 /// corruption path honours.
-fn run_paged(log: &PagedLog, stmt: &Statement, par: Parallelism) -> Result<QueryOutput> {
+fn run_paged(
+    log: &PagedLog,
+    stmt: &Statement,
+    par: Parallelism,
+    ctx: TraceCtx<'_>,
+) -> Result<QueryOutput> {
     contain_corruption(|| {
-        let plan = PagedPlanner::new(log).plan(stmt)?;
-        paged::execute(log, &plan, par)
+        let plan = {
+            let _span = ctx.span("plan");
+            PagedPlanner::new(log).plan(stmt)?
+        };
+        let span = ctx.span("execute");
+        paged::execute(log, &plan, par, span.ctx())
     })
 }
 

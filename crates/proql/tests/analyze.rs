@@ -1,0 +1,188 @@
+//! Ground truth for `EXPLAIN ANALYZE`: the rendered actuals must equal
+//! the counters the executors themselves report — `rows`/`visited`
+//! against the returned node-set result, `reads` against the session's
+//! backend record-decode counter. Shape invariance is locked down too:
+//! a traced set operation renders the same span tree whether branches
+//! ran sequentially or on the worker pool.
+
+use lipstick_core::{GraphTracker, ProvGraph};
+use lipstick_proql::{Parallelism, QueryOutput, Session};
+use lipstick_storage::write_graph_v2;
+use lipstick_workflowgen::dealers::{self, DealersParams};
+
+fn dealers_graph() -> ProvGraph {
+    let params = DealersParams {
+        num_cars: 24,
+        num_exec: 2,
+        seed: 11,
+    };
+    let mut tracker = GraphTracker::new();
+    dealers::run_declining(&params, &mut tracker).expect("dealers run");
+    tracker.finish()
+}
+
+fn temp_log(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lipstick-analyze-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_graph_v2(&dealers_graph(), &path).unwrap();
+    path
+}
+
+/// The value of `key=` on the first actuals line whose label matches.
+/// (The plan section above `actuals:` repeats operator names without
+/// attributes, so the search starts below it.)
+fn attr_on(analyze: &str, label: &str, key: &str) -> u64 {
+    let at = analyze
+        .find("actuals:")
+        .unwrap_or_else(|| panic!("no actuals section in:\n{analyze}"));
+    let line = analyze[at..]
+        .lines()
+        .find(|l| l.trim_start().starts_with(label))
+        .unwrap_or_else(|| panic!("no `{label}` span in:\n{analyze}"));
+    let field = line
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= on `{line}` in:\n{analyze}"));
+    field.parse().unwrap()
+}
+
+fn analyze_text(session: &Session, stmt: &str) -> String {
+    match session
+        .run_read(&format!("EXPLAIN ANALYZE {stmt}"))
+        .unwrap_or_else(|e| panic!("ANALYZE {stmt}: {e}"))
+    {
+        QueryOutput::Text(t) => t,
+        other => panic!("ANALYZE must render text, got {other:?}"),
+    }
+}
+
+/// Resident executor: `rows`/`visited` on the scan span are exactly the
+/// node-set result's count and visited mask size.
+#[test]
+fn resident_actuals_match_the_returned_result() {
+    let session = Session::new(dealers_graph());
+    for stmt in [
+        "MATCH m-nodes",
+        "MATCH base-nodes WHERE token LIKE 'C%'",
+        "DESCENDANTS OF #0 DEPTH 3",
+    ] {
+        let QueryOutput::Nodes(ns) = session.run_read(stmt).unwrap() else {
+            panic!("{stmt} must return nodes");
+        };
+        let analyze = analyze_text(&session, stmt);
+        let label = if stmt.starts_with("DESCENDANTS") {
+            "walk"
+        } else {
+            "scan"
+        };
+        assert_eq!(
+            attr_on(&analyze, label, "rows"),
+            ns.len() as u64,
+            "{stmt}\n{analyze}"
+        );
+        assert_eq!(
+            attr_on(&analyze, label, "visited"),
+            ns.visited as u64,
+            "{stmt}\n{analyze}"
+        );
+        assert!(analyze.contains("actuals:"), "{analyze}");
+        assert!(analyze.contains("total: "), "{analyze}");
+    }
+}
+
+/// Paged executor: the `reads` attributes are deltas of the session's
+/// record-decode counter, so under sequential execution the top-level
+/// spans' reads sum to exactly the statement's records_read() delta.
+#[test]
+fn paged_reads_attrs_sum_to_the_records_read_delta() {
+    let session = Session::open(temp_log("reads.lpstk")).unwrap();
+    assert!(session.is_paged());
+    for stmt in ["MATCH base-nodes", "MATCH m-nodes GROUP BY module"] {
+        let before = session.records_read();
+        let analyze = analyze_text(&session, stmt);
+        let delta = (session.records_read() - before) as u64;
+        let scan = attr_on(&analyze, "scan", "reads");
+        let shaping = attr_on(&analyze, "shaping", "reads");
+        assert_eq!(
+            scan + shaping,
+            delta,
+            "{stmt}: span reads must account for every decode\n{analyze}"
+        );
+    }
+}
+
+/// The traced span tree has one canonical shape: a set operation always
+/// renders flattened `branch i` spans with identical rows, whether the
+/// branches ran sequentially or engaged the worker pool.
+#[test]
+fn set_op_actuals_are_identical_across_parallelism_modes() {
+    let stmt = "MATCH base-nodes UNION MATCH m-nodes UNION MATCH o-nodes";
+
+    let mut sequential = Session::new(dealers_graph());
+    sequential.set_parallelism_policy(Parallelism::SEQUENTIAL);
+    let seq = analyze_text(&sequential, stmt);
+
+    let mut parallel = Session::new(dealers_graph());
+    parallel.set_parallelism_policy(Parallelism {
+        threads: 4,
+        min_nodes: 0, // force the worker-pool path
+    });
+    let par = analyze_text(&parallel, stmt);
+
+    for text in [&seq, &par] {
+        assert!(text.contains("union rows="), "{text}");
+        for i in 0..3 {
+            assert!(text.contains(&format!("branch {i} rows=")), "{text}");
+        }
+    }
+    for label in ["union", "branch 0", "branch 1", "branch 2"] {
+        assert_eq!(
+            attr_on(&seq, label, "rows"),
+            attr_on(&par, label, "rows"),
+            "rows for {label} must not depend on scheduling\nseq:\n{seq}\npar:\n{par}"
+        );
+        assert_eq!(
+            attr_on(&seq, label, "visited"),
+            attr_on(&par, label, "visited"),
+            "visited for {label} must not depend on scheduling"
+        );
+    }
+}
+
+/// `EXPLAIN ANALYZE` executes its statement, so a mutating inner is
+/// rejected by both planners with the read-only error.
+#[test]
+fn analyze_of_a_mutation_is_rejected_by_both_planners() {
+    let resident = Session::new(dealers_graph());
+    let paged = Session::open(temp_log("reject.lpstk")).unwrap();
+    for session in [&resident, &paged] {
+        let err = session
+            .run_read("EXPLAIN ANALYZE DELETE #0 PROPAGATE")
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("read-only") && err.contains("EXPLAIN ANALYZE DELETE #0 PROPAGATE"),
+            "{err}"
+        );
+    }
+}
+
+/// Promotion must not reset the session's cumulative read counter: the
+/// paged-era decodes are banked, so `records_read()` stays monotonic.
+#[test]
+fn records_read_is_monotonic_across_promotion() {
+    let mut session = Session::open(temp_log("promote.lpstk")).unwrap();
+    session.run_one("MATCH base-nodes").unwrap();
+    let paged_reads = session.records_read();
+    assert!(paged_reads > 0, "a paged scan decodes records");
+
+    // First mutation promotes to resident.
+    session.run_one("BUILD INDEX").unwrap();
+    assert!(!session.is_paged());
+    assert!(
+        session.records_read() >= paged_reads,
+        "promotion must bank paged-era reads, not reset them: {} < {paged_reads}",
+        session.records_read()
+    );
+}

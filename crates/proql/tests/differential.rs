@@ -196,6 +196,116 @@ fn shrink_divergence(
     }
 }
 
+/// Replace the digits after every occurrence of `key` with `_`.
+fn mask_digits_after(s: &str, key: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find(key) {
+        let tail = &rest[at + key.len()..];
+        let digits = tail.chars().take_while(char::is_ascii_digit).count();
+        out.push_str(&rest[..at]);
+        out.push_str(key);
+        out.push('_');
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Drop every ` reads=N` attribute: only paged backends charge record
+/// decodes, so the resident rendering has no such field at all.
+fn strip_reads(s: &str) -> String {
+    let key = " reads=";
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find(key) {
+        let tail = &rest[at + key.len()..];
+        let digits = tail.chars().take_while(char::is_ascii_digit).count();
+        out.push_str(&rest[..at]);
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Reduce an `EXPLAIN ANALYZE` answer to its cross-engine-comparable
+/// core: the `actuals:` section onward (the plan section above it is
+/// legitimately backend-specific), with wall times masked, visited
+/// figures masked (resident scans sweep nodes, paged scans count
+/// postings candidates), and paged-only `reads=` attributes dropped.
+/// What remains — the span tree's shape, labels, and `rows=` values —
+/// must agree byte-for-byte across engines.
+fn comparable_actuals(answer: Answer) -> Answer {
+    match answer {
+        Answer::Ok(body) => {
+            let at = body
+                .find("actuals:")
+                .unwrap_or_else(|| panic!("no actuals section in: {body}"));
+            Answer::Ok(strip_reads(&mask_digits_after(
+                &mask_digits_after(
+                    // The summary line's wall time: `total: N row(s), T µs`.
+                    &mask_digits_after(&body[at..], "row(s), "),
+                    "time_us=",
+                ),
+                "visited=",
+            )))
+        }
+        err => err,
+    }
+}
+
+/// `EXPLAIN ANALYZE` is differential too: for every generated read-only
+/// statement, the span tree of actuals (structure, labels, row counts)
+/// must be identical across the resident executor, the paged executor,
+/// and a server round trip — only timings, visited costs, and paged
+/// fault counts are backend-dependent.
+#[test]
+fn explain_analyze_actuals_agree_across_engines() {
+    let budget = (case_budget() / 4).max(16);
+    let mut rng = Rng::new(0x0b5e_12ab_1e0a_c715);
+    let mut executed = 0usize;
+    let mut graph_tag = 1_000usize; // distinct temp-file range from the main test
+
+    while executed < budget {
+        let graph = random_graph(&mut rng);
+        let vocab = Vocab::from_graph(&graph);
+        let path = temp_log(&graph, graph_tag);
+        graph_tag += 1;
+
+        let resident = Session::load(&path).unwrap();
+        let paged = Session::open(&path).unwrap();
+        let handle = Server::new(
+            Session::open(&path).unwrap(),
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 128,
+                ..ServerConfig::default()
+            },
+        )
+        .serve("127.0.0.1:0")
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        for _ in 0..(STMTS_PER_GRAPH / 2).min(budget - executed) {
+            let stmt = testgen::statement(&vocab, &mut rng);
+            let text = format!("EXPLAIN ANALYZE {stmt}");
+            let r = comparable_actuals(local_answer(&resident, &text));
+            let p = comparable_actuals(local_answer(&paged, &text));
+            let s = comparable_actuals(server_answer(&mut client, &text));
+            assert!(
+                r == p && p == s,
+                "ANALYZE actuals diverged.\n  statement: {text}\n  resident: {r:?}\n  \
+                 paged:    {p:?}\n  server:   {s:?}"
+            );
+            executed += 1;
+        }
+
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 #[test]
 fn differential_resident_paged_server() {
     let budget = case_budget();
@@ -217,6 +327,7 @@ fn differential_resident_paged_server() {
             ServerConfig {
                 workers: 2,
                 cache_capacity: 128,
+                ..ServerConfig::default()
             },
         )
         .serve("127.0.0.1:0")

@@ -68,6 +68,15 @@ pub fn http_get_explain(
     )
 }
 
+/// Issue one HTTP `GET` for an arbitrary target (`/metrics`,
+/// `/slow?n=…`) and return `(status line, body)`.
+pub fn http_get(addr: impl ToSocketAddrs, target: &str) -> std::io::Result<(String, String)> {
+    http_request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: lipstick\r\n\r\n"),
+    )
+}
+
 fn http_request(addr: impl ToSocketAddrs, raw: &str) -> std::io::Result<(String, String)> {
     use std::io::Read;
     let mut stream = TcpStream::connect(addr)?;

@@ -7,11 +7,17 @@
 //! optional. Responses are framed by a header line:
 //!
 //! ```text
-//! OK <payload-lines> cache_hit=<0|1> epoch=<n>
+//! OK <payload-lines> cache_hit=<0|1> epoch=<n> time_us=<µs> reads=<n>
 //! <payload line 1>
 //! …
 //! ERR <single-line message>
 //! ```
+//!
+//! `time_us` is the server-side wall time spent answering (cache hits
+//! report the lookup time, not the original execution), and `reads` is
+//! the number of backend record decodes the statement charged — 0 for
+//! resident backends and cache hits. Clients that predate these
+//! trailers still parse: both fields default to 0 when absent.
 //!
 //! The header names how many payload lines follow, so clients never
 //! sniff for prompts or blank lines. Connections are persistent: a
@@ -58,6 +64,11 @@ pub enum Reply {
     Ok {
         cache_hit: bool,
         epoch: u64,
+        /// Server-side wall time for this response, microseconds.
+        time_us: u64,
+        /// Backend record decodes charged to this statement (0 on
+        /// resident backends and cache hits).
+        reads: u64,
         /// Payload lines, joined with `\n`.
         body: String,
     },
@@ -93,11 +104,34 @@ impl Reply {
             Reply::Err(_) => None,
         }
     }
+
+    /// Server-side wall time, if the reply was a success.
+    pub fn time_us(&self) -> Option<u64> {
+        match self {
+            Reply::Ok { time_us, .. } => Some(*time_us),
+            Reply::Err(_) => None,
+        }
+    }
+
+    /// Backend record decodes charged, if the reply was a success.
+    pub fn reads(&self) -> Option<u64> {
+        match self {
+            Reply::Ok { reads, .. } => Some(*reads),
+            Reply::Err(_) => None,
+        }
+    }
 }
 
 /// Write a success response: header line, then the payload split into
 /// counted lines.
-pub fn write_ok(w: &mut impl Write, payload: &str, cache_hit: bool, epoch: u64) -> Result<()> {
+pub fn write_ok(
+    w: &mut impl Write,
+    payload: &str,
+    cache_hit: bool,
+    epoch: u64,
+    time_us: u64,
+    reads: u64,
+) -> Result<()> {
     let lines: Vec<&str> = if payload.is_empty() {
         Vec::new()
     } else {
@@ -105,7 +139,7 @@ pub fn write_ok(w: &mut impl Write, payload: &str, cache_hit: bool, epoch: u64) 
     };
     writeln!(
         w,
-        "OK {} cache_hit={} epoch={epoch}",
+        "OK {} cache_hit={} epoch={epoch} time_us={time_us} reads={reads}",
         lines.len(),
         u8::from(cache_hit)
     )?;
@@ -157,6 +191,17 @@ pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
         .and_then(|s| s.strip_prefix("epoch="))
         .and_then(|s| s.parse().ok())
         .ok_or_else(parse_fail)?;
+    // Timing trailers are newer than the framing: absent fields (an
+    // older server) default to 0 rather than failing the parse.
+    let mut time_us = 0u64;
+    let mut reads = 0u64;
+    for field in fields {
+        if let Some(v) = field.strip_prefix("time_us=") {
+            time_us = v.parse().map_err(|_| parse_fail())?;
+        } else if let Some(v) = field.strip_prefix("reads=") {
+            reads = v.parse().map_err(|_| parse_fail())?;
+        }
+    }
     // The header is untrusted wire input: never let a declared count
     // drive the allocation (the payload lines themselves will grow the
     // vector if they actually arrive).
@@ -174,6 +219,8 @@ pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
     Ok(Some(Reply::Ok {
         cache_hit,
         epoch,
+        time_us,
+        reads,
         body: body_lines.join("\n"),
     }))
 }
@@ -216,6 +263,19 @@ pub fn write_http_json(w: &mut impl Write, status: &str, body: &str) -> Result<(
     write!(
         w,
         "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// Write an HTTP response with a plain-text body — the Prometheus
+/// `/metrics` exposition, which scrapers expect as
+/// `text/plain; version=0.0.4`.
+pub fn write_http_text(w: &mut impl Write, status: &str, body: &str) -> Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\
          Connection: close\r\n\r\n{body}",
         body.len()
     )?;
@@ -295,7 +355,7 @@ mod tests {
     #[test]
     fn ok_reply_roundtrips() {
         let mut buf = Vec::new();
-        write_ok(&mut buf, "line one\nline two", true, 7).unwrap();
+        write_ok(&mut buf, "line one\nline two", true, 7, 142, 9).unwrap();
         let mut r = std::io::BufReader::new(&buf[..]);
         let reply = read_reply(&mut r).unwrap().unwrap();
         assert_eq!(
@@ -303,6 +363,8 @@ mod tests {
             Reply::Ok {
                 cache_hit: true,
                 epoch: 7,
+                time_us: 142,
+                reads: 9,
                 body: "line one\nline two".into()
             }
         );
@@ -312,7 +374,7 @@ mod tests {
     #[test]
     fn empty_payload_roundtrips() {
         let mut buf = Vec::new();
-        write_ok(&mut buf, "", false, 0).unwrap();
+        write_ok(&mut buf, "", false, 0, 0, 0).unwrap();
         let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))
             .unwrap()
             .unwrap();
@@ -321,7 +383,29 @@ mod tests {
             Reply::Ok {
                 cache_hit: false,
                 epoch: 0,
+                time_us: 0,
+                reads: 0,
                 body: String::new()
+            }
+        );
+    }
+
+    /// A header from a pre-trailer server (no `time_us=`/`reads=`)
+    /// still parses, defaulting both fields to 0.
+    #[test]
+    fn headers_without_timing_trailers_still_parse() {
+        let wire = b"OK 1 cache_hit=0 epoch=3\nhello\n";
+        let reply = read_reply(&mut std::io::BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            reply,
+            Reply::Ok {
+                cache_hit: false,
+                epoch: 3,
+                time_us: 0,
+                reads: 0,
+                body: "hello".into()
             }
         );
     }

@@ -18,21 +18,24 @@
 //! one-shot), so `workers` bounds the number of concurrently served
 //! clients.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use lipstick_core::obs::{self, Tracer};
 use lipstick_proql::ast::Statement;
 use lipstick_proql::parser::parse_statement;
-use lipstick_proql::result::json_escape;
+use lipstick_proql::result::{json_escape, QueryOutput};
 use lipstick_proql::Session;
 
 use crate::cache::{CachedResult, QueryCache};
 use crate::proto::{
     classify_first_line, percent_decode, read_http_request_rest, write_err, write_http_json,
-    write_ok, FirstLine,
+    write_http_text, write_ok, FirstLine,
 };
 
 /// Server tuning knobs.
@@ -42,6 +45,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Read statements at least this slow (server-side, microseconds)
+    /// land in the slow-query ring with their full trace. 0 records
+    /// every traced read; `u64::MAX` effectively disables the ring.
+    pub slow_threshold_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +56,71 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             cache_capacity: 256,
+            slow_threshold_us: 1_000,
+        }
+    }
+}
+
+/// Slow-query ring capacity: old entries fall off the back.
+const SLOW_LOG_CAPACITY: usize = 64;
+
+/// One slow read, kept with its full span trace for `GET /slow`.
+struct SlowEntry {
+    /// Canonical statement rendering (the cache key).
+    stmt: String,
+    time_us: u64,
+    reads: u64,
+    epoch: u64,
+    /// `QueryTrace::to_json()` — a JSON array of span objects.
+    trace_json: String,
+}
+
+/// Process-global registry series the server feeds. Per-handle exact
+/// counts stay on [`Shared`]'s atomics (tests pin those); these series
+/// aggregate across every server in the process for `GET /metrics`.
+struct Instruments {
+    queries: Arc<obs::Counter>,
+    mutations: Arc<obs::Counter>,
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    connections: Arc<obs::Counter>,
+    response_us: Arc<obs::Histogram>,
+    epoch: Arc<obs::Gauge>,
+}
+
+impl Instruments {
+    fn get() -> Instruments {
+        let r = obs::registry();
+        Instruments {
+            queries: r.counter(
+                "lipstick_serve_queries_total",
+                "Statements received over both protocols, parse errors included",
+            ),
+            mutations: r.counter(
+                "lipstick_serve_mutations_total",
+                "Successful mutating statements",
+            ),
+            cache_hits: r.counter(
+                "lipstick_serve_cache_hits_total",
+                "Read statements answered from the plan-keyed result cache",
+            ),
+            cache_misses: r.counter(
+                "lipstick_serve_cache_misses_total",
+                "Read statements that executed because no fresh cache entry existed",
+            ),
+            connections: r.counter(
+                "lipstick_serve_connections_total",
+                "Connections accepted (line protocol and HTTP shim)",
+            ),
+            response_us: r.histogram(
+                "lipstick_serve_response_us",
+                "Server-side wall time per statement, microseconds",
+                obs::LATENCY_BUCKETS_US,
+            ),
+            epoch: r.gauge(
+                "lipstick_serve_epoch",
+                "Write epoch of the most recently mutated server in this process",
+            ),
         }
     }
 }
@@ -62,6 +134,9 @@ struct Shared {
     cache: QueryCache,
     queries: AtomicU64,
     mutations: AtomicU64,
+    instruments: Instruments,
+    slow: Mutex<VecDeque<SlowEntry>>,
+    slow_threshold_us: u64,
 }
 
 /// The outcome of one statement, ready for either wire format.
@@ -69,6 +144,13 @@ struct Outcome {
     result: Result<CachedResult, String>,
     cache_hit: bool,
     epoch: u64,
+    /// Server-side wall time answering this statement, microseconds.
+    time_us: u64,
+    /// Backend record decodes charged to this statement. Deltas of the
+    /// session-wide counter, so concurrent readers can bleed into each
+    /// other's figures — per-statement numbers are exact only under
+    /// sequential load; the process totals are always exact.
+    reads: u64,
 }
 
 impl Shared {
@@ -76,7 +158,9 @@ impl Shared {
     /// statements) populate the cache. The single execution path both
     /// protocols share.
     fn run_statement(&self, input: &str) -> Outcome {
+        let start = Instant::now();
         self.queries.fetch_add(1, Ordering::Relaxed);
+        self.instruments.queries.inc();
         let stmt = match parse_statement(input) {
             Ok(stmt) => stmt,
             Err(e) => {
@@ -84,62 +168,146 @@ impl Shared {
                     result: Err(e.to_string()),
                     cache_hit: false,
                     epoch: self.epoch.load(Ordering::Acquire),
+                    time_us: elapsed_us(start),
+                    reads: 0,
                 }
             }
         };
-        if stmt.is_read_only() {
-            self.run_read(&stmt)
+        let outcome = if matches!(stmt, Statement::Stats) {
+            // STATS reports live state (including these very counters),
+            // so it bypasses the cache and gets the server's own lines
+            // appended.
+            self.run_stats(start)
+        } else if stmt.is_read_only() {
+            self.run_read(&stmt, start)
         } else {
-            self.run_write(&stmt)
-        }
+            self.run_write(&stmt, start)
+        };
+        self.instruments.response_us.observe(outcome.time_us);
+        outcome
     }
 
-    fn run_read(&self, stmt: &Statement) -> Outcome {
+    fn run_read(&self, stmt: &Statement, start: Instant) -> Outcome {
         // The statement's canonical pretty-printing is the cache key:
         // spelling differences (case, whitespace, comments, trailing
         // ';', optional keywords like `OF` or `ASC`) normalize away,
         // and the key is itself a valid statement — handy in logs.
         let key = stmt.to_string();
+        // EXPLAIN ANALYZE answers are measurements; replaying one from
+        // the cache would report timings of some earlier execution, so
+        // the statement always executes fresh.
+        let cacheable = !matches!(stmt, Statement::ExplainAnalyze(_));
         // Serving a hit needs no session lock: the entry's stamp names
         // the epoch it was computed at, and epochs never repeat.
         let epoch = self.epoch.load(Ordering::Acquire);
-        if let Some(result) = self.cache.get(&key, epoch) {
-            return Outcome {
-                result: Ok(result),
-                cache_hit: true,
-                epoch,
-            };
+        if cacheable {
+            if let Some(result) = self.cache.get(&key, epoch) {
+                self.instruments.cache_hits.inc();
+                return Outcome {
+                    result: Ok(result),
+                    cache_hit: true,
+                    epoch,
+                    time_us: elapsed_us(start),
+                    reads: 0,
+                };
+            }
+            self.instruments.cache_misses.inc();
         }
         let session = self.session.read().unwrap_or_else(|e| e.into_inner());
         // Re-read under the read guard: a writer may have bumped the
         // epoch between the cache probe and lock acquisition, and the
         // stamp must name the epoch this execution actually sees.
         let epoch = self.epoch.load(Ordering::Acquire);
-        match session.run_read_stmt(stmt) {
+        let reads_before = session.records_read();
+        let tracer = Tracer::new();
+        let executed = session.run_read_stmt_traced(stmt, Some(&tracer));
+        let reads = session.records_read().saturating_sub(reads_before) as u64;
+        drop(session);
+        let time_us = elapsed_us(start);
+        match executed {
             Ok(out) => {
                 let result = CachedResult {
                     text: out.to_string(),
                     json: out.to_json(),
                 };
-                self.cache.insert(key, epoch, result.clone());
+                if cacheable {
+                    self.cache.insert(key.clone(), epoch, result.clone());
+                }
+                if time_us >= self.slow_threshold_us {
+                    self.record_slow(SlowEntry {
+                        stmt: key,
+                        time_us,
+                        reads,
+                        epoch,
+                        trace_json: tracer.finish().to_json(),
+                    });
+                }
                 Outcome {
                     result: Ok(result),
                     cache_hit: false,
                     epoch,
+                    time_us,
+                    reads,
                 }
             }
             Err(e) => Outcome {
                 result: Err(e.to_string()),
                 cache_hit: false,
                 epoch,
+                time_us,
+                reads,
             },
         }
     }
 
-    fn run_write(&self, stmt: &Statement) -> Outcome {
+    /// `STATS` bypasses the cache (it reports live counters) and
+    /// appends the server's own state to the session's report.
+    fn run_stats(&self, start: Instant) -> Outcome {
+        let session = self.session.read().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let reads_before = session.records_read();
+        let executed = session.run_read_stmt(&Statement::Stats);
+        let reads = session.records_read().saturating_sub(reads_before) as u64;
+        drop(session);
+        match executed {
+            Ok(out) => {
+                let (hits, misses) = (self.cache.hits(), self.cache.misses());
+                let text = format!(
+                    "{out}\nserver: epoch={epoch} queries={} mutations={} slow-log={}\n\
+                     server: cache hits={hits} misses={misses} entries={}",
+                    self.queries.load(Ordering::Relaxed),
+                    self.mutations.load(Ordering::Relaxed),
+                    self.slow.lock().unwrap_or_else(|e| e.into_inner()).len(),
+                    self.cache.len(),
+                );
+                let combined = QueryOutput::Text(text);
+                Outcome {
+                    result: Ok(CachedResult {
+                        text: combined.to_string(),
+                        json: combined.to_json(),
+                    }),
+                    cache_hit: false,
+                    epoch,
+                    time_us: elapsed_us(start),
+                    reads,
+                }
+            }
+            Err(e) => Outcome {
+                result: Err(e.to_string()),
+                cache_hit: false,
+                epoch,
+                time_us: elapsed_us(start),
+                reads,
+            },
+        }
+    }
+
+    fn run_write(&self, stmt: &Statement, start: Instant) -> Outcome {
         let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
         let was_paged = session.is_paged();
+        let reads_before = session.records_read();
         let result = session.run_stmt(stmt);
+        let reads = session.records_read().saturating_sub(reads_before) as u64;
         // A mutating statement promotes a paged backend *before*
         // executing, so even a failed one (e.g. `ZOOM OUT TO Bogus`)
         // can leave the session resident — where identical queries
@@ -150,13 +318,17 @@ impl Shared {
         let epoch = if changed {
             // Bump while still exclusive: no reader can observe the
             // changed session under the old epoch.
-            self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+            let bumped = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            self.instruments.epoch.set(bumped as i64);
+            bumped
         } else {
             self.epoch.load(Ordering::Acquire)
         };
+        let time_us = elapsed_us(start);
         match result {
             Ok(out) => {
                 self.mutations.fetch_add(1, Ordering::Relaxed);
+                self.instruments.mutations.inc();
                 Outcome {
                     result: Ok(CachedResult {
                         text: out.to_string(),
@@ -164,15 +336,56 @@ impl Shared {
                     }),
                     cache_hit: false,
                     epoch,
+                    time_us,
+                    reads,
                 }
             }
             Err(e) => Outcome {
                 result: Err(e.to_string()),
                 cache_hit: false,
                 epoch,
+                time_us,
+                reads,
             },
         }
     }
+
+    fn record_slow(&self, entry: SlowEntry) {
+        let mut ring = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Render the newest `n` slow entries, most recent first, as JSON.
+    fn render_slow_json(&self, n: usize) -> String {
+        let ring = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        let entries: Vec<String> = ring
+            .iter()
+            .rev()
+            .take(n)
+            .map(|e| {
+                format!(
+                    r#"{{"stmt":"{}","time_us":{},"reads":{},"epoch":{},"trace":{}}}"#,
+                    json_escape(&e.stmt),
+                    e.time_us,
+                    e.reads,
+                    e.epoch,
+                    e.trace_json
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"ok":true,"count":{},"slow":[{}]}}"#,
+            entries.len(),
+            entries.join(",")
+        )
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// A ProQL server ready to bind.
@@ -191,6 +404,9 @@ impl Server {
                 cache: QueryCache::new(config.cache_capacity),
                 queries: AtomicU64::new(0),
                 mutations: AtomicU64::new(0),
+                instruments: Instruments::get(),
+                slow: Mutex::new(VecDeque::new()),
+                slow_threshold_us: config.slow_threshold_us,
             }),
             config,
         }
@@ -272,6 +488,15 @@ impl ServerHandle {
         (self.shared.cache.hits(), self.shared.cache.misses())
     }
 
+    /// Entries currently in the slow-query ring.
+    pub fn slow_log_len(&self) -> usize {
+        self.shared
+            .slow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
     /// Stop accepting, drain the workers, and join every thread.
     /// In-flight connections finish first: shutdown is graceful, so
     /// callers should disconnect their clients before invoking it.
@@ -290,6 +515,7 @@ impl ServerHandle {
 
 /// Serve one accepted connection to completion.
 fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    shared.instruments.connections.inc();
     // Responses are small and latency-bound; never wait on Nagle.
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -332,11 +558,25 @@ fn serve_line_statement(
 ) -> std::io::Result<()> {
     let trimmed = line.trim().trim_end_matches(';').trim();
     if trimmed.is_empty() {
-        return write_ok(writer, "", false, shared.epoch.load(Ordering::Acquire));
+        return write_ok(
+            writer,
+            "",
+            false,
+            shared.epoch.load(Ordering::Acquire),
+            0,
+            0,
+        );
     }
     let outcome = shared.run_statement(trimmed);
     match &outcome.result {
-        Ok(result) => write_ok(writer, &result.text, outcome.cache_hit, outcome.epoch),
+        Ok(result) => write_ok(
+            writer,
+            &result.text,
+            outcome.cache_hit,
+            outcome.epoch,
+            outcome.time_us,
+            outcome.reads,
+        ),
         Err(message) => write_err(writer, message),
     }
 }
@@ -357,8 +597,12 @@ fn handle_http(
                     writer,
                     "200 OK",
                     &format!(
-                        r#"{{"ok":true,"cache_hit":{},"epoch":{},"result":{}}}"#,
-                        outcome.cache_hit, outcome.epoch, result.json
+                        r#"{{"ok":true,"cache_hit":{},"epoch":{},"time_us":{},"reads":{},"result":{}}}"#,
+                        outcome.cache_hit,
+                        outcome.epoch,
+                        outcome.time_us,
+                        outcome.reads,
+                        result.json
                     ),
                 ),
                 Err(message) => write_http_json(
@@ -367,6 +611,22 @@ fn handle_http(
                     &format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(message)),
                 ),
             }
+        }
+        ("GET", "/metrics") => {
+            // The whole process's registry, not just this server: the
+            // proql and storage layers publish here too.
+            write_http_text(writer, "200 OK", &obs::registry().render_prometheus())
+        }
+        ("GET", t) if t == "/slow" || t.starts_with("/slow?") => {
+            let n = t
+                .split_once('?')
+                .map(|(_, qs)| qs)
+                .and_then(|qs| {
+                    qs.split('&')
+                        .find_map(|pair| pair.strip_prefix("n=").and_then(|v| v.parse().ok()))
+                })
+                .unwrap_or(20usize);
+            write_http_json(writer, "200 OK", &shared.render_slow_json(n))
         }
         ("GET", t) if t == "/explain" || t.starts_with("/explain?") => {
             let q = t
@@ -410,7 +670,7 @@ fn handle_http(
         _ => write_http_json(
             writer,
             "404 Not Found",
-            r#"{"ok":false,"error":"unknown endpoint (POST /query, GET /explain?q=...)"}"#,
+            r#"{"ok":false,"error":"unknown endpoint (POST /query, GET /explain?q=..., GET /metrics, GET /slow?n=...)"}"#,
         ),
     }
 }

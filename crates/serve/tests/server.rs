@@ -47,6 +47,7 @@ fn serve_paged(name: &str, workers: usize) -> lipstick_serve::ServerHandle {
         ServerConfig {
             workers,
             cache_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .serve("127.0.0.1:0")
@@ -520,6 +521,151 @@ fn reach_index_survives_mutations_behind_the_cache() {
         .unwrap();
     let expect = oracle.run_one(&ancestors_stmt).unwrap().to_string();
     assert_eq!(strip_visited(after.body()), strip_visited(&expect));
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// Six clients hammer queries and scrape `GET /metrics` while a writer
+/// mutates mid-run: every scrape must be valid Prometheus text, and the
+/// serve counters must read monotonically within each scraping thread.
+#[test]
+fn metrics_endpoint_stays_valid_and_monotonic_under_concurrent_load() {
+    use lipstick_core::obs::{parse_plain_samples, validate_prometheus_text};
+
+    // Each scraper pins one persistent line connection (6) and the
+    // writer another (7); every `/metrics` scrape is an extra one-shot
+    // connection that needs a *free* worker, so the pool must be larger
+    // than the persistent population or the scrapes deadlock the test.
+    let handle = serve_paged("metrics.lpstk", 14);
+    let addr = handle.addr();
+    let graph = dealers_graph();
+    let victim = graph
+        .iter_visible()
+        .find(|(_, n)| matches!(n.kind, lipstick_core::NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .unwrap();
+
+    let monotone_keys = [
+        "lipstick_serve_queries_total",
+        "lipstick_serve_connections_total",
+        "lipstick_serve_mutations_total",
+        "lipstick_proql_statements_total",
+    ];
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut last: HashMap<String, f64> = HashMap::new();
+                for i in 0..20 {
+                    let stmt = if i % 2 == 0 {
+                        "MATCH base-nodes"
+                    } else {
+                        "MATCH m-nodes"
+                    };
+                    assert!(client.query(stmt).unwrap().is_ok());
+                    let (status, text) = lipstick_serve::client::http_get(addr, "/metrics")
+                        .unwrap_or_else(|e| panic!("thread {t} scrape {i}: {e}"));
+                    assert_eq!(status, "HTTP/1.1 200 OK");
+                    validate_prometheus_text(&text)
+                        .unwrap_or_else(|e| panic!("invalid exposition (thread {t}): {e}\n{text}"));
+                    let samples = parse_plain_samples(&text);
+                    for key in monotone_keys {
+                        let now = *samples
+                            .get(key)
+                            .unwrap_or_else(|| panic!("{key} missing from scrape"));
+                        if let Some(prev) = last.get(key) {
+                            assert!(now >= *prev, "{key} went backwards: {prev} -> {now}");
+                        }
+                        last.insert(key.to_string(), now);
+                    }
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut writer = Client::connect(addr).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let del = writer
+                .query(&format!("DELETE #{} PROPAGATE", victim.0))
+                .unwrap();
+            assert!(del.is_ok(), "{del:?}");
+        });
+    });
+    handle.shutdown();
+}
+
+/// The OK header carries `time_us`/`reads` trailers; slow reads land in
+/// the ring with their full trace, servable as JSON via `GET /slow`.
+#[test]
+fn timing_trailers_and_slow_query_log() {
+    let session = Session::open(temp_log("slowlog.lpstk")).unwrap();
+    let handle = Server::new(
+        session,
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 64,
+            slow_threshold_us: 0, // record every traced read
+        },
+    )
+    .serve("127.0.0.1:0")
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let miss = client.query("MATCH base-nodes").unwrap();
+    assert!(miss.is_ok(), "{miss:?}");
+    assert!(
+        miss.reads().unwrap() > 0,
+        "an uncached paged read must charge record decodes: {miss:?}"
+    );
+    let hit = client.query("MATCH base-nodes").unwrap();
+    assert!(hit.cache_hit());
+    assert_eq!(hit.reads(), Some(0), "a cache hit decodes nothing");
+
+    // EXPLAIN ANALYZE is a measurement: it never comes from the cache.
+    let first = client.query("EXPLAIN ANALYZE MATCH base-nodes").unwrap();
+    assert!(first.body().contains("actuals:"), "{first:?}");
+    let second = client.query("EXPLAIN ANALYZE MATCH base-nodes").unwrap();
+    assert!(
+        !second.cache_hit(),
+        "measurements must not be replayed from the cache"
+    );
+
+    assert!(handle.slow_log_len() > 0, "threshold 0 records every read");
+    let (status, body) = lipstick_serve::client::http_get(handle.addr(), "/slow?n=5").unwrap();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains(r#""ok":true"#), "{body}");
+    assert!(
+        body.contains(r#""stmt":"MATCH base-nodes""#),
+        "slow entries carry the canonical statement: {body}"
+    );
+    assert!(
+        body.contains(r#""trace":["#) && body.contains(r#""label":"#),
+        "slow entries carry the full span trace: {body}"
+    );
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// `STATS` bypasses the cache and reports the server's own counters
+/// alongside the session's graph statistics.
+#[test]
+fn stats_appends_server_lines_and_never_caches() {
+    let handle = serve_paged("stats-lines.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let first = client.query("STATS").unwrap();
+    assert!(first.is_ok(), "{first:?}");
+    assert!(first.body().contains("paged log"), "{first:?}");
+    assert!(first.body().contains("server: epoch=0"), "{first:?}");
+    assert!(first.body().contains("server: cache hits="), "{first:?}");
+
+    let again = client.query("STATS").unwrap();
+    assert!(!again.cache_hit(), "STATS must report live counters");
+    assert!(
+        again.body().contains("server: epoch=0 queries=2"),
+        "the second STATS sees its own predecessor counted: {again:?}"
+    );
 
     drop(client);
     handle.shutdown();

@@ -19,11 +19,11 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use bytes::Buf;
 use lipstick_core::graph::InvocationInfo;
+use lipstick_core::obs;
 use lipstick_core::store::GraphStore;
 use lipstick_core::{InvocationId, NodeId, NodeKind, ProvGraph, Role};
 
@@ -58,7 +58,11 @@ pub struct PagedLog {
     /// Boxed so an idle `PagedLog` (and the session enum wrapping it)
     /// stays small; the shards only cost a pointer until first fault.
     cache: Box<[Mutex<HashMap<u32, Record>>]>,
-    faults: AtomicUsize,
+    /// Per-log fault counter (tests and `STATS` report per-instance
+    /// figures); every fault also feeds the process-wide
+    /// `lipstick_storage_faults_total` registry instrument.
+    faults: obs::Counter,
+    faults_total: Arc<obs::Counter>,
 }
 
 impl PagedLog {
@@ -108,7 +112,11 @@ impl PagedLog {
             cache: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
-            faults: AtomicUsize::new(0),
+            faults: obs::Counter::new(),
+            faults_total: obs::registry().counter(
+                "lipstick_storage_faults_total",
+                "Node records decoded from paged logs (cache misses), process-wide",
+            ),
         })
     }
 
@@ -119,7 +127,7 @@ impl PagedLog {
 
     /// Number of node records decoded so far (cache misses).
     pub fn faults(&self) -> usize {
-        self.faults.load(Ordering::Relaxed)
+        self.faults.get() as usize
     }
 
     /// Decode the *entire* log into a resident [`ProvGraph`] — the
@@ -153,7 +161,8 @@ impl PagedLog {
         let kind = get_kind(&mut buf)?;
         let preds = decode_pred_list(&mut buf, self.index.node_count())?;
         let rec = Record { kind, role, preds };
-        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.faults.inc();
+        self.faults_total.inc();
         let out = f(&rec);
         shard.insert(id.0, rec);
         Ok(out)

@@ -119,14 +119,37 @@ fn self_test(handle: &lipstick::serve::ServerHandle) -> Result<(), Box<dyn std::
             return Err(format!("{stmt} failed: {reply:?}").into());
         }
     }
+    let analyze = client.query("EXPLAIN ANALYZE MATCH base-nodes")?;
+    if !analyze.is_ok() || !analyze.body().contains("actuals:") {
+        return Err(format!("EXPLAIN ANALYZE misbehaved: {analyze:?}").into());
+    }
 
     let (status, body) = http_post_query(addr, "MATCH base-nodes")?;
     if status != "HTTP/1.1 200 OK" || !body.contains(r#""cache_hit":true"#) {
         return Err(format!("HTTP query misbehaved: {status} {body}").into());
     }
+    if !body.contains(r#""time_us":"#) || !body.contains(r#""reads":"#) {
+        return Err(format!("HTTP query must carry timing fields: {body}").into());
+    }
     let (status, body) = http_get_explain(addr, "MATCH+base-nodes")?;
     if status != "HTTP/1.1 200 OK" || !body.contains(r#""plan":"#) {
         return Err(format!("HTTP explain misbehaved: {status} {body}").into());
+    }
+
+    // The observability surface: /metrics must be a valid Prometheus
+    // exposition naming the serve series, /slow must answer JSON.
+    let (status, metrics) = lipstick::serve::client::http_get(addr, "/metrics")?;
+    if status != "HTTP/1.1 200 OK" {
+        return Err(format!("GET /metrics: {status}").into());
+    }
+    lipstick::core::obs::validate_prometheus_text(&metrics)
+        .map_err(|e| format!("/metrics invalid: {e}"))?;
+    if !metrics.contains("lipstick_serve_queries_total") {
+        return Err(format!("/metrics must name the serve series:\n{metrics}").into());
+    }
+    let (status, slow) = lipstick::serve::client::http_get(addr, "/slow?n=5")?;
+    if status != "HTTP/1.1 200 OK" || !slow.contains(r#""ok":true"#) {
+        return Err(format!("GET /slow misbehaved: {status} {slow}").into());
     }
 
     let (hits, misses) = handle.cache_stats();

@@ -39,8 +39,9 @@ ProQL statement forms:
   MATCH base-nodes INTERSECT ANCESTORS OF #42   set ops (also UNION)
   BUILD INDEX / DROP INDEX                 reachability closure on/off
   EXPLAIN <statement>                      show the physical plan
-  STATS                                    graph statistics
-Meta: \\dot (last node set as Graphviz), \\help, \\quit";
+  EXPLAIN ANALYZE <statement>              run it and show per-operator actuals
+  STATS                                    graph statistics (+ server counters when remote)
+Meta: \\dot (last node set as Graphviz), \\timing on|off, \\help, \\quit";
 
 /// Where statements go: a local session or a remote lipstick-serve.
 enum Engine {
@@ -132,6 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut last_nodes: Option<lipstick::proql::NodeSetResult> = None;
+    let mut timing = false;
     print!("proql> ");
     std::io::stdout().flush()?;
     for line in stdin.lock().lines() {
@@ -139,6 +141,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let trimmed = line.trim();
         match trimmed {
             "\\quit" => break,
+            "\\timing on" | "\\timing off" => {
+                timing = trimmed.ends_with("on");
+                println!("timing {}", if timing { "on" } else { "off" });
+                print!("proql> ");
+                std::io::stdout().flush()?;
+                continue;
+            }
             "\\help" => {
                 println!("{HELP}");
                 print!("proql> ");
@@ -170,25 +179,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let script = std::mem::take(&mut buffer);
         match &mut engine {
-            Engine::Local(session) => match session.run(&script) {
-                Ok(outputs) => {
-                    for out in outputs {
-                        match out {
-                            QueryOutput::Nodes(ns) => {
-                                match session.resident_graph() {
-                                    Some(graph) => println!("{}", ns.render(graph, 20)),
-                                    // Paged sessions print ids only; labels
-                                    // would fault every listed record.
-                                    None => println!("{ns}"),
+            Engine::Local(session) => {
+                let started = std::time::Instant::now();
+                let reads_before = session.records_read();
+                match session.run(&script) {
+                    Ok(outputs) => {
+                        for out in outputs {
+                            match out {
+                                QueryOutput::Nodes(ns) => {
+                                    match session.resident_graph() {
+                                        Some(graph) => println!("{}", ns.render(graph, 20)),
+                                        // Paged sessions print ids only; labels
+                                        // would fault every listed record.
+                                        None => println!("{ns}"),
+                                    }
+                                    last_nodes = Some(ns);
                                 }
-                                last_nodes = Some(ns);
+                                other => println!("{other}"),
                             }
-                            other => println!("{other}"),
                         }
                     }
+                    Err(e) => println!("error: {e}"),
                 }
-                Err(e) => println!("error: {e}"),
-            },
+                if timing {
+                    println!(
+                        "(time: {:.3} ms, reads: {})",
+                        started.elapsed().as_secs_f64() * 1e3,
+                        session.records_read() - reads_before
+                    );
+                }
+            }
             Engine::Remote(client) => {
                 // The wire protocol takes one statement per line; split
                 // the buffered script on ';' (outside string literals,
@@ -201,12 +221,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                     match client.query(stmt) {
                         Ok(Reply::Ok {
-                            cache_hit, body, ..
+                            cache_hit,
+                            epoch,
+                            time_us,
+                            reads,
+                            body,
                         }) => {
                             if cache_hit {
                                 println!("{body}\n(cached)");
                             } else {
                                 println!("{body}");
+                            }
+                            if timing {
+                                println!("(server: time_us={time_us} reads={reads} epoch={epoch})");
                             }
                         }
                         Ok(Reply::Err(message)) => println!("error: {message}"),
