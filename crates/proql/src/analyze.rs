@@ -1,0 +1,1170 @@
+//! Static analysis for ProQL statements: the engine behind `CHECK` and
+//! `EXPLAIN LINT`.
+//!
+//! [`analyze`] runs between parse and plan and **never executes** the
+//! statement under analysis. It produces typed [`Diagnostic`] values —
+//! error code, severity, byte [`Span`] into the original source,
+//! message, optional did-you-mean suggestion — covering:
+//!
+//! - lexical and syntax errors (`E001`/`E002`), with the position the
+//!   parser stopped at;
+//! - name resolution against the session schema: node classes, fields,
+//!   semirings (`E003`–`E005`), node ids (`E101`), module / kind / role
+//!   names (`W201`–`W204`), each with a nearest-name suggestion;
+//! - type checking: comparisons whose literal type cannot match the
+//!   field (`W210` always-false, `W211` always-true);
+//! - satisfiability: token predicates on token-less classes (`W212`),
+//!   contradictory equalities (`W213`), empty `execution` ranges
+//!   (`W214`), `kind` conjuncts contradicting the `MATCH` class
+//!   (`W215`), duplicate conjuncts (`W216`);
+//! - cost lints reusing the planner's node-count estimates: unbounded
+//!   walks (`C301`) and unselective full scans (`C302`);
+//! - informational notes: wildcard-free `LIKE` (`I401`), trivial `EVAL`
+//!   of a base node (`I402`), `LIMIT 0` (`I403`), `DEPTH 0` (`I404`),
+//!   and mutating statements under `CHECK` (`I405`).
+//!
+//! Determinism is load-bearing: the resident executor, the paged
+//! executor, and both serve protocols must render byte-identical
+//! diagnostics for the same source over the same graph (locked down by
+//! `tests/differential.rs`). The analyzer therefore consults only
+//! [`GraphStore`] facts that agree across backends — `node_count`,
+//! `is_visible`, `kind_of`, and the (always resident) invocation table
+//! — and never backend-specific state like reach-index presence or
+//! postings availability.
+
+use std::fmt;
+
+use lipstick_core::store::GraphStore;
+use lipstick_core::{NodeId, NodeKind};
+
+use crate::ast::{
+    like_match, CmpOp, Comparison, Field, Lit, NodeClass, NodeRef, SetExpr, SetTerm, Statement,
+    WalkDir,
+};
+use crate::error::ProqlError;
+use crate::lexer::{lex_spanned, Span, SpannedTok, Tok};
+use crate::parser::parse_spanned_statement;
+use crate::result::json_escape;
+
+/// Diagnostic severity, ordered from worst to mildest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The statement cannot execute meaningfully.
+    Error,
+    /// The statement executes but almost certainly not as intended.
+    Warning,
+    /// Worth knowing; nothing is wrong.
+    Info,
+}
+
+impl Severity {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One typed diagnostic: code, severity, byte span into the analyzed
+/// source, message, and an optional suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable error code (`E002`, `W213`, …) — see the README's
+    /// error-code table.
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Byte range into the analyzed statement's source text.
+    pub span: Span,
+    pub message: String,
+    /// A `did you mean …`-style hint, when the analyzer has one.
+    pub suggestion: Option<String>,
+}
+
+/// The analyzer's complete output for one statement: the source it
+/// analyzed plus every diagnostic, ordered by span then code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostics {
+    pub source: String,
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn is_clean(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// JSON rendering used by the HTTP shim: the typed fields survive
+    /// the wire, so remote tooling can re-render spans locally.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"type\":\"diagnostics\"");
+        out.push_str(&format!(
+            ",\"errors\":{},\"warnings\":{},\"infos\":{}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"start\":{},\"end\":{},\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                d.span.start,
+                d.span.end,
+                json_escape(&d.message)
+            ));
+            match &d.suggestion {
+                Some(s) => out.push_str(&format!(",\"suggestion\":\"{}\"}}", json_escape(s))),
+                None => out.push_str(",\"suggestion\":null}"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The canonical textual rendering: per-diagnostic header, `-->`
+/// location with the byte span, the offending source line with a caret
+/// underline, an optional `= help:` suggestion, and a summary line.
+/// Byte-identical across every backend and protocol.
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.items.is_empty() {
+            return write!(f, "no diagnostics: statement is clean");
+        }
+        for d in &self.items {
+            writeln!(f, "{}[{}]: {}", d.severity, d.code, d.message)?;
+            let (line_no, line_start, line) = line_of(&self.source, d.span.start);
+            writeln!(
+                f,
+                "  --> {}:{} (bytes {})",
+                line_no,
+                self.source[line_start..d.span.start.min(self.source.len())]
+                    .chars()
+                    .count()
+                    + 1,
+                d.span
+            )?;
+            let prefix_cols = self.source[line_start..d.span.start.min(line_start + line.len())]
+                .chars()
+                .count();
+            let span_end = d.span.end.min(line_start + line.len());
+            let caret_cols = if d.span.start < span_end {
+                self.source[d.span.start..span_end].chars().count().max(1)
+            } else {
+                1
+            };
+            writeln!(f, "{:>4} | {}", line_no, line)?;
+            writeln!(
+                f,
+                "     | {}{}",
+                " ".repeat(prefix_cols),
+                "^".repeat(caret_cols)
+            )?;
+            if let Some(s) = &d.suggestion {
+                writeln!(f, "     = help: {s}")?;
+            }
+        }
+        write!(
+            f,
+            "{} diagnostic(s): {} error(s), {} warning(s), {} info",
+            self.items.len(),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// The (1-based line number, line start byte offset, line text) of the
+/// line containing byte offset `at`.
+fn line_of(src: &str, at: usize) -> (usize, usize, &str) {
+    let at = at.min(src.len());
+    let mut line_no = 1;
+    let mut start = 0;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= at {
+            break;
+        }
+        if b == b'\n' {
+            line_no += 1;
+            start = i + 1;
+        }
+    }
+    let end = src[start..].find('\n').map_or(src.len(), |rel| start + rel);
+    (line_no, start, &src[start..end])
+}
+
+/// Every kind name a node can carry ([`NodeKind::name`]), sorted.
+const ALL_KINDS: &[&str] = &[
+    "agg",
+    "base_tuple",
+    "blackbox",
+    "const",
+    "delta",
+    "invocation",
+    "module_input",
+    "module_output",
+    "plus",
+    "state",
+    "tensor",
+    "times",
+    "workflow_input",
+    "zoomed",
+];
+
+/// Every role name ([`lipstick_core::Role::name`]), sorted.
+const ALL_ROLES: &[&str] = &[
+    "free",
+    "intermediate",
+    "invocation",
+    "module_input",
+    "module_output",
+    "state",
+    "workflow_input",
+    "zoom",
+];
+
+const ALL_CLASSES: &[&str] = &[
+    "base-nodes",
+    "i-nodes",
+    "m-nodes",
+    "nodes",
+    "o-nodes",
+    "p-nodes",
+    "s-nodes",
+    "v-nodes",
+];
+
+const ALL_FIELDS: &[&str] = &["execution", "kind", "module", "role", "token"];
+
+const ALL_SEMIRINGS: &[&str] = &[
+    "bool", "boolean", "cost", "counting", "lineage", "natural", "tropical", "which", "why",
+];
+
+/// Levenshtein edit distance over chars — small inputs, classic DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The nearest candidate within an edit-distance budget, rendered as a
+/// `did you mean '…'?` hint. Ties break lexicographically so backends
+/// cannot disagree.
+fn did_you_mean<'a, I>(input: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let input_lc = input.to_ascii_lowercase();
+    let budget = (input_lc.chars().count() / 3).max(1) + 1;
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = edit_distance(&input_lc, &cand.to_ascii_lowercase());
+        if d == 0 || d > budget {
+            continue;
+        }
+        best = match best {
+            Some((bd, bc)) if (bd, bc) <= (d, cand) => Some((bd, bc)),
+            _ => Some((d, cand)),
+        };
+    }
+    best.map(|(_, c)| format!("did you mean '{c}'?"))
+}
+
+/// Statically analyze one statement's source text against the store's
+/// schema. Never executes, never plans, never panics: ill-formed input
+/// comes back as diagnostics, not errors.
+pub fn analyze<S: GraphStore + ?Sized>(store: &S, source: &str) -> Diagnostics {
+    let mut a = Analyzer {
+        store_modules: module_universe(store),
+        store_executions: execution_universe(store),
+        visible: visible_count(store),
+        node_count: store.node_count(),
+        source,
+        items: Vec::new(),
+    };
+    a.run(store);
+    let mut items = a.items;
+    items.sort_by(|x, y| {
+        (x.span.start, x.span.end, x.code).cmp(&(y.span.start, y.span.end, y.code))
+    });
+    Diagnostics {
+        source: source.to_string(),
+        items,
+    }
+}
+
+fn module_universe<S: GraphStore + ?Sized>(store: &S) -> Vec<String> {
+    let mut mods: Vec<String> = store
+        .invocations()
+        .iter()
+        .map(|i| i.module.clone())
+        .collect();
+    mods.sort();
+    mods.dedup();
+    mods
+}
+
+fn execution_universe<S: GraphStore + ?Sized>(store: &S) -> Vec<u32> {
+    let mut execs: Vec<u32> = store.invocations().iter().map(|i| i.execution).collect();
+    execs.sort_unstable();
+    execs.dedup();
+    execs
+}
+
+/// Visible-node count via the index-level visibility bitmap — cheap and
+/// identical on resident and paged stores (no records fault in).
+fn visible_count<S: GraphStore + ?Sized>(store: &S) -> usize {
+    (0..store.node_count())
+        .filter(|&i| store.is_visible(NodeId(i as u32)))
+        .count()
+}
+
+struct Analyzer<'s> {
+    store_modules: Vec<String>,
+    store_executions: Vec<u32>,
+    visible: usize,
+    node_count: usize,
+    source: &'s str,
+    items: Vec<Diagnostic>,
+}
+
+/// Span-anchored occurrences of analyzable constructs, recovered by
+/// scanning the spanned token stream. Parse order is source order, so
+/// the nth site of each category pairs with the nth AST occurrence.
+#[derive(Default)]
+struct Sites {
+    /// `(field span, value span)` per comparison, in source order.
+    comparisons: Vec<(Span, Span)>,
+    /// The class identifier after each `MATCH`.
+    classes: Vec<Span>,
+    /// Each `ANCESTORS`/`DESCENDANTS` keyword.
+    walks: Vec<Span>,
+    /// `(value, span)` of the integer after each `DEPTH`.
+    depths: Vec<(u64, Span)>,
+    /// `(value, span)` of the integer after each `LIMIT`.
+    limits: Vec<(u64, Span)>,
+    /// Each `#id` token.
+    node_ids: Vec<(u32, Span)>,
+    /// The semiring identifier after `IN` (EVAL statements).
+    semiring: Option<Span>,
+}
+
+fn is_kw(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn is_cmp_op(t: &Tok) -> bool {
+    matches!(t, Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)
+}
+
+/// One left-to-right pass over the token stream. Comparison sites are
+/// consumed whole so a bare-identifier *value* (`module = ancestors`)
+/// can never masquerade as a keyword site.
+fn scan_sites(toks: &[SpannedTok]) -> Sites {
+    let mut s = Sites::default();
+    let mut i = 0;
+    while i < toks.len() {
+        // `field <op> value` / `field LIKE 'p'` / `field NOT LIKE 'p'`.
+        if matches!(toks[i].tok, Tok::Ident(_)) {
+            if i + 2 < toks.len() && is_cmp_op(&toks[i + 1].tok) {
+                s.comparisons.push((toks[i].span, toks[i + 2].span));
+                i += 3;
+                continue;
+            }
+            if i + 2 < toks.len()
+                && is_kw(&toks[i + 1].tok, "LIKE")
+                && matches!(toks[i + 2].tok, Tok::Str(_))
+            {
+                s.comparisons.push((toks[i].span, toks[i + 2].span));
+                i += 3;
+                continue;
+            }
+            if i + 3 < toks.len()
+                && is_kw(&toks[i + 1].tok, "NOT")
+                && is_kw(&toks[i + 2].tok, "LIKE")
+                && matches!(toks[i + 3].tok, Tok::Str(_))
+            {
+                s.comparisons.push((toks[i].span, toks[i + 3].span));
+                i += 4;
+                continue;
+            }
+        }
+        match &toks[i].tok {
+            Tok::Ident(w) if w.eq_ignore_ascii_case("MATCH") => {
+                if let Some(next) = toks.get(i + 1) {
+                    if matches!(next.tok, Tok::Ident(_)) {
+                        s.classes.push(next.span);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            Tok::Ident(w)
+                if w.eq_ignore_ascii_case("ANCESTORS") || w.eq_ignore_ascii_case("DESCENDANTS") =>
+            {
+                s.walks.push(toks[i].span);
+            }
+            Tok::Ident(w) if w.eq_ignore_ascii_case("DEPTH") => {
+                if let Some(SpannedTok {
+                    tok: Tok::Int(n),
+                    span,
+                }) = toks.get(i + 1)
+                {
+                    s.depths.push((*n, *span));
+                    i += 2;
+                    continue;
+                }
+            }
+            Tok::Ident(w) if w.eq_ignore_ascii_case("LIMIT") => {
+                if let Some(SpannedTok {
+                    tok: Tok::Int(n),
+                    span,
+                }) = toks.get(i + 1)
+                {
+                    s.limits.push((*n, *span));
+                    i += 2;
+                    continue;
+                }
+            }
+            Tok::Ident(w) if w.eq_ignore_ascii_case("IN") && s.semiring.is_none() => {
+                if let Some(next) = toks.get(i + 1) {
+                    if matches!(next.tok, Tok::Ident(_)) {
+                        s.semiring = Some(next.span);
+                    }
+                }
+            }
+            Tok::NodeId(n) => s.node_ids.push((*n, toks[i].span)),
+            _ => {}
+        }
+        i += 1;
+    }
+    s
+}
+
+impl Analyzer<'_> {
+    fn whole_span(&self) -> Span {
+        Span::new(0, self.source.len())
+    }
+
+    fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: String,
+        suggestion: Option<String>,
+    ) {
+        self.items.push(Diagnostic {
+            code,
+            severity,
+            span,
+            message,
+            suggestion,
+        });
+    }
+
+    fn run<S: GraphStore + ?Sized>(&mut self, store: &S) {
+        let toks = match lex_spanned(self.source) {
+            Ok(toks) => toks,
+            Err(ProqlError::Lex { pos, message }) => {
+                let end = self.source[pos.min(self.source.len())..]
+                    .chars()
+                    .next()
+                    .map_or(pos, |c| pos + c.len_utf8());
+                self.push("E001", Severity::Error, Span::new(pos, end), message, None);
+                return;
+            }
+            Err(other) => {
+                self.push(
+                    "E001",
+                    Severity::Error,
+                    self.whole_span(),
+                    other.to_string(),
+                    None,
+                );
+                return;
+            }
+        };
+        let stmt = match parse_spanned_statement(self.source, toks.clone()) {
+            Ok(stmt) => stmt,
+            Err((err, span)) => {
+                let (code, message, suggestion) = match &err {
+                    ProqlError::UnknownClass(name) => (
+                        "E003",
+                        err.to_string(),
+                        did_you_mean(name, ALL_CLASSES.iter().copied()),
+                    ),
+                    ProqlError::UnknownField(name) => (
+                        "E004",
+                        err.to_string(),
+                        did_you_mean(name, ALL_FIELDS.iter().copied()),
+                    ),
+                    ProqlError::UnknownSemiring(name) => (
+                        "E005",
+                        err.to_string(),
+                        did_you_mean(name, ALL_SEMIRINGS.iter().copied()),
+                    ),
+                    _ => ("E002", err.to_string(), None),
+                };
+                self.push(code, Severity::Error, span, message, suggestion);
+                return;
+            }
+        };
+        let sites = scan_sites(&toks);
+        self.statement(store, &stmt, &sites);
+    }
+
+    fn statement<S: GraphStore + ?Sized>(&mut self, store: &S, stmt: &Statement, sites: &Sites) {
+        if !stmt.is_read_only() {
+            self.push(
+                "I405",
+                Severity::Info,
+                self.whole_span(),
+                "statement mutates the session; CHECK only analyzed it, nothing executed".into(),
+                None,
+            );
+        }
+        // Node-id references resolve identically everywhere:
+        // bounds + visibility are index-level on both backends.
+        let ast_ids = collect_id_refs(stmt);
+        let id_spans: Vec<Span> = if ast_ids.len() == sites.node_ids.len() {
+            sites.node_ids.iter().map(|(_, sp)| *sp).collect()
+        } else {
+            vec![self.whole_span(); ast_ids.len()]
+        };
+        for (&id, &span) in ast_ids.iter().zip(&id_spans) {
+            if id as usize >= self.node_count {
+                self.push(
+                    "E101",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "unknown node reference #{id}: graph has {} node(s)",
+                        self.node_count
+                    ),
+                    None,
+                );
+            } else if !store.is_visible(NodeId(id)) {
+                self.push(
+                    "E101",
+                    Severity::Error,
+                    span,
+                    format!("node #{id} is not visible (deleted or zoomed away)"),
+                    None,
+                );
+            }
+        }
+        match stmt {
+            Statement::Query(q) => self.query(q, sites),
+            Statement::Eval(NodeRef::Id(id), _)
+                if (*id as usize) < self.node_count && store.is_visible(NodeId(*id)) =>
+            {
+                let kind = store.kind_of(NodeId(*id));
+                if matches!(
+                    kind,
+                    NodeKind::BaseTuple { .. } | NodeKind::WorkflowInput { .. }
+                ) {
+                    let span = id_spans.first().copied().unwrap_or(self.whole_span());
+                    self.push(
+                        "I402",
+                        Severity::Info,
+                        span,
+                        format!(
+                            "EVAL of a {} node is trivial: its provenance is itself",
+                            kind.name()
+                        ),
+                        None,
+                    );
+                }
+            }
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
+                self.statement(store, inner, sites)
+            }
+            _ => {}
+        }
+    }
+
+    fn query(&mut self, q: &crate::ast::Query, sites: &Sites) {
+        // Pair AST constructs with token-scan sites; a count mismatch
+        // (defensive — parse success should preclude it) degrades to
+        // whole-statement spans rather than misattributing.
+        let mut walk = WalkState {
+            comps: Vec::new(),
+            classes: Vec::new(),
+            walks: Vec::new(),
+        };
+        collect_query(&q.expr, &mut walk);
+        let comp_spans: Vec<(Span, Span)> = if walk.comps.len() == sites.comparisons.len() {
+            sites.comparisons.clone()
+        } else {
+            vec![(self.whole_span(), self.whole_span()); walk.comps.len()]
+        };
+        let class_spans: Vec<Span> = if walk.classes.len() == sites.classes.len() {
+            sites.classes.clone()
+        } else {
+            vec![self.whole_span(); walk.classes.len()]
+        };
+        let walk_spans: Vec<Span> = if walk.walks.len() == sites.walks.len() {
+            sites.walks.clone()
+        } else {
+            vec![self.whole_span(); walk.walks.len()]
+        };
+
+        // Predicate-level checks, grouped per predicate with the
+        // owning MATCH class (when there is one).
+        let mut cursor = 0usize;
+        for (owner, pred) in collect_predicates(&q.expr) {
+            let n = pred.conjuncts.len();
+            let spans = &comp_spans[cursor..cursor + n];
+            self.predicate(owner, pred, spans);
+            cursor += n;
+        }
+
+        // Cost lints: unselective scans and unbounded walks.
+        for ((class, filter), &span) in walk.classes.iter().zip(&class_spans) {
+            if *class == NodeClass::All && filter.is_empty() {
+                self.push(
+                    "C302",
+                    Severity::Info,
+                    span,
+                    format!(
+                        "MATCH nodes with no WHERE predicate scans all {} visible node(s)",
+                        self.visible
+                    ),
+                    Some("add a WHERE predicate or a narrower class to bound the scan".into()),
+                );
+            }
+        }
+        for ((dir, depth), &span) in walk.walks.iter().zip(&walk_spans) {
+            if depth.is_none() {
+                let kw = match dir {
+                    WalkDir::Ancestors => "ANCESTORS",
+                    WalkDir::Descendants => "DESCENDANTS",
+                };
+                self.push(
+                    "C301",
+                    Severity::Warning,
+                    span,
+                    format!(
+                        "unbounded {kw} walk may traverse the whole cone (up to {} visible \
+                         node(s))",
+                        self.visible
+                    ),
+                    Some(
+                        "bound it with DEPTH n, or BUILD INDEX to serve it from the closure".into(),
+                    ),
+                );
+            }
+        }
+        for &(n, span) in &sites.depths {
+            if n == 0 {
+                self.push(
+                    "I404",
+                    Severity::Info,
+                    span,
+                    "DEPTH 0 collects nothing beyond the root".into(),
+                    None,
+                );
+            }
+        }
+        for &(n, span) in &sites.limits {
+            if n == 0 && q.shaping.limit == Some(0) {
+                self.push(
+                    "I403",
+                    Severity::Info,
+                    span,
+                    "LIMIT 0 returns no rows".into(),
+                    None,
+                );
+            }
+        }
+    }
+
+    /// All per-predicate checks. `spans` pairs `(field, value)` spans
+    /// with `pred.conjuncts` positionally.
+    fn predicate(
+        &mut self,
+        owner: Option<NodeClass>,
+        pred: &crate::ast::Predicate,
+        spans: &[(Span, Span)],
+    ) {
+        let mut eq_seen: Vec<(Field, &Lit, Span)> = Vec::new();
+        let mut exec_lo: u64 = 0;
+        let mut exec_hi: u64 = u64::MAX;
+        let mut exec_last: Option<Span> = None;
+        for (idx, c) in pred.conjuncts.iter().enumerate() {
+            let (field_span, value_span) = spans[idx];
+            let whole = field_span.to(value_span);
+
+            // W216: an exact duplicate of an earlier conjunct.
+            if pred.conjuncts[..idx].contains(c) {
+                self.push(
+                    "W216",
+                    Severity::Warning,
+                    whole,
+                    format!("duplicate conjunct '{c}' has no effect"),
+                    None,
+                );
+                continue;
+            }
+
+            // Type checking: a literal the field can never carry makes
+            // the comparison constant (§ Comparison::eval semantics).
+            let type_ok = match (c.field, &c.value) {
+                (Field::Execution, Lit::Int(_)) => true,
+                (Field::Execution, Lit::Str(_)) => false,
+                (_, Lit::Str(_)) => true,
+                (_, Lit::Int(_)) => false,
+            };
+            if !type_ok {
+                let (want, got) = match c.field {
+                    Field::Execution => ("an integer", "a string"),
+                    _ => ("a string", "an integer"),
+                };
+                if matches!(c.op, CmpOp::Ne | CmpOp::NotLike) {
+                    self.push(
+                        "W211",
+                        Severity::Warning,
+                        whole,
+                        format!(
+                            "'{c}' is always true: {} takes {want}, not {got}",
+                            c.field.name()
+                        ),
+                        None,
+                    );
+                } else {
+                    self.push(
+                        "W210",
+                        Severity::Warning,
+                        whole,
+                        format!(
+                            "'{c}' can never match: {} takes {want}, not {got}",
+                            c.field.name()
+                        ),
+                        None,
+                    );
+                }
+                continue;
+            }
+
+            // Schema-name resolution per field.
+            match (c.field, &c.value) {
+                (Field::Module, Lit::Str(s)) => self.module_name(c, s, value_span),
+                (Field::Kind, Lit::Str(s)) => {
+                    self.vocab_name(c, s, value_span, "kind", "W202", ALL_KINDS)
+                }
+                (Field::Role, Lit::Str(s)) => {
+                    self.vocab_name(c, s, value_span, "role", "W203", ALL_ROLES)
+                }
+                (Field::Execution, Lit::Int(n))
+                    if c.op == CmpOp::Eq
+                        && !self.store_executions.iter().any(|&e| u64::from(e) == *n) =>
+                {
+                    self.push(
+                        "W204",
+                        Severity::Warning,
+                        value_span,
+                        format!(
+                            "no invocation has execution {n} (executions recorded: {})",
+                            render_executions(&self.store_executions)
+                        ),
+                        None,
+                    );
+                }
+                _ => {}
+            }
+
+            // I401: a LIKE pattern with no wildcards is equality in
+            // disguise.
+            if let (CmpOp::Like | CmpOp::NotLike, Lit::Str(p)) = (c.op, &c.value) {
+                if !p.contains('%') && !p.contains('_') {
+                    let op = if c.op == CmpOp::Like { "=" } else { "!=" };
+                    self.push(
+                        "I401",
+                        Severity::Info,
+                        value_span,
+                        "pattern has no '%' or '_' wildcard; LIKE behaves like equality".into(),
+                        Some(format!("write {} {op} '{p}'", c.field.name())),
+                    );
+                }
+            }
+
+            // W212: demanding an applicable token from a token-less
+            // class can never match.
+            if c.field == Field::Token
+                && !matches!(c.op, CmpOp::Ne | CmpOp::NotLike)
+                && matches!(
+                    owner,
+                    Some(
+                        NodeClass::Invocation
+                            | NodeClass::ModuleInput
+                            | NodeClass::ModuleOutput
+                            | NodeClass::State
+                    )
+                )
+            {
+                let class = owner.map_or("", |o| o.name());
+                self.push(
+                    "W212",
+                    Severity::Warning,
+                    whole,
+                    format!("{class} carry no token; '{c}' can never match"),
+                    None,
+                );
+            }
+
+            // W215: a kind equality that contradicts the MATCH class.
+            if let (Field::Kind, Lit::Str(s)) = (c.field, &c.value) {
+                if let Some(only) = owner.and_then(|o| o.single_kind_name()) {
+                    if c.op == CmpOp::Eq && s != only && ALL_KINDS.contains(&s.as_str()) {
+                        self.push(
+                            "W215",
+                            Severity::Warning,
+                            whole,
+                            format!(
+                                "MATCH {} only selects kind '{only}'; 'kind = '{s}'' can never \
+                                 match",
+                                owner.map_or("", |o| o.name())
+                            ),
+                            None,
+                        );
+                    } else if c.op == CmpOp::Ne && s == only {
+                        self.push(
+                            "W215",
+                            Severity::Warning,
+                            whole,
+                            format!(
+                                "MATCH {} only selects kind '{only}'; excluding it matches \
+                                 nothing",
+                                owner.map_or("", |o| o.name())
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+
+            // W213: contradictory equalities on one field.
+            if c.op == CmpOp::Eq {
+                if let Some((_, prior, _)) = eq_seen
+                    .iter()
+                    .find(|(f, v, _)| *f == c.field && *v != &c.value)
+                {
+                    self.push(
+                        "W213",
+                        Severity::Warning,
+                        whole,
+                        format!(
+                            "'{c}' contradicts the earlier {} = {prior}; the predicate can \
+                             never match",
+                            c.field.name()
+                        ),
+                        None,
+                    );
+                }
+                eq_seen.push((c.field, &c.value, whole));
+            }
+
+            // W214: accumulate execution bounds to detect empty ranges.
+            if let (Field::Execution, Lit::Int(n)) = (c.field, &c.value) {
+                match c.op {
+                    CmpOp::Eq => {
+                        exec_lo = exec_lo.max(*n);
+                        exec_hi = exec_hi.min(*n);
+                    }
+                    CmpOp::Gt => exec_lo = exec_lo.max(n.saturating_add(1)),
+                    CmpOp::Ge => exec_lo = exec_lo.max(*n),
+                    CmpOp::Lt => exec_hi = exec_hi.min(n.checked_sub(1).unwrap_or(0).min(*n)),
+                    CmpOp::Le => exec_hi = exec_hi.min(*n),
+                    _ => {}
+                }
+                if matches!(
+                    c.op,
+                    CmpOp::Eq | CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le
+                ) {
+                    exec_last = Some(whole);
+                }
+                // `execution < 0` has an empty range on its own.
+                if c.op == CmpOp::Lt && *n == 0 {
+                    exec_hi = 0;
+                    exec_lo = 1;
+                }
+            }
+        }
+        if exec_lo > exec_hi {
+            if let Some(span) = exec_last {
+                self.push(
+                    "W214",
+                    Severity::Warning,
+                    span,
+                    "the execution bounds leave an empty range; the predicate can never match"
+                        .into(),
+                    None,
+                );
+            }
+        }
+    }
+
+    /// W201: module names resolve against the invocation table (the one
+    /// piece of session schema that is always resident on every
+    /// backend).
+    fn module_name(&mut self, c: &Comparison, s: &str, span: Span) {
+        match c.op {
+            CmpOp::Eq | CmpOp::Ne if !self.store_modules.iter().any(|m| m == s) => {
+                let sugg = did_you_mean(s, self.store_modules.iter().map(|m| m.as_str()));
+                let always = if c.op == CmpOp::Ne {
+                    "; '!=' against it is always true"
+                } else {
+                    "; the comparison can never match"
+                };
+                self.push(
+                    "W201",
+                    Severity::Warning,
+                    span,
+                    format!("no module named '{s}'{always}"),
+                    sugg,
+                );
+            }
+            CmpOp::Like if !self.store_modules.iter().any(|m| like_match(s, m)) => {
+                self.push(
+                    "W201",
+                    Severity::Warning,
+                    span,
+                    format!("pattern '{s}' matches none of the session's modules"),
+                    None,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// W202/W203: kind and role names come from a closed vocabulary.
+    fn vocab_name(
+        &mut self,
+        c: &Comparison,
+        s: &str,
+        span: Span,
+        what: &str,
+        code: &'static str,
+        universe: &[&'static str],
+    ) {
+        let known = universe.contains(&s);
+        match c.op {
+            CmpOp::Eq if !known => {
+                self.push(
+                    code,
+                    Severity::Warning,
+                    span,
+                    format!("no node {what} named '{s}'; the comparison can never match"),
+                    did_you_mean(s, universe.iter().copied()),
+                );
+            }
+            CmpOp::Ne if !known => {
+                self.push(
+                    code,
+                    Severity::Warning,
+                    span,
+                    format!("no node {what} named '{s}'; '!=' against it is always true"),
+                    did_you_mean(s, universe.iter().copied()),
+                );
+            }
+            CmpOp::Like if !universe.iter().any(|k| like_match(s, k)) => {
+                self.push(
+                    code,
+                    Severity::Warning,
+                    span,
+                    format!("pattern '{s}' matches no node {what}"),
+                    None,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn render_executions(execs: &[u32]) -> String {
+    if execs.is_empty() {
+        return "none".into();
+    }
+    execs
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// AST occurrences collected in source order, to pair with token sites.
+struct WalkState<'a> {
+    comps: Vec<&'a Comparison>,
+    classes: Vec<(NodeClass, &'a crate::ast::Predicate)>,
+    walks: Vec<(WalkDir, Option<u32>)>,
+}
+
+fn collect_query<'a>(e: &'a SetExpr, out: &mut WalkState<'a>) {
+    match e {
+        SetExpr::Term(t) => collect_term(t, out),
+        SetExpr::Union(a, b) | SetExpr::Intersect(a, b) => {
+            collect_query(a, out);
+            collect_query(b, out);
+        }
+    }
+}
+
+fn collect_term<'a>(t: &'a SetTerm, out: &mut WalkState<'a>) {
+    match t {
+        SetTerm::Subgraph(_) => {}
+        SetTerm::Walk {
+            dir, depth, filter, ..
+        } => {
+            out.walks.push((*dir, *depth));
+            out.comps.extend(filter.conjuncts.iter());
+        }
+        SetTerm::Match { class, filter } => {
+            out.classes.push((*class, filter));
+            out.comps.extend(filter.conjuncts.iter());
+        }
+        SetTerm::Paren(inner) => collect_query(inner, out),
+    }
+}
+
+/// Every predicate of a query in source order, with the owning MATCH
+/// class when the predicate belongs to one.
+fn collect_predicates(e: &SetExpr) -> Vec<(Option<NodeClass>, &crate::ast::Predicate)> {
+    fn go<'a>(e: &'a SetExpr, out: &mut Vec<(Option<NodeClass>, &'a crate::ast::Predicate)>) {
+        match e {
+            SetExpr::Term(SetTerm::Walk { filter, .. }) => out.push((None, filter)),
+            SetExpr::Term(SetTerm::Match { class, filter }) => out.push((Some(*class), filter)),
+            SetExpr::Term(SetTerm::Paren(inner)) => go(inner, out),
+            SetExpr::Term(SetTerm::Subgraph(_)) => {}
+            SetExpr::Union(a, b) | SetExpr::Intersect(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(e, &mut out);
+    out
+}
+
+/// Every `#id` node reference of a statement, in source order.
+fn collect_id_refs(stmt: &Statement) -> Vec<u32> {
+    fn push_ref(r: &NodeRef, out: &mut Vec<u32>) {
+        if let NodeRef::Id(n) = r {
+            out.push(*n);
+        }
+    }
+    fn walk_expr(e: &SetExpr, out: &mut Vec<u32>) {
+        match e {
+            SetExpr::Term(t) => match t {
+                SetTerm::Subgraph(r) => push_ref(r, out),
+                SetTerm::Walk { root, .. } => push_ref(root, out),
+                SetTerm::Match { .. } => {}
+                SetTerm::Paren(inner) => walk_expr(inner, out),
+            },
+            SetExpr::Union(a, b) | SetExpr::Intersect(a, b) => {
+                walk_expr(a, out);
+                walk_expr(b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Query(q) => walk_expr(&q.expr, &mut out),
+        Statement::Why(r) | Statement::DeletePropagate(r) | Statement::Eval(r, _) => {
+            push_ref(r, &mut out)
+        }
+        Statement::Depends(a, b) => {
+            push_ref(a, &mut out);
+            push_ref(b, &mut out);
+        }
+        Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => {
+            out = collect_id_refs(inner)
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_and_suggestions() {
+        assert_eq!(edit_distance("delta", "delta"), 0);
+        assert_eq!(edit_distance("detla", "delta"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(
+            did_you_mean("detla", ALL_KINDS.iter().copied()),
+            Some("did you mean 'delta'?".into())
+        );
+        assert_eq!(
+            did_you_mean("modul", ALL_FIELDS.iter().copied()),
+            Some("did you mean 'module'?".into())
+        );
+        // Nothing close enough: no suggestion.
+        assert_eq!(did_you_mean("zzzzzzzz", ALL_KINDS.iter().copied()), None);
+        // The input itself is never suggested back.
+        assert_eq!(did_you_mean("delta", ["delta"]), None);
+    }
+
+    #[test]
+    fn line_of_finds_lines() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_of(src, 0), (1, 0, "abc"));
+        assert_eq!(line_of(src, 5), (2, 4, "def"));
+        assert_eq!(line_of(src, 10), (3, 8, "ghi"));
+        assert_eq!(line_of(src, 99), (3, 8, "ghi"));
+    }
+
+    #[test]
+    fn site_scan_matches_source_order() {
+        let toks = lex_spanned(
+            "MATCH m-nodes WHERE module = 'a' AND kind != delta UNION ANCESTORS OF #3 DEPTH 2",
+        )
+        .unwrap();
+        let s = scan_sites(&toks);
+        assert_eq!(s.comparisons.len(), 2);
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.walks.len(), 1);
+        assert_eq!(s.depths, vec![(2, s.depths[0].1)]);
+        assert_eq!(s.node_ids.len(), 1);
+        assert_eq!(s.node_ids[0].0, 3);
+    }
+
+    #[test]
+    fn bare_ident_values_do_not_fake_keyword_sites() {
+        // `ancestors` here is a comparison *value*, not a walk keyword.
+        let toks = lex_spanned("MATCH nodes WHERE module = ancestors").unwrap();
+        let s = scan_sites(&toks);
+        assert_eq!(s.comparisons.len(), 1);
+        assert!(s.walks.is_empty());
+    }
+}

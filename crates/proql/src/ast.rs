@@ -560,6 +560,14 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE stmt` — execute and report the plan annotated
     /// with per-operator actuals (rows, visited, reads, wall time).
     ExplainAnalyze(Box<Statement>),
+    /// `CHECK stmt` — statically analyze a statement against the
+    /// session schema and report typed diagnostics. The inner
+    /// statement's raw source text is captured verbatim (it may not
+    /// even parse) and is **never executed**.
+    Check { source: String },
+    /// `EXPLAIN LINT stmt` — the same analysis surfaced through the
+    /// `EXPLAIN` family; diagnostics are byte-identical to `CHECK`.
+    ExplainLint { source: String },
     /// `STATS` — graph statistics.
     Stats,
 }
@@ -705,6 +713,12 @@ impl fmt::Display for Statement {
             Statement::DropIndex => f.write_str("DROP INDEX"),
             Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
             Statement::ExplainAnalyze(inner) => write!(f, "EXPLAIN ANALYZE {inner}"),
+            // The analyzed source prints verbatim: it was captured at
+            // token boundaries, so re-parsing recaptures it unchanged
+            // and the round-trip property holds even for inner text
+            // the parser itself would reject.
+            Statement::Check { source } => write!(f, "CHECK {source}"),
+            Statement::ExplainLint { source } => write!(f, "EXPLAIN LINT {source}"),
             Statement::Stats => f.write_str("STATS"),
         }
     }

@@ -203,6 +203,12 @@ pub(crate) fn execute_read(
                 &output,
             )))
         }
+        StmtPlan::Check { source } | StmtPlan::ExplainLint { source } => {
+            let _span = ctx.span("check");
+            Ok(QueryOutput::Diagnostics(crate::analyze::analyze(
+                graph, source,
+            )))
+        }
         StmtPlan::Delete(_)
         | StmtPlan::ZoomOut { .. }
         | StmtPlan::ZoomIn { .. }
@@ -485,6 +491,7 @@ pub(crate) fn output_rows(out: &QueryOutput) -> u64 {
         QueryOutput::Nodes(ns) => ns.nodes.len() as u64,
         QueryOutput::Table(t) => t.rows.len() as u64,
         QueryOutput::Deleted { nodes } => nodes.len() as u64,
+        QueryOutput::Diagnostics(d) => d.items.len() as u64,
         QueryOutput::Bool(_) | QueryOutput::Text(_) | QueryOutput::Message(_) => 1,
     }
 }

@@ -5,8 +5,47 @@
 //! so module names like `Mdealer1` or `in-flight-stats` need no
 //! quoting. Identifiers may contain `-` (ProQL has no arithmetic), which
 //! is what makes the `m-nodes` class names single tokens.
+//!
+//! Every token carries a [`Span`] — a half-open **byte** range into the
+//! original source — so the analyzer ([`crate::analyze`]) and the shell
+//! can point diagnostics at the exact offending text.
 
 use crate::error::{ProqlError, Result};
+
+/// A half-open byte range `start..end` into the source text.
+///
+/// Offsets are byte offsets (not char offsets), so `&src[span.start..
+/// span.end]` always slices the token's exact source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (end-of-input diagnostics).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
 
 /// One lexical token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +94,13 @@ impl std::fmt::Display for Tok {
     }
 }
 
+/// A token together with its byte span in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub span: Span,
+}
+
 fn is_ident_start(c: char) -> bool {
     c.is_alphabetic() || c == '_'
 }
@@ -64,70 +110,89 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Tokenize a ProQL script. `--` starts a comment running to end of
-/// line.
+/// line. Convenience wrapper over [`lex_spanned`] for callers that
+/// don't need positions.
 pub fn lex(input: &str) -> Result<Vec<Tok>> {
+    Ok(lex_spanned(input)?.into_iter().map(|s| s.tok).collect())
+}
+
+/// Tokenize a ProQL script, attaching a byte [`Span`] to every token.
+/// [`ProqlError::Lex`] positions are byte offsets into `input`.
+pub fn lex_spanned(input: &str) -> Result<Vec<SpannedTok>> {
     let mut out = Vec::new();
-    let bytes: Vec<char> = input.chars().collect();
+    let bytes = input.as_bytes();
     let mut i = 0;
+    let mut push = |tok: Tok, start: usize, end: usize| {
+        out.push(SpannedTok {
+            tok,
+            span: Span::new(start, end),
+        });
+    };
     while i < bytes.len() {
-        let c = bytes[i];
+        let Some(c) = input[i..].chars().next() else {
+            break;
+        };
         match c {
-            _ if c.is_whitespace() => i += 1,
-            '-' if bytes.get(i + 1) == Some(&'-') => {
-                while i < bytes.len() && bytes[i] != '\n' {
+            _ if c.is_whitespace() => i += c.len_utf8(),
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Comment to end of line. '\n' is ASCII, so a byte scan
+                // cannot land mid-codepoint.
+                while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
             }
             '(' => {
-                out.push(Tok::LParen);
+                push(Tok::LParen, i, i + 1);
                 i += 1;
             }
             ')' => {
-                out.push(Tok::RParen);
+                push(Tok::RParen, i, i + 1);
                 i += 1;
             }
             ',' => {
-                out.push(Tok::Comma);
+                push(Tok::Comma, i, i + 1);
                 i += 1;
             }
             ';' => {
-                out.push(Tok::Semi);
+                push(Tok::Semi, i, i + 1);
                 i += 1;
             }
             '*' => {
-                out.push(Tok::Star);
+                push(Tok::Star, i, i + 1);
                 i += 1;
             }
             '=' => {
-                out.push(Tok::Eq);
+                push(Tok::Eq, i, i + 1);
                 i += 1;
             }
-            '!' if bytes.get(i + 1) == Some(&'=') => {
-                out.push(Tok::Ne);
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                push(Tok::Ne, i, i + 2);
                 i += 2;
             }
             '<' => {
-                if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Tok::Le);
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Le, i, i + 2);
                     i += 2;
                 } else {
-                    out.push(Tok::Lt);
+                    push(Tok::Lt, i, i + 1);
                     i += 1;
                 }
             }
             '>' => {
-                if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Tok::Ge);
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Tok::Ge, i, i + 2);
                     i += 2;
                 } else {
-                    out.push(Tok::Gt);
+                    push(Tok::Gt, i, i + 1);
                     i += 1;
                 }
             }
             '\'' => {
+                // The closing quote is ASCII and UTF-8 continuation
+                // bytes never equal 0x27, so a byte scan is safe.
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && bytes[j] != '\'' {
+                while j < bytes.len() && bytes[j] != b'\'' {
                     j += 1;
                 }
                 if j >= bytes.len() {
@@ -136,7 +201,7 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
                         message: "unterminated string literal".into(),
                     });
                 }
-                out.push(Tok::Str(bytes[start..j].iter().collect()));
+                push(Tok::Str(input[start..j].to_string()), i, j + 1);
                 i = j + 1;
             }
             '#' => {
@@ -151,12 +216,12 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
                         message: "expected digits after '#'".into(),
                     });
                 }
-                let digits: String = bytes[start..j].iter().collect();
+                let digits = &input[start..j];
                 let id = digits.parse::<u32>().map_err(|_| ProqlError::Lex {
                     pos: i,
                     message: format!("node id #{digits} out of range"),
                 })?;
-                out.push(Tok::NodeId(id));
+                push(Tok::NodeId(id), i, j);
                 i = j;
             }
             _ if c.is_ascii_digit() => {
@@ -165,21 +230,27 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
                 while j < bytes.len() && bytes[j].is_ascii_digit() {
                     j += 1;
                 }
-                let digits: String = bytes[start..j].iter().collect();
+                let digits = &input[start..j];
                 let n = digits.parse::<u64>().map_err(|_| ProqlError::Lex {
                     pos: start,
                     message: format!("integer {digits} out of range"),
                 })?;
-                out.push(Tok::Int(n));
+                push(Tok::Int(n), start, j);
                 i = j;
             }
             _ if is_ident_start(c) => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len() && is_ident_continue(bytes[j]) {
-                    j += 1;
+                while j < bytes.len() {
+                    let Some(ch) = input[j..].chars().next() else {
+                        break;
+                    };
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    j += ch.len_utf8();
                 }
-                out.push(Tok::Ident(bytes[start..j].iter().collect()));
+                push(Tok::Ident(input[start..j].to_string()), start, j);
                 i = j;
             }
             other => {
@@ -236,5 +307,43 @@ mod tests {
     #[test]
     fn bare_hash_is_an_error() {
         assert!(matches!(lex("# 12"), Err(ProqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn spans_are_byte_ranges_into_the_source() {
+        let src = "MATCH m-nodes WHERE module = 'Mdealer1';";
+        let toks = lex_spanned(src).unwrap();
+        for t in &toks {
+            let text = &src[t.span.start..t.span.end];
+            match &t.tok {
+                Tok::Ident(s) => assert_eq!(text, s),
+                Tok::Str(s) => assert_eq!(text, format!("'{s}'")),
+                Tok::Eq => assert_eq!(text, "="),
+                Tok::Semi => assert_eq!(text, ";"),
+                other => panic!("unexpected token {other:?}"),
+            }
+        }
+        // The string literal span covers both quotes.
+        let lit = toks.iter().find(|t| matches!(t.tok, Tok::Str(_))).unwrap();
+        assert_eq!(lit.span, Span::new(29, 39));
+    }
+
+    #[test]
+    fn spans_survive_multibyte_text_and_comments() {
+        let src = "-- caf\u{e9}\nWHY 'caf\u{e9}'";
+        let toks = lex_spanned(src).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(&src[toks[1].span.start..toks[1].span.end], "'caf\u{e9}'");
+    }
+
+    #[test]
+    fn lex_error_position_is_a_byte_offset() {
+        // Two two-byte 'é's before the offending '@': byte offset 11,
+        // not char offset 9.
+        let err = lex("caf\u{e9} caf\u{e9}@").unwrap_err();
+        match err {
+            ProqlError::Lex { pos, .. } => assert_eq!(pos, 11),
+            other => panic!("expected lex error, got {other:?}"),
+        }
     }
 }

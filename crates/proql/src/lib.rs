@@ -86,7 +86,20 @@
 //! metrics registry (`lipstick_proql_statements_total`,
 //! `lipstick_proql_statement_us`, index build/repair series), which
 //! `lipstick-serve` exposes at `GET /metrics`.
+//!
+//! ## Static analysis
+//!
+//! `CHECK <stmt>` and `EXPLAIN LINT <stmt>` run the [`analyze`] pass —
+//! name resolution against the session schema with did-you-mean
+//! suggestions, type and satisfiability checking of predicates, and
+//! cost lints — **without executing** the statement. Diagnostics are
+//! typed values ([`analyze::Diagnostic`]: code, severity, byte span
+//! into the original source, message, optional suggestion) rendered
+//! byte-identically by every backend and both serve protocols; the
+//! lexer tracks byte spans ([`lexer::lex_spanned`]) so each diagnostic
+//! can underline the exact offending token.
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod exec;
@@ -100,6 +113,7 @@ pub mod session;
 mod shape;
 pub mod testgen;
 
+pub use analyze::{Diagnostic, Diagnostics, Severity};
 pub use error::ProqlError;
 pub use exec::Parallelism;
 pub use result::{NodeSetResult, QueryOutput, TableResult};

@@ -105,6 +105,12 @@ pub(crate) fn execute<S: GraphStore + Sync>(
                 &output,
             )))
         }
+        StmtPlan::Check { source } | StmtPlan::ExplainLint { source } => {
+            let _span = ctx.span("check");
+            Ok(QueryOutput::Diagnostics(crate::analyze::analyze(
+                store, source,
+            )))
+        }
         // Mutating plans are routed through promotion by the session.
         StmtPlan::Delete(_)
         | StmtPlan::ZoomOut { .. }

@@ -6,12 +6,12 @@
 
 use crate::ast::*;
 use crate::error::{ProqlError, Result};
-use crate::lexer::{lex, Tok};
+use crate::lexer::{lex_spanned, Span, SpannedTok, Tok};
 
 /// Parse a whole script: statements separated/terminated by `;`.
 pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
-    let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let toks = lex_spanned(input)?;
+    let mut p = Parser::new(input, toks);
     let mut out = Vec::new();
     while !p.at_end() {
         if p.eat_symbol(&Tok::Semi) {
@@ -40,18 +40,85 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
     }
 }
 
-struct Parser {
-    toks: Vec<Tok>,
+/// Parse exactly one statement from pre-lexed spanned tokens and, on
+/// failure, report the byte [`Span`] where parsing stopped. The
+/// analyzer uses this to anchor parse diagnostics in the source text;
+/// plain callers use [`parse_statement`].
+pub(crate) fn parse_spanned_statement(
+    src: &str,
+    toks: Vec<SpannedTok>,
+) -> std::result::Result<Statement, (ProqlError, Span)> {
+    let mut p = Parser::new(src, toks);
+    if p.at_end() {
+        return Err((
+            ProqlError::Parse("empty statement".into()),
+            Span::point(src.len()),
+        ));
+    }
+    match p.statement() {
+        Ok(stmt) => {
+            let _ = p.eat_symbol(&Tok::Semi); // trailing ';' allowed
+            if p.at_end() {
+                Ok(stmt)
+            } else {
+                let err = ProqlError::Parse(format!(
+                    "expected ';' between statements, found {}",
+                    p.peek_desc()
+                ));
+                let span = p.error_span(&err);
+                Err((err, span))
+            }
+        }
+        Err(e) => {
+            let span = p.error_span(&e);
+            Err((e, span))
+        }
+    }
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<SpannedTok>,
     pos: usize,
 }
 
-impl Parser {
+impl<'s> Parser<'s> {
+    fn new(src: &'s str, toks: Vec<SpannedTok>) -> Parser<'s> {
+        Parser { src, toks, pos: 0 }
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.toks.len()
     }
 
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    /// The span of the token at `i`, or a zero-width span at the end
+    /// of the consumed input when `i` runs off the token stream.
+    fn span_at(&self, i: usize) -> Span {
+        match self.toks.get(i) {
+            Some(t) => t.span,
+            None => Span::point(self.toks.last().map_or(self.src.len(), |t| t.span.end)),
+        }
+    }
+
+    /// Best-effort span for a parse error raised at the current
+    /// position. `Unknown*` errors are raised just *after* consuming
+    /// the offending identifier; everything else fails on the
+    /// not-yet-consumed token.
+    fn error_span(&self, err: &ProqlError) -> Span {
+        match err {
+            ProqlError::UnknownSemiring(_)
+            | ProqlError::UnknownClass(_)
+            | ProqlError::UnknownField(_)
+                if self.pos > 0 =>
+            {
+                self.span_at(self.pos - 1)
+            }
+            _ => self.span_at(self.pos),
+        }
     }
 
     fn peek_desc(&self) -> String {
@@ -62,7 +129,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -119,8 +186,16 @@ impl Parser {
                 let inner = self.statement()?;
                 return Ok(Statement::ExplainAnalyze(Box::new(inner)));
             }
+            if self.eat_kw("LINT") {
+                let source = self.capture_source("EXPLAIN LINT")?;
+                return Ok(Statement::ExplainLint { source });
+            }
             let inner = self.statement()?;
             return Ok(Statement::Explain(Box::new(inner)));
+        }
+        if self.eat_kw("CHECK") {
+            let source = self.capture_source("CHECK")?;
+            return Ok(Statement::Check { source });
         }
         if self.eat_kw("WHY") {
             return Ok(Statement::Why(self.node_ref()?));
@@ -175,6 +250,27 @@ impl Parser {
         let expr = self.set_expr()?;
         let shaping = self.shaping_tail(agg)?;
         Ok(Statement::Query(Query { expr, shaping }))
+    }
+
+    /// Capture the raw source text of the statement under analysis:
+    /// every token up to the next `;` (or end of input), sliced from
+    /// the original source by span. The text is *not* parsed here —
+    /// `CHECK`/`EXPLAIN LINT` accept statements the parser rejects, so
+    /// the analyzer can report syntax diagnostics with spans instead
+    /// of failing the whole script.
+    fn capture_source(&mut self, kw: &str) -> Result<String> {
+        let start_pos = self.pos;
+        while self.pos < self.toks.len() && self.toks[self.pos].tok != Tok::Semi {
+            self.pos += 1;
+        }
+        if self.pos == start_pos {
+            return Err(ProqlError::Parse(format!(
+                "{kw} requires a statement to analyze"
+            )));
+        }
+        let start = self.toks[start_pos].span.start;
+        let end = self.toks[self.pos - 1].span.end;
+        Ok(self.src[start..end].to_string())
     }
 
     /// `COUNT(*)` / `COUNT(DISTINCT field)` projection prefix.
@@ -755,6 +851,86 @@ mod tests {
         assert!(parse_statement("MATCH nodes LIMIT").is_err());
         assert!(parse_statement("MATCH nodes LIMIT 'three'").is_err());
         assert!(parse_statement("COUNT(module) MATCH nodes").is_err());
+    }
+
+    #[test]
+    fn check_captures_source_verbatim_without_parsing_it() {
+        // Well-formed inner statement.
+        let s = parse_statement("CHECK MATCH m-nodes WHERE module = 'Mdealer1'").unwrap();
+        assert_eq!(
+            s,
+            Statement::Check {
+                source: "MATCH m-nodes WHERE module = 'Mdealer1'".into()
+            }
+        );
+        // Display round-trips through the parser.
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+        assert!(s.is_read_only());
+
+        // Ill-formed inner statements still parse as CHECK: the
+        // analyzer reports the syntax diagnostic, not the parser.
+        let s = parse_statement("CHECK MATCH q-nodes WHERE").unwrap();
+        assert_eq!(
+            s,
+            Statement::Check {
+                source: "MATCH q-nodes WHERE".into()
+            }
+        );
+
+        // Capture stops at the statement separator.
+        let stmts = parse_script("CHECK MATCH nodes; STATS;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(
+            stmts[0],
+            Statement::Check {
+                source: "MATCH nodes".into()
+            }
+        );
+        assert!(matches!(stmts[1], Statement::Stats));
+
+        assert!(parse_statement("CHECK").is_err(), "needs a statement");
+        assert!(parse_statement("CHECK ;").is_err());
+    }
+
+    #[test]
+    fn explain_lint_parses_like_check() {
+        let s = parse_statement("EXPLAIN LINT ANCESTORS OF #7").unwrap();
+        assert_eq!(
+            s,
+            Statement::ExplainLint {
+                source: "ANCESTORS OF #7".into()
+            }
+        );
+        assert_eq!(parse_statement(&s.to_string()).unwrap(), s);
+        assert!(s.is_read_only());
+        assert!(parse_statement("EXPLAIN LINT").is_err());
+        // EXPLAIN ANALYZE / plain EXPLAIN still parse their inner
+        // statement eagerly.
+        assert!(matches!(
+            parse_statement("EXPLAIN STATS").unwrap(),
+            Statement::Explain(_)
+        ));
+    }
+
+    #[test]
+    fn spanned_parse_reports_error_positions() {
+        let src = "MATCH q-nodes";
+        let toks = crate::lexer::lex_spanned(src).unwrap();
+        let (err, span) = parse_spanned_statement(src, toks).unwrap_err();
+        assert!(matches!(err, ProqlError::UnknownClass(_)));
+        assert_eq!(&src[span.start..span.end], "q-nodes");
+
+        let src = "MATCH nodes WHERE size = 3";
+        let toks = crate::lexer::lex_spanned(src).unwrap();
+        let (err, span) = parse_spanned_statement(src, toks).unwrap_err();
+        assert!(matches!(err, ProqlError::UnknownField(_)));
+        assert_eq!(&src[span.start..span.end], "size");
+
+        // Errors at end-of-input get a zero-width span at the end.
+        let src = "MATCH nodes WHERE";
+        let toks = crate::lexer::lex_spanned(src).unwrap();
+        let (_, span) = parse_spanned_statement(src, toks).unwrap_err();
+        assert_eq!((span.start, span.end), (src.len(), src.len()));
     }
 
     #[test]

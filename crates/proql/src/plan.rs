@@ -229,6 +229,17 @@ pub enum StmtPlan {
     /// Execute the inner plan under a span tracer and render the plan
     /// annotated with per-operator actuals.
     ExplainAnalyze(Box<StmtPlan>),
+    /// `CHECK stmt` — run the static analyzer over the captured source
+    /// text. The statement under analysis is never planned here: it may
+    /// not even parse, and planning it would leak backend-specific
+    /// strategies into output that must stay byte-identical everywhere.
+    Check {
+        source: String,
+    },
+    /// `EXPLAIN LINT stmt` — same analysis, `EXPLAIN`-family spelling.
+    ExplainLint {
+        source: String,
+    },
 }
 
 impl fmt::Display for SetPlan {
@@ -408,6 +419,13 @@ impl fmt::Display for StmtPlan {
             StmtPlan::Stats => write!(f, "graph statistics"),
             StmtPlan::Explain(inner) => write!(f, "explain\n  {inner}"),
             StmtPlan::ExplainAnalyze(inner) => write!(f, "explain analyze\n  {inner}"),
+            StmtPlan::Check { .. } => {
+                write!(f, "check [static analysis only, statement never executes]")
+            }
+            StmtPlan::ExplainLint { .. } => write!(
+                f,
+                "explain lint [static analysis only, statement never executes]"
+            ),
         }
     }
 }

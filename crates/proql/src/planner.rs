@@ -131,6 +131,16 @@ impl<'a> Planner<'a> {
                 reject_mutating_analyze(inner)?;
                 StmtPlan::ExplainAnalyze(Box::new(self.plan(inner)?))
             }
+            // The analyzed source passes through untouched: resolving
+            // or planning it here would leak backend-specific work
+            // into CHECK, and would fail on ill-formed input instead
+            // of diagnosing it.
+            Statement::Check { source } => StmtPlan::Check {
+                source: source.clone(),
+            },
+            Statement::ExplainLint { source } => StmtPlan::ExplainLint {
+                source: source.clone(),
+            },
         })
     }
 
@@ -393,6 +403,16 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
                 reject_mutating_analyze(inner)?;
                 StmtPlan::ExplainAnalyze(Box::new(self.plan(inner)?))
             }
+            // The analyzed source passes through untouched: resolving
+            // or planning it here would leak backend-specific work
+            // into CHECK, and would fail on ill-formed input instead
+            // of diagnosing it.
+            Statement::Check { source } => StmtPlan::Check {
+                source: source.clone(),
+            },
+            Statement::ExplainLint { source } => StmtPlan::ExplainLint {
+                source: source.clone(),
+            },
         })
     }
 

@@ -158,6 +158,8 @@ pub enum QueryOutput {
     Deleted { nodes: Vec<NodeId> },
     /// Zoom and index statements report what they did.
     Message(String),
+    /// `CHECK` / `EXPLAIN LINT`: typed static-analysis diagnostics.
+    Diagnostics(crate::analyze::Diagnostics),
 }
 
 /// Escape a string for embedding in a JSON document (quotes,
@@ -198,6 +200,7 @@ impl QueryOutput {
     /// {"type":"text","text":"…"}
     /// {"type":"deleted","count":2,"nodes":[3,5]}
     /// {"type":"message","message":"…"}
+    /// {"type":"diagnostics","errors":1,"warnings":0,"infos":0,"diagnostics":[…]}
     /// ```
     pub fn to_json(&self) -> String {
         match self {
@@ -238,6 +241,7 @@ impl QueryOutput {
             QueryOutput::Message(m) => {
                 format!(r#"{{"type":"message","message":"{}"}}"#, json_escape(m))
             }
+            QueryOutput::Diagnostics(d) => d.to_json(),
         }
     }
 
@@ -273,6 +277,14 @@ impl QueryOutput {
             _ => None,
         }
     }
+
+    /// The diagnostics, when this output carries them.
+    pub fn diagnostics(&self) -> Option<&crate::analyze::Diagnostics> {
+        match self {
+            QueryOutput::Diagnostics(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for QueryOutput {
@@ -296,6 +308,7 @@ impl fmt::Display for QueryOutput {
                 Ok(())
             }
             QueryOutput::Message(m) => write!(f, "{m}"),
+            QueryOutput::Diagnostics(d) => write!(f, "{d}"),
         }
     }
 }
@@ -349,6 +362,29 @@ mod tests {
             table.to_string(),
             "2 row(s) (visited 9):\n  module | count\n  Magg | 4\n  (none) | 2"
         );
+        let diags = QueryOutput::Diagnostics(crate::analyze::Diagnostics {
+            source: "MATCH nodes".into(),
+            items: vec![crate::analyze::Diagnostic {
+                code: "C302",
+                severity: crate::analyze::Severity::Info,
+                span: crate::lexer::Span::new(6, 11),
+                message: "full scan".into(),
+                suggestion: Some("add a WHERE predicate".into()),
+            }],
+        });
+        assert_eq!(
+            diags.to_json(),
+            r#"{"type":"diagnostics","errors":0,"warnings":0,"infos":1,"diagnostics":[{"code":"C302","severity":"info","start":6,"end":11,"message":"full scan","suggestion":"add a WHERE predicate"}]}"#
+        );
+        let clean = QueryOutput::Diagnostics(crate::analyze::Diagnostics {
+            source: "STATS".into(),
+            items: vec![],
+        });
+        assert_eq!(
+            clean.to_json(),
+            r#"{"type":"diagnostics","errors":0,"warnings":0,"infos":0,"diagnostics":[]}"#
+        );
+        assert_eq!(clean.to_string(), "no diagnostics: statement is clean");
     }
 
     #[test]

@@ -415,6 +415,30 @@ impl Session {
         let stmt = parse_statement(statement)?;
         Ok(self.plan(&stmt)?.to_string())
     }
+
+    /// Statically analyze one statement against this session's schema
+    /// **without executing it** — what `CHECK <stmt>` returns. Works on
+    /// both backends; on a paged session only index-level facts (and
+    /// the kind of an `EVAL` target) fault in, and the session is never
+    /// promoted.
+    pub fn check(&self, statement: &str) -> crate::analyze::Diagnostics {
+        match &self.backend {
+            Backend::Resident(graph) => crate::analyze::analyze(graph, statement),
+            Backend::Paged(log) => {
+                contain_corruption(|| Ok(crate::analyze::analyze(log.as_ref(), statement)))
+                    .unwrap_or_else(|e| crate::analyze::Diagnostics {
+                        source: statement.to_string(),
+                        items: vec![crate::analyze::Diagnostic {
+                            code: "E001",
+                            severity: crate::analyze::Severity::Error,
+                            span: crate::lexer::Span::new(0, statement.len()),
+                            message: format!("analysis failed: {e}"),
+                            suggestion: None,
+                        }],
+                    })
+            }
+        }
+    }
 }
 
 /// Plan and execute one statement against a paged log. The footer only

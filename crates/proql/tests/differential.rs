@@ -306,6 +306,97 @@ fn explain_analyze_actuals_agree_across_engines() {
     }
 }
 
+/// Broken and lint-worthy statements whose diagnostics must be
+/// byte-identical across engines: one per diagnostic family, plus lex
+/// errors and mutating statements under CHECK.
+const INVALID_CORPUS: &[&str] = &[
+    "MATCH q-nodes",
+    "MATCH nodes WHERE size = 3",
+    "MATCH nodes WHERE kind = 'detla'",
+    "MATCH nodes WHERE module = 'NoSuchModule'",
+    "MATCH nodes WHERE",
+    "EVAL #0 IN countng",
+    "MATCH nodes WHERE execution = 'two'",
+    "MATCH m-nodes WHERE token = 'C2'",
+    "SUBGRAPH OF #999999",
+    "MATCH nodes WHERE module = 'a' AND module = 'b'",
+    "MATCH nodes WHERE execution > 5 AND execution < 3",
+    "MATCH nodes",
+    "ANCESTORS OF #0",
+    "DESCENDANTS OF #0 DEPTH 0",
+    "MATCH nodes WHERE kind LIKE 'delta'",
+    "MATCH base-nodes WHERE kind != 'base_tuple'",
+    "MATCH nodes WHERE role = 'free' AND role = 'free'",
+    "DELETE #0 PROPAGATE",
+    "MATCH nodes @",
+    "MATCH nodes WHERE execution = 99999",
+];
+
+/// `CHECK` / `EXPLAIN LINT` are differential too, with **no masking**:
+/// diagnostics carry no visited figures or backend state by design, so
+/// the rendering must agree byte-for-byte across the resident session,
+/// the paged session, and a server round trip — for a seeded corpus of
+/// invalid statements and for a seeded stream of generated valid ones.
+#[test]
+fn check_diagnostics_agree_byte_for_byte_across_engines() {
+    let mut rng = Rng::new(0xc4ec_d1a6_0357_11ab);
+    let graph = random_graph(&mut rng);
+    let vocab = Vocab::from_graph(&graph);
+    let path = temp_log(&graph, 9_000);
+
+    let resident = Session::load(&path).unwrap();
+    let paged = Session::open(&path).unwrap();
+    assert!(paged.is_paged());
+    let handle = Server::new(
+        Session::open(&path).unwrap(),
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 128,
+            ..ServerConfig::default()
+        },
+    )
+    .serve("127.0.0.1:0")
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let generated: Vec<String> = (0..24)
+        .map(|_| testgen::statement(&vocab, &mut rng).to_string())
+        .collect();
+    let corpus = INVALID_CORPUS
+        .iter()
+        .map(|s| s.to_string())
+        .chain(generated);
+
+    for inner in corpus {
+        for prefix in ["CHECK", "EXPLAIN LINT"] {
+            let text = format!("{prefix} {inner}");
+            let r = local_answer(&resident, &text);
+            let p = local_answer(&paged, &text);
+            let s = server_answer(&mut client, &text);
+            assert!(
+                r == p && p == s,
+                "diagnostics diverged.\n  statement: {text}\n  resident: {r:?}\n  \
+                 paged:    {p:?}\n  server:   {s:?}"
+            );
+            // Inner text that doesn't even lex is rejected by the
+            // *outer* statement lexer before CHECK can capture it —
+            // identically on every engine, per the agreement assert
+            // above. Everything else must come back as diagnostics.
+            if !inner.contains('@') {
+                assert!(
+                    matches!(&r, Answer::Ok(_)),
+                    "CHECK itself must succeed, returning diagnostics: {text} -> {r:?}"
+                );
+            }
+        }
+    }
+    assert!(paged.is_paged(), "CHECK must not promote the paged session");
+
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn differential_resident_paged_server() {
     let budget = case_budget();

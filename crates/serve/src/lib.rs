@@ -33,13 +33,19 @@
 //! use lipstick_proql::Session;
 //! use lipstick_serve::{Server, ServerConfig};
 //!
-//! let session = Session::open("provenance.lpstk").unwrap();
-//! let handle = Server::new(session, ServerConfig::default())
-//!     .serve("127.0.0.1:0")
-//!     .unwrap();
-//! println!("serving ProQL on {}", handle.addr());
-//! # handle.shutdown();
+//! fn main() -> Result<(), Box<dyn std::error::Error>> {
+//!     let session = Session::open("provenance.lpstk")?;
+//!     let handle = Server::new(session, ServerConfig::default()).serve("127.0.0.1:0")?;
+//!     println!("serving ProQL on {}", handle.addr());
+//!     handle.shutdown();
+//!     Ok(())
+//! }
 //! ```
+//!
+//! The request paths are **panic-free by construction**: malformed
+//! wire bytes surface as typed [`proto::ProtoError`] values, and
+//! `xtask lint` (run in CI) fails the build on any `unwrap()` /
+//! `expect()` / `panic!` reintroduced into this crate's non-test code.
 
 pub mod cache;
 pub mod client;
@@ -48,5 +54,5 @@ pub mod server;
 
 pub use cache::QueryCache;
 pub use client::Client;
-pub use proto::Reply;
+pub use proto::{ProtoError, Reply};
 pub use server::{Server, ServerConfig, ServerHandle};

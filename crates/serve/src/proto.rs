@@ -32,7 +32,65 @@
 //! `HTTP/1.x` version tag, which no ProQL statement can (statements
 //! never contain `/`).
 
+use std::fmt;
 use std::io::{BufRead, Result, Write};
+
+/// What went wrong while reading a peer's bytes: transport failure, or
+/// bytes that don't follow the protocol. Typed so callers can tell a
+/// dead socket from a corrupt (or hostile) peer without string
+/// matching, and so the read paths never panic on malformed input.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that violate the framing; the message names
+    /// what was expected.
+    Malformed(String),
+    /// The connection closed mid-frame (after a header promised more).
+    UnexpectedEof(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "protocol transport error: {e}"),
+            ProtoError::Malformed(what) => write!(f, "malformed protocol data: {what}"),
+            ProtoError::UnexpectedEof(what) => write!(f, "connection closed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Lets `?` lift protocol errors into `io::Result` call sites (the
+/// client and server loops), preserving the io error kind where one
+/// makes sense.
+impl From<ProtoError> for std::io::Error {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => io,
+            ProtoError::Malformed(what) => {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, what)
+            }
+            ProtoError::UnexpectedEof(what) => {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, what)
+            }
+        }
+    }
+}
 
 /// How a freshly accepted connection speaks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,8 +217,9 @@ pub fn write_err(w: &mut impl Write, message: &str) -> Result<()> {
 }
 
 /// Read one framed response off the wire (client side). Returns `None`
-/// on clean EOF before a header line.
-pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
+/// on clean EOF before a header line; bytes that violate the framing
+/// come back as [`ProtoError::Malformed`], never a panic.
+pub fn read_reply(r: &mut impl BufRead) -> std::result::Result<Option<Reply>, ProtoError> {
     let mut header = String::new();
     if r.read_line(&mut header)? == 0 {
         return Ok(None);
@@ -170,36 +229,35 @@ pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
         return Ok(Some(Reply::Err(msg.to_string())));
     }
     let Some(rest) = header.strip_prefix("OK ") else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("malformed response header: {header:?}"),
-        ));
+        return Err(ProtoError::Malformed(format!(
+            "response header: {header:?}"
+        )));
     };
     let mut fields = rest.split(' ');
-    let parse_fail = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed OK header");
+    let parse_fail = |what: &str| ProtoError::Malformed(format!("OK header field: {what}"));
     let nlines: usize = fields
         .next()
         .and_then(|s| s.parse().ok())
-        .ok_or_else(parse_fail)?;
+        .ok_or_else(|| parse_fail("payload line count"))?;
     let cache_hit = match fields.next() {
         Some("cache_hit=1") => true,
         Some("cache_hit=0") => false,
-        _ => return Err(parse_fail()),
+        _ => return Err(parse_fail("cache_hit")),
     };
     let epoch: u64 = fields
         .next()
         .and_then(|s| s.strip_prefix("epoch="))
         .and_then(|s| s.parse().ok())
-        .ok_or_else(parse_fail)?;
+        .ok_or_else(|| parse_fail("epoch"))?;
     // Timing trailers are newer than the framing: absent fields (an
     // older server) default to 0 rather than failing the parse.
     let mut time_us = 0u64;
     let mut reads = 0u64;
     for field in fields {
         if let Some(v) = field.strip_prefix("time_us=") {
-            time_us = v.parse().map_err(|_| parse_fail())?;
+            time_us = v.parse().map_err(|_| parse_fail("time_us"))?;
         } else if let Some(v) = field.strip_prefix("reads=") {
-            reads = v.parse().map_err(|_| parse_fail())?;
+            reads = v.parse().map_err(|_| parse_fail("reads"))?;
         }
     }
     // The header is untrusted wire input: never let a declared count
@@ -209,10 +267,7 @@ pub fn read_reply(r: &mut impl BufRead) -> Result<Option<Reply>> {
     for _ in 0..nlines {
         let mut line = String::new();
         if r.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-payload",
-            ));
+            return Err(ProtoError::UnexpectedEof("mid-payload"));
         }
         body_lines.push(line.trim_end_matches(['\r', '\n']).to_string());
     }
@@ -233,7 +288,9 @@ pub const MAX_HTTP_BODY: usize = 1 << 20;
 /// Returns `None` when the declared body exceeds [`MAX_HTTP_BODY`] —
 /// silently truncating could execute a different (valid-prefix)
 /// statement than the one sent, so the caller must reject instead.
-pub fn read_http_request_rest(r: &mut impl BufRead) -> Result<Option<String>> {
+pub fn read_http_request_rest(
+    r: &mut impl BufRead,
+) -> std::result::Result<Option<String>, ProtoError> {
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -254,7 +311,8 @@ pub fn read_http_request_rest(r: &mut impl BufRead) -> Result<Option<String>> {
         return Ok(None);
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)?;
+    r.read_exact(&mut body)
+        .map_err(|_| ProtoError::UnexpectedEof("before the declared Content-Length arrived"))?;
     Ok(Some(String::from_utf8_lossy(&body).into_owned()))
 }
 
@@ -352,12 +410,14 @@ mod tests {
         );
     }
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn ok_reply_roundtrips() {
+    fn ok_reply_roundtrips() -> TestResult {
         let mut buf = Vec::new();
-        write_ok(&mut buf, "line one\nline two", true, 7, 142, 9).unwrap();
+        write_ok(&mut buf, "line one\nline two", true, 7, 142, 9)?;
         let mut r = std::io::BufReader::new(&buf[..]);
-        let reply = read_reply(&mut r).unwrap().unwrap();
+        let reply = read_reply(&mut r)?.ok_or("missing reply")?;
         assert_eq!(
             reply,
             Reply::Ok {
@@ -368,16 +428,15 @@ mod tests {
                 body: "line one\nline two".into()
             }
         );
-        assert_eq!(read_reply(&mut r).unwrap(), None, "clean EOF");
+        assert_eq!(read_reply(&mut r)?, None, "clean EOF");
+        Ok(())
     }
 
     #[test]
-    fn empty_payload_roundtrips() {
+    fn empty_payload_roundtrips() -> TestResult {
         let mut buf = Vec::new();
-        write_ok(&mut buf, "", false, 0, 0, 0).unwrap();
-        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))
-            .unwrap()
-            .unwrap();
+        write_ok(&mut buf, "", false, 0, 0, 0)?;
+        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))?.ok_or("missing reply")?;
         assert_eq!(
             reply,
             Reply::Ok {
@@ -388,16 +447,15 @@ mod tests {
                 body: String::new()
             }
         );
+        Ok(())
     }
 
     /// A header from a pre-trailer server (no `time_us=`/`reads=`)
     /// still parses, defaulting both fields to 0.
     #[test]
-    fn headers_without_timing_trailers_still_parse() {
+    fn headers_without_timing_trailers_still_parse() -> TestResult {
         let wire = b"OK 1 cache_hit=0 epoch=3\nhello\n";
-        let reply = read_reply(&mut std::io::BufReader::new(&wire[..]))
-            .unwrap()
-            .unwrap();
+        let reply = read_reply(&mut std::io::BufReader::new(&wire[..]))?.ok_or("missing reply")?;
         assert_eq!(
             reply,
             Reply::Ok {
@@ -408,16 +466,43 @@ mod tests {
                 body: "hello".into()
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn err_reply_flattens_newlines() {
+    fn err_reply_flattens_newlines() -> TestResult {
         let mut buf = Vec::new();
-        write_err(&mut buf, "parse error:\nunexpected thing").unwrap();
-        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))
-            .unwrap()
-            .unwrap();
+        write_err(&mut buf, "parse error:\nunexpected thing")?;
+        let reply = read_reply(&mut std::io::BufReader::new(&buf[..]))?.ok_or("missing reply")?;
         assert_eq!(reply, Reply::Err("parse error:; unexpected thing".into()));
+        Ok(())
+    }
+
+    /// Framing violations come back as typed [`ProtoError`] values —
+    /// distinguishable from transport failures, and never a panic.
+    #[test]
+    fn malformed_bytes_yield_typed_errors() {
+        let garbage = b"WAT 3 cache_hit=9\n";
+        match read_reply(&mut std::io::BufReader::new(&garbage[..])) {
+            Err(ProtoError::Malformed(what)) => assert!(what.contains("response header")),
+            other => panic!("want Malformed, got {other:?}"),
+        }
+        let bad_field = b"OK x cache_hit=1 epoch=0\n";
+        match read_reply(&mut std::io::BufReader::new(&bad_field[..])) {
+            Err(ProtoError::Malformed(what)) => assert!(what.contains("payload line count")),
+            other => panic!("want Malformed, got {other:?}"),
+        }
+        // A header that promises more payload than arrives: EOF, typed.
+        let truncated = b"OK 2 cache_hit=0 epoch=1\nonly one line\n";
+        match read_reply(&mut std::io::BufReader::new(&truncated[..])) {
+            Err(ProtoError::UnexpectedEof(_)) => {}
+            other => panic!("want UnexpectedEof, got {other:?}"),
+        }
+        // The io::Error conversion keeps the error kinds apart.
+        let io: std::io::Error = ProtoError::Malformed("x".into()).into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+        let io: std::io::Error = ProtoError::UnexpectedEof("y").into();
+        assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

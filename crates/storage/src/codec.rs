@@ -14,6 +14,14 @@ use crate::varint::{get_count, get_i64, get_str, get_u32, put_i64, put_str, put_
 
 // ----- values -----
 
+/// Widen an in-memory length for the wire. Lossless on every supported
+/// target (usize ≤ 64 bits); spelled as `try_from` rather than `as` so
+/// the codec stays free of silently-truncating casts (`xtask lint`
+/// enforces this).
+fn wire_len(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Append a value.
 pub fn put_value(buf: &mut impl BufMut, v: &Value) {
     match v {
@@ -40,14 +48,14 @@ pub fn put_value(buf: &mut impl BufMut, v: &Value) {
         }
         Value::Bag(b) => {
             buf.put_u8(6);
-            put_u64(buf, b.len() as u64);
+            put_u64(buf, wire_len(b.len()));
             for t in b.iter() {
                 put_tuple(buf, t);
             }
         }
         Value::Map(m) => {
             buf.put_u8(7);
-            put_u64(buf, m.len() as u64);
+            put_u64(buf, wire_len(m.len()));
             for (k, v) in m.iter() {
                 put_str(buf, k);
                 put_value(buf, v);
@@ -97,7 +105,7 @@ pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
 
 /// Append a tuple.
 pub fn put_tuple(buf: &mut impl BufMut, t: &Tuple) {
-    put_u64(buf, t.arity() as u64);
+    put_u64(buf, wire_len(t.arity()));
     for v in t.fields() {
         put_value(buf, v);
     }

@@ -1,0 +1,358 @@
+//! Repo automation, invoked as `cargo run -p xtask -- <command>`.
+//!
+//! The only command today is `lint`: a zero-dependency source checker
+//! enforcing two invariants clippy has no lint for —
+//!
+//! 1. **Panic-free serve paths.** No `.unwrap()`, `.expect(…)`, or
+//!    `panic!(…)` in `crates/serve/src/**` outside `#[cfg(test)]`
+//!    modules: every statement a peer sends travels `proto.rs` →
+//!    `server.rs`, and a panic there kills a worker serving *other*
+//!    connections too. Malformed bytes must surface as typed
+//!    `ProtoError` values instead. (`unwrap_or`/`unwrap_or_else` and
+//!    friends remain fine — they don't panic.)
+//! 2. **Cast-free storage codec.** No bare `as` numeric casts in
+//!    `crates/storage/src/codec.rs`: a silently truncating cast in the
+//!    codec corrupts logs instead of reporting them corrupt. Widths
+//!    change via `From`/`TryFrom`, which either cannot fail or fail
+//!    loudly.
+//!
+//! The scanner strips comments, strings, and char literals first (so
+//! prose mentioning `panic!` doesn't trip it) and ignores everything
+//! from a `#[cfg(test)]` line to end of file — test modules sit last
+//! in every file in this workspace, and tests may assert with panics.
+//!
+//! CI runs `cargo run -p xtask -- lint`; exit status 1 means
+//! violations were printed, one per line, as `path:line: message`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    line: usize,
+    message: String,
+}
+
+/// Replace comment bodies, string contents, and char literals with
+/// spaces, preserving line structure so reported line numbers match the
+/// original file. Handles nested `/* */`, raw strings (`r"…"`,
+/// `r#"…"#`), escapes, and tells lifetimes (`'a`) from char literals.
+fn strip_comments_and_strings(src: &str) -> String {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' if matches!(bytes.get(i + 1), Some('"') | Some('#')) => {
+                // Raw string: count the hashes, skip to the matching
+                // closer.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&'"') {
+                    out.push(c);
+                    i += 1;
+                    continue;
+                }
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                'raw: while i < bytes.len() {
+                    if bytes[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal iff it closes within a few chars
+                // (`'x'`, `'\n'`, `'\u{1f}'`); otherwise a lifetime.
+                let close = (i + 2..(i + 12).min(bytes.len())).find(|&j| {
+                    bytes[j] == '\''
+                        && !(bytes[i + 1] == '\\' && j == i + 2 && bytes[j - 1] == '\\')
+                });
+                let is_char = bytes.get(i + 1) == Some(&'\\') || close == Some(i + 2);
+                if is_char {
+                    if let Some(j) = close {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Integer and float type names a bare `as` cast can target.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The serve-path rule: no panicking calls outside test code.
+fn check_no_panics(src: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(src);
+    let mut out = Vec::new();
+    for (n, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            // Test modules sit at the bottom of every file here;
+            // everything below may panic at will.
+            break;
+        }
+        for (pat, what) in [
+            (".unwrap()", "unwrap() on a serve request path"),
+            (".expect(", "expect() on a serve request path"),
+            ("panic!", "panic!() on a serve request path"),
+            ("unreachable!", "unreachable!() on a serve request path"),
+            ("todo!", "todo!() on a serve request path"),
+        ] {
+            if line.contains(pat) {
+                out.push(Violation {
+                    line: n + 1,
+                    message: format!("{what} (return a typed ProtoError instead)"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The codec rule: no bare `as` numeric casts.
+fn check_no_numeric_casts(src: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(src);
+    let mut out = Vec::new();
+    for (n, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let words: Vec<&str> = line
+            .split(|c: char| !is_ident_char(c))
+            .filter(|w| !w.is_empty())
+            .collect();
+        for pair in words.windows(2) {
+            if pair[0] == "as" && NUMERIC_TYPES.contains(&pair[1]) {
+                out.push(Violation {
+                    line: n + 1,
+                    message: format!(
+                        "bare `as {}` cast in the storage codec (use From/TryFrom; casts \
+                         truncate silently)",
+                        pair[1]
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Run every lint over the repo. Returns the rendered violations.
+fn run_lint(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut findings = Vec::new();
+
+    // Rule 1: the whole serve crate's sources.
+    let serve_dir = root.join("crates/serve/src");
+    let mut serve_files: Vec<PathBuf> = std::fs::read_dir(&serve_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    serve_files.sort();
+    for path in serve_files {
+        let src = std::fs::read_to_string(&path)?;
+        for v in check_no_panics(&src) {
+            findings.push(format!("{}:{}: {}", path.display(), v.line, v.message));
+        }
+    }
+
+    // Rule 2: the storage codec.
+    let codec = root.join("crates/storage/src/codec.rs");
+    let src = std::fs::read_to_string(&codec)?;
+    for v in check_no_numeric_casts(&src) {
+        findings.push(format!("{}:{}: {}", codec.display(), v.line, v.message));
+    }
+
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match run_lint(&workspace_root()) {
+            Ok(findings) if findings.is_empty() => {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} violation(s)", findings.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: cannot read sources: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_panics_are_caught() {
+        let bad = "fn handle() {\n    let x = foo().unwrap();\n    bar().expect(\"x\");\n    \
+                   panic!(\"boom\");\n}\n";
+        let vs = check_no_panics(bad);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].line, 2);
+        assert!(vs[0].message.contains("unwrap"));
+        assert_eq!(vs[1].line, 3);
+        assert!(vs[1].message.contains("expect"));
+        assert_eq!(vs[2].line, 4);
+        assert!(vs[2].message.contains("panic!"));
+    }
+
+    #[test]
+    fn non_panicking_variants_and_test_code_are_allowed() {
+        let ok = "fn handle() {\n    let x = foo().unwrap_or(0);\n    let y = \
+                  foo().unwrap_or_else(|| 1);\n    let z = foo().unwrap_or_default();\n}\n\
+                  #[cfg(test)]\nmod tests {\n    fn t() { foo().unwrap(); panic!(\"fine\"); }\n}\n";
+        assert_eq!(check_no_panics(ok), Vec::new());
+    }
+
+    #[test]
+    fn panics_in_comments_and_strings_are_ignored() {
+        let ok = "// a doc line saying .unwrap() is forbidden\n/* and panic!( too,\n   even \
+                  .expect( here */\nfn f() { let s = \".unwrap()\"; let c = '\\''; }\n";
+        assert_eq!(check_no_panics(ok), Vec::new());
+    }
+
+    #[test]
+    fn seeded_numeric_casts_are_caught() {
+        let bad = "fn enc(n: usize) {\n    put(n as u64);\n    let x = k as i32;\n}\n";
+        let vs = check_no_numeric_casts(bad);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].line, 2);
+        assert!(vs[0].message.contains("as u64"));
+        assert_eq!(vs[1].line, 3);
+    }
+
+    #[test]
+    fn cast_free_conversions_and_prose_are_allowed() {
+        let ok = "fn enc(n: usize) {\n    put(u64::try_from(n).unwrap_or(u64::MAX));\n    let s = \
+                  v.as_str();\n    // a comment about `n as u64` casts\n    let t: u64 = \
+                  u64::from(k);\n}\n";
+        assert_eq!(check_no_numeric_casts(ok), Vec::new());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive_stripping() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"panic!(\"in raw\")\"#;\n";
+        assert_eq!(check_no_panics(src), Vec::new());
+        let stripped = strip_comments_and_strings(src);
+        assert!(stripped.contains("fn f<'a>"));
+        assert!(!stripped.contains("in raw"));
+    }
+
+    /// The real repo must currently be clean — this is the same check
+    /// CI runs, so a panicking call can't land in serve without a
+    /// failing test pointing at the exact line.
+    #[test]
+    fn the_repo_itself_is_clean() {
+        let findings = run_lint(&workspace_root()).expect("workspace sources readable");
+        assert!(
+            findings.is_empty(),
+            "xtask lint violations:\n{}",
+            findings.join("\n")
+        );
+    }
+}

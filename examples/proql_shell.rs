@@ -40,8 +40,11 @@ ProQL statement forms:
   BUILD INDEX / DROP INDEX                 reachability closure on/off
   EXPLAIN <statement>                      show the physical plan
   EXPLAIN ANALYZE <statement>              run it and show per-operator actuals
+  CHECK <statement>                        static analysis only — typed diagnostics, never executes
+  EXPLAIN LINT <statement>                 same diagnostics, EXPLAIN-family spelling
   STATS                                    graph statistics (+ server counters when remote)
-Meta: \\dot (last node set as Graphviz), \\timing on|off, \\help, \\quit";
+Meta: \\dot (last node set as Graphviz), \\check <stmt> (shorthand for CHECK),
+      \\timing on|off, \\help, \\quit";
 
 /// Where statements go: a local session or a remote lipstick-serve.
 enum Engine {
@@ -170,8 +173,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::io::stdout().flush()?;
                 continue;
             }
+            "\\check" => {
+                println!("usage: \\check <statement>   (shorthand for CHECK <statement>;)");
+                print!("proql> ");
+                std::io::stdout().flush()?;
+                continue;
+            }
             _ => {}
         }
+        // `\check <stmt>` desugars to a complete `CHECK <stmt>;`
+        // statement, so the diagnostics (with their caret-underlined
+        // spans) come back through the normal execution path — local or
+        // remote alike.
+        let line = match trimmed.strip_prefix("\\check ") {
+            Some(rest) => format!("CHECK {};", rest.trim().trim_end_matches(';')),
+            None => line,
+        };
+        let trimmed = line.trim();
         buffer.push_str(&line);
         buffer.push('\n');
         if !trimmed.ends_with(';') {
