@@ -14,7 +14,10 @@
 //! - `union_parallel`: a 4-branch `UNION` of unbounded descendant
 //!   walks, 1 worker thread vs N (on a single-core host parity is
 //!   expected — `host_threads` records the hardware so readers can
-//!   interpret the figure).
+//!   interpret the figure);
+//! - `heap`: exact heap-byte breakdowns (closure rows, CSR, postings,
+//!   resident graph) from the `HeapSize` accounting, so index memory
+//!   regressions are as visible as time regressions.
 //!
 //! Usage: `bench_reach [--smoke] [--out PATH]`. `--smoke` runs one
 //! iteration of everything (CI keeps it in the build to catch rot);
@@ -23,6 +26,7 @@
 use std::time::Instant;
 
 use lipstick_bench::{run_dealers, top_nodes_by};
+use lipstick_core::obs::HeapSize;
 use lipstick_core::query::{ancestors_bounded, propagate_deletion_inplace, ReachIndex};
 use lipstick_core::{NodeId, ProvGraph};
 use lipstick_proql::{Parallelism, Session};
@@ -215,6 +219,35 @@ fn main() {
         tn_ns as f64 / 1e6
     );
 
+    // ---- heap-byte breakdowns ----
+    // The same `HeapSize` accounting behind `STATS` and the
+    // `lipstick_*_heap_bytes` gauges, recorded per component: closure
+    // rows from the reach index, CSR + postings from the v2 footer
+    // index of the same graph, and the resident graph itself.
+    let reach_heap = index.heap_breakdown();
+    let graph_heap_bytes = g.heap_bytes();
+    let log_index_heap = {
+        let path = std::env::temp_dir().join(format!("bench-reach-{}.lpstk", std::process::id()));
+        lipstick_storage::write_graph_v2(&g, &path).expect("write v2 log");
+        let paged = lipstick_storage::PagedLog::open(&path).expect("open v2 log");
+        let breakdown = paged.index().heap_breakdown();
+        std::fs::remove_file(&path).ok();
+        breakdown
+    };
+    let render_components = |components: &[(&'static str, usize)]| {
+        components
+            .iter()
+            .map(|(name, bytes)| format!("\"{name}\": {bytes}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    eprintln!(
+        "heap: reach {:.1} MiB, graph {:.1} MiB, log index {:.1} MiB",
+        reach_heap.iter().map(|(_, b)| b).sum::<usize>() as f64 / (1024.0 * 1024.0),
+        graph_heap_bytes as f64 / (1024.0 * 1024.0),
+        log_index_heap.iter().map(|(_, b)| b).sum::<usize>() as f64 / (1024.0 * 1024.0),
+    );
+
     let json = format!(
         "{{\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \
          \"graph_nodes\": {graph_nodes},\n  \
@@ -225,7 +258,9 @@ fn main() {
          \"rebuild_ms\": {rebuild_ms:.3}, \"speedup\": {repair_speedup:.2} }},\n  \
          \"union_parallel\": {{ \"graph_nodes\": {union_nodes}, \"branches\": 4, \
          \"threads\": {union_threads}, \"t1_ms\": {t1_ms:.3}, \"tn_ms\": {tn_ms:.3}, \
-         \"speedup\": {union_speedup:.2} }}\n}}\n",
+         \"speedup\": {union_speedup:.2} }},\n  \
+         \"heap\": {{ \"reach\": {{ {reach_heap_json} }}, \"graph_bytes\": {graph_heap_bytes}, \
+         \"log_index\": {{ {log_index_json} }} }}\n}}\n",
         graph_nodes = g.len(),
         build_ms = build_ns as f64 / 1e6,
         nroots = roots.len(),
@@ -237,6 +272,8 @@ fn main() {
         union_nodes = big.len(),
         t1_ms = t1_ns as f64 / 1e6,
         tn_ms = tn_ns as f64 / 1e6,
+        reach_heap_json = render_components(&reach_heap),
+        log_index_json = render_components(&log_index_heap),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_reach.json");
     eprintln!("wrote {out_path}");

@@ -7,9 +7,13 @@
 //! than a dashboard three tools downstream.
 //!
 //! Usage:
-//!   promcheck FILE          validate a saved exposition
-//!   promcheck -             validate stdin
-//!   promcheck --addr H:P    scrape http://H:P/metrics and validate
+//!   promcheck FILE [--require NAME]...          validate a saved exposition
+//!   promcheck - [--require NAME]...             validate stdin
+//!   promcheck --addr H:P [--require NAME]...    scrape http://H:P/metrics and validate
+//!
+//! Each `--require NAME` additionally asserts that a scalar sample with
+//! that exact series name is present — how CI pins the heap-byte gauges
+//! to the exposition.
 
 use std::io::Read;
 
@@ -17,9 +21,25 @@ use lipstick_core::obs::{parse_plain_samples, validate_prometheus_text};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let text = match args.first().map(String::as_str) {
+    let mut required: Vec<String> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--require" {
+            let name = args
+                .get(i + 1)
+                .unwrap_or_else(|| usage("--require needs a series name"));
+            required.push(name.clone());
+            i += 2;
+        } else {
+            inputs.push(args[i].clone());
+            i += 1;
+        }
+    }
+
+    let text = match inputs.first().map(String::as_str) {
         Some("--addr") => {
-            let addr = args
+            let addr = inputs
                 .get(1)
                 .unwrap_or_else(|| usage("--addr needs HOST:PORT"));
             let (status, body) = lipstick_serve::client::http_get(addr.as_str(), "/metrics")
@@ -45,10 +65,16 @@ fn main() {
     match validate_prometheus_text(&text) {
         Ok(()) => {
             let samples = parse_plain_samples(&text);
+            for name in &required {
+                if !samples.iter().any(|(n, _)| n == name) {
+                    fail(&format!("required series missing: {name}"));
+                }
+            }
             println!(
-                "ok: {} line(s), {} scalar sample(s)",
+                "ok: {} line(s), {} scalar sample(s), {} required series present",
                 text.lines().count(),
-                samples.len()
+                samples.len(),
+                required.len()
             );
         }
         Err(e) => fail(&format!("invalid exposition: {e}")),
@@ -56,7 +82,10 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("promcheck: {msg}\nusage: promcheck FILE | promcheck - | promcheck --addr HOST:PORT");
+    eprintln!(
+        "promcheck: {msg}\nusage: promcheck FILE | promcheck - | promcheck --addr HOST:PORT \
+         [--require NAME]..."
+    );
     std::process::exit(2);
 }
 

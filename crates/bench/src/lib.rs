@@ -7,6 +7,7 @@
 //! comparison.
 
 pub mod drivers;
+pub mod replay;
 
 pub use drivers::*;
 

@@ -1,0 +1,329 @@
+//! Workload replay: re-run a captured structured query log (see
+//! `lipstick_serve::qlog`) against any backend and check the results.
+//!
+//! Each captured event carries the statement as the client sent it and
+//! an FNV-1a fingerprint of the rendered text payload. Replaying the
+//! events *in capture order* re-executes the whole history — mutations
+//! included — so a backend opened on the same starting log must
+//! reproduce every payload byte-for-byte, except where the output is
+//! measurement rather than data:
+//!
+//! - `STATS` reports live counters, timings, and memory — never stable;
+//! - `EXPLAIN ANALYZE` embeds per-operator wall-clock actuals.
+//!
+//! Those events still replay (they advance caches and epochs exactly
+//! like the originals) but are *skipped* in the byte-identity tally.
+
+use std::time::Instant;
+
+use lipstick_core::obs::{Histogram, LATENCY_BUCKETS_US};
+use lipstick_proql::parser::parse_statement;
+use lipstick_proql::Session;
+use lipstick_serve::qlog::QueryEvent;
+use lipstick_serve::{Client, Reply};
+
+/// What one replayed statement produced: the text payload a
+/// line-protocol client would see, and how it got there.
+pub struct ReplayOutcome {
+    pub payload: String,
+    pub ok: bool,
+    /// Only meaningful against a server target; local sessions have no
+    /// result cache.
+    pub cache_hit: bool,
+}
+
+/// Anything a captured workload can be replayed against.
+pub trait ReplayTarget {
+    fn run(&mut self, input: &str) -> std::io::Result<ReplayOutcome>;
+}
+
+/// A remote `lipstick-serve` instance, driven over the line protocol —
+/// the same path the capture was taken on.
+impl ReplayTarget for Client {
+    fn run(&mut self, input: &str) -> std::io::Result<ReplayOutcome> {
+        Ok(match self.query(input)? {
+            Reply::Ok {
+                cache_hit, body, ..
+            } => ReplayOutcome {
+                payload: body,
+                ok: true,
+                cache_hit,
+            },
+            Reply::Err(message) => ReplayOutcome {
+                payload: message,
+                ok: false,
+                cache_hit: false,
+            },
+        })
+    }
+}
+
+/// An in-process session (resident or paged), mirroring the server's
+/// execution path: parse, then run — parse errors become the payload
+/// exactly as the server would report them.
+pub struct LocalTarget(pub Session);
+
+impl ReplayTarget for LocalTarget {
+    fn run(&mut self, input: &str) -> std::io::Result<ReplayOutcome> {
+        Ok(match parse_statement(input) {
+            Err(e) => ReplayOutcome {
+                payload: e.to_string(),
+                ok: false,
+                cache_hit: false,
+            },
+            Ok(stmt) => match self.0.run_stmt(&stmt) {
+                Ok(out) => ReplayOutcome {
+                    payload: out.to_string(),
+                    ok: true,
+                    cache_hit: false,
+                },
+                Err(e) => ReplayOutcome {
+                    payload: e.to_string(),
+                    ok: false,
+                    cache_hit: false,
+                },
+            },
+        })
+    }
+}
+
+/// Byte-identity is only asserted where the payload is data, not
+/// measurement.
+pub fn comparable(event: &QueryEvent) -> bool {
+    !(event.key.starts_with("STATS") || event.key.starts_with("EXPLAIN ANALYZE"))
+}
+
+/// One mismatch, kept for the report (the payload itself may be large;
+/// only the fingerprints and the statement are retained).
+pub struct Mismatch {
+    pub seq: u64,
+    pub stmt: String,
+    pub expected_fnv: u64,
+    pub got_fnv: u64,
+}
+
+/// The replay verdict: counts, cache behaviour, and the latency shape.
+pub struct ReplayReport {
+    /// Events in the captured log.
+    pub events: usize,
+    /// Events actually re-executed.
+    pub replayed: usize,
+    /// Comparable events whose payload fingerprint matched the capture.
+    pub matched: usize,
+    pub mismatched: Vec<Mismatch>,
+    /// Events replayed but excluded from the identity tally.
+    pub skipped: usize,
+    /// Cache hits recorded at capture time.
+    pub captured_cache_hits: usize,
+    /// Cache hits observed during this replay (0 for local targets).
+    pub replay_cache_hits: usize,
+    /// Per-bucket `(upper_bound_us, count)` replay latencies; the last
+    /// bound is `u64::MAX` (+Inf).
+    pub latency: Vec<(u64, u64)>,
+    pub total_us: u64,
+}
+
+impl ReplayReport {
+    pub fn identical(&self) -> bool {
+        self.mismatched.is_empty()
+    }
+
+    /// Human-readable summary: tallies, hit rates, and the non-empty
+    /// histogram buckets.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replayed {}/{} event(s) in {:.1} ms: {} matched, {} mismatched, {} skipped \
+             (measurement outputs)\n",
+            self.replayed,
+            self.events,
+            self.total_us as f64 / 1e3,
+            self.matched,
+            self.mismatched.len(),
+            self.skipped,
+        );
+        out.push_str(&format!(
+            "cache hit rate: captured {}/{}, replay {}/{}\n",
+            self.captured_cache_hits, self.events, self.replay_cache_hits, self.replayed,
+        ));
+        out.push_str("replay latency (µs):\n");
+        for &(bound, count) in &self.latency {
+            if count == 0 {
+                continue;
+            }
+            if bound == u64::MAX {
+                out.push_str(&format!("  le=+Inf    {count}\n"));
+            } else {
+                out.push_str(&format!("  le={bound:<8} {count}\n"));
+            }
+        }
+        for m in self.mismatched.iter().take(5) {
+            out.push_str(&format!(
+                "MISMATCH seq={} stmt={:?}: captured fnv {} != replayed {}\n",
+                m.seq, m.stmt, m.expected_fnv, m.got_fnv
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let latency: Vec<String> = self
+            .latency
+            .iter()
+            .map(|&(bound, count)| {
+                if bound == u64::MAX {
+                    format!("{{ \"le\": \"+Inf\", \"count\": {count} }}")
+                } else {
+                    format!("{{ \"le\": {bound}, \"count\": {count} }}")
+                }
+            })
+            .collect();
+        format!(
+            "{{\n  \"events\": {},\n  \"replayed\": {},\n  \"matched\": {},\n  \
+             \"mismatched\": {},\n  \"skipped\": {},\n  \"captured_cache_hits\": {},\n  \
+             \"replay_cache_hits\": {},\n  \"total_us\": {},\n  \"latency\": [{}]\n}}\n",
+            self.events,
+            self.replayed,
+            self.matched,
+            self.mismatched.len(),
+            self.skipped,
+            self.captured_cache_hits,
+            self.replay_cache_hits,
+            self.total_us,
+            latency.join(", "),
+        )
+    }
+}
+
+/// Re-execute `events` in capture order against `target`, fingerprint
+/// every payload, and tally byte-identity for the comparable ones.
+pub fn replay(
+    events: &[QueryEvent],
+    target: &mut dyn ReplayTarget,
+) -> std::io::Result<ReplayReport> {
+    let histogram = Histogram::new(LATENCY_BUCKETS_US);
+    let started = Instant::now();
+    let mut report = ReplayReport {
+        events: events.len(),
+        replayed: 0,
+        matched: 0,
+        mismatched: Vec::new(),
+        skipped: 0,
+        captured_cache_hits: events.iter().filter(|e| e.cache_hit).count(),
+        replay_cache_hits: 0,
+        latency: Vec::new(),
+        total_us: 0,
+    };
+    for event in events {
+        let start = Instant::now();
+        let outcome = target.run(&event.stmt)?;
+        histogram.observe(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        report.replayed += 1;
+        if outcome.cache_hit {
+            report.replay_cache_hits += 1;
+        }
+        if !comparable(event) {
+            report.skipped += 1;
+            continue;
+        }
+        let got = QueryEvent::fingerprint(&outcome.payload);
+        if got == event.result_fnv {
+            report.matched += 1;
+        } else {
+            report.mismatched.push(Mismatch {
+                seq: event.seq,
+                stmt: event.stmt.clone(),
+                expected_fnv: event.result_fnv,
+                got_fnv: got,
+            });
+        }
+    }
+    report.latency = histogram.snapshot();
+    report.total_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipstick_workflowgen::DealersParams;
+
+    /// A mixed workload: cacheable reads, an aggregate, a parse error,
+    /// a mutation (epoch bump), post-mutation reads, and the two
+    /// measurement outputs the identity tally must skip.
+    const WORKLOAD: &[&str] = &[
+        "MATCH base-nodes",
+        "COUNT(*) MATCH base-nodes",
+        "ANCESTORS OF #5 DEPTH 3",
+        "TOTALLY NOT PROQL",
+        "STATS",
+        "DELETE 'C2' PROPAGATE",
+        "MATCH base-nodes",
+        "EXPLAIN MATCH base-nodes UNION MATCH m-nodes",
+    ];
+
+    fn fresh_target() -> LocalTarget {
+        let graph = crate::run_dealers(
+            &DealersParams {
+                num_cars: 8,
+                num_exec: 2,
+                seed: 11,
+            },
+            true,
+        )
+        .graph
+        .expect("provenance graph");
+        LocalTarget(Session::new(graph))
+    }
+
+    /// Capture the workload against one fresh backend, fingerprinting
+    /// each payload the way the server's query log does.
+    fn capture() -> Vec<QueryEvent> {
+        let mut target = fresh_target();
+        WORKLOAD
+            .iter()
+            .enumerate()
+            .map(|(i, stmt)| {
+                let out = target.run(stmt).expect("local run");
+                QueryEvent {
+                    seq: i as u64,
+                    ts_us: 0,
+                    client: 0,
+                    stmt: stmt.to_string(),
+                    key: stmt.to_string(),
+                    outcome: if out.ok { "ok" } else { "err" }.to_string(),
+                    cache_hit: false,
+                    time_us: 0,
+                    reads: 0,
+                    epoch: 0,
+                    result_fnv: QueryEvent::fingerprint(&out.payload),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn local_replay_reproduces_every_payload_byte_for_byte() {
+        let events = capture();
+        let report = replay(&events, &mut fresh_target()).expect("replay");
+        assert!(report.identical(), "{}", report.render());
+        assert_eq!(report.replayed, WORKLOAD.len());
+        assert_eq!(report.skipped, 1, "STATS is measurement output");
+        assert_eq!(report.matched, WORKLOAD.len() - 1);
+        // Determinism: a second replay on another fresh backend must
+        // agree event for event, mutations and parse errors included.
+        let again = replay(&events, &mut fresh_target()).expect("replay");
+        assert!(again.identical(), "{}", again.render());
+        assert_eq!(again.matched, report.matched);
+    }
+
+    #[test]
+    fn replay_flags_divergent_payloads() {
+        let mut events = capture();
+        events[0].result_fnv ^= 1; // corrupt one comparable fingerprint
+        let report = replay(&events, &mut fresh_target()).expect("replay");
+        assert!(!report.identical());
+        assert_eq!(report.mismatched.len(), 1);
+        assert_eq!(report.mismatched[0].seq, 0);
+        assert!(report.render().contains("MISMATCH seq=0"));
+    }
+}

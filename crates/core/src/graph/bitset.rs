@@ -81,6 +81,11 @@ impl BitSet {
         }
     }
 
+    /// Heap bytes held by the word buffer (spare capacity included).
+    pub fn heap_bytes(&self) -> usize {
+        crate::obs::vec_alloc_bytes(&self.words)
+    }
+
     /// Iterate over set indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -95,6 +100,12 @@ impl BitSet {
                 }
             })
         })
+    }
+}
+
+impl crate::obs::HeapSize for BitSet {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        vec![("words", self.heap_bytes())]
     }
 }
 

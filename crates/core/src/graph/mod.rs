@@ -385,6 +385,61 @@ impl ProvGraph {
     }
 }
 
+impl crate::obs::HeapSize for ProvGraph {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        use crate::obs::vec_alloc_bytes;
+        let mut adjacency = 0usize;
+        let mut labels = 0usize;
+        for n in &self.nodes {
+            adjacency += vec_alloc_bytes(&n.preds) + vec_alloc_bytes(&n.succs);
+            labels += kind_heap_bytes(&n.kind);
+        }
+        let invocations = vec_alloc_bytes(&self.invocations)
+            + self
+                .invocations
+                .iter()
+                .map(|i| i.module.len())
+                .sum::<usize>();
+        let stashes = vec_alloc_bytes(&self.stashes)
+            + self
+                .stashes
+                .iter()
+                .map(|s| {
+                    s.module.len() + vec_alloc_bytes(&s.hidden) + vec_alloc_bytes(&s.zoom_nodes)
+                })
+                .sum::<usize>()
+            + self.zoomed_modules.capacity()
+                * (std::mem::size_of::<String>() + std::mem::size_of::<u32>() + 1)
+            + self.zoomed_modules.keys().map(String::len).sum::<usize>();
+        vec![
+            ("node_arena", vec_alloc_bytes(&self.nodes)),
+            ("adjacency", adjacency),
+            ("labels", labels),
+            ("invocations", invocations),
+            ("zoom_stashes", stashes),
+        ]
+    }
+}
+
+/// Owned heap bytes behind a node kind: token/name strings and constant
+/// values. `Arc` payloads count refcount header plus data; nested
+/// container constants are counted shallow (constants recorded in
+/// provenance graphs are atoms). Public so the paged store can price
+/// its decoded-record cache with the same ruler.
+pub fn kind_heap_bytes(kind: &NodeKind) -> usize {
+    const ARC_HEADER: usize = 16;
+    match kind {
+        NodeKind::WorkflowInput { token } | NodeKind::BaseTuple { token } => {
+            ARC_HEADER + token.0.len()
+        }
+        NodeKind::BlackBox { name, .. } => name.len(),
+        NodeKind::Const {
+            value: Value::Str(s),
+        } => ARC_HEADER + s.len(),
+        _ => 0,
+    }
+}
+
 /// Convenience: build graph fragments by hand in tests.
 impl ProvGraph {
     /// Add a base tuple node with a fresh token.

@@ -160,6 +160,19 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
+
+    /// Per-bucket (not cumulative) counts as `(upper_bound, count)`
+    /// pairs; the final pair's bound is `u64::MAX`, standing in for
+    /// +Inf. For consumers (`bench_replay`'s latency report) that want
+    /// the observed shape without scraping Prometheus text.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -194,8 +207,17 @@ pub fn registry() -> &'static Registry {
 }
 
 impl Registry {
+    /// Instruments are plain atomics, so a thread that panicked while
+    /// holding the registry lock cannot have left the map half-updated;
+    /// recover from poisoning instead of cascading the panic into every
+    /// later metrics call (the serve crate bans panics on request
+    /// paths, and `GET /metrics` is one).
+    fn locked(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner
             .counters
             .entry(name)
@@ -205,7 +227,7 @@ impl Registry {
     }
 
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner
             .gauges
             .entry(name)
@@ -220,7 +242,7 @@ impl Registry {
         help: &'static str,
         bounds: &[u64],
     ) -> Arc<Histogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner
             .histograms
             .entry(name)
@@ -232,7 +254,7 @@ impl Registry {
     /// Render every registered instrument in Prometheus text exposition
     /// format (`text/plain; version=0.0.4`).
     pub fn render_prometheus(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         let mut out = String::new();
         for (name, (help, c)) in &inner.counters {
             out.push_str(&format!(
@@ -443,7 +465,7 @@ impl Tracer {
     /// Consume the tracer and return the finished trace, spans in
     /// creation order.
     pub fn finish(self) -> QueryTrace {
-        let mut spans = self.spans.into_inner().unwrap();
+        let mut spans = self.spans.into_inner().unwrap_or_else(|e| e.into_inner());
         spans.sort_by_key(|s| s.id);
         QueryTrace { spans }
     }
@@ -554,7 +576,11 @@ impl Drop for SpanGuard<'_> {
                 end_us: tracer.now_us(),
                 attrs: std::mem::take(&mut self.attrs),
             };
-            tracer.spans.lock().unwrap().push(record);
+            tracer
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(record);
         }
     }
 }
@@ -669,6 +695,67 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+/// Deep heap footprint of a value.
+///
+/// `heap_breakdown()` is the single source of truth: named components
+/// whose byte counts **sum exactly** to `heap_bytes()` (the provided
+/// method just sums them), so the `STATS` memory section, the
+/// `lipstick_*_heap_bytes` gauges, and the shell's `\mem` command can
+/// never disagree about the total. Counts are *capacity-based
+/// estimates* of owned heap allocations (a `Vec<T>` contributes
+/// `capacity * size_of::<T>()`), excluding `size_of::<Self>()` itself
+/// and excluding allocator bookkeeping — comparable across runs, not a
+/// malloc audit.
+pub trait HeapSize {
+    /// Named components summing to the heap total. Component names are
+    /// stable identifiers (snake_case), rendered verbatim in `STATS`
+    /// and logs.
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)>;
+
+    /// Total owned heap bytes — the sum of [`HeapSize::heap_breakdown`].
+    fn heap_bytes(&self) -> usize {
+        self.heap_breakdown().iter().map(|(_, b)| b).sum()
+    }
+}
+
+/// Heap bytes owned by a `Vec`'s buffer, counting spare capacity (the
+/// allocation is what the process actually holds, not just the
+/// initialized prefix).
+pub fn vec_alloc_bytes<T>(v: &std::vec::Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Render a byte count for humans: `912 B`, `31.4 KiB`, `29.8 MiB`.
+pub fn format_bytes(bytes: usize) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b < KIB {
+        format!("{bytes} B")
+    } else if b < KIB * KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else if b < KIB * KIB * KIB {
+        format!("{:.1} MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    }
+}
+
+/// FNV-1a 64-bit hash. Used as the result digest in the structured
+/// query log so a replay can assert byte-identical results without
+/// storing full payloads.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,6 +839,34 @@ mod tests {
         let json = trace.to_json();
         assert!(json.contains("\"label\":\"execute\""));
         assert!(json.contains("\"rows\":5"));
+    }
+
+    #[test]
+    fn heap_breakdown_is_the_source_of_truth() {
+        struct Fake;
+        impl HeapSize for Fake {
+            fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+                vec![("a", 100), ("b", 28)]
+            }
+        }
+        assert_eq!(Fake.heap_bytes(), 128);
+        let v: Vec<u64> = Vec::with_capacity(10);
+        assert_eq!(vec_alloc_bytes(&v), 80);
+    }
+
+    #[test]
+    fn format_bytes_picks_sane_units() {
+        assert_eq!(format_bytes(912), "912 B");
+        assert_eq!(format_bytes(32_153), "31.4 KiB");
+        assert_eq!(format_bytes(31_250_000), "29.8 MiB");
+        assert!(format_bytes(3_000_000_000).ends_with(" GiB"));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]

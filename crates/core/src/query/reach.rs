@@ -122,7 +122,9 @@ impl ReachIndex {
         self.ancestors[of.index()].count()
     }
 
-    /// Approximate heap footprint in bytes (both closures).
+    /// Approximate heap footprint in bytes (both closures, word
+    /// buffers only — see [`crate::obs::HeapSize`] for the full
+    /// breakdown including row headers).
     pub fn memory_bytes(&self) -> usize {
         self.descendants
             .iter()
@@ -244,6 +246,20 @@ impl ReachIndex {
     /// and the property tests.
     pub fn matches_fresh_build(&self, graph: &ProvGraph) -> bool {
         *self == ReachIndex::build(graph)
+    }
+}
+
+impl crate::obs::HeapSize for ReachIndex {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        let desc: usize = self.descendants.iter().map(BitSet::heap_bytes).sum();
+        let anc: usize = self.ancestors.iter().map(BitSet::heap_bytes).sum();
+        let rows = crate::obs::vec_alloc_bytes(&self.descendants)
+            + crate::obs::vec_alloc_bytes(&self.ancestors);
+        vec![
+            ("descendant_closure", desc),
+            ("ancestor_closure", anc),
+            ("row_headers", rows),
+        ]
     }
 }
 

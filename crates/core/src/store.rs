@@ -86,6 +86,14 @@ pub trait GraphStore {
     fn kind_postings(&self, _kind: &str) -> Option<Vec<NodeId>> {
         None
     }
+
+    /// Named heap components of the store itself (the
+    /// [`crate::obs::HeapSize`] breakdown, surfaced through the trait so
+    /// store-generic code — the `STATS` memory section — works on any
+    /// backend). Empty when the store does not account its memory.
+    fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
 }
 
 impl GraphStore for ProvGraph {
@@ -115,6 +123,10 @@ impl GraphStore for ProvGraph {
 
     fn invocations(&self) -> &[InvocationInfo] {
         ProvGraph::invocations(self)
+    }
+
+    fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        crate::obs::HeapSize::heap_breakdown(self)
     }
 }
 

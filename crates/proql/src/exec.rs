@@ -184,12 +184,28 @@ pub(crate) fn execute_read(
             )))
         }
         StmtPlan::Stats => {
+            use lipstick_core::obs::HeapSize;
             let mut text = stats(graph).to_string();
             text.push_str(&format!(
-                "  {} invocation(s), {} zoomed-out module(s), reach index: {}",
+                "  {} invocation(s), {} zoomed-out module(s), reach index: {}\n",
                 graph.invocations().len(),
                 graph.zoomed_out_modules().len(),
                 if reach.is_some() { "present" } else { "absent" }
+            ));
+            let mut total = 0usize;
+            for (name, bytes) in graph.heap_breakdown() {
+                total += bytes;
+                text.push_str(&format!("  memory graph.{name}={bytes}\n"));
+            }
+            if let Some(idx) = reach {
+                for (name, bytes) in idx.heap_breakdown() {
+                    total += bytes;
+                    text.push_str(&format!("  memory reach.{name}={bytes}\n"));
+                }
+            }
+            text.push_str(&format!(
+                "  memory total={total} ({})",
+                lipstick_core::obs::format_bytes(total)
             ));
             Ok(QueryOutput::Text(text))
         }

@@ -117,4 +117,4 @@ pub use analyze::{Diagnostic, Diagnostics, Severity};
 pub use error::ProqlError;
 pub use exec::Parallelism;
 pub use result::{NodeSetResult, QueryOutput, TableResult};
-pub use session::Session;
+pub use session::{render_memory_report, MemoryComponent, Session};

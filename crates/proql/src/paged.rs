@@ -83,14 +83,24 @@ pub(crate) fn execute<S: GraphStore + Sync>(
             let visible = (0..store.node_count() as u32)
                 .filter(|i| store.is_visible(NodeId(*i)))
                 .count();
-            Ok(QueryOutput::Text(format!(
+            let mut text = format!(
                 "paged log: {} record(s), {} visible, {} invocation(s), {} record(s) decoded \
-                 so far",
+                 so far\n",
                 store.node_count(),
                 visible,
                 store.invocations().len(),
                 store.records_read()
-            )))
+            );
+            let mut total = 0usize;
+            for (name, bytes) in store.memory_breakdown() {
+                total += bytes;
+                text.push_str(&format!("  memory store.{name}={bytes}\n"));
+            }
+            text.push_str(&format!(
+                "  memory total={total} ({})",
+                lipstick_core::obs::format_bytes(total)
+            ));
+            Ok(QueryOutput::Text(text))
         }
         StmtPlan::DropIndex => Ok(QueryOutput::Message(
             "reach index dropped (paged sessions have none)".into(),

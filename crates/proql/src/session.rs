@@ -416,6 +416,44 @@ impl Session {
         Ok(self.plan(&stmt)?.to_string())
     }
 
+    /// Per-component heap breakdown of everything the session holds:
+    /// the backend store (resident graph or paged log) and the reach
+    /// closure. Groups are `"graph"`, `"paged_log"`, and `"reach"`;
+    /// component names come from each structure's
+    /// [`lipstick_core::obs::HeapSize`] breakdown, so this report, the
+    /// `STATS` memory section, and the `lipstick_*_heap_bytes` gauges
+    /// all sum the same numbers.
+    pub fn memory_report(&self) -> Vec<MemoryComponent> {
+        use lipstick_core::obs::HeapSize;
+        let mut out = Vec::new();
+        match &self.backend {
+            Backend::Resident(g) => {
+                out.extend(g.heap_breakdown().into_iter().map(|(k, v)| ("graph", k, v)));
+            }
+            Backend::Paged(log) => {
+                out.extend(
+                    log.heap_breakdown()
+                        .into_iter()
+                        .map(|(k, v)| ("paged_log", k, v)),
+                );
+            }
+        }
+        if let Some(idx) = &self.reach {
+            out.extend(
+                idx.heap_breakdown()
+                    .into_iter()
+                    .map(|(k, v)| ("reach", k, v)),
+            );
+        }
+        out
+    }
+
+    /// Total heap bytes held by the session (sum of
+    /// [`Session::memory_report`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.memory_report().iter().map(|(_, _, b)| *b).sum()
+    }
+
     /// Statically analyze one statement against this session's schema
     /// **without executing it** — what `CHECK <stmt>` returns. Works on
     /// both backends; on a paged session only index-level facts (and
@@ -439,6 +477,27 @@ impl Session {
             }
         }
     }
+}
+
+/// One heap component of a session: `(group, component, bytes)` —
+/// e.g. `("graph", "adjacency", 81920)`.
+pub type MemoryComponent = (&'static str, &'static str, usize);
+
+/// Render a memory report for humans (the shell's `\mem` command):
+/// one line per component plus a total, largest first.
+pub fn render_memory_report(components: &[MemoryComponent]) -> String {
+    use lipstick_core::obs::format_bytes;
+    let total: usize = components.iter().map(|(_, _, b)| *b).sum();
+    let mut sorted: Vec<&MemoryComponent> = components.iter().collect();
+    sorted.sort_by_key(|(_, _, b)| std::cmp::Reverse(*b));
+    let mut out = format!("session heap: {} ({total} B)\n", format_bytes(total));
+    for (group, name, bytes) in sorted {
+        out.push_str(&format!(
+            "  {group}.{name}: {} ({bytes} B)\n",
+            format_bytes(*bytes)
+        ));
+    }
+    out
 }
 
 /// Plan and execute one statement against a paged log. The footer only

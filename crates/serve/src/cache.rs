@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use lipstick_core::obs;
 
 /// A cached, fully rendered query result: both wire representations,
 /// produced once at insert so repeated hits skip planning, execution,
@@ -51,10 +53,34 @@ pub struct QueryCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Payload bytes (keys + rendered results + entry headers)
+    /// currently resident in this cache instance.
+    bytes: AtomicU64,
+    /// Entries dropped by this instance: LRU evictions plus lazy
+    /// stale-entry removals.
+    evictions: AtomicU64,
+    /// Process-wide series mirroring the two atomics above, maintained
+    /// by delta so the gauge is a true sum across every live cache in
+    /// the process ([`Drop`] gives the bytes back).
+    bytes_gauge: Arc<obs::Gauge>,
+    evictions_total: Arc<obs::Counter>,
+}
+
+/// Bytes a cached entry pins: the key, both rendered payloads, and the
+/// fixed entry/key headers. String capacity slack is not visible here,
+/// so this is a lower bound — close in practice because the strings
+/// come fresh from rendering.
+fn entry_bytes(key: &str, result: &CachedResult) -> usize {
+    key.len()
+        + result.text.len()
+        + result.json.len()
+        + std::mem::size_of::<Entry>()
+        + std::mem::size_of::<String>()
 }
 
 impl QueryCache {
     pub fn new(capacity: usize) -> QueryCache {
+        let r = obs::registry();
         QueryCache {
             inner: Mutex::new(Lru {
                 map: HashMap::new(),
@@ -63,7 +89,27 @@ impl QueryCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_gauge: r.gauge(
+                "lipstick_serve_cache_bytes",
+                "Payload bytes resident across every query cache in the process",
+            ),
+            evictions_total: r.counter(
+                "lipstick_serve_cache_evictions_total",
+                "Cache entries dropped: LRU evictions plus lazy stale-entry removals",
+            ),
         }
+    }
+
+    /// Account one entry leaving the cache (LRU eviction, stale drop,
+    /// or replacement by a fresh result under the same key).
+    fn account_removal(&self, key: &str, entry: &Entry) {
+        let freed = entry_bytes(key, &entry.result) as u64;
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_gauge.add(-(freed as i64));
+        self.evictions_total.inc();
     }
 
     /// Look up `key` at the given epoch. An entry from an older epoch
@@ -84,7 +130,9 @@ impl QueryCache {
                 Some(result)
             }
             Some(_) => {
-                lru.map.remove(key);
+                if let Some(entry) = lru.map.remove(key) {
+                    self.account_removal(key, &entry);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -112,17 +160,35 @@ impl QueryCache {
                 .min_by_key(|(_, e)| (e.epoch == epoch, e.last_used))
                 .map(|(k, _)| k.clone());
             if let Some(v) = victim {
-                lru.map.remove(&v);
+                if let Some(entry) = lru.map.remove(&v) {
+                    self.account_removal(&v, &entry);
+                }
             }
         }
-        lru.map.insert(
+        let added = entry_bytes(&key, &result) as u64;
+        let key_len = key.len();
+        if let Some(replaced) = lru.map.insert(
             key,
             Entry {
                 epoch,
                 result,
                 last_used: tick,
             },
-        );
+        ) {
+            // Same key re-inserted (e.g. recomputed at a newer epoch):
+            // the old payload leaves, but nothing was "evicted". The
+            // retained key is identical to the incoming one, so its
+            // length stands in for the replaced entry's key bytes.
+            let freed = (key_len
+                + replaced.result.text.len()
+                + replaced.result.json.len()
+                + std::mem::size_of::<Entry>()
+                + std::mem::size_of::<String>()) as u64;
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.bytes_gauge.add(-(freed as i64));
+        }
+        self.bytes.fetch_add(added, Ordering::Relaxed);
+        self.bytes_gauge.add(added as i64);
     }
 
     /// Cache hits served so far.
@@ -147,6 +213,40 @@ impl QueryCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Payload bytes currently resident in this cache instance.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries this instance has dropped (LRU evictions + stale drops).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl obs::HeapSize for QueryCache {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        let table = {
+            let lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            lru.map.capacity() * (std::mem::size_of::<String>() + std::mem::size_of::<Entry>() + 1)
+        };
+        vec![
+            ("payload", self.bytes.load(Ordering::Relaxed) as usize),
+            ("table", table),
+        ]
+    }
+}
+
+impl Drop for QueryCache {
+    fn drop(&mut self) {
+        // Give the resident bytes back to the process-wide gauge, or
+        // short-lived caches (tests, benches) would leak into it.
+        let remaining = self.bytes.load(Ordering::Relaxed);
+        if remaining > 0 {
+            self.bytes_gauge.add(-(remaining as i64));
+        }
     }
 }
 
@@ -199,5 +299,43 @@ mod tests {
         cache.insert("new".into(), 1, result("n"));
         assert!(cache.get("fresh", 1).is_some(), "fresh survived");
         assert!(cache.get("new", 1).is_some());
+    }
+
+    #[test]
+    fn byte_accounting_balances_across_churn() {
+        let cache = QueryCache::new(2);
+        assert_eq!(cache.bytes(), 0);
+        cache.insert("a".into(), 0, result("aa"));
+        let one = cache.bytes();
+        assert_eq!(one as usize, entry_bytes("a", &result("aa")));
+        cache.insert("b".into(), 0, result("bb"));
+        assert_eq!(cache.bytes(), 2 * one);
+        // Replacement under the same key swaps payloads without an
+        // eviction.
+        cache.insert("a".into(), 1, result("aa"));
+        assert_eq!(cache.bytes(), 2 * one);
+        assert_eq!(cache.evictions(), 0);
+        // LRU eviction at capacity frees the victim's bytes.
+        cache.insert("c".into(), 1, result("cc"));
+        assert_eq!(cache.bytes(), 2 * one);
+        assert_eq!(cache.evictions(), 1);
+        // A stale drop on lookup counts as an eviction too.
+        cache.insert("d".into(), 0, result("dd"));
+        assert_eq!(cache.evictions(), 2, "capacity eviction for d");
+        assert_eq!(cache.get("d", 5), None);
+        assert_eq!(cache.evictions(), 3, "stale drop of d");
+        assert_eq!(cache.bytes(), one);
+    }
+
+    #[test]
+    fn heap_breakdown_includes_payload_and_table() {
+        use lipstick_core::obs::HeapSize;
+        let cache = QueryCache::new(4);
+        cache.insert("q".into(), 0, result("r"));
+        let parts = cache.heap_breakdown();
+        assert_eq!(parts[0].0, "payload");
+        assert_eq!(parts[0].1, cache.bytes() as usize);
+        assert_eq!(parts[1].0, "table");
+        assert!(cache.heap_bytes() >= parts[0].1);
     }
 }

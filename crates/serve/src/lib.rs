@@ -50,9 +50,11 @@
 pub mod cache;
 pub mod client;
 pub mod proto;
+pub mod qlog;
 pub mod server;
 
 pub use cache::QueryCache;
 pub use client::Client;
 pub use proto::{ProtoError, Reply};
+pub use qlog::{QueryEvent, QueryLog, QueryLogConfig};
 pub use server::{Server, ServerConfig, ServerHandle};

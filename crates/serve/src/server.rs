@@ -37,6 +37,7 @@ use crate::proto::{
     classify_first_line, percent_decode, read_http_request_rest, write_err, write_http_json,
     write_http_text, write_ok, FirstLine,
 };
+use crate::qlog::{QueryEvent, QueryLog, QueryLogConfig};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +50,13 @@ pub struct ServerConfig {
     /// land in the slow-query ring with their full trace. 0 records
     /// every traced read; `u64::MAX` effectively disables the ring.
     pub slow_threshold_us: u64,
+    /// Structured query log (JSONL capture for `bench_replay`). `None`
+    /// — the default — keeps the hot path entirely log-free.
+    pub query_log: Option<QueryLogConfig>,
+    /// Keep the full trace of every Nth read in the slow-query ring
+    /// regardless of latency, so `GET /slow` shows a representative
+    /// sample and not just outliers. 0 (the default) disables sampling.
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +65,8 @@ impl Default for ServerConfig {
             workers: 4,
             cache_capacity: 256,
             slow_threshold_us: 1_000,
+            query_log: None,
+            trace_sample_every: 0,
         }
     }
 }
@@ -86,6 +96,14 @@ struct Instruments {
     connections: Arc<obs::Counter>,
     response_us: Arc<obs::Histogram>,
     epoch: Arc<obs::Gauge>,
+    /// Heap-byte gauges, one per disjoint memory component; refreshed
+    /// by [`Shared::refresh_heap_gauges`] on `GET /metrics` and
+    /// `STATS`, so their sum matches the `STATS` memory breakdown.
+    graph_heap: Arc<obs::Gauge>,
+    reach_heap: Arc<obs::Gauge>,
+    paged_log_heap: Arc<obs::Gauge>,
+    fault_cache_heap: Arc<obs::Gauge>,
+    serve_cache_heap: Arc<obs::Gauge>,
 }
 
 impl Instruments {
@@ -121,6 +139,26 @@ impl Instruments {
                 "lipstick_serve_epoch",
                 "Write epoch of the most recently mutated server in this process",
             ),
+            graph_heap: r.gauge(
+                "lipstick_core_graph_heap_bytes",
+                "Heap bytes held by the resident provenance graph (most recently scraped server)",
+            ),
+            reach_heap: r.gauge(
+                "lipstick_core_reach_heap_bytes",
+                "Heap bytes held by the reachability closure",
+            ),
+            paged_log_heap: r.gauge(
+                "lipstick_storage_paged_log_heap_bytes",
+                "Heap bytes held by the paged log (raw bytes, footer index, invocations)",
+            ),
+            fault_cache_heap: r.gauge(
+                "lipstick_storage_fault_cache_heap_bytes",
+                "Heap bytes held by the paged log's sharded record fault cache",
+            ),
+            serve_cache_heap: r.gauge(
+                "lipstick_serve_cache_heap_bytes",
+                "Heap bytes held by the server's plan-keyed result cache",
+            ),
         }
     }
 }
@@ -137,6 +175,13 @@ struct Shared {
     instruments: Instruments,
     slow: Mutex<VecDeque<SlowEntry>>,
     slow_threshold_us: u64,
+    /// Structured query log; `None` keeps the path log-free.
+    qlog: Option<QueryLog>,
+    /// Connection ids, assigned at accept; stamped into log events.
+    clients: AtomicU64,
+    /// Read counter driving 1-in-N full-trace sampling.
+    sample_tick: AtomicU64,
+    trace_sample_every: u64,
 }
 
 /// The outcome of one statement, ready for either wire format.
@@ -157,20 +202,22 @@ impl Shared {
     /// Parse, normalize, consult the cache, execute, and (for read-only
     /// statements) populate the cache. The single execution path both
     /// protocols share.
-    fn run_statement(&self, input: &str) -> Outcome {
+    fn run_statement(&self, input: &str, client: u64) -> Outcome {
         let start = Instant::now();
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.instruments.queries.inc();
         let stmt = match parse_statement(input) {
             Ok(stmt) => stmt,
             Err(e) => {
-                return Outcome {
+                let outcome = Outcome {
                     result: Err(e.to_string()),
                     cache_hit: false,
                     epoch: self.epoch.load(Ordering::Acquire),
                     time_us: elapsed_us(start),
                     reads: 0,
-                }
+                };
+                self.log_event(input, "", &outcome, client);
+                return outcome;
             }
         };
         let outcome = if matches!(stmt, Statement::Stats) {
@@ -184,7 +231,72 @@ impl Shared {
             self.run_write(&stmt, start)
         };
         self.instruments.response_us.observe(outcome.time_us);
+        self.log_event(input, &stmt.to_string(), &outcome, client);
         outcome
+    }
+
+    /// Append one event to the structured query log, if one is
+    /// configured. The result fingerprint hashes the text payload —
+    /// what a line-protocol client would have received — so replay can
+    /// check byte-identity without storing the bytes.
+    fn log_event(&self, input: &str, key: &str, outcome: &Outcome, client: u64) {
+        let Some(qlog) = &self.qlog else { return };
+        let (verdict, fnv) = match &outcome.result {
+            Ok(result) => ("ok", QueryEvent::fingerprint(&result.text)),
+            Err(message) => ("err", QueryEvent::fingerprint(message)),
+        };
+        qlog.append(QueryEvent {
+            seq: 0, // assigned by the log, under its lock
+            ts_us: qlog.now_us(),
+            client,
+            stmt: input.to_string(),
+            key: key.to_string(),
+            outcome: verdict.to_string(),
+            cache_hit: outcome.cache_hit,
+            time_us: outcome.time_us,
+            reads: outcome.reads,
+            epoch: outcome.epoch,
+            result_fnv: fnv,
+        });
+    }
+
+    /// 1-in-N trace sampling: true when this read's full trace should
+    /// be retained regardless of latency.
+    fn trace_sampled(&self) -> bool {
+        let every = self.trace_sample_every;
+        every > 0
+            && self
+                .sample_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(every)
+    }
+
+    /// Recompute the process-wide heap gauges from this server's live
+    /// state. Like the epoch gauge, last writer wins when several
+    /// servers share the process.
+    fn refresh_heap_gauges(&self) {
+        use lipstick_core::obs::HeapSize;
+        let report = {
+            let session = self.session.read().unwrap_or_else(|e| e.into_inner());
+            session.memory_report()
+        };
+        let (mut graph, mut reach, mut paged, mut fault) = (0i64, 0i64, 0i64, 0i64);
+        for (group, component, bytes) in report {
+            match (group, component) {
+                ("graph", _) => graph += bytes as i64,
+                ("reach", _) => reach += bytes as i64,
+                ("paged_log", "fault_cache") => fault += bytes as i64,
+                ("paged_log", _) => paged += bytes as i64,
+                _ => {}
+            }
+        }
+        self.instruments.graph_heap.set(graph);
+        self.instruments.reach_heap.set(reach);
+        self.instruments.paged_log_heap.set(paged);
+        self.instruments.fault_cache_heap.set(fault);
+        self.instruments
+            .serve_cache_heap
+            .set(self.cache.heap_bytes() as i64);
     }
 
     fn run_read(&self, stmt: &Statement, start: Instant) -> Outcome {
@@ -233,7 +345,7 @@ impl Shared {
                 if cacheable {
                     self.cache.insert(key.clone(), epoch, result.clone());
                 }
-                if time_us >= self.slow_threshold_us {
+                if time_us >= self.slow_threshold_us || self.trace_sampled() {
                     self.record_slow(SlowEntry {
                         stmt: key,
                         time_us,
@@ -271,15 +383,34 @@ impl Shared {
         drop(session);
         match executed {
             Ok(out) => {
+                use lipstick_core::obs::HeapSize;
                 let (hits, misses) = (self.cache.hits(), self.cache.misses());
-                let text = format!(
+                let mut text = format!(
                     "{out}\nserver: epoch={epoch} queries={} mutations={} slow-log={}\n\
-                     server: cache hits={hits} misses={misses} entries={}",
+                     server: cache hits={hits} misses={misses} entries={} bytes={} evictions={}",
                     self.queries.load(Ordering::Relaxed),
                     self.mutations.load(Ordering::Relaxed),
                     self.slow.lock().unwrap_or_else(|e| e.into_inner()).len(),
                     self.cache.len(),
+                    self.cache.bytes(),
+                    self.cache.evictions(),
                 );
+                // The serve-side memory components, in the same
+                // `  memory <group>.<component>=<bytes>` shape the
+                // session's report uses, so one parse covers both.
+                for (name, bytes) in self.cache.heap_breakdown() {
+                    text.push_str(&format!("\n  memory serve_cache.{name}={bytes}"));
+                }
+                if let Some(qlog) = &self.qlog {
+                    text.push_str(&format!(
+                        "\nserver: query-log events={} generation={}",
+                        qlog.events(),
+                        qlog.generation()
+                    ));
+                }
+                // STATS is the other scrape point besides /metrics:
+                // leave the gauges agreeing with what was just printed.
+                self.refresh_heap_gauges();
                 let combined = QueryOutput::Text(text);
                 Outcome {
                     result: Ok(CachedResult {
@@ -407,6 +538,10 @@ impl Server {
                 instruments: Instruments::get(),
                 slow: Mutex::new(VecDeque::new()),
                 slow_threshold_us: config.slow_threshold_us,
+                qlog: config.query_log.clone().map(QueryLog::open),
+                clients: AtomicU64::new(0),
+                sample_tick: AtomicU64::new(0),
+                trace_sample_every: config.trace_sample_every,
             }),
             config,
         }
@@ -488,6 +623,12 @@ impl ServerHandle {
         (self.shared.cache.hits(), self.shared.cache.misses())
     }
 
+    /// Events appended to the structured query log so far (0 when the
+    /// log is disabled).
+    pub fn query_log_events(&self) -> u64 {
+        self.shared.qlog.as_ref().map_or(0, |q| q.events())
+    }
+
     /// Entries currently in the slow-query ring.
     pub fn slow_log_len(&self) -> usize {
         self.shared
@@ -516,6 +657,8 @@ impl ServerHandle {
 /// Serve one accepted connection to completion.
 fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
     shared.instruments.connections.inc();
+    // Connection id: stamps this connection's query-log events.
+    let client = shared.clients.fetch_add(1, Ordering::Relaxed);
     // Responses are small and latency-bound; never wait on Nagle.
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -533,16 +676,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> 
                     r#"{"ok":false,"error":"request body exceeds 1 MiB"}"#,
                 );
             };
-            handle_http(shared, &mut writer, &method, &target, &body)
+            handle_http(shared, &mut writer, &method, &target, &body, client)
         }
         FirstLine::Proql(stmt) => {
-            serve_line_statement(shared, &mut writer, &stmt)?;
+            serve_line_statement(shared, &mut writer, &stmt, client)?;
             loop {
                 let mut line = String::new();
                 if reader.read_line(&mut line)? == 0 {
                     return Ok(());
                 }
-                serve_line_statement(shared, &mut writer, line.trim_end_matches(['\r', '\n']))?;
+                serve_line_statement(
+                    shared,
+                    &mut writer,
+                    line.trim_end_matches(['\r', '\n']),
+                    client,
+                )?;
             }
         }
     }
@@ -555,6 +703,7 @@ fn serve_line_statement(
     shared: &Shared,
     writer: &mut impl Write,
     line: &str,
+    client: u64,
 ) -> std::io::Result<()> {
     let trimmed = line.trim().trim_end_matches(';').trim();
     if trimmed.is_empty() {
@@ -567,7 +716,7 @@ fn serve_line_statement(
             0,
         );
     }
-    let outcome = shared.run_statement(trimmed);
+    let outcome = shared.run_statement(trimmed, client);
     match &outcome.result {
         Ok(result) => write_ok(
             writer,
@@ -588,10 +737,11 @@ fn handle_http(
     method: &str,
     target: &str,
     body: &str,
+    client: u64,
 ) -> std::io::Result<()> {
     match (method, target) {
         ("POST", "/query") => {
-            let outcome = shared.run_statement(body.trim());
+            let outcome = shared.run_statement(body.trim(), client);
             match &outcome.result {
                 Ok(result) => write_http_json(
                     writer,
@@ -613,9 +763,41 @@ fn handle_http(
             }
         }
         ("GET", "/metrics") => {
+            // Refresh the heap gauges from live state first: memory is
+            // sampled at scrape time, not maintained per-operation.
+            shared.refresh_heap_gauges();
             // The whole process's registry, not just this server: the
             // proql and storage layers publish here too.
             write_http_text(writer, "200 OK", &obs::registry().render_prometheus())
+        }
+        ("GET", t) if t == "/log" || t.starts_with("/log?") => {
+            let n = t
+                .split_once('?')
+                .map(|(_, qs)| qs)
+                .and_then(|qs| {
+                    qs.split('&')
+                        .find_map(|pair| pair.strip_prefix("n=").and_then(|v| v.parse().ok()))
+                })
+                .unwrap_or(20usize);
+            match &shared.qlog {
+                Some(qlog) => {
+                    let lines = qlog.recent(n);
+                    write_http_json(
+                        writer,
+                        "200 OK",
+                        &format!(
+                            r#"{{"ok":true,"count":{},"events":[{}]}}"#,
+                            lines.len(),
+                            lines.join(",")
+                        ),
+                    )
+                }
+                None => write_http_json(
+                    writer,
+                    "404 Not Found",
+                    r#"{"ok":false,"error":"query log disabled (configure ServerConfig.query_log)"}"#,
+                ),
+            }
         }
         ("GET", t) if t == "/slow" || t.starts_with("/slow?") => {
             let n = t
@@ -670,7 +852,7 @@ fn handle_http(
         _ => write_http_json(
             writer,
             "404 Not Found",
-            r#"{"ok":false,"error":"unknown endpoint (POST /query, GET /explain?q=..., GET /metrics, GET /slow?n=...)"}"#,
+            r#"{"ok":false,"error":"unknown endpoint (POST /query, GET /explain?q=..., GET /metrics, GET /slow?n=..., GET /log?n=...)"}"#,
         ),
     }
 }

@@ -605,6 +605,7 @@ fn timing_trailers_and_slow_query_log() {
             workers: 2,
             cache_capacity: 64,
             slow_threshold_us: 0, // record every traced read
+            ..ServerConfig::default()
         },
     )
     .serve("127.0.0.1:0")
@@ -686,6 +687,88 @@ fn read_only_statements_do_not_bump_the_epoch() {
         assert_eq!(reply.epoch(), Some(0), "{stmt}");
     }
     assert_eq!(handle.epoch(), 0);
+    drop(client);
+    handle.shutdown();
+}
+
+/// Acceptance: the heap-byte gauges on `GET /metrics` and the memory
+/// breakdown inside `STATS` are two views of the same accounting — the
+/// sums must agree within 10%.
+///
+/// The registry is process-global and other tests' servers refresh the
+/// same gauges concurrently, so the comparison retries a few times to
+/// catch a window where this server was the last writer.
+#[test]
+fn metrics_heap_gauges_agree_with_stats_memory_breakdown() {
+    use lipstick_core::obs::parse_plain_samples;
+
+    const HEAP_GAUGES: [&str; 5] = [
+        "lipstick_core_graph_heap_bytes",
+        "lipstick_core_reach_heap_bytes",
+        "lipstick_storage_paged_log_heap_bytes",
+        "lipstick_storage_fault_cache_heap_bytes",
+        "lipstick_serve_cache_heap_bytes",
+    ];
+
+    let handle = serve_paged("memgauges.lpstk", 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Fault in records and populate the result cache so the paged and
+    // serve_cache components are non-trivial.
+    for stmt in [
+        "MATCH base-nodes",
+        "MATCH m-nodes WHERE execution < 1",
+        "COUNT(*) MATCH base-nodes",
+    ] {
+        assert!(client.query(stmt).unwrap().is_ok(), "{stmt}");
+    }
+
+    let mut last = (0.0, 0.0);
+    let mut agreed = false;
+    for _ in 0..5 {
+        // STATS: sum the per-component lines (dotted names); the
+        // `memory total=` line is the session side only, so re-derive
+        // the full sum from the components (which include serve_cache).
+        let stats = client.query("STATS").unwrap();
+        let stats_sum: f64 = stats
+            .body()
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("memory ")?;
+                let (name, bytes) = rest.split_once('=')?;
+                if !name.contains('.') {
+                    return None; // the total line, not a component
+                }
+                bytes.split_whitespace().next()?.parse::<f64>().ok()
+            })
+            .sum();
+        assert!(stats_sum > 0.0, "STATS must break memory down: {stats:?}");
+
+        // /metrics: the scrape refreshes the gauges from the live
+        // session before rendering.
+        let (status, text) = lipstick_serve::client::http_get(handle.addr(), "/metrics").unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let samples = parse_plain_samples(&text);
+        let gauge_sum: f64 = HEAP_GAUGES
+            .iter()
+            .map(|name| {
+                *samples
+                    .get(*name)
+                    .unwrap_or_else(|| panic!("/metrics must export {name}"))
+            })
+            .sum();
+
+        last = (gauge_sum, stats_sum);
+        if (gauge_sum - stats_sum).abs() <= 0.10 * stats_sum {
+            agreed = true;
+            break;
+        }
+    }
+    assert!(
+        agreed,
+        "heap gauges ({}) and STATS memory components ({}) must agree within 10%",
+        last.0, last.1
+    );
+
     drop(client);
     handle.shutdown();
 }

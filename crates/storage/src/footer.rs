@@ -165,6 +165,28 @@ pub struct LogIndex {
     kind_postings: BTreeMap<String, Vec<NodeId>>,
 }
 
+impl lipstick_core::obs::HeapSize for LogIndex {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        use lipstick_core::obs::vec_alloc_bytes;
+        let entry = std::mem::size_of::<(String, Vec<NodeId>)>();
+        let postings: usize = self
+            .module_postings
+            .iter()
+            .chain(self.kind_postings.iter())
+            .map(|(k, v)| entry + k.len() + vec_alloc_bytes(v))
+            .sum();
+        vec![
+            ("record_offsets", vec_alloc_bytes(&self.offsets)),
+            ("visibility_bitmap", vec_alloc_bytes(&self.visible)),
+            (
+                "successor_csr",
+                vec_alloc_bytes(&self.succ_starts) + vec_alloc_bytes(&self.succ_ids),
+            ),
+            ("postings", postings),
+        ]
+    }
+}
+
 impl LogIndex {
     /// Parse the footer of a v2 log. `data` is the whole file;
     /// `node_count` comes from the header. Every structural claim the

@@ -193,6 +193,38 @@ const _: fn() = || {
     assert_send_sync::<PagedLog>();
 };
 
+impl obs::HeapSize for PagedLog {
+    fn heap_breakdown(&self) -> Vec<(&'static str, usize)> {
+        use lipstick_core::graph::kind_heap_bytes;
+        use lipstick_core::obs::vec_alloc_bytes;
+        // The sharded fault cache: hash-table buckets (keyed u32 →
+        // Record plus ~1 byte of control metadata per slot, the
+        // std hashbrown layout) plus the decoded records' own heap.
+        let slot = std::mem::size_of::<u32>() + std::mem::size_of::<Record>() + 1;
+        let mut fault_cache = 0usize;
+        for shard in self.cache.iter() {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            fault_cache += shard.capacity() * slot;
+            fault_cache += shard
+                .values()
+                .map(|r| vec_alloc_bytes(&r.preds) + kind_heap_bytes(&r.kind))
+                .sum::<usize>();
+        }
+        let invocations = vec_alloc_bytes(&self.invocations)
+            + self
+                .invocations
+                .iter()
+                .map(|i| i.module.len())
+                .sum::<usize>();
+        vec![
+            ("raw_log", vec_alloc_bytes(&self.data)),
+            ("footer_index", obs::HeapSize::heap_bytes(&self.index)),
+            ("invocations", invocations),
+            ("fault_cache", fault_cache),
+        ]
+    }
+}
+
 impl GraphStore for PagedLog {
     fn node_count(&self) -> usize {
         self.index.node_count()
@@ -236,6 +268,10 @@ impl GraphStore for PagedLog {
 
     fn kind_postings(&self, kind: &str) -> Option<Vec<NodeId>> {
         Some(self.index.kind_postings(kind).to_vec())
+    }
+
+    fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        obs::HeapSize::heap_breakdown(self)
     }
 }
 

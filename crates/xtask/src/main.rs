@@ -163,8 +163,10 @@ fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// The serve-path rule: no panicking calls outside test code.
-fn check_no_panics(src: &str) -> Vec<Violation> {
+/// The panic-ban rule: no panicking calls outside test code. `context`
+/// names the protected path and the right alternative in the printed
+/// message, so serve and core::obs report in their own terms.
+fn check_no_panics(src: &str, context: &str) -> Vec<Violation> {
     let stripped = strip_comments_and_strings(src);
     let mut out = Vec::new();
     for (n, line) in stripped.lines().enumerate() {
@@ -174,22 +176,30 @@ fn check_no_panics(src: &str) -> Vec<Violation> {
             break;
         }
         for (pat, what) in [
-            (".unwrap()", "unwrap() on a serve request path"),
-            (".expect(", "expect() on a serve request path"),
-            ("panic!", "panic!() on a serve request path"),
-            ("unreachable!", "unreachable!() on a serve request path"),
-            ("todo!", "todo!() on a serve request path"),
+            (".unwrap()", "unwrap()"),
+            (".expect(", "expect()"),
+            ("panic!", "panic!()"),
+            ("unreachable!", "unreachable!()"),
+            ("todo!", "todo!()"),
         ] {
             if line.contains(pat) {
                 out.push(Violation {
                     line: n + 1,
-                    message: format!("{what} (return a typed ProtoError instead)"),
+                    message: format!("{what} {context}"),
                 });
             }
         }
     }
     out
 }
+
+/// Rule 1's message context: why panics are banned in serve sources.
+const SERVE_CONTEXT: &str = "on a serve request path (return a typed ProtoError instead)";
+
+/// Rule 3's message context: why panics are banned in `core::obs`.
+const OBS_CONTEXT: &str =
+    "in core::obs non-test code (observability must never take the process down; \
+     recover poisoned locks with into_inner)";
 
 /// The codec rule: no bare `as` numeric casts.
 fn check_no_numeric_casts(src: &str) -> Vec<Violation> {
@@ -241,7 +251,7 @@ fn run_lint(root: &Path) -> std::io::Result<Vec<String>> {
     serve_files.sort();
     for path in serve_files {
         let src = std::fs::read_to_string(&path)?;
-        for v in check_no_panics(&src) {
+        for v in check_no_panics(&src, SERVE_CONTEXT) {
             findings.push(format!("{}:{}: {}", path.display(), v.line, v.message));
         }
     }
@@ -251,6 +261,15 @@ fn run_lint(root: &Path) -> std::io::Result<Vec<String>> {
     let src = std::fs::read_to_string(&codec)?;
     for v in check_no_numeric_casts(&src) {
         findings.push(format!("{}:{}: {}", codec.display(), v.line, v.message));
+    }
+
+    // Rule 3: the observability module every layer calls into. A panic
+    // in a metrics or memory-accounting helper would convert "record a
+    // number" into "kill the worker", so the serve-path ban applies.
+    let obs = root.join("crates/core/src/obs.rs");
+    let src = std::fs::read_to_string(&obs)?;
+    for v in check_no_panics(&src, OBS_CONTEXT) {
+        findings.push(format!("{}:{}: {}", obs.display(), v.line, v.message));
     }
 
     Ok(findings)
@@ -291,7 +310,7 @@ mod tests {
     fn seeded_panics_are_caught() {
         let bad = "fn handle() {\n    let x = foo().unwrap();\n    bar().expect(\"x\");\n    \
                    panic!(\"boom\");\n}\n";
-        let vs = check_no_panics(bad);
+        let vs = check_no_panics(bad, SERVE_CONTEXT);
         assert_eq!(vs.len(), 3);
         assert_eq!(vs[0].line, 2);
         assert!(vs[0].message.contains("unwrap"));
@@ -306,14 +325,14 @@ mod tests {
         let ok = "fn handle() {\n    let x = foo().unwrap_or(0);\n    let y = \
                   foo().unwrap_or_else(|| 1);\n    let z = foo().unwrap_or_default();\n}\n\
                   #[cfg(test)]\nmod tests {\n    fn t() { foo().unwrap(); panic!(\"fine\"); }\n}\n";
-        assert_eq!(check_no_panics(ok), Vec::new());
+        assert_eq!(check_no_panics(ok, SERVE_CONTEXT), Vec::new());
     }
 
     #[test]
     fn panics_in_comments_and_strings_are_ignored() {
         let ok = "// a doc line saying .unwrap() is forbidden\n/* and panic!( too,\n   even \
                   .expect( here */\nfn f() { let s = \".unwrap()\"; let c = '\\''; }\n";
-        assert_eq!(check_no_panics(ok), Vec::new());
+        assert_eq!(check_no_panics(ok, SERVE_CONTEXT), Vec::new());
     }
 
     #[test]
@@ -337,7 +356,7 @@ mod tests {
     #[test]
     fn raw_strings_and_lifetimes_survive_stripping() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"panic!(\"in raw\")\"#;\n";
-        assert_eq!(check_no_panics(src), Vec::new());
+        assert_eq!(check_no_panics(src, SERVE_CONTEXT), Vec::new());
         let stripped = strip_comments_and_strings(src);
         assert!(stripped.contains("fn f<'a>"));
         assert!(!stripped.contains("in raw"));

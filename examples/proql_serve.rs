@@ -13,6 +13,10 @@
 //! curl -s "http://127.0.0.1:7433/explain?q=MATCH+base-nodes"
 //! ```
 //!
+//! `--query-log PATH` captures every executed statement as structured
+//! JSONL (servable live via `GET /log?n=`, replayable with
+//! `bench_replay`).
+//!
 //! `--self-test` writes the demo graph to a temp v2 log, serves it
 //! **paged** on an ephemeral port, drives a scripted client through
 //! both protocols, and exits non-zero on any mismatch — the CI smoke
@@ -21,13 +25,14 @@
 use lipstick::core::GraphTracker;
 use lipstick::proql::Session;
 use lipstick::serve::client::{http_get_explain, http_post_query};
-use lipstick::serve::{Client, Server, ServerConfig};
+use lipstick::serve::{Client, QueryLogConfig, Server, ServerConfig};
 use lipstick::workflowgen::dealers::{self, DealersParams};
 
 struct Args {
     session: Session,
     addr: String,
     workers: usize,
+    query_log: Option<QueryLogConfig>,
     self_test: bool,
 }
 
@@ -35,6 +40,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     let mut session = None;
     let mut addr = "127.0.0.1:7433".to_string();
     let mut workers = 4;
+    let mut query_log = None;
     let mut self_test = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +62,11 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                     .ok_or("--workers requires a count")?
                     .parse()
                     .map_err(|_| "--workers requires a number")?;
+            }
+            "--query-log" => {
+                let path = args.next().ok_or("--query-log requires a path")?;
+                eprintln!("capturing the structured query log to {path} (JSONL)");
+                query_log = Some(QueryLogConfig::new(path));
             }
             "--self-test" => {
                 self_test = true;
@@ -89,15 +100,27 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             }
         }
     };
+    if self_test && query_log.is_none() {
+        // The smoke test covers the capture path too: a query log in
+        // the temp dir, checked and removed by `self_test`.
+        query_log = Some(QueryLogConfig::new(std::env::temp_dir().join(format!(
+            "lipstick-serve-selftest-{}.jsonl",
+            std::process::id()
+        ))));
+    }
     Ok(Args {
         session,
         addr,
         workers,
+        query_log,
         self_test,
     })
 }
 
-fn self_test(handle: &lipstick::serve::ServerHandle) -> Result<(), Box<dyn std::error::Error>> {
+fn self_test(
+    handle: &lipstick::serve::ServerHandle,
+    qlog_path: Option<&std::path::Path>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let addr = handle.addr();
     let mut client = Client::connect(addr)?;
 
@@ -152,10 +175,53 @@ fn self_test(handle: &lipstick::serve::ServerHandle) -> Result<(), Box<dyn std::
         return Err(format!("GET /slow misbehaved: {status} {slow}").into());
     }
 
+    // Memory accounting: the heap-byte gauges must be present and, for
+    // a paged backend, non-zero — /metrics refreshes them at scrape
+    // time from the live session.
+    for gauge in [
+        "lipstick_storage_paged_log_heap_bytes",
+        "lipstick_serve_cache_heap_bytes",
+    ] {
+        if !metrics.contains(gauge) {
+            return Err(format!("/metrics must export {gauge}:\n{metrics}").into());
+        }
+    }
+    let stats = client.query("STATS")?;
+    if !stats.body().contains("memory store.") || !stats.body().contains("memory total=") {
+        return Err(format!("STATS must report the memory breakdown: {stats:?}").into());
+    }
+
+    // The structured query log: every statement so far must be an
+    // event, and the newest must be servable over GET /log.
+    if let Some(path) = qlog_path {
+        let events = handle.query_log_events();
+        if events != handle.queries() {
+            return Err(format!(
+                "query log recorded {events} event(s) for {} statement(s)",
+                handle.queries()
+            )
+            .into());
+        }
+        let (status, log) = lipstick::serve::client::http_get(addr, "/log?n=3")?;
+        if status != "HTTP/1.1 200 OK" || !log.contains(r#""result_fnv":"#) {
+            return Err(format!("GET /log misbehaved: {status} {log}").into());
+        }
+        let parsed = lipstick::serve::qlog::read_log(path);
+        if parsed.len() as u64 != events {
+            return Err(format!(
+                "capture file parsed back {} of {events} event(s)",
+                parsed.len()
+            )
+            .into());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
     let (hits, misses) = handle.cache_stats();
     eprintln!(
-        "self-test ok: {} queries, {hits} cache hits, {misses} misses",
-        handle.queries()
+        "self-test ok: {} queries, {hits} cache hits, {misses} misses, {} log event(s)",
+        handle.queries(),
+        handle.query_log_events()
     );
     Ok(())
 }
@@ -163,10 +229,12 @@ fn self_test(handle: &lipstick::serve::ServerHandle) -> Result<(), Box<dyn std::
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
     let paged = args.session.is_paged();
+    let qlog_path = args.query_log.as_ref().map(|c| c.path.clone());
     let handle = Server::new(
         args.session,
         ServerConfig {
             workers: args.workers,
+            query_log: args.query_log,
             ..ServerConfig::default()
         },
     )
@@ -178,7 +246,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         args.workers
     );
     if args.self_test {
-        let result = self_test(&handle);
+        let result = self_test(&handle, qlog_path.as_deref());
         handle.shutdown();
         return result;
     }

@@ -44,7 +44,7 @@ ProQL statement forms:
   EXPLAIN LINT <statement>                 same diagnostics, EXPLAIN-family spelling
   STATS                                    graph statistics (+ server counters when remote)
 Meta: \\dot (last node set as Graphviz), \\check <stmt> (shorthand for CHECK),
-      \\timing on|off, \\help, \\quit";
+      \\mem (session heap breakdown, local only), \\timing on|off, \\help, \\quit";
 
 /// Where statements go: a local session or a remote lipstick-serve.
 enum Engine {
@@ -168,6 +168,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         "(remote/paged session — DOT rendering needs a local resident graph)"
                     ),
                     (None, _) => println!("no node-set result yet"),
+                }
+                print!("proql> ");
+                std::io::stdout().flush()?;
+                continue;
+            }
+            "\\mem" => {
+                match &engine {
+                    Engine::Local(session) => print!(
+                        "{}",
+                        lipstick::proql::render_memory_report(&session.memory_report())
+                    ),
+                    // A remote server reports memory in its STATS
+                    // output and /metrics gauges instead.
+                    Engine::Remote(_) => {
+                        println!("(remote session — run STATS; or scrape GET /metrics)")
+                    }
                 }
                 print!("proql> ");
                 std::io::stdout().flush()?;
