@@ -14,6 +14,7 @@
 //! ```sh
 //! bench_replay --log capture.jsonl --open provenance.lpstk   # paged session
 //! bench_replay --log capture.jsonl --load provenance.lpstk   # resident session
+//! bench_replay --log capture.jsonl --append provenance.lpstk # append session (WAL tail)
 //! bench_replay --log capture.jsonl --connect 127.0.0.1:7433  # running server
 //! bench_replay --smoke                                       # self-contained end-to-end check
 //! bench_replay ... --out BENCH_replay.json                   # also write the JSON report
@@ -23,7 +24,13 @@
 //! it with the query log enabled, drives a mixed workload (repeats for
 //! cache hits, a mutation, a parse error), then replays the capture
 //! against a *fresh* server on the same starting log and asserts every
-//! comparable payload came back byte-identical.
+//! comparable payload came back byte-identical. Both servers run the
+//! **append** backend: the mutation commits as a durable tail record
+//! on each side (never a promotion — a promoted session renders
+//! resident-flavoured visited figures that can never be byte-identical
+//! to an append replay), and the replay server starts from the sealed
+//! base alone, so the captured mutation must be re-committed through
+//! its own tail to reproduce the post-mutation payloads.
 
 use std::path::{Path, PathBuf};
 
@@ -49,7 +56,8 @@ fn main() {
     } else {
         let Some(log) = flag("--log") else {
             eprintln!(
-                "usage: bench_replay --log FILE (--connect ADDR | --open LOG | --load LOG) \
+                "usage: bench_replay --log FILE \
+                 (--connect ADDR | --open LOG | --load LOG | --append LOG) \
                  [--out PATH] | bench_replay --smoke"
             );
             std::process::exit(2);
@@ -60,24 +68,32 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("replaying {} event(s) from {log}", events.len());
-        let mut target: Box<dyn ReplayTarget> =
-            match (flag("--connect"), flag("--open"), flag("--load")) {
-                (Some(addr), None, None) => {
-                    Box::new(Client::connect(addr.as_str()).expect("connect to server"))
-                }
-                (None, Some(path), None) => {
-                    Box::new(LocalTarget(Session::open(&path).expect("open paged log")))
-                }
-                (None, None, Some(path)) => Box::new(LocalTarget(
-                    Session::load(&path).expect("load provenance log"),
-                )),
-                _ => {
-                    eprintln!(
-                        "pick exactly one backend: --connect ADDR, --open LOG, or --load LOG"
-                    );
-                    std::process::exit(2);
-                }
-            };
+        let mut target: Box<dyn ReplayTarget> = match (
+            flag("--connect"),
+            flag("--open"),
+            flag("--load"),
+            flag("--append"),
+        ) {
+            (Some(addr), None, None, None) => {
+                Box::new(Client::connect(addr.as_str()).expect("connect to server"))
+            }
+            (None, Some(path), None, None) => {
+                Box::new(LocalTarget(Session::open(&path).expect("open paged log")))
+            }
+            (None, None, Some(path), None) => Box::new(LocalTarget(
+                Session::load(&path).expect("load provenance log"),
+            )),
+            (None, None, None, Some(path)) => Box::new(LocalTarget(
+                Session::open_append(&path).expect("open append log"),
+            )),
+            _ => {
+                eprintln!(
+                    "pick exactly one backend: --connect ADDR, --open LOG, --load LOG, \
+                     or --append LOG"
+                );
+                std::process::exit(2);
+            }
+        };
         replay(&events, target.as_mut()).expect("replay transport failed")
     };
 
@@ -111,6 +127,13 @@ fn smoke() -> ReplayReport {
     .graph
     .expect("tracking on");
     lipstick_storage::write_graph_v2(&graph, &log_path).expect("write v2 log");
+    {
+        // A stale tail from an aborted earlier run (pid reuse) would
+        // replay into the append-backed replay server below.
+        let mut stale = log_path.clone().into_os_string();
+        stale.push(".tail");
+        let _ = std::fs::remove_file(PathBuf::from(stale));
+    }
 
     // -- capture --
     let workload = [
@@ -120,15 +143,15 @@ fn smoke() -> ReplayReport {
         "COUNT(*) MATCH base-nodes",
         "MATCH m-nodes WHERE execution < 2",
         "ANCESTORS OF #5 DEPTH 3",
-        "STATS",                 // replays, but excluded from identity
-        "TOTALLY NOT PROQL",     // parse errors are events too
-        "DELETE 'C2' PROPAGATE", // mutation: epoch bump, cache flush
-        "MATCH base-nodes",      // post-mutation miss, then...
-        "MATCH base-nodes",      // ...hit at the new epoch
+        "STATS",               // replays, but excluded from identity
+        "TOTALLY NOT PROQL",   // parse errors are events too
+        "DELETE #2 PROPAGATE", // tail-committed mutation: epoch bump, cache flush
+        "MATCH base-nodes",    // post-mutation miss, then...
+        "MATCH base-nodes",    // ...hit at the new epoch
         "EXPLAIN MATCH base-nodes UNION MATCH m-nodes",
     ];
     let capture = Server::new(
-        Session::open(&log_path).expect("open for capture"),
+        Session::open_append(&log_path).expect("open for capture"),
         ServerConfig {
             workers: 2,
             cache_capacity: 64,
@@ -161,8 +184,18 @@ fn smoke() -> ReplayReport {
     assert!(captured_hits >= 3, "workload repeats must hit the cache");
 
     // -- replay against a fresh server on the same starting log --
+    // Drop the capture's tail first: the replay server must start from
+    // the sealed base alone and re-commit the captured mutation as its
+    // *own* durable tail record to reproduce the post-mutation
+    // payloads byte-for-byte.
+    {
+        let mut tail = log_path.clone().into_os_string();
+        tail.push(".tail");
+        std::fs::remove_file(PathBuf::from(tail)).expect("capture left a tail segment");
+    }
+    let replay_session = Session::open_append(&log_path).expect("open for replay");
     let fresh = Server::new(
-        Session::open(&log_path).expect("open for replay"),
+        replay_session,
         ServerConfig {
             workers: 2,
             cache_capacity: 64,
@@ -176,6 +209,9 @@ fn smoke() -> ReplayReport {
     drop(target);
     fresh.shutdown();
     let _ = std::fs::remove_file(&log_path);
+    let mut tail_path = log_path.into_os_string();
+    tail_path.push(".tail");
+    let _ = std::fs::remove_file(PathBuf::from(tail_path));
     cleanup_qlog(&qlog_path);
 
     assert!(

@@ -23,4 +23,4 @@ pub use subgraph::{
     ancestors_bounded, descendants_bounded, subgraph, traverse, BoundedResult, Direction,
     SubgraphResult, TraversalStats,
 };
-pub use zoom::{zoom_in, zoom_out};
+pub use zoom::{apply_zoom_out, plan_zoom_out, zoom_in, zoom_out, CompositePlan, ZoomModulePlan};

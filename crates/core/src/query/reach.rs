@@ -22,7 +22,7 @@
 
 use crate::graph::bitset::BitSet;
 use crate::graph::node::NodeId;
-use crate::graph::ProvGraph;
+use crate::store::GraphStore;
 
 /// Bidirectional transitive closure: per node, a descendant bitset and
 /// an ancestor bitset (its transpose).
@@ -49,20 +49,19 @@ impl ReachIndex {
     /// reverse topological order (each node's set is the union of its
     /// visible successors' sets plus the successors themselves) and
     /// ancestor sets in one mirror pass in forward order.
-    pub fn build(graph: &ProvGraph) -> ReachIndex {
-        let n = graph.len();
+    pub fn build<S: GraphStore + ?Sized>(graph: &S) -> ReachIndex {
+        let n = graph.node_count();
         let order = topo_order(graph);
         let mut descendants: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         for &v in order.iter().rev() {
-            let node = graph.node(v);
-            if !node.is_visible() {
+            if !graph.is_visible(v) {
                 continue;
             }
             // Collect into a scratch set, then store (avoids aliasing
             // two entries of `descendants` at once).
             let mut acc = BitSet::new(n);
-            for &s in node.succs() {
-                if graph.node(s).is_visible() {
+            for s in graph.succs_of(v) {
+                if graph.is_visible(s) {
                     acc.insert(s.index());
                     acc.union_with(&descendants[s.index()]);
                 }
@@ -71,13 +70,12 @@ impl ReachIndex {
         }
         let mut ancestors: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         for &v in order.iter() {
-            let node = graph.node(v);
-            if !node.is_visible() {
+            if !graph.is_visible(v) {
                 continue;
             }
             let mut acc = BitSet::new(n);
-            for &p in node.preds() {
-                if graph.node(p).is_visible() {
+            for p in graph.preds_of(v) {
+                if graph.is_visible(p) {
                     acc.insert(p.index());
                     acc.union_with(&ancestors[p.index()]);
                 }
@@ -148,8 +146,8 @@ impl ReachIndex {
     /// New nodes appended by the mutation (zoom composites) grow every
     /// bitset, so a repaired index stays bit-identical to a fresh
     /// [`ReachIndex::build`] — see [`ReachIndex::matches_fresh_build`].
-    pub fn repair(&mut self, graph: &ProvGraph, changed: &[NodeId]) {
-        let n = graph.len();
+    pub fn repair<S: GraphStore + ?Sized>(&mut self, graph: &S, changed: &[NodeId]) {
+        let n = graph.node_count();
         if n > self.descendants.len() {
             for set in self.descendants.iter_mut().chain(self.ancestors.iter_mut()) {
                 set.grow(n);
@@ -168,19 +166,24 @@ impl ReachIndex {
     /// For the descendant closure, "up" edges (towards ancestors) find
     /// the dirty region and "down" edges (towards descendants) feed the
     /// recomputation; the ancestor closure mirrors both.
-    fn repair_closure(&mut self, graph: &ProvGraph, changed: &[NodeId], which: Closure) {
-        let n = graph.len();
+    fn repair_closure<S: GraphStore + ?Sized>(
+        &mut self,
+        graph: &S,
+        changed: &[NodeId],
+        which: Closure,
+    ) {
+        let n = graph.node_count();
         let sets = match which {
             Closure::Descendants => &mut self.descendants,
             Closure::Ancestors => &mut self.ancestors,
         };
         let up = |v: NodeId| match which {
-            Closure::Descendants => graph.node(v).preds(),
-            Closure::Ancestors => graph.node(v).succs(),
+            Closure::Descendants => graph.preds_of(v),
+            Closure::Ancestors => graph.succs_of(v),
         };
         let down = |v: NodeId| match which {
-            Closure::Descendants => graph.node(v).succs(),
-            Closure::Ancestors => graph.node(v).preds(),
+            Closure::Descendants => graph.succs_of(v),
+            Closure::Ancestors => graph.preds_of(v),
         };
 
         // 1. Dirty discovery: every changed node, plus every visible
@@ -193,8 +196,8 @@ impl ReachIndex {
             }
         }
         while let Some(v) = queue.pop() {
-            for &u in up(v) {
-                if graph.node(u).is_visible() && dirty.insert(u.index()) {
+            for u in up(v) {
+                if graph.is_visible(u) && dirty.insert(u.index()) {
                     queue.push(u);
                 }
             }
@@ -216,16 +219,16 @@ impl ReachIndex {
         while let Some(v) = ready.pop() {
             processed += 1;
             let mut acc = BitSet::new(sets[v.index()].capacity());
-            if graph.node(v).is_visible() {
-                for &d in down(v) {
-                    if graph.node(d).is_visible() {
+            if graph.is_visible(v) {
+                for d in down(v) {
+                    if graph.is_visible(d) {
                         acc.insert(d.index());
                         acc.union_with(&sets[d.index()]);
                     }
                 }
             }
             sets[v.index()] = acc;
-            for &u in up(v) {
+            for u in up(v) {
                 if dirty.contains(u.index()) {
                     deg[u.index()] -= 1;
                     if deg[u.index()] == 0 {
@@ -244,7 +247,7 @@ impl ReachIndex {
     /// Is this index bit-identical to a fresh build over `graph`? The
     /// exactness oracle behind the incremental-repair debug assertion
     /// and the property tests.
-    pub fn matches_fresh_build(&self, graph: &ProvGraph) -> bool {
+    pub fn matches_fresh_build<S: GraphStore + ?Sized>(&self, graph: &S) -> bool {
         *self == ReachIndex::build(graph)
     }
 }
@@ -265,11 +268,11 @@ impl crate::obs::HeapSize for ReachIndex {
 
 /// Kahn topological order over all allocated nodes (hidden nodes keep
 /// their structural edges, so the order covers them too).
-fn topo_order(graph: &ProvGraph) -> Vec<NodeId> {
-    let n = graph.len();
+fn topo_order<S: GraphStore + ?Sized>(graph: &S) -> Vec<NodeId> {
+    let n = graph.node_count();
     let mut indeg = vec![0usize; n];
-    for (_, node) in graph.iter() {
-        for &s in node.succs() {
+    for i in 0..n {
+        for s in graph.succs_of(NodeId(i as u32)) {
             indeg[s.index()] += 1;
         }
     }
@@ -280,7 +283,7 @@ fn topo_order(graph: &ProvGraph) -> Vec<NodeId> {
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop() {
         order.push(v);
-        for &s in graph.node(v).succs() {
+        for s in graph.succs_of(v) {
             indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
                 queue.push(s);
@@ -294,6 +297,7 @@ fn topo_order(graph: &ProvGraph) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ProvGraph;
     use crate::query::{propagate_deletion_inplace, zoom_in, zoom_out};
 
     #[test]

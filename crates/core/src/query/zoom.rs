@@ -10,12 +10,54 @@
 //! the unit of zooming is the module name, covering all its invocations.
 
 use crate::graph::node::{NodeId, NodeKind, Role};
-use crate::graph::{ProvGraph, ZoomStash};
+use crate::graph::{InvocationId, ProvGraph, ZoomStash};
+use crate::store::GraphStore;
 
 use super::error::QueryError;
 
-/// Zoom out of the given modules, in place. Returns the composite zoom
-/// nodes created (one per invocation, in invocation order).
+/// One composite zoom node to create: the invocation it stands for and
+/// the input/output nodes it is wired between (ascending id order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositePlan {
+    pub invocation: InvocationId,
+    pub inputs: Vec<NodeId>,
+    pub outputs: Vec<NodeId>,
+}
+
+/// Everything a ZoomOut of one module does, computed against an
+/// immutable store: which nodes it hides and which composites it adds.
+/// An applier replays this against its own representation — the
+/// resident graph mutates nodes in place, the append-log backend turns
+/// it into tail records plus an overlay — and both land on the same
+/// visible graph because the decisions were all made here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoomModulePlan {
+    pub module: String,
+    /// Nodes this module's zoom hides, in the order the resident
+    /// mutation would hide them (step 3-4 discovery order).
+    pub hidden: Vec<NodeId>,
+    /// One composite per invocation, in invocation order. Composite ids
+    /// are assigned at apply time: `node_count + k` over the whole
+    /// multi-module plan, in plan order.
+    pub composites: Vec<CompositePlan>,
+}
+
+impl ZoomModulePlan {
+    /// Total composites across a multi-module plan slice.
+    pub fn total_composites(plans: &[ZoomModulePlan]) -> usize {
+        plans.iter().map(|p| p.composites.len()).sum()
+    }
+}
+
+/// Plan a multi-module ZoomOut against any [`GraphStore`], without
+/// mutating anything. `zoomed_out` names the modules currently zoomed
+/// out and `stash_count` the number of stashes ever allocated — the
+/// caller's zoom bookkeeping, which a bare store does not carry.
+///
+/// The plan simulates the resident mutation exactly: hiding decisions
+/// for module *k* see the hides of modules *1..k* (and the composites
+/// they created), so applying the returned plan is bit-identical to
+/// running the historical in-place loop.
 ///
 /// Steps mirror the paper's five-step procedure:
 /// 1. find the invocations of the modules;
@@ -24,7 +66,12 @@ use super::error::QueryError;
 ///    against the Definition 4.1 characterization by tests);
 /// 4. hide their state nodes and the base tuple nodes feeding only them;
 /// 5. add a composite node per invocation wired input → zoom → output.
-pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, QueryError> {
+pub fn plan_zoom_out<S: GraphStore + ?Sized>(
+    store: &S,
+    modules: &[&str],
+    zoomed_out: &[String],
+    stash_count: usize,
+) -> Result<Vec<ZoomModulePlan>, QueryError> {
     // Validate first so the operation is atomic. A duplicate within
     // the list is the in-call spelling of zooming an already-zoomed
     // module (validation runs against the pre-zoom state, so without
@@ -32,10 +79,10 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
     // graph with duplicate composites).
     let mut seen = std::collections::HashSet::new();
     for m in modules {
-        if graph.invocations_of(m).is_empty() {
+        if store.invocations_of(m).is_empty() {
             return Err(QueryError::UnknownModule((*m).to_string()));
         }
-        if !seen.insert(*m) || graph.zoomed_out_modules().contains(m) {
+        if !seen.insert(*m) || zoomed_out.iter().any(|z| z == m) {
             return Err(QueryError::AlreadyZoomedOut((*m).to_string()));
         }
     }
@@ -43,41 +90,61 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
     // composites (and the storage codec's sentinel tag), so it must
     // never be allocated as a live index. Checked up front to keep the
     // operation atomic.
-    if graph.zoom_stash_count() + modules.len() > crate::graph::node::RETIRED_STASH as usize {
+    if stash_count + modules.len() > crate::graph::node::RETIRED_STASH as usize {
         return Err(QueryError::StashOverflow);
     }
-    let mut created = Vec::new();
+
+    let n = store.node_count();
+    // Simulated mutation state: hides from earlier modules in this
+    // call, and composite edges they would have added. Composites are
+    // always visible, so only the extra successors matter (a base
+    // tuple whose successor set gained a composite stays visible).
+    let mut sim_hidden = vec![false; n];
+    let mut sim_extra_succs: std::collections::HashMap<NodeId, usize> =
+        std::collections::HashMap::new();
+    let visible = |sim_hidden: &[bool], store: &S, id: NodeId| -> bool {
+        !sim_hidden[id.index()] && store.is_visible(id)
+    };
+
+    let mut plans = Vec::with_capacity(modules.len());
     for module in modules {
-        let invocations = graph.invocations_of(module);
+        let invocations = store.invocations_of(module);
         let mut hidden: Vec<NodeId> = Vec::new();
 
         // Steps 3-4: hide intermediates and state nodes of all
         // invocations of this module.
-        let ids: Vec<NodeId> = graph.iter_visible().map(|(id, _)| id).collect();
-        for id in ids {
-            let node = graph.node(id);
-            let hide = match node.role {
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            if !visible(&sim_hidden, store, id) {
+                continue;
+            }
+            let hide = match store.role_of(id) {
                 Role::Intermediate(inv) | Role::State(inv) => invocations.contains(&inv),
                 _ => false,
             };
             if hide {
-                graph.node_mut(id).zoom_hidden = true;
+                sim_hidden[id.index()] = true;
                 hidden.push(id);
             }
         }
         // Step 4 (second half): base tuple nodes that fed only
         // now-hidden nodes (a module's private initial-state tuples).
-        let ids: Vec<NodeId> = graph
-            .iter_visible()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::BaseTuple { .. }))
-            .map(|(id, _)| id)
-            .collect();
-        for id in ids {
-            let node = graph.node(id);
-            let all_succs_hidden = !node.succs().is_empty()
-                && node.succs().iter().all(|s| !graph.node(*s).is_visible());
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            if !visible(&sim_hidden, store, id)
+                || !matches!(store.kind_of(id), NodeKind::BaseTuple { .. })
+            {
+                continue;
+            }
+            let succs = store.succs_of(id);
+            // Composite successors added by earlier modules in this
+            // call are always visible, so their presence alone keeps
+            // the tuple visible.
+            let all_succs_hidden = sim_extra_succs.get(&id).copied().unwrap_or(0) == 0
+                && !succs.is_empty()
+                && succs.iter().all(|s| !visible(&sim_hidden, store, *s));
             if all_succs_hidden {
-                graph.node_mut(id).zoom_hidden = true;
+                sim_hidden[id.index()] = true;
                 hidden.push(id);
             }
         }
@@ -85,15 +152,17 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
         // Step 5: composite nodes. Collect every invocation's input and
         // output nodes in ONE pass over the graph (a per-invocation scan
         // would make ZoomOut quadratic on long execution histories).
-        let mut io: std::collections::HashMap<
-            crate::graph::InvocationId,
-            (Vec<NodeId>, Vec<NodeId>),
-        > = invocations
-            .iter()
-            .map(|&inv| (inv, (Vec::new(), Vec::new())))
-            .collect();
-        for (id, n) in graph.iter_visible() {
-            match n.role {
+        let mut io: std::collections::HashMap<InvocationId, (Vec<NodeId>, Vec<NodeId>)> =
+            invocations
+                .iter()
+                .map(|&inv| (inv, (Vec::new(), Vec::new())))
+                .collect();
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            if !visible(&sim_hidden, store, id) {
+                continue;
+            }
+            match store.role_of(id) {
                 Role::ModuleInput(inv) => {
                     if let Some((ins, _)) = io.get_mut(&inv) {
                         ins.push(id);
@@ -107,28 +176,77 @@ pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, 
                 _ => {}
             }
         }
-        let mut zoom_nodes = Vec::with_capacity(invocations.len());
+        let mut composites = Vec::with_capacity(invocations.len());
+        for &inv in &invocations {
+            let (inputs, outputs) = io.remove(&inv).unwrap_or_default();
+            for i in &inputs {
+                *sim_extra_succs.entry(*i).or_insert(0) += 1;
+            }
+            composites.push(CompositePlan {
+                invocation: inv,
+                inputs,
+                outputs,
+            });
+        }
+        plans.push(ZoomModulePlan {
+            module: (*module).to_string(),
+            hidden,
+            composites,
+        });
+    }
+    Ok(plans)
+}
+
+/// Apply a previously computed zoom plan to the resident graph.
+/// Returns the composite zoom nodes created (one per invocation, in
+/// invocation order).
+pub fn apply_zoom_out(graph: &mut ProvGraph, plans: Vec<ZoomModulePlan>) -> Vec<NodeId> {
+    let mut created = Vec::new();
+    for plan in plans {
+        for &id in &plan.hidden {
+            graph.node_mut(id).zoom_hidden = true;
+        }
         // Stash index is assigned below; nodes reference it by value.
         let stash_idx = graph.zoom_stash_count() as u32;
-        for &inv in &invocations {
-            let zoom = graph.add_node(NodeKind::Zoomed { stash: stash_idx }, Role::Zoom(inv));
-            let (inputs, outputs) = io.remove(&inv).unwrap_or_default();
-            for i in inputs {
+        let mut zoom_nodes = Vec::with_capacity(plan.composites.len());
+        for comp in &plan.composites {
+            let zoom = graph.add_node(
+                NodeKind::Zoomed { stash: stash_idx },
+                Role::Zoom(comp.invocation),
+            );
+            for &i in &comp.inputs {
                 graph.add_edge(i, zoom);
             }
-            for o in outputs {
+            for &o in &comp.outputs {
                 graph.add_edge(zoom, o);
             }
             zoom_nodes.push(zoom);
         }
         created.extend(zoom_nodes.iter().copied());
         graph.push_stash(ZoomStash {
-            module: (*module).to_string(),
-            hidden,
+            module: plan.module,
+            hidden: plan.hidden,
             zoom_nodes,
         });
     }
-    Ok(created)
+    created
+}
+
+/// Zoom out of the given modules, in place. Returns the composite zoom
+/// nodes created (one per invocation, in invocation order).
+///
+/// Planning ([`plan_zoom_out`]) is separated from application so that
+/// append-log backends can compute the identical plan against their
+/// layered view and commit it as tail records; the resident path here
+/// is simply plan-then-apply.
+pub fn zoom_out(graph: &mut ProvGraph, modules: &[&str]) -> Result<Vec<NodeId>, QueryError> {
+    let zoomed: Vec<String> = graph
+        .zoomed_out_modules()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let plans = plan_zoom_out(graph, modules, &zoomed, graph.zoom_stash_count())?;
+    Ok(apply_zoom_out(graph, plans))
 }
 
 /// Zoom back into the given modules, in place: restores the hidden

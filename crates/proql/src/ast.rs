@@ -568,6 +568,9 @@ pub enum Statement {
     /// `EXPLAIN LINT stmt` — the same analysis surfaced through the
     /// `EXPLAIN` family; diagnostics are byte-identical to `CHECK`.
     ExplainLint { source: String },
+    /// `COMPACT` — merge the append backend's tail segment into a
+    /// fresh sealed base segment. A no-op message on other backends.
+    Compact,
     /// `STATS` — graph statistics.
     Stats,
 }
@@ -592,6 +595,7 @@ impl Statement {
                 | Statement::ZoomIn(_)
                 | Statement::BuildIndex
                 | Statement::DropIndex
+                | Statement::Compact
         )
     }
 }
@@ -719,6 +723,7 @@ impl fmt::Display for Statement {
             // the parser itself would reject.
             Statement::Check { source } => write!(f, "CHECK {source}"),
             Statement::ExplainLint { source } => write!(f, "EXPLAIN LINT {source}"),
+            Statement::Compact => f.write_str("COMPACT"),
             Statement::Stats => f.write_str("STATS"),
         }
     }

@@ -229,7 +229,8 @@ pub(crate) fn execute_read(
         | StmtPlan::ZoomOut { .. }
         | StmtPlan::ZoomIn { .. }
         | StmtPlan::BuildIndex
-        | StmtPlan::DropIndex => Err(crate::error::ProqlError::ReadOnly(plan.to_string())),
+        | StmtPlan::DropIndex
+        | StmtPlan::Compact => Err(crate::error::ProqlError::ReadOnly(plan.to_string())),
     }
 }
 
@@ -350,6 +351,10 @@ pub(crate) fn execute(session: &mut Session, plan: &StmtPlan) -> Result<QueryOut
             session.invalidate_index();
             Ok(QueryOutput::Message("reach index dropped".into()))
         }
+        // Resident sessions have no tail segment; COMPACT is a no-op.
+        StmtPlan::Compact => Ok(QueryOutput::Message(
+            "nothing to compact (no tail segment)".into(),
+        )),
         read_only => execute_read(
             session.graph(),
             session.reach_index(),

@@ -121,11 +121,13 @@ pub(crate) fn execute<S: GraphStore + Sync>(
                 store, source,
             )))
         }
-        // Mutating plans are routed through promotion by the session.
+        // Mutating plans are routed through promotion (paged backend)
+        // or the session's append-mutation arms (append backend).
         StmtPlan::Delete(_)
         | StmtPlan::ZoomOut { .. }
         | StmtPlan::ZoomIn { .. }
         | StmtPlan::BuildIndex
+        | StmtPlan::Compact
         | StmtPlan::Depends { .. } => Err(ProqlError::Storage(
             "internal: mutating plan reached the paged executor".into(),
         )),

@@ -240,6 +240,9 @@ impl<'s> Parser<'s> {
             self.expect_kw("INDEX")?;
             return Ok(Statement::DropIndex);
         }
+        if self.eat_kw("COMPACT") {
+            return Ok(Statement::Compact);
+        }
         if self.eat_kw("STATS") {
             return Ok(Statement::Stats);
         }
@@ -596,10 +599,11 @@ mod tests {
             BUILD INDEX;
             DROP INDEX;
             EXPLAIN DEPENDS(#1, #2);
+            COMPACT;
             STATS;
         ";
         let stmts = parse_script(script).unwrap();
-        assert_eq!(stmts.len(), 16);
+        assert_eq!(stmts.len(), 17);
         assert!(matches!(stmts[0], Statement::Query(_)));
         assert!(matches!(stmts[1], Statement::Why(NodeRef::Token(_))));
         assert!(matches!(stmts[2], Statement::Depends(..)));
@@ -616,7 +620,9 @@ mod tests {
         ));
         assert!(matches!(stmts[13], Statement::DropIndex));
         assert!(matches!(stmts[14], Statement::Explain(_)));
-        assert!(matches!(stmts[15], Statement::Stats));
+        assert!(matches!(stmts[15], Statement::Compact));
+        assert!(!stmts[15].is_read_only());
+        assert!(matches!(stmts[16], Statement::Stats));
     }
 
     #[test]

@@ -224,6 +224,9 @@ pub enum StmtPlan {
     Eval(NodeId, SemiringName),
     BuildIndex,
     DropIndex,
+    /// `COMPACT` — merge the append backend's tail segment into a
+    /// fresh sealed base segment (a no-op elsewhere).
+    Compact,
     Stats,
     Explain(Box<StmtPlan>),
     /// Execute the inner plan under a span tracer and render the plan
@@ -416,6 +419,9 @@ impl fmt::Display for StmtPlan {
                 "build reach index [bidirectional closure, incrementally maintained]"
             ),
             StmtPlan::DropIndex => write!(f, "drop reach index"),
+            StmtPlan::Compact => {
+                write!(f, "compact [merge tail segment into a fresh sealed base]")
+            }
             StmtPlan::Stats => write!(f, "graph statistics"),
             StmtPlan::Explain(inner) => write!(f, "explain\n  {inner}"),
             StmtPlan::ExplainAnalyze(inner) => write!(f, "explain analyze\n  {inner}"),

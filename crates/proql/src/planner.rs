@@ -125,6 +125,7 @@ impl<'a> Planner<'a> {
             Statement::Eval(r, s) => StmtPlan::Eval(self.resolve(r)?, *s),
             Statement::BuildIndex => StmtPlan::BuildIndex,
             Statement::DropIndex => StmtPlan::DropIndex,
+            Statement::Compact => StmtPlan::Compact,
             Statement::Stats => StmtPlan::Stats,
             Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
             Statement::ExplainAnalyze(inner) => {
@@ -397,6 +398,7 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
             Statement::Eval(r, s) => StmtPlan::Eval(self.resolve(r)?, *s),
             Statement::BuildIndex => StmtPlan::BuildIndex,
             Statement::DropIndex => StmtPlan::DropIndex,
+            Statement::Compact => StmtPlan::Compact,
             Statement::Stats => StmtPlan::Stats,
             Statement::Explain(inner) => StmtPlan::Explain(Box::new(self.plan(inner)?)),
             Statement::ExplainAnalyze(inner) => {
@@ -413,6 +415,24 @@ impl<'a, S: GraphStore> PagedPlanner<'a, S> {
             Statement::ExplainLint { source } => StmtPlan::ExplainLint {
                 source: source.clone(),
             },
+        })
+    }
+
+    /// Plan a fused statement, carrying the fusion count into zoom
+    /// plans so `EXPLAIN` can show it — the paged/append mirror of
+    /// [`Planner::plan_fused`].
+    pub fn plan_fused(&self, fs: &FusedStatement) -> Result<StmtPlan> {
+        let plan = self.plan(&fs.stmt)?;
+        Ok(match plan {
+            StmtPlan::ZoomOut { modules, .. } => StmtPlan::ZoomOut {
+                modules,
+                fused_from: fs.fused_from,
+            },
+            StmtPlan::ZoomIn { modules, .. } => StmtPlan::ZoomIn {
+                modules,
+                fused_from: fs.fused_from,
+            },
+            other => other,
         })
     }
 

@@ -13,10 +13,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lipstick_core::obs::{self, TraceCtx, Tracer};
-use lipstick_core::query::ReachIndex;
-use lipstick_core::store::GraphStore;
-use lipstick_core::ProvGraph;
-use lipstick_storage::PagedLog;
+use lipstick_core::query::{plan_zoom_out, QueryError, ReachIndex};
+use lipstick_core::store::{compute_deletion_store, GraphStore};
+use lipstick_core::{InvocationId, NodeId, ProvGraph, Role};
+use lipstick_storage::{AppendLog, PagedLog};
 
 use crate::ast::Statement;
 use crate::error::{ProqlError, Result};
@@ -35,6 +35,10 @@ enum Backend {
     /// log (fault cache, postings, instruments) dwarfs the resident
     /// variant's inline size.
     Paged(Box<PagedLog>),
+    /// Sealed v2 base segment plus a WAL-style mutable tail: mutations
+    /// commit as durable tail records instead of promoting, and
+    /// `COMPACT` merges the tail into a fresh sealed base.
+    Append(Box<AppendLog>),
 }
 
 /// The session's handles into the process-wide metrics registry,
@@ -99,6 +103,14 @@ pub struct Session {
     /// promoted away — keeps [`Session::records_read`] monotonic across
     /// promotion instead of silently resetting to zero.
     carried_reads: usize,
+    /// Paged-to-resident promotions performed so far. Append-backend
+    /// sessions commit mutations in place and never promote, which
+    /// tests pin down as `promotions() == 0`.
+    promotions: u64,
+    /// When `Some`, mutations buffer their changed-node sets here
+    /// instead of repairing the reach index per statement; see
+    /// [`Session::begin_write_batch`].
+    pending_repairs: Option<Vec<NodeId>>,
     /// Registry handles (statement counts/latency, index builds,
     /// repair latency).
     instruments: Instruments,
@@ -113,6 +125,8 @@ impl Session {
             parallel: Parallelism::default_for_host(),
             index_builds: 0,
             carried_reads: 0,
+            promotions: 0,
+            pending_repairs: None,
             instruments: Instruments::get(),
         }
     }
@@ -146,6 +160,29 @@ impl Session {
             parallel: Parallelism::default_for_host(),
             index_builds: 0,
             carried_reads: 0,
+            promotions: 0,
+            pending_repairs: None,
+            instruments: Instruments::get(),
+        })
+    }
+
+    /// Open a v2 log with a streaming append write path: the sealed
+    /// base segment stays paged, and mutations (`DELETE PROPAGATE`,
+    /// zooms, [`Session::ingest`]) commit durable records to a
+    /// `<path>.tail` sidecar instead of promoting the session to
+    /// resident. A torn tail (crash mid-write) is truncated to its last
+    /// whole record on open. `COMPACT` merges the tail back into a
+    /// fresh sealed base segment.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Session> {
+        let log = AppendLog::open(path.as_ref()).map_err(|e| ProqlError::Storage(e.to_string()))?;
+        Ok(Session {
+            backend: Backend::Append(Box::new(log)),
+            reach: None,
+            parallel: Parallelism::default_for_host(),
+            index_builds: 0,
+            carried_reads: 0,
+            promotions: 0,
+            pending_repairs: None,
             instruments: Instruments::get(),
         })
     }
@@ -183,6 +220,29 @@ impl Session {
         matches!(self.backend, Backend::Paged(_))
     }
 
+    /// Does the session use the append backend (sealed base + WAL
+    /// tail)?
+    pub fn is_append(&self) -> bool {
+        matches!(self.backend, Backend::Append(_))
+    }
+
+    /// The append backend, when the session has one — lets tests and
+    /// servers inspect tail state (`tail_records`, `tail_len`) without
+    /// widening the session API per field.
+    pub fn append_log(&self) -> Option<&AppendLog> {
+        match &self.backend {
+            Backend::Append(log) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// Paged-to-resident promotions this session has performed. Stays
+    /// 0 for sessions born resident and for append-backend sessions,
+    /// whose mutations commit in place.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
     /// Node records decoded by this session's paged backends — including
     /// any backend a promoting mutation has since replaced, so the
     /// figure is monotonic for the session's lifetime (it used to reset
@@ -192,14 +252,16 @@ impl Session {
             + match &self.backend {
                 Backend::Resident(_) => 0,
                 Backend::Paged(log) => log.records_read(),
+                Backend::Append(log) => log.records_read(),
             }
     }
 
-    /// The resident graph, when there is one (`None` while paged).
+    /// The resident graph, when there is one (`None` while paged or
+    /// append-backed).
     pub fn resident_graph(&self) -> Option<&ProvGraph> {
         match &self.backend {
             Backend::Resident(g) => Some(g),
-            Backend::Paged(_) => None,
+            Backend::Paged(_) | Backend::Append(_) => None,
         }
     }
 
@@ -214,8 +276,15 @@ impl Session {
     }
 
     /// Decode the full log and switch to the resident backend. No-op if
-    /// already resident. Returns the graph.
+    /// already resident; an error on an append session, whose whole
+    /// point is committing mutations without promotion (`COMPACT`
+    /// reclaims the tail instead). Returns the graph.
     pub fn materialize(&mut self) -> Result<&ProvGraph> {
+        if matches!(self.backend, Backend::Append(_)) {
+            return Err(ProqlError::Storage(
+                "append sessions never promote to resident; run COMPACT to merge the tail".into(),
+            ));
+        }
         if let Backend::Paged(log) = &self.backend {
             let graph = log
                 .decode_full()
@@ -224,6 +293,7 @@ impl Session {
             // its figure first so the session's count stays monotonic.
             self.carried_reads += log.records_read();
             self.backend = Backend::Resident(graph);
+            self.promotions += 1;
         }
         Ok(self.graph())
     }
@@ -231,7 +301,23 @@ impl Session {
     pub(crate) fn graph_mut(&mut self) -> &mut ProvGraph {
         match &mut self.backend {
             Backend::Resident(g) => g,
-            Backend::Paged(_) => unreachable!("mutating statements promote before executing"),
+            Backend::Paged(_) | Backend::Append(_) => {
+                unreachable!("mutating statements promote or take the append path first")
+            }
+        }
+    }
+
+    fn append_log_ref(&self) -> &AppendLog {
+        match &self.backend {
+            Backend::Append(log) => log,
+            _ => unreachable!("append backend expected"),
+        }
+    }
+
+    fn append_log_mut(&mut self) -> &mut AppendLog {
+        match &mut self.backend {
+            Backend::Append(log) => log,
+            _ => unreachable!("append backend expected"),
         }
     }
 
@@ -264,21 +350,67 @@ impl Session {
     /// mutation touched (the executor's mutation arms compute it). In
     /// debug builds the repaired index is checked bit-for-bit against a
     /// fresh build — the incremental path must never drift.
-    pub(crate) fn repair_index(&mut self, changed: &[lipstick_core::NodeId]) {
-        let Backend::Resident(graph) = &self.backend else {
+    pub(crate) fn repair_index(&mut self, changed: &[NodeId]) {
+        if let Some(pending) = self.pending_repairs.as_mut() {
+            pending.extend_from_slice(changed);
+            return;
+        }
+        self.flush_repair(changed);
+    }
+
+    /// Start buffering repair work: until [`Session::end_write_batch`],
+    /// every mutation's changed-node set accumulates instead of
+    /// repairing the reach index per statement. The server's
+    /// group-commit leader wraps a whole writer batch in one
+    /// begin/end pair, paying one repair (and one `repair_us`
+    /// observation) per batch. Sound because [`ReachIndex::repair`]
+    /// recomputes the affected region from the *current* graph state
+    /// seeded by the changed set, so a single end-of-batch repair with
+    /// the union of the per-statement sets lands on the same index.
+    pub fn begin_write_batch(&mut self) {
+        if self.pending_repairs.is_none() {
+            self.pending_repairs = Some(Vec::new());
+        }
+    }
+
+    /// Flush the buffered changed-node union in one repair pass and
+    /// stop buffering. No-op if no batch is open.
+    pub fn end_write_batch(&mut self) {
+        if let Some(mut changed) = self.pending_repairs.take() {
+            changed.sort_unstable();
+            changed.dedup();
+            if !changed.is_empty() {
+                self.flush_repair(&changed);
+            }
+        }
+    }
+
+    fn flush_repair(&mut self, changed: &[NodeId]) {
+        let Some(index) = self.reach.as_mut() else {
             return;
         };
-        if let Some(index) = self.reach.as_mut() {
-            let start = Instant::now();
-            index.repair(graph, changed);
-            self.instruments
-                .repair_us
-                .observe(start.elapsed().as_micros() as u64);
-            debug_assert!(
-                index.matches_fresh_build(graph),
-                "incremental reach-index repair diverged from a fresh build"
-            );
+        let start = Instant::now();
+        match &self.backend {
+            Backend::Resident(graph) => {
+                index.repair(graph, changed);
+                debug_assert!(
+                    index.matches_fresh_build(graph),
+                    "incremental reach-index repair diverged from a fresh build"
+                );
+            }
+            Backend::Append(log) => {
+                index.repair(log.as_ref(), changed);
+                debug_assert!(
+                    index.matches_fresh_build(log.as_ref()),
+                    "incremental reach-index repair diverged from a fresh build"
+                );
+            }
+            // Paged sessions never hold an index across mutations.
+            Backend::Paged(_) => return,
         }
+        self.instruments
+            .repair_us
+            .observe(start.elapsed().as_micros() as u64);
     }
 
     /// Does executing this statement require a resident, mutable graph?
@@ -327,18 +459,262 @@ impl Session {
             self.materialize()?;
         }
         let start = Instant::now();
-        let out = match &self.backend {
-            Backend::Resident(graph) => {
-                let plan = Planner::new(graph, self.reach.as_ref()).plan_fused(fs)?;
-                exec::execute(self, &plan)
+        let out = if self.is_append() {
+            self.run_append_fused(fs)
+        } else {
+            match &self.backend {
+                Backend::Resident(graph) => {
+                    let plan = Planner::new(graph, self.reach.as_ref()).plan_fused(fs)?;
+                    exec::execute(self, &plan)
+                }
+                Backend::Paged(log) => match &fs.stmt {
+                    // Intercepted here: COMPACT is mutating (so it must
+                    // not reach the paged read executor) but a no-op on
+                    // a tail-less backend.
+                    Statement::Compact => Ok(QueryOutput::Message(
+                        "nothing to compact (no tail segment)".into(),
+                    )),
+                    stmt => run_paged(log.as_ref(), stmt, self.parallel, TraceCtx::disabled()),
+                },
+                Backend::Append(_) => unreachable!("handled above"),
             }
-            Backend::Paged(log) => run_paged(log, &fs.stmt, self.parallel, TraceCtx::disabled()),
         };
         self.instruments.statements.inc();
         self.instruments
             .statement_us
             .observe(start.elapsed().as_micros() as u64);
         out
+    }
+
+    /// Execute one fused statement against the append backend.
+    /// Read-only plans run through the paged executor (the append log
+    /// is a [`GraphStore`]); mutating plans commit durable tail
+    /// records and repair the reach index in place — the messages and
+    /// error choices mirror the resident arms byte for byte, which the
+    /// differential harness locks down.
+    fn run_append_fused(&mut self, fs: &FusedStatement) -> Result<QueryOutput> {
+        let plan = {
+            let log = self.append_log_ref();
+            contain_corruption(|| PagedPlanner::new(log).plan_fused(fs))?
+        };
+        match plan {
+            StmtPlan::Delete(n) => {
+                let cone = {
+                    let log = self.append_log_ref();
+                    contain_corruption(|| Ok(compute_deletion_store(log, n)?))?
+                };
+                self.append_log_mut()
+                    .commit_tombstones(&cone)
+                    .map_err(|e| ProqlError::Storage(e.to_string()))?;
+                // Deletion only removes reachability: the changed set
+                // is exactly the tombstoned cone.
+                self.repair_index(&cone);
+                Ok(QueryOutput::Deleted { nodes: cone })
+            }
+            StmtPlan::ZoomOut {
+                modules,
+                fused_from,
+            } => {
+                let plans = {
+                    let log = self.append_log_ref();
+                    let names: Vec<&str> = modules.iter().map(String::as_str).collect();
+                    let zoomed: Vec<String> = log
+                        .zoomed_out_modules()
+                        .into_iter()
+                        .map(String::from)
+                        .collect();
+                    contain_corruption(|| {
+                        Ok(plan_zoom_out(log, &names, &zoomed, log.stash_count())?)
+                    })?
+                };
+                let created = self
+                    .append_log_mut()
+                    .commit_zoom_out(plans)
+                    .map_err(|e| ProqlError::Storage(e.to_string()))?;
+                // Changed: everything each stash hid, the new
+                // composites, and the i/o nodes the composites were
+                // wired to (their adjacency gained edges).
+                let mut changed = created.clone();
+                {
+                    let log = self.append_log_ref();
+                    for m in &modules {
+                        if let Some(stash) = log.stash_of(m) {
+                            changed.extend_from_slice(&stash.hidden);
+                        }
+                    }
+                    for &z in &created {
+                        changed.extend(log.preds_of(z));
+                        changed.extend(log.succs_of(z));
+                    }
+                }
+                self.repair_index(&changed);
+                let mut msg = format!(
+                    "zoomed out {} module(s), {} composite node(s)",
+                    modules.len(),
+                    created.len()
+                );
+                if fused_from > 1 {
+                    msg.push_str(&format!(" [fused from {fused_from} statements]"));
+                }
+                Ok(QueryOutput::Message(msg))
+            }
+            StmtPlan::ZoomIn {
+                modules,
+                fused_from,
+            } => {
+                let names: Vec<String> = match modules {
+                    Some(ms) => ms,
+                    None => self
+                        .append_log_ref()
+                        .zoomed_out_modules()
+                        .into_iter()
+                        .map(String::from)
+                        .collect(),
+                };
+                if names.is_empty() {
+                    return Ok(QueryOutput::Message("no modules are zoomed out".into()));
+                }
+                // Validate up front with the resident path's exact
+                // error (the log's own refusal spells differently), and
+                // capture the changed set before committing: ZoomIn
+                // unlinks the composites, so their neighbours must be
+                // read now.
+                let mut changed: Vec<NodeId> = Vec::new();
+                {
+                    let log = self.append_log_ref();
+                    let zoomed = log.zoomed_out_modules();
+                    let mut seen = std::collections::HashSet::new();
+                    for m in &names {
+                        if !seen.insert(m.as_str()) || !zoomed.contains(&m.as_str()) {
+                            return Err(QueryError::NotZoomedOut(m.clone()).into());
+                        }
+                    }
+                    for m in &names {
+                        if let Some(stash) = log.stash_of(m) {
+                            changed.extend_from_slice(&stash.hidden);
+                            for &z in &stash.zoom_nodes {
+                                changed.push(z);
+                                changed.extend(log.preds_of(z));
+                                changed.extend(log.succs_of(z));
+                            }
+                        }
+                    }
+                }
+                self.append_log_mut()
+                    .commit_zoom_in(&names)
+                    .map_err(|e| ProqlError::Storage(e.to_string()))?;
+                self.repair_index(&changed);
+                let mut msg = format!("zoomed back into {}", names.join(", "));
+                if fused_from > 1 {
+                    msg.push_str(&format!(" [fused from {fused_from} statements]"));
+                }
+                Ok(QueryOutput::Message(msg))
+            }
+            StmtPlan::BuildIndex => {
+                if self.has_reach_index() {
+                    return Ok(QueryOutput::Message(
+                        "reach index already present (maintained in place); DROP INDEX first to \
+                         force a rebuild"
+                            .into(),
+                    ));
+                }
+                let index = {
+                    let log = self.append_log_ref();
+                    contain_corruption(|| Ok(ReachIndex::build(log)))?
+                };
+                let bytes = index.memory_bytes();
+                self.set_index(index);
+                Ok(QueryOutput::Message(format!(
+                    "reach index built ({bytes} bytes)"
+                )))
+            }
+            StmtPlan::DropIndex => {
+                self.invalidate_index();
+                Ok(QueryOutput::Message("reach index dropped".into()))
+            }
+            StmtPlan::Compact => {
+                let records = self.append_log_ref().tail_records();
+                if records == 0 {
+                    return Ok(QueryOutput::Message(
+                        "nothing to compact (no tail segment)".into(),
+                    ));
+                }
+                self.append_log_mut()
+                    .compact()
+                    .map_err(|e| ProqlError::Storage(e.to_string()))?;
+                // Compaction preserves ids and visibility exactly, so
+                // an existing reach index stays valid as-is.
+                Ok(QueryOutput::Message(format!(
+                    "compacted {records} tail record(s) into sealed segment"
+                )))
+            }
+            read_only => {
+                let log = self.append_log_ref();
+                contain_corruption(|| {
+                    paged::execute(log, &read_only, self.parallel, TraceCtx::disabled())
+                })
+            }
+        }
+    }
+
+    /// Append a self-contained fragment graph — new workflow output
+    /// from the Provenance Tracker — to the session, returning the ids
+    /// its nodes received. On the append backend this commits one
+    /// durable tail record and repairs the reach index in place; a
+    /// paged session must promote first (the baseline the append bench
+    /// measures against); a resident session splices the fragment into
+    /// the graph arena. Fragments with zoomed-out modules are rejected
+    /// on every backend, mirroring the storage layer's refusal.
+    pub fn ingest(&mut self, fragment: &ProvGraph) -> Result<Vec<NodeId>> {
+        if self.is_paged() {
+            self.materialize()?;
+        }
+        let created = match &mut self.backend {
+            Backend::Append(log) => log
+                .commit_fragment(fragment)
+                .map_err(|e| ProqlError::Storage(e.to_string()))?,
+            Backend::Resident(graph) => {
+                let zoomed = fragment.zoomed_out_modules();
+                if !zoomed.is_empty() {
+                    let names = zoomed.into_iter().map(String::from).collect();
+                    return Err(ProqlError::Storage(
+                        lipstick_storage::StorageError::ZoomedGraph(names).to_string(),
+                    ));
+                }
+                let node_off = graph.len() as u32;
+                let inv_off = graph.invocations().len() as u32;
+                let mut created = Vec::with_capacity(fragment.len());
+                for i in 0..fragment.len() {
+                    let n = fragment.node(NodeId(i as u32));
+                    let id = graph.add_node(n.kind.clone(), offset_role(n.role, inv_off));
+                    if n.is_deleted() {
+                        graph.set_node_deleted(id, true);
+                    }
+                    created.push(id);
+                }
+                // Second pass: a fragment edge may point at a later
+                // fragment node, so every node must exist before wiring.
+                for (i, &id) in created.iter().enumerate() {
+                    let n = fragment.node(NodeId(i as u32));
+                    for &p in n.preds() {
+                        graph.add_edge(NodeId(p.0 + node_off), id);
+                    }
+                }
+                for inv in fragment.invocations() {
+                    graph.register_invocation(
+                        inv.module.clone(),
+                        inv.execution,
+                        NodeId(inv.m_node.0 + node_off),
+                    );
+                }
+                created
+            }
+            Backend::Paged(_) => unreachable!("materialized above"),
+        };
+        // Fragment edges are internal, so the changed set is exactly
+        // the appended ids.
+        self.repair_index(&created);
+        Ok(created)
     }
 
     /// Run exactly one **read-only** statement through a shared
@@ -386,7 +762,8 @@ impl Session {
                 let span = ctx.span("execute");
                 exec::execute_read(graph, self.reach_index(), &plan, self.parallel, span.ctx())
             }
-            Backend::Paged(log) => run_paged(log, stmt, self.parallel, ctx),
+            Backend::Paged(log) => run_paged(log.as_ref(), stmt, self.parallel, ctx),
+            Backend::Append(log) => run_paged(log.as_ref(), stmt, self.parallel, ctx),
         };
         self.instruments.statements.inc();
         self.instruments
@@ -403,6 +780,9 @@ impl Session {
             // Planning faults records too (token resolution), so it
             // needs the same corruption containment as execution.
             Backend::Paged(log) => {
+                contain_corruption(|| PagedPlanner::new(log.as_ref()).plan(stmt))
+            }
+            Backend::Append(log) => {
                 contain_corruption(|| PagedPlanner::new(log.as_ref()).plan(stmt))
             }
         }
@@ -437,6 +817,16 @@ impl Session {
                         .map(|(k, v)| ("paged_log", k, v)),
                 );
             }
+            // The append log reports its sealed base plus a
+            // "tail_overlay" component; both land in the `paged_log`
+            // gauge group so serve's heap gauges need no new names.
+            Backend::Append(log) => {
+                out.extend(
+                    log.memory_breakdown()
+                        .into_iter()
+                        .map(|(k, v)| ("paged_log", k, v)),
+                );
+            }
         }
         if let Some(idx) = &self.reach {
             out.extend(
@@ -462,19 +852,8 @@ impl Session {
     pub fn check(&self, statement: &str) -> crate::analyze::Diagnostics {
         match &self.backend {
             Backend::Resident(graph) => crate::analyze::analyze(graph, statement),
-            Backend::Paged(log) => {
-                contain_corruption(|| Ok(crate::analyze::analyze(log.as_ref(), statement)))
-                    .unwrap_or_else(|e| crate::analyze::Diagnostics {
-                        source: statement.to_string(),
-                        items: vec![crate::analyze::Diagnostic {
-                            code: "E001",
-                            severity: crate::analyze::Severity::Error,
-                            span: crate::lexer::Span::new(0, statement.len()),
-                            message: format!("analysis failed: {e}"),
-                            suggestion: None,
-                        }],
-                    })
-            }
+            Backend::Paged(log) => analyze_contained(log.as_ref(), statement),
+            Backend::Append(log) => analyze_contained(log.as_ref(), statement),
         }
     }
 }
@@ -500,14 +879,14 @@ pub fn render_memory_report(components: &[MemoryComponent]) -> String {
     out
 }
 
-/// Plan and execute one statement against a paged log. The footer only
-/// validates record *offsets*; a record whose bytes are garbled is
-/// first noticed when a query faults it in, deep inside infallible
-/// GraphStore accessors. Contain that panic here so corrupt input
-/// surfaces as an error, never an abort — the same contract every other
-/// corruption path honours.
-fn run_paged(
-    log: &PagedLog,
+/// Plan and execute one statement against an on-disk store (paged or
+/// append log). The footer only validates record *offsets*; a record
+/// whose bytes are garbled is first noticed when a query faults it in,
+/// deep inside infallible GraphStore accessors. Contain that panic here
+/// so corrupt input surfaces as an error, never an abort — the same
+/// contract every other corruption path honours.
+fn run_paged<S: GraphStore + Sync>(
+    store: &S,
     stmt: &Statement,
     par: Parallelism,
     ctx: TraceCtx<'_>,
@@ -515,10 +894,28 @@ fn run_paged(
     contain_corruption(|| {
         let plan = {
             let _span = ctx.span("plan");
-            PagedPlanner::new(log).plan(stmt)?
+            PagedPlanner::new(store).plan(stmt)?
         };
         let span = ctx.span("execute");
-        paged::execute(log, &plan, par, span.ctx())
+        paged::execute(store, &plan, par, span.ctx())
+    })
+}
+
+/// `CHECK` analysis against an on-disk store, with corruption panics
+/// folded into a synthetic `E001` diagnostic (the analyzer itself is
+/// infallible, but faulting records in is not).
+fn analyze_contained<S: GraphStore>(store: &S, statement: &str) -> crate::analyze::Diagnostics {
+    contain_corruption(|| Ok(crate::analyze::analyze(store, statement))).unwrap_or_else(|e| {
+        crate::analyze::Diagnostics {
+            source: statement.to_string(),
+            items: vec![crate::analyze::Diagnostic {
+                code: "E001",
+                severity: crate::analyze::Severity::Error,
+                span: crate::lexer::Span::new(0, statement.len()),
+                message: format!("analysis failed: {e}"),
+                suggestion: None,
+            }],
+        }
     })
 }
 
@@ -538,6 +935,23 @@ fn contain_corruption<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
     })
 }
 
+/// Rebase a fragment-local role onto a session graph whose invocation
+/// table already holds `by` entries — the resident mirror of the append
+/// log's replay-time rebasing, so both ingest paths place a fragment's
+/// nodes identically.
+fn offset_role(role: Role, by: u32) -> Role {
+    let off = |i: InvocationId| InvocationId(i.0 + by);
+    match role {
+        Role::WorkflowInput | Role::Free => role,
+        Role::Invocation(i) => Role::Invocation(off(i)),
+        Role::ModuleInput(i) => Role::ModuleInput(off(i)),
+        Role::ModuleOutput(i) => Role::ModuleOutput(off(i)),
+        Role::State(i) => Role::State(off(i)),
+        Role::Intermediate(i) => Role::Intermediate(off(i)),
+        Role::Zoom(i) => Role::Zoom(off(i)),
+    }
+}
+
 /// The leading keyword(s) of a statement, for error messages.
 fn stmt_summary(stmt: &Statement) -> String {
     match stmt {
@@ -546,6 +960,7 @@ fn stmt_summary(stmt: &Statement) -> String {
         Statement::ZoomIn(_) => "ZOOM IN".into(),
         Statement::BuildIndex => "BUILD INDEX".into(),
         Statement::DropIndex => "DROP INDEX".into(),
+        Statement::Compact => "COMPACT".into(),
         _ => format!("{stmt:?}"),
     }
 }

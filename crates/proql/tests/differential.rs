@@ -3,11 +3,16 @@
 //! Random WorkflowGen graphs (Car-dealerships and Arctic-stations
 //! parameter sweeps) are written as v2 logs; random well-formed
 //! read-only statements (see `lipstick_proql::testgen`) then run
-//! three ways —
+//! four ways —
 //!
 //! 1. a **resident** session (`Session::load`),
-//! 2. a **paged** session (`Session::open`), and
-//! 3. a round trip through **`lipstick-serve`** (line protocol, over a
+//! 2. a **paged** session (`Session::open`),
+//! 3. an **append** session (`Session::open_append`), whose mutations
+//!    commit durable tail records instead of promoting — the harness
+//!    asserts `promotions() == 0` stays true throughout, and
+//!    occasionally issues `COMPACT` on this engine alone (a physical
+//!    reorganization the other engines have no counterpart for), and
+//! 4. a round trip through **`lipstick-serve`** (line protocol, over a
 //!    second paged session),
 //!
 //! and every answer must agree byte-for-byte once the one sanctioned
@@ -151,10 +156,11 @@ fn server_answer(client: &mut Client, text: &str) -> Answer {
     }
 }
 
-/// Where the three engines disagree on a statement, if anywhere.
+/// Where the four engines disagree on a statement, if anywhere.
 fn divergence(
     resident: &Session,
     paged: &Session,
+    append: &Session,
     client: &mut Client,
     stmt: &Statement,
 ) -> Option<String> {
@@ -163,6 +169,10 @@ fn divergence(
     let p = local_answer(paged, &text);
     if r != p {
         return Some(format!("resident: {r:?}\n  paged:    {p:?}"));
+    }
+    let a = local_answer(append, &text);
+    if p != a {
+        return Some(format!("paged:  {p:?}\n  append: {a:?}"));
     }
     let s = server_answer(client, &text);
     if p != s {
@@ -181,6 +191,7 @@ fn divergence(
 fn shrink_divergence(
     resident: &Session,
     paged: &Session,
+    append: &Session,
     client: &mut Client,
     start: Statement,
 ) -> Statement {
@@ -188,7 +199,7 @@ fn shrink_divergence(
     loop {
         let simpler = testgen::shrink(&current)
             .into_iter()
-            .find(|s| divergence(resident, paged, client, s).is_some());
+            .find(|s| divergence(resident, paged, append, client, s).is_some());
         match simpler {
             Some(s) => current = s,
             None => return current,
@@ -413,6 +424,8 @@ fn differential_resident_paged_server() {
         let mut resident = Session::load(&path).unwrap();
         let mut paged = Session::open(&path).unwrap();
         assert!(paged.is_paged());
+        let mut append = Session::open_append(&path).unwrap();
+        assert!(append.is_append());
         let handle = Server::new(
             Session::open(&path).unwrap(),
             ServerConfig {
@@ -447,16 +460,33 @@ fn differential_resident_paged_server() {
             if mutating {
                 let r = local_mutation_answer(&mut resident, &text);
                 let p = local_mutation_answer(&mut paged, &text);
+                let a = local_mutation_answer(&mut append, &text);
                 let s = server_answer(&mut client, &text);
                 assert!(
-                    r == p && p == s,
+                    r == p && p == a && p == s,
                     "engines diverged on mutation.\n  statement: {stmt}\n  resident: {r:?}\n  \
-                     paged:    {p:?}\n  server:   {s:?}"
+                     paged:    {p:?}\n  append:   {a:?}\n  server:   {s:?}"
                 );
-            } else if let Some(detail) = divergence(&resident, &paged, &mut client, &stmt) {
-                let minimal = shrink_divergence(&resident, &paged, &mut client, stmt.clone());
-                let minimal_detail =
-                    divergence(&resident, &paged, &mut client, &minimal).unwrap_or_default();
+                // Occasionally fold the append session's tail into a
+                // fresh sealed segment mid-stream. COMPACT is issued on
+                // this engine alone (the others have no tail), so its
+                // answer is asserted directly, not compared: it must
+                // succeed whenever no module is zoomed out, and the
+                // statements that follow must still agree across all
+                // four engines.
+                let zoomed = append
+                    .append_log()
+                    .map(|log| !log.zoomed_out_modules().is_empty())
+                    .unwrap_or(true);
+                if !zoomed && rng.chance(33) {
+                    append.run_one("COMPACT").expect("mid-stream COMPACT");
+                }
+            } else if let Some(detail) = divergence(&resident, &paged, &append, &mut client, &stmt)
+            {
+                let minimal =
+                    shrink_divergence(&resident, &paged, &append, &mut client, stmt.clone());
+                let minimal_detail = divergence(&resident, &paged, &append, &mut client, &minimal)
+                    .unwrap_or_default();
                 panic!(
                     "engines diverged.\n  statement: {stmt}\n  {detail}\n  \
                      shrunk to: {minimal}\n  {minimal_detail}"
@@ -465,9 +495,22 @@ fn differential_resident_paged_server() {
             executed += 1;
         }
 
+        // The whole point of the append backend: an entire mutation
+        // stream (plus compactions) without a single promotion.
+        assert_eq!(
+            append.promotions(),
+            0,
+            "append session must never promote to resident"
+        );
+        assert!(append.is_append());
+
         drop(client);
+        drop(append);
         handle.shutdown();
         std::fs::remove_file(&path).ok();
+        let mut tail = path.clone().into_os_string();
+        tail.push(".tail");
+        std::fs::remove_file(tail).ok();
     }
 
     assert!(

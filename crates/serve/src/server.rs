@@ -4,9 +4,12 @@
 //!
 //! The session sits behind an [`RwLock`]. Read-only statements take the
 //! read side and execute concurrently — `proql::Session::run_read`
-//! borrows `&self`, and both backends (resident graph, paged log with
-//! its sharded fault cache) are `Sync`. Mutating statements take the
-//! write side, execute exclusively, and on success bump the **write
+//! borrows `&self`, and all backends (resident graph, paged log with
+//! its sharded fault cache, append log) are `Sync`. Mutating
+//! statements **group-commit**: each writer enqueues its statement and
+//! contends for the write side; the winner drains the whole queue as
+//! batch leader under one lock hold, one deferred reach-index repair,
+//! and — if anything observably changed — one bump of the **write
 //! epoch**, an atomic counter that stamps every cached result; a stale
 //! stamp is what invalidates a cache entry. The epoch can only change
 //! while the write lock is held, so a result computed under a read
@@ -57,6 +60,13 @@ pub struct ServerConfig {
     /// regardless of latency, so `GET /slow` shows a representative
     /// sample and not just outliers. 0 (the default) disables sampling.
     pub trace_sample_every: u64,
+    /// On an append-backed session, fold the tail segment into a fresh
+    /// sealed base (`COMPACT`) once this many successful mutations have
+    /// accumulated since the last compaction. The batch leader issues
+    /// it under the write lock it already holds, so readers never see a
+    /// half-compacted store. 0 (the default) disables auto-compaction;
+    /// other backends ignore the knob.
+    pub compact_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +77,7 @@ impl Default for ServerConfig {
             slow_threshold_us: 1_000,
             query_log: None,
             trace_sample_every: 0,
+            compact_every: 0,
         }
     }
 }
@@ -182,6 +193,30 @@ struct Shared {
     /// Read counter driving 1-in-N full-trace sampling.
     sample_tick: AtomicU64,
     trace_sample_every: u64,
+    /// Mutations waiting for a batch leader (group commit). Writers
+    /// enqueue here, then contend for the session write lock; whoever
+    /// wins drains the whole queue under one lock hold, one reach-index
+    /// repair flush, and one epoch bump.
+    write_queue: Mutex<VecDeque<Arc<WriteSlot>>>,
+    /// Successful mutations since the last auto-compaction.
+    writes_since_compact: AtomicU64,
+    compact_every: u64,
+}
+
+/// One queued mutation: the parsed statement going in, the leader's
+/// answer coming out. The enqueuing worker discovers the result after
+/// it acquires the write lock itself (by then a leader has usually
+/// filled it in).
+struct WriteSlot {
+    stmt: Statement,
+    state: Mutex<Option<SlotResult>>,
+}
+
+/// What the batch leader records per drained slot.
+struct SlotResult {
+    result: Result<CachedResult, String>,
+    reads: u64,
+    epoch: u64,
 }
 
 /// The outcome of one statement, ready for either wire format.
@@ -433,20 +468,94 @@ impl Shared {
         }
     }
 
+    /// Group commit: enqueue the mutation, then contend for the write
+    /// lock. The winner becomes batch leader and executes *every*
+    /// queued mutation — its own included — under one lock hold, one
+    /// deferred reach-index repair (one `lipstick_proql_index_repair_us`
+    /// observation), and at most one epoch bump. Losers acquire the
+    /// lock to find their slot already answered. Under sequential load
+    /// every batch has exactly one statement and the behaviour (epoch
+    /// per mutation, repair per mutation) is unchanged.
     fn run_write(&self, stmt: &Statement, start: Instant) -> Outcome {
+        let slot = Arc::new(WriteSlot {
+            stmt: stmt.clone(),
+            state: Mutex::new(None),
+        });
+        self.write_queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(slot.clone());
         let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
-        let was_paged = session.is_paged();
-        let reads_before = session.records_read();
-        let result = session.run_stmt(stmt);
-        let reads = session.records_read().saturating_sub(reads_before) as u64;
-        // A mutating statement promotes a paged backend *before*
-        // executing, so even a failed one (e.g. `ZOOM OUT TO Bogus`)
-        // can leave the session resident — where identical queries
-        // render different visited-cost figures. Any observable change
-        // must bump the epoch, or cached paged-era results would be
-        // served as if nothing happened.
-        let changed = result.is_ok() || (was_paged && !session.is_paged());
-        let epoch = if changed {
+        let unanswered = slot
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none();
+        if unanswered {
+            self.lead_write_batch(&mut session);
+        }
+        drop(session);
+        // The leader answers every drained slot before releasing the
+        // lock, so an empty slot here is unreachable — but the serve
+        // path must degrade to an error reply, never panic.
+        let done = slot.state.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match done {
+            Some(done) => Outcome {
+                result: done.result,
+                cache_hit: false,
+                epoch: done.epoch,
+                time_us: elapsed_us(start),
+                reads: done.reads,
+            },
+            None => Outcome {
+                result: Err("internal error: write batch left a slot unanswered".to_string()),
+                cache_hit: false,
+                epoch: self.epoch.load(Ordering::Acquire),
+                time_us: elapsed_us(start),
+                reads: 0,
+            },
+        }
+    }
+
+    /// Drain the write queue as batch leader. Caller holds the session
+    /// write lock; our own slot is somewhere in the queue.
+    fn lead_write_batch(&self, session: &mut Session) {
+        let batch: Vec<Arc<WriteSlot>> = self
+            .write_queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        // Defer reach-index repair across the whole batch: mutations
+        // record their changed node sets, and one union repair runs at
+        // the end (no mutation *reads* the closure — deletion cones and
+        // zoom plans are computed by direct traversal).
+        session.begin_write_batch();
+        let mut any_changed = false;
+        let mut successes = 0u64;
+        let mut results = Vec::with_capacity(batch.len());
+        for slot in &batch {
+            let was_paged = session.is_paged();
+            let reads_before = session.records_read();
+            let result = session.run_stmt(&slot.stmt);
+            let reads = session.records_read().saturating_sub(reads_before) as u64;
+            // A mutating statement promotes a paged backend *before*
+            // executing, so even a failed one (e.g. `ZOOM OUT TO
+            // Bogus`) can leave the session resident — where identical
+            // queries render different visited-cost figures. Any
+            // observable change must bump the epoch, or cached
+            // paged-era results would be served as if nothing happened.
+            any_changed |= result.is_ok() || (was_paged && !session.is_paged());
+            if result.is_ok() {
+                successes += 1;
+                self.mutations.fetch_add(1, Ordering::Relaxed);
+                self.instruments.mutations.inc();
+            }
+            results.push((result, reads));
+        }
+        session.end_write_batch();
+        self.maybe_compact(session, successes);
+        let epoch = if any_changed {
             // Bump while still exclusive: no reader can observe the
             // changed session under the old epoch.
             let bumped = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
@@ -455,29 +564,38 @@ impl Shared {
         } else {
             self.epoch.load(Ordering::Acquire)
         };
-        let time_us = elapsed_us(start);
-        match result {
-            Ok(out) => {
-                self.mutations.fetch_add(1, Ordering::Relaxed);
-                self.instruments.mutations.inc();
-                Outcome {
-                    result: Ok(CachedResult {
+        for (slot, (result, reads)) in batch.iter().zip(results) {
+            let answer = SlotResult {
+                result: result
+                    .map(|out| CachedResult {
                         text: out.to_string(),
                         json: out.to_json(),
-                    }),
-                    cache_hit: false,
-                    epoch,
-                    time_us,
-                    reads,
-                }
-            }
-            Err(e) => Outcome {
-                result: Err(e.to_string()),
-                cache_hit: false,
-                epoch,
-                time_us,
+                    })
+                    .map_err(|e| e.to_string()),
                 reads,
-            },
+                epoch,
+            };
+            *slot.state.lock().unwrap_or_else(|e| e.into_inner()) = Some(answer);
+        }
+    }
+
+    /// Auto-compaction: once `compact_every` successful mutations have
+    /// accumulated on an append-backed session, fold the tail into a
+    /// fresh sealed base. Runs under the batch leader's write lock and
+    /// after the repair flush; compaction preserves ids and visibility,
+    /// so neither the reach index nor the result cache is invalidated
+    /// (no epoch bump). A refusal — e.g. modules are zoomed out — just
+    /// leaves the counter armed for the next batch.
+    fn maybe_compact(&self, session: &mut Session, successes: u64) {
+        if self.compact_every == 0 || successes == 0 || !session.is_append() {
+            return;
+        }
+        let since = self
+            .writes_since_compact
+            .fetch_add(successes, Ordering::Relaxed)
+            + successes;
+        if since >= self.compact_every && session.run_stmt(&Statement::Compact).is_ok() {
+            self.writes_since_compact.store(0, Ordering::Relaxed);
         }
     }
 
@@ -542,6 +660,9 @@ impl Server {
                 clients: AtomicU64::new(0),
                 sample_tick: AtomicU64::new(0),
                 trace_sample_every: config.trace_sample_every,
+                write_queue: Mutex::new(VecDeque::new()),
+                writes_since_compact: AtomicU64::new(0),
+                compact_every: config.compact_every,
             }),
             config,
         }
@@ -608,7 +729,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The current write epoch (number of successful mutations).
+    /// The current write epoch (number of observable-change write
+    /// batches; under sequential load, the number of successful
+    /// mutations).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::Acquire)
     }

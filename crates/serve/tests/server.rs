@@ -772,3 +772,245 @@ fn metrics_heap_gauges_agree_with_stats_memory_breakdown() {
     drop(client);
     handle.shutdown();
 }
+
+fn serve_append(name: &str, workers: usize, compact_every: u64) -> lipstick_serve::ServerHandle {
+    let session = Session::open_append(temp_log(name)).unwrap();
+    assert!(session.is_append());
+    Server::new(
+        session,
+        ServerConfig {
+            workers,
+            cache_capacity: 64,
+            compact_every,
+            ..ServerConfig::default()
+        },
+    )
+    .serve("127.0.0.1:0")
+    .unwrap()
+}
+
+/// Distinct base-tuple victims for concurrent deletion: base tuples are
+/// sources, so no victim sits inside another victim's deletion cone and
+/// every `DELETE … PROPAGATE` must succeed regardless of interleaving.
+fn base_victims(n: usize) -> Vec<lipstick_core::NodeId> {
+    dealers_graph()
+        .iter_visible()
+        .filter(|(_, node)| matches!(node.kind, lipstick_core::NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .take(n)
+        .collect()
+}
+
+/// The append-backend acceptance test: concurrent writers group-commit
+/// durable tail records (no promotion) while readers stream queries and
+/// a `COMPACT` is forced mid-run. Three invariants:
+///
+/// 1. **no lost writes** — every victim reads back as deleted,
+/// 2. **payload matches reported epoch** — across every reader, two
+///    replies stamped with the same epoch carry identical bodies (the
+///    epoch names one graph version, batched or not), and
+/// 3. **compaction is invisible** — the post-compaction answer equals
+///    the pre-compaction answer byte for byte.
+#[test]
+fn append_server_group_commits_concurrent_writers_across_compact() {
+    // 4 writers + 3 readers + 1 compactor pin persistent connections;
+    // the pool must exceed that or latecomers starve.
+    let handle = serve_append("append-race.lpstk", 12, 0);
+    let addr = handle.addr();
+    let victims = base_victims(8);
+    assert_eq!(victims.len(), 8, "the dealers graph has 8+ base tuples");
+
+    let stmt = "COUNT(*) MATCH nodes";
+    let observed: Vec<(u64, String)> = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            readers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut seen = Vec::new();
+                for _ in 0..30 {
+                    let reply = client.query(stmt).unwrap();
+                    let Reply::Ok { epoch, body, .. } = reply else {
+                        panic!("read failed: {reply:?}");
+                    };
+                    seen.push((epoch, body));
+                }
+                seen
+            }));
+        }
+        for pair in victims.chunks(2) {
+            let pair = pair.to_vec();
+            scope.spawn(move || {
+                let mut writer = Client::connect(addr).unwrap();
+                for victim in pair {
+                    let del = writer
+                        .query(&format!("DELETE #{} PROPAGATE", victim.0))
+                        .unwrap();
+                    assert!(del.is_ok(), "append-backed delete failed: {del:?}");
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut compactor = Client::connect(addr).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let reply = compactor.query("COMPACT").unwrap();
+            assert!(reply.is_ok(), "mid-run COMPACT failed: {reply:?}");
+        });
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().unwrap())
+            .collect()
+    });
+
+    // One epoch, one answer — a cached result served across a bump (or
+    // a half-applied batch leaking out) would violate this.
+    let mut by_epoch: HashMap<u64, &String> = HashMap::new();
+    for (epoch, body) in &observed {
+        match by_epoch.get(epoch) {
+            Some(prev) => assert_eq!(*prev, body, "epoch {epoch} answered two different payloads"),
+            None => {
+                by_epoch.insert(*epoch, body);
+            }
+        }
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    for victim in &victims {
+        // A deleted node no longer resolves — same rendering as the
+        // resident planner gives for an invisible reference.
+        let why = client.query(&format!("WHY #{}", victim.0)).unwrap();
+        let Reply::Err(message) = why else {
+            panic!("lost write: victim #{} still visible: {why:?}", victim.0);
+        };
+        assert_eq!(message, format!("unknown node reference #{}", victim.0));
+    }
+
+    // Compaction preserves ids and visibility: the answer after folding
+    // the remaining tail must equal the answer before, even though the
+    // client-issued COMPACT conservatively bumps the epoch.
+    let before = client.query(stmt).unwrap();
+    let compacted = client.query("COMPACT").unwrap();
+    assert!(compacted.is_ok(), "{compacted:?}");
+    let after = client.query(stmt).unwrap();
+    assert_eq!(before.body(), after.body());
+    assert_eq!(after.epoch(), Some(handle.epoch()));
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// `ServerConfig::compact_every`: the batch leader folds the tail into
+/// a fresh sealed segment after N successful mutations, so a manual
+/// `COMPACT` right after finds nothing left.
+#[test]
+fn append_server_auto_compacts_after_n_mutations() {
+    let handle = serve_append("append-auto.lpstk", 2, 2);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let victims = base_victims(2);
+
+    for victim in &victims {
+        let del = client
+            .query(&format!("DELETE #{} PROPAGATE", victim.0))
+            .unwrap();
+        assert!(del.is_ok(), "{del:?}");
+    }
+    let manual = client.query("COMPACT").unwrap();
+    assert!(manual.is_ok(), "{manual:?}");
+    assert_eq!(
+        manual.body(),
+        "nothing to compact (no tail segment)",
+        "auto-compaction must already have folded the tail"
+    );
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// The memory-accounting acceptance for the append backend: with a
+/// **non-empty tail** (post-mutation, pre-compaction), the heap gauges
+/// on `GET /metrics` and the `STATS` memory components must still sum
+/// to the same figure — the tail overlay is accounted, not leaked — and
+/// uncached reads must keep charging record decodes to the `reads`
+/// trailer after mutations and after compaction.
+#[test]
+fn append_heap_gauges_agree_with_stats_with_non_empty_tail() {
+    use lipstick_core::obs::parse_plain_samples;
+
+    const HEAP_GAUGES: [&str; 5] = [
+        "lipstick_core_graph_heap_bytes",
+        "lipstick_core_reach_heap_bytes",
+        "lipstick_storage_paged_log_heap_bytes",
+        "lipstick_storage_fault_cache_heap_bytes",
+        "lipstick_serve_cache_heap_bytes",
+    ];
+
+    let handle = serve_append("append-mem.lpstk", 2, 0);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let cold = client.query("MATCH base-nodes").unwrap();
+    assert!(cold.is_ok(), "{cold:?}");
+    assert!(
+        cold.reads().unwrap() > 0,
+        "an uncached append-backed read must charge record decodes: {cold:?}"
+    );
+    let victim = base_victims(1)[0];
+    let del = client
+        .query(&format!("DELETE #{} PROPAGATE", victim.0))
+        .unwrap();
+    assert!(del.is_ok(), "{del:?}");
+
+    let mut last = (0.0, 0.0);
+    let mut agreed = false;
+    for _ in 0..5 {
+        let stats = client.query("STATS").unwrap();
+        let stats_sum: f64 = stats
+            .body()
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("memory ")?;
+                let (name, bytes) = rest.split_once('=')?;
+                if !name.contains('.') {
+                    return None; // the total line, not a component
+                }
+                bytes.split_whitespace().next()?.parse::<f64>().ok()
+            })
+            .sum();
+        assert!(stats_sum > 0.0, "STATS must break memory down: {stats:?}");
+
+        let (status, text) = lipstick_serve::client::http_get(handle.addr(), "/metrics").unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let samples = parse_plain_samples(&text);
+        let gauge_sum: f64 = HEAP_GAUGES
+            .iter()
+            .map(|name| {
+                *samples
+                    .get(*name)
+                    .unwrap_or_else(|| panic!("/metrics must export {name}"))
+            })
+            .sum();
+
+        last = (gauge_sum, stats_sum);
+        if (gauge_sum - stats_sum).abs() <= 0.10 * stats_sum {
+            agreed = true;
+            break;
+        }
+    }
+    assert!(
+        agreed,
+        "append-backend heap gauges ({}) and STATS memory components ({}) must agree within 10%",
+        last.0, last.1
+    );
+
+    // Post-compaction the store reopens from the fresh sealed segment;
+    // uncached reads still fault records in and charge them.
+    let compacted = client.query("COMPACT").unwrap();
+    assert!(compacted.is_ok(), "{compacted:?}");
+    let warm = client.query("MATCH m-nodes").unwrap();
+    assert!(warm.is_ok() && !warm.cache_hit(), "{warm:?}");
+    assert!(
+        warm.reads().unwrap() > 0,
+        "post-compaction reads must keep charging decodes: {warm:?}"
+    );
+
+    drop(client);
+    handle.shutdown();
+}

@@ -1,0 +1,1092 @@
+//! [`AppendLog`]: a mutable segment stack over a sealed v2 log.
+//!
+//! A [`PagedLog`] is read-only — mutating it used to mean decoding the
+//! whole file into a resident [`ProvGraph`], mutating that, and
+//! rewriting everything ("promotion"). `AppendLog` instead layers an
+//! in-memory **overlay** plus an on-disk WAL **tail** (see
+//! [`crate::tail`]) over the sealed base:
+//!
+//! - appended nodes live in the overlay, with ids continuing the base's
+//!   dense id space (`base_nodes..`);
+//! - visibility changes to sealed nodes (tombstones, zoom hiding) live
+//!   in an override map consulted before the base's visibility bitmap —
+//!   newest segment wins;
+//! - adjacency added by appends is kept in side maps and concatenated
+//!   after the base's CSR rows. Appended ids are strictly larger than
+//!   every base id, so concatenation preserves the ascending order the
+//!   sealed rows have — postings- and limit-driven scans stay correct.
+//!
+//! Every mutation commits by appending one durable tail record *before*
+//! touching the overlay; [`AppendLog::open`] replays the surviving tail
+//! records over the base, so a crash loses at most the record being
+//! written (and torn-write recovery truncates exactly that, see the
+//! tail module's recovery rule).
+//!
+//! [`AppendLog::compact`] merges everything back into a fresh sealed v2
+//! segment: decode base, replay overlay through [`ProvGraph`]'s public
+//! construction API, rewrite atomically (temp + rename), drop the tail.
+//! Node ids and visibility are unchanged by compaction, so derived
+//! structures keyed by id (the reach index) survive it.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use lipstick_core::graph::{kind_heap_bytes, InvocationInfo, ZoomStash, RETIRED_STASH};
+use lipstick_core::obs::vec_alloc_bytes;
+use lipstick_core::query::{plan_zoom_out, ZoomModulePlan};
+use lipstick_core::store::GraphStore;
+use lipstick_core::{InvocationId, NodeId, NodeKind, ProvGraph, Role};
+
+use crate::error::{Result, StorageError};
+use crate::log::write_graph_v2;
+use crate::paged::PagedLog;
+use crate::tail::{self, TailInvocation, TailNode, TailRecord, TAIL_HEADER_LEN};
+
+/// One appended (tail) node, fully resident. The overlay is expected to
+/// stay small relative to the base — COMPACT folds it away.
+#[derive(Debug, Clone)]
+struct OverlayNode {
+    kind: NodeKind,
+    role: Role,
+    preds: Vec<NodeId>,
+    succs: Vec<NodeId>,
+    deleted: bool,
+    zoom_hidden: bool,
+}
+
+impl OverlayNode {
+    fn is_visible(&self) -> bool {
+        !self.deleted && !self.zoom_hidden
+    }
+}
+
+/// Mutable visibility state for a sealed base node. Present only for
+/// nodes a tail mutation touched; absent means "as sealed".
+#[derive(Debug, Clone, Copy)]
+struct BaseOverride {
+    deleted: bool,
+    zoom_hidden: bool,
+}
+
+/// A sealed v2 log plus its mutable tail segment.
+pub struct AppendLog {
+    path: PathBuf,
+    tail_path: PathBuf,
+    base: PagedLog,
+    base_len: u64,
+    base_nodes: usize,
+    base_invocations: usize,
+    /// Open tail file handle, positioned at the end (append mode).
+    /// `None` until the first commit after open/compact.
+    tail_file: Option<File>,
+    /// Clean tail length in bytes (0 = no tail file yet).
+    tail_len: u64,
+    tail_records: usize,
+    overlay: Vec<OverlayNode>,
+    overrides: HashMap<u32, BaseOverride>,
+    /// Successors appended to base (or earlier-overlay) rows, keyed by
+    /// the *source* id. Values are ascending (ids are allocated in
+    /// commit order).
+    extra_succs: HashMap<u32, Vec<NodeId>>,
+    /// Predecessors appended to existing rows — only zoom composites do
+    /// this (composite → module-output edges), and ZoomIn removes them
+    /// again, so these are empty whenever no module is zoomed out.
+    extra_preds: HashMap<u32, Vec<NodeId>>,
+    /// Merged invocation table: the base's, then appended ones.
+    invocations: Vec<InvocationInfo>,
+    stashes: Vec<ZoomStash>,
+    zoomed_modules: HashMap<String, u32>,
+    /// Faults from base incarnations retired by compaction, so
+    /// `records_read` stays monotonic across COMPACT.
+    carried_faults: usize,
+}
+
+fn tail_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tail");
+    PathBuf::from(os)
+}
+
+impl AppendLog {
+    /// Open a sealed v2 log for appending: recover the tail sidecar (if
+    /// any), truncate its torn suffix, and replay the surviving records.
+    pub fn open(path: impl AsRef<Path>) -> Result<AppendLog> {
+        let path = path.as_ref().to_path_buf();
+        let base = PagedLog::open(&path)?;
+        let base_len = fs::metadata(&path)?.len();
+        let mut log = AppendLog {
+            tail_path: tail_path_for(&path),
+            path,
+            base_len,
+            base_nodes: base.index().node_count(),
+            base_invocations: base.invocations().len(),
+            invocations: base.invocations().to_vec(),
+            base,
+            tail_file: None,
+            tail_len: 0,
+            tail_records: 0,
+            overlay: Vec::new(),
+            overrides: HashMap::new(),
+            extra_succs: HashMap::new(),
+            extra_preds: HashMap::new(),
+            stashes: Vec::new(),
+            zoomed_modules: HashMap::new(),
+            carried_faults: 0,
+        };
+        log.recover_tail()?;
+        Ok(log)
+    }
+
+    fn recover_tail(&mut self) -> Result<()> {
+        let data = match fs::read(&self.tail_path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let (records, clean) = match tail::recover(&data, self.base_len, self.base_nodes as u64) {
+            Ok(ok) => ok,
+            Err(_) => {
+                // Header torn, or the tail binds to a different base: a
+                // crash between COMPACT's rename and its tail unlink
+                // leaves exactly such a stale sidecar, whose contents
+                // the rename already made durable. Discard it.
+                fs::remove_file(&self.tail_path)?;
+                return Ok(());
+            }
+        };
+        for record in &records {
+            self.apply_record(record)?;
+        }
+        if clean < data.len() {
+            let file = OpenOptions::new().write(true).open(&self.tail_path)?;
+            file.set_len(clean as u64)?;
+            file.sync_all()?;
+        }
+        self.tail_len = clean as u64;
+        self.tail_records = records.len();
+        Ok(())
+    }
+
+    /// Number of committed tail records currently layered on the base.
+    pub fn tail_records(&self) -> usize {
+        self.tail_records
+    }
+
+    /// Clean tail size in bytes (0 when no tail exists).
+    pub fn tail_len(&self) -> u64 {
+        self.tail_len
+    }
+
+    /// Records faulted from disk, monotonic across compactions.
+    pub fn faults(&self) -> usize {
+        self.carried_faults + self.base.faults()
+    }
+
+    /// Decode-and-checksum every sealed record (tail records were
+    /// checksum-verified at recovery and live records never leave
+    /// memory unverified).
+    pub fn verify_all(&self) -> Result<()> {
+        self.base.verify_all()
+    }
+
+    /// Module names currently zoomed out.
+    pub fn zoomed_out_modules(&self) -> Vec<&str> {
+        self.zoomed_modules.keys().map(String::as_str).collect()
+    }
+
+    /// The stash a `ZOOM IN` of this module would restore.
+    pub fn stash_of(&self, module: &str) -> Option<&ZoomStash> {
+        self.zoomed_modules
+            .get(module)
+            .map(|&idx| &self.stashes[idx as usize])
+    }
+
+    /// Lifetime stash count (hollow entries included) — the overflow
+    /// bound [`plan_zoom_out`] checks.
+    pub fn stash_count(&self) -> usize {
+        self.stashes.len()
+    }
+
+    // ----- commit path -----
+
+    fn tail_file(&mut self) -> Result<&mut File> {
+        if self.tail_file.is_none() {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.tail_path)?;
+            if self.tail_len == 0 {
+                file.write_all(&tail::encode_header(self.base_len, self.base_nodes as u64))?;
+                self.tail_len = TAIL_HEADER_LEN as u64;
+            }
+            self.tail_file = Some(file);
+        }
+        Ok(self.tail_file.as_mut().expect("just set"))
+    }
+
+    /// Make one record durable. Called *before* the matching in-memory
+    /// apply, so the tail never lags the overlay.
+    fn commit(&mut self, record: &TailRecord) -> Result<()> {
+        let frame = tail::encode_record(record)?;
+        let file = self.tail_file()?;
+        file.write_all(&frame)?;
+        file.sync_data()?;
+        self.tail_len += frame.len() as u64;
+        self.tail_records += 1;
+        Ok(())
+    }
+
+    /// Commit a whole ingested workflow fragment (one atomic record):
+    /// its nodes, edges, and invocations, id-shifted past the current
+    /// graph. Returns the appended node ids.
+    pub fn commit_fragment(&mut self, fragment: &ProvGraph) -> Result<Vec<NodeId>> {
+        let zoomed = fragment.zoomed_out_modules();
+        if !zoomed.is_empty() {
+            return Err(StorageError::ZoomedGraph(
+                zoomed.into_iter().map(String::from).collect(),
+            ));
+        }
+        let node_off = self.node_count() as u32;
+        let inv_off = self.invocations.len() as u32;
+        let nodes: Vec<TailNode> = fragment
+            .iter()
+            .map(|(_, n)| TailNode {
+                flags: u8::from(n.is_deleted()),
+                role: offset_role(n.role, inv_off),
+                kind: n.kind.clone(),
+                preds: n.preds().iter().map(|p| NodeId(p.0 + node_off)).collect(),
+            })
+            .collect();
+        let invocations: Vec<TailInvocation> = fragment
+            .invocations()
+            .iter()
+            .map(|i| TailInvocation {
+                module: i.module.clone(),
+                execution: i.execution,
+                m_node: NodeId(i.m_node.0 + node_off),
+            })
+            .collect();
+        // Validate BEFORE the durable commit: a record that fails
+        // validation must never reach the tail, where it would poison
+        // every future replay.
+        self.validate_append(&nodes, &invocations)?;
+        let record = TailRecord::AppendGraph { nodes, invocations };
+        self.commit(&record)?;
+        let TailRecord::AppendGraph { nodes, invocations } = &record else {
+            unreachable!()
+        };
+        self.apply_append(nodes, invocations)
+    }
+
+    /// Commit visibility tombstones (one `DELETE … PROPAGATE` cone, in
+    /// deletion order).
+    pub fn commit_tombstones(&mut self, ids: &[NodeId]) -> Result<()> {
+        let count = self.node_count();
+        if let Some(bad) = ids.iter().find(|id| id.index() >= count) {
+            return Err(StorageError::Corrupt(format!(
+                "tombstone for unknown node {bad}"
+            )));
+        }
+        self.commit(&TailRecord::Tombstones { ids: ids.to_vec() })?;
+        self.apply_tombstones_mem(ids)
+    }
+
+    /// Commit a ZoomOut already planned against this store (the caller
+    /// plans so it can report validation errors before anything is
+    /// durable). Returns the created composite ids.
+    pub fn commit_zoom_out(&mut self, plans: Vec<ZoomModulePlan>) -> Result<Vec<NodeId>> {
+        let modules: Vec<String> = plans.iter().map(|p| p.module.clone()).collect();
+        self.commit(&TailRecord::ZoomOut { modules })?;
+        Ok(self.apply_zoom_plans(plans))
+    }
+
+    /// Commit a ZoomIn of the given (resolved) module names. Returns
+    /// each module's restored stash, so the caller can repair derived
+    /// state from the exact touched sets.
+    pub fn commit_zoom_in(&mut self, modules: &[String]) -> Result<Vec<ZoomStash>> {
+        if let Some(bad) = modules
+            .iter()
+            .find(|m| !self.zoomed_modules.contains_key(*m))
+        {
+            return Err(StorageError::Corrupt(format!(
+                "zoom-in of module '{bad}' which is not zoomed out"
+            )));
+        }
+        self.commit(&TailRecord::ZoomIn {
+            modules: modules.to_vec(),
+        })?;
+        self.apply_zoom_in_mem(modules)
+    }
+
+    // ----- replay / in-memory apply -----
+
+    fn apply_record(&mut self, record: &TailRecord) -> Result<()> {
+        match record {
+            TailRecord::AppendGraph { nodes, invocations } => {
+                self.apply_append(nodes, invocations)?;
+            }
+            TailRecord::Tombstones { ids } => self.apply_tombstones_mem(ids)?,
+            TailRecord::ZoomOut { modules } => {
+                // Re-plan against the recovered pre-zoom state: the plan
+                // is a pure function of that state, so replay rebuilds
+                // the identical hidden sets and composites.
+                let refs: Vec<&str> = modules.iter().map(String::as_str).collect();
+                let zoomed: Vec<String> = self.zoomed_modules.keys().cloned().collect();
+                let plans =
+                    plan_zoom_out(self, &refs, &zoomed, self.stashes.len()).map_err(|e| {
+                        StorageError::Corrupt(format!("tail zoom-out replay failed: {e}"))
+                    })?;
+                self.apply_zoom_plans(plans);
+            }
+            TailRecord::ZoomIn { modules } => {
+                if let Some(bad) = modules
+                    .iter()
+                    .find(|m| !self.zoomed_modules.contains_key(*m))
+                {
+                    return Err(StorageError::Corrupt(format!(
+                        "tail zoom-in replay of module '{bad}' which is not zoomed out"
+                    )));
+                }
+                self.apply_zoom_in_mem(modules)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate an AppendGraph record against the current store: ids
+    /// must stay dense and references in-bounds (forward references are
+    /// allowed only within the record itself — an ingested workflow
+    /// fragment wires edges in tracker order, not id order). Called
+    /// before the durable commit *and* at replay.
+    fn validate_append(&self, nodes: &[TailNode], new_invs: &[TailInvocation]) -> Result<()> {
+        let node_base = self.node_count();
+        let inv_limit = self.invocations.len() + new_invs.len();
+        for (k, node) in nodes.iter().enumerate() {
+            if let Some(bad) = node
+                .preds
+                .iter()
+                .find(|p| p.index() >= node_base + nodes.len())
+            {
+                return Err(StorageError::Corrupt(format!(
+                    "appended node references future node {bad}"
+                )));
+            }
+            if node.preds.iter().any(|p| p.index() == node_base + k) {
+                return Err(StorageError::Corrupt(format!(
+                    "appended node {} references itself",
+                    node_base + k
+                )));
+            }
+            if let Some(inv) = node.role.invocation() {
+                if inv.index() >= inv_limit {
+                    return Err(StorageError::Corrupt(format!(
+                        "appended node references unknown invocation {}",
+                        inv.0
+                    )));
+                }
+            }
+        }
+        if let Some(bad) = new_invs
+            .iter()
+            .find(|i| i.m_node.index() >= node_base + nodes.len())
+        {
+            return Err(StorageError::Corrupt(format!(
+                "appended invocation references unknown m-node {}",
+                bad.m_node
+            )));
+        }
+        Ok(())
+    }
+
+    fn apply_append(
+        &mut self,
+        nodes: &[TailNode],
+        new_invs: &[TailInvocation],
+    ) -> Result<Vec<NodeId>> {
+        self.validate_append(nodes, new_invs)?;
+        // Two passes: materialize every overlay node first, then wire
+        // successors — a pred may be a *later* node of this record.
+        let mut created = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let id = NodeId(self.node_count() as u32);
+            self.overlay.push(OverlayNode {
+                kind: node.kind.clone(),
+                role: node.role,
+                preds: node.preds.clone(),
+                succs: Vec::new(),
+                deleted: node.is_deleted(),
+                zoom_hidden: false,
+            });
+            created.push(id);
+        }
+        for (node, &id) in nodes.iter().zip(&created) {
+            for &p in &node.preds {
+                self.push_succ(p, id);
+            }
+        }
+        for inv in new_invs {
+            self.invocations.push(InvocationInfo {
+                module: inv.module.clone(),
+                execution: inv.execution,
+                m_node: inv.m_node,
+            });
+        }
+        Ok(created)
+    }
+
+    fn apply_tombstones_mem(&mut self, ids: &[NodeId]) -> Result<()> {
+        let count = self.node_count();
+        if let Some(bad) = ids.iter().find(|id| id.index() >= count) {
+            return Err(StorageError::Corrupt(format!(
+                "tombstone for unknown node {bad}"
+            )));
+        }
+        for &id in ids {
+            self.set_deleted(id, true);
+        }
+        Ok(())
+    }
+
+    /// Mirror of [`lipstick_core::query::apply_zoom_out`] over the
+    /// overlay: hide, then create composites in plan order (so replay
+    /// allocates the same ids a resident graph would).
+    fn apply_zoom_plans(&mut self, plans: Vec<ZoomModulePlan>) -> Vec<NodeId> {
+        let mut created = Vec::new();
+        for plan in plans {
+            for &h in &plan.hidden {
+                self.set_zoom_hidden(h, true);
+            }
+            let stash_idx = self.stashes.len() as u32;
+            let mut zoom_nodes = Vec::with_capacity(plan.composites.len());
+            for comp in &plan.composites {
+                let id = NodeId(self.node_count() as u32);
+                self.overlay.push(OverlayNode {
+                    kind: NodeKind::Zoomed { stash: stash_idx },
+                    role: Role::Zoom(comp.invocation),
+                    preds: comp.inputs.clone(),
+                    succs: comp.outputs.clone(),
+                    deleted: false,
+                    zoom_hidden: false,
+                });
+                for &input in &comp.inputs {
+                    self.push_succ(input, id);
+                }
+                for &output in &comp.outputs {
+                    self.push_pred(output, id);
+                }
+                zoom_nodes.push(id);
+                created.push(id);
+            }
+            self.zoomed_modules.insert(plan.module.clone(), stash_idx);
+            self.stashes.push(ZoomStash {
+                module: plan.module,
+                hidden: plan.hidden,
+                zoom_nodes,
+            });
+        }
+        created
+    }
+
+    fn apply_zoom_in_mem(&mut self, modules: &[String]) -> Result<Vec<ZoomStash>> {
+        let mut taken = Vec::with_capacity(modules.len());
+        for module in modules {
+            let idx = self.zoomed_modules.remove(module).ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "zoom-in of module '{module}' which is not zoomed out"
+                ))
+            })?;
+            // Hollow out the stash so later stash indices stay stable
+            // (mirrors ProvGraph::take_stash).
+            let hollow = ZoomStash {
+                module: String::new(),
+                hidden: Vec::new(),
+                zoom_nodes: Vec::new(),
+            };
+            let stash = std::mem::replace(&mut self.stashes[idx as usize], hollow);
+            for &h in &stash.hidden {
+                self.set_zoom_hidden(h, false);
+            }
+            for &z in &stash.zoom_nodes {
+                // Composites always live in the overlay (appends cannot
+                // create live Zoomed nodes).
+                let oi = z.index() - self.base_nodes;
+                let preds = std::mem::take(&mut self.overlay[oi].preds);
+                for p in preds {
+                    self.remove_succ(p, z);
+                }
+                let succs = std::mem::take(&mut self.overlay[oi].succs);
+                for s in succs {
+                    self.remove_pred(s, z);
+                }
+                self.overlay[oi].deleted = true;
+            }
+            taken.push(stash);
+        }
+        Ok(taken)
+    }
+
+    // ----- adjacency / visibility plumbing -----
+
+    fn push_succ(&mut self, from: NodeId, to: NodeId) {
+        if from.index() < self.base_nodes {
+            self.extra_succs.entry(from.0).or_default().push(to);
+        } else {
+            self.overlay[from.index() - self.base_nodes].succs.push(to);
+        }
+    }
+
+    fn push_pred(&mut self, of: NodeId, pred: NodeId) {
+        if of.index() < self.base_nodes {
+            self.extra_preds.entry(of.0).or_default().push(pred);
+        } else {
+            self.overlay[of.index() - self.base_nodes].preds.push(pred);
+        }
+    }
+
+    fn remove_succ(&mut self, from: NodeId, to: NodeId) {
+        if from.index() < self.base_nodes {
+            if let Some(v) = self.extra_succs.get_mut(&from.0) {
+                v.retain(|s| *s != to);
+            }
+        } else {
+            self.overlay[from.index() - self.base_nodes]
+                .succs
+                .retain(|s| *s != to);
+        }
+    }
+
+    fn remove_pred(&mut self, of: NodeId, pred: NodeId) {
+        if of.index() < self.base_nodes {
+            if let Some(v) = self.extra_preds.get_mut(&of.0) {
+                v.retain(|p| *p != pred);
+            }
+        } else {
+            self.overlay[of.index() - self.base_nodes]
+                .preds
+                .retain(|p| *p != pred);
+        }
+    }
+
+    fn set_deleted(&mut self, id: NodeId, deleted: bool) {
+        if id.index() < self.base_nodes {
+            let sealed_visible = self.base.index().is_visible(id);
+            self.overrides
+                .entry(id.0)
+                .or_insert(BaseOverride {
+                    deleted: !sealed_visible,
+                    zoom_hidden: false,
+                })
+                .deleted = deleted;
+        } else {
+            self.overlay[id.index() - self.base_nodes].deleted = deleted;
+        }
+    }
+
+    fn set_zoom_hidden(&mut self, id: NodeId, hidden: bool) {
+        if id.index() < self.base_nodes {
+            let sealed_visible = self.base.index().is_visible(id);
+            self.overrides
+                .entry(id.0)
+                .or_insert(BaseOverride {
+                    deleted: !sealed_visible,
+                    zoom_hidden: false,
+                })
+                .zoom_hidden = hidden;
+        } else {
+            self.overlay[id.index() - self.base_nodes].zoom_hidden = hidden;
+        }
+    }
+
+    // ----- compaction -----
+
+    /// Merge the tail into a fresh sealed v2 segment: decode the base,
+    /// replay the overlay, rewrite atomically, drop the tail, reopen.
+    /// Node ids and visibility are preserved exactly, so id-keyed
+    /// derived state (the reach index) stays valid across the call.
+    ///
+    /// Refuses while any module is zoomed out — same contract as
+    /// persisting a resident graph (the stash is a view, not data).
+    pub fn compact(&mut self) -> Result<()> {
+        if !self.zoomed_modules.is_empty() {
+            let mut names: Vec<String> = self.zoomed_modules.keys().cloned().collect();
+            names.sort();
+            return Err(StorageError::ZoomedGraph(names));
+        }
+        debug_assert!(
+            self.extra_preds.values().all(Vec::is_empty),
+            "only zoom composites prepend to sealed rows, and zoom-in removes them"
+        );
+        debug_assert!(self.overlay.iter().all(|n| !n.zoom_hidden));
+
+        let mut graph = self.base.decode_full()?;
+        for (&id, ov) in &self.overrides {
+            graph.set_node_deleted(NodeId(id), ov.deleted);
+        }
+        for inv in &self.invocations[self.base_invocations..] {
+            graph.register_invocation(inv.module.clone(), inv.execution, inv.m_node);
+        }
+        // Two passes, as in apply_append: an overlay node's pred may be
+        // a later overlay node (fragment edges wire in tracker order).
+        let overlay_base = graph.len() as u32;
+        for node in &self.overlay {
+            // Dead composites from a zoomed-in module: persist them the
+            // way the sealed codec does, as retired zoom markers.
+            let kind = if node.deleted && matches!(node.kind, NodeKind::Zoomed { .. }) {
+                NodeKind::Zoomed {
+                    stash: RETIRED_STASH,
+                }
+            } else {
+                node.kind.clone()
+            };
+            let id = graph.add_node(kind, node.role);
+            if node.deleted {
+                graph.set_node_deleted(id, true);
+            }
+        }
+        for (k, node) in self.overlay.iter().enumerate() {
+            let id = NodeId(overlay_base + k as u32);
+            for &p in &node.preds {
+                graph.add_edge(p, id);
+            }
+        }
+
+        let tmp = self.path.with_extension("compact.tmp");
+        write_graph_v2(&graph, &tmp)?;
+        fs::rename(&tmp, &self.path)?;
+        // A crash here leaves a stale tail whose header binds to the old
+        // base; recovery discards it.
+        let _ = fs::remove_file(&self.tail_path);
+
+        self.carried_faults += self.base.faults();
+        self.base = PagedLog::open(&self.path)?;
+        self.base_len = fs::metadata(&self.path)?.len();
+        self.base_nodes = self.base.index().node_count();
+        self.base_invocations = self.base.invocations().len();
+        self.invocations = self.base.invocations().to_vec();
+        self.overlay.clear();
+        self.overrides.clear();
+        self.extra_succs.clear();
+        self.extra_preds.clear();
+        self.stashes.clear();
+        self.zoomed_modules.clear();
+        self.tail_file = None;
+        self.tail_len = 0;
+        self.tail_records = 0;
+        Ok(())
+    }
+
+    fn overlay_heap_bytes(&self) -> usize {
+        let mut bytes = vec_alloc_bytes(&self.overlay);
+        for node in &self.overlay {
+            bytes += kind_heap_bytes(&node.kind)
+                + vec_alloc_bytes(&node.preds)
+                + vec_alloc_bytes(&node.succs);
+        }
+        let entry = std::mem::size_of::<u32>() + std::mem::size_of::<Vec<NodeId>>() + 1;
+        bytes += self.extra_succs.capacity() * entry + self.extra_preds.capacity() * entry;
+        bytes += self
+            .extra_succs
+            .values()
+            .chain(self.extra_preds.values())
+            .map(vec_alloc_bytes)
+            .sum::<usize>();
+        bytes += self.overrides.capacity()
+            * (std::mem::size_of::<u32>() + std::mem::size_of::<BaseOverride>() + 1);
+        bytes += vec_alloc_bytes(&self.invocations)
+            + self
+                .invocations
+                .iter()
+                .map(|i| i.module.len())
+                .sum::<usize>();
+        bytes += vec_alloc_bytes(&self.stashes);
+        for s in &self.stashes {
+            bytes += s.module.len() + vec_alloc_bytes(&s.hidden) + vec_alloc_bytes(&s.zoom_nodes);
+        }
+        bytes
+    }
+}
+
+/// Shift the invocation id a role carries when re-basing a fragment's
+/// nodes onto a larger graph.
+fn offset_role(role: Role, by: u32) -> Role {
+    match role {
+        Role::WorkflowInput | Role::Free => role,
+        Role::Invocation(InvocationId(i)) => Role::Invocation(InvocationId(i + by)),
+        Role::ModuleInput(InvocationId(i)) => Role::ModuleInput(InvocationId(i + by)),
+        Role::ModuleOutput(InvocationId(i)) => Role::ModuleOutput(InvocationId(i + by)),
+        Role::State(InvocationId(i)) => Role::State(InvocationId(i + by)),
+        Role::Intermediate(InvocationId(i)) => Role::Intermediate(InvocationId(i + by)),
+        Role::Zoom(InvocationId(i)) => Role::Zoom(InvocationId(i + by)),
+    }
+}
+
+impl GraphStore for AppendLog {
+    fn node_count(&self) -> usize {
+        self.base_nodes + self.overlay.len()
+    }
+
+    fn is_visible(&self, id: NodeId) -> bool {
+        if id.index() < self.base_nodes {
+            match self.overrides.get(&id.0) {
+                Some(ov) => !ov.deleted && !ov.zoom_hidden,
+                None => self.base.index().is_visible(id),
+            }
+        } else {
+            self.overlay
+                .get(id.index() - self.base_nodes)
+                .is_some_and(OverlayNode::is_visible)
+        }
+    }
+
+    fn kind_of(&self, id: NodeId) -> NodeKind {
+        if id.index() < self.base_nodes {
+            self.base.kind_of(id)
+        } else {
+            self.overlay[id.index() - self.base_nodes].kind.clone()
+        }
+    }
+
+    fn role_of(&self, id: NodeId) -> Role {
+        if id.index() < self.base_nodes {
+            self.base.role_of(id)
+        } else {
+            self.overlay[id.index() - self.base_nodes].role
+        }
+    }
+
+    fn preds_of(&self, id: NodeId) -> Vec<NodeId> {
+        if id.index() < self.base_nodes {
+            let mut preds = self.base.preds_of(id);
+            if let Some(extra) = self.extra_preds.get(&id.0) {
+                preds.extend_from_slice(extra);
+            }
+            preds
+        } else {
+            self.overlay[id.index() - self.base_nodes].preds.clone()
+        }
+    }
+
+    fn succs_of(&self, id: NodeId) -> Vec<NodeId> {
+        if id.index() < self.base_nodes {
+            let mut succs = self.base.index().succs(id).to_vec();
+            if let Some(extra) = self.extra_succs.get(&id.0) {
+                succs.extend_from_slice(extra);
+            }
+            succs
+        } else {
+            self.overlay[id.index() - self.base_nodes].succs.clone()
+        }
+    }
+
+    fn invocations(&self) -> &[InvocationInfo] {
+        &self.invocations
+    }
+
+    fn records_read(&self) -> usize {
+        self.faults()
+    }
+
+    fn module_postings(&self, module: &str) -> Option<Vec<NodeId>> {
+        // Sealed postings filtered through current visibility, then the
+        // overlay's matches. Overlay ids all exceed base ids, so the
+        // merged list stays ascending.
+        let mut out: Vec<NodeId> = self
+            .base
+            .index()
+            .module_postings(module)
+            .iter()
+            .copied()
+            .filter(|&id| self.is_visible(id))
+            .collect();
+        for (k, node) in self.overlay.iter().enumerate() {
+            if !node.is_visible() {
+                continue;
+            }
+            if let Some(inv) = node.role.invocation() {
+                if self
+                    .invocations
+                    .get(inv.index())
+                    .is_some_and(|i| i.module == module)
+                {
+                    out.push(NodeId((self.base_nodes + k) as u32));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn kind_postings(&self, kind: &str) -> Option<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self
+            .base
+            .index()
+            .kind_postings(kind)
+            .iter()
+            .copied()
+            .filter(|&id| self.is_visible(id))
+            .collect();
+        for (k, node) in self.overlay.iter().enumerate() {
+            if node.is_visible() && node.kind.name() == kind {
+                out.push(NodeId((self.base_nodes + k) as u32));
+            }
+        }
+        Some(out)
+    }
+
+    fn memory_breakdown(&self) -> Vec<(&'static str, usize)> {
+        let mut parts = self.base.memory_breakdown();
+        parts.push(("tail_overlay", self.overlay_heap_bytes()));
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::write_graph_v2;
+    use lipstick_core::graph::GraphTracker;
+    use lipstick_core::query::{zoom_in, zoom_out};
+    use lipstick_core::store::compute_deletion_store;
+    use lipstick_core::Tracker;
+
+    /// Visible labelled nodes + visible edges, comparable across
+    /// backends (the resident `visible_signature` generalized to any
+    /// store).
+    type StoreSignature = (Vec<(u32, String)>, Vec<(u32, u32)>);
+
+    fn store_signature<S: GraphStore + ?Sized>(s: &S) -> StoreSignature {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for i in 0..s.node_count() {
+            let id = NodeId(i as u32);
+            if !s.is_visible(id) {
+                continue;
+            }
+            nodes.push((id.0, s.kind_of(id).label()));
+            for t in s.succs_of(id) {
+                if s.is_visible(t) {
+                    edges.push((id.0, t.0));
+                }
+            }
+        }
+        edges.sort_unstable();
+        (nodes, edges)
+    }
+
+    fn workflow_graph() -> ProvGraph {
+        let mut t = GraphTracker::new();
+        let a = t.base("a");
+        let b = t.base("b");
+        let c = t.base("c");
+        t.begin_invocation("M", 0);
+        let ab = t.times(&[a, b]);
+        let i = t.module_input(ab);
+        let x = t.times(&[i]);
+        let o = t.module_output(x, &[]);
+        t.end_invocation();
+        t.begin_invocation("Agg", 0);
+        let oc = t.plus(&[o, c]);
+        let i2 = t.module_input(oc);
+        let o2 = t.module_output(i2, &[]);
+        t.end_invocation();
+        t.plus(&[o2]);
+        t.finish()
+    }
+
+    fn fragment_graph() -> ProvGraph {
+        let mut t = GraphTracker::new();
+        let d = t.base("d");
+        t.begin_invocation("M", 1);
+        let i = t.module_input(d);
+        let o = t.module_output(i, &[]);
+        t.end_invocation();
+        t.plus(&[o]);
+        t.finish()
+    }
+
+    /// Resident ground truth for appending `fragment` onto `base`.
+    fn resident_append(base: &ProvGraph, fragment: &ProvGraph) -> ProvGraph {
+        let mut g = base.clone();
+        let node_off = g.len() as u32;
+        let inv_off = g.invocations().len() as u32;
+        for (_, n) in fragment.iter() {
+            g.add_node(n.kind.clone(), offset_role(n.role, inv_off));
+            debug_assert!(!n.is_deleted());
+        }
+        // Second pass: a fragment edge may point at a later fragment
+        // node, so every node must exist before wiring.
+        for (from, n) in fragment.iter() {
+            let id = NodeId(from.0 + node_off);
+            for p in n.preds() {
+                g.add_edge(NodeId(p.0 + node_off), id);
+            }
+        }
+        for inv in fragment.invocations() {
+            g.register_invocation(
+                inv.module.clone(),
+                inv.execution,
+                NodeId(inv.m_node.0 + node_off),
+            );
+        }
+        g
+    }
+
+    fn temp_log(tag: &str, g: &ProvGraph) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lipstick-append-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("graph-{tag}.lpstk"));
+        write_graph_v2(g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn fragment_append_matches_resident_and_survives_reopen() {
+        let base = workflow_graph();
+        let path = temp_log("frag", &base);
+        let expect = resident_append(&base, &fragment_graph());
+
+        let mut log = AppendLog::open(&path).unwrap();
+        let created = log.commit_fragment(&fragment_graph()).unwrap();
+        assert_eq!(created.len(), fragment_graph().len());
+        assert_eq!(store_signature(&log), store_signature(&expect));
+        assert_eq!(log.invocations(), expect.invocations());
+
+        let reopened = AppendLog::open(&path).unwrap();
+        assert_eq!(reopened.tail_records(), 1);
+        assert_eq!(store_signature(&reopened), store_signature(&expect));
+        assert_eq!(reopened.invocations(), expect.invocations());
+    }
+
+    #[test]
+    fn tombstones_match_resident_deletion() {
+        let base = workflow_graph();
+        let path = temp_log("del", &base);
+        let mut log = AppendLog::open(&path).unwrap();
+
+        let root = NodeId(0);
+        let cone = compute_deletion_store(&log, root).unwrap();
+        assert_eq!(cone, compute_deletion_store(&base, root).unwrap());
+        log.commit_tombstones(&cone).unwrap();
+
+        let mut expect = base.clone();
+        for &id in &cone {
+            expect.set_node_deleted(id, true);
+        }
+        assert_eq!(store_signature(&log), store_signature(&expect));
+        let reopened = AppendLog::open(&path).unwrap();
+        assert_eq!(store_signature(&reopened), store_signature(&expect));
+    }
+
+    #[test]
+    fn zoom_cycle_matches_resident_and_replays() {
+        let base = workflow_graph();
+        let path = temp_log("zoom", &base);
+        let mut log = AppendLog::open(&path).unwrap();
+
+        let zoomed_names: Vec<String> = Vec::new();
+        let plans = plan_zoom_out(&log, &["M"], &zoomed_names, log.stash_count()).unwrap();
+        let created = log.commit_zoom_out(plans).unwrap();
+        assert_eq!(created.len(), 1);
+
+        let mut expect = base.clone();
+        let resident_created = zoom_out(&mut expect, &["M"]).unwrap();
+        assert_eq!(
+            created.iter().map(|n| n.0).collect::<Vec<_>>(),
+            resident_created.iter().map(|n| n.0).collect::<Vec<_>>()
+        );
+        assert_eq!(store_signature(&log), store_signature(&expect));
+        assert_eq!(
+            store_signature(&AppendLog::open(&path).unwrap()),
+            store_signature(&expect)
+        );
+
+        let stashes = log.commit_zoom_in(&["M".to_string()]).unwrap();
+        assert_eq!(stashes.len(), 1);
+        assert_eq!(stashes[0].zoom_nodes, created);
+        zoom_in(&mut expect, &["M"]).unwrap();
+        assert_eq!(store_signature(&log), store_signature(&expect));
+        assert_eq!(
+            store_signature(&AppendLog::open(&path).unwrap()),
+            store_signature(&expect)
+        );
+        assert!(log.zoomed_out_modules().is_empty());
+    }
+
+    #[test]
+    fn compact_seals_tail_and_preserves_everything() {
+        let base = workflow_graph();
+        let path = temp_log("compact", &base);
+        let mut log = AppendLog::open(&path).unwrap();
+
+        log.commit_fragment(&fragment_graph()).unwrap();
+        let cone = compute_deletion_store(&log, NodeId(2)).unwrap();
+        log.commit_tombstones(&cone).unwrap();
+        let before = store_signature(&log);
+        let invocations_before = log.invocations().to_vec();
+        let reads_before = log.faults();
+
+        log.compact().unwrap();
+        assert_eq!(log.tail_records(), 0);
+        assert!(!tail_path_for(&path).exists());
+        assert_eq!(store_signature(&log), before);
+        assert_eq!(log.invocations(), invocations_before);
+        assert!(log.faults() >= reads_before, "records_read stays monotonic");
+
+        // And the sealed result stands alone.
+        let reopened = AppendLog::open(&path).unwrap();
+        assert_eq!(reopened.tail_records(), 0);
+        assert_eq!(store_signature(&reopened), before);
+        assert_eq!(reopened.invocations(), invocations_before);
+    }
+
+    #[test]
+    fn compact_refuses_zoomed_graph() {
+        let base = workflow_graph();
+        let path = temp_log("compact-zoomed", &base);
+        let mut log = AppendLog::open(&path).unwrap();
+        let plans = plan_zoom_out(&log, &["M"], &[], log.stash_count()).unwrap();
+        log.commit_zoom_out(plans).unwrap();
+        match log.compact() {
+            Err(StorageError::ZoomedGraph(names)) => assert_eq!(names, vec!["M".to_string()]),
+            other => panic!("expected ZoomedGraph refusal, got {other:?}"),
+        }
+        // Still usable: zoom back in, then compaction goes through.
+        log.commit_zoom_in(&["M".to_string()]).unwrap();
+        let before = store_signature(&log);
+        log.compact().unwrap();
+        assert_eq!(store_signature(&log), before);
+    }
+
+    #[test]
+    fn postings_merge_overlay_and_respect_visibility() {
+        let base = workflow_graph();
+        let path = temp_log("postings", &base);
+        let mut log = AppendLog::open(&path).unwrap();
+        log.commit_fragment(&fragment_graph()).unwrap();
+
+        let expect = resident_append(&base, &fragment_graph());
+        for module in ["M", "Agg", "nope"] {
+            let got = log.module_postings(module).unwrap();
+            let want: Vec<NodeId> = expect
+                .iter_visible()
+                .filter(|(_, n)| {
+                    n.role
+                        .invocation()
+                        .is_some_and(|inv| expect.invocation(inv).module == module)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(got, want, "module postings for {module}");
+        }
+        for kind in ["base_tuple", "module_input", "plus", "delta"] {
+            let got = log.kind_postings(kind).unwrap();
+            let want: Vec<NodeId> = expect
+                .iter_visible()
+                .filter(|(_, n)| n.kind.name() == kind)
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(got, want, "kind postings for {kind}");
+        }
+    }
+}

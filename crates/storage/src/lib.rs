@@ -27,13 +27,16 @@
 //! assert_eq!(g.visible_signature(), g2.visible_signature());
 //! ```
 
+pub mod append;
 pub mod codec;
 pub mod error;
 pub mod footer;
 pub mod log;
 pub mod paged;
+pub mod tail;
 pub mod varint;
 
+pub use append::AppendLog;
 pub use error::{Result, StorageError};
 pub use footer::{FooterWriter, LogIndex};
 pub use log::{
@@ -41,3 +44,4 @@ pub use log::{
     write_graph_v2,
 };
 pub use paged::PagedLog;
+pub use tail::TailRecord;

@@ -1,0 +1,430 @@
+//! The WAL-style mutable tail segment layered over a sealed v2 log.
+//!
+//! A sealed v2 log is immutable: its footer is parsed from the *end* of
+//! the file, so appending in place would destroy it. Mutations are
+//! instead committed to a sidecar file, `<log>.tail`, as length-prefixed
+//! checksummed records; readers resolve visibility newest-segment-wins
+//! (tail over footer), and `COMPACT` merges the tail back into a fresh
+//! sealed segment.
+//!
+//! On-disk layout (all fixed-width integers little-endian):
+//!
+//! ```text
+//! header (21 bytes):
+//!   magic        "LPTL"   4 bytes
+//!   version      u8       currently 1
+//!   base_len     u64      length of the sealed base file this tail extends
+//!   base_nodes   u64      node count of the sealed base
+//! per record:
+//!   payload_len  u32
+//!   checksum     u64      FNV-1a over the payload bytes
+//!   payload      payload_len bytes (varint-packed, tag-prefixed)
+//! ```
+//!
+//! The `base_len`/`base_nodes` binding rejects a stale tail left next to
+//! a log that was since rewritten (a crash between COMPACT's rename and
+//! its tail unlink leaves exactly that).
+//!
+//! **Recovery rule:** scan records forward; stop at the first record
+//! whose header is short, whose declared length overruns the file, whose
+//! checksum mismatches, or whose payload fails to decode. Everything
+//! before the stop point is the surviving prefix; everything after is a
+//! torn suffix and is truncated. Truncation at *any* byte offset
+//! therefore recovers a prefix of the committed records — never an
+//! error, never a panic (property-tested in `tests/tail_torn_write.rs`).
+
+use bytes::{Buf, BufMut};
+use lipstick_core::obs::fnv1a64;
+use lipstick_core::{NodeId, NodeKind, Role};
+
+use crate::codec::{get_kind, get_role, put_kind, put_retired_zoom, put_role};
+use crate::error::{Result, StorageError};
+use crate::varint::{get_count, get_str, get_u32, put_str, put_u64};
+
+/// Magic bytes opening a tail segment file.
+pub const TAIL_MAGIC: &[u8; 4] = b"LPTL";
+/// Tail layout version.
+pub const TAIL_VERSION: u8 = 1;
+/// Fixed header width: magic (4) + version (1) + base_len (8) +
+/// base_nodes (8).
+pub const TAIL_HEADER_LEN: usize = 21;
+/// Fixed per-record frame width: payload_len (4) + checksum (8).
+pub const FRAME_LEN: usize = 12;
+
+/// One node carried by an [`TailRecord::AppendGraph`] record. Ids are
+/// implicit and sequential: the k-th node of the record gets id
+/// `node_count + k` at replay time. Predecessor ids are absolute and
+/// may point into the sealed base, earlier tail records, or earlier
+/// nodes of the same record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailNode {
+    /// bit 0 = deleted (tombstoned at append time).
+    pub flags: u8,
+    pub role: Role,
+    pub kind: NodeKind,
+    pub preds: Vec<NodeId>,
+}
+
+impl TailNode {
+    pub fn is_deleted(&self) -> bool {
+        self.flags & 1 != 0
+    }
+}
+
+/// One invocation carried by an [`TailRecord::AppendGraph`] record.
+/// Invocation ids are implicit and sequential past the current table;
+/// `m_node` is absolute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailInvocation {
+    pub module: String,
+    pub execution: u32,
+    pub m_node: NodeId,
+}
+
+/// A committed tail mutation. One record is one atomic commit: a whole
+/// ingested fragment, a whole deletion cone, or a whole zoom — so a
+/// torn suffix can drop a mutation but never split one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TailRecord {
+    /// New workflow-run ingestion: a batch of appended nodes (with their
+    /// edges, as predecessor lists) plus the invocations they introduce.
+    AppendGraph {
+        nodes: Vec<TailNode>,
+        invocations: Vec<TailInvocation>,
+    },
+    /// Visibility tombstones from `DELETE … PROPAGATE`, in deletion
+    /// order (the order the resident mutation reports).
+    Tombstones { ids: Vec<NodeId> },
+    /// `ZOOM OUT TO` the named modules. Replay re-plans the zoom against
+    /// the recovered pre-zoom state — the plan is a pure function of
+    /// that state, so replay reconstructs the identical composites.
+    ZoomOut { modules: Vec<String> },
+    /// `ZOOM IN TO` the named modules (always resolved to concrete
+    /// names before committing).
+    ZoomIn { modules: Vec<String> },
+}
+
+const TAG_APPEND_GRAPH: u8 = 1;
+const TAG_TOMBSTONES: u8 = 2;
+const TAG_ZOOM_OUT: u8 = 3;
+const TAG_ZOOM_IN: u8 = 4;
+
+/// Serialize the 21-byte tail header.
+pub fn encode_header(base_len: u64, base_nodes: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TAIL_HEADER_LEN);
+    out.extend_from_slice(TAIL_MAGIC);
+    out.push(TAIL_VERSION);
+    out.extend_from_slice(&base_len.to_le_bytes());
+    out.extend_from_slice(&base_nodes.to_le_bytes());
+    out
+}
+
+/// Validate a tail header against the sealed base it claims to extend.
+/// Returns an error for a foreign or stale tail — the caller decides
+/// whether that is fatal (explicit recovery) or ignorable (a leftover
+/// from before the base was rewritten).
+pub fn check_header(data: &[u8], base_len: u64, base_nodes: u64) -> Result<()> {
+    if data.len() < TAIL_HEADER_LEN {
+        return Err(StorageError::Corrupt("truncated tail header".into()));
+    }
+    if &data[..4] != TAIL_MAGIC {
+        return Err(StorageError::Corrupt("bad tail magic".into()));
+    }
+    if data[4] != TAIL_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported tail version {}",
+            data[4]
+        )));
+    }
+    let claimed_len = u64::from_le_bytes(data[5..13].try_into().expect("8 bytes"));
+    let claimed_nodes = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes"));
+    if claimed_len != base_len || claimed_nodes != base_nodes {
+        return Err(StorageError::Corrupt(format!(
+            "tail was written against a different base \
+             (tail: {claimed_len} bytes / {claimed_nodes} nodes, \
+             base: {base_len} bytes / {base_nodes} nodes)"
+        )));
+    }
+    Ok(())
+}
+
+fn put_payload(buf: &mut Vec<u8>, record: &TailRecord) -> Result<()> {
+    match record {
+        TailRecord::AppendGraph { nodes, invocations } => {
+            buf.put_u8(TAG_APPEND_GRAPH);
+            put_u64(buf, nodes.len() as u64);
+            for node in nodes {
+                buf.put_u8(node.flags);
+                put_role(buf, &node.role);
+                // Retired composites can be re-ingested only via
+                // compaction replay, but handle them uniformly with the
+                // sealed-record encoder: live zoom views stay
+                // unpersistable.
+                match &node.kind {
+                    NodeKind::Zoomed { stash }
+                        if node.is_deleted() && *stash == lipstick_core::graph::RETIRED_STASH =>
+                    {
+                        put_retired_zoom(buf);
+                    }
+                    other => put_kind(buf, other)?,
+                }
+                put_u64(buf, node.preds.len() as u64);
+                for p in &node.preds {
+                    put_u64(buf, u64::from(p.0));
+                }
+            }
+            put_u64(buf, invocations.len() as u64);
+            for inv in invocations {
+                put_str(buf, &inv.module);
+                put_u64(buf, u64::from(inv.execution));
+                put_u64(buf, u64::from(inv.m_node.0));
+            }
+        }
+        TailRecord::Tombstones { ids } => {
+            buf.put_u8(TAG_TOMBSTONES);
+            put_u64(buf, ids.len() as u64);
+            for id in ids {
+                put_u64(buf, u64::from(id.0));
+            }
+        }
+        TailRecord::ZoomOut { modules } => {
+            buf.put_u8(TAG_ZOOM_OUT);
+            put_u64(buf, modules.len() as u64);
+            for m in modules {
+                put_str(buf, m);
+            }
+        }
+        TailRecord::ZoomIn { modules } => {
+            buf.put_u8(TAG_ZOOM_IN);
+            put_u64(buf, modules.len() as u64);
+            for m in modules {
+                put_str(buf, m);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Frame one record: `[payload_len u32][fnv1a64 u64][payload]`.
+pub fn encode_record(record: &TailRecord) -> Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    put_payload(&mut payload, record)?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| StorageError::Corrupt("tail record exceeds 4 GiB".into()))?;
+    let mut out = Vec::with_capacity(FRAME_LEN + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+fn get_node_id(buf: &mut impl Buf) -> Result<NodeId> {
+    Ok(NodeId(get_u32(buf)?))
+}
+
+/// Decode one record payload (the bytes the checksum covers).
+pub fn decode_payload(payload: &[u8]) -> Result<TailRecord> {
+    let mut buf = payload;
+    if !buf.has_remaining() {
+        return Err(StorageError::Corrupt("empty tail record".into()));
+    }
+    let record = match buf.get_u8() {
+        TAG_APPEND_GRAPH => {
+            let node_count = get_count(&mut buf)?;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                if !buf.has_remaining() {
+                    return Err(StorageError::Corrupt("truncated tail node".into()));
+                }
+                let flags = buf.get_u8();
+                let role = get_role(&mut buf)?;
+                let kind = get_kind(&mut buf)?;
+                let pred_count = get_count(&mut buf)?;
+                let mut preds = Vec::with_capacity(pred_count);
+                for _ in 0..pred_count {
+                    preds.push(get_node_id(&mut buf)?);
+                }
+                nodes.push(TailNode {
+                    flags,
+                    role,
+                    kind,
+                    preds,
+                });
+            }
+            let inv_count = get_count(&mut buf)?;
+            let mut invocations = Vec::with_capacity(inv_count);
+            for _ in 0..inv_count {
+                invocations.push(TailInvocation {
+                    module: get_str(&mut buf)?,
+                    execution: get_u32(&mut buf)?,
+                    m_node: get_node_id(&mut buf)?,
+                });
+            }
+            TailRecord::AppendGraph { nodes, invocations }
+        }
+        TAG_TOMBSTONES => {
+            let count = get_count(&mut buf)?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(get_node_id(&mut buf)?);
+            }
+            TailRecord::Tombstones { ids }
+        }
+        TAG_ZOOM_OUT => {
+            let count = get_count(&mut buf)?;
+            let mut modules = Vec::with_capacity(count);
+            for _ in 0..count {
+                modules.push(get_str(&mut buf)?);
+            }
+            TailRecord::ZoomOut { modules }
+        }
+        TAG_ZOOM_IN => {
+            let count = get_count(&mut buf)?;
+            let mut modules = Vec::with_capacity(count);
+            for _ in 0..count {
+                modules.push(get_str(&mut buf)?);
+            }
+            TailRecord::ZoomIn { modules }
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown tail record tag {other}"
+            )))
+        }
+    };
+    if buf.has_remaining() {
+        return Err(StorageError::Corrupt(
+            "trailing garbage inside tail record".into(),
+        ));
+    }
+    Ok(record)
+}
+
+/// Recover the surviving prefix of a tail file's bytes.
+///
+/// Returns the decoded records and the byte length of the clean prefix
+/// (header included); the caller truncates the file to that length
+/// before appending. A missing or foreign header is an error (the
+/// caller must decide what the tail belongs to); anything wrong *after*
+/// a valid header is a torn suffix, silently dropped per the recovery
+/// rule above.
+pub fn recover(data: &[u8], base_len: u64, base_nodes: u64) -> Result<(Vec<TailRecord>, usize)> {
+    check_header(data, base_len, base_nodes)?;
+    let mut records = Vec::new();
+    let mut at = TAIL_HEADER_LEN;
+    // A `while let` over each frame header; any torn condition below
+    // breaks out, leaving `at` at the end of the clean prefix.
+    while let Some(frame) = data.get(at..at + FRAME_LEN) {
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let Some(payload) = data.get(at + FRAME_LEN..at + FRAME_LEN + len) else {
+            break; // declared length overruns the file: torn
+        };
+        if fnv1a64(payload) != checksum {
+            break; // bits flipped or half-written: torn
+        }
+        let Ok(record) = decode_payload(payload) else {
+            break; // checksummed garbage (never expected): treat as torn
+        };
+        records.push(record);
+        at += FRAME_LEN + len;
+    }
+    Ok((records, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipstick_core::InvocationId;
+
+    fn sample_records() -> Vec<TailRecord> {
+        vec![
+            TailRecord::AppendGraph {
+                nodes: vec![
+                    TailNode {
+                        flags: 0,
+                        role: Role::Free,
+                        kind: NodeKind::BaseTuple {
+                            token: lipstick_core::Token::new("t9"),
+                        },
+                        preds: vec![],
+                    },
+                    TailNode {
+                        flags: 0,
+                        role: Role::Intermediate(InvocationId(2)),
+                        kind: NodeKind::Plus,
+                        preds: vec![NodeId(0), NodeId(6)],
+                    },
+                ],
+                invocations: vec![TailInvocation {
+                    module: "Mdealer1".into(),
+                    execution: 3,
+                    m_node: NodeId(6),
+                }],
+            },
+            TailRecord::Tombstones {
+                ids: vec![NodeId(1), NodeId(4), NodeId(5)],
+            },
+            TailRecord::ZoomOut {
+                modules: vec!["M".into(), "Agg".into()],
+            },
+            TailRecord::ZoomIn {
+                modules: vec!["M".into()],
+            },
+        ]
+    }
+
+    fn encode_tail(records: &[TailRecord]) -> Vec<u8> {
+        let mut bytes = encode_header(123, 7);
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r).unwrap());
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = sample_records();
+        let bytes = encode_tail(&records);
+        let (decoded, clean) = recover(&bytes, 123, 7).unwrap();
+        assert_eq!(decoded, records);
+        assert_eq!(clean, bytes.len());
+    }
+
+    #[test]
+    fn truncation_recovers_a_prefix() {
+        let records = sample_records();
+        let bytes = encode_tail(&records);
+        for cut in TAIL_HEADER_LEN..bytes.len() {
+            let (decoded, clean) = recover(&bytes[..cut], 123, 7).unwrap();
+            assert!(decoded.len() <= records.len());
+            assert_eq!(decoded.as_slice(), &records[..decoded.len()]);
+            assert!(clean <= cut);
+        }
+    }
+
+    #[test]
+    fn flipped_bit_drops_the_suffix() {
+        let records = sample_records();
+        let bytes = encode_tail(&records);
+        // Corrupt a byte inside the second record's payload.
+        let first_len = encode_record(&records[0]).unwrap().len();
+        let mut garbled = bytes.clone();
+        let at = TAIL_HEADER_LEN + first_len + FRAME_LEN + 1;
+        garbled[at] ^= 0xff;
+        let (decoded, clean) = recover(&garbled, 123, 7).unwrap();
+        assert_eq!(decoded.as_slice(), &records[..1]);
+        assert_eq!(clean, TAIL_HEADER_LEN + first_len);
+    }
+
+    #[test]
+    fn foreign_base_is_rejected() {
+        let bytes = encode_tail(&sample_records());
+        assert!(recover(&bytes, 123, 8).is_err());
+        assert!(recover(&bytes, 124, 7).is_err());
+        assert!(recover(&[], 123, 7).is_err());
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xff;
+        assert!(recover(&bad_magic, 123, 7).is_err());
+    }
+}

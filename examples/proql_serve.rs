@@ -3,7 +3,10 @@
 //! With no graph argument it executes the Car-dealerships workflow and
 //! serves the captured provenance; `--open PATH` serves a v2 log paged
 //! (queries fault in only the records they touch), `--load PATH`
-//! decodes a v1/v2 log fully first.
+//! decodes a v1/v2 log fully first, `--append PATH` serves the log as
+//! an append session (mutations commit durable tail records instead of
+//! promoting; pair with `--compact-every N` to auto-`COMPACT` the tail
+//! after every N successful mutations).
 //!
 //! ```sh
 //! cargo run --release --example proql_serve -- --open prov.lpstk --addr 127.0.0.1:7433
@@ -34,6 +37,7 @@ struct Args {
     workers: usize,
     query_log: Option<QueryLogConfig>,
     self_test: bool,
+    compact_every: u64,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     let mut workers = 4;
     let mut query_log = None;
     let mut self_test = false;
+    let mut compact_every = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,6 +59,18 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                 let path = args.next().ok_or("--load requires a path")?;
                 eprintln!("loading provenance log {path}");
                 session = Some(Session::load(path)?);
+            }
+            "--append" => {
+                let path = args.next().ok_or("--append requires a path")?;
+                eprintln!("opening provenance log {path} for appending (WAL tail segment)");
+                session = Some(Session::open_append(path)?);
+            }
+            "--compact-every" => {
+                compact_every = args
+                    .next()
+                    .ok_or("--compact-every requires a count")?
+                    .parse()
+                    .map_err(|_| "--compact-every requires a number")?;
             }
             "--addr" => addr = args.next().ok_or("--addr requires HOST:PORT")?,
             "--workers" => {
@@ -114,6 +131,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         workers,
         query_log,
         self_test,
+        compact_every,
     })
 }
 
@@ -228,21 +246,27 @@ fn self_test(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
-    let paged = args.session.is_paged();
+    let backend = if args.session.is_append() {
+        "append"
+    } else if args.session.is_paged() {
+        "paged"
+    } else {
+        "resident"
+    };
     let qlog_path = args.query_log.as_ref().map(|c| c.path.clone());
     let handle = Server::new(
         args.session,
         ServerConfig {
             workers: args.workers,
             query_log: args.query_log,
+            compact_every: args.compact_every,
             ..ServerConfig::default()
         },
     )
     .serve(&args.addr)?;
     eprintln!(
-        "lipstick-serve listening on {} ({} backend, {} workers)",
+        "lipstick-serve listening on {} ({backend} backend, {} workers)",
         handle.addr(),
-        if paged { "paged" } else { "resident" },
         args.workers
     );
     if args.self_test {
