@@ -19,6 +19,7 @@ use std::time::Instant;
 use lipstick_core::obs::{Histogram, LATENCY_BUCKETS_US};
 use lipstick_proql::parser::parse_statement;
 use lipstick_proql::Session;
+use lipstick_serve::client::RetryPolicy;
 use lipstick_serve::qlog::QueryEvent;
 use lipstick_serve::{Client, Reply};
 
@@ -30,6 +31,9 @@ pub struct ReplayOutcome {
     /// Only meaningful against a server target; local sessions have no
     /// result cache.
     pub cache_hit: bool,
+    /// Resends this statement needed before it was answered (`BUSY`
+    /// sheds and transient transport failures; 0 for local targets).
+    pub retries: u64,
 }
 
 /// Anything a captured workload can be replayed against.
@@ -38,21 +42,38 @@ pub trait ReplayTarget {
 }
 
 /// A remote `lipstick-serve` instance, driven over the line protocol —
-/// the same path the capture was taken on.
+/// the same path the capture was taken on. Sheds (`BUSY`) and
+/// transient disconnects are retried with jittered backoff so an
+/// overloaded server degrades a replay's latency report, not its
+/// byte-identity verdict.
 impl ReplayTarget for Client {
     fn run(&mut self, input: &str) -> std::io::Result<ReplayOutcome> {
-        Ok(match self.query(input)? {
+        let before = self.retries();
+        let reply = self.query_with_retry(input, &RetryPolicy::default())?;
+        let retries = self.retries() - before;
+        Ok(match reply {
             Reply::Ok {
                 cache_hit, body, ..
             } => ReplayOutcome {
                 payload: body,
                 ok: true,
                 cache_hit,
+                retries,
             },
             Reply::Err(message) => ReplayOutcome {
                 payload: message,
                 ok: false,
                 cache_hit: false,
+                retries,
+            },
+            // Still shedding after every attempt: report it as the
+            // payload (it will mismatch the capture, correctly — the
+            // statement never executed).
+            Reply::Busy { retry_after_ms } => ReplayOutcome {
+                payload: format!("busy: write queue full; retry_after_ms={retry_after_ms}"),
+                ok: false,
+                cache_hit: false,
+                retries,
             },
         })
     }
@@ -70,17 +91,20 @@ impl ReplayTarget for LocalTarget {
                 payload: e.to_string(),
                 ok: false,
                 cache_hit: false,
+                retries: 0,
             },
             Ok(stmt) => match self.0.run_stmt(&stmt) {
                 Ok(out) => ReplayOutcome {
                     payload: out.to_string(),
                     ok: true,
                     cache_hit: false,
+                    retries: 0,
                 },
                 Err(e) => ReplayOutcome {
                     payload: e.to_string(),
                     ok: false,
                     cache_hit: false,
+                    retries: 0,
                 },
             },
         })
@@ -117,6 +141,9 @@ pub struct ReplayReport {
     pub captured_cache_hits: usize,
     /// Cache hits observed during this replay (0 for local targets).
     pub replay_cache_hits: usize,
+    /// Total resends across the replay — `BUSY` sheds plus transient
+    /// reconnects (0 for local targets).
+    pub retries: u64,
     /// Per-bucket `(upper_bound_us, count)` replay latencies; the last
     /// bound is `u64::MAX` (+Inf).
     pub latency: Vec<(u64, u64)>,
@@ -145,6 +172,12 @@ impl ReplayReport {
             "cache hit rate: captured {}/{}, replay {}/{}\n",
             self.captured_cache_hits, self.events, self.replay_cache_hits, self.replayed,
         ));
+        if self.retries > 0 {
+            out.push_str(&format!(
+                "retries: {} (BUSY sheds and transient reconnects)\n",
+                self.retries
+            ));
+        }
         out.push_str("replay latency (µs):\n");
         for &(bound, count) in &self.latency {
             if count == 0 {
@@ -180,7 +213,8 @@ impl ReplayReport {
         format!(
             "{{\n  \"events\": {},\n  \"replayed\": {},\n  \"matched\": {},\n  \
              \"mismatched\": {},\n  \"skipped\": {},\n  \"captured_cache_hits\": {},\n  \
-             \"replay_cache_hits\": {},\n  \"total_us\": {},\n  \"latency\": [{}]\n}}\n",
+             \"replay_cache_hits\": {},\n  \"retries\": {},\n  \"total_us\": {},\n  \
+             \"latency\": [{}]\n}}\n",
             self.events,
             self.replayed,
             self.matched,
@@ -188,6 +222,7 @@ impl ReplayReport {
             self.skipped,
             self.captured_cache_hits,
             self.replay_cache_hits,
+            self.retries,
             self.total_us,
             latency.join(", "),
         )
@@ -210,6 +245,7 @@ pub fn replay(
         skipped: 0,
         captured_cache_hits: events.iter().filter(|e| e.cache_hit).count(),
         replay_cache_hits: 0,
+        retries: 0,
         latency: Vec::new(),
         total_us: 0,
     };
@@ -221,6 +257,7 @@ pub fn replay(
         if outcome.cache_hit {
             report.replay_cache_hits += 1;
         }
+        report.retries += outcome.retries;
         if !comparable(event) {
             report.skipped += 1;
             continue;

@@ -153,9 +153,17 @@ impl ProvGraph {
             .collect()
     }
 
-    /// Module names currently zoomed out.
+    /// Module names currently zoomed out, in zoom (stash) order — a
+    /// deterministic order, so statements that enumerate them (`ZOOM
+    /// IN` of everything) behave identically across runs and backends.
     pub fn zoomed_out_modules(&self) -> Vec<&str> {
-        self.zoomed_modules.keys().map(String::as_str).collect()
+        let mut mods: Vec<(u32, &str)> = self
+            .zoomed_modules
+            .iter()
+            .map(|(m, &idx)| (idx, m.as_str()))
+            .collect();
+        mods.sort_unstable_by_key(|&(idx, _)| idx);
+        mods.into_iter().map(|(_, m)| m).collect()
     }
 
     /// The stash behind a [`NodeKind::Zoomed`] node: what ZoomOut hid.

@@ -477,12 +477,15 @@ impl Default for Tracer {
     }
 }
 
-/// Where a new span attaches: a tracer (or not) and a parent span.
-/// `Copy`, so it threads through recursive executors for free.
+/// Where a new span attaches: a tracer (or not) and a parent span —
+/// plus the request deadline, if any, which rides along so executors
+/// can check it cooperatively at span boundaries. `Copy`, so it
+/// threads through recursive executors for free.
 #[derive(Clone, Copy)]
 pub struct TraceCtx<'a> {
     tracer: Option<&'a Tracer>,
     parent: Option<u32>,
+    deadline: Option<Instant>,
 }
 
 impl<'a> TraceCtx<'a> {
@@ -491,6 +494,7 @@ impl<'a> TraceCtx<'a> {
         TraceCtx {
             tracer: None,
             parent: None,
+            deadline: None,
         }
     }
 
@@ -498,11 +502,24 @@ impl<'a> TraceCtx<'a> {
         TraceCtx {
             tracer: Some(tracer),
             parent: None,
+            deadline: None,
         }
     }
 
     pub fn enabled(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Attach a request deadline. Deadlines propagate to child spans'
+    /// contexts, so one call at the root covers the whole execution.
+    pub fn with_deadline(self, deadline: Option<Instant>) -> TraceCtx<'a> {
+        TraceCtx { deadline, ..self }
+    }
+
+    /// True once the attached deadline (if any) has passed. Executors
+    /// call this at span boundaries to cancel cooperatively.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Open a span; it records itself into the trace when dropped.
@@ -522,6 +539,7 @@ impl<'a> TraceCtx<'a> {
                 label: String::new(),
                 start_us: 0,
                 attrs: Vec::new(),
+                deadline: self.deadline,
             },
             Some(tracer) => SpanGuard {
                 tracer: Some(tracer),
@@ -531,6 +549,7 @@ impl<'a> TraceCtx<'a> {
                 label: label.to_string(),
                 start_us: tracer.now_us(),
                 attrs: Vec::new(),
+                deadline: self.deadline,
             },
         }
     }
@@ -546,6 +565,7 @@ pub struct SpanGuard<'a> {
     label: String,
     start_us: u64,
     attrs: Vec<(&'static str, u64)>,
+    deadline: Option<Instant>,
 }
 
 impl<'a> SpanGuard<'a> {
@@ -554,6 +574,7 @@ impl<'a> SpanGuard<'a> {
         TraceCtx {
             tracer: self.tracer,
             parent: self.tracer.map(|_| self.id),
+            deadline: self.deadline,
         }
     }
 

@@ -26,6 +26,10 @@ pub enum ProqlError {
     /// A mutating statement reached a read-only execution path
     /// ([`crate::Session::run_read`]).
     ReadOnly(String),
+    /// The request deadline passed mid-execution; the statement was
+    /// cancelled cooperatively at a span boundary. Only read statements
+    /// carry deadlines — a half-applied mutation is never abandoned.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ProqlError {
@@ -53,6 +57,12 @@ impl fmt::Display for ProqlError {
                 f,
                 "statement mutates the session and cannot run on a read-only handle: {stmt}"
             ),
+            ProqlError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded: statement cancelled before completion"
+                )
+            }
         }
     }
 }

@@ -131,6 +131,16 @@ pub(crate) fn run_tasks_parallel<T: Send>(
 /// `lipstick-serve` runs concurrently under a shared read lock.
 /// Mutating plans (`DELETE`, zooms, index maintenance) never reach this
 /// function; they go through [`execute`], which holds `&mut Session`.
+/// Cooperative cancellation: consulted at span boundaries (statement
+/// entry and each set-plan operator), so a runaway read gives up within
+/// one operator's work of its deadline.
+pub(crate) fn check_deadline(ctx: &TraceCtx<'_>) -> Result<()> {
+    if ctx.deadline_exceeded() {
+        return Err(crate::error::ProqlError::DeadlineExceeded);
+    }
+    Ok(())
+}
+
 pub(crate) fn execute_read(
     graph: &ProvGraph,
     reach: Option<&ReachIndex>,
@@ -138,6 +148,7 @@ pub(crate) fn execute_read(
     par: Parallelism,
     ctx: TraceCtx<'_>,
 ) -> Result<QueryOutput> {
+    check_deadline(&ctx)?;
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
             let (nodes, visited) = run_set(graph, reach, p, par, ctx)?;
@@ -373,6 +384,7 @@ fn run_set(
     par: Parallelism,
     ctx: TraceCtx<'_>,
 ) -> Result<(Vec<NodeId>, usize)> {
+    check_deadline(&ctx)?;
     match plan {
         SetPlan::Scan {
             class,

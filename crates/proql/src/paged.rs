@@ -42,6 +42,7 @@ pub(crate) fn execute<S: GraphStore + Sync>(
     par: Parallelism,
     ctx: TraceCtx<'_>,
 ) -> Result<QueryOutput> {
+    crate::exec::check_deadline(&ctx)?;
     match plan {
         StmtPlan::Set { plan: p, shaping } => {
             let (nodes, visited) = run_set(store, p, par, ctx)?;
@@ -141,6 +142,7 @@ fn run_set<S: GraphStore + Sync>(
     par: Parallelism,
     ctx: TraceCtx<'_>,
 ) -> Result<(Vec<NodeId>, usize)> {
+    crate::exec::check_deadline(&ctx)?;
     match plan {
         SetPlan::Scan {
             class,

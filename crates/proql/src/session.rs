@@ -175,7 +175,24 @@ impl Session {
     /// fresh sealed base segment.
     pub fn open_append(path: impl AsRef<Path>) -> Result<Session> {
         let log = AppendLog::open(path.as_ref()).map_err(|e| ProqlError::Storage(e.to_string()))?;
-        Ok(Session {
+        Ok(Session::from_append_log(log))
+    }
+
+    /// [`Session::open_append`] through an explicit
+    /// [`lipstick_storage::StorageIo`] implementation — the
+    /// fault-injection harness opens sessions over a simulated disk
+    /// this way.
+    pub fn open_append_with_io(
+        path: impl AsRef<Path>,
+        io: std::sync::Arc<dyn lipstick_storage::StorageIo>,
+    ) -> Result<Session> {
+        let log = AppendLog::open_with_io(path.as_ref(), io)
+            .map_err(|e| ProqlError::Storage(e.to_string()))?;
+        Ok(Session::from_append_log(log))
+    }
+
+    fn from_append_log(log: AppendLog) -> Session {
+        Session {
             backend: Backend::Append(Box::new(log)),
             reach: None,
             parallel: Parallelism::default_for_host(),
@@ -184,7 +201,18 @@ impl Session {
             promotions: 0,
             pending_repairs: None,
             instruments: Instruments::get(),
-        })
+        }
+    }
+
+    /// Flush the backend's durable state (the append backend's WAL
+    /// tail). Commits already sync per record, so this is a barrier for
+    /// graceful shutdown, not a durability requirement; resident and
+    /// paged backends have nothing to flush and return `Ok`.
+    pub fn sync_storage(&self) -> Result<()> {
+        match &self.backend {
+            Backend::Append(log) => log.sync().map_err(|e| ProqlError::Storage(e.to_string())),
+            Backend::Resident(_) | Backend::Paged(_) => Ok(()),
+        }
     }
 
     /// Cap the worker threads used for independent `UNION`/`INTERSECT`
@@ -748,10 +776,28 @@ impl Session {
         stmt: &Statement,
         tracer: Option<&Tracer>,
     ) -> Result<QueryOutput> {
+        self.run_read_stmt_with(stmt, tracer, None)
+    }
+
+    /// [`Session::run_read_stmt_traced`] with an optional deadline.
+    /// Executors check it cooperatively at span boundaries (statement
+    /// entry and each set-plan operator) and cancel with
+    /// [`ProqlError::DeadlineExceeded`] once it passes — how
+    /// `lipstick-serve` enforces `request_deadline_us`. Reads only:
+    /// mutations never carry deadlines, so a statement is never
+    /// abandoned half-applied.
+    pub fn run_read_stmt_with(
+        &self,
+        stmt: &Statement,
+        tracer: Option<&Tracer>,
+        deadline: Option<Instant>,
+    ) -> Result<QueryOutput> {
         if !stmt.is_read_only() {
             return Err(ProqlError::ReadOnly(stmt_summary(stmt)));
         }
-        let ctx = tracer.map_or(TraceCtx::disabled(), TraceCtx::root);
+        let ctx = tracer
+            .map_or(TraceCtx::disabled(), TraceCtx::root)
+            .with_deadline(deadline);
         let start = Instant::now();
         let out = match &self.backend {
             Backend::Resident(graph) => {

@@ -124,6 +124,18 @@ pub fn mutation(v: &Vocab, rng: &mut Rng) -> Statement {
     }
 }
 
+/// A deterministic mutation script of `len` statements — the shared
+/// workload hook the fault-injection harness replays at every injected
+/// failure point (same seed → same script, so op-by-op enumeration
+/// stays reproducible). Unlike [`mutation`], every statement is
+/// *well-formed against the vocabulary* in isolation; whether it
+/// succeeds still depends on session state (a `ZOOM IN` of a module
+/// that is not zoomed out fails cleanly), which is exactly the mix of
+/// acked and erroring mutations the harness wants.
+pub fn mutation_script(v: &Vocab, rng: &mut Rng, len: usize) -> Vec<Statement> {
+    (0..len).map(|_| mutation(v, rng)).collect()
+}
+
 /// One random read-only statement: mostly shaped node-set queries,
 /// with `WHY`/`DEPENDS`/`EVAL` mixed in. A few percent of node
 /// references are deliberately dangling so the error paths are

@@ -153,6 +153,11 @@ fn server_answer(client: &mut Client, text: &str) -> Answer {
     match client.query(text).expect("server connection") {
         Reply::Ok { body, .. } => Answer::Ok(mask_visited(&body)),
         Reply::Err(m) => Answer::Err(m),
+        // The harness server has no write-queue limit, so it never
+        // sheds; a BUSY here is itself a divergence worth failing on.
+        Reply::Busy { retry_after_ms } => {
+            panic!("unexpected BUSY retry_after_ms={retry_after_ms} from an unbounded server")
+        }
     }
 }
 

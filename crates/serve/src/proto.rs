@@ -11,6 +11,7 @@
 //! <payload line 1>
 //! …
 //! ERR <single-line message>
+//! BUSY retry_after_ms=<ms>
 //! ```
 //!
 //! `time_us` is the server-side wall time spent answering (cache hits
@@ -22,6 +23,12 @@
 //! The header names how many payload lines follow, so clients never
 //! sniff for prompts or blank lines. Connections are persistent: a
 //! client issues any number of statements before disconnecting.
+//!
+//! `BUSY` is overload shedding, not failure: the server's bounded
+//! group-commit queue is full and the statement was **not** executed.
+//! `retry_after_ms` is the server's estimate of when a retry will find
+//! room (derived from recent batch drain time). Distinct from `ERR` so
+//! clients can retry blindly without re-examining statement semantics.
 //!
 //! ## HTTP shim
 //!
@@ -131,6 +138,11 @@ pub enum Reply {
         body: String,
     },
     Err(String),
+    /// The server shed this statement: its bounded write queue was
+    /// full. The statement did not execute; retry after the hint.
+    Busy {
+        retry_after_ms: u64,
+    },
 }
 
 impl Reply {
@@ -139,11 +151,16 @@ impl Reply {
         match self {
             Reply::Ok { body, .. } => body,
             Reply::Err(m) => m,
+            Reply::Busy { .. } => "",
         }
     }
 
     pub fn is_ok(&self) -> bool {
         matches!(self, Reply::Ok { .. })
+    }
+
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Reply::Busy { .. })
     }
 
     pub fn cache_hit(&self) -> bool {
@@ -159,7 +176,7 @@ impl Reply {
     pub fn epoch(&self) -> Option<u64> {
         match self {
             Reply::Ok { epoch, .. } => Some(*epoch),
-            Reply::Err(_) => None,
+            _ => None,
         }
     }
 
@@ -167,7 +184,7 @@ impl Reply {
     pub fn time_us(&self) -> Option<u64> {
         match self {
             Reply::Ok { time_us, .. } => Some(*time_us),
-            Reply::Err(_) => None,
+            _ => None,
         }
     }
 
@@ -175,7 +192,15 @@ impl Reply {
     pub fn reads(&self) -> Option<u64> {
         match self {
             Reply::Ok { reads, .. } => Some(*reads),
-            Reply::Err(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The shed hint, if the reply was `BUSY`.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Reply::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -216,6 +241,13 @@ pub fn write_err(w: &mut impl Write, message: &str) -> Result<()> {
     w.flush()
 }
 
+/// Write an overload-shed response. One line, no payload: the
+/// statement was not executed and may be retried verbatim.
+pub fn write_busy(w: &mut impl Write, retry_after_ms: u64) -> Result<()> {
+    writeln!(w, "BUSY retry_after_ms={retry_after_ms}")?;
+    w.flush()
+}
+
 /// Read one framed response off the wire (client side). Returns `None`
 /// on clean EOF before a header line; bytes that violate the framing
 /// come back as [`ProtoError::Malformed`], never a panic.
@@ -227,6 +259,13 @@ pub fn read_reply(r: &mut impl BufRead) -> std::result::Result<Option<Reply>, Pr
     let header = header.trim_end_matches(['\r', '\n']);
     if let Some(msg) = header.strip_prefix("ERR ") {
         return Ok(Some(Reply::Err(msg.to_string())));
+    }
+    if let Some(rest) = header.strip_prefix("BUSY ") {
+        let retry_after_ms = rest
+            .strip_prefix("retry_after_ms=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ProtoError::Malformed(format!("BUSY header field: {rest:?}")))?;
+        return Ok(Some(Reply::Busy { retry_after_ms }));
     }
     let Some(rest) = header.strip_prefix("OK ") else {
         return Err(ProtoError::Malformed(format!(
@@ -466,6 +505,27 @@ mod tests {
                 body: "hello".into()
             }
         );
+        Ok(())
+    }
+
+    #[test]
+    fn busy_reply_roundtrips() -> TestResult {
+        let mut buf = Vec::new();
+        write_busy(&mut buf, 12)?;
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let reply = read_reply(&mut r)?.ok_or("missing reply")?;
+        assert_eq!(reply, Reply::Busy { retry_after_ms: 12 });
+        assert!(reply.is_busy() && !reply.is_ok());
+        assert_eq!(reply.retry_after_ms(), Some(12));
+        assert_eq!(reply.epoch(), None, "BUSY carries no epoch");
+        assert_eq!(read_reply(&mut r)?, None, "single line, no payload");
+        // A mangled hint is a framing violation, not a silent default:
+        // treating it as OK-to-retry-now could stampede the server.
+        let garbage = b"BUSY retry_after_ms=soon\n";
+        match read_reply(&mut std::io::BufReader::new(&garbage[..])) {
+            Err(ProtoError::Malformed(what)) => assert!(what.contains("BUSY")),
+            other => panic!("want Malformed, got {other:?}"),
+        }
         Ok(())
     }
 

@@ -20,25 +20,38 @@
 //! lifetime (the line protocol is persistent, the HTTP shim is
 //! one-shot), so `workers` bounds the number of concurrently served
 //! clients.
+//!
+//! ## Overload and shutdown
+//!
+//! Three opt-in guards bound the damage a hostile or saturating client
+//! can do: the write queue **sheds** with `BUSY retry_after_ms=` once
+//! `write_queue_limit` mutations are already waiting (the statement is
+//! not executed — a verbatim retry is safe); reads are cancelled
+//! cooperatively at `request_deadline_us`; and a connection that stalls
+//! mid-request past `idle_timeout_us` is dropped (the slowloris
+//! guard). [`ServerHandle::shutdown`] is graceful: every statement in
+//! flight finishes, its reply reaches the wire, and the storage tail is
+//! synced before the call returns — no acked write is ever lost to a
+//! shutdown.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lipstick_core::obs::{self, Tracer};
 use lipstick_proql::ast::Statement;
 use lipstick_proql::parser::parse_statement;
 use lipstick_proql::result::{json_escape, QueryOutput};
-use lipstick_proql::Session;
+use lipstick_proql::{ProqlError, Session};
 
 use crate::cache::{CachedResult, QueryCache};
 use crate::proto::{
-    classify_first_line, percent_decode, read_http_request_rest, write_err, write_http_json,
-    write_http_text, write_ok, FirstLine,
+    classify_first_line, percent_decode, read_http_request_rest, write_busy, write_err,
+    write_http_json, write_http_text, write_ok, FirstLine,
 };
 use crate::qlog::{QueryEvent, QueryLog, QueryLogConfig};
 
@@ -67,6 +80,23 @@ pub struct ServerConfig {
     /// half-compacted store. 0 (the default) disables auto-compaction;
     /// other backends ignore the knob.
     pub compact_every: u64,
+    /// Per-request deadline for read statements, microseconds. The
+    /// executor checks it cooperatively at span boundaries and cancels
+    /// with `deadline exceeded` once it passes; mutations never carry
+    /// a deadline (a write is never abandoned half-applied). 0 (the
+    /// default) disables the check.
+    pub request_deadline_us: u64,
+    /// Bound on the group-commit write queue. A mutation arriving
+    /// while this many are already queued is **shed** — answered
+    /// `BUSY retry_after_ms=<hint>` without executing — instead of
+    /// piling onto a write lock it may wait on unboundedly. 0 (the
+    /// default) leaves the queue unbounded.
+    pub write_queue_limit: usize,
+    /// Idle/read timeout per connection, microseconds: a peer that
+    /// holds a connection without completing a request line for this
+    /// long is disconnected (the slowloris guard). 0 (the default)
+    /// waits forever.
+    pub idle_timeout_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +108,9 @@ impl Default for ServerConfig {
             query_log: None,
             trace_sample_every: 0,
             compact_every: 0,
+            request_deadline_us: 0,
+            write_queue_limit: 0,
+            idle_timeout_us: 0,
         }
     }
 }
@@ -115,10 +148,19 @@ struct Instruments {
     paged_log_heap: Arc<obs::Gauge>,
     fault_cache_heap: Arc<obs::Gauge>,
     serve_cache_heap: Arc<obs::Gauge>,
+    /// Mutations shed with `BUSY` because the write queue was full.
+    shed: Arc<obs::Counter>,
+    /// Reads cancelled at the per-request deadline.
+    deadline_exceeded: Arc<obs::Counter>,
+    /// Wall time of the last graceful shutdown drain, microseconds.
+    shutdown_drain_us: Arc<obs::Gauge>,
 }
 
 impl Instruments {
     fn get() -> Instruments {
+        // Touch the storage layer's IO error counter so a scrape that
+        // races the first file operation still sees the series (at 0).
+        let _ = lipstick_storage::io::io_errors_counter();
         let r = obs::registry();
         Instruments {
             queries: r.counter(
@@ -170,6 +212,18 @@ impl Instruments {
                 "lipstick_serve_cache_heap_bytes",
                 "Heap bytes held by the server's plan-keyed result cache",
             ),
+            shed: r.counter(
+                "lipstick_serve_shed_total",
+                "Mutations answered BUSY because the bounded write queue was full",
+            ),
+            deadline_exceeded: r.counter(
+                "lipstick_serve_deadline_exceeded_total",
+                "Read statements cancelled at the per-request deadline",
+            ),
+            shutdown_drain_us: r.gauge(
+                "lipstick_serve_shutdown_drain_us",
+                "Wall time of the last graceful shutdown drain, microseconds",
+            ),
         }
     }
 }
@@ -201,6 +255,19 @@ struct Shared {
     /// Successful mutations since the last auto-compaction.
     writes_since_compact: AtomicU64,
     compact_every: u64,
+    /// Read deadline, microseconds; 0 disables.
+    request_deadline_us: u64,
+    /// Write-queue bound; 0 leaves it unbounded.
+    write_queue_limit: usize,
+    /// Per-connection read timeout, microseconds; 0 waits forever.
+    idle_timeout_us: u64,
+    /// Wall time the last write batch spent holding the write lock —
+    /// the basis of the `BUSY retry_after_ms` hint.
+    last_batch_us: AtomicU64,
+    /// Live connections by client id. Graceful shutdown half-closes
+    /// each one's read side so workers finish the statement in flight,
+    /// deliver its reply, then see EOF and exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
 /// One queued mutation: the parsed statement going in, the leader's
@@ -219,9 +286,29 @@ struct SlotResult {
     epoch: u64,
 }
 
+/// A non-success answer, typed by what the client should do with it:
+/// a `Message` names what went wrong with *this* statement; `Busy`
+/// means the server shed it unexecuted and a verbatim retry is safe.
+enum ErrorReply {
+    Message(String),
+    Busy { retry_after_ms: u64 },
+}
+
+impl ErrorReply {
+    /// One-line rendering for the structured query log.
+    fn message(&self) -> String {
+        match self {
+            ErrorReply::Message(m) => m.clone(),
+            ErrorReply::Busy { retry_after_ms } => {
+                format!("busy: write queue full; retry_after_ms={retry_after_ms}")
+            }
+        }
+    }
+}
+
 /// The outcome of one statement, ready for either wire format.
 struct Outcome {
-    result: Result<CachedResult, String>,
+    result: Result<CachedResult, ErrorReply>,
     cache_hit: bool,
     epoch: u64,
     /// Server-side wall time answering this statement, microseconds.
@@ -245,7 +332,7 @@ impl Shared {
             Ok(stmt) => stmt,
             Err(e) => {
                 let outcome = Outcome {
-                    result: Err(e.to_string()),
+                    result: Err(ErrorReply::Message(e.to_string())),
                     cache_hit: false,
                     epoch: self.epoch.load(Ordering::Acquire),
                     time_us: elapsed_us(start),
@@ -278,7 +365,10 @@ impl Shared {
         let Some(qlog) = &self.qlog else { return };
         let (verdict, fnv) = match &outcome.result {
             Ok(result) => ("ok", QueryEvent::fingerprint(&result.text)),
-            Err(message) => ("err", QueryEvent::fingerprint(message)),
+            Err(e @ ErrorReply::Message(_)) => ("err", QueryEvent::fingerprint(&e.message())),
+            // Sheds are load events, not statement outcomes: replaying
+            // one won't reproduce the fingerprint, so tag it apart.
+            Err(e @ ErrorReply::Busy { .. }) => ("busy", QueryEvent::fingerprint(&e.message())),
         };
         qlog.append(QueryEvent {
             seq: 0, // assigned by the log, under its lock
@@ -367,7 +457,11 @@ impl Shared {
         let epoch = self.epoch.load(Ordering::Acquire);
         let reads_before = session.records_read();
         let tracer = Tracer::new();
-        let executed = session.run_read_stmt_traced(stmt, Some(&tracer));
+        // The deadline clock starts at receipt (`start`), not lock
+        // acquisition: time spent waiting out a write batch counts.
+        let deadline = (self.request_deadline_us > 0)
+            .then(|| start + Duration::from_micros(self.request_deadline_us));
+        let executed = session.run_read_stmt_with(stmt, Some(&tracer), deadline);
         let reads = session.records_read().saturating_sub(reads_before) as u64;
         drop(session);
         let time_us = elapsed_us(start);
@@ -397,13 +491,18 @@ impl Shared {
                     reads,
                 }
             }
-            Err(e) => Outcome {
-                result: Err(e.to_string()),
-                cache_hit: false,
-                epoch,
-                time_us,
-                reads,
-            },
+            Err(e) => {
+                if matches!(e, ProqlError::DeadlineExceeded) {
+                    self.instruments.deadline_exceeded.inc();
+                }
+                Outcome {
+                    result: Err(ErrorReply::Message(e.to_string())),
+                    cache_hit: false,
+                    epoch,
+                    time_us,
+                    reads,
+                }
+            }
         }
     }
 
@@ -459,7 +558,7 @@ impl Shared {
                 }
             }
             Err(e) => Outcome {
-                result: Err(e.to_string()),
+                result: Err(ErrorReply::Message(e.to_string())),
                 cache_hit: false,
                 epoch,
                 time_us: elapsed_us(start),
@@ -481,10 +580,25 @@ impl Shared {
             stmt: stmt.clone(),
             state: Mutex::new(None),
         });
-        self.write_queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(slot.clone());
+        {
+            // Admission and enqueue under ONE lock hold: two writers
+            // racing the last slot can't both pass a separate check.
+            let mut queue = self.write_queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.write_queue_limit > 0 && queue.len() >= self.write_queue_limit {
+                drop(queue);
+                self.instruments.shed.inc();
+                return Outcome {
+                    result: Err(ErrorReply::Busy {
+                        retry_after_ms: self.retry_after_ms(),
+                    }),
+                    cache_hit: false,
+                    epoch: self.epoch.load(Ordering::Acquire),
+                    time_us: elapsed_us(start),
+                    reads: 0,
+                };
+            }
+            queue.push_back(slot.clone());
+        }
         let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
         let unanswered = slot
             .state
@@ -501,14 +615,16 @@ impl Shared {
         let done = slot.state.lock().unwrap_or_else(|e| e.into_inner()).take();
         match done {
             Some(done) => Outcome {
-                result: done.result,
+                result: done.result.map_err(ErrorReply::Message),
                 cache_hit: false,
                 epoch: done.epoch,
                 time_us: elapsed_us(start),
                 reads: done.reads,
             },
             None => Outcome {
-                result: Err("internal error: write batch left a slot unanswered".to_string()),
+                result: Err(ErrorReply::Message(
+                    "internal error: write batch left a slot unanswered".to_string(),
+                )),
                 cache_hit: false,
                 epoch: self.epoch.load(Ordering::Acquire),
                 time_us: elapsed_us(start),
@@ -517,9 +633,21 @@ impl Shared {
         }
     }
 
+    /// The `BUSY` hint: roughly one recent batch drain time, so a
+    /// retry tends to land after the queue has turned over once.
+    /// Before any batch has run (or if one finished in under 1 ms)
+    /// fall back to a nominal 10 ms.
+    fn retry_after_ms(&self) -> u64 {
+        match self.last_batch_us.load(Ordering::Relaxed) / 1_000 {
+            0 => 10,
+            ms => ms.clamp(1, 1_000),
+        }
+    }
+
     /// Drain the write queue as batch leader. Caller holds the session
     /// write lock; our own slot is somewhere in the queue.
     fn lead_write_batch(&self, session: &mut Session) {
+        let batch_start = Instant::now();
         let batch: Vec<Arc<WriteSlot>> = self
             .write_queue
             .lock()
@@ -576,6 +704,12 @@ impl Shared {
                 epoch,
             };
             *slot.state.lock().unwrap_or_else(|e| e.into_inner()) = Some(answer);
+        }
+        // Feeds the BUSY retry_after_ms hint; only whole batches count
+        // (an empty drain would just make the hint optimistic).
+        if !batch.is_empty() {
+            self.last_batch_us
+                .store(elapsed_us(batch_start), Ordering::Relaxed);
         }
     }
 
@@ -663,6 +797,11 @@ impl Server {
                 write_queue: Mutex::new(VecDeque::new()),
                 writes_since_compact: AtomicU64::new(0),
                 compact_every: config.compact_every,
+                request_deadline_us: config.request_deadline_us,
+                write_queue_limit: config.write_queue_limit,
+                idle_timeout_us: config.idle_timeout_us,
+                last_batch_us: AtomicU64::new(0),
+                conns: Mutex::new(HashMap::new()),
             }),
             config,
         }
@@ -761,29 +900,110 @@ impl ServerHandle {
             .len()
     }
 
-    /// Stop accepting, drain the workers, and join every thread.
-    /// In-flight connections finish first: shutdown is graceful, so
-    /// callers should disconnect their clients before invoking it.
+    /// Graceful shutdown: stop accepting, let every in-flight
+    /// statement finish and its reply reach the wire, then sync the
+    /// storage tail before returning. Concretely: close the accept
+    /// loop, half-close each live connection's **read** side (the
+    /// worker finishes the statement it is on, writes the reply on the
+    /// still-open write side, then reads EOF and exits), join the
+    /// workers, lead any write slots left in the queue, and fsync the
+    /// session's append tail. By return, every acked write is durable:
+    /// a restart on the same files recovers all of them.
     pub fn shutdown(mut self) {
+        let start = Instant::now();
         self.shutdown.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers answer their own slots before exiting, so the queue
+        // is normally empty here — but a worker that died on a write
+        // error must not strand a queued statement unanswered forever.
+        {
+            let mut session = self
+                .shared
+                .session
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            let leftovers = !self
+                .shared
+                .write_queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+            if leftovers {
+                self.shared.lead_write_batch(&mut session);
+            }
+            // Commits already fsync individually; this is a final
+            // belt-and-braces sync of the tail (a no-op when clean).
+            let _ = session.sync_storage();
+        }
+        self.shared
+            .instruments
+            .shutdown_drain_us
+            .set(elapsed_us(start) as i64);
     }
 }
 
-/// Serve one accepted connection to completion.
+/// Serve one accepted connection to completion: register it (so
+/// graceful shutdown can half-close it), arm the idle timeout, serve,
+/// deregister. An idle-timeout or shutdown half-close surfaces as a
+/// read error inside; closing quietly is the intended outcome, not a
+/// failure to report.
 fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
     shared.instruments.connections.inc();
-    // Connection id: stamps this connection's query-log events.
+    // Connection id: stamps this connection's query-log events and
+    // keys the live-connection registry.
     let client = shared.clients.fetch_add(1, Ordering::Relaxed);
     // Responses are small and latency-bound; never wait on Nagle.
     stream.set_nodelay(true).ok();
+    if shared.idle_timeout_us > 0 {
+        // The slowloris guard: a peer may not sit mid-request (or
+        // mid-header) longer than this between reads.
+        stream
+            .set_read_timeout(Some(Duration::from_micros(shared.idle_timeout_us)))
+            .ok();
+    }
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(client, clone);
+    }
+    let result = serve_connection(shared, stream, client);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&client);
+    match result {
+        // WouldBlock is what Unix read timeouts actually return;
+        // TimedOut covers other platforms.
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(())
+        }
+        other => other,
+    }
+}
+
+/// The protocol loop for one connection (line protocol or HTTP shim).
+fn serve_connection(shared: &Shared, stream: TcpStream, client: u64) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut first = String::new();
@@ -849,7 +1069,8 @@ fn serve_line_statement(
             outcome.time_us,
             outcome.reads,
         ),
-        Err(message) => write_err(writer, message),
+        Err(ErrorReply::Message(message)) => write_err(writer, message),
+        Err(ErrorReply::Busy { retry_after_ms }) => write_busy(writer, *retry_after_ms),
     }
 }
 
@@ -878,10 +1099,15 @@ fn handle_http(
                         result.json
                     ),
                 ),
-                Err(message) => write_http_json(
+                Err(ErrorReply::Message(message)) => write_http_json(
                     writer,
                     "400 Bad Request",
                     &format!(r#"{{"ok":false,"error":"{}"}}"#, json_escape(message)),
+                ),
+                Err(ErrorReply::Busy { retry_after_ms }) => write_http_json(
+                    writer,
+                    "503 Service Unavailable",
+                    &format!(r#"{{"ok":false,"busy":true,"retry_after_ms":{retry_after_ms}}}"#),
                 ),
             }
         }

@@ -29,9 +29,8 @@
 //! structures keyed by id (the reach index) survive it.
 
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use lipstick_core::graph::{kind_heap_bytes, InvocationInfo, ZoomStash, RETIRED_STASH};
 use lipstick_core::obs::vec_alloc_bytes;
@@ -40,7 +39,8 @@ use lipstick_core::store::GraphStore;
 use lipstick_core::{InvocationId, NodeId, NodeKind, ProvGraph, Role};
 
 use crate::error::{Result, StorageError};
-use crate::log::write_graph_v2;
+use crate::io::{default_io, StorageIo};
+use crate::log::write_graph_v2_io;
 use crate::paged::PagedLog;
 use crate::tail::{self, TailInvocation, TailNode, TailRecord, TAIL_HEADER_LEN};
 
@@ -74,15 +74,19 @@ struct BaseOverride {
 pub struct AppendLog {
     path: PathBuf,
     tail_path: PathBuf,
+    /// Every file operation goes through this seam, so tests can
+    /// substitute a fault-injecting disk (see [`crate::io`]).
+    io: Arc<dyn StorageIo>,
     base: PagedLog,
     base_len: u64,
     base_nodes: usize,
     base_invocations: usize,
-    /// Open tail file handle, positioned at the end (append mode).
-    /// `None` until the first commit after open/compact.
-    tail_file: Option<File>,
-    /// Clean tail length in bytes (0 = no tail file yet).
+    /// Clean tail length in bytes (0 = no tail header written yet).
     tail_len: u64,
+    /// A commit failed partway, so the on-disk tail may carry a torn
+    /// suffix past `tail_len`; the next commit truncates it away before
+    /// appending.
+    tail_dirty: bool,
     tail_records: usize,
     overlay: Vec<OverlayNode>,
     overrides: HashMap<u32, BaseOverride>,
@@ -113,19 +117,26 @@ impl AppendLog {
     /// Open a sealed v2 log for appending: recover the tail sidecar (if
     /// any), truncate its torn suffix, and replay the surviving records.
     pub fn open(path: impl AsRef<Path>) -> Result<AppendLog> {
-        let path = path.as_ref().to_path_buf();
-        let base = PagedLog::open(&path)?;
-        let base_len = fs::metadata(&path)?.len();
+        AppendLog::open_with_io(path.as_ref(), default_io())
+    }
+
+    /// [`AppendLog::open`] through an explicit IO implementation, which
+    /// the log retains for all subsequent commits and compactions.
+    pub fn open_with_io(path: &Path, io: Arc<dyn StorageIo>) -> Result<AppendLog> {
+        let path = path.to_path_buf();
+        let base = PagedLog::open_with_io(&path, io.as_ref())?;
+        let base_len = io.len(&path)?;
         let mut log = AppendLog {
             tail_path: tail_path_for(&path),
             path,
+            io,
             base_len,
             base_nodes: base.index().node_count(),
             base_invocations: base.invocations().len(),
             invocations: base.invocations().to_vec(),
             base,
-            tail_file: None,
             tail_len: 0,
+            tail_dirty: false,
             tail_records: 0,
             overlay: Vec::new(),
             overrides: HashMap::new(),
@@ -140,7 +151,7 @@ impl AppendLog {
     }
 
     fn recover_tail(&mut self) -> Result<()> {
-        let data = match fs::read(&self.tail_path) {
+        let data = match self.io.read(&self.tail_path) {
             Ok(data) => data,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
             Err(e) => return Err(e.into()),
@@ -151,8 +162,10 @@ impl AppendLog {
                 // Header torn, or the tail binds to a different base: a
                 // crash between COMPACT's rename and its tail unlink
                 // leaves exactly such a stale sidecar, whose contents
-                // the rename already made durable. Discard it.
-                fs::remove_file(&self.tail_path)?;
+                // the rename already made durable. Discard it —
+                // best-effort, because the first commit recreates the
+                // tail with a truncating write anyway.
+                let _ = self.io.unlink(&self.tail_path);
                 return Ok(());
             }
         };
@@ -160,9 +173,7 @@ impl AppendLog {
             self.apply_record(record)?;
         }
         if clean < data.len() {
-            let file = OpenOptions::new().write(true).open(&self.tail_path)?;
-            file.set_len(clean as u64)?;
-            file.sync_all()?;
+            self.io.truncate(&self.tail_path, clean as u64)?;
         }
         self.tail_len = clean as u64;
         self.tail_records = records.len();
@@ -191,9 +202,17 @@ impl AppendLog {
         self.base.verify_all()
     }
 
-    /// Module names currently zoomed out.
+    /// Module names currently zoomed out, in zoom (stash) order — the
+    /// same order the resident graph reports, so `ZOOM IN` of all
+    /// modules behaves identically across backends.
     pub fn zoomed_out_modules(&self) -> Vec<&str> {
-        self.zoomed_modules.keys().map(String::as_str).collect()
+        let mut mods: Vec<(u32, &str)> = self
+            .zoomed_modules
+            .iter()
+            .map(|(m, &idx)| (idx, m.as_str()))
+            .collect();
+        mods.sort_unstable_by_key(|&(idx, _)| idx);
+        mods.into_iter().map(|(_, m)| m).collect()
     }
 
     /// The stash a `ZOOM IN` of this module would restore.
@@ -211,30 +230,46 @@ impl AppendLog {
 
     // ----- commit path -----
 
-    fn tail_file(&mut self) -> Result<&mut File> {
-        if self.tail_file.is_none() {
-            let mut file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&self.tail_path)?;
-            if self.tail_len == 0 {
-                file.write_all(&tail::encode_header(self.base_len, self.base_nodes as u64))?;
-                self.tail_len = TAIL_HEADER_LEN as u64;
-            }
-            self.tail_file = Some(file);
-        }
-        Ok(self.tail_file.as_mut().expect("just set"))
-    }
-
     /// Make one record durable. Called *before* the matching in-memory
     /// apply, so the tail never lags the overlay.
+    ///
+    /// Failure safety: `tail_len` only advances after the sync, so an
+    /// error anywhere leaves the record unacknowledged. A failed append
+    /// may still leave torn bytes on disk past `tail_len`; the dirty
+    /// flag makes the *next* commit truncate them away first, so a
+    /// retried commit can never land after garbage that recovery would
+    /// stop at (which would silently orphan it).
     fn commit(&mut self, record: &TailRecord) -> Result<()> {
         let frame = tail::encode_record(record)?;
-        let file = self.tail_file()?;
-        file.write_all(&frame)?;
-        file.sync_data()?;
+        if self.tail_dirty {
+            self.io.truncate(&self.tail_path, self.tail_len)?;
+            self.tail_dirty = false;
+        }
+        if self.tail_len == 0 {
+            // Truncating write, not append: a stale tail from an
+            // interrupted COMPACT (or a failed header write) may still
+            // occupy this path, and its leftover bytes must not precede
+            // the fresh header.
+            let header = tail::encode_header(self.base_len, self.base_nodes as u64);
+            self.io.create(&self.tail_path, &header)?;
+            self.tail_len = TAIL_HEADER_LEN as u64;
+        }
+        self.tail_dirty = true;
+        self.io.append(&self.tail_path, &frame)?;
+        self.io.sync(&self.tail_path)?;
+        self.tail_dirty = false;
         self.tail_len += frame.len() as u64;
         self.tail_records += 1;
+        Ok(())
+    }
+
+    /// Fsync the tail segment if one exists. Commits already sync per
+    /// record, so this only matters as a barrier (graceful shutdown).
+    pub fn sync(&self) -> Result<()> {
+        if self.tail_len == 0 {
+            return Ok(());
+        }
+        self.io.sync(&self.tail_path)?;
         Ok(())
     }
 
@@ -652,16 +687,28 @@ impl AppendLog {
             }
         }
 
+        // All fallible IO happens BEFORE the rename: the new base is
+        // written, synced (rename makes metadata durable, not content —
+        // skipping this sync would let a crash truncate the renamed
+        // base), and re-opened from the temp path. An error anywhere up
+        // to the rename leaves both disk and memory in the coherent
+        // pre-compaction state; once the rename succeeds, the remaining
+        // work is infallible in-memory bookkeeping. Compaction is
+        // therefore all-or-nothing for callers.
         let tmp = self.path.with_extension("compact.tmp");
-        write_graph_v2(&graph, &tmp)?;
-        fs::rename(&tmp, &self.path)?;
-        // A crash here leaves a stale tail whose header binds to the old
-        // base; recovery discards it.
-        let _ = fs::remove_file(&self.tail_path);
+        write_graph_v2_io(&graph, &tmp, self.io.as_ref())?;
+        self.io.sync(&tmp)?;
+        let new_base = PagedLog::open_with_io(&tmp, self.io.as_ref())?;
+        let new_len = self.io.len(&tmp)?;
+        self.io.rename(&tmp, &self.path)?;
+        // A crash (or unlink failure) here leaves a stale tail whose
+        // header binds to the old base; recovery discards it, and the
+        // next commit's truncating header write overwrites it.
+        let _ = self.io.unlink(&self.tail_path);
 
         self.carried_faults += self.base.faults();
-        self.base = PagedLog::open(&self.path)?;
-        self.base_len = fs::metadata(&self.path)?.len();
+        self.base = new_base;
+        self.base_len = new_len;
         self.base_nodes = self.base.index().node_count();
         self.base_invocations = self.base.invocations().len();
         self.invocations = self.base.invocations().to_vec();
@@ -671,8 +718,8 @@ impl AppendLog {
         self.extra_preds.clear();
         self.stashes.clear();
         self.zoomed_modules.clear();
-        self.tail_file = None;
         self.tail_len = 0;
+        self.tail_dirty = false;
         self.tail_records = 0;
         Ok(())
     }
@@ -849,6 +896,7 @@ mod tests {
     use lipstick_core::query::{zoom_in, zoom_out};
     use lipstick_core::store::compute_deletion_store;
     use lipstick_core::Tracker;
+    use std::fs;
 
     /// Visible labelled nodes + visible edges, comparable across
     /// backends (the resident `visible_signature` generalized to any

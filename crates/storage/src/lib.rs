@@ -31,6 +31,7 @@ pub mod append;
 pub mod codec;
 pub mod error;
 pub mod footer;
+pub mod io;
 pub mod log;
 pub mod paged;
 pub mod tail;
@@ -39,9 +40,10 @@ pub mod varint;
 pub use append::AppendLog;
 pub use error::{Result, StorageError};
 pub use footer::{FooterWriter, LogIndex};
+pub use io::{default_io, FaultIo, FaultKind, StdIo, StorageIo};
 pub use log::{
     decode_graph, encode_graph, encode_graph_v2, load_graph, log_version, write_graph,
-    write_graph_v2,
+    write_graph_v2, write_graph_v2_io,
 };
 pub use paged::PagedLog;
 pub use tail::TailRecord;

@@ -19,8 +19,6 @@
 //! provenance-annotated data from disk and building the in-memory
 //! graph.
 
-use std::fs::File;
-use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -29,6 +27,7 @@ use lipstick_core::{NodeId, ProvGraph};
 use crate::codec::{get_kind, get_role, put_kind, put_retired_zoom, put_role};
 use crate::error::{Result, StorageError};
 use crate::footer::FooterWriter;
+use crate::io::{default_io, StorageIo};
 use crate::varint::{get_count, get_str, get_u32, put_str, put_u64};
 use lipstick_core::graph::{InvocationInfo, RETIRED_STASH};
 use lipstick_core::NodeKind;
@@ -228,27 +227,28 @@ pub(crate) fn decode_pred_list(buf: &mut impl Buf, node_count: usize) -> Result<
 
 /// Write a graph to a file.
 pub fn write_graph(graph: &ProvGraph, path: impl AsRef<Path>) -> Result<()> {
-    write_bytes(encode_graph(graph)?, path)
+    default_io().create(path.as_ref(), &encode_graph(graph)?)?;
+    Ok(())
 }
 
 /// Write a graph to a file in the v2 indexed format (see
 /// [`encode_graph_v2`]).
 pub fn write_graph_v2(graph: &ProvGraph, path: impl AsRef<Path>) -> Result<()> {
-    write_bytes(encode_graph_v2(graph)?, path)
+    write_graph_v2_io(graph, path.as_ref(), default_io().as_ref())
 }
 
-fn write_bytes(bytes: Vec<u8>, path: impl AsRef<Path>) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&bytes)?;
-    w.flush()?;
+/// [`write_graph_v2`] through an explicit IO implementation. Writes the
+/// bytes but does *not* sync — callers needing durability (COMPACT's
+/// temp segment) issue the sync themselves, so it stays a distinct
+/// injectable fault point.
+pub fn write_graph_v2_io(graph: &ProvGraph, path: &Path, io: &dyn StorageIo) -> Result<()> {
+    io.create(path, &encode_graph_v2(graph)?)?;
     Ok(())
 }
 
 /// Load a graph from a file — the Query Processor's first step (§5.1).
 pub fn load_graph(path: impl AsRef<Path>) -> Result<ProvGraph> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    decode_graph(&bytes)
+    decode_graph(&default_io().read(path.as_ref())?)
 }
 
 #[cfg(test)]

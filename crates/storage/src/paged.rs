@@ -70,7 +70,13 @@ impl PagedLog {
     /// v1 log (which has no footer; use [`crate::load_graph`]) and with
     /// [`StorageError::Corrupt`] on a truncated or garbled footer.
     pub fn open(path: impl AsRef<Path>) -> Result<PagedLog> {
-        PagedLog::from_bytes(std::fs::read(path)?)
+        PagedLog::open_with_io(path.as_ref(), crate::io::default_io().as_ref())
+    }
+
+    /// [`PagedLog::open`] through an explicit IO implementation (the
+    /// log does not retain it — a sealed log performs no further IO).
+    pub fn open_with_io(path: &Path, io: &dyn crate::io::StorageIo) -> Result<PagedLog> {
+        PagedLog::from_bytes(io.read(path)?)
     }
 
     /// Open a v2 log already in memory.

@@ -15,6 +15,12 @@
 //!    codec corrupts logs instead of reporting them corrupt. Widths
 //!    change via `From`/`TryFrom`, which either cannot fail or fail
 //!    loudly.
+//! 3. **Panic-free observability** (`crates/core/src/obs.rs`).
+//! 4. **One IO seam in storage.** No direct `std::fs` / `File::` /
+//!    `OpenOptions` use in `crates/storage/src/**` non-test code
+//!    outside `io.rs`: every file operation must route through the
+//!    `StorageIo` trait, or the fault-injection harness silently stops
+//!    covering that call site.
 //!
 //! The scanner strips comments, strings, and char literals first (so
 //! prose mentioning `panic!` doesn't trip it) and ignores everything
@@ -229,6 +235,36 @@ fn check_no_numeric_casts(src: &str) -> Vec<Violation> {
     out
 }
 
+/// Rule 4: no filesystem calls in storage sources outside the
+/// `StorageIo` passthrough module. One violation per line (a single
+/// `std::fs::File::open` would otherwise report three times).
+fn check_no_direct_fs(src: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(src);
+    let mut out = Vec::new();
+    for (n, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let hit = ["std::fs", "fs::", "File::", "OpenOptions"]
+            .into_iter()
+            .find(|pat| {
+                line.match_indices(*pat)
+                    .any(|(i, _)| !line[..i].chars().next_back().is_some_and(is_ident_char))
+            });
+        if let Some(pat) = hit {
+            out.push(Violation {
+                line: n + 1,
+                message: format!(
+                    "direct filesystem access `{pat}` in crates/storage (route file IO \
+                     through the StorageIo trait in io.rs so the fault-injection harness \
+                     covers this call site)"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// The workspace root, two levels up from this crate's manifest.
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -270,6 +306,23 @@ fn run_lint(root: &Path) -> std::io::Result<Vec<String>> {
     let src = std::fs::read_to_string(&obs)?;
     for v in check_no_panics(&src, OBS_CONTEXT) {
         findings.push(format!("{}:{}: {}", obs.display(), v.line, v.message));
+    }
+
+    // Rule 4: storage sources route file IO through io.rs (the
+    // `StorageIo` passthrough module — the one place allowed to touch
+    // the real filesystem).
+    let storage_dir = root.join("crates/storage/src");
+    let mut storage_files: Vec<PathBuf> = std::fs::read_dir(&storage_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .filter(|p| p.file_name().is_none_or(|f| f != "io.rs"))
+        .collect();
+    storage_files.sort();
+    for path in storage_files {
+        let src = std::fs::read_to_string(&path)?;
+        for v in check_no_direct_fs(&src) {
+            findings.push(format!("{}:{}: {}", path.display(), v.line, v.message));
+        }
     }
 
     Ok(findings)
@@ -360,6 +413,28 @@ mod tests {
         let stripped = strip_comments_and_strings(src);
         assert!(stripped.contains("fn f<'a>"));
         assert!(!stripped.contains("in raw"));
+    }
+
+    #[test]
+    fn seeded_direct_fs_access_is_caught_once_per_line() {
+        let bad = "use std::fs::{self, File};\nfn w(p: &Path) {\n    let f = \
+                   File::create(p);\n    fs::rename(a, b);\n    OpenOptions::new();\n}\n";
+        let vs = check_no_direct_fs(bad);
+        assert_eq!(vs.len(), 4, "{vs:?}");
+        assert_eq!(vs[0].line, 1);
+        assert!(vs[0].message.contains("std::fs"));
+        assert_eq!(vs[2].line, 4);
+    }
+
+    #[test]
+    fn storage_io_seam_and_test_modules_are_allowed() {
+        // Routed IO, idents that merely end in "fs", prose, and
+        // anything under #[cfg(test)] must all pass.
+        let ok = "fn commit(&mut self) {\n    self.io.append(&self.tail_path, &frame)?;\n    \
+                  let offs::Kind = x;\n    // prose about std::fs and File::open\n}\n\
+                  #[cfg(test)]\nmod tests {\n    use std::fs;\n    fn t() { \
+                  fs::remove_file(p).ok(); }\n}\n";
+        assert_eq!(check_no_direct_fs(ok), Vec::new());
     }
 
     /// The real repo must currently be clean — this is the same check

@@ -20,6 +20,11 @@
 //! JSONL (servable live via `GET /log?n=`, replayable with
 //! `bench_replay`).
 //!
+//! Overload guards (all off by default): `--request-deadline-us N`
+//! cancels reads cooperatively after N µs, `--write-queue-limit N`
+//! sheds mutations with `BUSY retry_after_ms=` once N are queued, and
+//! `--idle-timeout-us N` drops connections that stall mid-request.
+//!
 //! `--self-test` writes the demo graph to a temp v2 log, serves it
 //! **paged** on an ephemeral port, drives a scripted client through
 //! both protocols, and exits non-zero on any mismatch — the CI smoke
@@ -38,6 +43,9 @@ struct Args {
     query_log: Option<QueryLogConfig>,
     self_test: bool,
     compact_every: u64,
+    request_deadline_us: u64,
+    write_queue_limit: usize,
+    idle_timeout_us: u64,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -47,9 +55,33 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     let mut query_log = None;
     let mut self_test = false;
     let mut compact_every = 0u64;
+    let mut request_deadline_us = 0u64;
+    let mut write_queue_limit = 0usize;
+    let mut idle_timeout_us = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--request-deadline-us" => {
+                request_deadline_us = args
+                    .next()
+                    .ok_or("--request-deadline-us requires microseconds")?
+                    .parse()
+                    .map_err(|_| "--request-deadline-us requires a number")?;
+            }
+            "--write-queue-limit" => {
+                write_queue_limit = args
+                    .next()
+                    .ok_or("--write-queue-limit requires a count")?
+                    .parse()
+                    .map_err(|_| "--write-queue-limit requires a number")?;
+            }
+            "--idle-timeout-us" => {
+                idle_timeout_us = args
+                    .next()
+                    .ok_or("--idle-timeout-us requires microseconds")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-us requires a number")?;
+            }
             "--open" => {
                 let path = args.next().ok_or("--open requires a path")?;
                 eprintln!("opening provenance log {path} lazily (v2 footer index)");
@@ -132,6 +164,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         query_log,
         self_test,
         compact_every,
+        request_deadline_us,
+        write_queue_limit,
+        idle_timeout_us,
     })
 }
 
@@ -235,12 +270,111 @@ fn self_test(
         std::fs::remove_file(path).ok();
     }
 
+    // Robustness surface: the overload series must already render (at
+    // zero is fine) so dashboards see them before the first incident.
+    for series in [
+        "lipstick_serve_shed_total",
+        "lipstick_serve_deadline_exceeded_total",
+        "lipstick_storage_io_errors_total",
+    ] {
+        if !metrics.contains(series) {
+            return Err(format!("/metrics must export {series}:\n{metrics}").into());
+        }
+    }
+
+    self_test_shutdown_durability()?;
+
     let (hits, misses) = handle.cache_stats();
     eprintln!(
         "self-test ok: {} queries, {hits} cache hits, {misses} misses, {} log event(s)",
         handle.queries(),
         handle.query_log_events()
     );
+    Ok(())
+}
+
+/// Graceful-shutdown durability: an **append** server acknowledges
+/// writes, shuts down gracefully mid-session, and a fresh session on
+/// the same files must recover every acked write. This is the restart
+/// a deploy performs, exercised end to end.
+fn self_test_shutdown_durability() -> Result<(), Box<dyn std::error::Error>> {
+    use lipstick::core::NodeKind;
+    use lipstick::serve::client::RetryPolicy;
+
+    let params = DealersParams {
+        num_cars: 24,
+        num_exec: 3,
+        seed: 7,
+    };
+    let mut tracker = GraphTracker::new();
+    dealers::run_declining(&params, &mut tracker)?;
+    let graph = tracker.finish();
+    let victims: Vec<_> = graph
+        .iter_visible()
+        .filter(|(_, node)| matches!(node.kind, NodeKind::BaseTuple { .. }))
+        .map(|(id, _)| id)
+        .take(2)
+        .collect();
+    if victims.len() < 2 {
+        return Err("demo graph has too few base tuples".into());
+    }
+    let path = std::env::temp_dir().join(format!(
+        "lipstick-serve-selftest-drain-{}.lpstk",
+        std::process::id()
+    ));
+    lipstick::storage::write_graph_v2(&graph, &path)?;
+    let mut tail = path.clone().into_os_string();
+    tail.push(".tail");
+    std::fs::remove_file(&tail).ok();
+
+    // All three guards armed, none restrictive enough to interfere.
+    let handle = Server::new(
+        Session::open_append(&path)?,
+        ServerConfig {
+            workers: 2,
+            write_queue_limit: 64,
+            request_deadline_us: 10_000_000,
+            idle_timeout_us: 10_000_000,
+            ..ServerConfig::default()
+        },
+    )
+    .serve("127.0.0.1:0")?;
+    let mut client = Client::connect(handle.addr())?;
+    for victim in &victims {
+        let reply = client.query_with_retry(
+            &format!("DELETE #{} PROPAGATE", victim.0),
+            &RetryPolicy::default(),
+        )?;
+        if !reply.is_ok() {
+            return Err(format!("append delete not acked: {reply:?}").into());
+        }
+    }
+    // Shut down with the connection still open: the drain must deliver
+    // in-flight replies, half-close the socket, and sync the tail.
+    handle.shutdown();
+    let registry = lipstick::core::obs::registry().render_prometheus();
+    if !registry.contains("lipstick_serve_shutdown_drain_us") {
+        return Err("shutdown did not set the drain-time gauge".into());
+    }
+
+    // Restart on the same files: every acked write must have survived.
+    let mut reopened = Session::open_append(&path)?;
+    for victim in &victims {
+        match reopened.run(&format!("WHY #{};", victim.0)) {
+            Err(e) if e.to_string() == format!("unknown node reference #{}", victim.0) => {}
+            other => {
+                return Err(format!(
+                    "acked delete of #{} lost across graceful shutdown: {other:?}",
+                    victim.0
+                )
+                .into())
+            }
+        }
+    }
+    drop(reopened);
+    std::fs::remove_file(&tail).ok();
+    std::fs::remove_file(&path).ok();
+    eprintln!("self-test: graceful shutdown drained, synced, and lost no acked write");
     Ok(())
 }
 
@@ -260,6 +394,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: args.workers,
             query_log: args.query_log,
             compact_every: args.compact_every,
+            request_deadline_us: args.request_deadline_us,
+            write_queue_limit: args.write_queue_limit,
+            idle_timeout_us: args.idle_timeout_us,
             ..ServerConfig::default()
         },
     )

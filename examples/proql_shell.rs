@@ -19,6 +19,7 @@ use std::io::{BufRead, Write};
 
 use lipstick::core::GraphTracker;
 use lipstick::proql::{QueryOutput, Session};
+use lipstick::serve::client::RetryPolicy;
 use lipstick::serve::{Client, Reply};
 use lipstick::workflowgen::dealers::{self, DealersParams};
 
@@ -253,7 +254,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if stmt.is_empty() {
                         continue;
                     }
-                    match client.query(stmt) {
+                    // Retry BUSY sheds and transient disconnects with
+                    // jittered backoff before bothering the user.
+                    match client.query_with_retry(stmt, &RetryPolicy::default()) {
                         Ok(Reply::Ok {
                             cache_hit,
                             epoch,
@@ -271,6 +274,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             }
                         }
                         Ok(Reply::Err(message)) => println!("error: {message}"),
+                        Ok(Reply::Busy { retry_after_ms }) => println!(
+                            "server busy (write queue full) after retries; \
+                             try again in ~{retry_after_ms} ms"
+                        ),
                         Err(e) => {
                             println!("connection error: {e}");
                             return Ok(());
